@@ -1,0 +1,124 @@
+"""Ablations of the NGPC design choices called out in DESIGN.md.
+
+Quantifies what each mechanism buys: fusing the encoding and MLP engines
+(no DRAM round-trip of encoded features), fusing the rest kernels
+(the 9.94x path), and the Fig. 10-b batch pipeline overlap — plus the
+sensitivity to the pipeline batch count and the L2 spill penalty.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.apps.params import APP_NAMES, get_config
+from repro.core import NGPCConfig
+from repro.core.emulator import Emulator
+from repro.core.encoding_engine import encoding_engine_time_ms
+
+SCHEME = "multi_res_hashgrid"
+
+
+def bench_ablation_design_features(benchmark):
+    """Full design vs each feature disabled, per application."""
+    emulator = Emulator(NGPCConfig(scale_factor=64))
+
+    def sweep():
+        rows = {}
+        for app in APP_NAMES:
+            rows[app] = {
+                "full": emulator.run(app, SCHEME).speedup,
+                "no_engine_fusion": emulator.run(
+                    app, SCHEME, fuse_engines=False
+                ).speedup,
+                "no_rest_fusion": emulator.run(app, SCHEME, fuse_rest=False).speedup,
+                "no_overlap": emulator.run(app, SCHEME, overlap=False).speedup,
+            }
+        return rows
+
+    rows = benchmark(sweep)
+    table = [
+        [app] + [f"{rows[app][k]:.1f}x" for k in
+                 ("full", "no_engine_fusion", "no_rest_fusion", "no_overlap")]
+        for app in APP_NAMES
+    ]
+    print("\n" + format_table(
+        ["app", "full", "-engine fusion", "-rest fusion", "-overlap"],
+        table,
+        title="NGPC-64 speedup ablations (hashgrid)",
+    ))
+    for app in APP_NAMES:
+        r = rows[app]
+        # every feature contributes; rest fusion is the biggest lever
+        assert r["full"] >= r["no_engine_fusion"]
+        assert r["full"] >= r["no_overlap"]
+        assert r["full"] > 2 * r["no_rest_fusion"]
+
+
+def bench_ablation_pipeline_batches(benchmark):
+    """More pipeline batches amortize the fill; returns diminish."""
+
+    def sweep():
+        speedups = {}
+        for batches in (1, 2, 4, 8, 16, 32):
+            config = NGPCConfig(scale_factor=64, n_pipeline_batches=batches)
+            speedups[batches] = Emulator(config).run("nerf", SCHEME).speedup
+        return speedups
+
+    speedups = benchmark(sweep)
+    print("\n  batches -> speedup: "
+          + ", ".join(f"{b}: {s:.1f}x" for b, s in speedups.items()))
+    values = [speedups[b] for b in (1, 2, 4, 8, 16, 32)]
+    assert values == sorted(values)  # monotone improvement
+    # diminishing returns: the last doubling gains less than the first
+    assert (values[1] - values[0]) > (values[-1] - values[-2])
+
+
+def bench_ablation_spill_penalty(benchmark):
+    """Dense-grid levels that exceed the grid SRAM pay the L2 penalty."""
+    config = get_config("nerf", "multi_res_densegrid")
+
+    def sweep():
+        times = {}
+        for penalty in (1.0, 2.0, 4.0, 8.0):
+            ngpc = NGPCConfig(scale_factor=64, l2_spill_penalty=penalty)
+            times[penalty] = encoding_engine_time_ms(config, ngpc=ngpc)
+        return times
+
+    times = benchmark(sweep)
+    print("\n  spill penalty -> encoding ms: "
+          + ", ".join(f"{p}: {t:.4f}" for p, t in times.items()))
+    values = [times[p] for p in (1.0, 2.0, 4.0, 8.0)]
+    assert values == sorted(values)
+    # hashgrid tables fit the SRAM, so they are insensitive to the penalty
+    hash_config = get_config("nerf", "multi_res_hashgrid")
+    t1 = encoding_engine_time_ms(
+        hash_config, ngpc=NGPCConfig(scale_factor=64, l2_spill_penalty=1.0)
+    )
+    t8 = encoding_engine_time_ms(
+        hash_config, ngpc=NGPCConfig(scale_factor=64, l2_spill_penalty=8.0)
+    )
+    assert t1 == pytest.approx(t8)
+
+
+def bench_ablation_grid_sram_size(benchmark):
+    """Halving the grid SRAM makes the hashgrid levels spill."""
+    from repro.core.config import NFPConfig
+    from repro.core.encoding_engine import level_spill_fraction
+
+    config = get_config("nerf", "multi_res_hashgrid")
+
+    def sweep():
+        fractions = {}
+        for kb in (256, 512, 1024, 2048):
+            ngpc = NGPCConfig(
+                scale_factor=64, nfp=NFPConfig(grid_sram_kb_per_engine=kb)
+            )
+            fractions[kb] = level_spill_fraction(config, ngpc)
+        return fractions
+
+    fractions = benchmark(sweep)
+    print("\n  grid SRAM KB -> spill fraction: "
+          + ", ".join(f"{kb}: {f:.2f}" for kb, f in fractions.items()))
+    assert fractions[1024] == 0.0  # the paper's design point: no spill
+    assert fractions[512] > 0.0  # halved SRAM spills the T=2^19 levels
+    values = [fractions[kb] for kb in (2048, 1024, 512, 256)]
+    assert values == sorted(values)

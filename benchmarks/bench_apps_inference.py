@@ -1,0 +1,55 @@
+"""Wall-clock inference microbenchmarks of the four applications.
+
+Measures samples/second of our numpy implementations per application —
+the functional analogue of the paper's Section III profiling (the ratios
+between apps mirror their per-sample network and encoding costs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import GIAApp, NSDFApp, NVRApp, NeRFApp
+
+BATCH = 2048
+
+
+def bench_gia_inference(benchmark):
+    app = GIAApp(image_size=32, seed=0)
+    coords = np.random.default_rng(0).uniform(0, 1, (BATCH, 2)).astype(np.float32)
+    out = benchmark(app.predict, coords)
+    assert out.shape == (BATCH, 3)
+
+
+def bench_nsdf_inference(benchmark):
+    app = NSDFApp(seed=0)
+    pts = np.random.default_rng(0).uniform(-0.5, 0.5, (BATCH, 3)).astype(np.float32)
+    out = benchmark(app.predict, pts)
+    assert out.shape == (BATCH,)
+
+
+def bench_nerf_query(benchmark):
+    app = NeRFApp(seed=0)
+    pts = np.random.default_rng(0).uniform(0, 1, (BATCH, 3)).astype(np.float32)
+    dirs = np.tile([[0.0, 0.0, 1.0]], (BATCH, 1)).astype(np.float32)
+    sigma, rgb = benchmark(app.query, pts, dirs)
+    assert sigma.shape == (BATCH,) and rgb.shape == (BATCH, 3)
+
+
+def bench_nvr_query(benchmark):
+    app = NVRApp(seed=0)
+    pts = np.random.default_rng(0).uniform(0, 1, (BATCH, 3)).astype(np.float32)
+    sigma, albedo, _ = benchmark(app.query, pts)
+    assert sigma.shape == (BATCH,) and albedo.shape == (BATCH, 3)
+
+
+def bench_nerf_render_tile(benchmark):
+    """Render a small NeRF tile end to end (encode + 2 MLPs + composite)."""
+    from repro.graphics import PinholeCamera
+    from repro.graphics.camera import look_at
+
+    app = NeRFApp(seed=0)
+    cam = PinholeCamera.from_fov(
+        16, 16, 45.0, look_at((0.5, 0.5, 2.1), (0.5, 0.5, 0.5))
+    )
+    result = benchmark(app.render, cam, 16)
+    assert result.rgb.shape == (256, 3)

@@ -1,0 +1,15 @@
+"""Section I: the 2-4 order-of-magnitude AR/VR power-efficiency gap."""
+
+from repro.analysis import get_experiment
+from repro.calibration import paper
+
+
+def bench_arvr_gap(benchmark, report):
+    rows = benchmark(get_experiment("arvr").run)
+    report("AR/VR performance-per-watt gap (orders of magnitude)", rows)
+    lo, hi = paper.ARVR_GAP_OOM_RANGE
+    for row in rows:
+        assert lo - 0.5 <= row.measured <= hi + 0.5, row.label
+    # shape: NeRF has the largest gap
+    gaps = {row.label.split()[0]: row.measured for row in rows}
+    assert gaps["nerf"] == max(gaps.values())

@@ -1,0 +1,69 @@
+"""Section IV cache analysis and the AR/VR energy accounting."""
+
+import pytest
+
+from repro.apps.params import APP_NAMES, get_config
+from repro.core.energy import arvr_gap_oom, energy_per_frame
+from repro.gpu.memory import cache_report
+
+
+def bench_l2_residency(benchmark):
+    """Section IV: 3D encoding tables overflow the RTX 3090's 6 MB L2."""
+
+    def sweep():
+        return {
+            app: cache_report(get_config(app, "multi_res_hashgrid"))
+            for app in APP_NAMES
+        }
+
+    reports = benchmark(sweep)
+    print()
+    for app, r in reports.items():
+        print(f"  {app}: working set {r.working_set_bytes / 1e6:5.1f} MB, "
+              f"L2 hit rate {r.hit_rate:.2f}, "
+              f"avg lookup {r.expected_latency_cycles:.0f} cycles")
+    for app in ("nerf", "nsdf", "nvr"):
+        assert not reports[app].fits_in_l2
+    assert reports["gia"].fits_in_l2
+    # the miss-driven latency is what makes encoding memory-bound
+    assert reports["nerf"].expected_latency_cycles > 350
+
+
+def bench_energy_per_frame(benchmark):
+    """NGPC cuts per-frame energy by an order of magnitude or more."""
+
+    def sweep():
+        return {
+            app: energy_per_frame(app, "multi_res_hashgrid", 64)
+            for app in APP_NAMES
+        }
+
+    reports = benchmark(sweep)
+    print()
+    for app, e in reports.items():
+        print(f"  {app}: {e.baseline_mj:9.1f} mJ -> {e.accelerated_mj:7.2f} mJ "
+              f"({e.energy_reduction:.1f}x less, perf/W x{e.efficiency_gain:.1f})")
+    for e in reports.values():
+        assert e.energy_reduction > 5.0
+    assert reports["nerf"].energy_reduction == max(
+        e.energy_reduction for e in reports.values()
+    )
+
+
+def bench_arvr_gap_with_ngpc(benchmark):
+    """NGPC narrows the 2-4 OOM AR/VR gap but cannot close it."""
+
+    def sweep():
+        return {
+            app: (arvr_gap_oom(app), arvr_gap_oom(app, scale_factor=64))
+            for app in APP_NAMES
+        }
+
+    gaps = benchmark(sweep)
+    print()
+    for app, (gpu, ngpc) in gaps.items():
+        print(f"  {app}: GPU {gpu:+.2f} OOM -> GPU+NGPC-64 {ngpc:+.2f} OOM")
+    for gpu, ngpc in gaps.values():
+        assert ngpc < gpu
+    assert gaps["nerf"][0] == pytest.approx(3.6, abs=0.5)
+    assert gaps["nerf"][1] > 0.5  # still short of 1 W AR budgets

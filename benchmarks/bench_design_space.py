@@ -1,0 +1,59 @@
+"""Design-space exploration: the architect's read of Figs. 12 + 15."""
+
+from repro.analysis import format_table
+from repro.calibration import paper
+from repro.core.dse import (
+    design_space,
+    efficiency_sweet_spot,
+    pareto_frontier,
+    smallest_scale_for_fps,
+)
+
+
+def bench_design_space_pareto(benchmark):
+    points = benchmark(design_space, "multi_res_hashgrid")
+    rows = [
+        [f"NGPC-{p.scale_factor}", f"{p.area_overhead_pct:.2f}%",
+         f"{p.average_speedup:.1f}x", f"{p.speedup_per_area_pct:.2f}"]
+        for p in points
+    ]
+    print("\n" + format_table(
+        ["config", "area", "avg speedup", "speedup / area %"],
+        rows,
+        title="NGPC design space (hashgrid)",
+    ))
+    # every scale trades more area for more speed: all Pareto-optimal
+    assert len(pareto_frontier(points)) == 4
+    # the marginal return shrinks: NGPC-8 is the efficiency sweet spot
+    assert efficiency_sweet_spot(points).scale_factor == 8
+    speeds = [p.average_speedup for p in points]
+    assert speeds == sorted(speeds)
+
+
+def bench_smallest_scale_targets(benchmark):
+    """What does each Fig. 14 capability actually cost?"""
+
+    def sweep():
+        return {
+            ("nerf", "4k", 30): smallest_scale_for_fps(
+                "nerf", 30, paper.RESOLUTIONS["4k"]
+            ),
+            ("gia", "8k", 120): smallest_scale_for_fps(
+                "gia", 120, paper.RESOLUTIONS["8k"]
+            ),
+            ("nvr", "8k", 120): smallest_scale_for_fps(
+                "nvr", 120, paper.RESOLUTIONS["8k"]
+            ),
+            ("nerf", "8k", 120): smallest_scale_for_fps(
+                "nerf", 120, paper.RESOLUTIONS["8k"]
+            ),
+        }
+
+    results = benchmark(sweep)
+    print()
+    for (app, res, fps), scale in results.items():
+        label = f"NGPC-{scale}" if scale else "not achievable"
+        print(f"  {app} {res}@{fps}: {label}")
+    assert results[("nerf", "4k", 30)] is not None
+    assert results[("gia", "8k", 120)] == 8  # GIA is cheap
+    assert results[("nerf", "8k", 120)] is None  # matches Fig. 14

@@ -1,0 +1,25 @@
+"""Figure 5: kernel-level performance breakdown of the four applications."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.calibration import paper
+from repro.gpu.profiler import kernel_breakdown, kernel_breakdown_averages
+
+
+def bench_fig5_breakdown(benchmark, report):
+    rows = benchmark(get_experiment("fig5").run)
+    report("Fig. 5 kernel-level breakdown (% of application cycles)", rows)
+    for scheme, targets in paper.FIG5_AVERAGE_FRACTIONS.items():
+        avg = kernel_breakdown_averages(scheme)
+        assert avg["encoding"] == pytest.approx(targets["encoding"], abs=0.05)
+        assert avg["mlp"] == pytest.approx(targets["mlp"], abs=0.05)
+    # shape: encoding+MLP dominate every hashgrid application
+    for app in ("nerf", "nsdf", "gia", "nvr"):
+        b = kernel_breakdown(app, "multi_res_hashgrid")
+        assert b["encoding"] + b["mlp"] > 60.0
+    # shape: hashgrid is the most encoding-bound scheme
+    assert (
+        kernel_breakdown_averages("multi_res_hashgrid")["encoding"]
+        > kernel_breakdown_averages("multi_res_densegrid")["encoding"]
+    )

@@ -1,0 +1,18 @@
+"""Figure 8: op-level breakdown of the input-encoding kernels."""
+
+from repro.analysis import get_experiment
+from repro.gpu.profiler import op_breakdown
+
+
+def bench_fig8_ops(benchmark, report):
+    rows = benchmark(get_experiment("fig8").run)
+    report("Fig. 8 encoding-kernel op breakdown (% of kernel cycles)", rows)
+    for scheme in ("multi_res_hashgrid", "multi_res_densegrid", "low_res_densegrid"):
+        b = op_breakdown(scheme)
+        # shape: grid lookups dominate; modulo is a top-2 op (Section IV)
+        assert b["grid_lookups"] == max(b.values())
+        assert b["modulo"] >= sorted(b.values())[-3]
+    # shape: hash cycles exist only for the hashgrid scheme
+    assert op_breakdown("multi_res_hashgrid")["hash_function"] > 0
+    assert op_breakdown("multi_res_densegrid")["hash_function"] == 0
+    assert op_breakdown("low_res_densegrid")["hash_function"] == 0

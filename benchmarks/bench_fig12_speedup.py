@@ -1,0 +1,53 @@
+"""Figure 12: end-to-end NGPC speedup vs scaling factor, with Amdahl check."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.calibration import paper
+from repro.core import amdahl_bound, emulate
+from repro.core.emulator import speedup_table
+
+
+def bench_fig12_speedup(benchmark, report):
+    rows = benchmark(get_experiment("fig12").run)
+    report("Fig. 12 end-to-end speedup (4-app averages per scale)", rows)
+    for scheme, targets in paper.FIG12_AVERAGE_SPEEDUPS.items():
+        table = speedup_table(scheme)
+        for scale, target in targets.items():
+            # averages within 10 % of the paper at every scale
+            assert table[scale]["average"] == pytest.approx(target, rel=0.10)
+        # shape: monotone improvement with scale
+        averages = [table[s]["average"] for s in (8, 16, 32, 64)]
+        assert averages == sorted(averages)
+    # shape: hashgrid benefits the most (largest accelerated fraction)
+    assert (
+        speedup_table("multi_res_hashgrid")[64]["average"]
+        > speedup_table("multi_res_densegrid")[64]["average"]
+    )
+
+
+def bench_fig12_amdahl_sanity(benchmark, report):
+    """The Section VI sanity check: every bar under its Amdahl line."""
+
+    def sweep():
+        results = []
+        for scheme in ENCODING_SCHEMES:
+            for app in APP_NAMES:
+                for scale in (8, 16, 32, 64):
+                    results.append(emulate(app, scheme, scale))
+        return results
+
+    results = benchmark(sweep)
+    violations = [r for r in results if not r.respects_amdahl()]
+    assert not violations
+    print(f"\n  {len(results)} emulator runs, 0 Amdahl violations")
+    bound = amdahl_bound("nerf", "multi_res_hashgrid")
+    best = max(
+        r.speedup
+        for r in results
+        if r.app == "nerf" and r.scheme == "multi_res_hashgrid"
+    )
+    print(f"  NeRF hashgrid: best {best:.2f}x vs Amdahl bound {bound:.2f}x "
+          f"(paper: up to {paper.MAX_END_TO_END_SPEEDUP}x)")
+    assert best == pytest.approx(paper.MAX_END_TO_END_SPEEDUP, rel=0.05)

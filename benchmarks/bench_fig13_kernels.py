@@ -1,0 +1,56 @@
+"""Figure 13: kernel-level engine speedups + Timeloop/Accelergy check."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.apps.params import APP_NAMES
+from repro.calibration import paper
+from repro.core import encoding_kernel_speedup, mlp_kernel_speedup
+
+
+def bench_fig13_kernels(benchmark, report):
+    rows = benchmark(get_experiment("fig13").run)
+    report("Fig. 13 kernel-level speedups at scale 64", rows)
+    for scheme, targets in paper.FIG13_KERNEL_SPEEDUPS_AT_64.items():
+        enc = sum(encoding_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        mlp = sum(mlp_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        assert enc == pytest.approx(targets["encoding"], rel=0.05)
+        assert mlp == pytest.approx(targets["mlp"], rel=0.05)
+    # shape: LRDG encoding gains the most (8 inputs in parallel), and the
+    # MLP engine speedup exceeds the encoding speedup for the hashgrid
+    lrdg = sum(
+        encoding_kernel_speedup(a, "low_res_densegrid", 64) for a in APP_NAMES
+    ) / 4
+    hashg = sum(
+        encoding_kernel_speedup(a, "multi_res_hashgrid", 64) for a in APP_NAMES
+    ) / 4
+    assert lrdg > hashg
+    # scaling: kernel speedups grow linearly with the scaling factor
+    s8 = encoding_kernel_speedup("nerf", "multi_res_hashgrid", 8)
+    s64 = encoding_kernel_speedup("nerf", "multi_res_hashgrid", 64)
+    assert s64 / s8 == pytest.approx(8.0, rel=0.05)
+
+
+def bench_fig13_timeloop_agreement(benchmark):
+    """The paper: emulator within ~7 % of Timeloop/Accelergy."""
+    from repro.apps.params import get_config
+    from repro.core import NGPCConfig, TimeloopMLPModel
+    from repro.core.mlp_engine import mlp_engine_time_ms
+    from repro.gpu.baseline import FHD_PIXELS
+
+    def worst_delta():
+        worst = 0.0
+        for scheme in paper.FIG13_KERNEL_SPEEDUPS_AT_64:
+            for app in APP_NAMES:
+                config = get_config(app, scheme)
+                for scale in (8, 16, 32, 64):
+                    ngpc = NGPCConfig(scale_factor=scale)
+                    engine = mlp_engine_time_ms(config, FHD_PIXELS, ngpc)
+                    ta = TimeloopMLPModel(ngpc).time_ms(config, FHD_PIXELS)
+                    worst = max(worst, abs(ta - engine) / engine)
+        return worst
+
+    worst = benchmark(worst_delta)
+    print(f"\n  worst emulator-vs-Timeloop delta: {worst * 100:.2f}% "
+          f"(paper: ~{paper.TIMELOOP_AGREEMENT_PCT}%)")
+    assert worst * 100 <= paper.TIMELOOP_AGREEMENT_PCT

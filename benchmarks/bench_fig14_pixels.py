@@ -1,0 +1,33 @@
+"""Figure 14: pixels renderable per FPS target, with and without NGPC."""
+
+from repro.analysis import get_experiment
+from repro.calibration import paper
+from repro.core.emulator import max_pixels_within_budget
+
+
+def bench_fig14_pixels(benchmark, report):
+    rows = benchmark(get_experiment("fig14").run)
+    report("Fig. 14 renderable pixels per FPS target (NGPC-64)", rows[-4:])
+    # headline (hashgrid): NeRF 4K@30; GIA/NVR 8K@120; NSDF within 5 % of 8K
+    assert max_pixels_within_budget("nerf", "multi_res_hashgrid", 64, 30) >= (
+        paper.RESOLUTIONS["4k"]
+    )
+    for app in ("gia", "nvr"):
+        assert max_pixels_within_budget(app, "multi_res_hashgrid", 64, 120) >= (
+            paper.RESOLUTIONS["8k"]
+        )
+    assert max_pixels_within_budget("nsdf", "multi_res_hashgrid", 64, 120) >= (
+        0.95 * paper.RESOLUTIONS["8k"]
+    )
+    # shape: NGPC always beats the GPU baseline, at every FPS target
+    for app in ("nerf", "nsdf", "gia", "nvr"):
+        for fps in paper.FPS_TARGETS:
+            with_ngpc = max_pixels_within_budget(app, "multi_res_hashgrid", 64, fps)
+            without = max_pixels_within_budget(
+                app, "multi_res_hashgrid", 64, fps, use_ngpc=False
+            )
+            assert with_ngpc > without
+    # shape: the baseline GPU cannot do NeRF 4K@60 but NGPC-64 can
+    assert max_pixels_within_budget(
+        "nerf", "multi_res_hashgrid", 64, 60, use_ngpc=False
+    ) < paper.RESOLUTIONS["4k"]

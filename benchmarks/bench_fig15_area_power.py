@@ -1,0 +1,28 @@
+"""Figure 15: NGPC area and power, normalized to the RTX 3090 die."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.calibration import paper
+from repro.core import NGPCConfig, ngpc_area_power
+from repro.core.area_power import nfp_area_mm2_45nm
+
+
+def bench_fig15_area_power(benchmark, report):
+    rows = benchmark(get_experiment("fig15").run)
+    report("Fig. 15 NGPC area/power overhead vs RTX 3090 (7 nm)", rows)
+    for scale in (8, 16, 32, 64):
+        r = ngpc_area_power(NGPCConfig(scale_factor=scale))
+        assert r.area_overhead_pct == pytest.approx(
+            paper.FIG15_AREA_OVERHEAD_PCT[scale], rel=0.05
+        )
+        assert r.power_overhead_pct == pytest.approx(
+            paper.FIG15_POWER_OVERHEAD_PCT[scale], rel=0.05
+        )
+    # shape: overheads are linear in the NFP count
+    a8 = ngpc_area_power(NGPCConfig(scale_factor=8))
+    a64 = ngpc_area_power(NGPCConfig(scale_factor=64))
+    assert a64.area_mm2_7nm == pytest.approx(8 * a8.area_mm2_7nm)
+    # shape: grid SRAM dominates the NFP floorplan
+    components = nfp_area_mm2_45nm()
+    assert components["grid_sram"] > 0.5 * components["total"]

@@ -1,0 +1,83 @@
+"""Microbenchmarks of the functional substrate: encodings and MLPs.
+
+These are genuine wall-clock measurements (pytest-benchmark) of our numpy
+implementations — useful for tracking implementation regressions, and for
+seeing first-hand the paper's observation that the encoding and MLP
+kernels dominate neural graphics inference time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.params import get_config
+from repro.apps.base import build_grid_encoding
+from repro.core.encoding_engine import EncodingEngineFunctional
+from repro.encodings import HashGridEncoding
+from repro.nn import FullyFusedMLP
+
+BATCH = 4096
+
+
+@pytest.fixture(scope="module")
+def points3d():
+    return np.random.default_rng(0).uniform(0, 1, (BATCH, 3)).astype(np.float32)
+
+
+def _make_encoding(scheme):
+    config = get_config("nerf", scheme)
+    return build_grid_encoding(config.grid, spatial_dim=3, seed=0)
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    ["multi_res_hashgrid", "multi_res_densegrid", "low_res_densegrid"],
+)
+def bench_encoding_forward(benchmark, points3d, scheme):
+    enc = _make_encoding(scheme)
+    out = benchmark(enc.forward, points3d)
+    assert out.shape == (BATCH, enc.output_dim)
+
+
+def bench_encoding_backward(benchmark, points3d):
+    enc = _make_encoding("multi_res_hashgrid")
+    out = enc.forward(points3d, cache=True)
+    dy = np.ones_like(out)
+    grads = benchmark(enc.backward, dy)
+    assert len(grads.param_grads) == enc.n_levels
+
+
+def bench_hardware_functional_engine(benchmark, points3d):
+    """The fixed-point datapath costs more in numpy but must agree."""
+    enc = HashGridEncoding(
+        3, n_levels=8, n_features=2, log2_table_size=14,
+        base_resolution=8, growth_factor=1.5, seed=0,
+    )
+    hw = EncodingEngineFunctional(enc)
+    out = benchmark(hw.forward, points3d)
+    np.testing.assert_allclose(out, enc.forward(points3d), atol=2e-4)
+
+
+def bench_mlp_forward(benchmark, points3d):
+    mlp = FullyFusedMLP(32, 4, hidden_dim=64, hidden_layers=4, seed=0)
+    x = np.random.default_rng(1).normal(size=(BATCH, 32)).astype(np.float32)
+    out = benchmark(mlp.forward, x)
+    assert out.shape == (BATCH, 4)
+
+
+def bench_mlp_train_step(benchmark):
+    from repro.nn import Adam, L2Loss
+
+    mlp = FullyFusedMLP(32, 4, hidden_dim=64, hidden_layers=4, seed=0)
+    opt = Adam(1e-3)
+    loss = L2Loss()
+    x = np.random.default_rng(1).normal(size=(1024, 32)).astype(np.float32)
+    y = np.random.default_rng(2).normal(size=(1024, 4)).astype(np.float32)
+
+    def step():
+        out = mlp.forward(x, cache=True)
+        _, dy = loss.value_and_grad(out, y)
+        grads = mlp.backward(dy)
+        opt.step(mlp.parameters(), grads.weight_grads)
+        return out
+
+    benchmark(step)

@@ -1,0 +1,20 @@
+"""Section VI: the 9.94x rest-kernel fusion speedup."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.calibration import paper
+from repro.core.fusion import DEFAULT_FUSION, fused_rest_time_ms
+from repro.gpu.baseline import baseline_kernel_times_ms
+
+
+def bench_fusion(benchmark, report):
+    rows = benchmark(get_experiment("fusion").run)
+    report("Rest-kernel fusion", rows)
+    assert DEFAULT_FUSION.speedup == pytest.approx(
+        paper.REST_FUSION_SPEEDUP, rel=0.01
+    )
+    # fused rest time must still be the Amdahl-limiting term for NeRF
+    fused = fused_rest_time_ms("nerf", "multi_res_hashgrid")
+    unfused = baseline_kernel_times_ms("nerf", "multi_res_hashgrid")["rest"]
+    assert fused < unfused / 9.0

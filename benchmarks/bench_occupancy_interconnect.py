@@ -1,0 +1,49 @@
+"""SM occupancy of the Table II kernels and the NGPC's L2-port headroom."""
+
+import pytest
+
+from repro.calibration import paper
+from repro.core.interconnect import interconnect_report, max_fps_within_port
+from repro.gpu.occupancy_model import table2_occupancy
+
+
+def bench_table2_occupancy(benchmark):
+    """All Table II kernels run at full SM occupancy over many waves."""
+
+    def sweep():
+        return {key: table2_occupancy(*key) for key in paper.TABLE2}
+
+    reports = benchmark(sweep)
+    heaviest = max(reports.values(), key=lambda r: r.total_threads)
+    print(f"\n  heaviest launch: {heaviest.total_threads / 1e6:.1f} M threads, "
+          f"{heaviest.waves:.0f} waves of {heaviest.blocks_per_sm} blocks/SM")
+    for report in reports.values():
+        assert report.achieved_occupancy == pytest.approx(1.0)
+        assert report.waves > 1.0
+
+
+def bench_interconnect_headroom(benchmark):
+    """The NGPC's L2 port never saturates at the paper's operating points."""
+
+    def sweep():
+        return {
+            app: (
+                interconnect_report(app),
+                max_fps_within_port(app, 3840 * 2160),
+            )
+            for app in ("nerf", "nsdf", "gia", "nvr")
+        }
+
+    results = benchmark(sweep)
+    print()
+    for app, (report, ceiling) in results.items():
+        print(f"  {app}: port load {report.utilization:.1%}, "
+              f"queueing x{report.queueing_delay_factor:.2f}, "
+              f"IO ceiling {ceiling:.0f} FPS @ 4K")
+    for report, ceiling in results.values():
+        assert not report.saturated
+        assert ceiling > 120.0
+    # NeRF's two-stage traffic makes it the heaviest client
+    assert results["nerf"][0].utilization == max(
+        r.utilization for r, _ in results.values()
+    )

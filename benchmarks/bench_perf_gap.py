@@ -1,0 +1,15 @@
+"""Section III headline: the 4K@60 performance gap (1.51x - 55.50x)."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.gpu import performance_gap
+
+
+def bench_perf_gap(benchmark, report):
+    rows = benchmark(get_experiment("perf_gap").run)
+    report("Section III performance gap (4K @ 60 FPS)", rows)
+    # shape: NeRF has by far the largest gap; GIA meets the target
+    assert performance_gap("nerf") > performance_gap("nsdf") > performance_gap("nvr")
+    assert performance_gap("gia") < 1.0
+    assert performance_gap("nerf") == pytest.approx(55.50, rel=0.02)

@@ -1,0 +1,55 @@
+"""Cycle-level validation of the encoding engine's throughput assumption."""
+
+import pytest
+
+from repro.core.pipeline_sim import (
+    EncodingPipelineSimulator,
+    PipelineConfig,
+    validate_throughput_assumption,
+)
+
+
+def bench_pipeline_throughput_validation(benchmark):
+    """The analytic model assumes 1 set/cycle; the simulator confirms it."""
+    throughput = benchmark(validate_throughput_assumption, 2000)
+    print(f"\n  simulated throughput (8 corners, 8 banks): {throughput:.4f} sets/cycle")
+    assert throughput > 0.99
+
+
+def bench_pipeline_bank_ablation(benchmark):
+    """SRAM banking is load-bearing: fewer banks serialize the lookups."""
+
+    def sweep():
+        return {
+            banks: validate_throughput_assumption(1000, corners=8, banks=banks)
+            for banks in (1, 2, 4, 8, 16)
+        }
+
+    results = benchmark(sweep)
+    print("\n  banks -> throughput: "
+          + ", ".join(f"{b}: {t:.3f}" for b, t in results.items()))
+    assert results[8] > 0.99
+    assert results[4] == pytest.approx(0.5, abs=0.02)
+    assert results[1] == pytest.approx(0.125, abs=0.02)
+    assert results[16] <= 1.0 + 1e-9  # no benefit past one bank per corner
+
+
+def bench_pipeline_spill_sensitivity(benchmark):
+    """L2 spills stall the whole set: throughput collapses quickly."""
+
+    def sweep():
+        results = {}
+        for p in (0.0, 0.01, 0.05, 0.2):
+            sim = EncodingPipelineSimulator(
+                PipelineConfig(spill_probability=p), seed=3
+            )
+            results[p] = sim.run(1500).throughput
+        return results
+
+    results = benchmark(sweep)
+    print("\n  spill prob -> throughput: "
+          + ", ".join(f"{p}: {t:.3f}" for p, t in results.items()))
+    values = [results[p] for p in (0.0, 0.01, 0.05, 0.2)]
+    assert values == sorted(values, reverse=True)
+    # this is why the paper sizes the grid SRAM to hold a whole level
+    assert results[0.05] < 0.5 * results[0.0]

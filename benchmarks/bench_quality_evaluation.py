@@ -1,0 +1,59 @@
+"""End-to-end quality gate: train each application briefly and score it.
+
+The functional counterpart of the performance benches: verifies the whole
+substrate (encodings, MLPs, rendering) still *learns* — the property the
+NGPC is worth accelerating in the first place.
+"""
+
+from repro.apps import GIAApp, NSDFApp, NVRApp, NeRFApp
+from repro.apps.evaluation import evaluate
+
+
+def bench_quality_gia(benchmark):
+    def run():
+        app = GIAApp(image_size=32, seed=0)
+        app.train(steps=60, batch_size=1024)
+        return evaluate(app)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  GIA: {metrics['psnr_db']:.1f} dB PSNR, SSIM {metrics['ssim']:.3f}")
+    assert metrics["psnr_db"] > 22.0
+    assert metrics["ssim"] > 0.5
+
+
+def bench_quality_nsdf(benchmark):
+    def run():
+        app = NSDFApp(seed=0)
+        app.train(steps=80, batch_size=1024)
+        return evaluate(app)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  NSDF: MAE {metrics['volume_mae']:.4f}, "
+          f"silhouette {metrics['silhouette_agreement']:.1%}")
+    assert metrics["volume_mae"] < 0.03
+    assert metrics["silhouette_agreement"] > 0.85
+
+
+def bench_quality_nerf(benchmark):
+    def run():
+        app = NeRFApp(seed=0)
+        app.train(steps=80, batch_size=1024)
+        return evaluate(app)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  NeRF: novel-view {metrics['novel_view_psnr_db']:.1f} dB, "
+          f"SSIM {metrics['novel_view_ssim']:.3f}")
+    assert metrics["novel_view_psnr_db"] > 14.0
+
+
+def bench_quality_nvr(benchmark):
+    def run():
+        app = NVRApp(seed=0)
+        app.train(steps=80, batch_size=1024)
+        return evaluate(app)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  NVR: density corr {metrics['density_correlation']:.3f}, "
+          f"albedo MSE {metrics['albedo_mse']:.4f}")
+    assert metrics["density_correlation"] > 0.5
+    assert metrics["albedo_mse"] < 0.05

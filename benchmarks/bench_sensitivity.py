@@ -1,0 +1,22 @@
+"""Robustness of the Fig. 12 reproduction to the reconstructed constants."""
+
+from repro.analysis.sensitivity import sensitivity_sweep
+
+
+def bench_sensitivity_sweep(benchmark):
+    results = benchmark(sensitivity_sweep, (0.8, 0.9, 1.1, 1.2))
+    print()
+    for r in results:
+        shifts = ", ".join(
+            f"@{s}: {100 * (r.perturbed[s] - r.nominal[s]) / r.nominal[s]:+.1f}%"
+            for s in sorted(r.nominal)
+        )
+        print(f"  {r.parameter} x{r.factor}: {shifts}")
+    # the reproduction is stable: +/-20 % on reconstructed inputs moves
+    # the averaged speedups by well under a factor of two
+    assert all(r.max_relative_shift < 0.4 for r in results)
+    # and perturbations in opposite directions move results in opposite
+    # directions (no degenerate insensitivity)
+    up = next(r for r in results if r.parameter == "dma_overhead" and r.factor > 1)
+    down = next(r for r in results if r.parameter == "dma_overhead" and r.factor < 1)
+    assert up.perturbed[8] < up.nominal[8] < down.perturbed[8]

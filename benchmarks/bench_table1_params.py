@@ -1,0 +1,17 @@
+"""Table I: the application/encoding parameter registry."""
+
+from repro.analysis import get_experiment
+from repro.apps import iter_configs
+
+
+def bench_table1_params(benchmark, report):
+    rows = benchmark(get_experiment("table1").run)
+    report("Table I derived quantities", rows)
+    configs = list(iter_configs())
+    assert len(configs) == 12
+    # every hashgrid config encodes to 32 dims (16 levels x 2 features)
+    for config in configs:
+        if config.grid.scheme == "multi_res_hashgrid":
+            assert config.grid.encoded_dim == 32
+        else:
+            assert config.grid.encoded_dim == 16

@@ -1,0 +1,17 @@
+"""Table II: GPU compute/memory utilization per kernel."""
+
+from repro.analysis import get_experiment
+from repro.gpu.profiler import memory_bound_fraction, utilization_rows
+
+
+def bench_table2_utilization(benchmark, report):
+    rows = benchmark(get_experiment("table2").run)
+    report("Table II utilization (ours == transcribed paper data)", rows[:8])
+    table = utilization_rows()
+    assert len(table) == 24
+    # Section IV shape: the workloads are memory-bound on balance
+    for scheme in ("multi_res_hashgrid", "multi_res_densegrid", "low_res_densegrid"):
+        assert memory_bound_fraction(scheme) >= 0.5
+    # MLP kernels are consistently memory-bound (small networks, O(M) traffic)
+    mlp_rows = [r for r in table if r["kernel"] == "mlp"]
+    assert all(r["memory_util_pct"] > r["compute_util_pct"] for r in mlp_rows)

@@ -1,0 +1,25 @@
+"""Table III: NGPC IO bandwidth and data access time."""
+
+import pytest
+
+from repro.analysis import get_experiment
+from repro.calibration import paper
+from repro.core.ngpc import bandwidth_model
+
+
+def bench_table3_bandwidth(benchmark, report):
+    rows = benchmark(get_experiment("table3").run)
+    report("Table III NGPC IO bandwidth @ 4K 60 FPS", rows)
+    for app, (in_bw, out_bw, total_bw, access) in paper.TABLE3.items():
+        r = bandwidth_model(app)
+        assert r.input_gbps == pytest.approx(in_bw, rel=0.01)
+        assert r.total_gbps == pytest.approx(total_bw, rel=0.01)
+        assert r.access_time_ms == pytest.approx(access, rel=0.01)
+    # Section VI shape: NeRF needs ~24 % of GPU bandwidth, others ~7 %
+    assert bandwidth_model("nerf").fraction_of_gpu_bandwidth == pytest.approx(
+        0.24, abs=0.02
+    )
+    for app in ("nsdf", "gia", "nvr"):
+        assert bandwidth_model(app).fraction_of_gpu_bandwidth == pytest.approx(
+            0.07, abs=0.01
+        )

@@ -1,0 +1,47 @@
+"""Training-step throughput of the four applications (wall clock).
+
+The functional analogue of the paper's observation that NeRF's two-network
+pipeline costs the most per sample: one optimizer step, fixed batch.
+"""
+
+import pytest
+
+from repro.apps import GIAApp, NSDFApp, NVRApp, NeRFApp
+
+BATCH = 1024
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return {
+        "gia": GIAApp(image_size=32, seed=0),
+        "nsdf": NSDFApp(seed=0),
+        "nerf": NeRFApp(seed=0),
+        "nvr": NVRApp(seed=0),
+    }
+
+
+def bench_train_step_gia(benchmark, apps):
+    result = benchmark(apps["gia"].train_step, BATCH)
+    assert result.loss >= 0
+
+
+def bench_train_step_nsdf(benchmark, apps):
+    result = benchmark(apps["nsdf"].train_step, BATCH)
+    assert result.loss >= 0
+
+
+def bench_train_step_nerf(benchmark, apps):
+    result = benchmark(apps["nerf"].train_step, BATCH)
+    assert result.loss >= 0
+
+
+def bench_train_step_nvr(benchmark, apps):
+    result = benchmark(apps["nvr"].train_step, BATCH)
+    assert result.loss >= 0
+
+
+def bench_train_step_nerf_rays(benchmark, apps):
+    """The full differentiable-rendering step (compositing backward)."""
+    result = benchmark(apps["nerf"].train_step_rays, 128, 16)
+    assert result.loss >= 0

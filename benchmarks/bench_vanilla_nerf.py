@@ -1,0 +1,49 @@
+"""Section II-A for 3D: parametric hashgrid vs vanilla-NeRF frequency
+encoding on the same NeRF training budget."""
+
+import numpy as np
+
+from repro.apps import NeRFApp
+from repro.encodings import FrequencyEncoding
+
+STEPS = 60
+BATCH = 1024
+
+
+def _train(pos_encoding_override=None, seed=0):
+    app = NeRFApp(seed=seed, pos_encoding_override=pos_encoding_override)
+    history = app.train(steps=STEPS, batch_size=BATCH)
+    # score the learned density field directly (shared scene, fixed probe)
+    rng = np.random.default_rng(99)
+    pts = rng.uniform(0, 1, (2048, 3)).astype(np.float32)
+    dirs = np.tile([[0.0, 0.0, 1.0]], (2048, 1)).astype(np.float32)
+    sigma, rgb = app.query(pts, dirs)
+    sigma_truth = app.scene.density(pts)
+    rgb_truth = app.scene.color(pts, dirs)
+    corr = float(np.corrcoef(sigma, sigma_truth)[0, 1])
+    rgb_mse = float(np.mean((rgb - rgb_truth) ** 2))
+    return {"density_corr": corr, "rgb_mse": rgb_mse, "final_loss": history[-1]}
+
+
+def bench_vanilla_nerf_vs_hashgrid(benchmark):
+    def run():
+        # frequency encoding sized to vanilla NeRF: 10 octaves -> 60 dims
+        return {
+            "hashgrid": _train(None),
+            "frequency": _train(FrequencyEncoding(3, num_frequencies=10)),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, m in results.items():
+        print(f"  {name:9s}: density corr {m['density_corr']:.3f}, "
+              f"rgb mse {m['rgb_mse']:.4f}, final loss {m['final_loss']:.4f}")
+    print("  (our synthetic radiance field is smooth, so the two encodings "
+          "are comparable here; the parametric advantage on high-frequency "
+          "content is demonstrated by bench_encoding_comparison on GIA)")
+    # both encodings train the same NeRF pipeline successfully ...
+    for m in results.values():
+        assert m["density_corr"] > 0.8
+        assert m["rgb_mse"] < 0.05
+    # ... and the hashgrid stays at least competitive on a smooth scene
+    assert results["hashgrid"]["rgb_mse"] < results["frequency"]["rgb_mse"] * 2.0

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints the
+rows it produces next to the paper's reported values, and asserts the
+qualitative shape (who wins, scaling direction, bound compliance).
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis import format_comparison
+
+
+def print_rows(title, rows):
+    """Print experiment rows as ours-vs-paper comparison lines."""
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print(" ", format_comparison(row.label, row.measured, row.reported))
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing the row printer to benches."""
+    return print_rows

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""GIA as a zoomable gigapixel viewer.
+
+Once trained, the GIA network replaces the image: any window at any
+output resolution is just a batch of coordinate queries.  This example
+trains on a procedural high-frequency image, then "zooms" into a corner
+through three magnification levels, reporting the reconstruction quality
+at each level and the effective output rate.
+
+Run:  python examples/gia_gigapixel_zoom.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps import GIAApp
+from repro.graphics import psnr
+from repro.graphics.image import sample_image_bilinear
+
+
+def region_ground_truth(app, x0, y0, x1, y1, height, width):
+    ys, xs = np.meshgrid(
+        y0 + (np.arange(height) + 0.5) / height * (y1 - y0),
+        x0 + (np.arange(width) + 0.5) / width * (x1 - x0),
+        indexing="ij",
+    )
+    coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float32)
+    return sample_image_bilinear(app.image, coords).reshape(height, width, 3)
+
+
+def main() -> None:
+    print("=== training GIA on a 96x96 procedural image ===")
+    app = GIAApp(image_size=96, seed=0)
+    for step in range(250):
+        result = app.train_step(batch_size=2048)
+        if (step + 1) % 50 == 0:
+            print(f"  step {result.step:4d}  loss {result.loss:.6f}")
+    print(f"full-image PSNR: {app.evaluate_psnr():.2f} dB")
+
+    print("\n=== zooming into the top-left corner ===")
+    windows = [
+        ("1x (full image)", 0.0, 0.0, 1.0, 1.0),
+        ("4x", 0.0, 0.0, 0.25, 0.25),
+        ("16x", 0.0, 0.0, 0.0625, 0.0625),
+    ]
+    size = 64
+    for name, x0, y0, x1, y1 in windows:
+        start = time.perf_counter()
+        rendered = app.render_region(x0, y0, x1, y1, size, size)
+        elapsed = time.perf_counter() - start
+        truth = region_ground_truth(app, x0, y0, x1, y1, size, size)
+        rate = size * size / elapsed / 1e3
+        print(f"  {name:16s}: PSNR {psnr(rendered, truth):6.2f} dB, "
+              f"{rate:,.0f} Kpixel/s")
+    print("\nThe window shrinks 16x while the output resolution stays "
+          "fixed — the network serves every zoom level from the same "
+          f"{app.num_parameters:,} parameters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""NeRF: learn a synthetic radiance field and synthesize novel views.
+
+Exercises the complete NeRF pipeline of the paper's Section III-1:
+hashgrid-encoded positions feed the density MLP; its features plus
+spherical-harmonics-encoded view directions feed the color MLP; pixels are
+composited with classic volume rendering.  Training warm-starts with
+direct field supervision, then fine-tunes through the differentiable
+compositing stage (photometric ray loss), and finally novel views are
+rendered and scored against the analytic ground truth.
+
+Run:  python examples/nerf_novel_view.py
+"""
+
+import numpy as np
+
+from repro.apps import NeRFApp
+from repro.core import emulate
+from repro.graphics import PinholeCamera, psnr
+from repro.graphics.camera import look_at
+
+
+def novel_view_camera(angle: float, size: int = 24) -> PinholeCamera:
+    eye = (
+        0.5 + 1.7 * np.cos(angle),
+        0.85,
+        0.5 + 1.7 * np.sin(angle),
+    )
+    return PinholeCamera.from_fov(size, size, 45.0, look_at(eye, (0.5, 0.5, 0.5)))
+
+
+def main() -> None:
+    app = NeRFApp(seed=0)
+    print(f"NeRF parameters: {app.num_parameters:,} "
+          f"(grid tables + density MLP + color MLP)")
+
+    print("\n=== phase 1: direct field supervision ===")
+    for step in range(120):
+        result = app.train_step(batch_size=2048)
+        if (step + 1) % 40 == 0:
+            print(f"  step {result.step:4d}  loss {result.loss:.5f}")
+
+    print("\n=== phase 2: photometric fine-tune through compositing ===")
+    for step in range(30):
+        result = app.train_step_rays(n_rays=256, n_samples=24)
+        if (step + 1) % 10 == 0:
+            print(f"  step {result.step:4d}  ray loss {result.loss:.5f}")
+
+    print("\n=== novel view synthesis ===")
+    for i, angle in enumerate(np.linspace(0, np.pi, 3)):
+        cam = novel_view_camera(angle)
+        rendered = app.render(cam, n_samples=32).rgb.reshape(
+            cam.height, cam.width, 3
+        )
+        truth = app.render_ground_truth(cam, n_samples=32)
+        print(f"  view {i} (azimuth {np.degrees(angle):5.1f} deg): "
+              f"PSNR {psnr(rendered, truth):.2f} dB")
+
+    print("\n=== what would this cost in real time? ===")
+    base = emulate("nerf", "multi_res_hashgrid", 64, n_pixels=3840 * 2160)
+    print(f"  4K frame on RTX 3090 baseline: {base.baseline_ms:8.1f} ms "
+          f"({1000 / base.baseline_ms:.1f} FPS)")
+    print(f"  4K frame on NGPC-64:           {base.accelerated_ms:8.1f} ms "
+          f"({base.fps:.1f} FPS)  -> speedup {base.speedup:.1f}x")
+    print(f"  (the paper: NGPC-64 enables 4K NeRF at 30 FPS)")
+
+
+if __name__ == "__main__":
+    main()

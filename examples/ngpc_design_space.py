@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""NGPC design-space exploration: the paper's evaluation in one script.
+
+Sweeps all four applications, all three encodings and all four scaling
+factors through the emulator (Fig. 12), prints the kernel-level engine
+speedups (Fig. 13), the renderable resolutions (Fig. 14), and the
+area/power bill (Fig. 15) with the Amdahl sanity check of Section VI.
+
+Run:  python examples/ngpc_design_space.py
+"""
+
+from repro.analysis import format_table
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.calibration import paper
+from repro.core import (
+    NGPCConfig,
+    amdahl_bound,
+    emulate,
+    encoding_kernel_speedup,
+    mlp_kernel_speedup,
+    ngpc_area_power,
+)
+from repro.core.emulator import max_pixels_within_budget, speedup_table
+
+SCALES = (8, 16, 32, 64)
+
+
+def fig12() -> None:
+    for scheme in ENCODING_SCHEMES:
+        table = speedup_table(scheme)
+        rows = []
+        for app in APP_NAMES:
+            rows.append(
+                [app]
+                + [f"{table[s][app]:.1f}x" for s in SCALES]
+                + [f"{amdahl_bound(app, scheme):.1f}x"]
+            )
+        rows.append(
+            ["average"]
+            + [f"{table[s]['average']:.2f}x" for s in SCALES]
+            + ["-"]
+        )
+        rows.append(
+            ["paper avg"]
+            + [f"{paper.FIG12_AVERAGE_SPEEDUPS[scheme][s]}x" for s in SCALES]
+            + ["-"]
+        )
+        print(
+            format_table(
+                ["app", "NGPC-8", "NGPC-16", "NGPC-32", "NGPC-64", "Amdahl"],
+                rows,
+                title=f"\nFig. 12 — end-to-end speedup, {scheme}",
+            )
+        )
+
+
+def fig13() -> None:
+    rows = []
+    for scheme in ENCODING_SCHEMES:
+        enc = sum(encoding_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        mlp = sum(mlp_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        ref = paper.FIG13_KERNEL_SPEEDUPS_AT_64[scheme]
+        rows.append(
+            [scheme, f"{enc:.0f}x", f"{ref['encoding']:.0f}x",
+             f"{mlp:.0f}x", f"{ref['mlp']:.0f}x"]
+        )
+    print(
+        format_table(
+            ["scheme", "enc (ours)", "enc (paper)", "mlp (ours)", "mlp (paper)"],
+            rows,
+            title="\nFig. 13 — kernel-level engine speedups at scale 64",
+        )
+    )
+
+
+def fig14() -> None:
+    rows = []
+    for app in APP_NAMES:
+        cells = [app]
+        for fps in paper.FPS_TARGETS:
+            px = max_pixels_within_budget(app, "multi_res_hashgrid", 64, fps)
+            name = "-"
+            for res, count in sorted(paper.RESOLUTIONS.items(), key=lambda kv: kv[1]):
+                if px >= count:
+                    name = res
+            cells.append(f"{px / 1e6:.1f}M ({name})")
+        rows.append(cells)
+    print(
+        format_table(
+            ["app", "30 FPS", "60 FPS", "90 FPS", "120 FPS"],
+            rows,
+            title="\nFig. 14 — renderable pixels on NGPC-64, hashgrid",
+        )
+    )
+
+
+def fig15() -> None:
+    rows = []
+    for scale in SCALES:
+        r = ngpc_area_power(NGPCConfig(scale_factor=scale))
+        rows.append(
+            [f"NGPC-{scale}", f"{r.area_mm2_7nm:.1f}", f"{r.area_overhead_pct:.2f}%",
+             f"{r.power_w_7nm:.1f}", f"{r.power_overhead_pct:.2f}%"]
+        )
+    print(
+        format_table(
+            ["config", "area mm2 (7nm)", "vs 3090 die", "power W", "vs 3090 TDP"],
+            rows,
+            title="\nFig. 15 — NGPC area & power",
+        )
+    )
+
+
+def amdahl_check() -> None:
+    violations = 0
+    runs = 0
+    for scheme in ENCODING_SCHEMES:
+        for app in APP_NAMES:
+            for scale in SCALES:
+                runs += 1
+                if not emulate(app, scheme, scale).respects_amdahl():
+                    violations += 1
+    print(f"\nAmdahl sanity check: {runs} emulator runs, {violations} violations")
+
+
+def main() -> None:
+    fig12()
+    fig13()
+    fig14()
+    fig15()
+    amdahl_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""NSDF -> triangle mesh: 3D modeling with a neural SDF.
+
+Trains the NSDF network, extracts a triangle mesh from the *learned*
+field with marching tetrahedra, compares it against the mesh of the
+analytic ground-truth scene, and writes both as Wavefront OBJ files.
+
+Run:  python examples/nsdf_mesh_extraction.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.apps import NSDFApp
+from repro.graphics import marching_tetrahedra
+
+
+def main() -> None:
+    app = NSDFApp(seed=0)
+    print("=== training the neural SDF ===")
+    for step in range(150):
+        result = app.train_step(batch_size=2048)
+        if (step + 1) % 50 == 0:
+            print(f"  step {result.step:4d}  loss {result.loss:.5f}")
+
+    print("\n=== extracting meshes (marching tetrahedra, 28^3 cells) ===")
+    truth_mesh = marching_tetrahedra(app.scene, resolution=28)
+    neural_mesh = marching_tetrahedra(
+        lambda p: app.predict(p.astype(np.float32)), resolution=28
+    )
+    print(f"  ground truth: {truth_mesh.n_vertices:6,} vertices, "
+          f"{truth_mesh.n_faces:6,} faces, area {truth_mesh.surface_area():.4f}")
+    print(f"  neural SDF:   {neural_mesh.n_vertices:6,} vertices, "
+          f"{neural_mesh.n_faces:6,} faces, area {neural_mesh.surface_area():.4f}")
+    rel = abs(neural_mesh.surface_area() - truth_mesh.surface_area())
+    rel /= truth_mesh.surface_area()
+    print(f"  surface-area error: {rel:.1%}")
+
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, mesh in (("truth", truth_mesh), ("neural", neural_mesh)):
+        path = os.path.join(out_dir, f"nsdf_{name}.obj")
+        with open(path, "w") as f:
+            f.write(mesh.to_obj())
+        print(f"  wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

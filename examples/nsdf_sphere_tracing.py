@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""NSDF: learn a signed distance field and render it by sphere tracing.
+
+Trains the Table I NSDF network (hashgrid encoding -> 4x64 fused MLP ->
+signed distance) against an analytic CSG scene, then sphere-traces the
+*neural* field to produce a shaded ASCII rendering, and compares surface
+accuracy against the ground truth.
+
+Run:  python examples/nsdf_sphere_tracing.py
+"""
+
+import numpy as np
+
+from repro.apps import NSDFApp
+from repro.core import emulate
+from repro.graphics import PinholeCamera, generate_rays, sdf_normal, sphere_trace
+from repro.graphics.camera import look_at
+
+SHADES = " .:-=+*#%@"
+
+
+def ascii_render(app: NSDFApp, size: int = 48) -> str:
+    cam = PinholeCamera.from_fov(
+        size, size // 2, 40.0, look_at((0.0, 0.5, 1.3), (0.0, 0.0, 0.0))
+    )
+    result = app.render(camera=cam, max_steps=48)
+    light = np.array([0.4, 0.8, 0.45])
+    light = light / np.linalg.norm(light)
+    rows = []
+    hit = result.hit.reshape(cam.height, cam.width)
+    pts = result.points.reshape(cam.height, cam.width, 3)
+    for y in range(cam.height):
+        row = []
+        for x in range(cam.width):
+            if not hit[y, x]:
+                row.append(" ")
+                continue
+            n = sdf_normal(app.scene, pts[y, x][None, :])[0]
+            shade = max(0.0, float(n @ light))
+            row.append(SHADES[min(int(shade * (len(SHADES) - 1)), len(SHADES) - 1)])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    app = NSDFApp(seed=0)
+    print(f"NSDF parameters: {app.num_parameters:,}")
+
+    print("\n=== training against the analytic CSG scene ===")
+    for step in range(150):
+        result = app.train_step(batch_size=2048)
+        if (step + 1) % 50 == 0:
+            mae = app.evaluate_mae(n_points=1024)
+            print(f"  step {result.step:4d}  loss {result.loss:.5f}  "
+                  f"volume MAE {mae:.4f}")
+
+    print("\n=== sphere tracing the NEURAL field ===")
+    print(ascii_render(app))
+
+    cam = PinholeCamera.from_fov(
+        32, 32, 40.0, look_at((0.0, 0.5, 1.3), (0.0, 0.0, 0.0))
+    )
+    neural = app.render(camera=cam, max_steps=48)
+    truth = sphere_trace(app.scene, generate_rays(cam), t_max=4.0)
+    agree = float(np.mean(neural.hit == truth.hit))
+    print(f"\nhit-mask agreement with ground truth: {agree:.1%}")
+    both = neural.hit & truth.hit
+    if both.any():
+        depth_err = float(np.mean(np.abs(neural.t[both] - truth.t[both])))
+        print(f"mean surface-depth error on shared hits: {depth_err:.4f}")
+
+    r = emulate("nsdf", "multi_res_hashgrid", 64, n_pixels=7680 * 4320)
+    print(f"\n8K NSDF frame: baseline {r.baseline_ms:.1f} ms -> "
+          f"NGPC-64 {r.accelerated_ms:.2f} ms ({r.fps:.0f} FPS)")
+
+
+if __name__ == "__main__":
+    main()

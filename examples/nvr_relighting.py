@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""NVR: learn a reflectance volume once, then relight it.
+
+The point of NVR learning *reflectance* instead of emission
+(Section III-4): the learned field is independent of the light, so the
+renderer can move the light without retraining.  This example trains the
+Table I NVR network, then renders the same view under three light
+directions and shows that brightness follows the light while the learned
+field stays fixed.
+
+Run:  python examples/nvr_relighting.py
+"""
+
+import numpy as np
+
+from repro.apps import NVRApp
+from repro.core import emulate
+from repro.graphics import PinholeCamera
+from repro.graphics.camera import look_at
+
+
+def main() -> None:
+    app = NVRApp(seed=0)
+    print(f"NVR parameters: {app.num_parameters:,} "
+          "(one fused MLP: density logit + albedo)")
+
+    print("\n=== training the reflectance field ===")
+    for step in range(150):
+        result = app.train_step(batch_size=2048)
+        if (step + 1) % 50 == 0:
+            print(f"  step {result.step:4d}  loss {result.loss:.5f}")
+
+    cam = PinholeCamera.from_fov(
+        24, 24, 45.0, look_at((0.5, 0.6, 2.1), (0.5, 0.5, 0.5))
+    )
+
+    print("\n=== relighting: same field, three light directions ===")
+    base_light = app.scene.LIGHT_DIR.copy()
+    pts = np.random.default_rng(0).uniform(0, 1, (512, 3)).astype(np.float32)
+    _, albedo_before, _ = app.query(pts)
+    for name, light in [
+        ("front", base_light),
+        ("top", np.array([0.0, 1.0, 0.0])),
+        ("back", -base_light),
+    ]:
+        app.scene.LIGHT_DIR = light / np.linalg.norm(light)
+        image = app.render(cam, n_samples=24).rgb
+        print(f"  light {name:5s}: mean brightness {image.mean():.4f}")
+    app.scene.LIGHT_DIR = base_light
+    _, albedo_after, _ = app.query(pts)
+    unchanged = np.array_equal(albedo_before, albedo_after)
+    print(f"\nlearned albedo field unchanged across relights: {unchanged}")
+
+    r = emulate("nvr", "multi_res_hashgrid", 64, n_pixels=7680 * 4320)
+    print(f"\n8K NVR frame: baseline {r.baseline_ms:.1f} ms -> "
+          f"NGPC-64 {r.accelerated_ms:.2f} ms ({r.fps:.0f} FPS; "
+          "the paper: 8K at 120 FPS)")
+
+
+if __name__ == "__main__":
+    main()

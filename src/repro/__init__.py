@@ -1,0 +1,30 @@
+"""repro — reproduction of *Hardware Acceleration of Neural Graphics* (ISCA 2023).
+
+The package is organized as one subpackage per subsystem:
+
+- :mod:`repro.nn` — tiny fully-fused-style MLP framework (forward, backward,
+  optimizers) used by every neural graphics application.
+- :mod:`repro.encodings` — input encodings: multi-resolution hashgrid,
+  multi-resolution densegrid, low-resolution (tiled) densegrid, frequency,
+  oneblob, identity and composite encodings.
+- :mod:`repro.graphics` — classic graphics substrate: cameras, rays, volume
+  rendering, sphere tracing, analytic SDF scenes and procedural images.
+- :mod:`repro.apps` — the four neural graphics applications studied by the
+  paper: NeRF, NSDF, GIA and NVR, plus the Table I parameter registry.
+- :mod:`repro.gpu` — analytic RTX 3090-class GPU performance model producing
+  the paper's baseline timings and kernel breakdowns.
+- :mod:`repro.core` — the paper's contribution: the Neural Fields Processor
+  (input-encoding engine fused with a 64x64 MAC MLP engine), the NGPC
+  cluster, area/power models and the evaluation emulator.
+- :mod:`repro.calibration` — the paper's reported numbers as data, plus the
+  fitted constants of the GPU model.
+- :mod:`repro.analysis` — experiment registry regenerating every table and
+  figure of the paper's evaluation.
+- :mod:`repro.workloads` — frame workloads, FPS budgets and sweeps.
+"""
+
+from repro import _version
+
+__version__ = _version.__version__
+
+__all__ = ["__version__"]

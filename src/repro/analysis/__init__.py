@@ -1,0 +1,25 @@
+"""Experiment registry and result formatting.
+
+:mod:`repro.analysis.experiments` has one entry per table/figure of the
+paper's evaluation; each entry regenerates the corresponding rows/series
+and pairs them with the paper's reported values where available.
+"""
+
+from repro.analysis.tables import format_table, format_comparison
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentRow,
+    get_experiment,
+    run_all,
+)
+
+__all__ = [
+    "format_table",
+    "format_comparison",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentRow",
+    "get_experiment",
+    "run_all",
+]

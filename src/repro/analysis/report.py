@@ -1,0 +1,86 @@
+"""Markdown report builder for the full evaluation.
+
+Programmatic generation of the paper-vs-measured record consumed by
+``tools/generate_experiments_md.py`` and the ``python -m repro report``
+command: experiment tables, the sensitivity summary and the design-space
+view, as one self-contained markdown document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS, ExperimentRow, run_all
+from repro.analysis.sensitivity import sensitivity_sweep
+from repro.core.dse import design_space
+
+
+def rows_to_markdown(rows: List[ExperimentRow]) -> List[str]:
+    """Render experiment rows as a markdown table."""
+    lines = ["| quantity | ours | paper | delta |", "|---|---|---|---|"]
+    for row in rows:
+        ours = f"{row.measured:.4g}"
+        if row.reported is None:
+            lines.append(f"| {row.label} | {ours} | n/a | — |")
+        else:
+            err = row.relative_error
+            delta = f"{err * 100:+.1f}%" if err is not None else "—"
+            lines.append(f"| {row.label} | {ours} | {row.reported:.4g} | {delta} |")
+    return lines
+
+
+def experiments_section(results: Optional[Dict[str, List[ExperimentRow]]] = None) -> List[str]:
+    """One subsection per registered experiment."""
+    results = results or run_all()
+    lines: List[str] = []
+    for exp_id, rows in results.items():
+        exp = EXPERIMENTS[exp_id]
+        lines.append(f"\n## {exp_id} — {exp.description}\n")
+        lines.extend(rows_to_markdown(rows))
+    return lines
+
+
+def sensitivity_section() -> List[str]:
+    """Robustness of the Fig. 12 averages to the reconstructed constants."""
+    lines = [
+        "\n## Sensitivity of the Fig. 12 averages\n",
+        "| perturbation | factor | worst shift |",
+        "|---|---|---|",
+    ]
+    for result in sensitivity_sweep(factors=(0.8, 1.2)):
+        lines.append(
+            f"| {result.parameter} | x{result.factor} | "
+            f"{result.max_relative_shift * 100:.1f}% |"
+        )
+    return lines
+
+
+def design_space_section() -> List[str]:
+    """Cost/benefit of each scaling factor (Figs. 12 + 15 combined)."""
+    lines = [
+        "\n## Design space (hashgrid)\n",
+        "| config | area overhead | power overhead | avg speedup | speedup/area% |",
+        "|---|---|---|---|---|",
+    ]
+    for point in design_space("multi_res_hashgrid"):
+        lines.append(
+            f"| NGPC-{point.scale_factor} | {point.area_overhead_pct:.2f}% | "
+            f"{point.power_overhead_pct:.2f}% | {point.average_speedup:.2f}x | "
+            f"{point.speedup_per_area_pct:.2f} |"
+        )
+    return lines
+
+
+def build_markdown(
+    header: str = "# Evaluation report\n",
+    include_sensitivity: bool = True,
+    include_design_space: bool = True,
+) -> str:
+    """The complete report as a markdown string."""
+    lines = [header]
+    lines.extend(experiments_section())
+    if include_sensitivity:
+        lines.extend(sensitivity_section())
+    if include_design_space:
+        lines.extend(design_space_section())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""Sensitivity of the headline results to the fitted constants.
+
+The per-app kernel fractions and DMA overheads are reconstructions of
+unpublished measurements (see :mod:`repro.calibration.fitted`).  This
+module perturbs them and measures how much the Fig. 12 averages move —
+quantifying how robust the reproduction is to those choices.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.calibration import fitted
+from repro.core.emulator import speedup_table
+
+
+@contextlib.contextmanager
+def perturbed_overheads(factor: float) -> Iterator[None]:
+    """Temporarily scale every per-app DMA overhead by ``factor``."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    original = dict(fitted.BATCH_OVERHEAD_MS_FHD_AT64)
+    try:
+        for app in original:
+            fitted.BATCH_OVERHEAD_MS_FHD_AT64[app] = original[app] * factor
+        yield
+    finally:
+        fitted.BATCH_OVERHEAD_MS_FHD_AT64.update(original)
+
+
+@contextlib.contextmanager
+def perturbed_rest_fractions(factor: float) -> Iterator[None]:
+    """Temporarily scale the rest fraction (renormalizing enc/mlp)."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    original = dict(fitted.KERNEL_FRACTIONS)
+    try:
+        for key, (enc, mlp, rest) in original.items():
+            new_rest = min(rest * factor, 0.95)
+            scale = (1.0 - new_rest) / (enc + mlp)
+            fitted.KERNEL_FRACTIONS[key] = (enc * scale, mlp * scale, new_rest)
+        yield
+    finally:
+        fitted.KERNEL_FRACTIONS.update(original)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Fig. 12 averages under a perturbation, next to the nominal run."""
+
+    parameter: str
+    factor: float
+    nominal: Dict[int, float]
+    perturbed: Dict[int, float]
+
+    @property
+    def max_relative_shift(self) -> float:
+        return max(
+            abs(self.perturbed[s] - self.nominal[s]) / self.nominal[s]
+            for s in self.nominal
+        )
+
+
+def _averages(scheme: str) -> Dict[int, float]:
+    table = speedup_table(scheme)
+    return {scale: row["average"] for scale, row in table.items()}
+
+
+def overhead_sensitivity(
+    factor: float, scheme: str = "multi_res_hashgrid"
+) -> SensitivityResult:
+    """Fig. 12 averages with all DMA overheads scaled by ``factor``."""
+    nominal = _averages(scheme)
+    with perturbed_overheads(factor):
+        perturbed = _averages(scheme)
+    return SensitivityResult(
+        parameter="dma_overhead", factor=factor, nominal=nominal, perturbed=perturbed
+    )
+
+
+def rest_fraction_sensitivity(
+    factor: float, scheme: str = "multi_res_hashgrid"
+) -> SensitivityResult:
+    """Fig. 12 averages with every rest fraction scaled by ``factor``."""
+    nominal = _averages(scheme)
+    with perturbed_rest_fractions(factor):
+        perturbed = _averages(scheme)
+    return SensitivityResult(
+        parameter="rest_fraction", factor=factor, nominal=nominal, perturbed=perturbed
+    )
+
+
+def sensitivity_sweep(
+    factors=(0.8, 0.9, 1.1, 1.2), scheme: str = "multi_res_hashgrid"
+) -> List[SensitivityResult]:
+    """Both perturbation families over a +/-20 % range."""
+    results: List[SensitivityResult] = []
+    for factor in factors:
+        results.append(overhead_sensitivity(factor, scheme))
+        results.append(rest_fraction_sensitivity(factor, scheme))
+    return results

@@ -1,0 +1,92 @@
+"""ASCII timelines of the execution schedules (Figs. 7 and 10-b).
+
+Renders the baseline GPU's serialized kernel schedule (Fig. 7) and the
+NGPC's batch-pipelined schedule (Fig. 10-b) as text diagrams, with time
+binned into fixed-width character columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.params import get_config
+from repro.core.config import NGPCConfig
+from repro.core.ngpc import NGPC
+from repro.gpu.baseline import FHD_PIXELS, baseline_kernel_times_ms
+
+Segment = Tuple[str, float, float]  # (label char, start ms, end ms)
+
+
+def _render_lane(segments: List[Segment], total_ms: float, width: int) -> str:
+    """Render one timeline lane: each column is total_ms/width of time."""
+    lane = [" "] * width
+    for char, start, end in segments:
+        lo = int(start / total_ms * width)
+        hi = max(int(end / total_ms * width), lo + 1)
+        for i in range(lo, min(hi, width)):
+            lane[i] = char
+    return "".join(lane)
+
+
+def gpu_timeline(
+    app: str, scheme: str, n_pixels: int = FHD_PIXELS, width: int = 72
+) -> str:
+    """Fig. 7: encoding (E), MLP (M) and rest (R) kernels serialized."""
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    times = baseline_kernel_times_ms(app, scheme, n_pixels)
+    t0 = times["encoding"]
+    t1 = t0 + times["mlp"]
+    total = times["total"]
+    segments = [("E", 0.0, t0), ("M", t0, t1), ("R", t1, total)]
+    lane = _render_lane(segments, total, width)
+    return (
+        f"GPU ({app}, {scheme}, {total:.2f} ms/frame)\n"
+        f"  SMs  |{lane}|\n"
+        f"        E=encoding  M=mlp  R=rest"
+    )
+
+
+def ngpc_timeline(
+    app: str,
+    scheme: str,
+    scale_factor: int = 8,
+    n_pixels: int = FHD_PIXELS,
+    width: int = 72,
+) -> str:
+    """Fig. 10-b: NGPC computes batch i+1 while the SMs run batch i's rest."""
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    ngpc = NGPC(NGPCConfig(scale_factor=scale_factor))
+    schedule = ngpc.schedule(get_config(app, scheme), n_pixels)
+    b = schedule.n_batches
+    t_n = schedule.ngpc_batch_ms
+    t_r = schedule.rest_batch_ms
+    bottleneck = max(t_n, t_r)
+    total = schedule.total_ms
+    ngpc_segments = []
+    rest_segments = []
+    for i in range(b):
+        start = i * bottleneck if i else 0.0
+        ngpc_segments.append(("N", start, start + t_n))
+        rest_start = t_n if i == 0 else start + bottleneck
+        # batch i's rest runs after its NGPC stage finished
+        rest_segments.append(("R", max(rest_start, start + t_n), max(rest_start, start + t_n) + t_r))
+    ngpc_lane = _render_lane(ngpc_segments, total, width)
+    rest_lane = _render_lane(rest_segments, total, width)
+    return (
+        f"GPU + NGPC-{scale_factor} ({app}, {scheme}, {total:.2f} ms/frame, "
+        f"{b} batches, bottleneck={schedule.bottleneck})\n"
+        f"  NGPC |{ngpc_lane}|\n"
+        f"  SMs  |{rest_lane}|\n"
+        f"        N=encoding+mlp on NGPC  R=fused rest kernels"
+    )
+
+
+def side_by_side(
+    app: str, scheme: str, scale_factor: int = 8, n_pixels: int = FHD_PIXELS
+) -> str:
+    """Both timelines with aligned headers, for examples and docs."""
+    return gpu_timeline(app, scheme, n_pixels) + "\n\n" + ngpc_timeline(
+        app, scheme, scale_factor, n_pixels
+    )

@@ -1,0 +1,49 @@
+"""The four neural graphics applications of the paper (Section III).
+
+- :class:`NeRFApp` — neural radiance and density fields;
+- :class:`NSDFApp` — neural signed distance functions;
+- :class:`GIAApp` — gigapixel image approximation;
+- :class:`NVRApp` — neural volume rendering (density + reflectance).
+
+:mod:`repro.apps.params` is the machine-readable Table I: every
+application x encoding configuration with its grid and MLP parameters.
+"""
+
+from repro.apps.params import (
+    APP_NAMES,
+    ENCODING_SCHEMES,
+    AppConfig,
+    GridParams,
+    MLPSpec,
+    TABLE1,
+    get_config,
+    iter_configs,
+)
+from repro.apps.base import NeuralGraphicsApp, TrainResult, build_grid_encoding
+from repro.apps.trainer import Trainer, TrainerConfig, TrainerState, clip_gradients
+from repro.apps.gia import GIAApp
+from repro.apps.nsdf import NSDFApp
+from repro.apps.nerf import NeRFApp
+from repro.apps.nvr import NVRApp
+
+__all__ = [
+    "APP_NAMES",
+    "ENCODING_SCHEMES",
+    "AppConfig",
+    "GridParams",
+    "MLPSpec",
+    "TABLE1",
+    "get_config",
+    "iter_configs",
+    "NeuralGraphicsApp",
+    "TrainResult",
+    "build_grid_encoding",
+    "Trainer",
+    "TrainerConfig",
+    "TrainerState",
+    "clip_gradients",
+    "GIAApp",
+    "NSDFApp",
+    "NeRFApp",
+    "NVRApp",
+]

@@ -1,0 +1,133 @@
+"""Shared machinery of the four neural graphics applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.apps.params import AppConfig, GridParams
+from repro.encodings import (
+    DenseGridEncoding,
+    GridEncoding,
+    HashGridEncoding,
+    TiledGridEncoding,
+)
+from repro.nn import Adam, FullyFusedMLP, Loss, get_loss
+from repro.utils.rng import SeedLike, default_rng
+
+_SCHEME_TO_CLASS = {
+    "multi_res_hashgrid": HashGridEncoding,
+    "multi_res_densegrid": DenseGridEncoding,
+    "low_res_densegrid": TiledGridEncoding,
+}
+
+# Functional instantiations cap the table size so tests and examples run in
+# seconds; the performance models always use the exact Table I values.
+FUNCTIONAL_MAX_LOG2_T = 15
+FUNCTIONAL_MAX_DENSE_LEVELS = 6
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training step."""
+
+    loss: float
+    step: int
+
+
+def build_grid_encoding(
+    grid: GridParams,
+    spatial_dim: int,
+    seed: SeedLike = None,
+    functional_scale: bool = True,
+) -> GridEncoding:
+    """Instantiate the grid encoding described by a Table I row.
+
+    With ``functional_scale`` (the default for trainable apps) the table
+    size is capped at 2^15 and dense levels are capped so the allocation
+    stays laptop-sized; the encoded output width (L x F) is preserved so
+    the downstream MLP shapes still match Table I.
+    """
+    cls = _SCHEME_TO_CLASS[grid.scheme]
+    log2_t = grid.log2_table_size
+    n_min = grid.n_min
+    growth = grid.growth_factor
+    n_levels = grid.n_levels
+    if functional_scale:
+        log2_t = min(log2_t, FUNCTIONAL_MAX_LOG2_T)
+        if grid.scheme == "multi_res_densegrid":
+            # keep L (output width) but slow growth so fine levels fit
+            max_res = 64 if spatial_dim == 3 else 512
+            growth = min(growth, (max_res / n_min) ** (1.0 / max(n_levels - 1, 1)))
+        if grid.scheme == "low_res_densegrid" and spatial_dim == 3:
+            n_min = min(n_min, 32)
+    return cls(
+        spatial_dim,
+        n_levels=n_levels,
+        n_features=grid.n_features,
+        log2_table_size=log2_t,
+        base_resolution=n_min,
+        growth_factor=growth,
+        seed=seed,
+    )
+
+
+class NeuralGraphicsApp:
+    """Base class: an encoding, one or more MLPs, an optimizer and a loss.
+
+    Subclasses build their networks in ``__init__`` (appending every
+    trainable component to ``self._parameter_sources``) and implement
+    :meth:`train_step` and :meth:`render`.
+    """
+
+    def __init__(
+        self,
+        config: AppConfig,
+        learning_rate: float = 1e-2,
+        loss: "Loss | str" = "l2",
+        seed: SeedLike = 0,
+    ):
+        self.config = config
+        self.rng = default_rng(seed)
+        self.loss = get_loss(loss) if isinstance(loss, str) else loss
+        self.optimizer = Adam(learning_rate=learning_rate)
+        self.step_count = 0
+        self.encodings: List = []
+        self.networks: List[FullyFusedMLP] = []
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[np.ndarray]:
+        params: List[np.ndarray] = []
+        for enc in self.encodings:
+            params.extend(enc.parameters())
+        for net in self.networks:
+            params.extend(net.parameters())
+        return params
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def _apply_gradients(self, grads: List[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(grads) != len(params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(params)} parameters"
+            )
+        self.optimizer.step(params, grads)
+        self.step_count += 1
+
+    # ------------------------------------------------------------------
+    def train_step(self, batch_size: int = 1024) -> TrainResult:
+        raise NotImplementedError
+
+    def train(self, steps: int, batch_size: int = 1024) -> List[float]:
+        """Run ``steps`` training steps, returning the loss history."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        return [self.train_step(batch_size).loss for _ in range(steps)]
+
+    def render(self, *args, **kwargs):
+        raise NotImplementedError

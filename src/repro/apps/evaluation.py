@@ -1,0 +1,110 @@
+"""Standardized quality evaluation for the four applications.
+
+Each application gets a dictionary of named metrics so trainers,
+examples and tests can score any app uniformly:
+
+- GIA: reconstruction PSNR and SSIM against the target image;
+- NSDF: volume MAE, surface-hit agreement and the eikonal deviation;
+- NeRF: novel-view PSNR/SSIM against the analytic ground truth;
+- NVR: density correlation and albedo MSE against the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.gia import GIAApp
+from repro.apps.nerf import NeRFApp
+from repro.apps.nsdf import NSDFApp
+from repro.apps.nvr import NVRApp
+from repro.graphics import PinholeCamera, generate_rays, psnr, sphere_trace, ssim
+from repro.graphics.camera import look_at
+
+
+def evaluate_gia(app: GIAApp) -> Dict[str, float]:
+    """PSNR + SSIM of the reconstruction at the target resolution."""
+    reconstruction = app.render()
+    h, w = app.image.shape[:2]
+    from repro.graphics.image import sample_image_bilinear
+
+    ys, xs = np.meshgrid(
+        (np.arange(h) + 0.5) / h, (np.arange(w) + 0.5) / w, indexing="ij"
+    )
+    coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float32)
+    target = sample_image_bilinear(app.image, coords).reshape(h, w, 3)
+    return {
+        "psnr_db": psnr(reconstruction, target),
+        "ssim": ssim(reconstruction, target),
+    }
+
+
+def evaluate_nsdf(
+    app: NSDFApp, n_points: int = 2048, view_size: int = 24, seed: int = 0
+) -> Dict[str, float]:
+    """Distance MAE, rendered-silhouette agreement, eikonal deviation."""
+    mae = app.evaluate_mae(n_points=n_points, seed=seed)
+    camera = PinholeCamera.from_fov(
+        view_size, view_size, 45.0, look_at((0.0, 0.4, 1.4), (0.0, 0.0, 0.0))
+    )
+    neural = app.render(camera=camera, max_steps=48)
+    truth = sphere_trace(app.scene, generate_rays(camera), t_max=4.0)
+    agreement = float(np.mean(neural.hit == truth.hit))
+    return {
+        "volume_mae": mae,
+        "silhouette_agreement": agreement,
+        "eikonal_deviation": app.evaluate_eikonal(n_points=min(n_points, 1024)),
+    }
+
+
+def evaluate_nerf(
+    app: NeRFApp, view_size: int = 20, n_samples: int = 24
+) -> Dict[str, float]:
+    """Novel-view PSNR/SSIM from a pose outside the training distribution."""
+    camera = PinholeCamera.from_fov(
+        view_size,
+        view_size,
+        45.0,
+        look_at((0.5, 1.1, 1.9), (0.5, 0.5, 0.5)),
+    )
+    rendered = app.render(camera, n_samples=n_samples).rgb.reshape(
+        view_size, view_size, 3
+    )
+    truth = app.render_ground_truth(camera, n_samples=n_samples)
+    return {
+        "novel_view_psnr_db": psnr(rendered, truth),
+        "novel_view_ssim": ssim(rendered, truth, window=4),
+    }
+
+
+def evaluate_nvr(app: NVRApp, n_points: int = 2048, seed: int = 0) -> Dict[str, float]:
+    """Field-level fidelity: density correlation and albedo MSE."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 1.0, size=(n_points, 3)).astype(np.float32)
+    sigma, albedo, _ = app.query(points)
+    sigma_truth = app.scene.density(points)
+    albedo_truth = app.scene.reflectance(points)
+    denom = sigma.std() * sigma_truth.std()
+    correlation = (
+        float(np.mean((sigma - sigma.mean()) * (sigma_truth - sigma_truth.mean())) / denom)
+        if denom > 1e-12
+        else 0.0
+    )
+    return {
+        "density_correlation": correlation,
+        "albedo_mse": float(np.mean((albedo - albedo_truth) ** 2)),
+    }
+
+
+def evaluate(app) -> Dict[str, float]:
+    """Dispatch to the app-specific evaluation."""
+    if isinstance(app, GIAApp):
+        return evaluate_gia(app)
+    if isinstance(app, NSDFApp):
+        return evaluate_nsdf(app)
+    if isinstance(app, NeRFApp):
+        return evaluate_nerf(app)
+    if isinstance(app, NVRApp):
+        return evaluate_nvr(app)
+    raise TypeError(f"no evaluation defined for {type(app).__name__}")

@@ -1,0 +1,148 @@
+"""Gigapixel image approximation (GIA).
+
+The network learns the mapping from 2D pixel coordinates to RGB colors of a
+high-frequency image (Section III-3).  Ground truth is a procedural image
+standing in for a gigapixel photograph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.base import NeuralGraphicsApp, TrainResult, build_grid_encoding
+from repro.apps.params import AppConfig, get_config
+from repro.graphics.image import procedural_gigapixel_image, psnr, sample_image_bilinear
+from repro.nn import FullyFusedMLP
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class GIAApp(NeuralGraphicsApp):
+    """Learn a 2D image: encoded (x, y) -> RGB through one fused MLP."""
+
+    def __init__(
+        self,
+        config: Optional[AppConfig] = None,
+        image: Optional[np.ndarray] = None,
+        scheme: str = "multi_res_hashgrid",
+        image_size: int = 128,
+        learning_rate: float = 1e-2,
+        seed: SeedLike = 0,
+        encoding_override=None,
+    ):
+        """``encoding_override`` substitutes any 2D :class:`Encoding`
+        (e.g. a frequency encoding) for the Table I grid — used by the
+        parametric-vs-fixed-function comparison of Section II-A."""
+        config = config or get_config("gia", scheme)
+        if config.app != "gia":
+            raise ValueError(f"config is for {config.app!r}, not gia")
+        super().__init__(config, learning_rate=learning_rate, seed=seed)
+        if image is None:
+            image = procedural_gigapixel_image(
+                image_size, image_size, seed=derive_rng(self.rng, 1)
+            )
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError("image must be (H, W, 3)")
+        self.image = image
+
+        if encoding_override is not None:
+            if encoding_override.input_dim != 2:
+                raise ValueError("GIA encodings must take 2D inputs")
+            self.encoding = encoding_override
+        else:
+            self.encoding = build_grid_encoding(
+                config.grid, spatial_dim=2, seed=derive_rng(self.rng, 2)
+            )
+        spec = config.mlps[0]
+        self.network = FullyFusedMLP(
+            input_dim=self.encoding.output_dim,
+            output_dim=spec.output_dim,
+            hidden_dim=spec.neurons,
+            hidden_layers=spec.layers,
+            output_activation="sigmoid",
+            seed=derive_rng(self.rng, 3),
+        )
+        self.encodings = [self.encoding]
+        self.networks = [self.network]
+
+    # ------------------------------------------------------------------
+    def predict(self, coords: np.ndarray) -> np.ndarray:
+        """RGB predictions at normalized (x, y) coordinates in [0, 1]^2."""
+        return self.network.forward(self.encoding.forward(coords))
+
+    def train_step(self, batch_size: int = 1024) -> TrainResult:
+        coords = self.rng.uniform(0.0, 1.0, size=(batch_size, 2)).astype(np.float32)
+        target = sample_image_bilinear(self.image, coords)
+        features = self.encoding.forward(coords, cache=True)
+        prediction = self.network.forward(features, cache=True)
+        value, dy = self.loss.value_and_grad(prediction, target)
+        net_grads = self.network.backward(dy)
+        enc_grads = self.encoding.backward(net_grads.input_grad)
+        self._apply_gradients(enc_grads.param_grads + net_grads.weight_grads)
+        return TrainResult(loss=value, step=self.step_count)
+
+    def render(self, height: Optional[int] = None, width: Optional[int] = None) -> np.ndarray:
+        """Reconstruct the full image by querying every pixel center."""
+        height = height or self.image.shape[0]
+        width = width or self.image.shape[1]
+        ys, xs = np.meshgrid(
+            (np.arange(height) + 0.5) / height,
+            (np.arange(width) + 0.5) / width,
+            indexing="ij",
+        )
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float32)
+        out = np.empty((coords.shape[0], 3), dtype=np.float32)
+        chunk = 65536
+        for start in range(0, coords.shape[0], chunk):
+            out[start : start + chunk] = self.predict(coords[start : start + chunk])
+        return out.reshape(height, width, 3)
+
+    def render_region(
+        self,
+        x0: float,
+        y0: float,
+        x1: float,
+        y1: float,
+        height: int,
+        width: int,
+    ) -> np.ndarray:
+        """Render an arbitrary sub-rectangle at arbitrary resolution.
+
+        The gigapixel use case: the network *is* the image, so zooming is
+        just sampling a smaller normalized window at more pixels — no
+        mip-maps or tiles needed.
+        """
+        if not (0.0 <= x0 < x1 <= 1.0 and 0.0 <= y0 < y1 <= 1.0):
+            raise ValueError("region must satisfy 0 <= lo < hi <= 1 per axis")
+        if height < 1 or width < 1:
+            raise ValueError("output resolution must be positive")
+        ys, xs = np.meshgrid(
+            y0 + (np.arange(height) + 0.5) / height * (y1 - y0),
+            x0 + (np.arange(width) + 0.5) / width * (x1 - x0),
+            indexing="ij",
+        )
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float32)
+        out = np.empty((coords.shape[0], 3), dtype=np.float32)
+        chunk = 65536
+        for start in range(0, coords.shape[0], chunk):
+            out[start : start + chunk] = self.predict(coords[start : start + chunk])
+        return out.reshape(height, width, 3)
+
+    def evaluate_psnr(self) -> float:
+        """PSNR of the reconstruction against the ground-truth image."""
+        # compare at pixel centers of the ground-truth resolution
+        h, w = self.image.shape[:2]
+        ys, xs = np.meshgrid(
+            (np.arange(h) + 0.5) / h, (np.arange(w) + 0.5) / w, indexing="ij"
+        )
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float32)
+        target = sample_image_bilinear(self.image, coords)
+        prediction = np.empty_like(target)
+        chunk = 65536
+        for start in range(0, coords.shape[0], chunk):
+            prediction[start : start + chunk] = self.predict(
+                coords[start : start + chunk]
+            )
+        return psnr(prediction, target)

@@ -1,0 +1,330 @@
+"""Neural radiance and density fields (NeRF).
+
+Two concatenated fully fused networks (Section III-1, Table I): the density
+MLP maps encoded positions to a density logit plus a 16-wide feature
+vector; the color MLP maps those features concatenated with
+spherical-harmonics-encoded view directions to RGB.  Training supervises
+either field samples directly (fast) or rendered pixels through the
+volume-rendering compositing stage (the full pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import NeuralGraphicsApp, TrainResult, build_grid_encoding
+from repro.apps.params import AppConfig, get_config
+from repro.encodings import SphericalHarmonicsEncoding
+from repro.graphics import (
+    PinholeCamera,
+    RayBundle,
+    SyntheticRadianceField,
+    composite_rays,
+    generate_rays,
+)
+from repro.graphics.rays import rays_aabb_intersection, stratified_ts
+from repro.graphics.volume_rendering import CompositeResult, composite_full_backward
+from repro.nn import FullyFusedMLP
+from repro.utils.rng import SeedLike, derive_rng
+
+_DENSITY_CLIP = 15.0
+_DENSITY_SCALE = 30.0  # normalizes density targets for the point loss
+
+
+class NeRFApp(NeuralGraphicsApp):
+    """Density MLP + color MLP over a grid-encoded position."""
+
+    def __init__(
+        self,
+        config: Optional[AppConfig] = None,
+        scene: Optional[SyntheticRadianceField] = None,
+        scheme: str = "multi_res_hashgrid",
+        learning_rate: float = 1e-2,
+        seed: SeedLike = 0,
+        pos_encoding_override=None,
+    ):
+        """``pos_encoding_override`` substitutes any 3D encoding for the
+        Table I grid (e.g. vanilla-NeRF's frequency encoding, Section
+        II-A-1) — used by the parametric-vs-fixed-function comparison."""
+        config = config or get_config("nerf", scheme)
+        if config.app != "nerf":
+            raise ValueError(f"config is for {config.app!r}, not nerf")
+        super().__init__(config, learning_rate=learning_rate, seed=seed)
+        self.scene = scene if scene is not None else SyntheticRadianceField(seed=7)
+
+        if pos_encoding_override is not None:
+            if pos_encoding_override.input_dim != 3:
+                raise ValueError("NeRF position encodings must take 3D inputs")
+            self.pos_encoding = pos_encoding_override
+        else:
+            self.pos_encoding = build_grid_encoding(
+                config.grid, spatial_dim=3, seed=derive_rng(self.rng, 2)
+            )
+        self.dir_encoding = SphericalHarmonicsEncoding(degree=4)
+        density_spec, color_spec = config.mlps
+        self.density_mlp = FullyFusedMLP(
+            input_dim=self.pos_encoding.output_dim,
+            output_dim=density_spec.output_dim,
+            hidden_dim=density_spec.neurons,
+            hidden_layers=density_spec.layers,
+            seed=derive_rng(self.rng, 3),
+        )
+        self.color_mlp = FullyFusedMLP(
+            input_dim=config.density_feature_dim + self.dir_encoding.output_dim,
+            output_dim=color_spec.output_dim,
+            hidden_dim=color_spec.neurons,
+            hidden_layers=color_spec.layers,
+            output_activation="sigmoid",
+            seed=derive_rng(self.rng, 4),
+        )
+        self.encodings = [self.pos_encoding]
+        self.networks = [self.density_mlp, self.color_mlp]
+
+    # ------------------------------------------------------------------
+    # forward paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _density_from_logit(logit: np.ndarray) -> np.ndarray:
+        return np.exp(np.minimum(logit, _DENSITY_CLIP))
+
+    def query(
+        self, points: np.ndarray, directions: np.ndarray, cache: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate (density, rgb) at points in [0,1]^3 with unit directions."""
+        features = self.pos_encoding.forward(points, cache=cache)
+        density_out = self.density_mlp.forward(features, cache=cache)
+        sigma = self._density_from_logit(density_out[:, 0])
+        sh = self.dir_encoding.forward(directions)
+        color_in = np.concatenate([density_out, sh], axis=1).astype(np.float32)
+        rgb = self.color_mlp.forward(color_in, cache=cache)
+        return sigma, rgb
+
+    def _backward_through_networks(
+        self,
+        sigma: np.ndarray,
+        density_out: np.ndarray,
+        rgb_grad: np.ndarray,
+        sigma_grad: np.ndarray,
+    ) -> list:
+        """Backprop pixel-space gradients into all trainable parameters.
+
+        ``density_out`` is the cached raw density-MLP output; ``sigma`` its
+        exponentiated first channel.  Returns gradients ordered like
+        :meth:`parameters` (encoding tables, density weights, color weights).
+        """
+        color_grads = self.color_mlp.backward(rgb_grad.astype(np.float32))
+        feat_width = self.config.density_feature_dim
+        density_out_grad = color_grads.input_grad[:, :feat_width].copy()
+        # add the sigma path: dL/dsigma * dsigma/dlogit = dL/dsigma * sigma
+        logit_grad = sigma_grad * sigma * (density_out[:, 0] <= _DENSITY_CLIP)
+        density_out_grad[:, 0] += logit_grad.astype(np.float32)
+        density_grads = self.density_mlp.backward(density_out_grad)
+        enc_grads = self.pos_encoding.backward(density_grads.input_grad)
+        return (
+            enc_grads.param_grads
+            + density_grads.weight_grads
+            + color_grads.weight_grads
+        )
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(self, batch_size: int = 1024) -> TrainResult:
+        """Direct field supervision: density + color at random samples."""
+        points = self.rng.uniform(0.0, 1.0, size=(batch_size, 3)).astype(np.float32)
+        dirs = self.rng.normal(size=(batch_size, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        dirs = dirs.astype(np.float32)
+        sigma_target = self.scene.density(points).astype(np.float32)
+        rgb_target = self.scene.color(points, dirs).astype(np.float32)
+
+        features = self.pos_encoding.forward(points, cache=True)
+        density_out = self.density_mlp.forward(features, cache=True)
+        sigma = self._density_from_logit(density_out[:, 0])
+        sh = self.dir_encoding.forward(dirs)
+        color_in = np.concatenate([density_out, sh], axis=1).astype(np.float32)
+        rgb = self.color_mlp.forward(color_in, cache=True)
+
+        rgb_loss, rgb_grad = self.loss.value_and_grad(rgb, rgb_target)
+        sigma_loss, sigma_grad = self.loss.value_and_grad(
+            sigma / _DENSITY_SCALE, sigma_target / _DENSITY_SCALE
+        )
+        sigma_grad = sigma_grad / _DENSITY_SCALE
+        grads = self._backward_through_networks(sigma, density_out, rgb_grad, sigma_grad)
+        self._apply_gradients(grads)
+        return TrainResult(loss=rgb_loss + sigma_loss, step=self.step_count)
+
+    def train_step_rays(
+        self, n_rays: int = 128, n_samples: int = 32
+    ) -> TrainResult:
+        """Full-pipeline supervision: photometric loss on composited pixels."""
+        rays = self._random_rays(n_rays)
+        points, dirs_flat, ts, valid = self._march_points(rays, n_samples)
+
+        features = self.pos_encoding.forward(points, cache=True)
+        density_out = self.density_mlp.forward(features, cache=True)
+        sigma = self._density_from_logit(density_out[:, 0])
+        sh = self.dir_encoding.forward(dirs_flat)
+        color_in = np.concatenate([density_out, sh], axis=1).astype(np.float32)
+        rgb = self.color_mlp.forward(color_in, cache=True)
+
+        colors = rgb.reshape(n_rays, n_samples, 3)
+        densities = sigma.reshape(n_rays, n_samples) * valid
+        target = self._ground_truth_pixels(rays, n_samples)
+        result = composite_rays(colors, densities, ts)
+        value, pixel_grad = self.loss.value_and_grad(result.rgb, target)
+        color_grad, density_grad = composite_full_backward(
+            colors, densities, ts, pixel_grad
+        )
+        rgb_grad = color_grad.reshape(-1, 3)
+        sigma_grad = (density_grad * valid).reshape(-1)
+        grads = self._backward_through_networks(sigma, density_out, rgb_grad, sigma_grad)
+        self._apply_gradients(grads)
+        return TrainResult(loss=value, step=self.step_count)
+
+    def train_step_dataset(
+        self, dataset, n_rays: int = 256, n_samples: int = 32
+    ) -> TrainResult:
+        """Train from posed images only (the real NeRF workflow).
+
+        ``dataset`` is a :class:`~repro.apps.dataset.MultiViewDataset`;
+        the loss is photometric against the observed pixels, with no access
+        to the ground-truth field.
+        """
+        rays, target = dataset.sample_batch(n_rays, seed=self.rng)
+        points, dirs_flat, ts, valid = self._march_points(rays, n_samples)
+
+        features = self.pos_encoding.forward(points, cache=True)
+        density_out = self.density_mlp.forward(features, cache=True)
+        sigma = self._density_from_logit(density_out[:, 0])
+        sh = self.dir_encoding.forward(dirs_flat)
+        color_in = np.concatenate([density_out, sh], axis=1).astype(np.float32)
+        rgb = self.color_mlp.forward(color_in, cache=True)
+
+        colors = rgb.reshape(n_rays, n_samples, 3)
+        densities = sigma.reshape(n_rays, n_samples) * valid
+        result = composite_rays(colors, densities, ts)
+        value, pixel_grad = self.loss.value_and_grad(result.rgb, target)
+        color_grad, density_grad = composite_full_backward(
+            colors, densities, ts, pixel_grad
+        )
+        grads = self._backward_through_networks(
+            sigma,
+            density_out,
+            color_grad.reshape(-1, 3),
+            (density_grad * valid).reshape(-1),
+        )
+        self._apply_gradients(grads)
+        return TrainResult(loss=value, step=self.step_count)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _random_rays(self, n_rays: int) -> RayBundle:
+        """Rays from a random point on a sphere looking at the volume center."""
+        from repro.graphics.camera import look_at
+
+        theta = self.rng.uniform(0, 2 * np.pi)
+        z = self.rng.uniform(-0.3, 0.7)
+        radius = 1.6
+        eye = np.array(
+            [
+                0.5 + radius * np.sqrt(1 - z * z) * np.cos(theta),
+                0.5 + radius * z,
+                0.5 + radius * np.sqrt(1 - z * z) * np.sin(theta),
+            ]
+        )
+        cam = PinholeCamera.from_fov(32, 32, 45.0, look_at(eye, (0.5, 0.5, 0.5)))
+        all_rays = generate_rays(cam)
+        idx = self.rng.choice(len(all_rays), size=n_rays, replace=False)
+        return all_rays.select(idx)
+
+    def _march_points(
+        self, rays: RayBundle, n_samples: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample points along rays inside the unit cube.
+
+        Returns flattened ``points``, per-sample ``dirs``, per-ray ``ts`` and
+        a (n_rays, n_samples) validity mask (zero outside the volume).
+        """
+        hit, t0, t1 = rays_aabb_intersection(rays, [0.0] * 3, [1.0] * 3)
+        n_rays = len(rays)
+        span = np.where(hit, t1 - t0, 1.0)
+        base = stratified_ts(n_rays, n_samples, 0.0, 1.0)
+        ts = t0[:, None] + base * span[:, None]
+        points = rays.at(ts).reshape(-1, 3)
+        valid = (hit[:, None] * np.ones((1, n_samples))).astype(np.float32)
+        points = np.clip(points, 0.0, 1.0).astype(np.float32)
+        dirs = np.repeat(rays.directions, n_samples, axis=0)
+        return points, dirs, ts.astype(np.float32), valid
+
+    def _ground_truth_pixels(self, rays: RayBundle, n_samples: int) -> np.ndarray:
+        """Composite the analytic field along the same rays."""
+        points, dirs, ts, valid = self._march_points(rays, n_samples)
+        sigma = self.scene.density(points).reshape(len(rays), n_samples) * valid
+        color = self.scene.color(points, dirs).reshape(len(rays), n_samples, 3)
+        return composite_rays(color, sigma, ts).rgb
+
+    def build_occupancy_grid(self, resolution: int = 32, threshold: float = 0.5):
+        """An occupancy grid over the *learned* density field.
+
+        Mirrors instant-ngp's empty-space skipping (one of the paper's
+        "rest" kernels): cells whose learned density stays below the
+        threshold are skipped during rendering.
+        """
+        from repro.graphics.occupancy import OccupancyGrid
+
+        grid = OccupancyGrid(resolution=resolution, threshold=threshold)
+
+        def learned_density(points: np.ndarray) -> np.ndarray:
+            features = self.pos_encoding.forward(points)
+            out = self.density_mlp.forward(features)
+            return self._density_from_logit(out[:, 0])
+
+        grid.update(learned_density, samples_per_cell=2)
+        return grid
+
+    def render(
+        self,
+        camera: PinholeCamera,
+        n_samples: int = 48,
+        chunk: int = 16384,
+        occupancy=None,
+    ) -> CompositeResult:
+        """Render the trained field from ``camera``.
+
+        ``occupancy`` (an :class:`~repro.graphics.occupancy.OccupancyGrid`)
+        optionally culls samples in empty space before network evaluation.
+        """
+        rays = generate_rays(camera)
+        n_rays = len(rays)
+        rgb = np.empty((n_rays, 3), dtype=np.float32)
+        opacity = np.empty(n_rays, dtype=np.float32)
+        depth = np.empty(n_rays, dtype=np.float32)
+        weights = np.empty((n_rays, n_samples), dtype=np.float32)
+        for start in range(0, n_rays, chunk):
+            sub = rays.select(np.arange(start, min(start + chunk, n_rays)))
+            points, dirs, ts, valid = self._march_points(sub, n_samples)
+            if occupancy is not None:
+                valid, _ = occupancy.cull_samples(points, valid)
+            sigma, colors = self.query(points, dirs)
+            sigma = sigma.reshape(len(sub), n_samples) * valid
+            colors = colors.reshape(len(sub), n_samples, 3)
+            result = composite_rays(colors, sigma, ts)
+            end = start + len(sub)
+            rgb[start:end] = result.rgb
+            opacity[start:end] = result.opacity
+            depth[start:end] = result.depth
+            weights[start:end] = result.weights
+        return CompositeResult(rgb=rgb, opacity=opacity, depth=depth, weights=weights)
+
+    def render_ground_truth(
+        self, camera: PinholeCamera, n_samples: int = 48
+    ) -> np.ndarray:
+        """Reference render of the analytic scene for PSNR evaluation."""
+        rays = generate_rays(camera)
+        return self._ground_truth_pixels(rays, n_samples).reshape(
+            camera.height, camera.width, 3
+        )

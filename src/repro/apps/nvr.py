@@ -1,0 +1,197 @@
+"""Neural volume rendering (NVR).
+
+Like NeRF, but the network learns density and a *reflectance* field
+(Section III-4): a single fused MLP (Table I) maps encoded positions to
+(density logit, albedo).  Rendering shades the albedo with a single-scatter
+light model so images remain view/light dependent while the learned field
+is view-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import NeuralGraphicsApp, TrainResult, build_grid_encoding
+from repro.apps.params import AppConfig, get_config
+from repro.graphics import (
+    PinholeCamera,
+    RayBundle,
+    SyntheticReflectanceVolume,
+    composite_rays,
+    generate_rays,
+)
+from repro.graphics.rays import rays_aabb_intersection, stratified_ts
+from repro.graphics.volume_rendering import CompositeResult, composite_full_backward
+from repro.nn import FullyFusedMLP, Sigmoid
+from repro.utils.rng import SeedLike, derive_rng
+
+_DENSITY_CLIP = 15.0
+_DENSITY_SCALE = 30.0
+
+
+class NVRApp(NeuralGraphicsApp):
+    """Single fused MLP: encoded position -> (density logit, albedo RGB)."""
+
+    def __init__(
+        self,
+        config: Optional[AppConfig] = None,
+        scene: Optional[SyntheticReflectanceVolume] = None,
+        scheme: str = "multi_res_hashgrid",
+        learning_rate: float = 1e-2,
+        seed: SeedLike = 0,
+    ):
+        config = config or get_config("nvr", scheme)
+        if config.app != "nvr":
+            raise ValueError(f"config is for {config.app!r}, not nvr")
+        super().__init__(config, learning_rate=learning_rate, seed=seed)
+        self.scene = (
+            scene if scene is not None else SyntheticReflectanceVolume(seed=11)
+        )
+
+        self.encoding = build_grid_encoding(
+            config.grid, spatial_dim=3, seed=derive_rng(self.rng, 2)
+        )
+        spec = config.mlps[0]
+        self.network = FullyFusedMLP(
+            input_dim=self.encoding.output_dim,
+            output_dim=spec.output_dim,  # 4: density logit + 3 albedo logits
+            hidden_dim=spec.neurons,
+            hidden_layers=spec.layers,
+            seed=derive_rng(self.rng, 3),
+        )
+        self._sigmoid = Sigmoid()
+        self.encodings = [self.encoding]
+        self.networks = [self.network]
+
+    # ------------------------------------------------------------------
+    def query(
+        self, points: np.ndarray, cache: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(density, albedo, raw network output) at points in [0,1]^3."""
+        features = self.encoding.forward(points, cache=cache)
+        raw = self.network.forward(features, cache=cache)
+        sigma = np.exp(np.minimum(raw[:, 0], _DENSITY_CLIP))
+        albedo = self._sigmoid.forward(raw[:, 1:])
+        return sigma, albedo, raw
+
+    def _phase(self, directions: np.ndarray) -> np.ndarray:
+        """The renderer's single-scatter phase factor, (n, 1)."""
+        dirs = np.asarray(directions, dtype=np.float64)
+        dirs = dirs / np.maximum(np.linalg.norm(dirs, axis=1, keepdims=True), 1e-12)
+        cos_l = np.clip(dirs @ self.scene.LIGHT_DIR, -1.0, 1.0)
+        return (0.75 + 0.25 * cos_l)[:, None].astype(np.float32)
+
+    def _backward(
+        self,
+        raw: np.ndarray,
+        sigma: np.ndarray,
+        sigma_grad: np.ndarray,
+        albedo_grad: np.ndarray,
+    ) -> list:
+        """Backprop (density, albedo) gradients through activations."""
+        raw_grad = np.empty_like(raw)
+        raw_grad[:, 0] = sigma_grad * sigma * (raw[:, 0] <= _DENSITY_CLIP)
+        raw_grad[:, 1:] = self._sigmoid.backward(raw[:, 1:], albedo_grad)
+        net_grads = self.network.backward(raw_grad.astype(np.float32))
+        enc_grads = self.encoding.backward(net_grads.input_grad)
+        return enc_grads.param_grads + net_grads.weight_grads
+
+    # ------------------------------------------------------------------
+    def train_step(self, batch_size: int = 1024) -> TrainResult:
+        """Direct supervision of density and reflectance fields."""
+        points = self.rng.uniform(0.0, 1.0, size=(batch_size, 3)).astype(np.float32)
+        sigma_target = self.scene.density(points).astype(np.float32)
+        albedo_target = self.scene.reflectance(points).astype(np.float32)
+
+        sigma, albedo, raw = self.query(points, cache=True)
+        albedo_loss, albedo_grad = self.loss.value_and_grad(albedo, albedo_target)
+        sigma_loss, sigma_grad = self.loss.value_and_grad(
+            sigma / _DENSITY_SCALE, sigma_target / _DENSITY_SCALE
+        )
+        grads = self._backward(raw, sigma, sigma_grad / _DENSITY_SCALE, albedo_grad)
+        self._apply_gradients(grads)
+        return TrainResult(loss=albedo_loss + sigma_loss, step=self.step_count)
+
+    def train_step_rays(self, n_rays: int = 128, n_samples: int = 32) -> TrainResult:
+        """Photometric supervision through compositing with shading."""
+        rays = self._random_rays(n_rays)
+        points, ts, valid = self._march_points(rays, n_samples)
+        sigma, albedo, raw = self.query(points, cache=True)
+        phase = np.repeat(self._phase(rays.directions), n_samples, axis=0)
+        shaded = (albedo * phase).reshape(n_rays, n_samples, 3)
+        densities = sigma.reshape(n_rays, n_samples) * valid
+        target = self._ground_truth_pixels(rays, n_samples)
+        result = composite_rays(shaded, densities, ts)
+        value, pixel_grad = self.loss.value_and_grad(result.rgb, target)
+        color_grad, density_grad = composite_full_backward(
+            shaded, densities, ts, pixel_grad
+        )
+        albedo_grad = color_grad.reshape(-1, 3) * phase
+        sigma_grad = (density_grad * valid).reshape(-1)
+        grads = self._backward(raw, sigma, sigma_grad, albedo_grad)
+        self._apply_gradients(grads)
+        return TrainResult(loss=value, step=self.step_count)
+
+    # ------------------------------------------------------------------
+    def _random_rays(self, n_rays: int) -> RayBundle:
+        from repro.graphics.camera import look_at
+
+        theta = self.rng.uniform(0, 2 * np.pi)
+        z = self.rng.uniform(-0.3, 0.7)
+        radius = 1.6
+        eye = np.array(
+            [
+                0.5 + radius * np.sqrt(1 - z * z) * np.cos(theta),
+                0.5 + radius * z,
+                0.5 + radius * np.sqrt(1 - z * z) * np.sin(theta),
+            ]
+        )
+        cam = PinholeCamera.from_fov(32, 32, 45.0, look_at(eye, (0.5, 0.5, 0.5)))
+        all_rays = generate_rays(cam)
+        idx = self.rng.choice(len(all_rays), size=n_rays, replace=False)
+        return all_rays.select(idx)
+
+    def _march_points(
+        self, rays: RayBundle, n_samples: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        hit, t0, t1 = rays_aabb_intersection(rays, [0.0] * 3, [1.0] * 3)
+        span = np.where(hit, t1 - t0, 1.0)
+        base = stratified_ts(len(rays), n_samples, 0.0, 1.0)
+        ts = t0[:, None] + base * span[:, None]
+        points = np.clip(rays.at(ts).reshape(-1, 3), 0.0, 1.0).astype(np.float32)
+        valid = (hit[:, None] * np.ones((1, n_samples))).astype(np.float32)
+        return points, ts.astype(np.float32), valid
+
+    def _ground_truth_pixels(self, rays: RayBundle, n_samples: int) -> np.ndarray:
+        points, ts, valid = self._march_points(rays, n_samples)
+        dirs = np.repeat(rays.directions, n_samples, axis=0)
+        sigma = self.scene.density(points).reshape(len(rays), n_samples) * valid
+        color = self.scene.shade(points, dirs).reshape(len(rays), n_samples, 3)
+        return composite_rays(color, sigma, ts).rgb
+
+    def render(
+        self, camera: PinholeCamera, n_samples: int = 48, chunk: int = 16384
+    ) -> CompositeResult:
+        """Render the trained reflectance volume with shading."""
+        rays = generate_rays(camera)
+        n_rays = len(rays)
+        rgb = np.empty((n_rays, 3), dtype=np.float32)
+        opacity = np.empty(n_rays, dtype=np.float32)
+        depth = np.empty(n_rays, dtype=np.float32)
+        weights = np.empty((n_rays, n_samples), dtype=np.float32)
+        for start in range(0, n_rays, chunk):
+            sub = rays.select(np.arange(start, min(start + chunk, n_rays)))
+            points, ts, valid = self._march_points(sub, n_samples)
+            sigma, albedo, _ = self.query(points)
+            phase = np.repeat(self._phase(sub.directions), n_samples, axis=0)
+            shaded = (albedo * phase).reshape(len(sub), n_samples, 3)
+            densities = sigma.reshape(len(sub), n_samples) * valid
+            result = composite_rays(shaded, densities, ts)
+            end = start + len(sub)
+            rgb[start:end] = result.rgb
+            opacity[start:end] = result.opacity
+            depth[start:end] = result.depth
+            weights[start:end] = result.weights
+        return CompositeResult(rgb=rgb, opacity=opacity, depth=depth, weights=weights)

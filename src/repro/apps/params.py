@@ -1,0 +1,311 @@
+"""Machine-readable Table I: per-application encoding and network parameters.
+
+Every entry transcribes one row of the paper's Table I.  The registry is
+consumed by both the functional applications (:mod:`repro.apps`) and the
+performance models (:mod:`repro.gpu`, :mod:`repro.core`), so the paper's
+workload shapes are defined in exactly one place.
+
+Notes on fidelity:
+
+- Table I writes the NeRF density model as ``...->1`` (the sigma readout)
+  while the color model input is ``16+16`` — the first 16 being the density
+  network's feature output, as in instant-ngp.  We record
+  ``density_feature_dim=16`` to capture both facts.
+- GIA uses ``T=2^24`` table entries; instantiating that functionally would
+  allocate gigabytes, so applications accept a ``log2_table_size`` override
+  (performance models always use the paper values recorded here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Tuple
+
+APP_NAMES: Tuple[str, ...] = ("nerf", "nsdf", "gia", "nvr")
+ENCODING_SCHEMES: Tuple[str, ...] = (
+    "multi_res_hashgrid",
+    "multi_res_densegrid",
+    "low_res_densegrid",
+)
+
+
+@dataclass(frozen=True)
+class GridParams:
+    """Grid-encoding hyper-parameters of one Table I row."""
+
+    scheme: str
+    n_min: int
+    growth_factor: float
+    n_features: int
+    log2_table_size: int
+    n_levels: int
+
+    def __post_init__(self):
+        if self.scheme not in ENCODING_SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.n_min < 1 or self.n_levels < 1 or self.n_features < 1:
+            raise ValueError("grid parameters must be positive")
+        if self.growth_factor < 1.0:
+            raise ValueError("growth factor must be >= 1")
+
+    @property
+    def encoded_dim(self) -> int:
+        """Width of the encoded feature vector: L x F."""
+        return self.n_levels * self.n_features
+
+    @property
+    def table_size(self) -> int:
+        return 1 << self.log2_table_size
+
+
+@dataclass(frozen=True)
+class MLPSpec:
+    """Shape of one fully fused MLP of Table I."""
+
+    input_dim: int
+    output_dim: int
+    neurons: int = 64
+    layers: int = 3  # hidden layers
+
+    def __post_init__(self):
+        if min(self.input_dim, self.output_dim, self.neurons, self.layers) < 1:
+            raise ValueError("MLP spec dimensions must be positive")
+
+    @property
+    def flops_per_input(self) -> int:
+        """2 x MACs for one input through all layers."""
+        dims = [self.input_dim] + [self.neurons] * self.layers + [self.output_dim]
+        return sum(2 * dims[i] * dims[i + 1] for i in range(len(dims) - 1))
+
+    @property
+    def num_weights(self) -> int:
+        dims = [self.input_dim] + [self.neurons] * self.layers + [self.output_dim]
+        return sum(dims[i] * dims[i + 1] for i in range(len(dims) - 1))
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """One application x encoding configuration (one Table I row)."""
+
+    app: str
+    grid: GridParams
+    mlps: Tuple[MLPSpec, ...]
+    spatial_dim: int  # 2 for GIA, 3 otherwise
+    density_feature_dim: int = 0  # NeRF/NVR density->color feature width
+
+    def __post_init__(self):
+        if self.app not in APP_NAMES:
+            raise ValueError(f"unknown app {self.app!r}")
+        if self.spatial_dim not in (2, 3):
+            raise ValueError("spatial_dim must be 2 or 3")
+        if not self.mlps:
+            raise ValueError("need at least one MLP")
+
+    @property
+    def name(self) -> str:
+        return f"{self.app}/{self.grid.scheme}"
+
+    @property
+    def total_mlp_flops_per_sample(self) -> int:
+        return sum(m.flops_per_input for m in self.mlps)
+
+    def with_grid_overrides(self, **kwargs) -> "AppConfig":
+        """A copy with some grid fields replaced (functional downscaling)."""
+        return replace(self, grid=replace(self.grid, **kwargs))
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types (JSON-safe)."""
+        return {
+            "app": self.app,
+            "spatial_dim": self.spatial_dim,
+            "density_feature_dim": self.density_feature_dim,
+            "grid": {
+                "scheme": self.grid.scheme,
+                "n_min": self.grid.n_min,
+                "growth_factor": self.grid.growth_factor,
+                "n_features": self.grid.n_features,
+                "log2_table_size": self.grid.log2_table_size,
+                "n_levels": self.grid.n_levels,
+            },
+            "mlps": [
+                {
+                    "input_dim": m.input_dim,
+                    "output_dim": m.output_dim,
+                    "neurons": m.neurons,
+                    "layers": m.layers,
+                }
+                for m in self.mlps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            app=data["app"],
+            spatial_dim=data["spatial_dim"],
+            density_feature_dim=data.get("density_feature_dim", 0),
+            grid=GridParams(**data["grid"]),
+            mlps=tuple(MLPSpec(**m) for m in data["mlps"]),
+        )
+
+
+def _grid(scheme: str, n_min: int, b: float, F: int, log2_T: int, L: int) -> GridParams:
+    return GridParams(
+        scheme=scheme,
+        n_min=n_min,
+        growth_factor=b,
+        n_features=F,
+        log2_table_size=log2_T,
+        n_levels=L,
+    )
+
+
+# hashgrid: L=16, F=2; densegrid: L=8, F=2, b=1.405; LRDG: L=2, F=8, Nmin=128
+_HASH = "multi_res_hashgrid"
+_DENSE = "multi_res_densegrid"
+_LRDG = "low_res_densegrid"
+
+TABLE1: Dict[Tuple[str, str], AppConfig] = {}
+
+
+def _register(config: AppConfig) -> None:
+    key = (config.app, config.grid.scheme)
+    if key in TABLE1:
+        raise ValueError(f"duplicate Table I entry {key}")
+    TABLE1[key] = config
+
+
+# --- NeRF: density MLP (3 hidden layers) + color MLP (4 hidden layers) ----
+_register(
+    AppConfig(
+        app="nerf",
+        grid=_grid(_HASH, 16, 1.51572, 2, 19, 16),
+        mlps=(
+            MLPSpec(input_dim=32, output_dim=16, layers=3),  # density (sigma + feats)
+            MLPSpec(input_dim=32, output_dim=3, layers=4),  # color: 16 feats + 16 SH
+        ),
+        spatial_dim=3,
+        density_feature_dim=16,
+    )
+)
+_register(
+    AppConfig(
+        app="nerf",
+        grid=_grid(_DENSE, 16, 1.405, 2, 19, 8),
+        mlps=(
+            MLPSpec(input_dim=16, output_dim=16, layers=3),
+            MLPSpec(input_dim=32, output_dim=3, layers=4),
+        ),
+        spatial_dim=3,
+        density_feature_dim=16,
+    )
+)
+_register(
+    AppConfig(
+        app="nerf",
+        grid=_grid(_LRDG, 128, 1.0, 8, 19, 2),
+        mlps=(
+            MLPSpec(input_dim=16, output_dim=16, layers=3),
+            MLPSpec(input_dim=32, output_dim=3, layers=4),
+        ),
+        spatial_dim=3,
+        density_feature_dim=16,
+    )
+)
+
+# --- NSDF: single MLP, 4 hidden layers, scalar distance -------------------
+_register(
+    AppConfig(
+        app="nsdf",
+        grid=_grid(_HASH, 16, 1.38191, 2, 19, 16),
+        mlps=(MLPSpec(input_dim=32, output_dim=1, layers=4),),
+        spatial_dim=3,
+    )
+)
+_register(
+    AppConfig(
+        app="nsdf",
+        grid=_grid(_DENSE, 16, 1.405, 2, 19, 8),
+        mlps=(MLPSpec(input_dim=16, output_dim=1, layers=4),),
+        spatial_dim=3,
+    )
+)
+_register(
+    AppConfig(
+        app="nsdf",
+        grid=_grid(_LRDG, 128, 1.0, 8, 19, 2),
+        mlps=(MLPSpec(input_dim=16, output_dim=1, layers=4),),
+        spatial_dim=3,
+    )
+)
+
+# --- NVR: single fused MLP, 4 hidden layers, (RGB, sigma) ------------------
+_register(
+    AppConfig(
+        app="nvr",
+        grid=_grid(_HASH, 16, 1.275, 2, 19, 16),
+        mlps=(MLPSpec(input_dim=32, output_dim=4, layers=4),),
+        spatial_dim=3,
+    )
+)
+_register(
+    AppConfig(
+        app="nvr",
+        grid=_grid(_DENSE, 16, 1.405, 2, 19, 8),
+        mlps=(MLPSpec(input_dim=16, output_dim=4, layers=4),),
+        spatial_dim=3,
+    )
+)
+_register(
+    AppConfig(
+        app="nvr",
+        grid=_grid(_LRDG, 128, 1.0, 8, 19, 2),
+        mlps=(MLPSpec(input_dim=16, output_dim=4, layers=4),),
+        spatial_dim=3,
+    )
+)
+
+# --- GIA: 2D input, single MLP, 4 hidden layers, RGB -----------------------
+_register(
+    AppConfig(
+        app="gia",
+        grid=_grid(_HASH, 16, 1.25992, 2, 24, 16),
+        mlps=(MLPSpec(input_dim=32, output_dim=3, layers=4),),
+        spatial_dim=2,
+    )
+)
+_register(
+    AppConfig(
+        app="gia",
+        grid=_grid(_DENSE, 16, 1.405, 2, 24, 8),
+        mlps=(MLPSpec(input_dim=16, output_dim=3, layers=4),),
+        spatial_dim=2,
+    )
+)
+_register(
+    AppConfig(
+        app="gia",
+        grid=_grid(_LRDG, 128, 1.0, 8, 24, 2),
+        mlps=(MLPSpec(input_dim=16, output_dim=3, layers=4),),
+        spatial_dim=2,
+    )
+)
+
+
+def get_config(app: str, scheme: str) -> AppConfig:
+    """Look up the Table I configuration for ``app`` and encoding ``scheme``."""
+    key = (app.lower(), scheme.lower())
+    if key not in TABLE1:
+        raise KeyError(
+            f"no Table I entry for app={app!r}, scheme={scheme!r}; "
+            f"apps: {APP_NAMES}, schemes: {ENCODING_SCHEMES}"
+        )
+    return TABLE1[key]
+
+
+def iter_configs() -> Iterator[AppConfig]:
+    """All 12 Table I configurations in (app, scheme) order."""
+    for app in APP_NAMES:
+        for scheme in ENCODING_SCHEMES:
+            yield TABLE1[(app, scheme)]

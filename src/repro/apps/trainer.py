@@ -1,0 +1,165 @@
+"""A training harness shared by the four applications.
+
+Adds the conveniences a downstream user expects around the raw
+``train_step`` loops: learning-rate schedules, gradient clipping, loss
+smoothing, early stopping, periodic evaluation callbacks and
+checkpointing to ``.npz`` files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.apps.base import NeuralGraphicsApp
+from repro.nn.schedules import Schedule
+
+
+def clip_gradients(grads: List[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of the training harness."""
+
+    steps: int = 1000
+    batch_size: int = 1024
+    schedule: Optional[Schedule] = None
+    grad_clip_norm: Optional[float] = None
+    loss_smoothing: float = 0.9
+    early_stop_loss: Optional[float] = None
+    eval_every: int = 0
+    checkpoint_every: int = 0
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.steps < 1 or self.batch_size < 1:
+            raise ValueError("steps and batch_size must be positive")
+        if not 0 <= self.loss_smoothing < 1:
+            raise ValueError("loss_smoothing must be in [0, 1)")
+        if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
+            raise ValueError("grad_clip_norm must be positive")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+
+
+@dataclass
+class TrainerState:
+    """What the trainer records while running."""
+
+    losses: List[float] = field(default_factory=list)
+    smoothed_losses: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+    eval_results: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise RuntimeError("trainer has not run")
+        return self.losses[-1]
+
+
+class Trainer:
+    """Drives an application's ``train_step`` with schedule and callbacks."""
+
+    def __init__(
+        self,
+        app: NeuralGraphicsApp,
+        config: Optional[TrainerConfig] = None,
+        eval_fn: Optional[Callable[[NeuralGraphicsApp], float]] = None,
+    ):
+        self.app = app
+        self.config = config or TrainerConfig()
+        self.eval_fn = eval_fn
+
+    # ------------------------------------------------------------------
+    def run(self) -> TrainerState:
+        cfg = self.config
+        state = TrainerState()
+        smoothed = None
+        # gradient clipping hooks into the app's optimizer step; the hook
+        # is installed as an instance attribute and removed afterwards
+        original_apply = self.app._apply_gradients
+        hooked = False
+
+        def clipped_apply(grads):
+            clip_gradients(grads, cfg.grad_clip_norm)
+            original_apply(grads)
+
+        if cfg.grad_clip_norm is not None:
+            self.app._apply_gradients = clipped_apply
+            hooked = True
+        try:
+            for step in range(cfg.steps):
+                if cfg.schedule is not None:
+                    lr = cfg.schedule(step)
+                    self.app.optimizer.learning_rate = lr
+                state.learning_rates.append(self.app.optimizer.learning_rate)
+                result = self.app.train_step(cfg.batch_size)
+                state.losses.append(result.loss)
+                if smoothed is None:
+                    smoothed = result.loss
+                else:
+                    smoothed = (
+                        cfg.loss_smoothing * smoothed
+                        + (1 - cfg.loss_smoothing) * result.loss
+                    )
+                state.smoothed_losses.append(smoothed)
+                if cfg.eval_every and (step + 1) % cfg.eval_every == 0 and self.eval_fn:
+                    state.eval_results.append(float(self.eval_fn(self.app)))
+                if cfg.checkpoint_every and (step + 1) % cfg.checkpoint_every == 0:
+                    self.save_checkpoint(
+                        os.path.join(cfg.checkpoint_dir, f"step_{step + 1}.npz")
+                    )
+                if cfg.early_stop_loss is not None and smoothed < cfg.early_stop_loss:
+                    state.stopped_early = True
+                    break
+        finally:
+            if hooked:
+                del self.app.__dict__["_apply_gradients"]
+        return state
+
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str) -> None:
+        """Save every trainable array of the app to an ``.npz`` file."""
+        params = self.app.parameters()
+        arrays = {f"param_{i}": p for i, p in enumerate(params)}
+        arrays["step_count"] = np.array(self.app.step_count)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        np.savez(path, **arrays)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Restore trainable arrays saved by :meth:`save_checkpoint`."""
+        data = np.load(path)
+        params = self.app.parameters()
+        saved = [key for key in data.files if key.startswith("param_")]
+        if len(saved) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(saved)} arrays but the app has "
+                f"{len(params)} parameters"
+            )
+        for i, p in enumerate(params):
+            loaded = data[f"param_{i}"]
+            if loaded.shape != p.shape:
+                raise ValueError(
+                    f"parameter {i}: checkpoint shape {loaded.shape} != "
+                    f"model shape {p.shape}"
+                )
+            p[...] = loaded
+        self.app.step_count = int(data["step_count"])

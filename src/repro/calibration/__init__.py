@@ -1,0 +1,11 @@
+"""The paper's reported numbers (as data) and fitted model constants.
+
+:mod:`repro.calibration.paper` transcribes every quantitative claim in the
+paper's evaluation; :mod:`repro.calibration.fitted` holds the per-app
+constants our models are anchored to, with the derivations documented.
+"""
+
+from repro.calibration import paper
+from repro.calibration import fitted
+
+__all__ = ["paper", "fitted"]

@@ -1,0 +1,152 @@
+"""Every number the paper reports, transcribed as data.
+
+All values come from the paper text, Table II/III and the quoted averages
+of Figures 5, 12, 13 and 15.  The benchmarks compare our model outputs
+against these values and EXPERIMENTS.md records the deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Section III: baseline frame times on RTX 3090, FHD (1920x1080 ~ 2M pixels),
+# multi-resolution hashgrid encoding.  (milliseconds)
+# ---------------------------------------------------------------------------
+BASELINE_FHD_MS: Dict[str, float] = {
+    "nerf": 231.0,
+    "nsdf": 27.87,
+    "gia": 2.12,
+    "nvr": 6.32,
+}
+
+#: the paper's 4K @ 60 FPS performance gaps derived from the above
+PERFORMANCE_GAP_4K60: Dict[str, float] = {
+    "nerf": 55.50,
+    "nsdf": 6.68,
+    "nvr": 1.51,
+    # GIA meets the target (gap < 1), so the paper reports no gap for it
+}
+
+# ---------------------------------------------------------------------------
+# Figure 5: kernel-level breakdown averages across the four applications
+# (percent of total application cycles).
+# ---------------------------------------------------------------------------
+FIG5_AVERAGE_FRACTIONS: Dict[str, Dict[str, float]] = {
+    "multi_res_hashgrid": {"encoding": 40.24, "mlp": 32.12, "total": 72.37},
+    "multi_res_densegrid": {"encoding": 24.63, "mlp": 35.37, "total": 60.0},
+    # the text quotes 24.15/35.37 and a 59.96 total (the components add to
+    # 59.52; we keep the text values verbatim)
+    "low_res_densegrid": {"encoding": 24.15, "mlp": 35.37, "total": 59.96},
+}
+
+# ---------------------------------------------------------------------------
+# Table II: GPU utilization per kernel.  Tuples are
+# (grid_size, block_size, compute_util_pct, memory_util_pct, kernel_calls,
+#  compute_util_app_avg_pct, memory_util_app_avg_pct)
+# keyed by (app, scheme, kernel) with kernel in {"encoding", "mlp"}.
+# ---------------------------------------------------------------------------
+TABLE2: Dict[Tuple[str, str, str], tuple] = {
+    ("nerf", "multi_res_hashgrid", "encoding"): ((3853, 16, 1), (512, 1, 1), 61.73, 72.85, 59, 40.63, 72.02),
+    ("nerf", "multi_res_hashgrid", "mlp"): ((3853, 16, 1), (512, 1, 1), 34.3, 65.2, 118, 33.36, 63.07),
+    ("nsdf", "multi_res_hashgrid", "encoding"): ((1823, 16, 1), (512, 1, 1), 73.08, 43.54, 256, 15.97, 30.8),
+    ("nsdf", "multi_res_hashgrid", "mlp"): ((1823, 16, 1), (512, 1, 1), 38.13, 71.74, 256, 9.76, 18.28),
+    ("nvr", "multi_res_hashgrid", "encoding"): ((403, 16, 1), (512, 1, 1), 52.5, 59.03, 48, 18.67, 30.36),
+    ("nvr", "multi_res_hashgrid", "mlp"): ((403, 16, 1), (512, 1, 1), 36.51, 67.01, 48, 11.51, 21.05),
+    ("gia", "multi_res_hashgrid", "encoding"): ((4050, 16, 1), (512, 1, 1), 82.87, 62.23, 1, 82.87, 62.23),
+    ("gia", "multi_res_hashgrid", "mlp"): ((4050, 16, 1), (512, 1, 1), 39.1, 72.22, 1, 39.1, 72.22),
+    ("nerf", "multi_res_densegrid", "encoding"): ((3966, 8, 1), (512, 1, 1), 71.39, 91.81, 45, 57.37, 72.31),
+    ("nerf", "multi_res_densegrid", "mlp"): ((3966, 8, 1), (512, 1, 1), 39.53, 68.4, 90, 34.51, 62.31),
+    ("nsdf", "multi_res_densegrid", "encoding"): ((1823, 8, 1), (512, 1, 1), 76.1, 48.25, 244, 18.38, 21.28),
+    ("nsdf", "multi_res_densegrid", "mlp"): ((1823, 8, 1), (512, 1, 1), 41.66, 73.49, 244, 11.06, 19.41),
+    ("nvr", "multi_res_densegrid", "encoding"): ((403, 8, 1), (512, 1, 1), 57.38, 56.8, 48, 17.41, 22.43),
+    ("nvr", "multi_res_densegrid", "mlp"): ((403, 8, 1), (512, 1, 1), 39.83, 67.67, 48, 12.17, 20.59),
+    ("gia", "multi_res_densegrid", "encoding"): ((4050, 8, 1), (512, 1, 1), 78.53, 65.83, 1, 78.53, 65.83),
+    ("gia", "multi_res_densegrid", "mlp"): ((4050, 8, 1), (512, 1, 1), 42.89, 73.07, 1, 42.89, 73.07),
+    ("nerf", "low_res_densegrid", "encoding"): ((3980, 2, 1), (512, 1, 1), 53.83, 49.74, 43, 31.17, 59.57),
+    ("nerf", "low_res_densegrid", "mlp"): ((3980, 2, 1), (512, 1, 1), 39.41, 68.17, 86, 35.5, 64.1),
+    ("nsdf", "low_res_densegrid", "encoding"): ((1823, 2, 1), (512, 1, 1), 55.88, 45.52, 260, 7.21, 20.07),
+    ("nsdf", "low_res_densegrid", "mlp"): ((1823, 2, 1), (512, 1, 1), 41.37, 72.98, 260, 10.34, 18.14),
+    ("nvr", "low_res_densegrid", "encoding"): ((403, 2, 1), (512, 1, 1), 22.71, 69.16, 48, 6.29, 22.71),
+    ("nvr", "low_res_densegrid", "mlp"): ((403, 2, 1), (512, 1, 1), 39.2, 66.58, 48, 12.11, 20.48),
+    ("gia", "low_res_densegrid", "encoding"): ((4050, 2, 1), (512, 1, 1), 66.15, 59.12, 1, 66.15, 59.12),
+    ("gia", "low_res_densegrid", "mlp"): ((4050, 2, 1), (512, 1, 1), 42.87, 73.02, 1, 42.87, 73.02),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 12: end-to-end NGPC speedups averaged across the four applications,
+# per scaling factor; plus per-app plateau scaling factors and the headline
+# maximum speedup.
+# ---------------------------------------------------------------------------
+FIG12_AVERAGE_SPEEDUPS: Dict[str, Dict[int, float]] = {
+    "multi_res_hashgrid": {8: 12.94, 16: 20.85, 32: 33.73, 64: 39.04},
+    "multi_res_densegrid": {8: 9.05, 16: 14.22, 32: 22.57, 64: 26.22},
+    "low_res_densegrid": {8: 9.37, 16: 14.66, 32: 22.97, 64: 26.4},
+}
+
+#: scaling factor beyond which each app stops improving (Section VI)
+PLATEAU_SCALE: Dict[str, int] = {"nerf": 64, "nsdf": 32, "nvr": 16, "gia": 64}
+
+MAX_END_TO_END_SPEEDUP = 58.36  # "up to 58.36x" (NeRF, hashgrid)
+
+# ---------------------------------------------------------------------------
+# Figure 13: kernel-level engine speedups at scaling factor 64, averaged
+# across the four applications.
+# ---------------------------------------------------------------------------
+FIG13_KERNEL_SPEEDUPS_AT_64: Dict[str, Dict[str, float]] = {
+    "multi_res_hashgrid": {"encoding": 246.0, "mlp": 1232.0},
+    "multi_res_densegrid": {"encoding": 379.0, "mlp": 1070.0},
+    "low_res_densegrid": {"encoding": 2353.0, "mlp": 1451.0},
+}
+
+#: emulator vs Timeloop/Accelergy MLP-engine model agreement (Section VI)
+TIMELOOP_AGREEMENT_PCT = 7.0
+
+#: speedup of the fused "rest" kernels over the reference implementation
+REST_FUSION_SPEEDUP = 9.94
+
+# ---------------------------------------------------------------------------
+# Figure 14 headline: resolutions NGPC enables with hashgrid encoding.
+# ---------------------------------------------------------------------------
+NGPC_HEADLINE_CAPABILITY = {
+    "nerf": ("4k", 30),  # 4K UHD at 30 FPS
+    "nsdf": ("8k", 120),
+    "gia": ("8k", 120),
+    "nvr": ("8k", 120),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 15: area/power overheads of NGPC relative to the RTX 3090 die,
+# scaled to 7 nm.  Keyed by scaling factor.
+# ---------------------------------------------------------------------------
+FIG15_AREA_OVERHEAD_PCT: Dict[int, float] = {8: 4.52, 16: 9.04, 32: 18.01, 64: 36.18}
+FIG15_POWER_OVERHEAD_PCT: Dict[int, float] = {8: 2.75, 16: 5.51, 32: 11.03, 64: 22.06}
+
+# ---------------------------------------------------------------------------
+# Table III: NGPC IO bandwidth and access time at 60 FPS.
+# (input_bw_GBps, output_bw_GBps, total_bw_GBps, access_time_ms)
+# ---------------------------------------------------------------------------
+TABLE3: Dict[str, tuple] = {
+    "nerf": (69.523, 46.349, 231.743, 4.126),
+    "nsdf": (34.761, 34.761, 69.523, 1.238),
+    "gia": (34.761, 34.761, 69.523, 1.238),
+    "nvr": (34.761, 34.761, 69.523, 1.238),
+}
+
+#: RTX 3090 memory bandwidth used for the Table III comparison (GB/s)
+RTX3090_MEM_BW_GBPS = 936.2
+
+# Section I / VII: the AR/VR power-efficiency gap is 2-4 orders of magnitude
+ARVR_GAP_OOM_RANGE = (2, 4)
+
+# Frame resolutions referenced by Figure 14 (pixels)
+RESOLUTIONS: Dict[str, int] = {
+    "hd": 1280 * 720,
+    "fhd": 1920 * 1080,
+    "qhd": 2560 * 1440,
+    "4k": 3840 * 2160,
+    "5k": 5120 * 2880,
+    "8k": 7680 * 4320,
+}
+
+FPS_TARGETS = (30, 60, 90, 120)

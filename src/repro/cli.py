@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``emulate``      run the NGPC emulator for one (app, scheme, scale)
+- ``sweep``        the full Fig. 12 sweep for one encoding scheme
+- ``experiments``  regenerate any registered table/figure experiment
+- ``train``        train an application on its synthetic scene
+- ``area``         print the NGPC area/power bill (Fig. 15)
+- ``bandwidth``    print the Table III IO bandwidth report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_comparison, format_table, get_experiment
+from repro.analysis.experiments import EXPERIMENTS
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.calibration import paper
+from repro.core import NGPCConfig, emulate, ngpc_area_power
+from repro.core.config import SCALE_FACTORS
+from repro.core.emulator import speedup_table
+from repro.core.ngpc import bandwidth_model
+from repro.gpu.baseline import FHD_PIXELS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", choices=APP_NAMES, default="nerf")
+    parser.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
+
+
+def cmd_emulate(args: argparse.Namespace) -> int:
+    result = emulate(args.app, args.scheme, args.scale, args.pixels)
+    print(f"app={result.app} scheme={result.scheme} scale={result.scale_factor} "
+          f"pixels={result.n_pixels:,}")
+    print(f"  baseline:    {result.baseline_ms:10.3f} ms")
+    print(f"  accelerated: {result.accelerated_ms:10.3f} ms  "
+          f"({result.fps:,.1f} FPS)")
+    print(f"  speedup:     {result.speedup:10.2f}x  "
+          f"(Amdahl bound {result.amdahl_bound:.2f}x)")
+    print(f"  engines: encoding {result.encoding_engine_ms:.4f} ms, "
+          f"mlp {result.mlp_engine_ms:.4f} ms, dma {result.dma_ms:.4f} ms, "
+          f"fused rest {result.fused_rest_ms:.4f} ms")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    table = speedup_table(args.scheme, args.pixels)
+    rows = []
+    for app in APP_NAMES:
+        rows.append([app] + [f"{table[s][app]:.2f}x" for s in SCALE_FACTORS])
+    rows.append(["average"] + [f"{table[s]['average']:.2f}x" for s in SCALE_FACTORS])
+    rows.append(
+        ["paper avg"]
+        + [f"{paper.FIG12_AVERAGE_SPEEDUPS[args.scheme][s]}x" for s in SCALE_FACTORS]
+    )
+    print(
+        format_table(
+            ["app"] + [f"NGPC-{s}" for s in SCALE_FACTORS],
+            rows,
+            title=f"End-to-end speedup, {args.scheme}",
+        )
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    ids = args.ids or sorted(EXPERIMENTS)
+    for exp_id in ids:
+        exp = get_experiment(exp_id)
+        print(f"\n== {exp_id}: {exp.description} ==")
+        for row in exp.run():
+            print(" ", format_comparison(row.label, row.measured, row.reported))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.apps import GIAApp, NSDFApp, NVRApp, NeRFApp
+
+    factories = {"gia": GIAApp, "nsdf": NSDFApp, "nerf": NeRFApp, "nvr": NVRApp}
+    app = factories[args.app](scheme=args.scheme, seed=args.seed)
+    print(f"training {args.app} ({args.scheme}), "
+          f"{app.num_parameters:,} parameters, {args.steps} steps")
+    for step in range(args.steps):
+        result = app.train_step(args.batch_size)
+        if (step + 1) % max(args.steps // 10, 1) == 0:
+            print(f"  step {result.step:5d}  loss {result.loss:.6f}")
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    rows = []
+    for scale in SCALE_FACTORS:
+        r = ngpc_area_power(NGPCConfig(scale_factor=scale))
+        rows.append(
+            [f"NGPC-{scale}", f"{r.area_mm2_7nm:.1f}", f"{r.area_overhead_pct:.2f}%",
+             f"{r.power_w_7nm:.1f}", f"{r.power_overhead_pct:.2f}%"]
+        )
+    print(
+        format_table(
+            ["config", "area mm2", "vs 3090 die", "power W", "vs 3090 TDP"],
+            rows,
+            title="NGPC area & power at 7 nm (Fig. 15)",
+        )
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.verification import is_healthy, verify_all
+
+    findings = verify_all()
+    for f in findings:
+        status = "ok " if f.passed else "FAIL"
+        print(f"  [{status}] {f.check}: {f.detail}")
+    healthy = is_healthy(findings)
+    print("all checks passed" if healthy else "SOME CHECKS FAILED")
+    return 0 if healthy else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_markdown
+
+    text = build_markdown()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.apps.params import get_config
+
+    config = get_config(args.app, args.scheme)
+    print(json.dumps(config.to_dict(), indent=2))
+    return 0
+
+
+def cmd_bandwidth(args: argparse.Namespace) -> int:
+    rows = []
+    for app in APP_NAMES:
+        r = bandwidth_model(app)
+        rows.append(
+            [app, f"{r.input_gbps:.2f}", f"{r.output_gbps:.2f}",
+             f"{r.total_gbps:.2f}", f"{r.access_time_ms:.3f}",
+             f"{r.fraction_of_gpu_bandwidth:.1%}"]
+        )
+    print(
+        format_table(
+            ["app", "in GB/s", "out GB/s", "total GB/s", "access ms", "of GPU BW"],
+            rows,
+            title="NGPC IO bandwidth @ 4K 60 FPS (Table III)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hardware Acceleration of Neural Graphics — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("emulate", help="run the NGPC emulator once")
+    _add_common(p)
+    p.add_argument("--scale", type=int, choices=SCALE_FACTORS, default=8)
+    p.add_argument("--pixels", type=int, default=FHD_PIXELS)
+    p.set_defaults(func=cmd_emulate)
+
+    p = sub.add_parser("sweep", help="Fig. 12 sweep for one scheme")
+    p.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
+    p.add_argument("--pixels", type=int, default=FHD_PIXELS)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("experiments", help="regenerate registered experiments")
+    p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("train", help="train an application")
+    _add_common(p)
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--batch-size", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("area", help="NGPC area/power (Fig. 15)")
+    p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("bandwidth", help="NGPC IO bandwidth (Table III)")
+    p.set_defaults(func=cmd_bandwidth)
+
+    p = sub.add_parser("describe", help="print a Table I config as JSON")
+    _add_common(p)
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("report", help="full paper-vs-measured markdown report")
+    p.add_argument("--output", help="write to a file instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("verify", help="run all model-consistency checks")
+    p.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Area and power model of the NGPC (Fig. 15).
+
+Methodology mirrors the paper: per-component 45 nm estimates (MAC array
+from synthesis-style per-MAC figures, SRAMs from a CACTI-like analytical
+model), scaled to 7 nm with Stillmaker-Baas-style factors and normalized
+to the RTX 3090 die (628.4 mm2, 350 W).
+
+The 45 nm component constants are set so that one NFP lands at the
+paper's reported overheads (NGPC-8 = +4.52 % area, +2.75 % power at 7 nm,
+scaling linearly to NGPC-64 = +36.18 % / +22.06 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import NFPConfig, NGPCConfig
+from repro.gpu.device import RTX3090
+
+# ---------------------------------------------------------------------------
+# Stillmaker-Baas scaling factors, 45 nm -> 7 nm.
+# Area scales with feature size squared degraded by non-ideal scaling;
+# dynamic power scales with capacitance and V^2 at roughly iso-frequency.
+# ---------------------------------------------------------------------------
+AREA_SCALE_45_TO_7 = 0.0590
+POWER_SCALE_45_TO_7 = 0.1124
+
+# 45 nm component constants
+MAC_AREA_UM2_45NM = 2200.0  # one fp16 MAC + pipeline registers
+SRAM_AREA_MM2_PER_MB_45NM = 2.80  # CACTI-like 45 nm SRAM density
+CONTROL_AREA_FRACTION = 0.12  # FIFOs, sequencer, interconnect
+
+MAC_ENERGY_PJ_45NM = 1.05  # energy per MAC operation at 45 nm
+SRAM_DYNAMIC_W_PER_MB_45NM = 0.28  # access-dominated dynamic power
+LEAKAGE_FRACTION = 0.18
+MAC_ACTIVITY = 0.65  # average MAC-array utilization while streaming
+
+
+def scale_45_to_7nm(area_mm2: float, power_w: float) -> tuple:
+    """Apply the 45 nm -> 7 nm scaling factors to (area, power)."""
+    if area_mm2 < 0 or power_w < 0:
+        raise ValueError("area and power must be non-negative")
+    return area_mm2 * AREA_SCALE_45_TO_7, power_w * POWER_SCALE_45_TO_7
+
+
+def nfp_area_mm2_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
+    """Per-component area of one NFP at 45 nm (mm2)."""
+    mac_area = nfp.macs * MAC_AREA_UM2_45NM * 1e-6
+    grid_sram_mb = nfp.n_encoding_engines * nfp.grid_sram_kb_per_engine / 1024.0
+    act_sram_mb = nfp.activation_sram_kb / 1024.0
+    sram_area = (grid_sram_mb + act_sram_mb) * SRAM_AREA_MM2_PER_MB_45NM
+    logic = mac_area + sram_area
+    control = logic * CONTROL_AREA_FRACTION
+    return {
+        "mac_array": mac_area,
+        "grid_sram": grid_sram_mb * SRAM_AREA_MM2_PER_MB_45NM,
+        "activation_sram": act_sram_mb * SRAM_AREA_MM2_PER_MB_45NM,
+        "control": control,
+        "total": logic + control,
+    }
+
+
+def nfp_power_w_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
+    """Per-component power of one NFP at 45 nm (W), at full streaming load."""
+    mac_dynamic = (
+        nfp.macs * MAC_ACTIVITY * nfp.clock_ghz * 1e9 * MAC_ENERGY_PJ_45NM * 1e-12
+    )
+    grid_sram_mb = nfp.n_encoding_engines * nfp.grid_sram_kb_per_engine / 1024.0
+    act_sram_mb = nfp.activation_sram_kb / 1024.0
+    sram_dynamic = (grid_sram_mb + act_sram_mb) * SRAM_DYNAMIC_W_PER_MB_45NM
+    dynamic = mac_dynamic + sram_dynamic
+    leakage = dynamic * LEAKAGE_FRACTION
+    return {
+        "mac_array": mac_dynamic,
+        "sram": sram_dynamic,
+        "leakage": leakage,
+        "total": dynamic + leakage,
+    }
+
+
+@dataclass(frozen=True)
+class AreaPowerReport:
+    """NGPC area/power at 7 nm, absolute and relative to the RTX 3090."""
+
+    scale_factor: int
+    area_mm2_7nm: float
+    power_w_7nm: float
+
+    @property
+    def area_overhead_pct(self) -> float:
+        return 100.0 * self.area_mm2_7nm / RTX3090.die_area_mm2
+
+    @property
+    def power_overhead_pct(self) -> float:
+        return 100.0 * self.power_w_7nm / RTX3090.tdp_w
+
+
+def ngpc_area_power(config: NGPCConfig) -> AreaPowerReport:
+    """Area/power of a whole NGPC at 7 nm (Fig. 15 bars)."""
+    area45 = nfp_area_mm2_45nm(config.nfp)["total"] * config.n_nfps
+    power45 = nfp_power_w_45nm(config.nfp)["total"] * config.n_nfps
+    area7, power7 = scale_45_to_7nm(area45, power45)
+    return AreaPowerReport(
+        scale_factor=config.scale_factor, area_mm2_7nm=area7, power_w_7nm=power7
+    )

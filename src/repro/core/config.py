@@ -1,0 +1,79 @@
+"""Architecture configuration of the NFP and the NGPC cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+SCALE_FACTORS: Tuple[int, ...] = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class NFPConfig:
+    """One Neural Fields Processor (Fig. 9).
+
+    Defaults follow the paper: 16 input-encoding engines (one per hashgrid
+    resolution level) each with a 1 MB grid SRAM, a 64x64 MAC MLP engine,
+    and the GPU's boost clock as the operating frequency.
+    """
+
+    clock_ghz: float = 1.695
+    n_encoding_engines: int = 16
+    grid_sram_kb_per_engine: int = 1024
+    mac_rows: int = 64
+    mac_cols: int = 64
+    activation_sram_kb: int = 64
+    input_fifo_depth: int = 256
+    pipeline_fill_cycles: int = 24
+
+    def __post_init__(self):
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.n_encoding_engines < 1:
+            raise ValueError("need at least one encoding engine")
+        if self.grid_sram_kb_per_engine < 1 or self.activation_sram_kb < 1:
+            raise ValueError("SRAM sizes must be positive")
+        if self.mac_rows < 1 or self.mac_cols < 1:
+            raise ValueError("MAC array dims must be positive")
+        if self.input_fifo_depth < 1 or self.pipeline_fill_cycles < 0:
+            raise ValueError("invalid FIFO/pipeline parameters")
+
+    @property
+    def macs(self) -> int:
+        return self.mac_rows * self.mac_cols
+
+    @property
+    def grid_sram_bytes_per_engine(self) -> int:
+        return self.grid_sram_kb_per_engine * 1024
+
+    @property
+    def cycles_per_ms(self) -> float:
+        return self.clock_ghz * 1e6
+
+
+@dataclass(frozen=True)
+class NGPCConfig:
+    """An NGPC: ``scale_factor`` NFPs sharing the GPU L2 (Fig. 10).
+
+    The paper evaluates scaling factors 8, 16, 32 and 64 (NGPC-8 ...
+    NGPC-64), where the scaling factor is the number of NFP units.
+    Batches are software-pipelined against the GPU's rest kernels; the
+    default batch count matches the double-buffered command-buffer model.
+    """
+
+    scale_factor: int = 8
+    nfp: NFPConfig = field(default_factory=NFPConfig)
+    n_pipeline_batches: int = 16
+    l2_spill_penalty: float = 3.0  # slowdown of lookups when a level spills
+
+    def __post_init__(self):
+        if self.scale_factor < 1:
+            raise ValueError("scale_factor must be >= 1")
+        if self.n_pipeline_batches < 1:
+            raise ValueError("need at least one pipeline batch")
+        if self.l2_spill_penalty < 1.0:
+            raise ValueError("spill penalty must be >= 1 (a slowdown)")
+
+    @property
+    def n_nfps(self) -> int:
+        return self.scale_factor

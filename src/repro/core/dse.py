@@ -1,0 +1,110 @@
+"""Design-space exploration of the NGPC scaling factor.
+
+The paper sweeps four scaling factors; this module turns the sweep into
+the architect's view: speedup per unit of area/power, Pareto frontiers,
+and the smallest configuration meeting a frame-rate target per
+application — the analysis a Fig. 12 + Fig. 15 reader does by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.params import APP_NAMES
+from repro.core.area_power import ngpc_area_power
+from repro.core.config import NGPCConfig, SCALE_FACTORS
+from repro.core.emulator import emulate
+from repro.gpu.baseline import FHD_PIXELS
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One NGPC configuration with its cost and per-app benefit."""
+
+    scale_factor: int
+    area_overhead_pct: float
+    power_overhead_pct: float
+    speedups: Dict[str, float]
+
+    @property
+    def average_speedup(self) -> float:
+        return sum(self.speedups.values()) / len(self.speedups)
+
+    @property
+    def speedup_per_area_pct(self) -> float:
+        """Average speedup bought per percent of die area."""
+        return self.average_speedup / self.area_overhead_pct
+
+    @property
+    def speedup_per_power_pct(self) -> float:
+        return self.average_speedup / self.power_overhead_pct
+
+
+def design_space(
+    scheme: str = "multi_res_hashgrid",
+    n_pixels: int = FHD_PIXELS,
+    scales=SCALE_FACTORS,
+) -> List[DesignPoint]:
+    """Evaluate every scaling factor: cost (Fig. 15) x benefit (Fig. 12)."""
+    points = []
+    for scale in scales:
+        report = ngpc_area_power(NGPCConfig(scale_factor=scale))
+        speedups = {
+            app: emulate(app, scheme, scale, n_pixels).speedup for app in APP_NAMES
+        }
+        points.append(
+            DesignPoint(
+                scale_factor=scale,
+                area_overhead_pct=report.area_overhead_pct,
+                power_overhead_pct=report.power_overhead_pct,
+                speedups=speedups,
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: List[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated in (smaller area, larger average speedup)."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            q.area_overhead_pct <= p.area_overhead_pct
+            and q.average_speedup >= p.average_speedup
+            and (
+                q.area_overhead_pct < p.area_overhead_pct
+                or q.average_speedup > p.average_speedup
+            )
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.area_overhead_pct)
+
+
+def smallest_scale_for_fps(
+    app: str,
+    fps: float,
+    n_pixels: int,
+    scheme: str = "multi_res_hashgrid",
+    scales=SCALE_FACTORS,
+) -> Optional[int]:
+    """Smallest scaling factor hitting ``fps`` at ``n_pixels``, or None.
+
+    Answers questions like "what does 4K NeRF at 30 FPS cost?" —
+    the Fig. 14 headline read backwards.
+    """
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    budget_ms = 1000.0 / fps
+    for scale in sorted(scales):
+        if emulate(app, scheme, scale, n_pixels).accelerated_ms <= budget_ms:
+            return scale
+    return None
+
+
+def efficiency_sweet_spot(points: List[DesignPoint]) -> DesignPoint:
+    """The configuration with the best speedup-per-area ratio."""
+    if not points:
+        raise ValueError("no design points given")
+    return max(points, key=lambda p: p.speedup_per_area_pct)

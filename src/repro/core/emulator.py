@@ -1,0 +1,139 @@
+"""The evaluation emulator (Fig. 11).
+
+Inputs: the application parameters (Table I), the architecture parameters
+(:class:`NGPCConfig`), the GPU kernel-level baseline, and the frame
+resolution.  Outputs: the end-to-end accelerated frame time, the speedup
+over the GPU baseline, and the per-stage decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES, get_config
+from repro.core.amdahl import amdahl_bound
+from repro.core.config import NGPCConfig
+from repro.core.encoding_engine import encoding_engine_time_ms
+from repro.core.mlp_engine import mlp_engine_time_ms
+from repro.core.ngpc import NGPC, PipelineSchedule
+from repro.gpu.baseline import FHD_PIXELS, baseline_kernel_times_ms
+
+
+@dataclass(frozen=True)
+class EmulationResult:
+    """One emulator run: baseline vs NGPC-accelerated frame."""
+
+    app: str
+    scheme: str
+    scale_factor: int
+    n_pixels: int
+    baseline_ms: float
+    accelerated_ms: float
+    encoding_engine_ms: float
+    mlp_engine_ms: float
+    dma_ms: float
+    fused_rest_ms: float
+    amdahl_bound: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.accelerated_ms
+
+    @property
+    def fps(self) -> float:
+        return 1000.0 / self.accelerated_ms
+
+    def respects_amdahl(self) -> bool:
+        """The Section VI sanity check: speedup under the Amdahl line."""
+        return self.speedup <= self.amdahl_bound * (1.0 + 1e-9)
+
+
+class Emulator:
+    """End-to-end emulator over all apps, schemes and scaling factors."""
+
+    def __init__(self, ngpc_config: Optional[NGPCConfig] = None):
+        self.ngpc = NGPC(ngpc_config)
+
+    def run(
+        self,
+        app: str,
+        scheme: str,
+        n_pixels: int = FHD_PIXELS,
+        fuse_engines: bool = True,
+        fuse_rest: bool = True,
+        overlap: bool = True,
+    ) -> EmulationResult:
+        if app not in APP_NAMES:
+            raise ValueError(f"unknown app {app!r}")
+        if scheme not in ENCODING_SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        config = get_config(app, scheme)
+        baseline = baseline_kernel_times_ms(app, scheme, n_pixels)
+        schedule: PipelineSchedule = self.ngpc.schedule(
+            config,
+            n_pixels,
+            fuse_engines=fuse_engines,
+            fuse_rest=fuse_rest,
+            overlap=overlap,
+        )
+        enc = encoding_engine_time_ms(config, n_pixels, self.ngpc.config)
+        mlp = mlp_engine_time_ms(config, n_pixels, self.ngpc.config)
+        dma = self.ngpc.dma_overhead_ms(app, n_pixels)
+        return EmulationResult(
+            app=app,
+            scheme=scheme,
+            scale_factor=self.ngpc.scale_factor,
+            n_pixels=n_pixels,
+            baseline_ms=baseline["total"],
+            accelerated_ms=schedule.total_ms,
+            encoding_engine_ms=enc,
+            mlp_engine_ms=mlp,
+            dma_ms=dma,
+            fused_rest_ms=schedule.rest_time_ms,
+            amdahl_bound=amdahl_bound(app, scheme),
+        )
+
+
+def emulate(
+    app: str,
+    scheme: str,
+    scale_factor: int = 8,
+    n_pixels: int = FHD_PIXELS,
+) -> EmulationResult:
+    """Convenience wrapper: one emulator run."""
+    return Emulator(NGPCConfig(scale_factor=scale_factor)).run(app, scheme, n_pixels)
+
+
+def speedup_table(scheme: str, n_pixels: int = FHD_PIXELS) -> Dict[int, Dict[str, float]]:
+    """Fig. 12 data: speedup per scaling factor per app, plus the average."""
+    table: Dict[int, Dict[str, float]] = {}
+    for scale in (8, 16, 32, 64):
+        row = {}
+        for app in APP_NAMES:
+            row[app] = emulate(app, scheme, scale, n_pixels).speedup
+        row["average"] = sum(row.values()) / len(APP_NAMES)
+        table[scale] = row
+    return table
+
+
+def max_pixels_within_budget(
+    app: str,
+    scheme: str,
+    scale_factor: int,
+    fps: float,
+    use_ngpc: bool = True,
+) -> int:
+    """Largest pixel count renderable within a 1000/fps ms budget (Fig. 14).
+
+    Frame time is linear in pixel count for both baseline and NGPC, so the
+    answer follows from one FHD evaluation.
+    """
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    budget_ms = 1000.0 / fps
+    if use_ngpc:
+        per_frame = emulate(app, scheme, scale_factor).accelerated_ms
+    else:
+        per_frame = baseline_kernel_times_ms(app, scheme)["total"]
+    return int(budget_ms / per_frame * FHD_PIXELS)

@@ -1,0 +1,229 @@
+"""The input-encoding hardware engine (Fig. 9-a).
+
+Two models live here:
+
+1. :class:`EncodingEngineFunctional` — a bit-level functional model of the
+   datapath: fixed-point coordinates flow through grid_scale -> pos_fract
+   -> grid_index (with the power-of-two *shift-approximated modulo*) ->
+   grid-SRAM lookup -> interpolation.  Tests verify it agrees with the
+   software reference encoding.
+
+2. A cycle/throughput model.  Each NFP has 16 per-level engines; an
+   encoding with L levels processes ``16 // L`` inputs in parallel
+   (Section V: hashgrid 1, densegrid 2, low-res densegrid 8).  Each engine
+   retires ``ENCODING_LANES[scheme]`` lookup sets per cycle — the lane
+   count is calibrated once so the four-app average kernel speedup at
+   scaling factor 64 equals the paper's Figure 13 value, after which all
+   other scales, apps and resolutions follow mechanistically.
+
+Hardware feature storage is 1 byte per feature (quantized), which is what
+makes one 2^19 x 2-feature level exactly fill the 1 MB grid SRAM; levels
+that exceed the SRAM (e.g. GIA's 2^24-entry tables) spill to L2/DRAM and
+pay the configured penalty on their share of lookups.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.params import APP_NAMES, AppConfig, get_config
+from repro.calibration import paper
+from repro.core.config import NGPCConfig
+from repro.encodings.grids import GridEncoding, HASH_PRIMES
+from repro.gpu.baseline import FHD_PIXELS, baseline_kernel_times_ms
+from repro.gpu.kernels import samples_per_frame
+from repro.utils.math import is_power_of_two
+
+HW_BYTES_PER_FEATURE = 1
+
+# fixed-point format of the datapath: positions are Q0.16
+_FRAC_BITS = 16
+_FRAC_ONE = 1 << _FRAC_BITS
+
+
+def shift_modulo(value: np.ndarray, table_size: int) -> np.ndarray:
+    """The hardware modulo: a mask, valid because T is a power of two.
+
+    Section V: "We observe that the hash-map size is always power of two
+    ... and approximate the modulo operation with shift operation".
+    """
+    if not is_power_of_two(table_size):
+        raise ValueError(f"table size {table_size} is not a power of two")
+    return np.asarray(value).astype(np.uint64) & np.uint64(table_size - 1)
+
+
+class EncodingEngineFunctional:
+    """Fixed-point functional emulation of one NFP's encoding engines.
+
+    Wraps a software :class:`GridEncoding` and re-implements its forward
+    pass the way the hardware computes it: integer position arithmetic,
+    shift-based modulo, and per-level parallel lookups.  Feature tables are
+    shared with the software encoding (optionally quantized).
+    """
+
+    def __init__(self, encoding: GridEncoding, quantize_features: bool = False):
+        if not is_power_of_two(encoding.table_size):
+            raise ValueError("hardware requires a power-of-two table size")
+        self.encoding = encoding
+        self.quantize_features = quantize_features
+        if quantize_features:
+            # symmetric 8-bit quantization per level, matching the 1 B/feature
+            # SRAM budget
+            self._tables = []
+            self._scales = []
+            for table in encoding.tables:
+                scale = max(float(np.max(np.abs(table))), 1e-8) / 127.0
+                q = np.clip(np.round(table / scale), -127, 127).astype(np.int8)
+                self._tables.append(q)
+                self._scales.append(scale)
+        else:
+            self._tables = encoding.tables
+            self._scales = [1.0] * len(encoding.tables)
+
+    # ------------------------------------------------------------------
+    def _fixed_point_positions(self, x: np.ndarray) -> np.ndarray:
+        x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        return np.round(x * _FRAC_ONE).astype(np.int64)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Hardware-equivalent forward pass; returns (batch, L*F) features."""
+        enc = self.encoding
+        if x.ndim != 2 or x.shape[1] != enc.input_dim:
+            raise ValueError(f"expected (batch, {enc.input_dim}) inputs")
+        fx = self._fixed_point_positions(x)
+        batch = fx.shape[0]
+        out = np.zeros((batch, enc.output_dim), dtype=np.float64)
+        offsets = enc._offsets
+        for level in range(enc.n_levels):
+            scale = enc.level_resolution(level)
+            # grid_scale + pos_fract modules: integer multiply, split
+            pos_fp = fx * scale  # Q16 fixed point
+            pos0 = pos_fp >> _FRAC_BITS
+            pos0 = np.minimum(pos0, scale - 1)
+            frac_fp = pos_fp - (pos0 << _FRAC_BITS)
+            corners = pos0[:, None, :] + offsets[None, :, :]
+            indices = self._grid_index(corners, level)
+            # interpol_weights module in fixed point
+            weights_fp = np.ones((batch, offsets.shape[0]), dtype=np.int64) * _FRAC_ONE
+            for dim in range(enc.input_dim):
+                w = np.where(
+                    offsets[None, :, dim] == 1,
+                    frac_fp[:, dim : dim + 1],
+                    _FRAC_ONE - frac_fp[:, dim : dim + 1],
+                )
+                weights_fp = (weights_fp * w) >> _FRAC_BITS
+            gathered = self._tables[level][indices].astype(np.float64)
+            gathered *= self._scales[level]
+            weights = weights_fp.astype(np.float64) / _FRAC_ONE
+            interp = (gathered * weights[:, :, None]).sum(axis=1)
+            out[:, level * enc.n_features : (level + 1) * enc.n_features] = interp
+        return out.astype(np.float32)
+
+    def _grid_index(self, corners: np.ndarray, level: int) -> np.ndarray:
+        """The grid_index module: hashed or 1:1, with shift-based modulo."""
+        enc = self.encoding
+        if enc.level_uses_hash(level):
+            acc = np.zeros(corners.shape[:-1], dtype=np.uint64)
+            for i in range(corners.shape[-1]):
+                acc ^= corners[..., i].astype(np.uint64) * np.uint64(HASH_PRIMES[i])
+            return shift_modulo(acc, enc.table_size).astype(np.int64)
+        return enc._index_coords(corners, level)
+
+
+# ---------------------------------------------------------------------------
+# cycle / throughput model
+# ---------------------------------------------------------------------------
+
+
+def parallel_inputs(n_levels: int, n_engines: int = 16) -> int:
+    """Inputs processed simultaneously: 16 engines // L levels, min 1."""
+    if n_levels < 1 or n_engines < 1:
+        raise ValueError("levels and engines must be positive")
+    return max(1, n_engines // n_levels)
+
+
+def level_spill_fraction(config: AppConfig, ngpc: NGPCConfig) -> float:
+    """Fraction of levels whose table exceeds the per-engine grid SRAM."""
+    grid = config.grid
+    sram = ngpc.nfp.grid_sram_bytes_per_engine
+    spilled = 0
+    for level in range(grid.n_levels):
+        if grid.scheme == "multi_res_hashgrid":
+            entries = min((_dense_entries(config, level)), grid.table_size)
+        elif grid.scheme == "multi_res_densegrid":
+            entries = _dense_entries(config, level)
+        else:
+            entries = _tiled_entries(config, level)
+        if entries * grid.n_features * HW_BYTES_PER_FEATURE > sram:
+            spilled += 1
+    return spilled / grid.n_levels
+
+
+def _resolution(config: AppConfig, level: int) -> int:
+    return int(np.floor(config.grid.n_min * config.grid.growth_factor**level))
+
+
+def _dense_entries(config: AppConfig, level: int) -> int:
+    return (_resolution(config, level) + 1) ** config.spatial_dim
+
+
+def _tiled_entries(config: AppConfig, level: int) -> int:
+    return _resolution(config, level) ** config.spatial_dim
+
+
+@lru_cache(maxsize=None)
+def _calibrated_lanes(scheme: str) -> float:
+    """Lanes per engine such that the four-app mean kernel speedup at
+    scaling factor 64 equals the paper's Figure 13 anchor for ``scheme``."""
+    target = paper.FIG13_KERNEL_SPEEDUPS_AT_64[scheme]["encoding"]
+    ngpc = NGPCConfig(scale_factor=64)
+    speedups_at_unit_lanes = []
+    for app in APP_NAMES:
+        config = get_config(app, scheme)
+        time_unit = _engine_time_ms(config, FHD_PIXELS, ngpc, lanes=1.0)
+        base = baseline_kernel_times_ms(app, scheme, FHD_PIXELS)["encoding"]
+        speedups_at_unit_lanes.append(base / time_unit)
+    return target / (sum(speedups_at_unit_lanes) / len(speedups_at_unit_lanes))
+
+
+def _engine_time_ms(
+    config: AppConfig, n_pixels: int, ngpc: NGPCConfig, lanes: float
+) -> float:
+    """Engine time with an explicit lane count (no pipeline-fill term)."""
+    samples = samples_per_frame(config, n_pixels)
+    par = parallel_inputs(config.grid.n_levels, ngpc.nfp.n_encoding_engines)
+    spill = level_spill_fraction(config, ngpc)
+    throughput = par * lanes * ngpc.n_nfps  # input sets per cycle
+    cycles = samples / throughput
+    cycles *= (1.0 - spill) + spill * ngpc.l2_spill_penalty
+    return cycles / ngpc.nfp.cycles_per_ms
+
+
+def encoding_engine_time_ms(
+    config: AppConfig,
+    n_pixels: int = FHD_PIXELS,
+    ngpc: Optional[NGPCConfig] = None,
+) -> float:
+    """Time for the NGPC encoding engines to encode one frame (ms)."""
+    ngpc = ngpc or NGPCConfig()
+    if n_pixels <= 0:
+        raise ValueError("n_pixels must be positive")
+    lanes = _calibrated_lanes(config.grid.scheme)
+    fill = ngpc.nfp.pipeline_fill_cycles / ngpc.nfp.cycles_per_ms
+    return _engine_time_ms(config, n_pixels, ngpc, lanes) + fill
+
+
+def encoding_kernel_speedup(
+    app: str,
+    scheme: str,
+    scale_factor: int,
+    n_pixels: int = FHD_PIXELS,
+) -> float:
+    """GPU encoding-kernel time over NGPC engine time (Fig. 13 bars)."""
+    config = get_config(app, scheme)
+    ngpc = NGPCConfig(scale_factor=scale_factor)
+    base = baseline_kernel_times_ms(app, scheme, n_pixels)["encoding"]
+    return base / encoding_engine_time_ms(config, n_pixels, ngpc)

@@ -1,0 +1,109 @@
+"""Per-frame energy model: GPU baseline vs GPU + NGPC.
+
+Combines the Fig. 15 power model with the emulator's timing to answer the
+paper's AR/VR question (Section I: a 2-4 order-of-magnitude gap between
+desired performance and the required system power): how many joules does
+one frame cost, and what does NGPC do to performance-per-watt?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.area_power import ngpc_area_power
+from repro.core.config import NGPCConfig
+from repro.core.emulator import Emulator
+from repro.gpu.baseline import FHD_PIXELS, baseline_frame_time_ms
+from repro.gpu.device import RTX3090
+
+#: average fraction of TDP the GPU draws while rendering neural graphics
+GPU_ACTIVE_POWER_FRACTION = 0.75
+#: GPU draw while it only runs the (fused) rest kernels next to an NGPC
+GPU_REST_POWER_FRACTION = 0.45
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one frame of one configuration."""
+
+    app: str
+    scheme: str
+    scale_factor: int
+    baseline_mj: float
+    accelerated_mj: float
+    baseline_fps_per_watt: float
+    accelerated_fps_per_watt: float
+
+    @property
+    def energy_reduction(self) -> float:
+        return self.baseline_mj / self.accelerated_mj
+
+    @property
+    def efficiency_gain(self) -> float:
+        return self.accelerated_fps_per_watt / self.baseline_fps_per_watt
+
+
+def energy_per_frame(
+    app: str,
+    scheme: str,
+    scale_factor: int = 64,
+    n_pixels: int = FHD_PIXELS,
+    ngpc_config: Optional[NGPCConfig] = None,
+) -> EnergyReport:
+    """Per-frame energy of the baseline GPU vs the GPU+NGPC system."""
+    ngpc_config = ngpc_config or NGPCConfig(scale_factor=scale_factor)
+    result = Emulator(ngpc_config).run(app, scheme, n_pixels)
+
+    gpu_power = RTX3090.tdp_w * GPU_ACTIVE_POWER_FRACTION
+    baseline_ms = baseline_frame_time_ms(app, scheme, n_pixels)
+    baseline_mj = gpu_power * baseline_ms  # W * ms = mJ
+
+    ngpc_power = ngpc_area_power(ngpc_config).power_w_7nm
+    ngpc_busy_ms = result.encoding_engine_ms + result.mlp_engine_ms + result.dma_ms
+    gpu_rest_power = RTX3090.tdp_w * GPU_REST_POWER_FRACTION
+    accelerated_mj = (
+        ngpc_power * ngpc_busy_ms + gpu_rest_power * result.accelerated_ms
+    )
+
+    baseline_w = gpu_power
+    accelerated_w = gpu_rest_power + ngpc_power * (
+        ngpc_busy_ms / max(result.accelerated_ms, 1e-12)
+    )
+    return EnergyReport(
+        app=app,
+        scheme=scheme,
+        scale_factor=scale_factor,
+        baseline_mj=baseline_mj,
+        accelerated_mj=accelerated_mj,
+        baseline_fps_per_watt=(1000.0 / baseline_ms) / baseline_w,
+        accelerated_fps_per_watt=(1000.0 / result.accelerated_ms) / accelerated_w,
+    )
+
+
+def arvr_gap_oom(
+    app: str,
+    scheme: str = "multi_res_hashgrid",
+    scale_factor: Optional[int] = None,
+    target_fps: float = 60.0,
+    power_budget_w: float = 1.0,
+    n_pixels: int = FHD_PIXELS,
+) -> float:
+    """Orders of magnitude between the AR/VR target and the achieved
+    performance-per-watt (paper Section I: 2-4 OOM on the GPU).
+
+    With ``scale_factor`` set, measures the GPU+NGPC system instead of the
+    baseline; NGPC narrows the gap but does not close a 1 W budget.
+    """
+    import math
+
+    if target_fps <= 0 or power_budget_w <= 0:
+        raise ValueError("targets must be positive")
+    desired = target_fps / power_budget_w
+    if scale_factor is None:
+        fps = 1000.0 / baseline_frame_time_ms(app, scheme, n_pixels)
+        achieved = fps / (RTX3090.tdp_w * GPU_ACTIVE_POWER_FRACTION)
+    else:
+        report = energy_per_frame(app, scheme, scale_factor, n_pixels)
+        achieved = report.accelerated_fps_per_watt
+    return math.log10(desired / achieved)

@@ -1,0 +1,88 @@
+"""NFP <-> L2 interconnect model.
+
+The NFPs of an NGPC share the GPU's L2 (Fig. 10-a).  This module models
+the shared interface: per-NFP bandwidth share, an M/D/1-style queueing
+estimate of access latency under load, and the utilization at which the
+cluster's aggregate demand saturates the interface — the physical story
+behind the DMA-overhead scaling used by the emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import NGPCConfig
+from repro.core.ngpc import bandwidth_model
+from repro.gpu.device import GPUSpec, RTX3090
+
+#: fraction of the GPU's DRAM bandwidth the L2 exposes to the NGPC port
+L2_PORT_BANDWIDTH_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class InterconnectReport:
+    """Shared-interface analysis for one application at an operating point."""
+
+    app: str
+    scale_factor: int
+    demand_gbps: float
+    port_bandwidth_gbps: float
+
+    @property
+    def utilization(self) -> float:
+        """Offered load over port capacity (can exceed 1 = saturated)."""
+        return self.demand_gbps / self.port_bandwidth_gbps
+
+    @property
+    def saturated(self) -> bool:
+        return self.utilization >= 1.0
+
+    @property
+    def queueing_delay_factor(self) -> float:
+        """M/D/1 mean-wait multiplier: 1 + rho / (2 (1 - rho)).
+
+        Returns infinity when saturated.
+        """
+        rho = self.utilization
+        if rho >= 1.0:
+            return float("inf")
+        return 1.0 + rho / (2.0 * (1.0 - rho))
+
+
+def interconnect_report(
+    app: str,
+    ngpc: Optional[NGPCConfig] = None,
+    n_pixels: int = 3840 * 2160,
+    fps: float = 60.0,
+    device: Optional[GPUSpec] = None,
+) -> InterconnectReport:
+    """Analyze the NGPC's L2-port load for one application.
+
+    Demand follows the Table III bandwidth model and does not depend on
+    the NFP count (the frame needs what it needs); capacity is the L2
+    port share of DRAM bandwidth.
+    """
+    ngpc = ngpc or NGPCConfig()
+    device = device or RTX3090
+    demand = bandwidth_model(app, n_pixels, fps).total_gbps
+    port = device.mem_bandwidth_gbps * L2_PORT_BANDWIDTH_FRACTION
+    return InterconnectReport(
+        app=app,
+        scale_factor=ngpc.scale_factor,
+        demand_gbps=demand,
+        port_bandwidth_gbps=port,
+    )
+
+
+def max_fps_within_port(app: str, n_pixels: int, device: Optional[GPUSpec] = None) -> float:
+    """Largest FPS before the NGPC's IO saturates the L2 port.
+
+    The IO ceiling is well above every Fig. 14 operating point — IO is
+    not the binding constraint, as the paper's Table III discussion
+    ("high memory bandwidth ... keeps the encoding engines busy") implies.
+    """
+    device = device or RTX3090
+    at_60 = bandwidth_model(app, n_pixels, 60.0).total_gbps
+    port = device.mem_bandwidth_gbps * L2_PORT_BANDWIDTH_FRACTION
+    return 60.0 * port / at_60

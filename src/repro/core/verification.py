@@ -1,0 +1,159 @@
+"""Model-consistency verification ("doctor") for the whole reproduction.
+
+Runs every internal-consistency check the models rely on — calibration
+anchors, fraction averages, the fusion product, Amdahl compliance,
+area/power linearity, Table III reproduction — and returns structured
+findings.  Exposed as ``python -m repro verify``; the test suite asserts
+a clean bill of health, and the checks give downstream users a fast
+smoke test after modifying constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.calibration import fitted, paper
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification outcome."""
+
+    check: str
+    passed: bool
+    detail: str
+
+
+def _check_fraction_averages() -> Finding:
+    try:
+        fitted.check_fraction_averages()
+        return Finding("fig5_fraction_averages", True, "averages match Fig. 5")
+    except AssertionError as exc:
+        return Finding("fig5_fraction_averages", False, str(exc))
+
+
+def _check_fusion_product() -> Finding:
+    from repro.core.fusion import DEFAULT_FUSION
+
+    delta = abs(DEFAULT_FUSION.speedup - paper.REST_FUSION_SPEEDUP)
+    ok = delta / paper.REST_FUSION_SPEEDUP < 0.01
+    return Finding(
+        "fusion_product",
+        ok,
+        f"fusion speedup {DEFAULT_FUSION.speedup:.3f} vs paper "
+        f"{paper.REST_FUSION_SPEEDUP}",
+    )
+
+
+def _check_fig13_anchors() -> Finding:
+    from repro.core.encoding_engine import encoding_kernel_speedup
+    from repro.core.mlp_engine import mlp_kernel_speedup
+
+    worst = 0.0
+    for scheme, targets in paper.FIG13_KERNEL_SPEEDUPS_AT_64.items():
+        enc = sum(encoding_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        mlp = sum(mlp_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        worst = max(
+            worst,
+            abs(enc - targets["encoding"]) / targets["encoding"],
+            abs(mlp - targets["mlp"]) / targets["mlp"],
+        )
+    return Finding(
+        "fig13_anchors", worst < 0.05, f"worst anchor deviation {worst:.1%}"
+    )
+
+
+def _check_amdahl_compliance() -> Finding:
+    from repro.core.emulator import emulate
+
+    violations = []
+    for scheme in ENCODING_SCHEMES:
+        for app in APP_NAMES:
+            for scale in (8, 16, 32, 64):
+                result = emulate(app, scheme, scale)
+                if not result.respects_amdahl():
+                    violations.append((app, scheme, scale))
+    return Finding(
+        "amdahl_compliance",
+        not violations,
+        f"{len(violations)} violations" if violations else "48/48 runs bounded",
+    )
+
+
+def _check_area_power_anchors() -> Finding:
+    from repro.core.area_power import ngpc_area_power
+    from repro.core.config import NGPCConfig
+
+    worst = 0.0
+    for scale in (8, 16, 32, 64):
+        report = ngpc_area_power(NGPCConfig(scale_factor=scale))
+        worst = max(
+            worst,
+            abs(report.area_overhead_pct - paper.FIG15_AREA_OVERHEAD_PCT[scale])
+            / paper.FIG15_AREA_OVERHEAD_PCT[scale],
+            abs(report.power_overhead_pct - paper.FIG15_POWER_OVERHEAD_PCT[scale])
+            / paper.FIG15_POWER_OVERHEAD_PCT[scale],
+        )
+    return Finding(
+        "fig15_area_power", worst < 0.05, f"worst deviation {worst:.1%}"
+    )
+
+
+def _check_table3() -> Finding:
+    from repro.core.ngpc import bandwidth_model
+
+    worst = 0.0
+    for app, (in_bw, _, total_bw, access) in paper.TABLE3.items():
+        report = bandwidth_model(app)
+        worst = max(
+            worst,
+            abs(report.input_gbps - in_bw) / in_bw,
+            abs(report.total_gbps - total_bw) / total_bw,
+            abs(report.access_time_ms - access) / access,
+        )
+    return Finding("table3_bandwidth", worst < 0.01, f"worst deviation {worst:.2%}")
+
+
+def _check_baseline_anchors() -> Finding:
+    from repro.gpu.baseline import baseline_frame_time_ms
+
+    worst = 0.0
+    for app, expected in paper.BASELINE_FHD_MS.items():
+        measured = baseline_frame_time_ms(app, "multi_res_hashgrid")
+        worst = max(worst, abs(measured - expected) / expected)
+    return Finding("baseline_frame_times", worst < 1e-9, f"worst deviation {worst:.2%}")
+
+
+def _check_pipeline_throughput() -> Finding:
+    from repro.core.pipeline_sim import validate_throughput_assumption
+
+    throughput = validate_throughput_assumption(1500)
+    return Finding(
+        "pipeline_throughput",
+        throughput > 0.99,
+        f"simulated {throughput:.4f} sets/cycle (assumption: 1.0)",
+    )
+
+
+_CHECKS: List[Callable[[], Finding]] = [
+    _check_fraction_averages,
+    _check_fusion_product,
+    _check_fig13_anchors,
+    _check_amdahl_compliance,
+    _check_area_power_anchors,
+    _check_table3,
+    _check_baseline_anchors,
+    _check_pipeline_throughput,
+]
+
+
+def verify_all() -> List[Finding]:
+    """Run every consistency check."""
+    return [check() for check in _CHECKS]
+
+
+def is_healthy(findings: List[Finding]) -> bool:
+    """True when every finding passed."""
+    return all(f.passed for f in findings)

@@ -1,0 +1,48 @@
+"""Input encodings for neural graphics.
+
+The paper studies three parametric grid encodings (Section II-A):
+
+- :class:`HashGridEncoding` — multi-resolution hashgrid (instant-ngp, Eq. 1);
+- :class:`DenseGridEncoding` — multi-resolution densegrid (1:1 mapping);
+- :class:`TiledGridEncoding` — low-resolution densegrid (coordinates tile).
+
+Fixed-function encodings (frequency, oneblob, spherical harmonics, identity)
+are provided both for completeness (Section II-A-1) and because the NeRF and
+NVR color networks consume spherical-harmonics-encoded view directions.
+"""
+
+from repro.encodings.base import Encoding, EncodingGradients
+from repro.encodings.identity import IdentityEncoding
+from repro.encodings.frequency import FrequencyEncoding
+from repro.encodings.oneblob import OneBlobEncoding
+from repro.encodings.trianglewave import TriangleWaveEncoding, triangle_wave
+from repro.encodings.spherical import SphericalHarmonicsEncoding
+from repro.encodings.grids import (
+    GridEncoding,
+    HashGridEncoding,
+    DenseGridEncoding,
+    TiledGridEncoding,
+    hash_coords,
+    grid_resolution,
+    HASH_PRIMES,
+)
+from repro.encodings.composite import CompositeEncoding
+
+__all__ = [
+    "Encoding",
+    "EncodingGradients",
+    "IdentityEncoding",
+    "FrequencyEncoding",
+    "OneBlobEncoding",
+    "TriangleWaveEncoding",
+    "triangle_wave",
+    "SphericalHarmonicsEncoding",
+    "GridEncoding",
+    "HashGridEncoding",
+    "DenseGridEncoding",
+    "TiledGridEncoding",
+    "CompositeEncoding",
+    "hash_coords",
+    "grid_resolution",
+    "HASH_PRIMES",
+]

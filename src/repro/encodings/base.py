@@ -1,0 +1,62 @@
+"""Base interface shared by all input encodings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class EncodingGradients:
+    """Gradients from one encoding backward pass.
+
+    ``param_grads`` pairs with :meth:`Encoding.parameters`; fixed-function
+    encodings have no parameters and return an empty list.  ``input_grad``
+    is None when the encoding does not propagate gradients to its inputs
+    (grid encodings terminate the chain at the feature tables).
+    """
+
+    param_grads: List[np.ndarray] = field(default_factory=list)
+    input_grad: Optional[np.ndarray] = None
+
+
+class Encoding:
+    """Maps low-dimensional inputs to a higher-dimensional feature space.
+
+    Subclasses define ``input_dim`` and ``output_dim`` and implement
+    :meth:`forward`; trainable encodings also implement :meth:`backward`
+    and :meth:`parameters`.
+    """
+
+    input_dim: int
+    output_dim: int
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        """Default: no trainable parameters, no input gradient."""
+        return EncodingGradients()
+
+    def parameters(self) -> List[np.ndarray]:
+        """Trainable arrays (shared with the optimizer); default none."""
+        return []
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_dim}), got {x.shape}"
+            )
+        if not np.isfinite(x).all():
+            raise ValueError("encoding inputs must be finite (found NaN/inf)")
+        return x

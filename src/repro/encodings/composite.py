@@ -1,0 +1,75 @@
+"""Composite encoding: apply different encodings to slices of the input.
+
+Table I's NeRF/NVR color model input ``3-[Composite]->16+16`` is the
+concatenation of the density network's feature output with a
+spherical-harmonics encoding of the view direction; this class implements
+the generic slice-and-concatenate mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+
+
+class CompositeEncoding(Encoding):
+    """Concatenate the outputs of child encodings over input slices.
+
+    Parameters
+    ----------
+    children:
+        Sequence of ``(encoding, input_slice_width)`` pairs; slices are
+        consumed left to right and must cover the whole input.
+    """
+
+    def __init__(self, children: Sequence[Tuple[Encoding, int]]):
+        if not children:
+            raise ValueError("composite encoding needs at least one child")
+        for enc, width in children:
+            if width != enc.input_dim:
+                raise ValueError(
+                    f"child {type(enc).__name__} expects {enc.input_dim} dims "
+                    f"but was given a slice of width {width}"
+                )
+        self.children: List[Encoding] = [enc for enc, _ in children]
+        self.widths: List[int] = [int(width) for _, width in children]
+        self.input_dim = sum(self.widths)
+        self.output_dim = sum(enc.output_dim for enc in self.children)
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        x = self._check_input(x)
+        outputs = []
+        start = 0
+        for enc, width in zip(self.children, self.widths):
+            outputs.append(enc.forward(x[:, start : start + width], cache=cache))
+            start += width
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        output_grad = np.asarray(output_grad)
+        param_grads: List[np.ndarray] = []
+        input_grads = []
+        all_have_input_grad = True
+        start = 0
+        for enc in self.children:
+            child_grad = enc.backward(output_grad[:, start : start + enc.output_dim])
+            param_grads.extend(child_grad.param_grads)
+            if child_grad.input_grad is None:
+                all_have_input_grad = False
+                input_grads.append(
+                    np.zeros((output_grad.shape[0], enc.input_dim), dtype=np.float32)
+                )
+            else:
+                input_grads.append(child_grad.input_grad)
+            start += enc.output_dim
+        input_grad = np.concatenate(input_grads, axis=1) if all_have_input_grad else None
+        return EncodingGradients(param_grads=param_grads, input_grad=input_grad)
+
+    def parameters(self) -> List[np.ndarray]:
+        params: List[np.ndarray] = []
+        for enc in self.children:
+            params.extend(enc.parameters())
+        return params

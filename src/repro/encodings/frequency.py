@@ -1,0 +1,50 @@
+"""Frequency (sin/cos) encoding from the original NeRF paper.
+
+gamma(p) = (sin(2^0 pi p), cos(2^0 pi p), ..., sin(2^(K-1) pi p),
+cos(2^(K-1) pi p)) applied per input dimension.  This is the canonical
+fixed-function encoding (Section II-A-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+
+
+class FrequencyEncoding(Encoding):
+    """Vanilla-NeRF positional encoding with K octaves per dimension."""
+
+    def __init__(self, input_dim: int, num_frequencies: int = 10):
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if num_frequencies <= 0:
+            raise ValueError("num_frequencies must be positive")
+        self.input_dim = int(input_dim)
+        self.num_frequencies = int(num_frequencies)
+        self.output_dim = 2 * self.num_frequencies * self.input_dim
+        self._freqs = (2.0 ** np.arange(self.num_frequencies)).astype(np.float32) * np.pi
+        self._cache_angles: "np.ndarray | None" = None
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        x = self._check_input(x)
+        # angles: (batch, input_dim, K)
+        angles = x[:, :, None] * self._freqs[None, None, :]
+        out = np.concatenate([np.sin(angles), np.cos(angles)], axis=2)
+        if cache:
+            self._cache_angles = angles
+        return out.reshape(x.shape[0], self.output_dim)
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        if self._cache_angles is None:
+            raise RuntimeError("forward(..., cache=True) must run before backward")
+        angles = self._cache_angles
+        batch = angles.shape[0]
+        grad = np.asarray(output_grad).reshape(
+            batch, self.input_dim, 2 * self.num_frequencies
+        )
+        dsin = grad[:, :, : self.num_frequencies]
+        dcos = grad[:, :, self.num_frequencies :]
+        dangle = dsin * np.cos(angles) - dcos * np.sin(angles)
+        input_grad = (dangle * self._freqs[None, None, :]).sum(axis=2)
+        return EncodingGradients(input_grad=input_grad.astype(np.float32))

@@ -1,0 +1,330 @@
+"""Multi-resolution parametric grid encodings (Section II-A-2, Figure 6).
+
+The encoding parameters are arranged into ``L`` levels, each storing up to
+``T`` feature vectors of dimensionality ``F`` at the vertices of a grid
+whose resolution grows geometrically with the level.  A query position is
+mapped, per level, to its surrounding 2^d grid corners; each corner is
+mapped to a table entry — either 1:1 (dense/tiled grids) or through the
+spatial hash of Eq. 1 (hashgrid) — and the corner features are d-linearly
+interpolated.  The per-level features are concatenated into the final MLP
+input.
+
+Three concrete encodings mirror the paper's three configurations:
+
+- :class:`HashGridEncoding` — *multi resolution hashgrid*: coarse levels map
+  1:1 while fine levels (more vertices than ``T``) hash into the table;
+- :class:`DenseGridEncoding` — *multi resolution densegrid*: 1:1 at every
+  level, tables sized to the level's vertex count;
+- :class:`TiledGridEncoding` — *low resolution densegrid*: coordinates wrap
+  (tile) modulo the level resolution, so a small table covers all of space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+from repro.utils.rng import SeedLike, default_rng
+
+# The unique large primes of Eq. 1, as used by instant-ngp.  The first
+# coordinate is multiplied by 1 so that 1D/coarse lookups stay cheap.
+HASH_PRIMES: Tuple[int, ...] = (1, 2654435761, 805459861)
+
+# Guard against accidentally allocating multi-GB feature tables when a
+# Table I configuration is instantiated functionally by mistake.
+DEFAULT_MAX_PARAMS = 1 << 26
+
+
+def grid_resolution(base_resolution: int, growth_factor: float, level: int) -> int:
+    """Resolution N_l = floor(Nmin * b^l) of grid level ``level``."""
+    if base_resolution < 1:
+        raise ValueError("base_resolution must be >= 1")
+    if growth_factor < 1.0:
+        raise ValueError("growth_factor must be >= 1")
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return int(np.floor(base_resolution * growth_factor**level))
+
+
+def hash_coords(coords: np.ndarray, table_size: int) -> np.ndarray:
+    """Spatial hash of Eq. 1: (XOR_i coords_i * pi_i) mod table_size.
+
+    ``coords`` is an integer array of shape (..., d) with d <= 3;
+    ``table_size`` need not be a power of two here (the hardware engine in
+    :mod:`repro.core.encoding_engine` exploits the power-of-two case).
+    """
+    coords = np.asarray(coords)
+    if coords.shape[-1] > len(HASH_PRIMES):
+        raise ValueError(
+            f"hash supports up to {len(HASH_PRIMES)} dims, got {coords.shape[-1]}"
+        )
+    if table_size <= 0:
+        raise ValueError("table_size must be positive")
+    acc = np.zeros(coords.shape[:-1], dtype=np.uint64)
+    for i in range(coords.shape[-1]):
+        acc ^= coords[..., i].astype(np.uint64) * np.uint64(HASH_PRIMES[i])
+    return (acc % np.uint64(table_size)).astype(np.int64)
+
+
+def _corner_offsets(dim: int) -> np.ndarray:
+    """The 2^d binary corner offsets of a d-dimensional cell."""
+    offsets = np.indices((2,) * dim).reshape(dim, -1).T
+    return offsets.astype(np.int64)
+
+
+class GridEncoding(Encoding):
+    """Shared machinery of the three multi-resolution grid encodings.
+
+    Parameters mirror Table I: ``n_levels`` (L), ``n_features`` (F),
+    ``log2_table_size`` (log2 T), ``base_resolution`` (Nmin) and
+    ``growth_factor`` (b).
+    """
+
+    #: subclasses set this to the paper's name for the encoding
+    scheme_name = "grid"
+
+    def __init__(
+        self,
+        input_dim: int,
+        n_levels: int = 16,
+        n_features: int = 2,
+        log2_table_size: int = 19,
+        base_resolution: int = 16,
+        growth_factor: float = 1.5,
+        seed: SeedLike = None,
+        max_params: int = DEFAULT_MAX_PARAMS,
+    ):
+        if input_dim not in (1, 2, 3):
+            raise ValueError(f"grid encodings support 1-3 input dims, got {input_dim}")
+        if n_levels < 1:
+            raise ValueError("n_levels must be >= 1")
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        if log2_table_size < 1:
+            raise ValueError("log2_table_size must be >= 1")
+        self.input_dim = int(input_dim)
+        self.n_levels = int(n_levels)
+        self.n_features = int(n_features)
+        self.log2_table_size = int(log2_table_size)
+        self.table_size = 1 << self.log2_table_size
+        self.base_resolution = int(base_resolution)
+        self.growth_factor = float(growth_factor)
+        self.output_dim = self.n_levels * self.n_features
+        self._offsets = _corner_offsets(self.input_dim)
+
+        sizes = [self.level_table_entries(level) for level in range(self.n_levels)]
+        total = sum(sizes) * self.n_features
+        if total > max_params:
+            raise MemoryError(
+                f"{type(self).__name__} would allocate {total} parameters "
+                f"(> max_params={max_params}); reduce the resolution or raise "
+                "max_params explicitly"
+            )
+        rng = default_rng(seed)
+        self.tables: List[np.ndarray] = [
+            rng.uniform(-1e-4, 1e-4, size=(size, self.n_features)).astype(np.float32)
+            for size in sizes
+        ]
+        self._cache: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
+
+    # ------------------------------------------------------------------
+    # level geometry
+    # ------------------------------------------------------------------
+    def level_resolution(self, level: int) -> int:
+        """Grid resolution N_l of ``level``."""
+        if not 0 <= level < self.n_levels:
+            raise ValueError(f"level {level} out of range [0, {self.n_levels})")
+        return grid_resolution(self.base_resolution, self.growth_factor, level)
+
+    def level_dense_entries(self, level: int) -> int:
+        """Vertex count (N_l+1)^d of a dense grid at ``level``."""
+        return (self.level_resolution(level) + 1) ** self.input_dim
+
+    def level_table_entries(self, level: int) -> int:
+        """Number of feature vectors actually stored for ``level``."""
+        raise NotImplementedError
+
+    def level_uses_hash(self, level: int) -> bool:
+        """Whether lookups at ``level`` go through the hash function."""
+        return False
+
+    # ------------------------------------------------------------------
+    # index mapping (subclass-specific)
+    # ------------------------------------------------------------------
+    def _index_coords(self, coords: np.ndarray, level: int) -> np.ndarray:
+        """Map integer corner coordinates (batch, 2^d, d) to table rows."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _dense_index(coords: np.ndarray, stride: int) -> np.ndarray:
+        """Row-major linearization with ``stride`` vertices per side."""
+        index = coords[..., 0].astype(np.int64)
+        mult = stride
+        for i in range(1, coords.shape[-1]):
+            index = index + coords[..., i].astype(np.int64) * mult
+            mult *= stride
+        return index
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        x = self._check_input(x)
+        x = np.clip(x, 0.0, 1.0)
+        batch = x.shape[0]
+        out = np.empty((batch, self.output_dim), dtype=np.float32)
+        cache_entries: List[Tuple[np.ndarray, np.ndarray]] = []
+        for level in range(self.n_levels):
+            scale = self.level_resolution(level)
+            pos = x * scale
+            pos0 = np.minimum(np.floor(pos), scale - 1).astype(np.int64)
+            frac = pos - pos0
+            corners = pos0[:, None, :] + self._offsets[None, :, :]
+            indices = self._index_coords(corners, level)
+            weights = np.ones((batch, self._offsets.shape[0]), dtype=np.float32)
+            for dim in range(self.input_dim):
+                w_dim = np.where(
+                    self._offsets[None, :, dim] == 1,
+                    frac[:, dim : dim + 1],
+                    1.0 - frac[:, dim : dim + 1],
+                )
+                weights *= w_dim.astype(np.float32)
+            gathered = self.tables[level][indices]  # (batch, 2^d, F)
+            interp = (gathered * weights[:, :, None]).sum(axis=1)
+            out[:, level * self.n_features : (level + 1) * self.n_features] = interp
+            if cache:
+                cache_entries.append((indices, weights))
+        if cache:
+            self._cache = cache_entries
+        return out
+
+    def input_jacobian(self, x: np.ndarray) -> np.ndarray:
+        """Analytic d(features)/d(position), shape (batch, L*F, d).
+
+        The d-linear interpolation is piecewise-multilinear in ``x``;
+        differentiating the corner weights gives, per input dimension,
+        ``scale * prod_{other dims}(weight) * (+feat if corner bit set
+        else -feat)``.  This is what eikonal-regularized NSDF training and
+        analytic surface normals use.
+        """
+        x = self._check_input(x)
+        x = np.clip(x, 0.0, 1.0)
+        batch = x.shape[0]
+        jac = np.zeros((batch, self.output_dim, self.input_dim), dtype=np.float32)
+        for level in range(self.n_levels):
+            scale = self.level_resolution(level)
+            pos = x * scale
+            pos0 = np.minimum(np.floor(pos), scale - 1).astype(np.int64)
+            frac = pos - pos0
+            corners = pos0[:, None, :] + self._offsets[None, :, :]
+            indices = self._index_coords(corners, level)
+            gathered = self.tables[level][indices]  # (batch, 2^d, F)
+            # per-dimension weights w_dim: (batch, 2^d)
+            w_dims = []
+            for dim in range(self.input_dim):
+                w = np.where(
+                    self._offsets[None, :, dim] == 1,
+                    frac[:, dim : dim + 1],
+                    1.0 - frac[:, dim : dim + 1],
+                )
+                w_dims.append(w.astype(np.float32))
+            for dim in range(self.input_dim):
+                # dweight/dx_dim = scale * sign * prod of the other dims
+                partial = np.ones_like(w_dims[0])
+                for other in range(self.input_dim):
+                    if other != dim:
+                        partial = partial * w_dims[other]
+                sign = np.where(self._offsets[None, :, dim] == 1, 1.0, -1.0)
+                dw = partial * sign * scale
+                grad = (gathered * dw[:, :, None].astype(np.float32)).sum(axis=1)
+                jac[
+                    :, level * self.n_features : (level + 1) * self.n_features, dim
+                ] = grad
+        return jac
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        if self._cache is None:
+            raise RuntimeError("forward(..., cache=True) must run before backward")
+        output_grad = np.asarray(output_grad, dtype=np.float32)
+        batch = output_grad.shape[0]
+        if output_grad.shape != (batch, self.output_dim):
+            raise ValueError(
+                f"output_grad shape {output_grad.shape} != (batch, {self.output_dim})"
+            )
+        param_grads: List[np.ndarray] = []
+        for level, (indices, weights) in enumerate(self._cache):
+            dy = output_grad[
+                :, level * self.n_features : (level + 1) * self.n_features
+            ]
+            grad = np.zeros_like(self.tables[level])
+            # scatter-add: each corner receives weight * upstream gradient
+            contrib = weights[:, :, None] * dy[:, None, :]
+            np.add.at(grad, indices.reshape(-1), contrib.reshape(-1, self.n_features))
+            param_grads.append(grad)
+        return EncodingGradients(param_grads=param_grads, input_grad=None)
+
+    def parameters(self) -> List[np.ndarray]:
+        return self.tables
+
+    # ------------------------------------------------------------------
+    # workload accounting (consumed by the performance models)
+    # ------------------------------------------------------------------
+    def lookups_per_input(self) -> int:
+        """Table lookups per encoded input: 2^d corners x L levels."""
+        return (2**self.input_dim) * self.n_levels
+
+    def bytes_per_level(self, level: int, bytes_per_feature: int = 2) -> int:
+        """Size of one level's feature table in bytes (fp16 by default)."""
+        return self.level_table_entries(level) * self.n_features * bytes_per_feature
+
+
+class HashGridEncoding(GridEncoding):
+    """Multi-resolution hashgrid: dense where it fits, hashed where not."""
+
+    scheme_name = "multi_res_hashgrid"
+
+    def level_table_entries(self, level: int) -> int:
+        return min(self.level_dense_entries(level), self.table_size)
+
+    def level_uses_hash(self, level: int) -> bool:
+        return self.level_dense_entries(level) > self.table_size
+
+    def _index_coords(self, coords: np.ndarray, level: int) -> np.ndarray:
+        if self.level_uses_hash(level):
+            return hash_coords(coords, self.table_size)
+        stride = self.level_resolution(level) + 1
+        return self._dense_index(coords, stride)
+
+
+class DenseGridEncoding(GridEncoding):
+    """Multi-resolution densegrid: 1:1 mapping at every level."""
+
+    scheme_name = "multi_res_densegrid"
+
+    def level_table_entries(self, level: int) -> int:
+        return self.level_dense_entries(level)
+
+    def _index_coords(self, coords: np.ndarray, level: int) -> np.ndarray:
+        stride = self.level_resolution(level) + 1
+        return self._dense_index(coords, stride)
+
+
+class TiledGridEncoding(GridEncoding):
+    """Low-resolution densegrid: coordinates tile modulo the resolution.
+
+    Tiling bounds the table to N_l^d entries regardless of scene extent,
+    which is how the paper's *low resolution densegrid* configuration keeps
+    2 levels at Nmin=128 affordable.
+    """
+
+    scheme_name = "low_res_densegrid"
+
+    def level_table_entries(self, level: int) -> int:
+        return self.level_resolution(level) ** self.input_dim
+
+    def _index_coords(self, coords: np.ndarray, level: int) -> np.ndarray:
+        resolution = self.level_resolution(level)
+        wrapped = coords % resolution
+        return self._dense_index(wrapped, resolution)

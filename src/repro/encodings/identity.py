@@ -1,0 +1,23 @@
+"""Identity (pass-through) encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+
+
+class IdentityEncoding(Encoding):
+    """Pass inputs through unchanged; useful as a control in ablations."""
+
+    def __init__(self, input_dim: int):
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        self.input_dim = int(input_dim)
+        self.output_dim = int(input_dim)
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        return self._check_input(x)
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        return EncodingGradients(input_grad=np.asarray(output_grad))

@@ -1,0 +1,47 @@
+"""OneBlob encoding (Mueller et al., neural importance sampling).
+
+Each scalar input in [0,1] activates a Gaussian "blob" over ``bins``
+quantization bins; it behaves like a smooth one-hot code and is used by
+neural radiance caching for auxiliary network inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+
+
+class OneBlobEncoding(Encoding):
+    """Smooth one-hot encoding with ``bins`` Gaussian bins per dimension."""
+
+    def __init__(self, input_dim: int, bins: int = 16):
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if bins < 2:
+            raise ValueError("bins must be at least 2")
+        self.input_dim = int(input_dim)
+        self.bins = int(bins)
+        self.output_dim = self.input_dim * self.bins
+        self._centers = ((np.arange(self.bins) + 0.5) / self.bins).astype(np.float32)
+        self._sigma = 1.0 / self.bins
+        self._cache_x: "np.ndarray | None" = None
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        x = self._check_input(x)
+        diff = x[:, :, None] - self._centers[None, None, :]
+        out = np.exp(-0.5 * (diff / self._sigma) ** 2)
+        if cache:
+            self._cache_x = x
+        return out.reshape(x.shape[0], self.output_dim).astype(np.float32)
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        if self._cache_x is None:
+            raise RuntimeError("forward(..., cache=True) must run before backward")
+        x = self._cache_x
+        grad = np.asarray(output_grad).reshape(x.shape[0], self.input_dim, self.bins)
+        diff = x[:, :, None] - self._centers[None, None, :]
+        gauss = np.exp(-0.5 * (diff / self._sigma) ** 2)
+        dvalue = gauss * (-diff / (self._sigma**2))
+        input_grad = (grad * dvalue).sum(axis=2)
+        return EncodingGradients(input_grad=input_grad.astype(np.float32))

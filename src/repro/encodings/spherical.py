@@ -1,0 +1,61 @@
+"""Real spherical-harmonics encoding of unit view directions.
+
+NeRF/NVR color networks consume SH-encoded view directions (the
+"[Composite]" input of Table I is the 16 density features concatenated with
+16 SH coefficients of degree 4).  Coefficients follow the hard-coded
+polynomial expansion used by instant-ngp, up to degree 4 (16 outputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+
+
+class SphericalHarmonicsEncoding(Encoding):
+    """Evaluate real SH bases of ``degree`` (1..4) on unit 3-vectors."""
+
+    def __init__(self, degree: int = 4):
+        if not 1 <= degree <= 4:
+            raise ValueError(f"degree must be in [1, 4], got {degree}")
+        self.degree = int(degree)
+        self.input_dim = 3
+        self.output_dim = degree * degree
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        x = self._check_input(x)
+        norms = np.linalg.norm(x, axis=1, keepdims=True)
+        if np.any(norms < 1e-8):
+            raise ValueError("view directions must be non-zero")
+        x = x / norms
+        vx, vy, vz = x[:, 0], x[:, 1], x[:, 2]
+        out = np.empty((x.shape[0], self.output_dim), dtype=np.float32)
+        out[:, 0] = 0.28209479177387814  # l=0
+        if self.degree >= 2:
+            out[:, 1] = -0.48860251190291987 * vy
+            out[:, 2] = 0.48860251190291987 * vz
+            out[:, 3] = -0.48860251190291987 * vx
+        if self.degree >= 3:
+            xy, yz, xz = vx * vy, vy * vz, vx * vz
+            x2, y2, z2 = vx * vx, vy * vy, vz * vz
+            out[:, 4] = 1.0925484305920792 * xy
+            out[:, 5] = -1.0925484305920792 * yz
+            out[:, 6] = 0.31539156525252005 * (3.0 * z2 - 1.0)
+            out[:, 7] = -1.0925484305920792 * xz
+            out[:, 8] = 0.5462742152960396 * (x2 - y2)
+        if self.degree >= 4:
+            x2, y2, z2 = vx * vx, vy * vy, vz * vz
+            out[:, 9] = -0.5900435899266435 * vy * (3.0 * x2 - y2)
+            out[:, 10] = 2.890611442640554 * vx * vy * vz
+            out[:, 11] = -0.4570457994644658 * vy * (5.0 * z2 - 1.0)
+            out[:, 12] = 0.3731763325901154 * vz * (5.0 * z2 - 3.0)
+            out[:, 13] = -0.4570457994644658 * vx * (5.0 * z2 - 1.0)
+            out[:, 14] = 1.445305721320277 * vz * (x2 - y2)
+            out[:, 15] = -0.5900435899266435 * vx * (x2 - 3.0 * y2)
+        return out
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        # View-direction gradients are not needed by any application in this
+        # repo (directions are inputs, not trainable); terminate the chain.
+        return EncodingGradients()

@@ -1,0 +1,59 @@
+"""Triangle-wave encoding (Mueller et al., neural radiance caching).
+
+A cheap fixed-function alternative to sin/cos frequency encoding: each
+octave applies a triangle wave of doubling frequency.  Used by real-time
+variants because it needs no transcendentals — included here to round out
+the fixed-function encoding family of Section II-A-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import Encoding, EncodingGradients
+
+
+def triangle_wave(x: np.ndarray) -> np.ndarray:
+    """Periodic triangle wave with period 1 mapping to [0, 1].
+
+    t(0) = 1, t(0.5) = 0, t(1) = 1, piecewise linear in between.
+    """
+    frac = np.asarray(x) % 1.0
+    return 2.0 * np.abs(frac - 0.5)
+
+
+class TriangleWaveEncoding(Encoding):
+    """K octaves of triangle waves per input dimension."""
+
+    def __init__(self, input_dim: int, num_frequencies: int = 12):
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if num_frequencies <= 0:
+            raise ValueError("num_frequencies must be positive")
+        self.input_dim = int(input_dim)
+        self.num_frequencies = int(num_frequencies)
+        self.output_dim = self.input_dim * self.num_frequencies
+        self._freqs = (2.0 ** np.arange(self.num_frequencies)).astype(np.float32)
+        self._cache_scaled: "np.ndarray | None" = None
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        x = self._check_input(x)
+        scaled = x[:, :, None] * self._freqs[None, None, :]
+        out = triangle_wave(scaled)
+        if cache:
+            self._cache_scaled = scaled
+        return out.reshape(x.shape[0], self.output_dim).astype(np.float32)
+
+    def backward(self, output_grad: np.ndarray) -> EncodingGradients:
+        if self._cache_scaled is None:
+            raise RuntimeError("forward(..., cache=True) must run before backward")
+        scaled = self._cache_scaled
+        grad = np.asarray(output_grad).reshape(
+            scaled.shape[0], self.input_dim, self.num_frequencies
+        )
+        # d triangle / d u = +2 where frac < 0.5 is false... the wave is
+        # 2|frac - 0.5|: slope -2 on [0, 0.5), +2 on (0.5, 1)
+        frac = scaled % 1.0
+        slope = np.where(frac < 0.5, -2.0, 2.0)
+        dinput = (grad * slope * self._freqs[None, None, :]).sum(axis=2)
+        return EncodingGradients(input_grad=dinput.astype(np.float32))

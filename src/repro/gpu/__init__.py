@@ -1,0 +1,50 @@
+"""Analytic GPU (RTX 3090-class) performance model.
+
+Substitutes for the paper's hardware profiling step: kernel workloads are
+derived from Table I shapes and the sampling model, a roofline device model
+turns them into times, and the published FHD frame times anchor the
+absolute scale.  The profiler reproduces the paper's Figure 5 kernel
+breakdowns, Figure 8 op-level breakdowns and Table II utilization data.
+"""
+
+from repro.gpu.device import GPUSpec, RTX3090
+from repro.gpu.kernels import KernelLaunch, KernelTrace, build_kernel_trace
+from repro.gpu.roofline import kernel_time_ms, roofline_time_ms
+from repro.gpu.baseline import (
+    baseline_frame_time_ms,
+    baseline_kernel_times_ms,
+    performance_gap,
+)
+from repro.gpu.profiler import (
+    kernel_breakdown,
+    op_breakdown,
+    utilization_rows,
+)
+from repro.gpu.memory import (
+    CacheReport,
+    cache_report,
+    encoding_working_set_bytes,
+    expected_lookup_latency_cycles,
+    l2_hit_rate,
+)
+
+__all__ = [
+    "GPUSpec",
+    "RTX3090",
+    "KernelLaunch",
+    "KernelTrace",
+    "build_kernel_trace",
+    "kernel_time_ms",
+    "roofline_time_ms",
+    "baseline_frame_time_ms",
+    "baseline_kernel_times_ms",
+    "performance_gap",
+    "kernel_breakdown",
+    "op_breakdown",
+    "utilization_rows",
+    "CacheReport",
+    "cache_report",
+    "encoding_working_set_bytes",
+    "expected_lookup_latency_cycles",
+    "l2_hit_rate",
+]

@@ -1,0 +1,61 @@
+"""GPU device descriptions for the baseline performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Headline specifications of a GPU used by the roofline model.
+
+    Throughputs are peak values; the roofline model multiplies them by the
+    achieved utilizations of Table II.
+    """
+
+    name: str
+    sm_count: int
+    boost_clock_ghz: float
+    fp16_tflops: float  # tensor-core dense fp16 throughput
+    fp32_tflops: float
+    mem_bandwidth_gbps: float
+    l2_cache_mb: float
+    die_area_mm2: float
+    tdp_w: float
+    kernel_launch_overhead_us: float = 5.0
+
+    def __post_init__(self):
+        for field_name in (
+            "sm_count",
+            "boost_clock_ghz",
+            "fp16_tflops",
+            "fp32_tflops",
+            "mem_bandwidth_gbps",
+            "l2_cache_mb",
+            "die_area_mm2",
+            "tdp_w",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def flops_per_second_fp16(self) -> float:
+        return self.fp16_tflops * 1e12
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9
+
+
+#: the paper's baseline GPU (GA102, CUDA 11.7)
+RTX3090 = GPUSpec(
+    name="RTX 3090",
+    sm_count=82,
+    boost_clock_ghz=1.695,
+    fp16_tflops=71.0,  # FP16 without sparsity (tensor cores, fp16 accumulate)
+    fp32_tflops=35.58,
+    mem_bandwidth_gbps=936.2,
+    l2_cache_mb=6.0,
+    die_area_mm2=628.4,
+    tdp_w=350.0,
+)

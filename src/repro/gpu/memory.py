@@ -1,0 +1,113 @@
+"""Cache-residency model of the encoding lookup tables (Section IV).
+
+The paper attributes the encoding kernel's memory-boundedness to the fact
+that "the lookup tables for all the resolution levels do not entirely fit
+on the L2 cache of RTX3090".  This module quantifies that: per-level
+working sets, an L2 hit-rate estimate, and the resulting expected lookup
+latency — the mechanism behind the Table II memory utilizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.params import AppConfig
+from repro.gpu.device import GPUSpec, RTX3090
+
+GPU_BYTES_PER_FEATURE = 2  # fp16 feature storage in the GPU implementation
+
+L2_HIT_LATENCY_CYCLES = 200
+DRAM_LATENCY_CYCLES = 600
+
+
+def _level_entries(config: AppConfig, level: int) -> int:
+    import numpy as np
+
+    grid = config.grid
+    resolution = int(np.floor(grid.n_min * grid.growth_factor**level))
+    dense = (resolution + 1) ** config.spatial_dim
+    if grid.scheme == "multi_res_hashgrid":
+        return min(dense, grid.table_size)
+    if grid.scheme == "multi_res_densegrid":
+        return dense
+    return resolution**config.spatial_dim  # tiled
+
+
+def level_working_set_bytes(config: AppConfig, level: int) -> int:
+    """Bytes of one level's feature table as stored by the GPU."""
+    if not 0 <= level < config.grid.n_levels:
+        raise ValueError(f"level {level} out of range")
+    return _level_entries(config, level) * config.grid.n_features * GPU_BYTES_PER_FEATURE
+
+
+def encoding_working_set_bytes(config: AppConfig) -> int:
+    """Total bytes of all levels' tables (the kernel's hot working set)."""
+    return sum(
+        level_working_set_bytes(config, level)
+        for level in range(config.grid.n_levels)
+    )
+
+
+def l2_hit_rate(config: AppConfig, device: Optional[GPUSpec] = None) -> float:
+    """Estimated L2 hit rate of grid lookups.
+
+    Coarse levels (small tables) stay resident; once the cumulative
+    working set exceeds the L2, the remainder misses.  Lookups are spread
+    evenly across levels (one per level per sample), so the hit rate is
+    the resident fraction of levels plus the partial residency of the
+    level that straddles the boundary.
+    """
+    device = device or RTX3090
+    capacity = device.l2_cache_mb * 1024 * 1024
+    sizes: List[int] = [
+        level_working_set_bytes(config, level)
+        for level in range(config.grid.n_levels)
+    ]
+    # coarse levels first: they are both smallest and most reused
+    remaining = float(capacity)
+    hit_levels = 0.0
+    for size in sorted(sizes):
+        if size <= remaining:
+            hit_levels += 1.0
+            remaining -= size
+        else:
+            hit_levels += remaining / size
+            remaining = 0.0
+            break
+    return hit_levels / len(sizes)
+
+
+def expected_lookup_latency_cycles(
+    config: AppConfig, device: Optional[GPUSpec] = None
+) -> float:
+    """Average grid-lookup latency under the L2 residency model."""
+    hit = l2_hit_rate(config, device)
+    return hit * L2_HIT_LATENCY_CYCLES + (1.0 - hit) * DRAM_LATENCY_CYCLES
+
+
+@dataclass(frozen=True)
+class CacheReport:
+    """Summary of encoding-table cache behaviour for one configuration."""
+
+    config_name: str
+    working_set_bytes: int
+    l2_capacity_bytes: int
+    hit_rate: float
+    expected_latency_cycles: float
+
+    @property
+    def fits_in_l2(self) -> bool:
+        return self.working_set_bytes <= self.l2_capacity_bytes
+
+
+def cache_report(config: AppConfig, device: Optional[GPUSpec] = None) -> CacheReport:
+    """Build the cache-behaviour report the Section IV analysis implies."""
+    device = device or RTX3090
+    return CacheReport(
+        config_name=config.name,
+        working_set_bytes=encoding_working_set_bytes(config),
+        l2_capacity_bytes=int(device.l2_cache_mb * 1024 * 1024),
+        hit_rate=l2_hit_rate(config, device),
+        expected_latency_cycles=expected_lookup_latency_cycles(config, device),
+    )

@@ -1,0 +1,84 @@
+"""SM occupancy model of the baseline GPU kernels.
+
+Table II records each kernel's launch geometry (grid and block sizes).
+This module converts that geometry into classic occupancy quantities —
+warps per block, blocks per SM, waves per launch — which explain why the
+small per-call utilizations of Table II still sum to a busy GPU: the
+kernels launch tens of millions of threads in a handful of waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.calibration import paper
+from repro.gpu.device import GPUSpec, RTX3090
+
+WARP_SIZE = 32
+MAX_WARPS_PER_SM = 48  # GA102
+MAX_BLOCKS_PER_SM = 16
+MAX_THREADS_PER_SM = 1536
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy breakdown of one kernel launch."""
+
+    grid_size: Tuple[int, int, int]
+    block_size: Tuple[int, int, int]
+    threads_per_block: int
+    warps_per_block: int
+    total_blocks: int
+    total_threads: int
+    blocks_per_sm: int
+    achieved_occupancy: float
+    waves: float
+
+def occupancy_report(
+    grid_size: Tuple[int, int, int],
+    block_size: Tuple[int, int, int],
+    device: Optional[GPUSpec] = None,
+) -> OccupancyReport:
+    """Occupancy of a launch with the given geometry."""
+    device = device or RTX3090
+    threads_per_block = block_size[0] * block_size[1] * block_size[2]
+    if threads_per_block < 1:
+        raise ValueError("block size must be positive")
+    if threads_per_block % WARP_SIZE != 0:
+        raise ValueError(f"block of {threads_per_block} threads is not warp-aligned")
+    total_blocks = grid_size[0] * grid_size[1] * grid_size[2]
+    if total_blocks < 1:
+        raise ValueError("grid size must be positive")
+    warps_per_block = threads_per_block // WARP_SIZE
+    blocks_per_sm = min(
+        MAX_BLOCKS_PER_SM,
+        MAX_WARPS_PER_SM // warps_per_block,
+        MAX_THREADS_PER_SM // threads_per_block,
+    )
+    if blocks_per_sm < 1:
+        raise ValueError("block too large for one SM")
+    resident_warps = blocks_per_sm * warps_per_block
+    achieved = resident_warps / MAX_WARPS_PER_SM
+    concurrent_blocks = blocks_per_sm * device.sm_count
+    waves = total_blocks / concurrent_blocks
+    return OccupancyReport(
+        grid_size=tuple(grid_size),
+        block_size=tuple(block_size),
+        threads_per_block=threads_per_block,
+        warps_per_block=warps_per_block,
+        total_blocks=total_blocks,
+        total_threads=total_blocks * threads_per_block,
+        blocks_per_sm=blocks_per_sm,
+        achieved_occupancy=achieved,
+        waves=waves,
+    )
+
+
+def table2_occupancy(app: str, scheme: str, kernel: str) -> OccupancyReport:
+    """Occupancy of a Table II kernel, from its recorded geometry."""
+    key = (app, scheme, kernel)
+    if key not in paper.TABLE2:
+        raise KeyError(f"no Table II entry for {key}")
+    grid, block = paper.TABLE2[key][0], paper.TABLE2[key][1]
+    return occupancy_report(grid, block)

@@ -1,0 +1,68 @@
+"""Roofline timing of kernel launches on a GPU device model.
+
+``time = max(flops / (peak_flops x compute_util),
+             bytes / (bandwidth x memory_util)) + launches x overhead``
+
+The achieved utilizations default to the Table II measurements for the
+matching (app, scheme, kernel); "rest" kernels use a generic utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration import paper
+from repro.gpu.device import GPUSpec, RTX3090
+from repro.gpu.kernels import KernelLaunch, KernelTrace
+
+_REST_COMPUTE_UTIL = 0.40
+_REST_MEMORY_UTIL = 0.60
+
+
+def roofline_time_ms(
+    flops: float,
+    dram_bytes: float,
+    device: GPUSpec,
+    compute_util: float = 1.0,
+    memory_util: float = 1.0,
+) -> float:
+    """Raw roofline time in milliseconds (no launch overhead)."""
+    if not 0 < compute_util <= 1 or not 0 < memory_util <= 1:
+        raise ValueError("utilizations must be in (0, 1]")
+    if flops < 0 or dram_bytes < 0:
+        raise ValueError("workload must be non-negative")
+    compute_s = flops / (device.flops_per_second_fp16 * compute_util)
+    memory_s = dram_bytes / (device.bytes_per_second * memory_util)
+    return max(compute_s, memory_s) * 1e3
+
+
+def _utilizations(launch: KernelLaunch, trace: KernelTrace) -> tuple:
+    if launch.kind == "rest":
+        return _REST_COMPUTE_UTIL, _REST_MEMORY_UTIL
+    key = (trace.config.app, trace.config.grid.scheme, launch.kind)
+    row = paper.TABLE2[key]
+    return row[2] / 100.0, row[3] / 100.0
+
+
+def kernel_time_ms(
+    launch: KernelLaunch,
+    trace: KernelTrace,
+    device: Optional[GPUSpec] = None,
+) -> float:
+    """Roofline time of one launch including per-call overhead."""
+    device = device or RTX3090
+    compute_util, memory_util = _utilizations(launch, trace)
+    base = roofline_time_ms(
+        launch.flops, launch.dram_bytes, device, compute_util, memory_util
+    )
+    return base + launch.calls * device.kernel_launch_overhead_us * 1e-3
+
+
+def trace_time_ms(trace: KernelTrace, device: Optional[GPUSpec] = None) -> dict:
+    """Per-kind and total roofline times of a frame's kernel trace."""
+    device = device or RTX3090
+    times = {"encoding": 0.0, "mlp": 0.0, "rest": 0.0}
+    for launch in trace.launches:
+        times[launch.kind] += kernel_time_ms(launch, trace, device)
+    times["total"] = sum(times.values())
+    return times

@@ -1,0 +1,69 @@
+"""JSON import/export of kernel traces.
+
+Lets users persist the lowered per-frame kernel workloads (for diffing
+model versions, or feeding external tools) and reload them without
+rebuilding from a Table I configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.apps.params import AppConfig
+from repro.gpu.kernels import KernelLaunch, KernelTrace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def trace_to_dict(trace: KernelTrace) -> dict:
+    """Serialize a kernel trace to plain types."""
+    return {
+        "config": trace.config.to_dict(),
+        "n_pixels": trace.n_pixels,
+        "n_samples": trace.n_samples,
+        "launches": [
+            {
+                "name": launch.name,
+                "kind": launch.kind,
+                "flops": launch.flops,
+                "dram_bytes": launch.dram_bytes,
+                "calls": launch.calls,
+            }
+            for launch in trace.launches
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> KernelTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    config = AppConfig.from_dict(data["config"])
+    launches = tuple(
+        KernelLaunch(
+            name=l["name"],
+            kind=l["kind"],
+            flops=l["flops"],
+            dram_bytes=l["dram_bytes"],
+            calls=l["calls"],
+        )
+        for l in data["launches"]
+    )
+    return KernelTrace(
+        config=config,
+        n_pixels=data["n_pixels"],
+        n_samples=data["n_samples"],
+        launches=launches,
+    )
+
+
+def save_trace(trace: KernelTrace, path: PathLike) -> None:
+    """Write a trace to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(trace_to_dict(trace), f, indent=2)
+
+
+def load_trace(path: PathLike) -> KernelTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as f:
+        return trace_from_dict(json.load(f))

@@ -1,0 +1,83 @@
+"""Classic computer-graphics substrate.
+
+Everything the four neural graphics applications need from conventional
+graphics: pinhole cameras and ray generation, volume-rendering compositing
+(the paper's "compositing stage", Section II), sphere tracing for SDFs,
+analytic SDF scene primitives with CSG, procedural high-frequency images
+standing in for gigapixel photographs, and synthetic emissive volumes.
+"""
+
+from repro.graphics.camera import PinholeCamera, look_at
+from repro.graphics.rays import RayBundle, generate_rays, sample_along_rays, stratified_ts
+from repro.graphics.volume_rendering import (
+    composite_rays,
+    CompositeResult,
+    alpha_from_density,
+    transmittance,
+)
+from repro.graphics.sdf_primitives import (
+    SDF,
+    Sphere,
+    Box,
+    Torus,
+    Plane,
+    Union,
+    Intersection,
+    Difference,
+    SmoothUnion,
+    Translate,
+    Scale,
+    sdf_normal,
+)
+from repro.graphics.sphere_tracing import sphere_trace, SphereTraceResult
+from repro.graphics.image import (
+    procedural_gigapixel_image,
+    sample_image_bilinear,
+    psnr,
+)
+from repro.graphics.scenes import (
+    SyntheticRadianceField,
+    SyntheticReflectanceVolume,
+    default_sdf_scene,
+)
+from repro.graphics.occupancy import OccupancyGrid
+from repro.graphics.meshing import TriangleMesh, marching_tetrahedra
+from repro.graphics.metrics import mse, ssim
+
+__all__ = [
+    "PinholeCamera",
+    "look_at",
+    "RayBundle",
+    "generate_rays",
+    "sample_along_rays",
+    "stratified_ts",
+    "composite_rays",
+    "CompositeResult",
+    "alpha_from_density",
+    "transmittance",
+    "SDF",
+    "Sphere",
+    "Box",
+    "Torus",
+    "Plane",
+    "Union",
+    "Intersection",
+    "Difference",
+    "SmoothUnion",
+    "Translate",
+    "Scale",
+    "sdf_normal",
+    "sphere_trace",
+    "SphereTraceResult",
+    "procedural_gigapixel_image",
+    "sample_image_bilinear",
+    "psnr",
+    "SyntheticRadianceField",
+    "SyntheticReflectanceVolume",
+    "default_sdf_scene",
+    "OccupancyGrid",
+    "TriangleMesh",
+    "marching_tetrahedra",
+    "mse",
+    "ssim",
+]

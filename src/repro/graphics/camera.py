@@ -1,0 +1,105 @@
+"""Pinhole camera model and pose construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def look_at(eye, target, up=(0.0, 1.0, 0.0)) -> np.ndarray:
+    """Build a 4x4 camera-to-world matrix looking from ``eye`` to ``target``.
+
+    Follows the OpenGL/NeRF convention: the camera looks down its local -z
+    axis, +x is right and +y is up.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise ValueError("eye and target coincide")
+    forward /= norm
+    right = np.cross(forward, up)
+    right_norm = np.linalg.norm(right)
+    if right_norm < 1e-12:
+        raise ValueError("up vector is parallel to the viewing direction")
+    right /= right_norm
+    true_up = np.cross(right, forward)
+    c2w = np.eye(4)
+    c2w[:3, 0] = right
+    c2w[:3, 1] = true_up
+    c2w[:3, 2] = -forward
+    c2w[:3, 3] = eye
+    return c2w
+
+
+@dataclass
+class PinholeCamera:
+    """A pinhole camera with square pixels.
+
+    Attributes
+    ----------
+    width, height:
+        Image resolution in pixels.
+    focal:
+        Focal length in pixel units (fx == fy).
+    camera_to_world:
+        4x4 pose matrix (camera looks down local -z).
+    """
+
+    width: int
+    height: int
+    focal: float
+    camera_to_world: np.ndarray = field(
+        default_factory=lambda: np.eye(4)
+    )
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("resolution must be positive")
+        if self.focal <= 0:
+            raise ValueError("focal length must be positive")
+        self.camera_to_world = np.asarray(self.camera_to_world, dtype=np.float64)
+        if self.camera_to_world.shape != (4, 4):
+            raise ValueError("camera_to_world must be a 4x4 matrix")
+
+    @classmethod
+    def from_fov(
+        cls, width: int, height: int, fov_x_degrees: float, camera_to_world=None
+    ) -> "PinholeCamera":
+        """Construct from a horizontal field of view in degrees."""
+        if not 0 < fov_x_degrees < 180:
+            raise ValueError("fov must be in (0, 180) degrees")
+        focal = 0.5 * width / np.tan(0.5 * np.radians(fov_x_degrees))
+        if camera_to_world is None:
+            camera_to_world = np.eye(4)
+        return cls(width, height, focal, camera_to_world)
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def position(self) -> np.ndarray:
+        """Camera origin in world space."""
+        return self.camera_to_world[:3, 3]
+
+    def pixel_directions(self) -> np.ndarray:
+        """World-space unit ray directions for every pixel, shape (H*W, 3).
+
+        Pixels are traversed row-major, with (0, 0) the top-left pixel and
+        directions through pixel centers.
+        """
+        j, i = np.meshgrid(
+            np.arange(self.height), np.arange(self.width), indexing="ij"
+        )
+        x = (i + 0.5 - 0.5 * self.width) / self.focal
+        y = -(j + 0.5 - 0.5 * self.height) / self.focal
+        z = -np.ones_like(x)
+        dirs_cam = np.stack([x, y, z], axis=-1).reshape(-1, 3)
+        rot = self.camera_to_world[:3, :3]
+        dirs_world = dirs_cam @ rot.T
+        dirs_world /= np.linalg.norm(dirs_world, axis=1, keepdims=True)
+        return dirs_world.astype(np.float32)

@@ -1,0 +1,114 @@
+"""Procedural high-frequency images standing in for gigapixel photographs.
+
+The GIA application learns a mapping from 2D coordinates to RGB.  Real
+gigapixel captures are not available offline, so we synthesize images with
+controlled broadband frequency content (multi-octave value noise plus
+high-frequency structure) — the properties that make gigapixel images a
+stress test for input encodings (Section II-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+
+
+def _value_noise_octave(
+    rng: np.random.Generator, height: int, width: int, cells: int
+) -> np.ndarray:
+    """One octave of bilinear value noise with ``cells`` lattice cells."""
+    lattice = rng.uniform(0.0, 1.0, size=(cells + 1, cells + 1))
+    ys = np.linspace(0.0, cells, height, endpoint=False)
+    xs = np.linspace(0.0, cells, width, endpoint=False)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    v00 = lattice[np.ix_(y0, x0)]
+    v01 = lattice[np.ix_(y0, x0 + 1)]
+    v10 = lattice[np.ix_(y0 + 1, x0)]
+    v11 = lattice[np.ix_(y0 + 1, x0 + 1)]
+    top = v00 * (1 - fx) + v01 * fx
+    bottom = v10 * (1 - fx) + v11 * fx
+    return top * (1 - fy) + bottom * fy
+
+
+def procedural_gigapixel_image(
+    height: int,
+    width: int,
+    octaves: int = 6,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Synthesize an RGB image with power-law multi-scale detail.
+
+    Returns an array of shape (height, width, 3) in [0, 1].  Octave ``k``
+    contributes value noise at 4 * 2^k lattice cells with amplitude 2^-k,
+    plus a deterministic high-frequency interference pattern so that even
+    the finest pixels carry structure (as in a gigapixel photograph).
+    """
+    if height <= 0 or width <= 0:
+        raise ValueError("image dimensions must be positive")
+    if octaves < 1:
+        raise ValueError("octaves must be >= 1")
+    rng = default_rng(seed)
+    channels = []
+    for _ in range(3):
+        acc = np.zeros((height, width))
+        amplitude_sum = 0.0
+        for k in range(octaves):
+            cells = min(4 * (2**k), max(height, width))
+            amplitude = 2.0**-k
+            acc += amplitude * _value_noise_octave(rng, height, width, cells)
+            amplitude_sum += amplitude
+        channels.append(acc / amplitude_sum)
+    image = np.stack(channels, axis=-1)
+    # deterministic high-frequency detail (sub-cell structure)
+    yy, xx = np.meshgrid(
+        np.linspace(0, 1, height, endpoint=False),
+        np.linspace(0, 1, width, endpoint=False),
+        indexing="ij",
+    )
+    detail = 0.08 * np.sin(2 * np.pi * (23 * xx + 31 * yy)) * np.cos(
+        2 * np.pi * (41 * xx - 17 * yy)
+    )
+    image = np.clip(image + detail[..., None], 0.0, 1.0)
+    return image.astype(np.float32)
+
+
+def sample_image_bilinear(image: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Bilinearly sample ``image`` at normalized (x, y) in [0, 1]^2.
+
+    ``coords`` has shape (n, 2) with x rightward and y downward; returns
+    (n, channels).
+    """
+    image = np.asarray(image)
+    coords = np.asarray(coords, dtype=np.float64)
+    if image.ndim != 3:
+        raise ValueError("image must be (H, W, C)")
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError("coords must be (n, 2)")
+    h, w = image.shape[:2]
+    x = np.clip(coords[:, 0], 0.0, 1.0) * (w - 1)
+    y = np.clip(coords[:, 1], 0.0, 1.0) * (h - 1)
+    x0 = np.floor(x).astype(int)
+    y0 = np.floor(y).astype(int)
+    x1 = np.minimum(x0 + 1, w - 1)
+    y1 = np.minimum(y0 + 1, h - 1)
+    fx = (x - x0)[:, None]
+    fy = (y - y0)[:, None]
+    top = image[y0, x0] * (1 - fx) + image[y0, x1] * fx
+    bottom = image[y1, x0] * (1 - fx) + image[y1, x1] * fx
+    return (top * (1 - fy) + bottom * fy).astype(np.float32)
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio between two images/arrays in dB."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    mse = float(np.mean((a - b) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)

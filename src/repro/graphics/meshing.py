@@ -1,0 +1,209 @@
+"""Isosurface extraction from signed distance fields (marching tetrahedra).
+
+SDFs are used for "simulation, path planning, 3D modeling, and video
+games" (Section III-2); all of those consume meshes.  This module
+extracts a triangle mesh from any distance callable — analytic or neural
+— by splitting each grid cell into six tetrahedra and triangulating the
+zero crossing inside each (marching tetrahedra: no 256-way case table,
+no ambiguous cases, watertight on shared faces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+DistanceFn = Callable[[np.ndarray], np.ndarray]
+
+# the six tetrahedra of a cube, as corner indices of the unit cell
+# corners are numbered by binary (x, y, z) offsets: index = x + 2y + 4z
+_CUBE_TETS = np.array(
+    [
+        [0, 5, 1, 3],
+        [0, 5, 3, 7],
+        [0, 5, 7, 4],
+        [0, 7, 3, 2],
+        [0, 7, 2, 6],
+        [0, 7, 6, 4],
+    ],
+    dtype=np.int64,
+)
+
+_CORNER_OFFSETS = np.array(
+    [[x, y, z] for z in (0, 1) for y in (0, 1) for x in (0, 1)], dtype=np.float64
+)  # index = x + 2y + 4z
+
+
+@dataclass
+class TriangleMesh:
+    """A triangle mesh: float vertices and integer faces."""
+
+    vertices: np.ndarray  # (n_vertices, 3)
+    faces: np.ndarray  # (n_faces, 3) indices into vertices
+
+    def __post_init__(self):
+        self.vertices = np.asarray(self.vertices, dtype=np.float64)
+        self.faces = np.asarray(self.faces, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ValueError("vertices must be (n, 3)")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise ValueError("faces must be (m, 3)")
+        if self.faces.size and self.faces.max() >= len(self.vertices):
+            raise ValueError("face index out of range")
+
+    @property
+    def n_vertices(self) -> int:
+        return self.vertices.shape[0]
+
+    @property
+    def n_faces(self) -> int:
+        return self.faces.shape[0]
+
+    def surface_area(self) -> float:
+        """Total area of all triangles."""
+        a = self.vertices[self.faces[:, 0]]
+        b = self.vertices[self.faces[:, 1]]
+        c = self.vertices[self.faces[:, 2]]
+        cross = np.cross(b - a, c - a)
+        return float(0.5 * np.linalg.norm(cross, axis=1).sum())
+
+    def face_normals(self) -> np.ndarray:
+        """Unit normals per face."""
+        a = self.vertices[self.faces[:, 0]]
+        b = self.vertices[self.faces[:, 1]]
+        c = self.vertices[self.faces[:, 2]]
+        cross = np.cross(b - a, c - a)
+        norms = np.linalg.norm(cross, axis=1, keepdims=True)
+        return cross / np.maximum(norms, 1e-18)
+
+    def to_obj(self) -> str:
+        """Serialize to Wavefront OBJ text (1-based face indices)."""
+        lines: List[str] = []
+        for v in self.vertices:
+            lines.append(f"v {v[0]:.6f} {v[1]:.6f} {v[2]:.6f}")
+        for f in self.faces:
+            lines.append(f"f {f[0] + 1} {f[1] + 1} {f[2] + 1}")
+        return "\n".join(lines) + "\n"
+
+
+def _interp_zero(p0, p1, d0, d1):
+    """Linear zero crossing between two points with distances d0, d1."""
+    t = d0 / (d0 - d1)
+    return p0 + t[:, None] * (p1 - p0)
+
+
+def marching_tetrahedra(
+    distance_fn: DistanceFn,
+    resolution: int = 32,
+    bounds: Tuple[float, float] = (-0.5, 0.5),
+) -> TriangleMesh:
+    """Extract the zero level set of ``distance_fn`` over a cube.
+
+    ``resolution`` is the cell count per side; ``bounds`` the cube extent
+    on every axis.  Returns a :class:`TriangleMesh` (possibly empty).
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    lo, hi = bounds
+    if hi <= lo:
+        raise ValueError("bounds must satisfy hi > lo")
+    n = resolution + 1
+    axis = np.linspace(lo, hi, n)
+    gx, gy, gz = np.meshgrid(axis, axis, axis, indexing="ij")
+    points = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3)
+    values = np.asarray(distance_fn(points), dtype=np.float64).reshape(n, n, n)
+
+    cell = (hi - lo) / resolution
+    # corner values per cell, shaped (cells^3, 8) with corner order
+    # index = x + 2y + 4z
+    corner_vals = np.empty((resolution, resolution, resolution, 8))
+    corner_pos = np.empty((resolution, resolution, resolution, 8, 3))
+    base = np.stack(
+        np.meshgrid(axis[:-1], axis[:-1], axis[:-1], indexing="ij"), axis=-1
+    )
+    for c, (ox, oy, oz) in enumerate(_CORNER_OFFSETS):
+        corner_vals[..., c] = values[
+            int(ox) : int(ox) + resolution,
+            int(oy) : int(oy) + resolution,
+            int(oz) : int(oz) + resolution,
+        ]
+        corner_pos[..., c, :] = base + np.array([ox, oy, oz]) * cell
+    corner_vals = corner_vals.reshape(-1, 8)
+    corner_pos = corner_pos.reshape(-1, 8, 3)
+
+    triangles: List[np.ndarray] = []
+    for tet in _CUBE_TETS:
+        vals = corner_vals[:, tet]  # (cells, 4)
+        pos = corner_pos[:, tet, :]  # (cells, 4, 3)
+        inside = vals < 0.0
+        count = inside.sum(axis=1)
+        # one corner inside (or outside): a single triangle
+        for flip in (False, True):
+            target = 1 if not flip else 3
+            mask = count == target
+            if not mask.any():
+                continue
+            v, p = vals[mask], pos[mask]
+            iso = inside[mask] if not flip else ~inside[mask]
+            apex = np.argmax(iso, axis=1)
+            rows = np.arange(len(apex))
+            others = np.array(
+                [[j for j in range(4) if j != a] for a in apex]
+            )
+            pa = p[rows, apex]
+            da = v[rows, apex]
+            tri = np.stack(
+                [
+                    _interp_zero(pa, p[rows, others[:, k]], da, v[rows, others[:, k]])
+                    for k in range(3)
+                ],
+                axis=1,
+            )
+            triangles.append(tri)
+        # two corners inside: a quad (two triangles)
+        mask = count == 2
+        if mask.any():
+            v, p = vals[mask], pos[mask]
+            iso = inside[mask]
+            # the two inside and two outside corner indices per tet
+            in_idx = np.stack([np.flatnonzero(r)[:2] for r in iso])
+            out_idx = np.stack([np.flatnonzero(~r)[:2] for r in iso])
+            rows = np.arange(len(v))
+            a0 = _interp_zero(
+                p[rows, in_idx[:, 0]], p[rows, out_idx[:, 0]],
+                v[rows, in_idx[:, 0]], v[rows, out_idx[:, 0]],
+            )
+            a1 = _interp_zero(
+                p[rows, in_idx[:, 0]], p[rows, out_idx[:, 1]],
+                v[rows, in_idx[:, 0]], v[rows, out_idx[:, 1]],
+            )
+            b0 = _interp_zero(
+                p[rows, in_idx[:, 1]], p[rows, out_idx[:, 0]],
+                v[rows, in_idx[:, 1]], v[rows, out_idx[:, 0]],
+            )
+            b1 = _interp_zero(
+                p[rows, in_idx[:, 1]], p[rows, out_idx[:, 1]],
+                v[rows, in_idx[:, 1]], v[rows, out_idx[:, 1]],
+            )
+            triangles.append(np.stack([a0, a1, b0], axis=1))
+            triangles.append(np.stack([b0, a1, b1], axis=1))
+
+    if not triangles:
+        return TriangleMesh(
+            vertices=np.zeros((0, 3)), faces=np.zeros((0, 3), dtype=np.int64)
+        )
+    tris = np.concatenate(triangles, axis=0)  # (m, 3, 3)
+    # weld duplicate vertices so shared edges are shared indices
+    flat = tris.reshape(-1, 3)
+    rounded = np.round(flat / (cell * 1e-6)) * (cell * 1e-6)
+    unique, inverse = np.unique(rounded, axis=0, return_inverse=True)
+    faces = inverse.reshape(-1, 3)
+    # drop degenerate triangles produced by zero-length edges
+    valid = (
+        (faces[:, 0] != faces[:, 1])
+        & (faces[:, 1] != faces[:, 2])
+        & (faces[:, 0] != faces[:, 2])
+    )
+    return TriangleMesh(vertices=unique, faces=faces[valid])

@@ -1,0 +1,73 @@
+"""Image-quality metrics: MSE, PSNR (re-exported) and SSIM.
+
+SSIM follows Wang et al. 2004 with an 8x8 uniform window (a faithful
+simplification of the 11x11 Gaussian window that keeps the implementation
+dependency-free); constants use the standard K1=0.01, K2=0.03.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphics.image import psnr  # noqa: F401  (re-export)
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def _window_mean(x: np.ndarray, win: int) -> np.ndarray:
+    """Mean over non-overlapping win x win tiles of a 2D array."""
+    h, w = x.shape
+    th, tw = h // win, w // win
+    trimmed = x[: th * win, : tw * win]
+    return trimmed.reshape(th, win, tw, win).mean(axis=(1, 3))
+
+
+def ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    peak: float = 1.0,
+    window: int = 8,
+) -> float:
+    """Structural similarity index over tiled windows, averaged.
+
+    Accepts (H, W) or (H, W, C) arrays; channels are averaged.  Images
+    must be at least one window wide and tall.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    if a.ndim == 2:
+        a = a[..., None]
+        b = b[..., None]
+    if a.ndim != 3:
+        raise ValueError("images must be (H, W) or (H, W, C)")
+    if a.shape[0] < window or a.shape[1] < window:
+        raise ValueError("image smaller than the SSIM window")
+
+    c1 = (0.01 * peak) ** 2
+    c2 = (0.03 * peak) ** 2
+    values = []
+    for ch in range(a.shape[2]):
+        x, y = a[..., ch], b[..., ch]
+        mu_x = _window_mean(x, window)
+        mu_y = _window_mean(y, window)
+        mu_x2 = _window_mean(x * x, window)
+        mu_y2 = _window_mean(y * y, window)
+        mu_xy = _window_mean(x * y, window)
+        var_x = np.maximum(mu_x2 - mu_x**2, 0.0)
+        var_y = np.maximum(mu_y2 - mu_y**2, 0.0)
+        cov = mu_xy - mu_x * mu_y
+        numerator = (2 * mu_x * mu_y + c1) * (2 * cov + c2)
+        denominator = (mu_x**2 + mu_y**2 + c1) * (var_x + var_y + c2)
+        values.append(float(np.mean(numerator / denominator)))
+    return float(np.mean(values))

@@ -1,0 +1,96 @@
+"""Occupancy grid for empty-space skipping during ray marching.
+
+instant-ngp (the paper's baseline implementation) maintains a coarse
+binary occupancy grid over the volume and skips samples in cells whose
+density is negligible — this is one of the "rest" kernels the paper's
+NGPC leaves on (and fuses into) the GPU.  We provide the same substrate:
+a cubical bitfield updated from any density callable, plus per-ray sample
+culling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+DensityFn = Callable[[np.ndarray], np.ndarray]
+
+
+class OccupancyGrid:
+    """A binary occupancy grid over the unit cube [0, 1]^3.
+
+    Parameters
+    ----------
+    resolution:
+        Cells per side (instant-ngp uses 128; tests use smaller grids).
+    threshold:
+        Densities at or below this mark a cell empty.
+    """
+
+    def __init__(self, resolution: int = 64, threshold: float = 0.01):
+        if resolution < 1:
+            raise ValueError("resolution must be positive")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.resolution = int(resolution)
+        self.threshold = float(threshold)
+        self.occupied = np.ones(
+            (self.resolution,) * 3, dtype=bool
+        )  # conservative: everything occupied until updated
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Fraction of cells currently marked occupied."""
+        return float(self.occupied.mean())
+
+    def cell_centers(self) -> np.ndarray:
+        """Centers of all cells, shape (resolution^3, 3)."""
+        axis = (np.arange(self.resolution) + 0.5) / self.resolution
+        grid = np.stack(np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1)
+        return grid.reshape(-1, 3)
+
+    def update(self, density_fn: DensityFn, samples_per_cell: int = 1, seed: int = 0) -> None:
+        """Re-evaluate occupancy by sampling ``density_fn`` in each cell.
+
+        A cell is occupied when any of its samples exceeds the threshold.
+        """
+        if samples_per_cell < 1:
+            raise ValueError("samples_per_cell must be >= 1")
+        rng = np.random.default_rng(seed)
+        centers = self.cell_centers()
+        occupied = np.zeros(centers.shape[0], dtype=bool)
+        for _ in range(samples_per_cell):
+            jitter = rng.uniform(
+                -0.5 / self.resolution, 0.5 / self.resolution, size=centers.shape
+            )
+            points = np.clip(centers + jitter, 0.0, 1.0)
+            density = np.asarray(density_fn(points.astype(np.float32))).reshape(-1)
+            occupied |= density > self.threshold
+        self.occupied = occupied.reshape((self.resolution,) * 3)
+
+    def query(self, points: np.ndarray) -> np.ndarray:
+        """Occupancy of the cells containing ``points`` (n, 3) in [0,1]^3."""
+        points = np.asarray(points)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must be (n, 3)")
+        cells = np.clip(
+            (points * self.resolution).astype(int), 0, self.resolution - 1
+        )
+        return self.occupied[cells[:, 0], cells[:, 1], cells[:, 2]]
+
+    def cull_samples(
+        self, points: np.ndarray, valid: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """AND an existing validity mask with occupancy.
+
+        ``points`` is (n_rays * n_samples, 3) and ``valid`` is
+        (n_rays, n_samples); returns the refined mask plus the fraction of
+        previously-valid samples that were culled.
+        """
+        valid = np.asarray(valid, dtype=np.float32)
+        flat = self.query(points).reshape(valid.shape)
+        refined = valid * flat
+        before = float(valid.sum())
+        culled = 0.0 if before == 0 else 1.0 - float(refined.sum()) / before
+        return refined.astype(np.float32), culled

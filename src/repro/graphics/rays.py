@@ -1,0 +1,121 @@
+"""Ray bundles, ray generation and sampling along rays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphics.camera import PinholeCamera
+from repro.utils.rng import SeedLike, default_rng
+
+
+@dataclass
+class RayBundle:
+    """A batch of rays: origins and unit directions, shape (n, 3) each."""
+
+    origins: np.ndarray
+    directions: np.ndarray
+
+    def __post_init__(self):
+        self.origins = np.asarray(self.origins, dtype=np.float32)
+        self.directions = np.asarray(self.directions, dtype=np.float32)
+        if self.origins.shape != self.directions.shape or self.origins.ndim != 2:
+            raise ValueError("origins and directions must both be (n, 3)")
+        if self.origins.shape[1] != 3:
+            raise ValueError("rays must be 3-dimensional")
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        """Points origins + t * directions; ``t`` has shape (n,) or (n, k)."""
+        t = np.asarray(t, dtype=np.float32)
+        if t.ndim == 1:
+            return self.origins + t[:, None] * self.directions
+        return self.origins[:, None, :] + t[..., None] * self.directions[:, None, :]
+
+    def select(self, indices: np.ndarray) -> "RayBundle":
+        """A sub-bundle of the given ray indices."""
+        return RayBundle(self.origins[indices], self.directions[indices])
+
+
+def generate_rays(camera: PinholeCamera) -> RayBundle:
+    """One ray per pixel of ``camera``, row-major order."""
+    directions = camera.pixel_directions()
+    origins = np.broadcast_to(
+        camera.position.astype(np.float32), directions.shape
+    ).copy()
+    return RayBundle(origins, directions)
+
+
+def stratified_ts(
+    n_rays: int,
+    n_samples: int,
+    near: float,
+    far: float,
+    jitter: bool = False,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sample distances in [near, far): one per stratum, optionally jittered.
+
+    Returns an array of shape (n_rays, n_samples), monotonically increasing
+    along the sample axis.
+    """
+    if near < 0 or far <= near:
+        raise ValueError(f"need 0 <= near < far, got near={near}, far={far}")
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    edges = np.linspace(near, far, n_samples + 1, dtype=np.float32)
+    lower, upper = edges[:-1], edges[1:]
+    if jitter:
+        rng = default_rng(seed)
+        u = rng.uniform(0.0, 1.0, size=(n_rays, n_samples)).astype(np.float32)
+    else:
+        u = np.full((n_rays, n_samples), 0.5, dtype=np.float32)
+    return lower[None, :] + u * (upper - lower)[None, :]
+
+
+def sample_along_rays(
+    rays: RayBundle,
+    n_samples: int,
+    near: float,
+    far: float,
+    jitter: bool = False,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stratified points along each ray.
+
+    Returns ``(points, ts)`` with points of shape (n_rays, n_samples, 3)
+    and ts of shape (n_rays, n_samples).
+    """
+    ts = stratified_ts(len(rays), n_samples, near, far, jitter=jitter, seed=seed)
+    return rays.at(ts), ts
+
+
+def rays_aabb_intersection(
+    rays: RayBundle,
+    box_min: np.ndarray,
+    box_max: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Slab test of rays against an axis-aligned box.
+
+    Returns ``(hit, t_near, t_far)``; for missed rays t_near/t_far are 0.
+    """
+    box_min = np.asarray(box_min, dtype=np.float32)
+    box_max = np.asarray(box_max, dtype=np.float32)
+    if np.any(box_min >= box_max):
+        raise ValueError("box_min must be strictly below box_max")
+    safe_dirs = np.where(
+        np.abs(rays.directions) > 1e-12, rays.directions, np.float32(1e-12)
+    )
+    inv_dir = 1.0 / safe_dirs
+    t0 = (box_min[None, :] - rays.origins) * inv_dir
+    t1 = (box_max[None, :] - rays.origins) * inv_dir
+    t_near = np.minimum(t0, t1).max(axis=1)
+    t_far = np.maximum(t0, t1).min(axis=1)
+    hit = (t_far > np.maximum(t_near, 0.0))
+    t_near = np.where(hit, np.maximum(t_near, 0.0), 0.0)
+    t_far = np.where(hit, t_far, 0.0)
+    return hit, t_near.astype(np.float32), t_far.astype(np.float32)

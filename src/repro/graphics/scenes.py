@@ -1,0 +1,143 @@
+"""Synthetic ground-truth scenes for the volumetric applications.
+
+Real captured scene observations (the NeRF datasets) are not available
+offline; these procedural fields play their role: they are cheap analytic
+functions of position (and direction) that the networks learn from point
+samples, exercising exactly the same training and rendering code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphics.sdf_primitives import (
+    SDF,
+    Box,
+    Difference,
+    Sphere,
+    SmoothUnion,
+    Torus,
+    Translate,
+)
+from repro.utils.rng import SeedLike, default_rng
+
+
+def default_sdf_scene() -> SDF:
+    """The reference NSDF test scene: smooth union of torus/sphere minus a box.
+
+    Fits inside the unit cube centered at the origin.
+    """
+    blob = SmoothUnion(
+        Sphere(center=(0.15, 0.0, 0.0), radius=0.28),
+        Torus(center=(-0.1, 0.0, 0.0), major_radius=0.3, minor_radius=0.12),
+        k=0.08,
+    )
+    return Difference(
+        blob, Translate(Box(half_extents=(0.08, 0.5, 0.08)), (0.25, 0.0, 0.0))
+    )
+
+
+class SyntheticRadianceField:
+    """An analytic emissive field: density blobs with position+view color.
+
+    The ground truth for NeRF training: ``density(points)`` returns sigma
+    and ``color(points, dirs)`` returns view-dependent RGB, both defined in
+    the unit cube [0, 1]^3 with a free-space margin near the faces.
+    """
+
+    def __init__(self, n_blobs: int = 5, seed: SeedLike = 0):
+        if n_blobs < 1:
+            raise ValueError("need at least one blob")
+        rng = default_rng(seed)
+        self.centers = rng.uniform(0.3, 0.7, size=(n_blobs, 3))
+        self.radii = rng.uniform(0.05, 0.15, size=n_blobs)
+        self.peak_density = rng.uniform(20.0, 60.0, size=n_blobs)
+        self.base_colors = rng.uniform(0.2, 1.0, size=(n_blobs, 3))
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Sum of Gaussian density blobs, shape (n,)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must be (n, 3)")
+        sigma = np.zeros(points.shape[0])
+        for c, r, p in zip(self.centers, self.radii, self.peak_density):
+            d2 = ((points - c) ** 2).sum(axis=1)
+            sigma += p * np.exp(-0.5 * d2 / (r * r))
+        return sigma
+
+    def color(self, points: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        """Blob-weighted base colors with a Lambertian-ish view tint."""
+        points = np.asarray(points, dtype=np.float64)
+        directions = np.asarray(directions, dtype=np.float64)
+        if directions.shape != points.shape:
+            raise ValueError("directions must match points")
+        weights = np.zeros((points.shape[0], len(self.radii)))
+        for i, (c, r) in enumerate(zip(self.centers, self.radii)):
+            d2 = ((points - c) ** 2).sum(axis=1)
+            weights[:, i] = np.exp(-0.5 * d2 / (r * r))
+        total = weights.sum(axis=1, keepdims=True)
+        weights = weights / np.maximum(total, 1e-8)
+        base = weights @ self.base_colors
+        # mild view dependence: brighten when looking along +z
+        dirs_norm = directions / np.maximum(
+            np.linalg.norm(directions, axis=1, keepdims=True), 1e-12
+        )
+        tint = 0.85 + 0.15 * dirs_norm[:, 2:3]
+        return np.clip(base * tint, 0.0, 1.0)
+
+
+class SyntheticReflectanceVolume(SyntheticRadianceField):
+    """Ground truth for NVR: density plus a *reflectance* (albedo) field.
+
+    NVR learns density and reflectance instead of emission (Section III-4);
+    shading happens in the renderer.  We model single-scatter lighting from
+    a fixed directional light so the learned quantity is view-independent
+    albedo while rendered colors remain view/light dependent.
+    """
+
+    LIGHT_DIR = np.array([0.5, 0.7, 0.5]) / np.linalg.norm([0.5, 0.7, 0.5])
+
+    def reflectance(self, points: np.ndarray) -> np.ndarray:
+        """View-independent albedo in [0, 1], shape (n, 3)."""
+        points = np.asarray(points, dtype=np.float64)
+        weights = np.zeros((points.shape[0], len(self.radii)))
+        for i, (c, r) in enumerate(zip(self.centers, self.radii)):
+            d2 = ((points - c) ** 2).sum(axis=1)
+            weights[:, i] = np.exp(-0.5 * d2 / (r * r))
+        total = weights.sum(axis=1, keepdims=True)
+        weights = weights / np.maximum(total, 1e-8)
+        return np.clip(weights @ self.base_colors, 0.0, 1.0)
+
+    def shade(self, points: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        """Single-scatter shading of the reflectance field."""
+        albedo = self.reflectance(points)
+        directions = np.asarray(directions, dtype=np.float64)
+        dirs_norm = directions / np.maximum(
+            np.linalg.norm(directions, axis=1, keepdims=True), 1e-12
+        )
+        # phase: half lambert against the fixed light, half view-aligned
+        cos_l = np.clip(dirs_norm @ self.LIGHT_DIR, -1.0, 1.0)
+        phase = 0.75 + 0.25 * cos_l
+        return np.clip(albedo * phase[:, None], 0.0, 1.0)
+
+
+def make_training_batch(
+    field: SyntheticRadianceField,
+    batch_size: int,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (points, dirs, density, color) tuples for direct supervision."""
+    rng = default_rng(seed)
+    points = rng.uniform(0.0, 1.0, size=(batch_size, 3))
+    dirs = rng.normal(size=(batch_size, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    density = field.density(points)
+    color = field.color(points, dirs)
+    return (
+        points.astype(np.float32),
+        dirs.astype(np.float32),
+        density.astype(np.float32),
+        color.astype(np.float32),
+    )

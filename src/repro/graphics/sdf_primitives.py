@@ -1,0 +1,175 @@
+"""Analytic signed distance functions with CSG combinators.
+
+These provide ground-truth 3D shapes for the NSDF application: a signed
+distance function returns, for each point, the distance to the surface,
+negative inside.  All evaluators are vectorized over (n, 3) point arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SDF:
+    """Base signed distance function; subclasses implement ``distance``."""
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"points must be (n, 3), got {points.shape}")
+        return self.distance(points)
+
+    # --- CSG sugar -----------------------------------------------------
+    def __or__(self, other: "SDF") -> "SDF":
+        return Union(self, other)
+
+    def __and__(self, other: "SDF") -> "SDF":
+        return Intersection(self, other)
+
+    def __sub__(self, other: "SDF") -> "SDF":
+        return Difference(self, other)
+
+
+class Sphere(SDF):
+    """Sphere of ``radius`` centered at ``center``."""
+
+    def __init__(self, center=(0.0, 0.0, 0.0), radius: float = 1.0):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.center = np.asarray(center, dtype=np.float64)
+        self.radius = float(radius)
+
+    def distance(self, points):
+        return np.linalg.norm(points - self.center, axis=1) - self.radius
+
+
+class Box(SDF):
+    """Axis-aligned box with given half-extents, centered at ``center``."""
+
+    def __init__(self, center=(0.0, 0.0, 0.0), half_extents=(0.5, 0.5, 0.5)):
+        self.center = np.asarray(center, dtype=np.float64)
+        self.half_extents = np.asarray(half_extents, dtype=np.float64)
+        if np.any(self.half_extents <= 0):
+            raise ValueError("half_extents must be positive")
+
+    def distance(self, points):
+        q = np.abs(points - self.center) - self.half_extents
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=1)
+        inside = np.minimum(q.max(axis=1), 0.0)
+        return outside + inside
+
+
+class Torus(SDF):
+    """Torus in the xz-plane: major radius R, tube radius r."""
+
+    def __init__(self, center=(0.0, 0.0, 0.0), major_radius=1.0, minor_radius=0.25):
+        if major_radius <= 0 or minor_radius <= 0:
+            raise ValueError("radii must be positive")
+        if minor_radius >= major_radius:
+            raise ValueError("minor radius must be below major radius")
+        self.center = np.asarray(center, dtype=np.float64)
+        self.major_radius = float(major_radius)
+        self.minor_radius = float(minor_radius)
+
+    def distance(self, points):
+        p = points - self.center
+        q_x = np.sqrt(p[:, 0] ** 2 + p[:, 2] ** 2) - self.major_radius
+        return np.sqrt(q_x**2 + p[:, 1] ** 2) - self.minor_radius
+
+
+class Plane(SDF):
+    """Half-space below the plane with the given ``normal`` and offset."""
+
+    def __init__(self, normal=(0.0, 1.0, 0.0), offset: float = 0.0):
+        normal = np.asarray(normal, dtype=np.float64)
+        norm = np.linalg.norm(normal)
+        if norm < 1e-12:
+            raise ValueError("normal must be non-zero")
+        self.normal = normal / norm
+        self.offset = float(offset)
+
+    def distance(self, points):
+        return points @ self.normal - self.offset
+
+
+class Union(SDF):
+    """CSG union: min of distances."""
+
+    def __init__(self, a: SDF, b: SDF):
+        self.a, self.b = a, b
+
+    def distance(self, points):
+        return np.minimum(self.a(points), self.b(points))
+
+
+class Intersection(SDF):
+    """CSG intersection: max of distances."""
+
+    def __init__(self, a: SDF, b: SDF):
+        self.a, self.b = a, b
+
+    def distance(self, points):
+        return np.maximum(self.a(points), self.b(points))
+
+
+class Difference(SDF):
+    """CSG difference a \\ b: max(d_a, -d_b)."""
+
+    def __init__(self, a: SDF, b: SDF):
+        self.a, self.b = a, b
+
+    def distance(self, points):
+        return np.maximum(self.a(points), -self.b(points))
+
+
+class SmoothUnion(SDF):
+    """Polynomial smooth-min union with blending radius ``k``."""
+
+    def __init__(self, a: SDF, b: SDF, k: float = 0.1):
+        if k <= 0:
+            raise ValueError("blend radius k must be positive")
+        self.a, self.b, self.k = a, b, float(k)
+
+    def distance(self, points):
+        d1, d2 = self.a(points), self.b(points)
+        h = np.clip(0.5 + 0.5 * (d2 - d1) / self.k, 0.0, 1.0)
+        return d2 + (d1 - d2) * h - self.k * h * (1.0 - h)
+
+
+class Translate(SDF):
+    """Translate a child SDF by ``offset``."""
+
+    def __init__(self, child: SDF, offset):
+        self.child = child
+        self.offset = np.asarray(offset, dtype=np.float64)
+
+    def distance(self, points):
+        return self.child(points - self.offset)
+
+
+class Scale(SDF):
+    """Uniformly scale a child SDF by ``factor``."""
+
+    def __init__(self, child: SDF, factor: float):
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        self.child = child
+        self.factor = float(factor)
+
+    def distance(self, points):
+        return self.child(points / self.factor) * self.factor
+
+
+def sdf_normal(sdf: SDF, points: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference surface normals of ``sdf`` at ``points``."""
+    points = np.asarray(points, dtype=np.float64)
+    grads = np.empty_like(points)
+    for axis in range(3):
+        delta = np.zeros(3)
+        delta[axis] = eps
+        grads[:, axis] = (sdf(points + delta) - sdf(points - delta)) / (2 * eps)
+    norms = np.linalg.norm(grads, axis=1, keepdims=True)
+    return grads / np.maximum(norms, 1e-12)

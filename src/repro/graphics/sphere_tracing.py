@@ -1,0 +1,86 @@
+"""Sphere tracing (ray marching on signed distance functions).
+
+Used both to render ground-truth SDF scenes and to render trained NSDF
+networks: the callable passed in can be an analytic SDF or a neural one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graphics.rays import RayBundle
+
+DistanceFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class SphereTraceResult:
+    """Outcome of sphere tracing a bundle of rays.
+
+    Attributes
+    ----------
+    hit:
+        (n,) boolean hit mask.
+    t:
+        (n,) distance traveled along each ray (where it stopped).
+    points:
+        (n, 3) final positions.
+    iterations:
+        (n,) number of marching steps each ray took.
+    """
+
+    hit: np.ndarray
+    t: np.ndarray
+    points: np.ndarray
+    iterations: np.ndarray
+
+
+def sphere_trace(
+    distance_fn: DistanceFn,
+    rays: RayBundle,
+    t_min: float = 0.0,
+    t_max: float = 10.0,
+    epsilon: float = 1e-4,
+    max_steps: int = 128,
+    step_scale: float = 1.0,
+) -> SphereTraceResult:
+    """March each ray by the (scaled) distance-bound until hit or escape.
+
+    ``step_scale`` below 1 trades speed for robustness when ``distance_fn``
+    is only approximately a distance bound (e.g. a trained NSDF network).
+    """
+    if t_max <= t_min:
+        raise ValueError("t_max must exceed t_min")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    if not 0 < step_scale <= 1.0:
+        raise ValueError("step_scale must be in (0, 1]")
+
+    n = len(rays)
+    t = np.full(n, t_min, dtype=np.float64)
+    active = np.ones(n, dtype=bool)
+    hit = np.zeros(n, dtype=bool)
+    iterations = np.zeros(n, dtype=np.int64)
+
+    for _ in range(max_steps):
+        if not active.any():
+            break
+        points = rays.origins[active] + t[active, None] * rays.directions[active]
+        d = np.asarray(distance_fn(points), dtype=np.float64).reshape(-1)
+        iterations[active] += 1
+        converged = np.abs(d) < epsilon
+        idx = np.flatnonzero(active)
+        hit[idx[converged]] = True
+        t[idx] += np.where(converged, 0.0, np.maximum(d, epsilon) * step_scale)
+        escaped = t[idx] > t_max
+        active[idx[converged | escaped]] = False
+
+    points = rays.origins + t[:, None].astype(np.float32) * rays.directions
+    return SphereTraceResult(
+        hit=hit, t=t.astype(np.float32), points=points, iterations=iterations
+    )

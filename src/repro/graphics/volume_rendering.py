@@ -1,0 +1,186 @@
+"""Volume-rendering compositing (the paper's "compositing stage").
+
+Implements the classic emission-absorption model used by NeRF: per-sample
+densities become alphas via ``1 - exp(-sigma * dt)``, transmittance
+accumulates multiplicatively front to back, and colors are integrated with
+the resulting weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CompositeResult:
+    """Output of compositing one batch of rays.
+
+    Attributes
+    ----------
+    rgb:
+        (n_rays, 3) integrated color.
+    opacity:
+        (n_rays,) total alpha (1 - final transmittance).
+    depth:
+        (n_rays,) expected termination distance (weight-averaged t).
+    weights:
+        (n_rays, n_samples) per-sample contribution weights.
+    """
+
+    rgb: np.ndarray
+    opacity: np.ndarray
+    depth: np.ndarray
+    weights: np.ndarray
+
+
+def alpha_from_density(density: np.ndarray, dt: np.ndarray) -> np.ndarray:
+    """alpha = 1 - exp(-sigma * dt), clamped to [0, 1]."""
+    density = np.asarray(density)
+    dt = np.asarray(dt)
+    if np.any(density < 0):
+        raise ValueError("densities must be non-negative")
+    if np.any(dt < 0):
+        raise ValueError("segment lengths must be non-negative")
+    return 1.0 - np.exp(-density * dt)
+
+
+def transmittance(alphas: np.ndarray) -> np.ndarray:
+    """Front-to-back transmittance before each sample.
+
+    T_i = prod_{j<i} (1 - alpha_j); shape matches ``alphas``.
+    """
+    alphas = np.asarray(alphas)
+    one_minus = np.clip(1.0 - alphas, 0.0, 1.0)
+    shifted = np.concatenate(
+        [np.ones_like(one_minus[..., :1]), one_minus[..., :-1]], axis=-1
+    )
+    return np.cumprod(shifted, axis=-1)
+
+
+def composite_rays(
+    colors: np.ndarray,
+    densities: np.ndarray,
+    ts: np.ndarray,
+    background: float = 0.0,
+) -> CompositeResult:
+    """Integrate per-sample colors and densities into per-ray pixels.
+
+    Parameters
+    ----------
+    colors:
+        (n_rays, n_samples, 3) sample colors in [0, 1].
+    densities:
+        (n_rays, n_samples) non-negative densities.
+    ts:
+        (n_rays, n_samples) monotonically increasing sample distances.
+    background:
+        Background intensity composited behind the volume.
+    """
+    colors = np.asarray(colors, dtype=np.float32)
+    densities = np.asarray(densities, dtype=np.float32)
+    ts = np.asarray(ts, dtype=np.float32)
+    if colors.ndim != 3 or colors.shape[2] != 3:
+        raise ValueError(f"colors must be (n_rays, n_samples, 3), got {colors.shape}")
+    if densities.shape != colors.shape[:2]:
+        raise ValueError("densities must match colors' ray/sample shape")
+    if ts.shape != densities.shape:
+        raise ValueError("ts must match densities' shape")
+    if np.any(np.diff(ts, axis=1) < 0):
+        raise ValueError("sample distances must be non-decreasing along rays")
+
+    dt = np.diff(ts, axis=1)
+    # the last segment extends by the mean spacing, as in common NeRF code
+    last = (
+        dt.mean(axis=1, keepdims=True)
+        if dt.shape[1] > 0
+        else np.full((ts.shape[0], 1), 1e10, dtype=np.float32)
+    )
+    dt = np.concatenate([dt, last], axis=1)
+    alphas = alpha_from_density(densities, dt)
+    trans = transmittance(alphas)
+    weights = (alphas * trans).astype(np.float32)
+    rgb = (weights[:, :, None] * colors).sum(axis=1)
+    opacity = weights.sum(axis=1)
+    depth = (weights * ts).sum(axis=1) / np.maximum(opacity, 1e-8)
+    rgb = rgb + (1.0 - opacity[:, None]) * background
+    return CompositeResult(
+        rgb=rgb.astype(np.float32),
+        opacity=opacity.astype(np.float32),
+        depth=depth.astype(np.float32),
+        weights=weights,
+    )
+
+
+def composite_full_backward(
+    colors: np.ndarray,
+    densities: np.ndarray,
+    ts: np.ndarray,
+    rgb_grad: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Gradients of the composited color w.r.t. sample colors AND densities.
+
+    With ``a_i = 1 - exp(-sigma_i dt_i)``, ``T_i = prod_{j<i}(1 - a_j)`` and
+    ``w_i = a_i T_i``, the color gradient is ``w_i * dL/drgb`` and the alpha
+    gradient follows from
+
+        dL/da_k = g_k T_k - (1 / (1 - a_k)) * sum_{i>k} g_i w_i
+
+    where ``g_i = (dL/drgb) . c_i``; finally ``da/dsigma = dt (1 - a)``.
+    Returns ``(color_grads, density_grads)`` with the input shapes.
+    """
+    colors = np.asarray(colors, dtype=np.float64)
+    densities = np.asarray(densities, dtype=np.float64)
+    ts = np.asarray(ts, dtype=np.float64)
+    rgb_grad = np.asarray(rgb_grad, dtype=np.float64)
+    if colors.ndim != 3 or colors.shape[2] != 3:
+        raise ValueError("colors must be (n_rays, n_samples, 3)")
+    if densities.shape != colors.shape[:2] or ts.shape != densities.shape:
+        raise ValueError("densities/ts must match colors' ray/sample shape")
+    if rgb_grad.shape != (colors.shape[0], 3):
+        raise ValueError("rgb_grad must be (n_rays, 3)")
+
+    dt = np.diff(ts, axis=1)
+    last = (
+        dt.mean(axis=1, keepdims=True)
+        if dt.shape[1] > 0
+        else np.full((ts.shape[0], 1), 1e10)
+    )
+    dt = np.concatenate([dt, last], axis=1)
+    alphas = 1.0 - np.exp(-densities * dt)
+    trans = transmittance(alphas)
+    weights = alphas * trans
+
+    color_grads = weights[:, :, None] * rgb_grad[:, None, :]
+    # per-sample upstream scalar: g_i = rgb_grad . c_i
+    g = (rgb_grad[:, None, :] * colors).sum(axis=2)
+    gw = g * weights
+    # suffix sum over i > k of g_i w_i
+    suffix = np.flip(np.cumsum(np.flip(gw, axis=1), axis=1), axis=1)
+    suffix_after = suffix - gw
+    one_minus_a = np.maximum(1.0 - alphas, 1e-12)
+    dL_da = g * trans - suffix_after / one_minus_a
+    density_grads = dL_da * dt * (1.0 - alphas)
+    return color_grads.astype(np.float32), density_grads.astype(np.float32)
+
+
+def composite_backward(
+    colors: np.ndarray,
+    weights: np.ndarray,
+    rgb_grad: np.ndarray,
+) -> np.ndarray:
+    """Gradient of the composited color w.r.t. per-sample colors.
+
+    Density gradients are intentionally omitted: the applications train
+    through the color path with densities handled by their own losses (the
+    simplified training loop documented in DESIGN.md).
+    """
+    colors = np.asarray(colors)
+    weights = np.asarray(weights)
+    rgb_grad = np.asarray(rgb_grad)
+    if weights.shape != colors.shape[:2]:
+        raise ValueError("weights must match colors' ray/sample shape")
+    if rgb_grad.shape != (colors.shape[0], 3):
+        raise ValueError("rgb_grad must be (n_rays, 3)")
+    return (weights[:, :, None] * rgb_grad[:, None, :]).astype(np.float32)

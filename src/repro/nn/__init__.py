@@ -1,0 +1,81 @@
+"""Tiny-MLP framework used by all neural graphics applications.
+
+The networks in neural graphics are small fully connected networks
+("fully fused MLPs" in instant-ngp terminology): 2-4 hidden layers of 64
+neurons, no biases, ReLU hidden activations.  This subpackage implements
+forward and backward passes, standard losses and optimizers, entirely in
+numpy, so that the applications in :mod:`repro.apps` can be trained and
+rendered without a deep-learning framework.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Softplus,
+    Exponential,
+    get_activation,
+)
+from repro.nn.initializers import (
+    xavier_uniform,
+    xavier_normal,
+    kaiming_uniform,
+    kaiming_normal,
+    get_initializer,
+)
+from repro.nn.losses import (
+    Loss,
+    L2Loss,
+    RelativeL2Loss,
+    L1Loss,
+    HuberLoss,
+    MAPELoss,
+    get_loss,
+)
+from repro.nn.optimizers import Optimizer, SGD, Adam, EMA
+from repro.nn.schedules import (
+    Schedule,
+    ConstantSchedule,
+    ExponentialDecay,
+    WarmupCosine,
+    get_schedule,
+)
+from repro.nn.mlp import FullyFusedMLP, MLPGradients
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "Exponential",
+    "get_activation",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "get_initializer",
+    "Loss",
+    "L2Loss",
+    "RelativeL2Loss",
+    "L1Loss",
+    "HuberLoss",
+    "MAPELoss",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "EMA",
+    "Schedule",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "WarmupCosine",
+    "get_schedule",
+    "FullyFusedMLP",
+    "MLPGradients",
+]

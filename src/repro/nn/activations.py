@@ -1,0 +1,147 @@
+"""Activation functions with forward and derivative evaluation.
+
+Each activation is a stateless object exposing ``forward(x)`` and
+``backward(x, dy)`` where ``x`` is the pre-activation input that was passed
+to ``forward`` and ``dy`` is the gradient flowing back from above.  Keeping
+the derivative in terms of the *input* (rather than the output) keeps the
+MLP backward pass uniform across activations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+
+class Activation:
+    """Base class for activations; subclasses implement forward/backward."""
+
+    name = "base"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """f(x) = x, used for the output layer of regression networks."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return dy
+
+
+class ReLU(Activation):
+    """f(x) = max(0, x); the hidden activation of the fully fused MLPs."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return dy * (x > 0.0)
+
+
+class LeakyReLU(Activation):
+    """f(x) = x if x>0 else alpha*x."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01):
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return dy * np.where(x > 0.0, 1.0, self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid; maps network outputs to [0,1] colors."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        return dy * s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return dy * (1.0 - t * t)
+
+
+class Softplus(Activation):
+    """f(x) = log(1+exp(x)); a smooth non-negative map used for densities."""
+
+    name = "softplus"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.logaddexp(0.0, x)
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return dy * Sigmoid().forward(x)
+
+class Exponential(Activation):
+    """f(x) = exp(x); the density activation of instant-ngp NeRF.
+
+    The input is clipped to 15 before exponentiation to avoid overflow
+    during early training, matching the truncated-exp trick in common NeRF
+    implementations.
+    """
+
+    name = "exponential"
+
+    _CLIP = 15.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(np.minimum(x, self._CLIP))
+
+    def backward(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return dy * np.exp(np.minimum(x, self._CLIP)) * (x <= self._CLIP)
+
+
+_REGISTRY: Dict[str, Type[Activation]] = {
+    cls.name: cls
+    for cls in (Identity, ReLU, LeakyReLU, Sigmoid, Tanh, Softplus, Exponential)
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Instantiate an activation from its registry name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]()

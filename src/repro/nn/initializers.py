@@ -1,0 +1,66 @@
+"""Weight initializers for the fully fused MLPs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+
+Initializer = Callable[[int, int, SeedLike], np.ndarray]
+
+
+def _check_shape(fan_in: int, fan_out: int) -> None:
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in/fan_out must be positive, got {fan_in}, {fan_out}")
+
+
+def xavier_uniform(fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    _check_shape(fan_in, fan_out)
+    rng = default_rng(seed)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(np.float32)
+
+
+def xavier_normal(fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+    """Glorot normal: N(0, 2/(fan_in+fan_out))."""
+    _check_shape(fan_in, fan_out)
+    rng = default_rng(seed)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal((fan_in, fan_out)) * std).astype(np.float32)
+
+
+def kaiming_uniform(fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+    """He uniform, appropriate for ReLU hidden layers."""
+    _check_shape(fan_in, fan_out)
+    rng = default_rng(seed)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(np.float32)
+
+
+def kaiming_normal(fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+    """He normal: N(0, 2/fan_in)."""
+    _check_shape(fan_in, fan_out)
+    rng = default_rng(seed)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal((fan_in, fan_out)) * std).astype(np.float32)
+
+
+_REGISTRY: Dict[str, Initializer] = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "kaiming_uniform": kaiming_uniform,
+    "kaiming_normal": kaiming_normal,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initializer by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]

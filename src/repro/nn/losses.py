@@ -1,0 +1,138 @@
+"""Loss functions with value and gradient evaluation.
+
+Losses return the mean loss over the batch and the gradient with respect to
+the prediction, so that ``loss.backward`` output can be fed directly into
+``FullyFusedMLP.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+
+class Loss:
+    """Base loss; subclasses implement :meth:`value_and_grad`."""
+
+    name = "base"
+
+    def value_and_grad(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.value_and_grad(prediction, target)[0]
+
+    @staticmethod
+    def _check(prediction: np.ndarray, target: np.ndarray) -> None:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+
+
+class L2Loss(Loss):
+    """Mean squared error."""
+
+    name = "l2"
+
+    def value_and_grad(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        n = diff.size
+        return float(np.mean(diff * diff)), (2.0 / n) * diff
+
+
+class RelativeL2Loss(Loss):
+    """Relative MSE used by instant-ngp for HDR-ish targets.
+
+    loss = (p-t)^2 / (p^2 + eps), with the denominator treated as constant
+    for the gradient (as in the reference implementation).
+    """
+
+    name = "relative_l2"
+
+    def __init__(self, epsilon: float = 1e-2):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+
+    def value_and_grad(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        denom = prediction * prediction + self.epsilon
+        n = diff.size
+        value = float(np.mean(diff * diff / denom))
+        grad = (2.0 / n) * diff / denom
+        return value, grad
+
+
+class L1Loss(Loss):
+    """Mean absolute error."""
+
+    name = "l1"
+
+    def value_and_grad(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        n = diff.size
+        return float(np.mean(np.abs(diff))), np.sign(diff) / n
+
+
+class HuberLoss(Loss):
+    """Huber loss, quadratic near zero and linear in the tails."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+
+    def value_and_grad(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        n = diff.size
+        abs_diff = np.abs(diff)
+        quad = abs_diff <= self.delta
+        value = np.where(
+            quad, 0.5 * diff * diff, self.delta * (abs_diff - 0.5 * self.delta)
+        )
+        grad = np.where(quad, diff, self.delta * np.sign(diff)) / n
+        return float(np.mean(value)), grad
+
+
+class MAPELoss(Loss):
+    """Mean absolute percentage error: |p-t| / (|t| + eps)."""
+
+    name = "mape"
+
+    def __init__(self, epsilon: float = 1e-2):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+
+    def value_and_grad(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        denom = np.abs(target) + self.epsilon
+        n = diff.size
+        return (
+            float(np.mean(np.abs(diff) / denom)),
+            np.sign(diff) / denom / n,
+        )
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    cls.name: cls for cls in (L2Loss, RelativeL2Loss, L1Loss, HuberLoss, MAPELoss)
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Instantiate a loss from its registry name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown loss {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()

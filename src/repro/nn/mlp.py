@@ -1,0 +1,201 @@
+"""Fully-fused-style multi-layer perceptron.
+
+Mirrors the networks used by instant-ngp and by the paper (Table I):
+
+- no biases ("Unlike standard MLPs the fully-fused MLPs do not have any
+  explicit biases", Section III);
+- a fixed hidden width (64 neurons in all Table I configurations);
+- ReLU hidden activations and a configurable output activation;
+- 2-4 hidden layers.
+
+The class supports forward inference, backward propagation to both weights
+and inputs (the latter is what trains parametric encodings), and parameter
+(de)serialization.  Shapes follow the row-major convention
+``y = x @ W`` with ``x`` of shape (batch, features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import get_initializer
+from repro.utils.rng import SeedLike, default_rng, derive_rng
+
+
+@dataclass
+class MLPGradients:
+    """Gradients produced by one backward pass."""
+
+    weight_grads: List[np.ndarray]
+    input_grad: np.ndarray
+
+
+class FullyFusedMLP:
+    """A small fully connected network without biases.
+
+    Parameters
+    ----------
+    input_dim:
+        Width of the (encoded) input vector.
+    output_dim:
+        Number of network outputs.
+    hidden_dim:
+        Hidden width; 64 in every Table I configuration.
+    hidden_layers:
+        Number of hidden layers (matrices between input and output).
+    hidden_activation / output_activation:
+        Activation objects or registry names.
+    seed:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        hidden_dim: int = 64,
+        hidden_layers: int = 3,
+        hidden_activation: "Activation | str" = "relu",
+        output_activation: "Activation | str" = "identity",
+        initializer: str = "xavier_uniform",
+        seed: SeedLike = None,
+    ):
+        if input_dim <= 0 or output_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if hidden_layers < 1:
+            raise ValueError(f"need at least one hidden layer, got {hidden_layers}")
+        self.input_dim = int(input_dim)
+        self.output_dim = int(output_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.hidden_layers = int(hidden_layers)
+        self.hidden_activation = (
+            get_activation(hidden_activation)
+            if isinstance(hidden_activation, str)
+            else hidden_activation
+        )
+        self.output_activation = (
+            get_activation(output_activation)
+            if isinstance(output_activation, str)
+            else output_activation
+        )
+
+        init = get_initializer(initializer)
+        rng = default_rng(seed)
+        dims = (
+            [self.input_dim]
+            + [self.hidden_dim] * self.hidden_layers
+            + [self.output_dim]
+        )
+        self.weights: List[np.ndarray] = [
+            init(dims[i], dims[i + 1], derive_rng(rng, i))
+            for i in range(len(dims) - 1)
+        ]
+        self._cache_inputs: Optional[List[np.ndarray]] = None
+        self._cache_preacts: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # shape / parameter bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def layer_dims(self) -> List[int]:
+        """The sequence of layer widths, input through output."""
+        return (
+            [self.input_dim]
+            + [self.hidden_dim] * self.hidden_layers
+            + [self.output_dim]
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable weight count."""
+        return sum(w.size for w in self.weights)
+
+    def parameters(self) -> List[np.ndarray]:
+        """The trainable arrays, shared (not copied) with the optimizer."""
+        return self.weights
+
+    def flops_per_input(self) -> int:
+        """Multiply-accumulate FLOPs (2 per MAC) for one input vector."""
+        dims = self.layer_dims
+        return sum(2 * dims[i] * dims[i + 1] for i in range(len(dims) - 1))
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        """Run the network on a batch of shape (batch, input_dim)."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_dim}), got {x.shape}"
+            )
+        inputs = [x]
+        preacts = []
+        h = x
+        last = len(self.weights) - 1
+        for i, w in enumerate(self.weights):
+            z = h @ w
+            preacts.append(z)
+            act = self.output_activation if i == last else self.hidden_activation
+            h = act.forward(z)
+            if i != last:
+                inputs.append(h)
+        if cache:
+            self._cache_inputs = inputs
+            self._cache_preacts = preacts
+        return h
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward(self, output_grad: np.ndarray) -> MLPGradients:
+        """Backpropagate ``output_grad`` through the cached forward pass."""
+        if self._cache_inputs is None or self._cache_preacts is None:
+            raise RuntimeError("forward(..., cache=True) must run before backward")
+        inputs, preacts = self._cache_inputs, self._cache_preacts
+        if output_grad.shape != (inputs[0].shape[0], self.output_dim):
+            raise ValueError(
+                f"output_grad shape {output_grad.shape} does not match "
+                f"({inputs[0].shape[0]}, {self.output_dim})"
+            )
+        weight_grads: List[np.ndarray] = [np.empty(0)] * len(self.weights)
+        last = len(self.weights) - 1
+        delta = self.output_activation.backward(preacts[last], output_grad)
+        for i in range(last, -1, -1):
+            weight_grads[i] = inputs[i].T @ delta
+            delta = delta @ self.weights[i].T
+            if i > 0:
+                delta = self.hidden_activation.backward(preacts[i - 1], delta)
+        return MLPGradients(weight_grads=weight_grads, input_grad=delta)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Copy of the weights plus the structural hyper-parameters."""
+        return {
+            "input_dim": self.input_dim,
+            "output_dim": self.output_dim,
+            "hidden_dim": self.hidden_dim,
+            "hidden_layers": self.hidden_layers,
+            "weights": [w.copy() for w in self.weights],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load weights saved by :meth:`state_dict`."""
+        for key in ("input_dim", "output_dim", "hidden_dim", "hidden_layers"):
+            if state[key] != getattr(self, key):
+                raise ValueError(
+                    f"state {key}={state[key]} does not match model "
+                    f"{key}={getattr(self, key)}"
+                )
+        if len(state["weights"]) != len(self.weights):
+            raise ValueError("weight count mismatch")
+        for w, saved in zip(self.weights, state["weights"]):
+            if w.shape != saved.shape:
+                raise ValueError("weight shape mismatch")
+            w[...] = saved

@@ -1,0 +1,123 @@
+"""Optimizers operating on flat lists of parameter arrays.
+
+The MLP and the parametric encodings both expose their trainable state as a
+list of numpy arrays; optimizers update those arrays in place given a
+matching list of gradients.  Adam follows Kingma & Ba with the bias
+correction used by instant-ngp (epsilon inside the square root is not used;
+epsilon is added to the denominator).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def _check_match(params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+    if len(params) != len(grads):
+        raise ValueError(f"got {len(params)} params but {len(grads)} grads")
+    for i, (p, g) in enumerate(zip(params, grads)):
+        if p.shape != g.shape:
+            raise ValueError(
+                f"param {i} shape {p.shape} does not match grad shape {g.shape}"
+            )
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`step`."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: List[np.ndarray] = []
+
+    def step(self, params, grads):
+        _check_match(params, grads)
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.learning_rate * g
+            return
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v += g
+            p -= self.learning_rate * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; the optimizer used to train all apps."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        epsilon: float = 1e-10,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def step(self, params, grads):
+        _check_match(params, grads)
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.learning_rate * (m / bc1) / (np.sqrt(v / bc2) + self.epsilon)
+
+
+class EMA:
+    """Exponential moving average of parameters, for smoothed evaluation."""
+
+    def __init__(self, decay: float = 0.99):
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = float(decay)
+        self._shadow: List[np.ndarray] = []
+
+    def update(self, params: Sequence[np.ndarray]) -> None:
+        if not self._shadow:
+            self._shadow = [p.copy() for p in params]
+            return
+        _check_match(self._shadow, list(params))
+        for s, p in zip(self._shadow, params):
+            s *= self.decay
+            s += (1.0 - self.decay) * p
+
+    @property
+    def shadow(self) -> List[np.ndarray]:
+        if not self._shadow:
+            raise RuntimeError("EMA.update was never called")
+        return self._shadow

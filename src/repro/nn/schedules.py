@@ -1,0 +1,116 @@
+"""Learning-rate schedules for the training loop.
+
+instant-ngp trains its grids and networks with Adam plus an exponential
+learning-rate decay after a constant warm phase; these schedules provide
+that recipe and common alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+
+class Schedule:
+    """Maps a step index to a learning rate."""
+
+    name = "base"
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return self.learning_rate(step)
+
+    def learning_rate(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """lr(step) = base."""
+
+    name = "constant"
+
+    def __init__(self, base: float = 1e-2):
+        if base <= 0:
+            raise ValueError("base learning rate must be positive")
+        self.base = float(base)
+
+    def learning_rate(self, step: int) -> float:
+        return self.base
+
+
+class ExponentialDecay(Schedule):
+    """Constant for ``delay`` steps, then x ``decay`` every ``interval``."""
+
+    name = "exponential"
+
+    def __init__(
+        self,
+        base: float = 1e-2,
+        decay: float = 0.33,
+        interval: int = 1000,
+        delay: int = 1000,
+        floor: float = 1e-6,
+    ):
+        if base <= 0 or floor <= 0:
+            raise ValueError("rates must be positive")
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        if interval < 1 or delay < 0:
+            raise ValueError("invalid interval/delay")
+        self.base = float(base)
+        self.decay = float(decay)
+        self.interval = int(interval)
+        self.delay = int(delay)
+        self.floor = float(floor)
+
+    def learning_rate(self, step: int) -> float:
+        if step < self.delay:
+            return self.base
+        k = (step - self.delay) // self.interval + 1
+        return max(self.base * self.decay**k, self.floor)
+
+
+class WarmupCosine(Schedule):
+    """Linear warmup to ``base`` then cosine decay to ``floor``."""
+
+    name = "warmup_cosine"
+
+    def __init__(
+        self,
+        base: float = 1e-2,
+        warmup_steps: int = 100,
+        total_steps: int = 10000,
+        floor: float = 1e-6,
+    ):
+        if base <= 0 or floor <= 0:
+            raise ValueError("rates must be positive")
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need total_steps > warmup_steps >= 0")
+        self.base = float(base)
+        self.warmup_steps = int(warmup_steps)
+        self.total_steps = int(total_steps)
+        self.floor = float(floor)
+
+    def learning_rate(self, step: int) -> float:
+        import math
+
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base * (step + 1) / self.warmup_steps
+        progress = min(
+            (step - self.warmup_steps) / (self.total_steps - self.warmup_steps), 1.0
+        )
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.base - self.floor) * cosine
+
+
+_REGISTRY: Dict[str, Type[Schedule]] = {
+    cls.name: cls for cls in (ConstantSchedule, ExponentialDecay, WarmupCosine)
+}
+
+
+def get_schedule(name: str, **kwargs) -> Schedule:
+    """Instantiate a schedule by registry name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown schedule {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](**kwargs)

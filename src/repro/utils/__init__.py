@@ -1,0 +1,22 @@
+"""Small shared utilities: deterministic RNG helpers and math primitives."""
+
+from repro.utils.rng import default_rng, derive_rng
+from repro.utils.math import (
+    next_power_of_two,
+    is_power_of_two,
+    ilog2,
+    clamp,
+    lerp,
+    smoothstep,
+)
+
+__all__ = [
+    "default_rng",
+    "derive_rng",
+    "next_power_of_two",
+    "is_power_of_two",
+    "ilog2",
+    "clamp",
+    "lerp",
+    "smoothstep",
+]

@@ -1,0 +1,46 @@
+"""Scalar/array math helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (value must be positive)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2; raises if ``value`` is not a power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def clamp(x: ArrayLike, lo: ArrayLike, hi: ArrayLike) -> ArrayLike:
+    """Clamp ``x`` into [lo, hi] element-wise."""
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def lerp(a: ArrayLike, b: ArrayLike, t: ArrayLike) -> ArrayLike:
+    """Linear interpolation a + t*(b-a)."""
+    return a + (b - a) * t
+
+
+def smoothstep(edge0: float, edge1: float, x: ArrayLike) -> ArrayLike:
+    """Hermite smoothstep, used by procedural scene generators."""
+    if edge0 >= edge1:
+        raise ValueError("smoothstep requires edge0 < edge1")
+    t = clamp((x - edge0) / (edge1 - edge0), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)

@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library (weight initialization, ray
+jitter, procedural scenes) takes an explicit seed or generator so that runs
+are reproducible.  These helpers centralize generator creation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing generator or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a named sub-stream.
+
+    Useful when one seed must drive several independent components (e.g. a
+    scene generator and a network initializer) without coupling their draws.
+    """
+    if stream < 0:
+        raise ValueError(f"stream index must be non-negative, got {stream}")
+    child_seed = rng.integers(0, 2**63 - 1, dtype=np.int64) + stream
+    return np.random.default_rng(int(child_seed))
+
+
+def resolve_seed(seed: SeedLike, default: Optional[int] = 0) -> np.random.Generator:
+    """Like :func:`default_rng` but substituting a fixed default seed for None."""
+    if seed is None:
+        return np.random.default_rng(default)
+    return default_rng(seed)

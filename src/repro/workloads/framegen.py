@@ -1,0 +1,56 @@
+"""Frame workload definitions: resolutions and FPS budgets (Fig. 14 axes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.calibration import paper
+
+#: named resolutions, in pixels (the Fig. 14 horizontal lines)
+RESOLUTION_PIXELS: Dict[str, int] = dict(paper.RESOLUTIONS)
+
+
+def frame_budget_ms(fps: float) -> float:
+    """Per-frame time budget at an FPS target (e.g. 33.33 ms at 30 FPS)."""
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    return 1000.0 / fps
+
+
+@dataclass(frozen=True)
+class FrameWorkload:
+    """One rendering workload: a resolution at an FPS target."""
+
+    resolution: str
+    fps: float
+
+    def __post_init__(self):
+        if self.resolution not in RESOLUTION_PIXELS:
+            raise ValueError(
+                f"unknown resolution {self.resolution!r}; "
+                f"available: {sorted(RESOLUTION_PIXELS)}"
+            )
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    @property
+    def n_pixels(self) -> int:
+        return RESOLUTION_PIXELS[self.resolution]
+
+    @property
+    def budget_ms(self) -> float:
+        return frame_budget_ms(self.fps)
+
+    @property
+    def pixels_per_second(self) -> float:
+        return self.n_pixels * self.fps
+
+
+def standard_workloads() -> List[FrameWorkload]:
+    """The full Fig. 14 grid: every resolution at every FPS target."""
+    return [
+        FrameWorkload(resolution=res, fps=fps)
+        for res in RESOLUTION_PIXELS
+        for fps in paper.FPS_TARGETS
+    ]

@@ -1,0 +1,48 @@
+"""Parameter sweeps over the (app, scheme, scale) evaluation space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.config import SCALE_FACTORS
+from repro.core.emulator import EmulationResult, emulate
+from repro.gpu.baseline import FHD_PIXELS
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the evaluation sweep with its emulation result."""
+
+    app: str
+    scheme: str
+    scale_factor: int
+    result: EmulationResult
+
+
+def scale_sweep(
+    app: str,
+    scheme: str,
+    scales: Sequence[int] = SCALE_FACTORS,
+    n_pixels: int = FHD_PIXELS,
+) -> Iterator[SweepPoint]:
+    """Sweep the scaling factor for one app/scheme (one Fig. 12 group)."""
+    for scale in scales:
+        yield SweepPoint(
+            app=app,
+            scheme=scheme,
+            scale_factor=scale,
+            result=emulate(app, scheme, scale, n_pixels),
+        )
+
+
+def full_sweep(
+    schemes: Optional[Sequence[str]] = None,
+    scales: Sequence[int] = SCALE_FACTORS,
+    n_pixels: int = FHD_PIXELS,
+) -> Iterator[SweepPoint]:
+    """The complete evaluation: 4 apps x schemes x scales."""
+    for scheme in schemes or ENCODING_SCHEMES:
+        for app in APP_NAMES:
+            yield from scale_sweep(app, scheme, scales, n_pixels)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def unit_points_3d(rng):
+    """A small batch of 3D points in [0, 1]^3."""
+    return rng.uniform(0.0, 1.0, size=(64, 3)).astype(np.float32)
+
+
+@pytest.fixture
+def unit_points_2d(rng):
+    """A small batch of 2D points in [0, 1]^2."""
+    return rng.uniform(0.0, 1.0, size=(64, 2)).astype(np.float32)

@@ -1,0 +1,77 @@
+"""Tests for the markdown report builder and remaining small utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentRow
+from repro.analysis.report import (
+    build_markdown,
+    design_space_section,
+    rows_to_markdown,
+    sensitivity_section,
+)
+from repro.utils.rng import resolve_seed
+
+
+class TestRowsToMarkdown:
+    def test_with_and_without_reported(self):
+        rows = [
+            ExperimentRow("a", 1.0, 2.0),
+            ExperimentRow("b", 3.0, None),
+        ]
+        lines = rows_to_markdown(rows)
+        assert lines[0].startswith("| quantity")
+        assert "| a | 1 | 2 | -50.0% |" in lines
+        assert "| b | 3 | n/a | — |" in lines
+
+
+class TestSections:
+    def test_sensitivity_section_structure(self):
+        lines = sensitivity_section()
+        assert any("dma_overhead" in line for line in lines)
+        assert any("rest_fraction" in line for line in lines)
+
+    def test_design_space_section_structure(self):
+        lines = design_space_section()
+        assert any("NGPC-8" in line for line in lines)
+        assert any("NGPC-64" in line for line in lines)
+
+
+class TestBuildMarkdown:
+    def test_full_report(self):
+        text = build_markdown(header="# Test report\n")
+        assert text.startswith("# Test report")
+        assert "## fig12" in text
+        assert "Sensitivity" in text
+        assert "Design space" in text
+
+    def test_sections_optional(self):
+        text = build_markdown(
+            include_sensitivity=False, include_design_space=False
+        )
+        assert "Sensitivity" not in text
+        assert "Design space" not in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "r.md")
+        assert main(["report", "--output", path]) == 0
+        with open(path) as f:
+            assert "## fig15" in f.read()
+
+
+class TestResolveSeed:
+    def test_none_uses_default(self):
+        a = resolve_seed(None).integers(0, 10**9)
+        b = resolve_seed(None).integers(0, 10**9)
+        assert a == b
+
+    def test_explicit_seed(self):
+        a = resolve_seed(5).integers(0, 10**9)
+        b = resolve_seed(5).integers(0, 10**9)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_seed(g) is g

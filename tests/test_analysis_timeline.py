@@ -1,0 +1,64 @@
+"""Tests for the ASCII schedule timelines (Figs. 7 and 10-b)."""
+
+import pytest
+
+from repro.analysis.timeline import gpu_timeline, ngpc_timeline, side_by_side
+
+
+class TestGpuTimeline:
+    def test_contains_all_kernel_classes(self):
+        out = gpu_timeline("nerf", "multi_res_hashgrid")
+        lane = out.splitlines()[1]
+        for char in "EMR":
+            assert char in lane
+
+    def test_segments_ordered(self):
+        """Encoding precedes MLP precedes rest along the lane (Fig. 7)."""
+        lane = gpu_timeline("nerf", "multi_res_hashgrid").splitlines()[1]
+        content = lane.split("|")[1]
+        assert content.index("E") < content.index("M") < content.index("R")
+
+    def test_width_respected(self):
+        lane = gpu_timeline("gia", "multi_res_hashgrid", width=40).splitlines()[1]
+        assert len(lane.split("|")[1]) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpu_timeline("nerf", "multi_res_hashgrid", width=5)
+
+
+class TestNgpcTimeline:
+    def test_two_lanes(self):
+        out = ngpc_timeline("nerf", "multi_res_hashgrid", 8)
+        lines = out.splitlines()
+        assert "NGPC" in lines[1]
+        assert "SMs" in lines[2]
+        assert "N" in lines[1]
+        assert "R" in lines[2]
+
+    def test_bottleneck_reported(self):
+        # at scale 8 NeRF is NGPC-bound; at 64 it is rest-bound
+        assert "bottleneck=ngpc" in ngpc_timeline("nerf", "multi_res_hashgrid", 8)
+        assert "bottleneck=rest" in ngpc_timeline("nerf", "multi_res_hashgrid", 64)
+
+    def test_overlap_visible(self):
+        """NGPC work and SM work occupy overlapping time columns."""
+        out = ngpc_timeline("nerf", "multi_res_hashgrid", 16)
+        lines = out.splitlines()
+        ngpc_lane = lines[1].split("|")[1]
+        rest_lane = lines[2].split("|")[1]
+        overlapping = sum(
+            1 for a, b in zip(ngpc_lane, rest_lane) if a == "N" and b == "R"
+        )
+        assert overlapping > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ngpc_timeline("nerf", "multi_res_hashgrid", width=3)
+
+
+class TestSideBySide:
+    def test_combines_both(self):
+        out = side_by_side("nsdf", "multi_res_hashgrid", 32)
+        assert "GPU (" in out
+        assert "GPU + NGPC-32" in out

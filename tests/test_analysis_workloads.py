@@ -1,0 +1,122 @@
+"""Tests for the experiment registry, table formatting and workloads."""
+
+import pytest
+
+from repro.analysis import (
+    EXPERIMENTS,
+    ExperimentRow,
+    format_comparison,
+    format_table,
+    get_experiment,
+)
+from repro.workloads import (
+    FrameWorkload,
+    RESOLUTION_PIXELS,
+    frame_budget_ms,
+    full_sweep,
+    scale_sweep,
+    standard_workloads,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 10.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Title")
+        assert out.splitlines()[0] == "Title"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[123456.0], [12.3456], [1.23456]])
+        assert "123,456" in out
+        assert "12.35" in out
+        assert "1.235" in out
+
+
+class TestFormatComparison:
+    def test_with_reported(self):
+        line = format_comparison("x", 110.0, 100.0)
+        assert "+10.0%" in line
+
+    def test_without_reported(self):
+        assert "n/a" in format_comparison("x", 1.0, None)
+
+    def test_zero_reported(self):
+        assert "n/a" in format_comparison("x", 1.0, 0.0)
+
+
+class TestExperimentRegistry:
+    def test_all_tables_and_figures_registered(self):
+        expected = {
+            "perf_gap", "fig5", "fig8", "table1", "table2", "fig12",
+            "fig13", "fig14", "fig15", "table3", "fusion", "arvr",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_every_experiment_produces_rows(self, exp_id):
+        rows = get_experiment(exp_id).run()
+        assert len(rows) > 0
+        for row in rows:
+            assert isinstance(row, ExperimentRow)
+            assert row.measured == row.measured  # not NaN
+
+    def test_relative_error(self):
+        assert ExperimentRow("x", 110.0, 100.0).relative_error == pytest.approx(0.1)
+        assert ExperimentRow("x", 1.0).relative_error is None
+
+    def test_key_experiments_within_tolerance(self):
+        """Every paper-reported quantity in fig12/fig15/table3 within 10 %."""
+        for exp_id in ("fig12", "fig15", "table3", "perf_gap"):
+            for row in get_experiment(exp_id).run():
+                if row.relative_error is not None:
+                    assert abs(row.relative_error) < 0.10, (exp_id, row.label)
+
+
+class TestWorkloads:
+    def test_budget(self):
+        assert frame_budget_ms(30) == pytest.approx(33.333, abs=1e-3)
+        assert frame_budget_ms(120) == pytest.approx(8.333, abs=1e-3)
+        with pytest.raises(ValueError):
+            frame_budget_ms(0)
+
+    def test_workload_properties(self):
+        w = FrameWorkload("4k", 60)
+        assert w.n_pixels == 3840 * 2160
+        assert w.budget_ms == pytest.approx(16.667, abs=1e-3)
+        assert w.pixels_per_second == w.n_pixels * 60
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            FrameWorkload("16k", 60)
+        with pytest.raises(ValueError):
+            FrameWorkload("4k", 0)
+
+    def test_standard_workloads_cover_grid(self):
+        workloads = standard_workloads()
+        assert len(workloads) == len(RESOLUTION_PIXELS) * 4
+
+    def test_scale_sweep(self):
+        points = list(scale_sweep("gia", "multi_res_hashgrid"))
+        assert [p.scale_factor for p in points] == [8, 16, 32, 64]
+        speedups = [p.result.speedup for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_full_sweep_size(self):
+        points = list(full_sweep(schemes=["multi_res_hashgrid"], scales=[8]))
+        assert len(points) == 4  # one per app

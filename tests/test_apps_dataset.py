@@ -1,0 +1,97 @@
+"""Tests for multi-view dataset synthesis and image-only NeRF training."""
+
+import numpy as np
+import pytest
+
+from repro.apps import NeRFApp
+from repro.apps.dataset import MultiViewDataset, synthesize_dataset
+from repro.graphics import PinholeCamera, SyntheticRadianceField, psnr
+from repro.graphics.camera import look_at
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    scene = SyntheticRadianceField(seed=7)
+    return synthesize_dataset(scene, n_views=6, resolution=16, n_samples=16, seed=0)
+
+
+class TestSynthesize:
+    def test_shapes(self, dataset):
+        assert dataset.n_views == 6
+        assert dataset.images.shape == (6, 16, 16, 3)
+        assert dataset.n_rays == 6 * 16 * 16
+        assert dataset.origins.shape == (dataset.n_rays, 3)
+
+    def test_pixels_in_unit_range(self, dataset):
+        assert dataset.pixels.min() >= 0.0
+        assert dataset.pixels.max() <= 1.0 + 1e-5
+
+    def test_views_differ(self, dataset):
+        assert not np.allclose(dataset.images[0], dataset.images[1])
+
+    def test_cameras_look_at_volume_center(self, dataset):
+        for cam in dataset.cameras:
+            to_center = np.array([0.5, 0.5, 0.5]) - cam.position
+            forward = -cam.camera_to_world[:3, 2]
+            cosine = to_center @ forward / np.linalg.norm(to_center)
+            assert cosine > 0.99
+
+    def test_deterministic(self):
+        scene = SyntheticRadianceField(seed=7)
+        a = synthesize_dataset(scene, n_views=2, resolution=8, n_samples=8, seed=3)
+        b = synthesize_dataset(scene, n_views=2, resolution=8, n_samples=8, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_validation(self):
+        scene = SyntheticRadianceField(seed=0)
+        with pytest.raises(ValueError):
+            synthesize_dataset(scene, n_views=0)
+        with pytest.raises(ValueError):
+            MultiViewDataset(
+                cameras=[],
+                images=np.zeros((0, 2, 2, 3)),
+                origins=np.zeros((4, 3)),
+                directions=np.zeros((4, 3)),
+                pixels=np.zeros((5, 3)),
+            )
+
+
+class TestSampling:
+    def test_batch_shapes(self, dataset):
+        rays, pixels = dataset.sample_batch(32, seed=0)
+        assert len(rays) == 32
+        assert pixels.shape == (32, 3)
+
+    def test_batch_pixels_come_from_dataset(self, dataset):
+        rays, pixels = dataset.sample_batch(16, seed=1)
+        # every sampled pixel value exists in the dataset pixel pool
+        pool = {tuple(np.round(p, 5)) for p in dataset.pixels}
+        for p in pixels:
+            assert tuple(np.round(p, 5)) in pool
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.sample_batch(0)
+
+
+class TestImageOnlyTraining:
+    def test_nerf_learns_from_images_alone(self):
+        """The real NeRF workflow: posed images in, novel views out."""
+        app = NeRFApp(seed=0)
+        ds = synthesize_dataset(
+            app.scene, n_views=8, resolution=20, n_samples=20, seed=0
+        )
+        first_losses = [
+            app.train_step_dataset(ds, n_rays=256, n_samples=20).loss
+            for _ in range(5)
+        ]
+        for _ in range(70):
+            last = app.train_step_dataset(ds, n_rays=256, n_samples=20).loss
+        assert last < np.mean(first_losses) * 0.3
+        # evaluate on a pose not in the training set
+        cam = PinholeCamera.from_fov(
+            16, 16, 45.0, look_at((0.5, 1.0, 2.0), (0.5, 0.5, 0.5))
+        )
+        rendered = app.render(cam, n_samples=20).rgb.reshape(16, 16, 3)
+        truth = app.render_ground_truth(cam, n_samples=20)
+        assert psnr(rendered, truth) > 20.0

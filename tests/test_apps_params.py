@@ -1,0 +1,125 @@
+"""Tests for the Table I parameter registry."""
+
+import pytest
+
+from repro.apps import (
+    APP_NAMES,
+    ENCODING_SCHEMES,
+    AppConfig,
+    GridParams,
+    MLPSpec,
+    get_config,
+    iter_configs,
+)
+
+
+class TestRegistryShape:
+    def test_twelve_configs(self):
+        assert len(list(iter_configs())) == 12
+
+    def test_every_app_scheme_pair_present(self):
+        for app in APP_NAMES:
+            for scheme in ENCODING_SCHEMES:
+                config = get_config(app, scheme)
+                assert config.app == app
+                assert config.grid.scheme == scheme
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            get_config("nerf", "fourier")
+        with pytest.raises(KeyError):
+            get_config("dlss", "multi_res_hashgrid")
+
+    def test_lookup_case_insensitive(self):
+        assert get_config("NeRF", "MULTI_RES_HASHGRID").app == "nerf"
+
+
+class TestTable1Values:
+    def test_hashgrid_levels_and_features(self):
+        """Hashgrid: L=16, F=2, T=2^19 (2^24 for GIA)."""
+        for app in APP_NAMES:
+            config = get_config(app, "multi_res_hashgrid")
+            assert config.grid.n_levels == 16
+            assert config.grid.n_features == 2
+            expected_log2_t = 24 if app == "gia" else 19
+            assert config.grid.log2_table_size == expected_log2_t
+            assert config.grid.encoded_dim == 32
+
+    def test_densegrid_levels(self):
+        """Densegrid: L=8, F=2, b=1.405."""
+        for app in APP_NAMES:
+            config = get_config(app, "multi_res_densegrid")
+            assert config.grid.n_levels == 8
+            assert config.grid.growth_factor == pytest.approx(1.405)
+            assert config.grid.encoded_dim == 16
+
+    def test_lrdg_levels(self):
+        """Low-res densegrid: L=2, F=8, Nmin=128, b=1."""
+        for app in APP_NAMES:
+            config = get_config(app, "low_res_densegrid")
+            assert config.grid.n_levels == 2
+            assert config.grid.n_features == 8
+            assert config.grid.n_min == 128
+            assert config.grid.growth_factor == 1.0
+
+    def test_per_app_growth_factors(self):
+        assert get_config("nerf", "multi_res_hashgrid").grid.growth_factor == pytest.approx(1.51572)
+        assert get_config("nsdf", "multi_res_hashgrid").grid.growth_factor == pytest.approx(1.38191)
+        assert get_config("nvr", "multi_res_hashgrid").grid.growth_factor == pytest.approx(1.275)
+        assert get_config("gia", "multi_res_hashgrid").grid.growth_factor == pytest.approx(1.25992)
+
+    def test_mlp_shapes(self):
+        nerf = get_config("nerf", "multi_res_hashgrid")
+        assert len(nerf.mlps) == 2
+        assert nerf.mlps[0].layers == 3  # density
+        assert nerf.mlps[1].layers == 4  # color
+        assert nerf.mlps[1].input_dim == 32  # 16 features + 16 SH
+        for app in ("nsdf", "gia", "nvr"):
+            config = get_config(app, "multi_res_hashgrid")
+            assert len(config.mlps) == 1
+            assert config.mlps[0].layers == 4
+        assert get_config("nsdf", "multi_res_hashgrid").mlps[0].output_dim == 1
+        assert get_config("nvr", "multi_res_hashgrid").mlps[0].output_dim == 4
+        assert get_config("gia", "multi_res_hashgrid").mlps[0].output_dim == 3
+
+    def test_gia_is_2d(self):
+        for scheme in ENCODING_SCHEMES:
+            assert get_config("gia", scheme).spatial_dim == 2
+
+    def test_all_mlps_are_64_wide(self):
+        """Every Table I network uses 64 neurons per hidden layer."""
+        for config in iter_configs():
+            for spec in config.mlps:
+                assert spec.neurons == 64
+
+
+class TestDerivedQuantities:
+    def test_flops_per_input(self):
+        spec = MLPSpec(input_dim=32, output_dim=1, neurons=64, layers=3)
+        expected = 2 * (32 * 64 + 64 * 64 + 64 * 64 + 64 * 1)
+        assert spec.flops_per_input == expected
+
+    def test_num_weights(self):
+        spec = MLPSpec(input_dim=16, output_dim=4, neurons=64, layers=4)
+        assert spec.num_weights == 16 * 64 + 3 * 64 * 64 + 64 * 4
+
+    def test_with_grid_overrides(self):
+        config = get_config("gia", "multi_res_hashgrid")
+        small = config.with_grid_overrides(log2_table_size=14)
+        assert small.grid.log2_table_size == 14
+        assert config.grid.log2_table_size == 24  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridParams("bad_scheme", 16, 1.5, 2, 19, 16)
+        with pytest.raises(ValueError):
+            GridParams("multi_res_hashgrid", 0, 1.5, 2, 19, 16)
+        with pytest.raises(ValueError):
+            MLPSpec(input_dim=0, output_dim=1)
+        with pytest.raises(ValueError):
+            AppConfig(
+                app="nope",
+                grid=GridParams("multi_res_hashgrid", 16, 1.5, 2, 19, 16),
+                mlps=(MLPSpec(input_dim=32, output_dim=1),),
+                spatial_dim=3,
+            )

@@ -1,0 +1,155 @@
+"""Tests for the training harness: schedules, clipping, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.apps import GIAApp, Trainer, TrainerConfig, clip_gradients
+from repro.nn import ExponentialDecay
+
+
+def make_app():
+    return GIAApp(image_size=16, seed=0)
+
+
+class TestClipGradients:
+    def test_no_clip_under_norm(self):
+        grads = [np.array([0.3, 0.4])]  # norm 0.5
+        norm = clip_gradients(grads, max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(grads[0], [0.3, 0.4])
+
+    def test_clip_scales_down(self):
+        grads = [np.array([3.0, 4.0])]  # norm 5
+        clip_gradients(grads, max_norm=1.0)
+        assert np.linalg.norm(grads[0]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_arrays(self):
+        grads = [np.array([3.0]), np.array([4.0])]
+        norm = clip_gradients(grads, max_norm=10.0)
+        assert norm == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_gradients([np.ones(2)], max_norm=0.0)
+
+
+class TestTrainerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(steps=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(loss_smoothing=1.0)
+        with pytest.raises(ValueError):
+            TrainerConfig(grad_clip_norm=-1.0)
+        with pytest.raises(ValueError):
+            TrainerConfig(checkpoint_every=5)  # no dir
+
+
+class TestTrainer:
+    def test_basic_run_reduces_loss(self):
+        trainer = Trainer(make_app(), TrainerConfig(steps=30, batch_size=256))
+        state = trainer.run()
+        assert len(state.losses) == 30
+        assert state.smoothed_losses[-1] < state.smoothed_losses[0]
+
+    def test_schedule_applied(self):
+        schedule = ExponentialDecay(base=1e-2, decay=0.5, interval=5, delay=0)
+        trainer = Trainer(
+            make_app(),
+            TrainerConfig(steps=12, batch_size=64, schedule=schedule),
+        )
+        state = trainer.run()
+        assert state.learning_rates[0] == pytest.approx(schedule(0))
+        assert state.learning_rates[-1] < state.learning_rates[0]
+
+    def test_gradient_clipping_applied(self):
+        app = make_app()
+        seen_norms = []
+        original_step = app.optimizer.step
+
+        def spying_step(params, grads):
+            total = np.sqrt(sum(float((g * g).sum()) for g in grads))
+            seen_norms.append(total)
+            original_step(params, grads)
+
+        app.optimizer.step = spying_step
+        clip = 1e-3
+        Trainer(app, TrainerConfig(steps=5, batch_size=64, grad_clip_norm=clip)).run()
+        # every gradient the optimizer saw had been clipped to the norm
+        assert seen_norms
+        assert all(n <= clip * (1 + 1e-6) for n in seen_norms)
+
+    def test_early_stopping(self):
+        trainer = Trainer(
+            make_app(),
+            TrainerConfig(steps=500, batch_size=256, early_stop_loss=1e9),
+        )
+        state = trainer.run()
+        assert state.stopped_early
+        assert len(state.losses) == 1
+
+    def test_eval_callback(self):
+        trainer = Trainer(
+            make_app(),
+            TrainerConfig(steps=10, batch_size=64, eval_every=5),
+            eval_fn=lambda app: app.evaluate_psnr(),
+        )
+        state = trainer.run()
+        assert len(state.eval_results) == 2
+        assert all(v > 0 for v in state.eval_results)
+
+    def test_final_loss_requires_run(self):
+        from repro.apps.trainer import TrainerState
+
+        with pytest.raises(RuntimeError):
+            TrainerState().final_loss
+
+    def test_clipping_hook_restored_after_run(self):
+        app = make_app()
+        Trainer(app, TrainerConfig(steps=2, batch_size=64, grad_clip_norm=1.0)).run()
+        # the instance-level hook must be removed, restoring the class method
+        assert "_apply_gradients" not in app.__dict__
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, tmp_path):
+        app = make_app()
+        trainer = Trainer(app, TrainerConfig(steps=5, batch_size=128))
+        trainer.run()
+        path = str(tmp_path / "ckpt.npz")
+        trainer.save_checkpoint(path)
+        snapshot = [p.copy() for p in app.parameters()]
+        step_count = app.step_count
+        trainer.run()  # mutate further
+        assert any(
+            not np.array_equal(p, s) for p, s in zip(app.parameters(), snapshot)
+        )
+        trainer.load_checkpoint(path)
+        for p, s in zip(app.parameters(), snapshot):
+            np.testing.assert_array_equal(p, s)
+        assert app.step_count == step_count
+
+    def test_periodic_checkpoints(self, tmp_path):
+        trainer = Trainer(
+            make_app(),
+            TrainerConfig(
+                steps=6,
+                batch_size=64,
+                checkpoint_every=3,
+                checkpoint_dir=str(tmp_path),
+            ),
+        )
+        trainer.run()
+        assert (tmp_path / "step_3.npz").exists()
+        assert (tmp_path / "step_6.npz").exists()
+
+    def test_load_rejects_mismatched_checkpoint(self, tmp_path):
+        app_a = make_app()
+        trainer_a = Trainer(app_a)
+        path = str(tmp_path / "a.npz")
+        trainer_a.save_checkpoint(path)
+        from repro.apps import NSDFApp
+
+        trainer_b = Trainer(NSDFApp(seed=0))
+        with pytest.raises(ValueError):
+            trainer_b.load_checkpoint(path)

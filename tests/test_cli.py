@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEmulateCommand:
+    def test_basic(self, capsys):
+        assert main(["emulate", "--app", "gia", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "Amdahl" in out
+
+    def test_rejects_bad_app(self):
+        with pytest.raises(SystemExit):
+            main(["emulate", "--app", "dlss"])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["emulate", "--scale", "7"])
+
+
+class TestSweepCommand:
+    def test_prints_all_apps_and_paper_row(self, capsys):
+        assert main(["sweep", "--scheme", "multi_res_densegrid"]) == 0
+        out = capsys.readouterr().out
+        for app in ("nerf", "nsdf", "gia", "nvr", "average", "paper avg"):
+            assert app in out
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "fusion"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion" in out
+        assert "paper=9.94" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "fig99"])
+
+
+class TestTrainCommand:
+    def test_short_training_run(self, capsys):
+        assert main(
+            ["train", "--app", "gia", "--steps", "5", "--batch-size", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out
+
+
+class TestReportCommands:
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "NGPC-64" in out
+
+    def test_bandwidth(self, capsys):
+        assert main(["bandwidth"]) == 0
+        out = capsys.readouterr().out
+        assert "access ms" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,84 @@
+"""Tests for the emulator's ablation switches (DESIGN.md ablations)."""
+
+import pytest
+
+from repro.apps.params import APP_NAMES, get_config
+from repro.core import NGPC, NGPCConfig
+from repro.core.emulator import Emulator
+
+
+@pytest.fixture
+def emulator():
+    return Emulator(NGPCConfig(scale_factor=64))
+
+
+class TestEngineFusionAblation:
+    def test_unfused_engines_are_slower(self, emulator):
+        fused = emulator.run("nerf", "multi_res_hashgrid")
+        unfused = emulator.run("nerf", "multi_res_hashgrid", fuse_engines=False)
+        assert unfused.accelerated_ms > fused.accelerated_ms
+        assert unfused.speedup < fused.speedup
+
+    def test_penalty_scales_with_encoded_width(self):
+        ngpc = NGPC(NGPCConfig(scale_factor=64))
+        wide = ngpc.engine_fusion_penalty_ms(
+            get_config("nerf", "multi_res_hashgrid"), 10**6
+        )  # 32-wide encodings
+        narrow = ngpc.engine_fusion_penalty_ms(
+            get_config("nerf", "multi_res_densegrid"), 10**6
+        )  # 16-wide
+        assert wide == pytest.approx(2 * narrow, rel=1e-6)
+
+
+class TestRestFusionAblation:
+    def test_unfused_rest_caps_speedup(self, emulator):
+        fused = emulator.run("nerf", "multi_res_hashgrid")
+        unfused = emulator.run("nerf", "multi_res_hashgrid", fuse_rest=False)
+        # without rest fusion the rest kernels dominate: ~1/f_rest bound
+        assert unfused.speedup < 1.0 / 0.17 + 1.0
+        assert fused.speedup > 3 * unfused.speedup
+
+    def test_all_apps_benefit_from_rest_fusion(self, emulator):
+        for app in APP_NAMES:
+            fused = emulator.run(app, "multi_res_hashgrid")
+            unfused = emulator.run(app, "multi_res_hashgrid", fuse_rest=False)
+            assert fused.speedup > unfused.speedup
+
+
+class TestOverlapAblation:
+    def test_serial_execution_is_slower(self, emulator):
+        overlapped = emulator.run("nerf", "multi_res_hashgrid")
+        serial = emulator.run("nerf", "multi_res_hashgrid", overlap=False)
+        assert serial.accelerated_ms > overlapped.accelerated_ms
+
+    def test_serial_time_is_sum_of_stages(self, emulator):
+        serial = emulator.run("nsdf", "multi_res_hashgrid", overlap=False)
+        ngpc_stage = (
+            serial.encoding_engine_ms + serial.mlp_engine_ms + serial.dma_ms
+        )
+        assert serial.accelerated_ms == pytest.approx(
+            ngpc_stage + serial.fused_rest_ms, rel=1e-6
+        )
+
+
+class TestCombinedAblations:
+    def test_each_feature_contributes(self, emulator):
+        """full >= each single-off >= all-off, in speedup terms."""
+        full = emulator.run("nerf", "multi_res_hashgrid").speedup
+        no_engine_fusion = emulator.run(
+            "nerf", "multi_res_hashgrid", fuse_engines=False
+        ).speedup
+        no_rest_fusion = emulator.run(
+            "nerf", "multi_res_hashgrid", fuse_rest=False
+        ).speedup
+        no_overlap = emulator.run("nerf", "multi_res_hashgrid", overlap=False).speedup
+        none = emulator.run(
+            "nerf",
+            "multi_res_hashgrid",
+            fuse_engines=False,
+            fuse_rest=False,
+            overlap=False,
+        ).speedup
+        for partial in (no_engine_fusion, no_rest_fusion, no_overlap):
+            assert none <= partial <= full + 1e-9
+        assert none > 1.0  # even the bare engines beat the GPU

@@ -1,0 +1,113 @@
+"""Tests for the area/power model and the Timeloop-style cross-check."""
+
+import pytest
+
+from repro.apps.params import APP_NAMES, get_config
+from repro.calibration import paper
+from repro.core import (
+    NFPConfig,
+    NGPCConfig,
+    TimeloopMLPModel,
+    ngpc_area_power,
+    nfp_area_mm2_45nm,
+    nfp_power_w_45nm,
+    scale_45_to_7nm,
+)
+from repro.core.mlp_engine import mlp_engine_time_ms
+from repro.gpu.baseline import FHD_PIXELS
+from repro.gpu.kernels import samples_per_frame
+
+
+class TestAreaPower:
+    def test_fig15_area_overheads(self):
+        """NGPC-8 ... NGPC-64 area overheads within 5 % of the paper."""
+        for scale, expected in paper.FIG15_AREA_OVERHEAD_PCT.items():
+            report = ngpc_area_power(NGPCConfig(scale_factor=scale))
+            assert report.area_overhead_pct == pytest.approx(expected, rel=0.05)
+
+    def test_fig15_power_overheads(self):
+        for scale, expected in paper.FIG15_POWER_OVERHEAD_PCT.items():
+            report = ngpc_area_power(NGPCConfig(scale_factor=scale))
+            assert report.power_overhead_pct == pytest.approx(expected, rel=0.05)
+
+    def test_linear_in_scale(self):
+        a8 = ngpc_area_power(NGPCConfig(scale_factor=8))
+        a64 = ngpc_area_power(NGPCConfig(scale_factor=64))
+        assert a64.area_mm2_7nm == pytest.approx(8 * a8.area_mm2_7nm)
+        assert a64.power_w_7nm == pytest.approx(8 * a8.power_w_7nm)
+
+    def test_sram_dominates_nfp_area(self):
+        """16 MB of grid SRAM dwarfs the 4096-MAC array."""
+        components = nfp_area_mm2_45nm()
+        assert components["grid_sram"] > components["mac_array"]
+        assert components["total"] == pytest.approx(
+            components["mac_array"]
+            + components["grid_sram"]
+            + components["activation_sram"]
+            + components["control"]
+        )
+
+    def test_power_components_positive(self):
+        components = nfp_power_w_45nm()
+        assert all(v > 0 for v in components.values())
+        assert components["total"] == pytest.approx(
+            components["mac_array"] + components["sram"] + components["leakage"]
+        )
+
+    def test_scaling_shrinks(self):
+        area7, power7 = scale_45_to_7nm(100.0, 100.0)
+        assert area7 < 100.0 and power7 < 100.0
+
+    def test_scaling_validation(self):
+        with pytest.raises(ValueError):
+            scale_45_to_7nm(-1.0, 1.0)
+
+    def test_bigger_sram_bigger_area(self):
+        small = nfp_area_mm2_45nm(NFPConfig(grid_sram_kb_per_engine=512))
+        big = nfp_area_mm2_45nm(NFPConfig(grid_sram_kb_per_engine=2048))
+        assert big["total"] > small["total"]
+
+
+class TestTimeloop:
+    def test_agreement_with_emulator_within_7pct(self):
+        """The paper's cross-check: Timeloop/Accelergy MLP times within ~7 %."""
+        for scheme in paper.FIG13_KERNEL_SPEEDUPS_AT_64:
+            for app in APP_NAMES:
+                config = get_config(app, scheme)
+                for scale in (8, 64):
+                    ngpc = NGPCConfig(scale_factor=scale)
+                    engine = mlp_engine_time_ms(config, FHD_PIXELS, ngpc)
+                    timeloop = TimeloopMLPModel(ngpc).time_ms(config, FHD_PIXELS)
+                    delta = abs(timeloop - engine) / engine
+                    assert delta < 0.10, (app, scheme, scale, delta)
+
+    def test_cycles_monotone_in_samples(self):
+        model = TimeloopMLPModel()
+        config = get_config("nerf", "multi_res_hashgrid")
+        assert model.cycles(config, 2e6) > model.cycles(config, 1e6)
+
+    def test_access_counts_structure(self):
+        model = TimeloopMLPModel()
+        config = get_config("nsdf", "multi_res_hashgrid")
+        counts = model.access_counts(config, 1e6)
+        assert set(counts) == {"mac", "register", "activation_sram", "weight_sram"}
+        assert counts["register"] == pytest.approx(2 * counts["mac"])
+
+    def test_energy_positive_and_scales(self):
+        model = TimeloopMLPModel()
+        config = get_config("gia", "multi_res_hashgrid")
+        e1 = model.energy_mj(config, 1e6)
+        e2 = model.energy_mj(config, 2e6)
+        assert 0 < e1 < e2
+        assert e2 == pytest.approx(2 * e1, rel=1e-6)
+
+    def test_mapping_uses_full_array(self):
+        model = TimeloopMLPModel()
+        m = model.mapping(get_config("nerf", "multi_res_hashgrid"))
+        assert m.spatial_in == 64 and m.spatial_out == 64
+        assert m.batch_tile >= 1
+
+    def test_validation(self):
+        model = TimeloopMLPModel()
+        with pytest.raises(ValueError):
+            model.cycles(get_config("gia", "multi_res_hashgrid"), -1)

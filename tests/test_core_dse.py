@@ -1,0 +1,77 @@
+"""Tests for the design-space exploration utilities."""
+
+import pytest
+
+from repro.calibration import paper
+from repro.core.dse import (
+    DesignPoint,
+    design_space,
+    efficiency_sweet_spot,
+    pareto_frontier,
+    smallest_scale_for_fps,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return design_space("multi_res_hashgrid")
+
+
+class TestDesignSpace:
+    def test_four_points(self, points):
+        assert [p.scale_factor for p in points] == [8, 16, 32, 64]
+
+    def test_costs_and_benefits_grow(self, points):
+        areas = [p.area_overhead_pct for p in points]
+        speeds = [p.average_speedup for p in points]
+        assert areas == sorted(areas)
+        assert speeds == sorted(speeds)
+
+    def test_per_app_speedups_present(self, points):
+        for p in points:
+            assert set(p.speedups) == {"nerf", "nsdf", "gia", "nvr"}
+
+    def test_efficiency_declines_with_scale(self, points):
+        """Speedup-per-area falls as the rest kernels start dominating."""
+        ratios = [p.speedup_per_area_pct for p in points]
+        assert ratios[0] == max(ratios)
+
+    def test_sweet_spot_is_smallest_scale(self, points):
+        assert efficiency_sweet_spot(points).scale_factor == 8
+
+    def test_sweet_spot_validation(self):
+        with pytest.raises(ValueError):
+            efficiency_sweet_spot([])
+
+
+class TestParetoFrontier:
+    def test_all_scales_on_frontier(self, points):
+        """Bigger always costs more AND helps more here, so none dominate."""
+        frontier = pareto_frontier(points)
+        assert len(frontier) == len(points)
+
+    def test_dominated_point_removed(self):
+        a = DesignPoint(8, 5.0, 3.0, {"nerf": 10.0})
+        b = DesignPoint(16, 10.0, 6.0, {"nerf": 8.0})  # dominated by a
+        frontier = pareto_frontier([a, b])
+        assert frontier == [a]
+
+
+class TestSmallestScale:
+    def test_nerf_4k30_needs_more_than_minimum(self):
+        """NGPC-8 cannot hit NeRF 4K@30; a mid-size cluster can."""
+        scale = smallest_scale_for_fps("nerf", 30, paper.RESOLUTIONS["4k"])
+        assert scale in (16, 32, 64)
+        assert smallest_scale_for_fps(
+            "nerf", 30, paper.RESOLUTIONS["4k"], scales=(8,)
+        ) is None
+
+    def test_gia_fhd_needs_smallest(self):
+        assert smallest_scale_for_fps("gia", 60, paper.RESOLUTIONS["fhd"]) == 8
+
+    def test_unreachable_target_returns_none(self):
+        assert smallest_scale_for_fps("nerf", 240, paper.RESOLUTIONS["8k"]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smallest_scale_for_fps("nerf", 0, 10**6)

@@ -1,0 +1,206 @@
+"""Tests for the NGPC cluster model, emulator, Amdahl bounds and fusion."""
+
+import numpy as np
+import pytest
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES, get_config
+from repro.calibration import paper
+from repro.core import (
+    NGPC,
+    NGPCConfig,
+    amdahl_bound,
+    amdahl_bound_unfused,
+    emulate,
+    fused_rest_time_ms,
+)
+from repro.core.emulator import Emulator, max_pixels_within_budget, speedup_table
+from repro.core.fusion import DEFAULT_FUSION, FusionModel, check_fusion_matches_paper
+from repro.core.ngpc import PipelineSchedule, bandwidth_model
+from repro.gpu.baseline import FHD_PIXELS, baseline_frame_time_ms
+
+
+class TestFusion:
+    def test_fusion_speedup_matches_paper(self):
+        check_fusion_matches_paper()
+        assert DEFAULT_FUSION.speedup == pytest.approx(9.94, rel=0.002)
+
+    def test_fused_rest_faster(self):
+        for app in APP_NAMES:
+            fused = fused_rest_time_ms(app, "multi_res_hashgrid")
+            from repro.gpu.baseline import baseline_kernel_times_ms
+
+            unfused = baseline_kernel_times_ms(app, "multi_res_hashgrid")["rest"]
+            assert fused == pytest.approx(unfused / DEFAULT_FUSION.speedup)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FusionModel(launch_reduction=0.5)
+
+
+class TestPipelineSchedule:
+    def test_makespan_formula(self):
+        s = PipelineSchedule(ngpc_time_ms=16.0, rest_time_ms=8.0, n_batches=16)
+        # fill 1.0 + 15 bottleneck batches of 1.0 + drain 0.5
+        assert s.total_ms == pytest.approx(1.0 + 15 * 1.0 + 0.5)
+        assert s.bottleneck == "ngpc"
+
+    def test_rest_bound_when_ngpc_fast(self):
+        s = PipelineSchedule(ngpc_time_ms=1.0, rest_time_ms=8.0, n_batches=16)
+        assert s.bottleneck == "rest"
+        # total approaches fill + rest time
+        assert s.total_ms == pytest.approx(1.0 / 16 + 8.0)
+
+    def test_overlap_beats_serial(self):
+        s = PipelineSchedule(ngpc_time_ms=10.0, rest_time_ms=10.0, n_batches=16)
+        assert s.total_ms < 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineSchedule(-1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            PipelineSchedule(1.0, 1.0, 0)
+
+
+class TestBandwidth:
+    def test_table3_reproduced(self):
+        """Table III: bandwidths within 1 %, access times within 1 %."""
+        for app, (in_bw, out_bw, total_bw, access) in paper.TABLE3.items():
+            report = bandwidth_model(app)
+            assert report.input_gbps == pytest.approx(in_bw, rel=0.01)
+            assert report.output_gbps == pytest.approx(out_bw, rel=0.01)
+            assert report.total_gbps == pytest.approx(total_bw, rel=0.01)
+            assert report.access_time_ms == pytest.approx(access, rel=0.01)
+
+    def test_fraction_of_gpu_bandwidth(self):
+        """Section VI: ~24 % of GPU bandwidth for NeRF, ~7 % for others."""
+        assert bandwidth_model("nerf").fraction_of_gpu_bandwidth == pytest.approx(
+            0.24, abs=0.02
+        )
+        assert bandwidth_model("nsdf").fraction_of_gpu_bandwidth == pytest.approx(
+            0.074, abs=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_model("dlss")
+        with pytest.raises(ValueError):
+            bandwidth_model("nerf", n_pixels=0)
+
+
+class TestAmdahl:
+    def test_bounds_positive_and_fused_larger(self):
+        for app in APP_NAMES:
+            for scheme in ENCODING_SCHEMES:
+                fused = amdahl_bound(app, scheme)
+                unfused = amdahl_bound_unfused(app, scheme)
+                assert fused > unfused > 1.0
+
+    def test_nerf_hashgrid_bound_near_max_speedup(self):
+        """9.94 / 0.17 = 58.5, just above the reported 58.36x."""
+        assert amdahl_bound("nerf", "multi_res_hashgrid") == pytest.approx(
+            58.5, abs=0.2
+        )
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            amdahl_bound("nerf", "fourier")
+
+
+class TestEmulator:
+    def test_every_run_respects_amdahl(self):
+        """The paper's Section VI sanity check, across the full sweep."""
+        for app in APP_NAMES:
+            for scheme in ENCODING_SCHEMES:
+                for scale in (8, 16, 32, 64):
+                    result = emulate(app, scheme, scale)
+                    assert result.respects_amdahl(), (app, scheme, scale)
+                    assert result.speedup > 1.0
+
+    def test_speedup_monotone_in_scale(self):
+        for app in APP_NAMES:
+            speedups = [
+                emulate(app, "multi_res_hashgrid", s).speedup for s in (8, 16, 32, 64)
+            ]
+            assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    def test_fig12_averages_within_10pct(self):
+        """Four-app averages track the paper at every scale and scheme."""
+        for scheme, targets in paper.FIG12_AVERAGE_SPEEDUPS.items():
+            table = speedup_table(scheme)
+            for scale, target in targets.items():
+                assert table[scale]["average"] == pytest.approx(target, rel=0.10), (
+                    scheme,
+                    scale,
+                )
+
+    def test_max_speedup_near_58x(self):
+        """"Up to 58.36x": the NeRF hashgrid peak lands within 5 %."""
+        best = max(
+            emulate("nerf", "multi_res_hashgrid", s).speedup for s in (8, 16, 32, 64)
+        )
+        assert best == pytest.approx(paper.MAX_END_TO_END_SPEEDUP, rel=0.05)
+
+    def test_baseline_matches_gpu_model(self):
+        r = emulate("nerf", "multi_res_hashgrid", 8)
+        assert r.baseline_ms == pytest.approx(
+            baseline_frame_time_ms("nerf", "multi_res_hashgrid")
+        )
+
+    def test_result_decomposition_consistent(self):
+        r = emulate("nsdf", "multi_res_hashgrid", 16)
+        assert r.accelerated_ms > 0
+        assert r.encoding_engine_ms > 0
+        assert r.mlp_engine_ms > 0
+        assert r.fps == pytest.approx(1000.0 / r.accelerated_ms)
+
+    def test_validation(self):
+        emulator = Emulator()
+        with pytest.raises(ValueError):
+            emulator.run("dlss", "multi_res_hashgrid")
+        with pytest.raises(ValueError):
+            emulator.run("nerf", "fourier")
+
+
+class TestFig14:
+    def test_ngpc_enables_more_pixels_than_baseline(self):
+        for app in APP_NAMES:
+            with_ngpc = max_pixels_within_budget(app, "multi_res_hashgrid", 64, 60)
+            without = max_pixels_within_budget(
+                app, "multi_res_hashgrid", 64, 60, use_ngpc=False
+            )
+            assert with_ngpc > without
+
+    def test_headline_capabilities(self):
+        """NeRF renders 4K at 30 FPS; GIA and NVR render 8K at 120 FPS.
+
+        NSDF's 8K @ 120 FPS claim lands at ~96 % of the 8K pixel count in
+        our model (documented in EXPERIMENTS.md), so it is checked with
+        that tolerance.
+        """
+        assert max_pixels_within_budget("nerf", "multi_res_hashgrid", 64, 30) >= (
+            paper.RESOLUTIONS["4k"]
+        )
+        for app in ("gia", "nvr"):
+            assert max_pixels_within_budget(app, "multi_res_hashgrid", 64, 120) >= (
+                paper.RESOLUTIONS["8k"]
+            )
+        nsdf = max_pixels_within_budget("nsdf", "multi_res_hashgrid", 64, 120)
+        assert nsdf >= 0.95 * paper.RESOLUTIONS["8k"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_pixels_within_budget("nerf", "multi_res_hashgrid", 64, 0)
+
+
+class TestNGPCCluster:
+    def test_dma_overhead_scales(self):
+        ngpc8 = NGPC(NGPCConfig(scale_factor=8))
+        ngpc64 = NGPC(NGPCConfig(scale_factor=64))
+        assert ngpc8.dma_overhead_ms("nerf", FHD_PIXELS) > ngpc64.dma_overhead_ms(
+            "nerf", FHD_PIXELS
+        )
+
+    def test_frame_time_positive(self):
+        ngpc = NGPC(NGPCConfig(scale_factor=32))
+        t = ngpc.frame_time_ms("gia", "multi_res_hashgrid")
+        assert 0 < t < baseline_frame_time_ms("gia", "multi_res_hashgrid")

@@ -1,0 +1,209 @@
+"""Tests for the NFP engines: functional fixed-point model + cycle models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES, get_config
+from repro.calibration import paper
+from repro.core import (
+    EncodingEngineFunctional,
+    NFPConfig,
+    NGPCConfig,
+    encoding_engine_time_ms,
+    encoding_kernel_speedup,
+    mlp_engine_cycles,
+    mlp_engine_time_ms,
+    mlp_kernel_speedup,
+    shift_modulo,
+)
+from repro.core.encoding_engine import level_spill_fraction, parallel_inputs
+from repro.core.mlp_engine import weight_bytes, weight_matrices
+from repro.encodings import DenseGridEncoding, HashGridEncoding, TiledGridEncoding
+
+
+class TestShiftModulo:
+    @given(
+        st.lists(st.integers(0, 2**62), min_size=1, max_size=32),
+        st.integers(0, 24),
+    )
+    @settings(max_examples=50)
+    def test_equals_modulo_for_powers_of_two(self, values, log2_t):
+        """The hardware approximation is exact when T is a power of two."""
+        t = 1 << log2_t
+        arr = np.array(values, dtype=np.uint64)
+        np.testing.assert_array_equal(shift_modulo(arr, t), arr % np.uint64(t))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            shift_modulo(np.array([1]), 3)
+
+
+class TestFunctionalEngine:
+    @pytest.mark.parametrize(
+        "enc_factory",
+        [
+            lambda: HashGridEncoding(
+                3, n_levels=8, n_features=2, log2_table_size=12,
+                base_resolution=4, growth_factor=1.5, seed=0,
+            ),
+            lambda: DenseGridEncoding(
+                3, n_levels=4, n_features=2, base_resolution=4,
+                growth_factor=1.405, seed=0,
+            ),
+            lambda: TiledGridEncoding(
+                3, n_levels=2, n_features=8, base_resolution=16,
+                growth_factor=1.0, seed=0,
+            ),
+        ],
+        ids=["hash", "dense", "tiled"],
+    )
+    def test_matches_software_reference(self, enc_factory, unit_points_3d):
+        """The fixed-point datapath agrees with the float reference."""
+        enc = enc_factory()
+        hw = EncodingEngineFunctional(enc)
+        sw_out = enc.forward(unit_points_3d)
+        hw_out = hw.forward(unit_points_3d)
+        np.testing.assert_allclose(hw_out, sw_out, atol=2e-4)
+
+    def test_hash_indices_identical_to_reference(self):
+        """shift-mod vs mod produce identical lookup indices (T = 2^k)."""
+        enc = HashGridEncoding(
+            3, n_levels=8, n_features=2, log2_table_size=10,
+            base_resolution=4, growth_factor=1.7, seed=0,
+        )
+        hw = EncodingEngineFunctional(enc)
+        level = enc.n_levels - 1
+        assert enc.level_uses_hash(level)
+        corners = np.random.default_rng(0).integers(0, 500, size=(32, 8, 3))
+        np.testing.assert_array_equal(
+            hw._grid_index(corners, level), enc._index_coords(corners, level)
+        )
+
+    def test_quantized_features_stay_close(self, unit_points_3d):
+        enc = HashGridEncoding(
+            3, n_levels=4, n_features=2, log2_table_size=10,
+            base_resolution=4, growth_factor=1.5, seed=0,
+        )
+        # give the tables non-trivial content
+        for t in enc.tables:
+            t[...] = np.random.default_rng(1).uniform(-1, 1, t.shape)
+        hw = EncodingEngineFunctional(enc, quantize_features=True)
+        sw_out = enc.forward(unit_points_3d)
+        hw_out = hw.forward(unit_points_3d)
+        # 8-bit quantization: errors bounded by ~1/127 of the range
+        assert np.max(np.abs(hw_out - sw_out)) < 0.05
+
+    def test_rejects_non_power_of_two_table(self):
+        enc = HashGridEncoding(
+            3, n_levels=2, n_features=2, log2_table_size=10,
+            base_resolution=4, seed=0,
+        )
+        enc.table_size = 1000  # simulate a bad configuration
+        with pytest.raises(ValueError):
+            EncodingEngineFunctional(enc)
+
+
+class TestEncodingCycleModel:
+    def test_parallel_inputs_matches_paper(self):
+        """Section V: hashgrid 1 input, densegrid 2, low-res densegrid 8."""
+        assert parallel_inputs(16) == 1
+        assert parallel_inputs(8) == 2
+        assert parallel_inputs(2) == 8
+
+    def test_time_scales_inversely_with_scale_factor(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        t8 = encoding_engine_time_ms(config, ngpc=NGPCConfig(scale_factor=8))
+        t64 = encoding_engine_time_ms(config, ngpc=NGPCConfig(scale_factor=64))
+        assert t8 / t64 == pytest.approx(8.0, rel=0.05)
+
+    def test_time_scales_with_pixels(self):
+        config = get_config("gia", "multi_res_hashgrid")
+        t1 = encoding_engine_time_ms(config, n_pixels=10**6)
+        t2 = encoding_engine_time_ms(config, n_pixels=2 * 10**6)
+        assert t2 > t1
+
+    def test_fig13_encoding_anchor(self):
+        """Four-app mean encoding speedup at 64 matches Fig. 13."""
+        for scheme, targets in paper.FIG13_KERNEL_SPEEDUPS_AT_64.items():
+            speedups = [encoding_kernel_speedup(a, scheme, 64) for a in APP_NAMES]
+            mean = sum(speedups) / len(speedups)
+            assert mean == pytest.approx(targets["encoding"], rel=0.05)
+
+    def test_spill_fractions(self):
+        """Hashgrid levels fit the 1 MB SRAM (T=2^19 x 2 x 1 B = 1 MB), but
+        the 3D dense grids' fine levels exceed it and spill."""
+        nerf_hash = get_config("nerf", "multi_res_hashgrid")
+        nerf_dense = get_config("nerf", "multi_res_densegrid")
+        nerf_lrdg = get_config("nerf", "low_res_densegrid")
+        gia_hash = get_config("gia", "multi_res_hashgrid")
+        ngpc = NGPCConfig()
+        assert level_spill_fraction(nerf_hash, ngpc) == 0.0
+        assert level_spill_fraction(nerf_dense, ngpc) > 0
+        assert level_spill_fraction(nerf_lrdg, ngpc) == 1.0  # 128^3 x 8 x 1B
+        # GIA is 2D: even its finest level is far below 1 MB
+        assert level_spill_fraction(gia_hash, ngpc) == 0.0
+
+    def test_validation(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        with pytest.raises(ValueError):
+            encoding_engine_time_ms(config, n_pixels=0)
+        with pytest.raises(ValueError):
+            parallel_inputs(0)
+
+
+class TestMLPEngine:
+    def test_weight_matrices(self):
+        """NeRF: density (3 hidden -> 4 matrices) + color (4 -> 5) = 9."""
+        assert weight_matrices(get_config("nerf", "multi_res_hashgrid")) == 9
+        assert weight_matrices(get_config("nsdf", "multi_res_hashgrid")) == 5
+
+    def test_weights_fit_on_chip(self):
+        """Every Table I network fits in a small weight SRAM (< 64 KB)."""
+        for app in APP_NAMES:
+            config = get_config(app, "multi_res_hashgrid")
+            assert weight_bytes(config) < 64 * 1024
+
+    def test_cycles_monotone_in_samples(self):
+        config = get_config("nsdf", "multi_res_hashgrid")
+        assert mlp_engine_cycles(config, 2000) > mlp_engine_cycles(config, 1000)
+
+    def test_fig13_mlp_anchor(self):
+        for scheme, targets in paper.FIG13_KERNEL_SPEEDUPS_AT_64.items():
+            speedups = [mlp_kernel_speedup(a, scheme, 64) for a in APP_NAMES]
+            mean = sum(speedups) / len(speedups)
+            assert mean == pytest.approx(targets["mlp"], rel=0.05)
+
+    def test_speedup_scales_linearly(self):
+        s8 = mlp_kernel_speedup("nerf", "multi_res_hashgrid", 8)
+        s64 = mlp_kernel_speedup("nerf", "multi_res_hashgrid", 64)
+        assert s64 / s8 == pytest.approx(8.0, rel=0.05)
+
+    def test_validation(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        with pytest.raises(ValueError):
+            mlp_engine_cycles(config, -1)
+        with pytest.raises(ValueError):
+            mlp_engine_time_ms(config, n_pixels=0)
+
+
+class TestNFPConfig:
+    def test_defaults_match_paper(self):
+        nfp = NFPConfig()
+        assert nfp.n_encoding_engines == 16
+        assert nfp.grid_sram_kb_per_engine == 1024
+        assert nfp.macs == 64 * 64
+        assert nfp.clock_ghz == pytest.approx(1.695)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NFPConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            NFPConfig(n_encoding_engines=0)
+        with pytest.raises(ValueError):
+            NFPConfig(mac_rows=0)
+        with pytest.raises(ValueError):
+            NGPCConfig(scale_factor=0)
+        with pytest.raises(ValueError):
+            NGPCConfig(l2_spill_penalty=0.5)

@@ -1,0 +1,93 @@
+"""Tests for the cycle-level encoding-pipeline simulator."""
+
+import pytest
+
+from repro.core.pipeline_sim import (
+    EncodingPipelineSimulator,
+    PipelineConfig,
+    SimResult,
+    STAGE_NAMES,
+    validate_throughput_assumption,
+)
+
+
+class TestPipelineConfig:
+    def test_defaults_match_3d_engine(self):
+        cfg = PipelineConfig()
+        assert cfg.corners == 8  # 2^3 corner lookups
+        assert cfg.sram_banks == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(corners=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(sram_banks=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(spill_probability=1.5)
+        with pytest.raises(ValueError):
+            PipelineConfig(l2_stall_cycles=-1)
+
+
+class TestThroughput:
+    def test_fully_banked_sustains_one_per_cycle(self):
+        """The analytic model's core assumption: banks >= corners -> ~1."""
+        assert validate_throughput_assumption() > 0.99
+
+    def test_half_banks_halve_throughput(self):
+        assert validate_throughput_assumption(banks=4) == pytest.approx(0.5, abs=0.01)
+
+    def test_single_bank_serializes_corners(self):
+        assert validate_throughput_assumption(banks=1) == pytest.approx(
+            1.0 / 8.0, abs=0.01
+        )
+
+    def test_2d_engine_needs_only_four_banks(self):
+        """GIA's 2D lookups (4 corners) saturate with 4 banks."""
+        assert validate_throughput_assumption(corners=4, banks=4) > 0.99
+
+    def test_spills_degrade_throughput(self):
+        clean = EncodingPipelineSimulator(
+            PipelineConfig(spill_probability=0.0)
+        ).run(1000)
+        spilled = EncodingPipelineSimulator(
+            PipelineConfig(spill_probability=0.1), seed=1
+        ).run(1000)
+        assert spilled.throughput < clean.throughput
+        assert spilled.stall_cycles > 0
+
+    def test_throughput_monotone_in_spill_probability(self):
+        values = []
+        for p in (0.0, 0.02, 0.1, 0.5):
+            sim = EncodingPipelineSimulator(
+                PipelineConfig(spill_probability=p), seed=2
+            )
+            values.append(sim.run(800).throughput)
+        assert values == sorted(values, reverse=True)
+
+
+class TestSimMechanics:
+    def test_pipeline_fill_cost(self):
+        """A single input costs the pipeline depth plus the FIFO pop."""
+        sim = EncodingPipelineSimulator(PipelineConfig())
+        result = sim.run(1)
+        assert result.cycles == len(STAGE_NAMES) + 1
+
+    def test_result_accounting(self):
+        result = SimResult(inputs=100, cycles=200, stall_cycles=20, bank_conflict_cycles=0)
+        assert result.throughput == pytest.approx(0.5)
+        assert result.stall_fraction == pytest.approx(0.1)
+
+    def test_conflicts_counted_when_banks_short(self):
+        sim = EncodingPipelineSimulator(PipelineConfig(sram_banks=4))
+        result = sim.run(100)
+        assert result.bank_conflict_cycles > 0
+
+    def test_deterministic_given_seed(self):
+        cfg = PipelineConfig(spill_probability=0.2)
+        a = EncodingPipelineSimulator(cfg, seed=7).run(500)
+        b = EncodingPipelineSimulator(cfg, seed=7).run(500)
+        assert a.cycles == b.cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EncodingPipelineSimulator().run(0)

@@ -1,0 +1,53 @@
+"""Tests for the model-consistency verification suite."""
+
+import pytest
+
+from repro.core.verification import Finding, is_healthy, verify_all
+
+
+class TestVerification:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return verify_all()
+
+    def test_all_checks_pass(self, findings):
+        failed = [f for f in findings if not f.passed]
+        assert not failed, failed
+
+    def test_expected_checks_present(self, findings):
+        names = {f.check for f in findings}
+        assert names == {
+            "fig5_fraction_averages",
+            "fusion_product",
+            "fig13_anchors",
+            "amdahl_compliance",
+            "fig15_area_power",
+            "table3_bandwidth",
+            "baseline_frame_times",
+            "pipeline_throughput",
+        }
+
+    def test_is_healthy(self, findings):
+        assert is_healthy(findings)
+        broken = findings + [Finding("x", False, "bad")]
+        assert not is_healthy(broken)
+
+    def test_detail_strings_informative(self, findings):
+        for f in findings:
+            assert len(f.detail) > 3
+
+    def test_cli_verify(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_detects_broken_constants(self):
+        """Perturbing a fitted constant trips the corresponding check."""
+        from repro.analysis.sensitivity import perturbed_rest_fractions
+        from repro.core.verification import _check_fraction_averages
+
+        with perturbed_rest_fractions(1.3):
+            finding = _check_fraction_averages()
+            assert not finding.passed

@@ -1,0 +1,180 @@
+"""Tests for fixed-function encodings and the composite encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import (
+    CompositeEncoding,
+    FrequencyEncoding,
+    IdentityEncoding,
+    OneBlobEncoding,
+    SphericalHarmonicsEncoding,
+)
+from repro.encodings.grids import HashGridEncoding
+
+
+class TestIdentity:
+    def test_passthrough(self, unit_points_3d):
+        enc = IdentityEncoding(3)
+        np.testing.assert_array_equal(enc.forward(unit_points_3d), unit_points_3d)
+
+    def test_backward_passes_gradient(self, unit_points_3d):
+        enc = IdentityEncoding(3)
+        dy = np.ones_like(unit_points_3d)
+        np.testing.assert_array_equal(enc.backward(dy).input_grad, dy)
+
+
+class TestFrequency:
+    def test_output_dim(self):
+        enc = FrequencyEncoding(3, num_frequencies=10)
+        assert enc.output_dim == 60  # vanilla NeRF positional encoding width
+
+    def test_values_bounded(self, unit_points_3d):
+        out = FrequencyEncoding(3, 6).forward(unit_points_3d)
+        assert np.all(np.abs(out) <= 1.0 + 1e-6)
+
+    def test_first_octave_is_sin_pi_x(self):
+        enc = FrequencyEncoding(1, 2)
+        x = np.array([[0.25]], dtype=np.float32)
+        out = enc.forward(x)
+        assert out[0, 0] == pytest.approx(np.sin(np.pi * 0.25), rel=1e-5)
+        assert out[0, 2] == pytest.approx(np.cos(np.pi * 0.25), rel=1e-5)
+
+    def test_backward_matches_finite_differences(self):
+        enc = FrequencyEncoding(2, 4)
+        x = np.array([[0.3, 0.7]], dtype=np.float64)
+        out = enc.forward(x, cache=True)
+        dy = np.ones_like(out)
+        grad = enc.backward(dy).input_grad
+        # the encoding computes in float32, so use a coarse probe step
+        eps = 1e-3
+        for j in range(2):
+            xp, xm = x.copy(), x.copy()
+            xp[0, j] += eps
+            xm[0, j] -= eps
+            numeric = (
+                enc.forward(xp).astype(np.float64).sum()
+                - enc.forward(xm).astype(np.float64).sum()
+            ) / (2 * eps)
+            assert grad[0, j] == pytest.approx(numeric, rel=2e-2)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            FrequencyEncoding(0, 4)
+        with pytest.raises(ValueError):
+            FrequencyEncoding(3, 0)
+
+
+class TestOneBlob:
+    def test_shape_and_range(self, unit_points_2d):
+        enc = OneBlobEncoding(2, bins=16)
+        out = enc.forward(unit_points_2d)
+        assert out.shape == (unit_points_2d.shape[0], 32)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_peak_at_own_bin(self):
+        enc = OneBlobEncoding(1, bins=8)
+        x = np.array([[(3 + 0.5) / 8]], dtype=np.float32)  # center of bin 3
+        out = enc.forward(x)
+        assert int(np.argmax(out[0])) == 3
+
+    def test_backward_matches_finite_differences(self):
+        enc = OneBlobEncoding(1, bins=4)
+        x = np.array([[0.4]], dtype=np.float64)
+        out = enc.forward(x, cache=True)
+        grad = enc.backward(np.ones_like(out)).input_grad
+        # the encoding computes in float32, so use a coarse probe step
+        eps = 1e-3
+        numeric = (
+            enc.forward(x + eps).astype(np.float64).sum()
+            - enc.forward(x - eps).astype(np.float64).sum()
+        ) / (2 * eps)
+        assert grad[0, 0] == pytest.approx(numeric, rel=2e-2)
+
+
+class TestSphericalHarmonics:
+    def test_output_dims(self):
+        for degree in (1, 2, 3, 4):
+            assert SphericalHarmonicsEncoding(degree).output_dim == degree * degree
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            SphericalHarmonicsEncoding(0)
+        with pytest.raises(ValueError):
+            SphericalHarmonicsEncoding(5)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            SphericalHarmonicsEncoding(2).forward(np.zeros((1, 3)))
+
+    def test_dc_term_constant(self, rng):
+        dirs = rng.normal(size=(32, 3))
+        out = SphericalHarmonicsEncoding(4).forward(dirs)
+        np.testing.assert_allclose(out[:, 0], 0.28209479177387814, rtol=1e-6)
+
+    @given(st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1))
+    @settings(max_examples=30)
+    def test_orthonormality_sampled(self, x, y, z):
+        """SH values stay bounded for any direction."""
+        v = np.array([[x, y, z]])
+        if np.linalg.norm(v) < 1e-3:
+            return
+        out = SphericalHarmonicsEncoding(4).forward(v)
+        assert np.all(np.abs(out) < 3.0)
+
+    def test_degree2_matches_direction_components(self):
+        enc = SphericalHarmonicsEncoding(2)
+        v = np.array([[0.0, 0.0, 1.0]])
+        out = enc.forward(v)
+        assert out[0, 2] == pytest.approx(0.48860251190291987)
+        assert out[0, 1] == pytest.approx(0.0, abs=1e-7)
+
+
+class TestComposite:
+    def make(self):
+        grid = HashGridEncoding(
+            3, n_levels=4, n_features=2, log2_table_size=10,
+            base_resolution=4, growth_factor=1.5, seed=0,
+        )
+        sh = SphericalHarmonicsEncoding(4)
+        return CompositeEncoding([(grid, 3), (sh, 3)]), grid, sh
+
+    def test_dims(self):
+        comp, grid, sh = self.make()
+        assert comp.input_dim == 6
+        assert comp.output_dim == grid.output_dim + sh.output_dim
+
+    def test_forward_concatenates(self, rng):
+        comp, grid, sh = self.make()
+        pos = rng.uniform(0, 1, size=(8, 3)).astype(np.float32)
+        dirs = rng.normal(size=(8, 3)).astype(np.float32)
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        x = np.concatenate([pos, dirs], axis=1)
+        out = comp.forward(x)
+        np.testing.assert_allclose(out[:, : grid.output_dim], grid.forward(pos))
+        np.testing.assert_allclose(out[:, grid.output_dim :], sh.forward(dirs))
+
+    def test_backward_routes_param_grads(self, rng):
+        comp, grid, sh = self.make()
+        pos = rng.uniform(0, 1, size=(8, 3)).astype(np.float32)
+        dirs = np.tile([[0.0, 0.0, 1.0]], (8, 1)).astype(np.float32)
+        x = np.concatenate([pos, dirs], axis=1)
+        out = comp.forward(x, cache=True)
+        grads = comp.backward(np.ones_like(out))
+        assert len(grads.param_grads) == len(grid.parameters())
+        assert any(np.any(g != 0) for g in grads.param_grads)
+
+    def test_mismatched_slice_raises(self):
+        sh = SphericalHarmonicsEncoding(2)
+        with pytest.raises(ValueError):
+            CompositeEncoding([(sh, 2)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            CompositeEncoding([])
+
+    def test_parameters_collects_children(self):
+        comp, grid, _ = self.make()
+        assert len(comp.parameters()) == len(grid.parameters())

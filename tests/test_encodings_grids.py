@@ -1,0 +1,263 @@
+"""Tests for the multi-resolution grid encodings (hash/dense/tiled)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import (
+    DenseGridEncoding,
+    HashGridEncoding,
+    TiledGridEncoding,
+    grid_resolution,
+    hash_coords,
+)
+from repro.nn import L2Loss
+
+
+def small_hashgrid(dim=3, **kwargs):
+    defaults = dict(
+        n_levels=8,
+        n_features=2,
+        log2_table_size=12,
+        base_resolution=4,
+        growth_factor=1.5,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return HashGridEncoding(dim, **defaults)
+
+
+class TestHashFunction:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**20), st.integers(0, 2**20), st.integers(0, 2**20)
+            ),
+            min_size=1,
+            max_size=32,
+        ),
+        st.integers(1, 24),
+    )
+    @settings(max_examples=50)
+    def test_hash_in_range_and_deterministic(self, coords, log2_t):
+        coords = np.array(coords, dtype=np.int64)
+        t = 1 << log2_t
+        h1 = hash_coords(coords, t)
+        h2 = hash_coords(coords, t)
+        np.testing.assert_array_equal(h1, h2)
+        assert np.all((h1 >= 0) & (h1 < t))
+
+    def test_hash_first_prime_is_one(self):
+        """Eq. 1 uses pi_1 = 1, so 1D hashing is x mod T."""
+        coords = np.arange(100).reshape(-1, 1)
+        np.testing.assert_array_equal(hash_coords(coords, 32), np.arange(100) % 32)
+
+    def test_hash_spreads_values(self):
+        """A dense block of coordinates should cover many buckets."""
+        g = np.stack(
+            np.meshgrid(np.arange(16), np.arange(16), np.arange(16), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 3)
+        h = hash_coords(g, 1 << 12)
+        # A perfectly uniform hash fills ~(1 - 1/e) = 63% of 4096 buckets
+        # with 4096 keys; require at least half to catch degenerate hashes.
+        assert len(np.unique(h)) > 2048
+
+    def test_hash_rejects_too_many_dims(self):
+        with pytest.raises(ValueError):
+            hash_coords(np.zeros((4, 5), dtype=np.int64), 16)
+
+    def test_hash_rejects_bad_table(self):
+        with pytest.raises(ValueError):
+            hash_coords(np.zeros((4, 3), dtype=np.int64), 0)
+
+
+class TestGridGeometry:
+    def test_grid_resolution_growth(self):
+        assert grid_resolution(16, 1.5, 0) == 16
+        assert grid_resolution(16, 1.5, 1) == 24
+        assert grid_resolution(16, 1.5, 2) == 36
+
+    def test_grid_resolution_validation(self):
+        with pytest.raises(ValueError):
+            grid_resolution(0, 1.5, 1)
+        with pytest.raises(ValueError):
+            grid_resolution(16, 0.9, 1)
+        with pytest.raises(ValueError):
+            grid_resolution(16, 1.5, -1)
+
+    def test_hashgrid_coarse_levels_are_dense(self):
+        enc = small_hashgrid()
+        assert not enc.level_uses_hash(0)  # 5^3 = 125 << 4096
+        finest = enc.n_levels - 1
+        assert enc.level_uses_hash(finest)
+        assert enc.level_table_entries(finest) == enc.table_size
+
+    def test_dense_entries(self):
+        enc = DenseGridEncoding(
+            3, n_levels=2, n_features=2, base_resolution=4, growth_factor=2.0, seed=0
+        )
+        assert enc.level_table_entries(0) == 5**3
+        assert enc.level_table_entries(1) == 9**3
+
+    def test_tiled_entries(self):
+        enc = TiledGridEncoding(
+            3, n_levels=2, n_features=4, base_resolution=8, growth_factor=1.0, seed=0
+        )
+        assert enc.level_table_entries(0) == 8**3
+        assert enc.level_table_entries(1) == 8**3
+
+    def test_memory_guard(self):
+        with pytest.raises(MemoryError):
+            DenseGridEncoding(
+                3, n_levels=1, n_features=2, base_resolution=4096, seed=0
+            )
+
+    def test_lookups_per_input(self):
+        enc = small_hashgrid()
+        assert enc.lookups_per_input() == 8 * 8
+        enc2d = small_hashgrid(dim=2)
+        assert enc2d.lookups_per_input() == 4 * 8
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            small_hashgrid(dim=4)
+        with pytest.raises(ValueError):
+            small_hashgrid(n_levels=0)
+        with pytest.raises(ValueError):
+            small_hashgrid(n_features=0)
+
+
+@pytest.mark.parametrize(
+    "enc_factory",
+    [
+        lambda: small_hashgrid(),
+        lambda: DenseGridEncoding(
+            3, n_levels=4, n_features=2, base_resolution=4, growth_factor=1.405, seed=0
+        ),
+        lambda: TiledGridEncoding(
+            3, n_levels=2, n_features=8, base_resolution=16, growth_factor=1.0, seed=0
+        ),
+    ],
+    ids=["hash", "dense", "tiled"],
+)
+class TestGridForwardBackward:
+    def test_output_shape(self, enc_factory, unit_points_3d):
+        enc = enc_factory()
+        out = enc.forward(unit_points_3d)
+        assert out.shape == (unit_points_3d.shape[0], enc.output_dim)
+        assert out.dtype == np.float32
+
+    def test_forward_deterministic(self, enc_factory, unit_points_3d):
+        enc = enc_factory()
+        np.testing.assert_array_equal(
+            enc.forward(unit_points_3d), enc.forward(unit_points_3d)
+        )
+
+    def test_interpolation_at_vertices_is_exact(self, enc_factory):
+        """Querying exactly at a grid vertex returns that vertex's feature."""
+        enc = enc_factory()
+        level = 0
+        res = enc.level_resolution(level)
+        # vertex (1, 1, 1) of level 0 in normalized coordinates
+        x = np.array([[1.0 / res, 1.0 / res, 1.0 / res]], dtype=np.float32)
+        out = enc.forward(x)[0, : enc.n_features]
+        idx = enc._index_coords(np.array([[[1, 1, 1]]]), level)[0, 0]
+        np.testing.assert_allclose(out, enc.tables[level][idx], rtol=1e-4, atol=1e-6)
+
+    def test_continuity_across_cell_boundary(self, enc_factory):
+        """Features are continuous: tiny steps produce tiny output changes."""
+        enc = enc_factory()
+        x = np.array([[0.5, 0.5, 0.5]], dtype=np.float32)
+        eps = 1e-5
+        a = enc.forward(x)
+        b = enc.forward(x + eps)
+        assert np.max(np.abs(a - b)) < 1e-2
+
+    def test_out_of_range_inputs_are_clamped(self, enc_factory):
+        enc = enc_factory()
+        x = np.array([[-0.5, 1.5, 0.5]], dtype=np.float32)
+        clamped = np.array([[0.0, 1.0, 0.5]], dtype=np.float32)
+        np.testing.assert_allclose(enc.forward(x), enc.forward(clamped))
+
+    def test_backward_requires_cache(self, enc_factory, unit_points_3d):
+        enc = enc_factory()
+        enc.forward(unit_points_3d)
+        with pytest.raises(RuntimeError):
+            enc.backward(np.zeros((unit_points_3d.shape[0], enc.output_dim)))
+
+    def test_backward_gradient_matches_finite_differences(
+        self, enc_factory, unit_points_3d
+    ):
+        enc = enc_factory()
+        x = unit_points_3d[:8]
+        target = np.zeros((8, enc.output_dim), dtype=np.float32)
+        loss = L2Loss()
+        out = enc.forward(x, cache=True)
+        _, dy = loss.value_and_grad(out, target)
+        grads = enc.backward(dy).param_grads
+        eps = 1e-3
+        level = 0
+        table = enc.tables[level]
+        # probe the highest-gradient entry, which is certainly touched
+        flat = np.abs(grads[level]).ravel()
+        k = int(np.argmax(flat))
+        i, j = divmod(k, table.shape[1])
+        old = table[i, j]
+        table[i, j] = old + eps
+        up = loss(enc.forward(x), target)
+        table[i, j] = old - eps
+        down = loss(enc.forward(x), target)
+        table[i, j] = old
+        numeric = (up - down) / (2 * eps)
+        assert grads[level][i, j] == pytest.approx(numeric, rel=5e-2, abs=1e-7)
+
+    def test_training_reduces_loss(self, enc_factory, rng):
+        """The feature tables alone can fit a smooth target field."""
+        from repro.nn import Adam
+
+        enc = enc_factory()
+        opt = Adam(learning_rate=5e-2)
+        x = rng.uniform(0, 1, size=(512, 3)).astype(np.float32)
+        target = np.repeat(
+            np.sin(4 * x[:, :1]) * np.cos(4 * x[:, 1:2]),
+            enc.output_dim,
+            axis=1,
+        ).astype(np.float32)
+        loss = L2Loss()
+        first = None
+        for _ in range(60):
+            out = enc.forward(x, cache=True)
+            value, dy = loss.value_and_grad(out, target)
+            if first is None:
+                first = value
+            opt.step(enc.parameters(), enc.backward(dy).param_grads)
+        assert value < first * 0.3
+
+
+class TestTiledWraparound:
+    def test_tiling_repeats_space(self):
+        """With growth 1, positions one period apart hit the same entries."""
+        enc = TiledGridEncoding(
+            2, n_levels=1, n_features=2, base_resolution=4, growth_factor=1.0, seed=0
+        )
+        coords = np.array([[[0, 0]], [[4, 4]]])
+        idx = enc._index_coords(coords, 0)
+        assert idx[0, 0] == idx[1, 0]
+
+
+class TestInterpolationWeights:
+    @given(
+        st.floats(0.01, 0.99),
+        st.floats(0.01, 0.99),
+        st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=25)
+    def test_partition_of_unity(self, x, y, z):
+        """Interpolating a table of ones returns exactly one at any point."""
+        enc = small_hashgrid()
+        for t in enc.tables:
+            t[...] = 1.0
+        out = enc.forward(np.array([[x, y, z]], dtype=np.float32))
+        np.testing.assert_allclose(out, 1.0, rtol=1e-5)

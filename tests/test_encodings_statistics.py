@@ -1,0 +1,94 @@
+"""Statistical properties of the spatial hash and encoding edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import HashGridEncoding, hash_coords
+from repro.encodings.grids import HASH_PRIMES
+
+
+class TestHashUniformity:
+    def test_chi_square_on_dense_block(self):
+        """Bucket occupancy of a dense coordinate block is near-uniform.
+
+        With n keys over k buckets the chi-square statistic has mean
+        ~k; a poor hash concentrates mass and blows it up by orders of
+        magnitude.  Accept anything below 2x the degrees of freedom.
+        """
+        n_side = 32
+        grid = np.stack(
+            np.meshgrid(*([np.arange(n_side)] * 3), indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        k = 1 << 10
+        h = hash_coords(grid, k)
+        counts = np.bincount(h, minlength=k)
+        expected = len(grid) / k
+        chi_square = float(((counts - expected) ** 2 / expected).sum())
+        assert chi_square < 2.0 * k
+
+    def test_axis_sensitivity(self):
+        """Changing any single coordinate changes the hash (almost) always."""
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 10**6, size=(512, 3))
+        h0 = hash_coords(base, 1 << 19)
+        for axis in range(3):
+            shifted = base.copy()
+            shifted[:, axis] += 1
+            h1 = hash_coords(shifted, 1 << 19)
+            assert np.mean(h0 == h1) < 0.01
+
+    def test_primes_are_the_instant_ngp_constants(self):
+        assert HASH_PRIMES == (1, 2654435761, 805459861)
+
+    def test_large_coordinates_do_not_overflow(self):
+        coords = np.full((4, 3), 2**40, dtype=np.int64)
+        h = hash_coords(coords, 1 << 16)
+        assert np.all((h >= 0) & (h < 1 << 16))
+
+
+class TestEncodingEdgeCases:
+    def make(self, **kwargs):
+        defaults = dict(
+            n_levels=4, n_features=2, log2_table_size=10,
+            base_resolution=4, growth_factor=1.5, seed=0,
+        )
+        defaults.update(kwargs)
+        return HashGridEncoding(3, **defaults)
+
+    def test_corner_of_domain(self):
+        """Exactly (1,1,1) must index valid table entries, not overflow."""
+        enc = self.make()
+        out = enc.forward(np.ones((1, 3), dtype=np.float32))
+        assert np.isfinite(out).all()
+
+    def test_zero_corner(self):
+        enc = self.make()
+        out = enc.forward(np.zeros((1, 3), dtype=np.float32))
+        assert np.isfinite(out).all()
+
+    def test_single_level_single_feature(self):
+        enc = HashGridEncoding(
+            3, n_levels=1, n_features=1, log2_table_size=6,
+            base_resolution=2, seed=0,
+        )
+        out = enc.forward(np.full((2, 3), 0.5, dtype=np.float32))
+        assert out.shape == (2, 1)
+
+    def test_empty_batch(self):
+        enc = self.make()
+        out = enc.forward(np.zeros((0, 3), dtype=np.float32))
+        assert out.shape == (0, enc.output_dim)
+
+    def test_backward_with_empty_batch(self):
+        enc = self.make()
+        enc.forward(np.zeros((0, 3), dtype=np.float32), cache=True)
+        grads = enc.backward(np.zeros((0, enc.output_dim), dtype=np.float32))
+        assert all(np.all(g == 0) for g in grads.param_grads)
+
+    def test_one_dimensional_grid(self):
+        enc = HashGridEncoding(
+            1, n_levels=3, n_features=2, log2_table_size=8,
+            base_resolution=4, seed=0,
+        )
+        out = enc.forward(np.array([[0.3], [0.7]], dtype=np.float32))
+        assert out.shape == (2, 6)

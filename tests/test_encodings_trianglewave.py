@@ -1,0 +1,79 @@
+"""Tests for the triangle-wave encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import TriangleWaveEncoding, triangle_wave
+
+
+class TestTriangleWave:
+    def test_known_values(self):
+        x = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        np.testing.assert_allclose(triangle_wave(x), [1.0, 0.5, 0.0, 0.5, 1.0])
+
+    @given(st.floats(-100, 100))
+    @settings(max_examples=40)
+    def test_periodic_and_bounded(self, x):
+        a = triangle_wave(np.array([x]))
+        b = triangle_wave(np.array([x + 1.0]))
+        assert a[0] == pytest.approx(b[0], abs=1e-9)
+        assert 0.0 <= a[0] <= 1.0
+
+
+class TestTriangleWaveEncoding:
+    def test_output_dim(self):
+        enc = TriangleWaveEncoding(3, num_frequencies=12)
+        assert enc.output_dim == 36
+
+    def test_output_bounded(self, unit_points_3d):
+        out = TriangleWaveEncoding(3, 8).forward(unit_points_3d)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_octaves_double_frequency(self):
+        enc = TriangleWaveEncoding(1, 2)
+        # octave 1 at x and x+0.5 repeats (frequency 2 has period 0.5)
+        a = enc.forward(np.array([[0.1]], dtype=np.float32))
+        b = enc.forward(np.array([[0.6]], dtype=np.float32))
+        assert a[0, 1] == pytest.approx(b[0, 1], abs=1e-6)
+
+    def test_backward_matches_finite_differences(self):
+        enc = TriangleWaveEncoding(2, 3)
+        x = np.array([[0.31, 0.62]], dtype=np.float64)
+        out = enc.forward(x, cache=True)
+        grad = enc.backward(np.ones_like(out)).input_grad
+        eps = 1e-4
+        for j in range(2):
+            xp, xm = x.copy(), x.copy()
+            xp[0, j] += eps
+            xm[0, j] -= eps
+            numeric = (
+                enc.forward(xp).astype(np.float64).sum()
+                - enc.forward(xm).astype(np.float64).sum()
+            ) / (2 * eps)
+            assert grad[0, j] == pytest.approx(numeric, rel=2e-2, abs=1e-3)
+
+    def test_backward_requires_cache(self, unit_points_2d):
+        enc = TriangleWaveEncoding(2, 3)
+        enc.forward(unit_points_2d)
+        with pytest.raises(RuntimeError):
+            enc.backward(np.zeros((unit_points_2d.shape[0], enc.output_dim)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriangleWaveEncoding(0, 4)
+        with pytest.raises(ValueError):
+            TriangleWaveEncoding(2, 0)
+
+    def test_trains_gia(self):
+        """The encoding is usable end to end as a GIA override."""
+        from repro.apps import GIAApp
+
+        app = GIAApp(
+            image_size=16,
+            seed=0,
+            encoding_override=TriangleWaveEncoding(2, num_frequencies=8),
+        )
+        history = app.train(steps=20, batch_size=256)
+        assert history[-1] < history[0]

@@ -1,0 +1,105 @@
+"""Tests for the L2 cache model and the per-frame energy model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.params import APP_NAMES, get_config
+from repro.core.energy import arvr_gap_oom, energy_per_frame
+from repro.gpu.device import GPUSpec
+from repro.gpu.memory import (
+    cache_report,
+    encoding_working_set_bytes,
+    expected_lookup_latency_cycles,
+    l2_hit_rate,
+    level_working_set_bytes,
+    L2_HIT_LATENCY_CYCLES,
+    DRAM_LATENCY_CYCLES,
+)
+
+
+class TestCacheModel:
+    def test_3d_hashgrid_tables_exceed_l2(self):
+        """Section IV: 'the lookup tables ... do not entirely fit on the
+        L2 cache of RTX3090' — true for every 3D application."""
+        for app in ("nerf", "nsdf", "nvr"):
+            report = cache_report(get_config(app, "multi_res_hashgrid"))
+            assert not report.fits_in_l2
+            assert report.hit_rate < 1.0
+
+    def test_gia_2d_tables_fit(self):
+        """GIA's 2D grids are small: they stay L2-resident."""
+        report = cache_report(get_config("gia", "multi_res_hashgrid"))
+        assert report.fits_in_l2
+        assert report.hit_rate == pytest.approx(1.0)
+
+    def test_working_set_sums_levels(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        total = sum(
+            level_working_set_bytes(config, l) for l in range(config.grid.n_levels)
+        )
+        assert encoding_working_set_bytes(config) == total
+
+    def test_hashgrid_levels_capped_by_table_size(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        finest = config.grid.n_levels - 1
+        cap = config.grid.table_size * config.grid.n_features * 2
+        assert level_working_set_bytes(config, finest) == cap
+
+    def test_latency_between_hit_and_miss(self):
+        for app in APP_NAMES:
+            config = get_config(app, "multi_res_hashgrid")
+            latency = expected_lookup_latency_cycles(config)
+            assert L2_HIT_LATENCY_CYCLES <= latency <= DRAM_LATENCY_CYCLES
+
+    def test_bigger_l2_improves_hit_rate(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        small = GPUSpec("s", 82, 1.7, 71, 36, 936, 3.0, 628, 350)
+        big = GPUSpec("b", 82, 1.7, 71, 36, 936, 48.0, 628, 350)
+        assert l2_hit_rate(config, big) > l2_hit_rate(config, small)
+
+    def test_level_bounds_checked(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        with pytest.raises(ValueError):
+            level_working_set_bytes(config, -1)
+        with pytest.raises(ValueError):
+            level_working_set_bytes(config, 16)
+
+
+class TestEnergyModel:
+    def test_ngpc_reduces_energy_per_frame(self):
+        for app in APP_NAMES:
+            report = energy_per_frame(app, "multi_res_hashgrid", 64)
+            assert report.accelerated_mj < report.baseline_mj
+            assert report.energy_reduction > 5.0
+
+    def test_efficiency_gain_tracks_speedup_order(self):
+        """NeRF gains the most efficiency, mirroring its speedup."""
+        gains = {
+            app: energy_per_frame(app, "multi_res_hashgrid", 64).efficiency_gain
+            for app in APP_NAMES
+        }
+        assert gains["nerf"] == max(gains.values())
+
+    def test_energy_scales_with_pixels(self):
+        small = energy_per_frame("gia", "multi_res_hashgrid", 64, n_pixels=10**6)
+        large = energy_per_frame("gia", "multi_res_hashgrid", 64, n_pixels=4 * 10**6)
+        assert large.baseline_mj == pytest.approx(4 * small.baseline_mj, rel=0.01)
+
+    def test_arvr_gap_in_paper_range_on_gpu(self):
+        """Section I: 2-4 OOM between AR/VR targets and the GPU."""
+        gaps = [arvr_gap_oom(app) for app in APP_NAMES]
+        assert max(gaps) == pytest.approx(3.6, abs=0.5)  # NeRF
+        assert all(1.0 < g < 4.5 for g in gaps)
+
+    def test_ngpc_narrows_but_does_not_close_arvr_gap(self):
+        for app in ("nerf", "nsdf"):
+            gpu_gap = arvr_gap_oom(app)
+            ngpc_gap = arvr_gap_oom(app, scale_factor=64)
+            assert ngpc_gap < gpu_gap
+            assert ngpc_gap > 0.0  # a 1 W budget remains out of reach
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arvr_gap_oom("nerf", target_fps=0)
+        with pytest.raises(ValueError):
+            arvr_gap_oom("nerf", power_budget_w=-1)

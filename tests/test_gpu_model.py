@@ -1,0 +1,218 @@
+"""Tests for the GPU baseline performance model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES, get_config
+from repro.calibration import fitted, paper
+from repro.gpu import (
+    RTX3090,
+    GPUSpec,
+    baseline_frame_time_ms,
+    baseline_kernel_times_ms,
+    build_kernel_trace,
+    performance_gap,
+)
+from repro.gpu.baseline import FHD_PIXELS, achieved_fps
+from repro.gpu.kernels import (
+    KernelLaunch,
+    encoding_workload_per_sample,
+    mlp_workload_per_sample,
+    samples_per_frame,
+)
+from repro.gpu.profiler import (
+    kernel_breakdown,
+    kernel_breakdown_averages,
+    memory_bound_fraction,
+    op_breakdown,
+    utilization_rows,
+    OP_NAMES,
+)
+from repro.gpu.roofline import kernel_time_ms, roofline_time_ms, trace_time_ms
+
+
+class TestDevice:
+    def test_rtx3090_headline_specs(self):
+        assert RTX3090.mem_bandwidth_gbps == pytest.approx(936.2)
+        assert RTX3090.die_area_mm2 == pytest.approx(628.4)
+        assert RTX3090.sm_count == 82
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestBaselineTimes:
+    def test_fhd_hashgrid_matches_paper(self):
+        for app, expected in paper.BASELINE_FHD_MS.items():
+            assert baseline_frame_time_ms(app, "multi_res_hashgrid") == pytest.approx(
+                expected
+            )
+
+    def test_times_scale_linearly_with_pixels(self):
+        t1 = baseline_frame_time_ms("nerf", "multi_res_hashgrid", FHD_PIXELS)
+        t2 = baseline_frame_time_ms("nerf", "multi_res_hashgrid", 2 * FHD_PIXELS)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_densegrid_faster_than_hashgrid(self):
+        """Cheaper encodings shorten the frame; rest time is unchanged."""
+        for app in APP_NAMES:
+            hash_t = baseline_frame_time_ms(app, "multi_res_hashgrid")
+            dense_t = baseline_frame_time_ms(app, "multi_res_densegrid")
+            assert dense_t < hash_t
+            hash_rest = baseline_kernel_times_ms(app, "multi_res_hashgrid")["rest"]
+            dense_rest = baseline_kernel_times_ms(app, "multi_res_densegrid")["rest"]
+            assert dense_rest == pytest.approx(hash_rest, rel=1e-9)
+
+    def test_kernel_times_sum_to_total(self):
+        for app in APP_NAMES:
+            for scheme in ENCODING_SCHEMES:
+                times = baseline_kernel_times_ms(app, scheme)
+                assert times["encoding"] + times["mlp"] + times["rest"] == pytest.approx(
+                    times["total"]
+                )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            baseline_frame_time_ms("dlss", "multi_res_hashgrid")
+        with pytest.raises(ValueError):
+            baseline_frame_time_ms("nerf", "fourier")
+        with pytest.raises(ValueError):
+            baseline_frame_time_ms("nerf", "multi_res_hashgrid", 0)
+
+
+class TestPerformanceGap:
+    def test_headline_gaps(self):
+        """Section III: 55.50x / 6.68x / 1.51x at 4K 60 FPS; GIA meets it."""
+        assert performance_gap("nerf") == pytest.approx(55.50, rel=0.01)
+        assert performance_gap("nsdf") == pytest.approx(6.68, rel=0.01)
+        assert performance_gap("nvr") == pytest.approx(1.51, rel=0.01)
+        assert performance_gap("gia") < 1.0
+
+    def test_gap_grows_with_fps(self):
+        assert performance_gap("nerf", fps=120) == pytest.approx(
+            2 * performance_gap("nerf", fps=60)
+        )
+
+    def test_achieved_fps_consistency(self):
+        fps = achieved_fps("gia", "multi_res_hashgrid", FHD_PIXELS)
+        assert fps == pytest.approx(1000.0 / 2.12)
+
+
+class TestKernelWorkloads:
+    def test_samples_per_frame(self):
+        config = get_config("gia", "multi_res_hashgrid")
+        assert samples_per_frame(config, 1000) == 1000  # GIA: 1 sample/pixel
+        nerf = get_config("nerf", "multi_res_hashgrid")
+        assert samples_per_frame(nerf, 1000) == 1000 * fitted.SAMPLES_PER_PIXEL["nerf"]
+
+    def test_encoding_workload_scales_with_levels(self):
+        hash16 = encoding_workload_per_sample(get_config("nerf", "multi_res_hashgrid"))
+        lrdg2 = encoding_workload_per_sample(get_config("nerf", "low_res_densegrid"))
+        assert hash16[0] > lrdg2[0]  # 16 levels cost more flops than 2
+        assert hash16[1] > lrdg2[1]
+
+    def test_mlp_workload_matches_spec(self):
+        config = get_config("nsdf", "multi_res_hashgrid")
+        flops, _ = mlp_workload_per_sample(config)
+        assert flops == config.mlps[0].flops_per_input
+
+    def test_trace_structure(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        trace = build_kernel_trace(config, FHD_PIXELS)
+        kinds = sorted(l.kind for l in trace.launches)
+        assert kinds == ["encoding", "mlp", "rest"]
+        assert trace.calls("encoding") == 59  # Table II
+        assert trace.calls("mlp") == 118
+
+    def test_kernel_launch_validation(self):
+        with pytest.raises(ValueError):
+            KernelLaunch("x", "unknown", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            KernelLaunch("x", "mlp", -1.0, 1.0)
+
+
+class TestRoofline:
+    def test_compute_vs_memory_bound(self):
+        # 1 TFLOP at 71 TFLOPS ~ 14 ms; 1 GB at 936 GB/s ~ 1.07 ms
+        t_compute = roofline_time_ms(1e12, 1e3, RTX3090)
+        t_memory = roofline_time_ms(1e3, 1e9, RTX3090)
+        assert t_compute == pytest.approx(1e12 / 71e12 * 1e3, rel=1e-6)
+        assert t_memory == pytest.approx(1e9 / 936.2e9 * 1e3, rel=1e-6)
+
+    def test_utilization_slows_kernels(self):
+        fast = roofline_time_ms(1e12, 1e6, RTX3090, compute_util=1.0)
+        slow = roofline_time_ms(1e12, 1e6, RTX3090, compute_util=0.5)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline_time_ms(1.0, 1.0, RTX3090, compute_util=0.0)
+        with pytest.raises(ValueError):
+            roofline_time_ms(-1.0, 1.0, RTX3090)
+
+    def test_trace_time_within_order_of_magnitude_of_paper(self):
+        """The mechanistic roofline should land near the measured total."""
+        config = get_config("nerf", "multi_res_hashgrid")
+        times = trace_time_ms(build_kernel_trace(config, FHD_PIXELS))
+        assert 231.0 / 5 < times["total"] < 231.0 * 5
+
+    def test_launch_overhead_counted(self):
+        config = get_config("nsdf", "multi_res_hashgrid")
+        trace = build_kernel_trace(config, FHD_PIXELS)
+        launch = trace.launches[0]
+        t = kernel_time_ms(launch, trace)
+        assert t > launch.calls * RTX3090.kernel_launch_overhead_us * 1e-3
+
+
+class TestProfiler:
+    def test_breakdown_matches_fitted_fractions(self):
+        b = kernel_breakdown("nerf", "multi_res_hashgrid")
+        assert b["encoding"] == pytest.approx(43.0)
+        assert sum(b.values()) == pytest.approx(100.0)
+
+    def test_breakdown_averages_match_paper(self):
+        """The Fig. 5 text: 40.24/32.12, 24.63/35.37, 24.15/35.37."""
+        for scheme, targets in paper.FIG5_AVERAGE_FRACTIONS.items():
+            avg = kernel_breakdown_averages(scheme)
+            assert avg["encoding"] == pytest.approx(targets["encoding"], abs=0.02)
+            assert avg["mlp"] == pytest.approx(targets["mlp"], abs=0.02)
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(KeyError):
+            kernel_breakdown("nerf", "fourier")
+        with pytest.raises(KeyError):
+            kernel_breakdown_averages("fourier")
+        with pytest.raises(KeyError):
+            op_breakdown("fourier")
+
+    def test_op_breakdown_hash_only_for_hashgrid(self):
+        """Fig. 8: zero hash cycles for the dense schemes."""
+        assert op_breakdown("multi_res_hashgrid")["hash_function"] > 0
+        assert op_breakdown("multi_res_densegrid")["hash_function"] == 0
+        assert op_breakdown("low_res_densegrid")["hash_function"] == 0
+
+    def test_op_breakdown_lookups_dominate(self):
+        """Section IV: grid lookups take the most cycles in every scheme."""
+        for scheme in ENCODING_SCHEMES:
+            b = op_breakdown(scheme)
+            assert b["grid_lookups"] == max(b.values())
+            assert sum(b.values()) == pytest.approx(100.0)
+            assert set(b) == set(OP_NAMES)
+
+    def test_utilization_rows_complete(self):
+        rows = utilization_rows()
+        assert len(rows) == 24  # 4 apps x 3 schemes x 2 kernels
+        nerf_enc = next(
+            r
+            for r in rows
+            if r["app"] == "nerf"
+            and r["scheme"] == "multi_res_hashgrid"
+            and r["kernel"] == "encoding"
+        )
+        assert nerf_enc["kernel_calls"] == 59
+        assert nerf_enc["memory_util_pct"] == pytest.approx(72.85)
+
+    def test_memory_bound_on_average(self):
+        """Section IV: memory utilization exceeds compute for most kernels."""
+        assert memory_bound_fraction("multi_res_hashgrid") >= 0.5

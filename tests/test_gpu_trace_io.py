@@ -1,0 +1,48 @@
+"""Tests for kernel-trace JSON serialization."""
+
+import pytest
+
+from repro.apps.params import get_config
+from repro.gpu import build_kernel_trace
+from repro.gpu.trace_io import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+
+@pytest.fixture
+def trace():
+    return build_kernel_trace(get_config("nerf", "multi_res_hashgrid"), 1920 * 1080)
+
+
+class TestTraceSerialization:
+    def test_roundtrip_in_memory(self, trace):
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.config == trace.config
+        assert restored.n_pixels == trace.n_pixels
+        assert restored.n_samples == trace.n_samples
+        assert restored.launches == trace.launches
+
+    def test_roundtrip_on_disk(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert restored == trace
+
+    def test_totals_preserved(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        for kind in ("encoding", "mlp", "rest"):
+            assert restored.total(kind) == trace.total(kind)
+            assert restored.calls(kind) == trace.calls(kind)
+
+    def test_dict_is_json_safe(self, trace):
+        import json
+
+        text = json.dumps(trace_to_dict(trace))
+        assert "multi_res_hashgrid" in text
+
+    def test_all_configs_roundtrip(self):
+        from repro.apps.params import iter_configs
+
+        for config in iter_configs():
+            trace = build_kernel_trace(config, 10**6)
+            assert trace_from_dict(trace_to_dict(trace)) == trace

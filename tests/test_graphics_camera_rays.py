@@ -1,0 +1,149 @@
+"""Tests for cameras, ray generation and ray sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphics import PinholeCamera, RayBundle, generate_rays, look_at
+from repro.graphics.rays import rays_aabb_intersection, sample_along_rays, stratified_ts
+
+
+class TestLookAt:
+    def test_looks_toward_target(self):
+        c2w = look_at(eye=(0, 0, 2), target=(0, 0, 0))
+        # camera forward is -z of the pose
+        forward = -c2w[:3, 2]
+        np.testing.assert_allclose(forward, [0, 0, -1], atol=1e-12)
+        np.testing.assert_allclose(c2w[:3, 3], [0, 0, 2])
+
+    def test_rotation_is_orthonormal(self):
+        c2w = look_at(eye=(1, 2, 3), target=(-2, 0.5, 1), up=(0, 1, 0))
+        rot = c2w[:3, :3]
+        np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+    def test_degenerate_inputs_raise(self):
+        with pytest.raises(ValueError):
+            look_at((0, 0, 0), (0, 0, 0))
+        with pytest.raises(ValueError):
+            look_at((0, 0, 0), (0, 1, 0), up=(0, 1, 0))
+
+
+class TestPinholeCamera:
+    def test_from_fov_focal(self):
+        cam = PinholeCamera.from_fov(100, 50, 90.0)
+        assert cam.focal == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(0, 10, 50.0)
+        with pytest.raises(ValueError):
+            PinholeCamera(10, 10, -1.0)
+        with pytest.raises(ValueError):
+            PinholeCamera.from_fov(10, 10, 180.0)
+
+    def test_pixel_directions_unit_and_count(self):
+        cam = PinholeCamera.from_fov(8, 6, 60.0)
+        dirs = cam.pixel_directions()
+        assert dirs.shape == (48, 3)
+        np.testing.assert_allclose(
+            np.linalg.norm(dirs, axis=1), 1.0, rtol=1e-5
+        )
+
+    def test_center_pixel_points_forward(self):
+        cam = PinholeCamera.from_fov(9, 9, 60.0)  # odd so a pixel sits on axis
+        dirs = cam.pixel_directions().reshape(9, 9, 3)
+        center = dirs[4, 4]
+        np.testing.assert_allclose(center, [0, 0, -1], atol=1e-6)
+
+
+class TestRayBundle:
+    def test_at_scalar_ts(self):
+        rays = RayBundle(np.zeros((2, 3)), np.tile([[0, 0, 1.0]], (2, 1)))
+        pts = rays.at(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(pts[:, 2], [1.0, 2.0])
+
+    def test_at_matrix_ts(self):
+        rays = RayBundle(np.zeros((2, 3)), np.tile([[1.0, 0, 0]], (2, 1)))
+        pts = rays.at(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert pts.shape == (2, 2, 3)
+        np.testing.assert_allclose(pts[1, 1], [4.0, 0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RayBundle(np.zeros((2, 3)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            RayBundle(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_select(self):
+        rays = RayBundle(np.arange(9.0).reshape(3, 3), np.ones((3, 3)))
+        sub = rays.select(np.array([2]))
+        np.testing.assert_allclose(sub.origins[0], [6, 7, 8])
+
+    def test_generate_rays_matches_camera(self):
+        cam = PinholeCamera.from_fov(4, 4, 60.0, look_at((0, 0, 3), (0, 0, 0)))
+        rays = generate_rays(cam)
+        assert len(rays) == 16
+        np.testing.assert_allclose(rays.origins, np.tile([0, 0, 3.0], (16, 1)))
+
+
+class TestSampling:
+    def test_stratified_monotone(self):
+        ts = stratified_ts(10, 16, 0.5, 2.0, jitter=True, seed=0)
+        assert ts.shape == (10, 16)
+        assert np.all(np.diff(ts, axis=1) > 0)
+        assert ts.min() >= 0.5 and ts.max() <= 2.0
+
+    def test_midpoints_without_jitter(self):
+        ts = stratified_ts(1, 2, 0.0, 1.0, jitter=False)
+        np.testing.assert_allclose(ts[0], [0.25, 0.75])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stratified_ts(1, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            stratified_ts(1, 4, 1.0, 0.5)
+
+    def test_sample_along_rays_shapes(self):
+        rays = RayBundle(np.zeros((5, 3)), np.tile([[0, 0, 1.0]], (5, 1)))
+        points, ts = sample_along_rays(rays, 8, 1.0, 2.0)
+        assert points.shape == (5, 8, 3)
+        assert ts.shape == (5, 8)
+        np.testing.assert_allclose(points[:, :, 2], ts)
+
+
+class TestAabbIntersection:
+    def test_hit_through_center(self):
+        rays = RayBundle(np.array([[-2.0, 0, 0]]), np.array([[1.0, 0, 0]]))
+        hit, t0, t1 = rays_aabb_intersection(rays, [-1, -1, -1], [1, 1, 1])
+        assert hit[0]
+        assert t0[0] == pytest.approx(1.0)
+        assert t1[0] == pytest.approx(3.0)
+
+    def test_miss(self):
+        rays = RayBundle(np.array([[-2.0, 5.0, 0]]), np.array([[1.0, 0, 0]]))
+        hit, _, _ = rays_aabb_intersection(rays, [-1, -1, -1], [1, 1, 1])
+        assert not hit[0]
+
+    def test_origin_inside(self):
+        rays = RayBundle(np.array([[0.0, 0, 0]]), np.array([[0, 0, 1.0]]))
+        hit, t0, t1 = rays_aabb_intersection(rays, [-1, -1, -1], [1, 1, 1])
+        assert hit[0] and t0[0] == 0.0 and t1[0] == pytest.approx(1.0)
+
+    def test_invalid_box(self):
+        rays = RayBundle(np.zeros((1, 3)), np.array([[0, 0, 1.0]]))
+        with pytest.raises(ValueError):
+            rays_aabb_intersection(rays, [1, 1, 1], [-1, -1, -1])
+
+    @given(
+        st.floats(-3, 3), st.floats(-3, 3), st.floats(-3, 3),
+    )
+    @settings(max_examples=30)
+    def test_points_inside_interval_are_inside_box(self, ox, oy, oz):
+        origin = np.array([[ox, oy, oz]])
+        direction = np.array([[0.6, 0.48, 0.64]])
+        rays = RayBundle(origin, direction)
+        hit, t0, t1 = rays_aabb_intersection(rays, [-1, -1, -1], [1, 1, 1])
+        if hit[0]:
+            mid = rays.at(np.array([(t0[0] + t1[0]) / 2]))[0]
+            assert np.all(mid >= -1 - 1e-4) and np.all(mid <= 1 + 1e-4)

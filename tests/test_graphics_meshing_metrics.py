@@ -1,0 +1,142 @@
+"""Tests for isosurface extraction and image metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import Box, Sphere, default_sdf_scene
+from repro.graphics.meshing import TriangleMesh, marching_tetrahedra
+from repro.graphics.metrics import mse, psnr, ssim
+
+
+class TestTriangleMesh:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 2)), np.zeros((1, 3), dtype=int))
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.zeros((1, 2), dtype=int))
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]))
+
+    def test_surface_area_of_unit_triangle(self):
+        mesh = TriangleMesh(
+            np.array([[0, 0, 0], [1.0, 0, 0], [0, 1.0, 0]]),
+            np.array([[0, 1, 2]]),
+        )
+        assert mesh.surface_area() == pytest.approx(0.5)
+
+    def test_face_normals_unit(self):
+        mesh = TriangleMesh(
+            np.array([[0, 0, 0], [1.0, 0, 0], [0, 1.0, 0]]),
+            np.array([[0, 1, 2]]),
+        )
+        normal = mesh.face_normals()[0]
+        np.testing.assert_allclose(np.abs(normal), [0, 0, 1], atol=1e-12)
+
+    def test_obj_export(self):
+        mesh = TriangleMesh(
+            np.array([[0, 0, 0], [1.0, 0, 0], [0, 1.0, 0]]),
+            np.array([[0, 1, 2]]),
+        )
+        obj = mesh.to_obj()
+        assert obj.count("v ") == 3
+        assert "f 1 2 3" in obj
+
+
+class TestMarchingTetrahedra:
+    def test_sphere_area_accurate(self):
+        mesh = marching_tetrahedra(Sphere(radius=0.35), resolution=24)
+        expected = 4 * np.pi * 0.35**2
+        assert mesh.surface_area() == pytest.approx(expected, rel=0.02)
+
+    def test_sphere_vertices_on_surface(self):
+        mesh = marching_tetrahedra(Sphere(radius=0.3), resolution=16)
+        radii = np.linalg.norm(mesh.vertices, axis=1)
+        assert np.all(np.abs(radii - 0.3) < 0.02)
+
+    def test_box_area(self):
+        mesh = marching_tetrahedra(
+            Box(half_extents=(0.25, 0.25, 0.25)), resolution=24
+        )
+        assert mesh.surface_area() == pytest.approx(6 * 0.5 * 0.5, rel=0.1)
+
+    def test_empty_field_yields_empty_mesh(self):
+        surface_outside_bounds = Sphere(center=(5.0, 5.0, 5.0), radius=0.1)
+        mesh = marching_tetrahedra(surface_outside_bounds, resolution=4)
+        assert mesh.n_faces == 0
+        assert mesh.surface_area() == 0.0
+
+    def test_resolution_refines_area(self):
+        """Finer grids converge toward the analytic area."""
+        expected = 4 * np.pi * 0.35**2
+        coarse = marching_tetrahedra(Sphere(radius=0.35), resolution=8)
+        fine = marching_tetrahedra(Sphere(radius=0.35), resolution=24)
+        assert abs(fine.surface_area() - expected) < abs(
+            coarse.surface_area() - expected
+        )
+
+    def test_csg_scene_meshes(self):
+        mesh = marching_tetrahedra(default_sdf_scene(), resolution=20)
+        assert mesh.n_faces > 100
+        # vertices stay inside the sampled cube
+        assert mesh.vertices.min() >= -0.5 - 1e-9
+        assert mesh.vertices.max() <= 0.5 + 1e-9
+
+    def test_shared_vertices_welded(self):
+        mesh = marching_tetrahedra(Sphere(radius=0.3), resolution=12)
+        # a welded closed-ish surface has far fewer vertices than 3 x faces
+        assert mesh.n_vertices < 1.5 * mesh.n_faces
+
+    def test_neural_sdf_extraction(self):
+        """Meshing works directly on a trained NSDF network."""
+        from repro.apps import NSDFApp
+
+        app = NSDFApp(seed=0)
+        app.train(steps=50, batch_size=1024)
+        mesh = marching_tetrahedra(
+            lambda p: app.predict(p.astype(np.float32)), resolution=12
+        )
+        assert mesh.n_faces > 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            marching_tetrahedra(Sphere(), resolution=0)
+        with pytest.raises(ValueError):
+            marching_tetrahedra(Sphere(), bounds=(1.0, -1.0))
+
+
+class TestSSIM:
+    def test_identical_images(self, rng):
+        img = rng.uniform(size=(32, 32, 3))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self, rng):
+        img = rng.uniform(size=(32, 32, 3))
+        noisy = np.clip(img + rng.normal(scale=0.2, size=img.shape), 0, 1)
+        value = ssim(img, noisy)
+        assert 0.0 < value < 0.95
+
+    def test_monotone_in_noise(self, rng):
+        img = rng.uniform(size=(64, 64))
+        values = [
+            ssim(img, np.clip(img + rng.normal(scale=s, size=img.shape), 0, 1))
+            for s in (0.05, 0.1, 0.3)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_grayscale_supported(self, rng):
+        img = rng.uniform(size=(16, 16))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_validation(self, rng):
+        img = rng.uniform(size=(16, 16, 3))
+        with pytest.raises(ValueError):
+            ssim(img, img[:8])
+        with pytest.raises(ValueError):
+            ssim(img, img, window=1)
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)), window=8)
+
+    def test_mse_basic(self):
+        assert mse(np.zeros(4), np.full(4, 0.5)) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))

@@ -1,0 +1,94 @@
+"""Tests for the occupancy grid (empty-space skipping substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import OccupancyGrid, SyntheticRadianceField
+
+
+def blob_density(points):
+    """A single Gaussian blob at the cube center."""
+    d2 = ((np.asarray(points) - 0.5) ** 2).sum(axis=1)
+    return 50.0 * np.exp(-d2 / (2 * 0.1**2))
+
+
+class TestOccupancyGrid:
+    def test_starts_fully_occupied(self):
+        grid = OccupancyGrid(resolution=8)
+        assert grid.occupancy_fraction == 1.0
+
+    def test_update_carves_empty_space(self):
+        grid = OccupancyGrid(resolution=16, threshold=0.5)
+        grid.update(blob_density)
+        assert 0.0 < grid.occupancy_fraction < 0.5  # blob is small
+
+    def test_query_matches_density(self):
+        grid = OccupancyGrid(resolution=16, threshold=0.5)
+        grid.update(blob_density, samples_per_cell=4)
+        center = np.array([[0.5, 0.5, 0.5]])
+        corner = np.array([[0.03, 0.03, 0.03]])
+        assert grid.query(center)[0]
+        assert not grid.query(corner)[0]
+
+    def test_cell_centers_shape_and_range(self):
+        grid = OccupancyGrid(resolution=4)
+        centers = grid.cell_centers()
+        assert centers.shape == (64, 3)
+        assert centers.min() > 0 and centers.max() < 1
+
+    def test_cull_samples(self):
+        grid = OccupancyGrid(resolution=16, threshold=0.5)
+        grid.update(blob_density, samples_per_cell=4)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(4 * 8, 3))
+        valid = np.ones((4, 8), dtype=np.float32)
+        refined, culled = grid.cull_samples(points, valid)
+        assert refined.shape == (4, 8)
+        assert 0.0 < culled <= 1.0  # most random points are in empty space
+        assert np.all(refined <= valid)
+
+    def test_cull_with_empty_mask(self):
+        grid = OccupancyGrid(resolution=4)
+        points = np.zeros((8, 3))
+        refined, culled = grid.cull_samples(points, np.zeros((2, 4)))
+        assert culled == 0.0
+        assert refined.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(resolution=0)
+        with pytest.raises(ValueError):
+            OccupancyGrid(threshold=-1.0)
+        grid = OccupancyGrid(resolution=4)
+        with pytest.raises(ValueError):
+            grid.update(blob_density, samples_per_cell=0)
+        with pytest.raises(ValueError):
+            grid.query(np.zeros(3))
+
+    def test_synthetic_field_update(self):
+        field = SyntheticRadianceField(seed=0)
+        grid = OccupancyGrid(resolution=12, threshold=1.0)
+        grid.update(field.density)
+        # blob centers should be marked occupied
+        assert grid.query(field.centers).all()
+
+
+class TestNeRFOccupancyIntegration:
+    def test_render_with_occupancy_close_to_without(self):
+        from repro.apps import NeRFApp
+        from repro.graphics import PinholeCamera
+        from repro.graphics.camera import look_at
+
+        app = NeRFApp(seed=0)
+        app.train(steps=80, batch_size=1024)
+        # the untrained-background density floor is ~exp(0)=1, so use a
+        # threshold safely above it
+        grid = app.build_occupancy_grid(resolution=16, threshold=3.0)
+        assert 0.0 < grid.occupancy_fraction < 1.0
+        cam = PinholeCamera.from_fov(
+            8, 8, 45.0, look_at((0.5, 0.5, 2.1), (0.5, 0.5, 0.5))
+        )
+        plain = app.render(cam, n_samples=16).rgb
+        skipped = app.render(cam, n_samples=16, occupancy=grid).rgb
+        # skipping empty space must barely change the image
+        assert np.mean(np.abs(plain - skipped)) < 0.08

@@ -1,0 +1,139 @@
+"""Tests for procedural images and synthetic volumetric scenes."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import (
+    SyntheticRadianceField,
+    SyntheticReflectanceVolume,
+    procedural_gigapixel_image,
+    psnr,
+    sample_image_bilinear,
+)
+from repro.graphics.scenes import make_training_batch
+
+
+class TestProceduralImage:
+    def test_shape_and_range(self):
+        img = procedural_gigapixel_image(32, 48, seed=0)
+        assert img.shape == (32, 48, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self):
+        a = procedural_gigapixel_image(16, 16, seed=3)
+        b = procedural_gigapixel_image(16, 16, seed=3)
+        np.testing.assert_array_equal(a, b)
+        c = procedural_gigapixel_image(16, 16, seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_has_high_frequency_content(self):
+        """Adjacent-pixel differences must be non-trivial (broadband)."""
+        img = procedural_gigapixel_image(64, 64, seed=0)
+        dx = np.abs(np.diff(img, axis=1)).mean()
+        assert dx > 0.005
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            procedural_gigapixel_image(0, 10)
+        with pytest.raises(ValueError):
+            procedural_gigapixel_image(10, 10, octaves=0)
+
+
+class TestBilinearSampling:
+    def test_exact_at_pixel_centers(self):
+        img = np.arange(12, dtype=np.float32).reshape(2, 2, 3)
+        out = sample_image_bilinear(img, np.array([[0.0, 0.0], [1.0, 1.0]]))
+        np.testing.assert_allclose(out[0], img[0, 0])
+        np.testing.assert_allclose(out[1], img[1, 1])
+
+    def test_midpoint_average(self):
+        img = np.zeros((2, 2, 1), dtype=np.float32)
+        img[0, 0] = 0.0
+        img[0, 1] = 1.0
+        img[1, 0] = 1.0
+        img[1, 1] = 2.0
+        out = sample_image_bilinear(img, np.array([[0.5, 0.5]]))
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_coords_clamped(self):
+        img = np.ones((4, 4, 3), dtype=np.float32)
+        out = sample_image_bilinear(img, np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_image_bilinear(np.zeros((4, 4)), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            sample_image_bilinear(np.zeros((4, 4, 3)), np.zeros((1, 3)))
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self):
+        img = np.random.default_rng(0).uniform(size=(8, 8, 3))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestSyntheticRadianceField:
+    def test_density_positive_and_peaked_at_centers(self):
+        field = SyntheticRadianceField(n_blobs=3, seed=0)
+        d_center = field.density(field.centers)
+        d_far = field.density(np.array([[0.0, 0.0, 0.0]]))
+        assert np.all(d_center > d_far[0])
+        assert np.all(field.density(np.random.default_rng(0).uniform(0, 1, (50, 3))) >= 0)
+
+    def test_color_in_unit_range(self):
+        field = SyntheticRadianceField(seed=1)
+        pts = np.random.default_rng(2).uniform(0, 1, (20, 3))
+        dirs = np.tile([[0.0, 0.0, 1.0]], (20, 1))
+        colors = field.color(pts, dirs)
+        assert colors.shape == (20, 3)
+        assert colors.min() >= 0 and colors.max() <= 1
+
+    def test_color_view_dependent(self):
+        field = SyntheticRadianceField(seed=1)
+        pts = field.centers[:1]
+        up = field.color(pts, np.array([[0.0, 0.0, 1.0]]))
+        down = field.color(pts, np.array([[0.0, 0.0, -1.0]]))
+        assert not np.allclose(up, down)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticRadianceField(n_blobs=0)
+        field = SyntheticRadianceField(seed=0)
+        with pytest.raises(ValueError):
+            field.density(np.zeros((3,)))
+        with pytest.raises(ValueError):
+            field.color(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_training_batch_shapes(self):
+        field = SyntheticRadianceField(seed=0)
+        pts, dirs, density, color = make_training_batch(field, 32, seed=0)
+        assert pts.shape == (32, 3) and dirs.shape == (32, 3)
+        assert density.shape == (32,) and color.shape == (32, 3)
+        np.testing.assert_allclose(np.linalg.norm(dirs, axis=1), 1.0, rtol=1e-5)
+
+
+class TestSyntheticReflectanceVolume:
+    def test_reflectance_view_independent(self):
+        vol = SyntheticReflectanceVolume(seed=0)
+        pts = np.random.default_rng(1).uniform(0, 1, (10, 3))
+        r = vol.reflectance(pts)
+        assert r.shape == (10, 3)
+        assert r.min() >= 0 and r.max() <= 1
+
+    def test_shading_depends_on_view(self):
+        vol = SyntheticReflectanceVolume(seed=0)
+        pts = vol.centers[:1]
+        a = vol.shade(pts, np.array([vol.LIGHT_DIR]))
+        b = vol.shade(pts, np.array([-vol.LIGHT_DIR]))
+        assert np.any(a != b)
+        assert np.all(a >= b - 1e-12)  # looking along the light is brighter

@@ -1,0 +1,171 @@
+"""Tests for SDF primitives, CSG, normals and sphere tracing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphics import (
+    Box,
+    Difference,
+    Intersection,
+    Plane,
+    RayBundle,
+    Scale,
+    SmoothUnion,
+    Sphere,
+    Torus,
+    Translate,
+    Union,
+    default_sdf_scene,
+    sdf_normal,
+    sphere_trace,
+)
+
+points_strategy = st.tuples(
+    st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2)
+)
+
+
+class TestPrimitives:
+    def test_sphere_exact_distances(self):
+        s = Sphere(radius=1.0)
+        pts = np.array([[2.0, 0, 0], [0.5, 0, 0], [0, 0, 0]])
+        np.testing.assert_allclose(s(pts), [1.0, -0.5, -1.0])
+
+    def test_box_surface_zero(self):
+        b = Box(half_extents=(1, 1, 1))
+        assert b(np.array([[1.0, 0, 0]]))[0] == pytest.approx(0.0)
+        assert b(np.array([[2.0, 0, 0]]))[0] == pytest.approx(1.0)
+        assert b(np.array([[0.0, 0, 0]]))[0] == pytest.approx(-1.0)
+
+    def test_torus_center_of_tube_is_minus_minor(self):
+        t = Torus(major_radius=1.0, minor_radius=0.25)
+        assert t(np.array([[1.0, 0, 0]]))[0] == pytest.approx(-0.25)
+
+    def test_plane_signed_side(self):
+        p = Plane(normal=(0, 1, 0), offset=0.0)
+        assert p(np.array([[0, 2.0, 0]]))[0] == pytest.approx(2.0)
+        assert p(np.array([[0, -1.0, 0]]))[0] == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sphere(radius=0.0)
+        with pytest.raises(ValueError):
+            Box(half_extents=(0, 1, 1))
+        with pytest.raises(ValueError):
+            Torus(major_radius=0.2, minor_radius=0.5)
+        with pytest.raises(ValueError):
+            Plane(normal=(0, 0, 0))
+        with pytest.raises(ValueError):
+            Scale(Sphere(), 0.0)
+
+    def test_points_shape_validation(self):
+        with pytest.raises(ValueError):
+            Sphere()(np.zeros((3,)))
+
+
+class TestCSG:
+    @given(points_strategy)
+    @settings(max_examples=40)
+    def test_union_is_min(self, p):
+        a, b = Sphere(radius=0.5), Box(half_extents=(0.4, 0.4, 0.4))
+        pts = np.array([p])
+        assert Union(a, b)(pts)[0] == min(a(pts)[0], b(pts)[0])
+
+    @given(points_strategy)
+    @settings(max_examples=40)
+    def test_intersection_is_max(self, p):
+        a, b = Sphere(radius=0.5), Box(half_extents=(0.4, 0.4, 0.4))
+        pts = np.array([p])
+        assert Intersection(a, b)(pts)[0] == max(a(pts)[0], b(pts)[0])
+
+    def test_difference_carves(self):
+        solid = Sphere(radius=1.0)
+        hole = Sphere(radius=0.5)
+        carved = Difference(solid, hole)
+        assert carved(np.array([[0.0, 0, 0]]))[0] > 0  # center removed
+        assert carved(np.array([[0.75, 0, 0]]))[0] < 0  # shell remains
+
+    def test_operator_sugar(self):
+        a, b = Sphere(radius=0.5), Box(half_extents=(0.4, 0.4, 0.4))
+        pts = np.array([[0.1, 0.2, 0.0]])
+        assert (a | b)(pts)[0] == Union(a, b)(pts)[0]
+        assert (a & b)(pts)[0] == Intersection(a, b)(pts)[0]
+        assert (a - b)(pts)[0] == Difference(a, b)(pts)[0]
+
+    def test_smooth_union_bounded_by_hard_union(self):
+        a = Sphere(center=(-0.2, 0, 0), radius=0.3)
+        b = Sphere(center=(0.2, 0, 0), radius=0.3)
+        smooth = SmoothUnion(a, b, k=0.1)
+        hard = Union(a, b)
+        pts = np.random.default_rng(0).uniform(-1, 1, size=(100, 3))
+        assert np.all(smooth(pts) <= hard(pts) + 1e-12)
+
+    def test_translate_moves_surface(self):
+        moved = Translate(Sphere(radius=1.0), (2.0, 0, 0))
+        assert moved(np.array([[2.0, 0, 0]]))[0] == pytest.approx(-1.0)
+
+    def test_scale_preserves_metric(self):
+        scaled = Scale(Sphere(radius=1.0), 2.0)
+        assert scaled(np.array([[4.0, 0, 0]]))[0] == pytest.approx(2.0)
+
+
+class TestNormals:
+    def test_sphere_normals_radial(self):
+        s = Sphere(radius=1.0)
+        pts = np.array([[1.0, 0, 0], [0, 1.0, 0], [0, 0, -1.0]])
+        normals = sdf_normal(s, pts)
+        np.testing.assert_allclose(normals, pts, atol=1e-3)
+
+    def test_normals_unit_length(self):
+        scene = default_sdf_scene()
+        pts = np.random.default_rng(1).uniform(-0.5, 0.5, size=(20, 3))
+        normals = sdf_normal(scene, pts)
+        np.testing.assert_allclose(np.linalg.norm(normals, axis=1), 1.0, rtol=1e-6)
+
+
+class TestSphereTrace:
+    def test_hits_sphere_head_on(self):
+        rays = RayBundle(np.array([[0, 0, 3.0]]), np.array([[0, 0, -1.0]]))
+        result = sphere_trace(Sphere(radius=1.0), rays, t_max=10.0)
+        assert result.hit[0]
+        assert result.t[0] == pytest.approx(2.0, abs=1e-3)
+        np.testing.assert_allclose(result.points[0], [0, 0, 1.0], atol=1e-3)
+
+    def test_misses_off_axis(self):
+        rays = RayBundle(np.array([[0, 5.0, 3.0]]), np.array([[0, 0, -1.0]]))
+        result = sphere_trace(Sphere(radius=1.0), rays, t_max=10.0)
+        assert not result.hit[0]
+
+    def test_iteration_budget_respected(self):
+        rays = RayBundle(np.array([[0, 0, 3.0]]), np.array([[0, 0, -1.0]]))
+        result = sphere_trace(Sphere(radius=1.0), rays, max_steps=3)
+        assert result.iterations[0] <= 3
+
+    def test_batch_mixed_hits(self):
+        origins = np.array([[0, 0, 3.0], [0, 5.0, 3.0]])
+        dirs = np.array([[0, 0, -1.0], [0, 0, -1.0]])
+        result = sphere_trace(Sphere(radius=1.0), RayBundle(origins, dirs))
+        assert result.hit[0] and not result.hit[1]
+
+    def test_default_scene_renders_some_hits(self):
+        rng = np.random.default_rng(0)
+        n = 64
+        origins = np.tile([[0.0, 0.0, 2.0]], (n, 1))
+        targets = rng.uniform(-0.3, 0.3, size=(n, 3))
+        dirs = targets - origins
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        result = sphere_trace(default_sdf_scene(), RayBundle(origins, dirs), t_max=5.0)
+        assert result.hit.sum() > n // 4
+
+    def test_validation(self):
+        rays = RayBundle(np.zeros((1, 3)), np.array([[0, 0, 1.0]]))
+        with pytest.raises(ValueError):
+            sphere_trace(Sphere(), rays, t_min=1.0, t_max=0.5)
+        with pytest.raises(ValueError):
+            sphere_trace(Sphere(), rays, epsilon=0.0)
+        with pytest.raises(ValueError):
+            sphere_trace(Sphere(), rays, max_steps=0)
+        with pytest.raises(ValueError):
+            sphere_trace(Sphere(), rays, step_scale=0.0)

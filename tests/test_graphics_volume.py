@@ -1,0 +1,136 @@
+"""Tests for the volume-rendering compositing stage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graphics import alpha_from_density, composite_rays, transmittance
+from repro.graphics.volume_rendering import composite_backward
+
+
+def make_inputs(n_rays=4, n_samples=8, seed=0):
+    rng = np.random.default_rng(seed)
+    colors = rng.uniform(0, 1, size=(n_rays, n_samples, 3)).astype(np.float32)
+    densities = rng.uniform(0, 30, size=(n_rays, n_samples)).astype(np.float32)
+    ts = np.sort(rng.uniform(0.5, 2.0, size=(n_rays, n_samples)), axis=1).astype(
+        np.float32
+    )
+    return colors, densities, ts
+
+
+class TestAlphaAndTransmittance:
+    def test_alpha_range(self):
+        alphas = alpha_from_density(np.array([0.0, 1.0, 100.0]), np.array([0.1] * 3))
+        assert np.all((alphas >= 0) & (alphas <= 1))
+        assert alphas[0] == 0.0
+
+    def test_alpha_rejects_negative(self):
+        with pytest.raises(ValueError):
+            alpha_from_density(np.array([-1.0]), np.array([0.1]))
+        with pytest.raises(ValueError):
+            alpha_from_density(np.array([1.0]), np.array([-0.1]))
+
+    def test_transmittance_starts_at_one_and_decreases(self):
+        alphas = np.array([[0.5, 0.5, 0.5]])
+        trans = transmittance(alphas)
+        np.testing.assert_allclose(trans[0], [1.0, 0.5, 0.25])
+
+    @given(
+        hnp.arrays(np.float64, (6,), elements=st.floats(0.0, 1.0)),
+    )
+    @settings(max_examples=40)
+    def test_transmittance_monotone_nonincreasing(self, alphas):
+        trans = transmittance(alphas[None, :])
+        assert np.all(np.diff(trans[0]) <= 1e-12)
+
+
+class TestComposite:
+    def test_weights_partition(self):
+        colors, densities, ts = make_inputs()
+        result = composite_rays(colors, densities, ts)
+        assert np.all(result.weights >= 0)
+        totals = result.weights.sum(axis=1)
+        assert np.all(totals <= 1.0 + 1e-5)
+        np.testing.assert_allclose(totals, result.opacity, rtol=1e-5)
+
+    def test_opaque_front_sample_dominates(self):
+        """A huge density at the first sample should block all others."""
+        colors = np.zeros((1, 4, 3), dtype=np.float32)
+        colors[0, 0] = [1.0, 0.0, 0.0]
+        colors[0, 1:] = [0.0, 1.0, 0.0]
+        densities = np.array([[1e4, 50.0, 50.0, 50.0]], dtype=np.float32)
+        ts = np.array([[1.0, 1.1, 1.2, 1.3]], dtype=np.float32)
+        result = composite_rays(colors, densities, ts)
+        np.testing.assert_allclose(result.rgb[0], [1.0, 0.0, 0.0], atol=1e-3)
+        assert result.depth[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_empty_space_returns_background(self):
+        colors = np.ones((1, 4, 3), dtype=np.float32)
+        densities = np.zeros((1, 4), dtype=np.float32)
+        ts = np.linspace(1, 2, 4, dtype=np.float32)[None, :]
+        result = composite_rays(colors, densities, ts, background=0.25)
+        np.testing.assert_allclose(result.rgb[0], 0.25, atol=1e-6)
+        assert result.opacity[0] == pytest.approx(0.0)
+
+    def test_rgb_bounded_by_inputs(self):
+        colors, densities, ts = make_inputs(seed=3)
+        result = composite_rays(colors, densities, ts)
+        assert result.rgb.min() >= -1e-6
+        assert result.rgb.max() <= 1.0 + 1e-5
+
+    def test_constant_color_volume_preserves_color(self):
+        """Compositing a constant-color dense volume returns that color."""
+        colors = np.full((1, 32, 3), 0.7, dtype=np.float32)
+        densities = np.full((1, 32), 200.0, dtype=np.float32)
+        ts = np.linspace(1, 2, 32, dtype=np.float32)[None, :]
+        result = composite_rays(colors, densities, ts)
+        np.testing.assert_allclose(result.rgb[0], 0.7, atol=1e-3)
+
+    def test_shape_validation(self):
+        colors, densities, ts = make_inputs()
+        with pytest.raises(ValueError):
+            composite_rays(colors[..., :2], densities, ts)
+        with pytest.raises(ValueError):
+            composite_rays(colors, densities[:, :4], ts)
+        with pytest.raises(ValueError):
+            composite_rays(colors, densities, ts[:, ::-1])
+
+    def test_depth_within_sample_range(self):
+        colors, densities, ts = make_inputs(seed=7)
+        result = composite_rays(colors, densities, ts)
+        assert np.all(result.depth >= ts.min() - 1e-5)
+        assert np.all(result.depth <= ts.max() + 1e-5)
+
+
+class TestCompositeBackward:
+    def test_gradient_shape_and_linearity(self):
+        colors, densities, ts = make_inputs()
+        result = composite_rays(colors, densities, ts)
+        g = composite_backward(colors, result.weights, np.ones((4, 3)))
+        assert g.shape == colors.shape
+        # doubling the upstream gradient doubles the output
+        g2 = composite_backward(colors, result.weights, 2 * np.ones((4, 3)))
+        np.testing.assert_allclose(g2, 2 * g)
+
+    def test_gradient_matches_finite_differences(self):
+        colors, densities, ts = make_inputs(n_rays=1, n_samples=4)
+        result = composite_rays(colors, densities, ts)
+        grad = composite_backward(colors, result.weights, np.ones((1, 3)))
+        eps = 1e-3
+        cp = colors.copy()
+        cp[0, 1, 0] += eps
+        up = composite_rays(cp, densities, ts).rgb.sum()
+        cp[0, 1, 0] -= 2 * eps
+        down = composite_rays(cp, densities, ts).rgb.sum()
+        numeric = (up - down) / (2 * eps)
+        assert grad[0, 1, 0] == pytest.approx(numeric, rel=1e-2)
+
+    def test_validation(self):
+        colors, densities, ts = make_inputs()
+        result = composite_rays(colors, densities, ts)
+        with pytest.raises(ValueError):
+            composite_backward(colors, result.weights[:, :3], np.ones((4, 3)))
+        with pytest.raises(ValueError):
+            composite_backward(colors, result.weights, np.ones((4, 2)))

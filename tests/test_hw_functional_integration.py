@@ -1,0 +1,75 @@
+"""Integration: the hardware functional engine matches the software
+encoding for (down-scaled) versions of every Table I configuration.
+
+The hardware quantizes coordinates to Q0.16 fixed point.  Two genuine
+datapath effects follow: (a) points within ~2^-16 of a cell boundary can
+resolve to the neighbouring cell, and (b) at a level of resolution N the
+interpolation weights carry an irreducible error of ~N x 2^-17 cell
+units (the input arrived already rounded).  For the finest Table I
+levels that is ~0.5 % of the weight — so the assertions bound the error
+accordingly instead of demanding float-exactness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import build_grid_encoding
+from repro.apps.params import iter_configs
+from repro.core import EncodingEngineFunctional
+
+
+@pytest.mark.parametrize(
+    "config", list(iter_configs()), ids=lambda c: c.name.replace("/", "-")
+)
+def test_hw_engine_matches_software_for_table1_config(config, rng):
+    """The fixed-point datapath is output-equivalent for all 12 configs."""
+    encoding = build_grid_encoding(config.grid, config.spatial_dim, seed=0)
+    # give the tables realistic (trained-like) content
+    for table in encoding.tables:
+        table[...] = rng.uniform(-0.5, 0.5, table.shape).astype(np.float32)
+    hw = EncodingEngineFunctional(encoding)
+    points = rng.uniform(0, 1, size=(256, config.spatial_dim)).astype(np.float32)
+    error = np.abs(hw.forward(points) - encoding.forward(points))
+    # weight error ~ finest_resolution x 2^-17 per cell; with |features|
+    # <= 0.5 and d dims the output error stays ~1 % of the feature range
+    finest = encoding.level_resolution(encoding.n_levels - 1)
+    bound = max(5e-4, finest * 2.0**-17 * config.spatial_dim * 0.5 * 4)
+    assert np.quantile(error, 0.99) < bound
+    assert error.max() < 0.25  # never exceeds half the feature range
+
+
+@pytest.mark.parametrize(
+    "config",
+    [c for c in iter_configs() if c.grid.scheme == "multi_res_hashgrid"],
+    ids=lambda c: c.app,
+)
+def test_quantized_engine_bounded_error(config, rng):
+    """8-bit feature SRAM stays within the quantization error bound."""
+    encoding = build_grid_encoding(config.grid, config.spatial_dim, seed=0)
+    for table in encoding.tables:
+        table[...] = rng.uniform(-1.0, 1.0, table.shape).astype(np.float32)
+    hw = EncodingEngineFunctional(encoding, quantize_features=True)
+    points = rng.uniform(0, 1, size=(256, config.spatial_dim)).astype(np.float32)
+    error = np.abs(hw.forward(points) - encoding.forward(points))
+    # 8-bit feature step (1/127) plus the fixed-point weight error of the
+    # finest level (~1 % of |features| <= 1); convex interpolation keeps
+    # the combination bounded
+    finest = encoding.level_resolution(encoding.n_levels - 1)
+    bound = 2.0 / 127.0 + finest * 2.0**-17 * config.spatial_dim * 4
+    assert np.quantile(error, 0.99) <= bound
+    assert error.max() < 0.5
+
+
+def test_boundary_free_points_match_exactly(rng):
+    """Points provably far from every cell boundary agree to tolerance."""
+    config = next(iter_configs())  # nerf / hashgrid
+    encoding = build_grid_encoding(config.grid, 3, seed=0)
+    for table in encoding.tables:
+        table[...] = rng.uniform(-0.5, 0.5, table.shape).astype(np.float32)
+    hw = EncodingEngineFunctional(encoding)
+    # cell centers of the finest level are >= half a cell from boundaries
+    finest = encoding.level_resolution(encoding.n_levels - 1)
+    idx = rng.integers(0, finest, size=(64, 3))
+    points = ((idx + 0.5) / finest).astype(np.float32)
+    error = np.abs(hw.forward(points) - encoding.forward(points))
+    assert error.max() < 5e-4

@@ -1,0 +1,80 @@
+"""Tests for activation functions, including derivative checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    Exponential,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+
+ALL_ACTIVATIONS = [
+    Identity(),
+    ReLU(),
+    LeakyReLU(0.1),
+    Sigmoid(),
+    Tanh(),
+    Softplus(),
+    Exponential(),
+]
+
+# Points away from the ReLU kink so the numerical derivative is valid.
+finite_floats = hnp.arrays(
+    np.float64,
+    shape=(16,),
+    elements=st.floats(-4.0, 4.0).filter(lambda v: abs(v) > 1e-2),
+)
+
+
+@pytest.mark.parametrize("act", ALL_ACTIVATIONS, ids=lambda a: a.name)
+@given(x=finite_floats)
+def test_backward_matches_numerical_derivative(act, x):
+    eps = 1e-6
+    dy = np.ones_like(x)
+    analytic = act.backward(x, dy)
+    numeric = (act.forward(x + eps) - act.forward(x - eps)) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-3, atol=1e-5)
+
+
+def test_relu_clamps_negative():
+    x = np.array([-3.0, -0.1, 0.0, 0.1, 3.0])
+    np.testing.assert_array_equal(ReLU().forward(x), [0, 0, 0, 0.1, 3.0])
+
+
+def test_sigmoid_is_stable_for_large_inputs():
+    x = np.array([-1000.0, 1000.0])
+    out = Sigmoid().forward(x)
+    assert np.all(np.isfinite(out))
+    np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+def test_exponential_clips_to_avoid_overflow():
+    out = Exponential().forward(np.array([100.0]))
+    assert np.isfinite(out).all()
+    assert out[0] == pytest.approx(np.exp(15.0))
+
+
+def test_softplus_non_negative():
+    x = np.linspace(-20, 20, 101)
+    assert np.all(Softplus().forward(x) >= 0)
+
+
+def test_leaky_relu_rejects_negative_alpha():
+    with pytest.raises(ValueError):
+        LeakyReLU(-0.5)
+
+
+def test_registry_lookup():
+    assert isinstance(get_activation("relu"), ReLU)
+    assert isinstance(get_activation("SIGMOID"), Sigmoid)
+    with pytest.raises(KeyError):
+        get_activation("nope")

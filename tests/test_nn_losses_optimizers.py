@@ -1,0 +1,135 @@
+"""Tests for losses (gradient correctness) and optimizers (convergence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    EMA,
+    SGD,
+    Adam,
+    HuberLoss,
+    L1Loss,
+    L2Loss,
+    MAPELoss,
+    RelativeL2Loss,
+    get_loss,
+)
+
+ALL_LOSSES = [L2Loss(), RelativeL2Loss(), L1Loss(), HuberLoss(), MAPELoss()]
+
+# RelativeL2 deliberately treats its denominator as constant (matching the
+# instant-ngp reference), so its analytic gradient differs from the true
+# derivative; it gets its own dedicated test below.
+DIFFERENTIABLE_LOSSES = [L2Loss(), L1Loss(), HuberLoss(), MAPELoss()]
+
+arrays = hnp.arrays(
+    np.float64,
+    shape=(12,),
+    elements=st.floats(-3.0, 3.0),
+)
+
+
+@pytest.mark.parametrize("loss", DIFFERENTIABLE_LOSSES, ids=lambda l: l.name)
+@settings(max_examples=25)
+@given(p=arrays, t=arrays)
+def test_loss_gradient_matches_finite_differences(loss, p, t):
+    # avoid the non-differentiable point of L1/Huber/MAPE
+    mask = np.abs(p - t) < 1e-3
+    p = p + mask * 1e-2
+    value, grad = loss.value_and_grad(p, t)
+    assert np.isfinite(value)
+    eps = 1e-6
+    for i in range(0, p.size, 3):
+        pp, pm = p.copy(), p.copy()
+        pp[i] += eps
+        pm[i] -= eps
+        numeric = (loss(pp, t) - loss(pm, t)) / (2 * eps)
+        assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+@pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+def test_loss_zero_at_perfect_prediction(loss):
+    t = np.array([1.0, -2.0, 0.5])
+    value, grad = loss.value_and_grad(t.copy(), t)
+    assert value == pytest.approx(0.0)
+    np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+
+def test_relative_l2_gradient_uses_constant_denominator():
+    """grad = 2(p-t) / (p^2 + eps) / n, denominator held constant."""
+    loss = RelativeL2Loss(epsilon=1e-2)
+    p = np.array([0.5, -1.0])
+    t = np.array([0.0, 0.0])
+    _, grad = loss.value_and_grad(p, t)
+    expected = 2.0 * (p - t) / (p * p + 1e-2) / p.size
+    np.testing.assert_allclose(grad, expected, rtol=1e-12)
+
+
+def test_loss_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        L2Loss().value_and_grad(np.zeros(3), np.zeros(4))
+
+
+def test_loss_registry():
+    assert isinstance(get_loss("l2"), L2Loss)
+    with pytest.raises(KeyError):
+        get_loss("l3")
+
+
+class TestOptimizers:
+    def quadratic(self, params):
+        """f(p) = sum ||p - 3||^2, gradient 2(p-3)."""
+        return [2.0 * (p - 3.0) for p in params]
+
+    @pytest.mark.parametrize(
+        "opt",
+        [SGD(0.1), SGD(0.05, momentum=0.9), Adam(0.5)],
+        ids=["sgd", "sgd-momentum", "adam"],
+    )
+    def test_converges_on_quadratic(self, opt):
+        params = [np.zeros(4), np.zeros((2, 2))]
+        for _ in range(300):
+            opt.step(params, self.quadratic(params))
+        for p in params:
+            np.testing.assert_allclose(p, 3.0, atol=1e-2)
+
+    def test_shape_mismatch_raises(self):
+        opt = SGD(0.1)
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(3)], [np.zeros(4)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(3)], [np.zeros(3), np.zeros(3)])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(-1.0)
+        with pytest.raises(ValueError):
+            SGD(0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(0.1, epsilon=0.0)
+
+    def test_adam_bias_correction_first_step(self):
+        """After one step from zero moments, Adam moves ~lr in sign(grad)."""
+        opt = Adam(learning_rate=0.1, epsilon=1e-12)
+        params = [np.array([0.0])]
+        opt.step(params, [np.array([5.0])])
+        assert params[0][0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_ema_tracks_parameters(self):
+        ema = EMA(decay=0.5)
+        p = [np.array([0.0])]
+        ema.update(p)
+        p[0][0] = 10.0
+        ema.update(p)
+        assert ema.shadow[0][0] == pytest.approx(5.0)
+
+    def test_ema_requires_update(self):
+        with pytest.raises(RuntimeError):
+            EMA().shadow
+        with pytest.raises(ValueError):
+            EMA(decay=0.0)

@@ -1,0 +1,157 @@
+"""Tests for the fully-fused-style MLP: shapes, gradients, training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, FullyFusedMLP, L2Loss
+
+
+def make_mlp(**kwargs):
+    defaults = dict(
+        input_dim=8, output_dim=3, hidden_dim=16, hidden_layers=2, seed=0
+    )
+    defaults.update(kwargs)
+    return FullyFusedMLP(**defaults)
+
+
+class TestStructure:
+    def test_layer_dims(self):
+        mlp = make_mlp()
+        assert mlp.layer_dims == [8, 16, 16, 3]
+        assert len(mlp.weights) == 3
+
+    def test_no_biases(self):
+        """Fully fused MLPs have no explicit biases (paper Section III)."""
+        mlp = make_mlp()
+        assert mlp.num_parameters == 8 * 16 + 16 * 16 + 16 * 3
+
+    def test_flops_per_input(self):
+        mlp = make_mlp()
+        assert mlp.flops_per_input() == 2 * (8 * 16 + 16 * 16 + 16 * 3)
+
+    def test_table1_nerf_density_shape(self):
+        """The NeRF density model: 32 -> 64x3 -> 1 (Table I)."""
+        mlp = FullyFusedMLP(32, 1, hidden_dim=64, hidden_layers=3, seed=0)
+        assert mlp.layer_dims == [32, 64, 64, 64, 1]
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            make_mlp(input_dim=0)
+        with pytest.raises(ValueError):
+            make_mlp(hidden_layers=0)
+
+    def test_seed_reproducibility(self):
+        a, b = make_mlp(seed=5), make_mlp(seed=5)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+        c = make_mlp(seed=6)
+        assert any(
+            not np.array_equal(wa, wc) for wa, wc in zip(a.weights, c.weights)
+        )
+
+
+class TestForward:
+    def test_shape(self, rng):
+        mlp = make_mlp()
+        out = mlp.forward(rng.normal(size=(32, 8)).astype(np.float32))
+        assert out.shape == (32, 3)
+
+    def test_rejects_wrong_width(self, rng):
+        mlp = make_mlp()
+        with pytest.raises(ValueError):
+            mlp.forward(rng.normal(size=(4, 5)))
+
+    def test_output_activation_applied(self, rng):
+        mlp = make_mlp(output_activation="sigmoid")
+        out = mlp.forward(rng.normal(size=(32, 8)).astype(np.float32))
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestBackward:
+    def test_requires_cached_forward(self, rng):
+        mlp = make_mlp()
+        mlp.forward(rng.normal(size=(4, 8)).astype(np.float32))
+        with pytest.raises(RuntimeError):
+            mlp.backward(np.zeros((4, 3)))
+
+    def test_gradient_matches_finite_differences(self, rng):
+        mlp = make_mlp(hidden_dim=8, hidden_layers=2)
+        x = rng.normal(size=(16, 8)).astype(np.float64)
+        target = rng.normal(size=(16, 3)).astype(np.float64)
+        loss = L2Loss()
+
+        def loss_value():
+            return loss(mlp.forward(x), target)
+
+        out = mlp.forward(x, cache=True)
+        _, dy = loss.value_and_grad(out, target)
+        grads = mlp.backward(dy)
+
+        eps = 1e-4
+        rng2 = np.random.default_rng(0)
+        for li, w in enumerate(mlp.weights):
+            # probe a few random entries of each weight matrix
+            for _ in range(5):
+                i = rng2.integers(0, w.shape[0])
+                j = rng2.integers(0, w.shape[1])
+                old = w[i, j]
+                w[i, j] = old + eps
+                up = loss_value()
+                w[i, j] = old - eps
+                down = loss_value()
+                w[i, j] = old
+                numeric = (up - down) / (2 * eps)
+                assert grads.weight_grads[li][i, j] == pytest.approx(
+                    numeric, rel=2e-2, abs=1e-5
+                )
+
+    def test_input_gradient_matches_finite_differences(self, rng):
+        mlp = make_mlp(hidden_dim=8, hidden_layers=2)
+        x = rng.normal(size=(4, 8)).astype(np.float64)
+        target = rng.normal(size=(4, 3)).astype(np.float64)
+        loss = L2Loss()
+        out = mlp.forward(x, cache=True)
+        _, dy = loss.value_and_grad(out, target)
+        input_grad = mlp.backward(dy).input_grad
+        eps = 1e-4
+        for i in (0, 2):
+            for j in (1, 5):
+                xp, xm = x.copy(), x.copy()
+                xp[i, j] += eps
+                xm[i, j] -= eps
+                numeric = (loss(mlp.forward(xp), target) - loss(mlp.forward(xm), target)) / (
+                    2 * eps
+                )
+                assert input_grad[i, j] == pytest.approx(numeric, rel=2e-2, abs=1e-5)
+
+
+class TestTraining:
+    @pytest.mark.parametrize("opt_cls", [SGD, Adam])
+    def test_loss_decreases_on_toy_regression(self, opt_cls, rng):
+        mlp = make_mlp(input_dim=2, output_dim=1, hidden_dim=32, hidden_layers=2)
+        opt = opt_cls(learning_rate=1e-2)
+        loss = L2Loss()
+        x = rng.uniform(-1, 1, size=(256, 2)).astype(np.float32)
+        y = (np.sin(3 * x[:, :1]) * np.cos(2 * x[:, 1:])).astype(np.float32)
+        first = None
+        for step in range(200):
+            out = mlp.forward(x, cache=True)
+            value, dy = loss.value_and_grad(out, y)
+            if first is None:
+                first = value
+            grads = mlp.backward(dy)
+            opt.step(mlp.parameters(), grads.weight_grads)
+        assert value < first * 0.5
+
+    def test_state_dict_roundtrip(self, rng):
+        a = make_mlp(seed=1)
+        b = make_mlp(seed=2)
+        x = rng.normal(size=(8, 8)).astype(np.float32)
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_state_dict_validates(self):
+        a, b = make_mlp(), make_mlp(hidden_dim=8)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())

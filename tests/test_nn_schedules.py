@@ -1,0 +1,72 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.nn import ConstantSchedule, ExponentialDecay, WarmupCosine, get_schedule
+
+
+class TestConstant:
+    def test_always_base(self):
+        s = ConstantSchedule(base=0.05)
+        assert s(0) == s(100) == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(base=0.0)
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.1)(-1)
+
+
+class TestExponentialDecay:
+    def test_delay_phase_constant(self):
+        s = ExponentialDecay(base=1e-2, decay=0.5, interval=10, delay=100)
+        assert s(0) == s(99) == 1e-2
+
+    def test_decay_steps(self):
+        s = ExponentialDecay(base=1e-2, decay=0.5, interval=10, delay=0)
+        assert s(0) == pytest.approx(5e-3)
+        assert s(10) == pytest.approx(2.5e-3)
+
+    def test_floor_respected(self):
+        s = ExponentialDecay(base=1e-2, decay=0.1, interval=1, delay=0, floor=1e-5)
+        assert s(100) == 1e-5
+
+    def test_monotone_nonincreasing(self):
+        s = ExponentialDecay(base=1e-2, decay=0.33, interval=5, delay=3)
+        values = [s(i) for i in range(50)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(decay=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(interval=0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(base=-1)
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_up(self):
+        s = WarmupCosine(base=1.0, warmup_steps=10, total_steps=100)
+        assert s(0) == pytest.approx(0.1)
+        assert s(9) == pytest.approx(1.0)
+
+    def test_peak_then_decay(self):
+        s = WarmupCosine(base=1.0, warmup_steps=10, total_steps=100, floor=0.01)
+        assert s(10) == pytest.approx(1.0)
+        assert s(55) < 1.0
+        assert s(1000) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(warmup_steps=100, total_steps=50)
+        with pytest.raises(ValueError):
+            WarmupCosine(base=0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_schedule("constant"), ConstantSchedule)
+        assert isinstance(get_schedule("exponential", base=0.1), ExponentialDecay)
+        with pytest.raises(KeyError):
+            get_schedule("linear")

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) over the performance models.
+
+These encode the invariants any correct implementation of the paper's
+models must satisfy, independent of the calibrated constants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES, get_config
+from repro.core.config import NGPCConfig
+from repro.core.emulator import emulate
+from repro.core.encoding_engine import encoding_engine_time_ms
+from repro.core.ngpc import PipelineSchedule
+from repro.gpu.baseline import baseline_frame_time_ms
+
+apps = st.sampled_from(APP_NAMES)
+schemes = st.sampled_from(ENCODING_SCHEMES)
+scales = st.sampled_from((8, 16, 32, 64))
+pixels = st.integers(10**5, 10**8)
+
+
+class TestPipelineScheduleAlgebra:
+    @given(
+        st.floats(0.01, 100.0),
+        st.floats(0.01, 100.0),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=60)
+    def test_makespan_bounds(self, t_ngpc, t_rest, batches):
+        """serial-time >= makespan >= max(stage times)."""
+        s = PipelineSchedule(t_ngpc, t_rest, batches)
+        assert s.total_ms <= t_ngpc + t_rest + 1e-9
+        assert s.total_ms >= max(t_ngpc, t_rest) - 1e-9
+
+    @given(st.floats(0.01, 100.0), st.floats(0.01, 100.0))
+    @settings(max_examples=30)
+    def test_more_batches_never_hurt(self, t_ngpc, t_rest):
+        makespans = [
+            PipelineSchedule(t_ngpc, t_rest, b).total_ms for b in (1, 2, 4, 8, 16)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(makespans, makespans[1:]))
+
+    @given(st.floats(0.01, 100.0), st.integers(1, 32))
+    @settings(max_examples=30)
+    def test_balanced_stages_approach_half(self, t, batches):
+        """Equal stages with many batches approach the single-stage time."""
+        s = PipelineSchedule(t, t, batches)
+        assert s.total_ms == pytest.approx(t * (1 + 1.0 / batches), rel=1e-6)
+
+
+class TestEmulatorInvariants:
+    @given(apps, schemes, scales)
+    @settings(max_examples=30, deadline=None)
+    def test_speedup_positive_and_bounded(self, app, scheme, scale):
+        result = emulate(app, scheme, scale)
+        assert 1.0 < result.speedup <= result.amdahl_bound * (1 + 1e-9)
+
+    @given(apps, schemes)
+    @settings(max_examples=15, deadline=None)
+    def test_speedup_monotone_in_scale(self, app, scheme):
+        speedups = [emulate(app, scheme, s).speedup for s in (8, 16, 32, 64)]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    @given(apps, schemes, scales, st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_speedup_independent_of_resolution(self, app, scheme, scale, mult):
+        """Both baseline and NGPC scale linearly in pixels, so the
+        speedup is (almost) resolution-invariant."""
+        base_px = 1920 * 1080
+        a = emulate(app, scheme, scale, base_px).speedup
+        b = emulate(app, scheme, scale, base_px * mult).speedup
+        assert b == pytest.approx(a, rel=0.02)
+
+
+class TestBaselineInvariants:
+    @given(apps, schemes, pixels, st.integers(2, 5))
+    @settings(max_examples=30)
+    def test_frame_time_linear_in_pixels(self, app, scheme, n_pixels, mult):
+        t1 = baseline_frame_time_ms(app, scheme, n_pixels)
+        t2 = baseline_frame_time_ms(app, scheme, n_pixels * mult)
+        assert t2 == pytest.approx(mult * t1, rel=1e-9)
+
+    @given(apps, pixels)
+    @settings(max_examples=20)
+    def test_hashgrid_slowest_scheme(self, app, n_pixels):
+        """Hashgrid has the heaviest encoding, so the longest frames."""
+        hash_t = baseline_frame_time_ms(app, "multi_res_hashgrid", n_pixels)
+        for scheme in ("multi_res_densegrid", "low_res_densegrid"):
+            assert baseline_frame_time_ms(app, scheme, n_pixels) <= hash_t + 1e-9
+
+
+class TestEngineInvariants:
+    @given(apps, schemes, st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_encoding_time_inverse_in_scale(self, app, scheme, factor):
+        config = get_config(app, scheme)
+        t1 = encoding_engine_time_ms(config, ngpc=NGPCConfig(scale_factor=8))
+        t2 = encoding_engine_time_ms(
+            config, ngpc=NGPCConfig(scale_factor=8 * factor)
+        )
+        # inverse scaling up to the constant pipeline-fill term
+        assert t2 <= t1 / factor + 1e-3

@@ -1,0 +1,91 @@
+"""Tests for config serialization, GIA region rendering and input checks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import GIAApp
+from repro.apps.params import AppConfig, get_config, iter_configs
+from repro.encodings import HashGridEncoding
+
+
+class TestConfigSerialization:
+    def test_roundtrip_all_configs(self):
+        for config in iter_configs():
+            data = config.to_dict()
+            restored = AppConfig.from_dict(data)
+            assert restored == config
+
+    def test_json_safe(self):
+        config = get_config("nerf", "multi_res_hashgrid")
+        text = json.dumps(config.to_dict())
+        restored = AppConfig.from_dict(json.loads(text))
+        assert restored == config
+
+    def test_dict_contents(self):
+        data = get_config("gia", "multi_res_hashgrid").to_dict()
+        assert data["app"] == "gia"
+        assert data["grid"]["log2_table_size"] == 24
+        assert data["mlps"][0]["neurons"] == 64
+
+    def test_cli_describe(self, capsys):
+        from repro.cli import main
+
+        assert main(["describe", "--app", "nsdf"]) == 0
+        out = capsys.readouterr().out
+        parsed = json.loads(out)
+        assert parsed["app"] == "nsdf"
+
+
+class TestRenderRegion:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = GIAApp(image_size=32, seed=0)
+        app.train(steps=30, batch_size=512)
+        return app
+
+    def test_full_region_matches_render(self, app):
+        full = app.render(height=16, width=16)
+        region = app.render_region(0.0, 0.0, 1.0, 1.0, 16, 16)
+        np.testing.assert_allclose(region, full, atol=1e-6)
+
+    def test_zoom_shape_and_range(self, app):
+        zoom = app.render_region(0.25, 0.25, 0.5, 0.5, 8, 12)
+        assert zoom.shape == (8, 12, 3)
+        assert zoom.min() >= 0.0 and zoom.max() <= 1.0
+
+    def test_sub_region_is_crop_of_full(self, app):
+        """Zooming the lower-left quadrant resamples the same function."""
+        full = app.render_region(0.0, 0.0, 1.0, 1.0, 32, 32)
+        quad = app.render_region(0.0, 0.0, 0.5, 0.5, 16, 16)
+        # same pixel centers: full[j, i] at (i+.5)/32 == quad at (i+.5)/16*0.5
+        np.testing.assert_allclose(quad, full[:16, :16], atol=1e-6)
+
+    def test_validation(self, app):
+        with pytest.raises(ValueError):
+            app.render_region(0.5, 0.0, 0.4, 1.0, 8, 8)
+        with pytest.raises(ValueError):
+            app.render_region(0.0, 0.0, 1.5, 1.0, 8, 8)
+        with pytest.raises(ValueError):
+            app.render_region(0.0, 0.0, 1.0, 1.0, 0, 8)
+
+
+class TestFiniteInputValidation:
+    def test_nan_inputs_rejected(self):
+        enc = HashGridEncoding(
+            3, n_levels=2, n_features=2, log2_table_size=8,
+            base_resolution=4, seed=0,
+        )
+        bad = np.array([[0.1, np.nan, 0.2]], dtype=np.float32)
+        with pytest.raises(ValueError, match="finite"):
+            enc.forward(bad)
+
+    def test_inf_inputs_rejected(self):
+        enc = HashGridEncoding(
+            3, n_levels=2, n_features=2, log2_table_size=8,
+            base_resolution=4, seed=0,
+        )
+        bad = np.array([[np.inf, 0.0, 0.2]], dtype=np.float32)
+        with pytest.raises(ValueError, match="finite"):
+            enc.forward(bad)

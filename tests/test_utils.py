@@ -1,0 +1,99 @@
+"""Tests for repro.utils helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    clamp,
+    default_rng,
+    derive_rng,
+    ilog2,
+    is_power_of_two,
+    lerp,
+    next_power_of_two,
+    smoothstep,
+)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two_basic(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1 << 24)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_all_powers_detected(self, k):
+        assert is_power_of_two(1 << k)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_next_power_of_two_bounds(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p < 2 * n or n == 1
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_ilog2_roundtrip(self, k):
+        assert ilog2(1 << k) == k
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(6)
+
+
+class TestInterpolationHelpers:
+    @given(
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(0, 1),
+    )
+    def test_lerp_endpoints_and_range(self, a, b, t):
+        assert lerp(a, b, 0.0) == pytest.approx(a)
+        assert lerp(a, b, 1.0) == pytest.approx(b)
+        lo, hi = min(a, b), max(a, b)
+        assert lo - 1e-9 <= lerp(a, b, t) <= hi + 1e-9
+
+    def test_clamp(self):
+        x = np.array([-1.0, 0.5, 2.0])
+        assert np.allclose(clamp(x, 0.0, 1.0), [0.0, 0.5, 1.0])
+
+    def test_smoothstep_monotone_and_bounded(self):
+        xs = np.linspace(-1, 2, 100)
+        ys = smoothstep(0.0, 1.0, xs)
+        assert np.all(np.diff(ys) >= -1e-9)
+        assert ys.min() == 0.0 and ys.max() == 1.0
+
+    def test_smoothstep_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            smoothstep(1.0, 0.0, 0.5)
+
+
+class TestRng:
+    def test_default_rng_passthrough(self):
+        g = np.random.default_rng(7)
+        assert default_rng(g) is g
+
+    def test_default_rng_deterministic(self):
+        a = default_rng(42).integers(0, 10**9)
+        b = default_rng(42).integers(0, 10**9)
+        assert a == b
+
+    def test_derive_rng_streams_differ(self):
+        parent = default_rng(0)
+        child0 = derive_rng(parent, 0)
+        parent2 = default_rng(0)
+        child1 = derive_rng(parent2, 1)
+        assert child0.integers(0, 10**9) != child1.integers(0, 10**9)
+
+    def test_derive_rng_rejects_negative_stream(self):
+        with pytest.raises(ValueError):
+            derive_rng(default_rng(0), -1)
