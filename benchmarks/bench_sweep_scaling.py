@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Wall-clock scaling of the batched DSE engine vs the naive loop.
+
+The acceptance gate of the batched sweep engine: on a >= 1000-point
+(app x scheme x scale x pixels) grid the vectorized engine must beat the
+per-point scalar loop by >= 10x wall-clock, while agreeing to 1e-9
+relative (the correctness side is pinned by ``tests/test_golden_values``
+and ``tests/test_sweep_engine``; this file re-checks a sample so a
+regression cannot hide behind a fast-but-wrong path).
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --quick  # CI smoke
+
+Exits non-zero when the speedup floor is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.config import SCALE_FACTORS
+from repro.core.dse import SweepGrid, sweep_grid
+from repro.core.emulator import emulate_uncached
+
+#: wall-clock floor for the full >= 1000-point gate
+SPEEDUP_FLOOR = 10.0
+#: smoke floor for --quick (smaller grid: fixed per-block overhead weighs more)
+QUICK_SPEEDUP_FLOOR = 5.0
+
+
+def build_grid(n_pixel_steps: int) -> SweepGrid:
+    """4 apps x 3 schemes x 4 scales x ``n_pixel_steps`` resolutions."""
+    pixel_counts = tuple(
+        int(p) for p in np.linspace(100_000, 3840 * 2160, n_pixel_steps)
+    )
+    return SweepGrid(
+        apps=APP_NAMES,
+        schemes=ENCODING_SCHEMES,
+        scale_factors=SCALE_FACTORS,
+        pixel_counts=pixel_counts,
+    )
+
+
+def time_naive_loop(grid: SweepGrid) -> float:
+    """The seed-era sweep: one uncached scalar emulation per grid point."""
+    start = time.perf_counter()
+    for app, scheme, scale, n_pixels in grid.points():
+        emulate_uncached(app, scheme, scale, n_pixels)
+    return time.perf_counter() - start
+
+
+def time_batched(grid: SweepGrid, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sweep_grid(grid, use_cache=False)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_cached(grid: SweepGrid) -> float:
+    sweep_grid(grid)  # warm
+    start = time.perf_counter()
+    sweep_grid(grid)
+    return time.perf_counter() - start
+
+
+def check_sample_agreement(grid: SweepGrid) -> None:
+    result = sweep_grid(grid)
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        app = grid.apps[rng.integers(len(grid.apps))]
+        scheme = grid.schemes[rng.integers(len(grid.schemes))]
+        scale = grid.scale_factors[rng.integers(len(grid.scale_factors))]
+        n_pixels = grid.pixel_counts[rng.integers(len(grid.pixel_counts))]
+        batched = result.point(app, scheme, scale, n_pixels)
+        scalar = emulate_uncached(app, scheme, scale, n_pixels)
+        rel = abs(batched.accelerated_ms - scalar.accelerated_ms) / scalar.accelerated_ms
+        assert rel <= 1e-9, (app, scheme, scale, n_pixels, rel)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: smaller grid, relaxed floor",
+    )
+    args = parser.parse_args(argv)
+
+    n_pixel_steps = 6 if args.quick else 21
+    floor = QUICK_SPEEDUP_FLOOR if args.quick else SPEEDUP_FLOOR
+    grid = build_grid(n_pixel_steps)
+    if not args.quick and grid.size < 1000:
+        raise AssertionError(f"gate requires >= 1000 points, built {grid.size}")
+
+    emulate_uncached("nerf", "multi_res_hashgrid", 8)  # warm calibration caches
+    naive_s = time_naive_loop(grid)
+    batched_s = time_batched(grid)
+    cached_s = time_cached(grid)
+    check_sample_agreement(grid)
+    speedup = naive_s / batched_s
+
+    print(f"grid: {grid.size} points "
+          f"({len(grid.apps)} apps x {len(grid.schemes)} schemes x "
+          f"{len(grid.scale_factors)} scales x {len(grid.pixel_counts)} resolutions)")
+    print(f"  naive per-point loop : {naive_s * 1e3:9.2f} ms "
+          f"({naive_s / grid.size * 1e6:7.1f} us/point)")
+    print(f"  batched (vectorized) : {batched_s * 1e3:9.2f} ms "
+          f"({batched_s / grid.size * 1e6:7.1f} us/point)")
+    print(f"  memoized re-query    : {cached_s * 1e3:9.2f} ms")
+    print(f"  speedup              : {speedup:9.1f}x (floor {floor:.0f}x)")
+    print("  agreement            : batched == scalar to 1e-9 rel (10-point sample)")
+
+    if speedup < floor:
+        print(f"FAIL: batched sweep only {speedup:.1f}x faster (< {floor:.0f}x)")
+        return 1
+    print("PASS")
+    return 0
+
+
+def bench_sweep_scaling(benchmark):
+    """pytest-benchmark hook: the batched engine on the full 1008-point grid."""
+    grid = build_grid(21)
+    result = benchmark(sweep_grid, grid, use_cache=False)
+    assert result.grid.size >= 1000
+    naive_s = time_naive_loop(grid)
+    assert naive_s / time_batched(grid, repeats=1) >= SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,9 @@ Sweeps all four applications, all three encodings and all four scaling
 factors through the emulator (Fig. 12), prints the kernel-level engine
 speedups (Fig. 13), the renderable resolutions (Fig. 14), and the
 area/power bill (Fig. 15) with the Amdahl sanity check of Section VI.
+The final section exercises the batched DSE engine: one vectorized
+``sweep_grid`` call answers the Pareto-front and "cheapest config
+meeting X FPS" queries an architect actually asks.
 
 Run:  python examples/ngpc_design_space.py
 """
@@ -14,11 +17,14 @@ from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.calibration import paper
 from repro.core import (
     NGPCConfig,
+    SweepGrid,
     amdahl_bound,
+    cheapest_meeting_fps,
     emulate,
     encoding_kernel_speedup,
     mlp_kernel_speedup,
     ngpc_area_power,
+    sweep_grid,
 )
 from repro.core.emulator import max_pixels_within_budget, speedup_table
 
@@ -123,12 +129,53 @@ def amdahl_check() -> None:
     print(f"\nAmdahl sanity check: {runs} emulator runs, {violations} violations")
 
 
+def dse_queries() -> None:
+    """The batched engine: whole design space in one call, then queries."""
+    grid = SweepGrid(
+        apps=APP_NAMES,
+        schemes=("multi_res_hashgrid",),
+        scale_factors=SCALES,
+        pixel_counts=(paper.RESOLUTIONS["fhd"], paper.RESOLUTIONS["4k"]),
+    )
+    result = sweep_grid(grid)
+    print(f"\nBatched DSE — {result.grid.size} design points in one call")
+
+    front = result.pareto_front("multi_res_hashgrid", paper.RESOLUTIONS["fhd"])
+    rows = [
+        [f"NGPC-{p.scale_factor}", f"{p.area_overhead_pct:.2f}%",
+         f"{p.average_speedup:.2f}x", f"{p.speedup_per_area_pct:.2f}"]
+        for p in front
+    ]
+    print(format_table(
+        ["config", "area", "avg speedup", "speedup/area%"],
+        rows,
+        title="Pareto front (area vs average speedup, FHD)",
+    ))
+
+    rows = []
+    for app in APP_NAMES:
+        cells = [app]
+        for res in ("fhd", "4k"):
+            hit = cheapest_meeting_fps(app, 60.0, paper.RESOLUTIONS[res])
+            cells.append(
+                f"NGPC-{hit.scale_factor} (+{hit.area_overhead_pct:.1f}%)"
+                if hit else "not achievable"
+            )
+        rows.append(cells)
+    print(format_table(
+        ["app", "FHD @ 60 FPS", "4K @ 60 FPS"],
+        rows,
+        title="\nCheapest configuration meeting 60 FPS",
+    ))
+
+
 def main() -> None:
     fig12()
     fig13()
     fig14()
     fig15()
     amdahl_check()
+    dse_queries()
 
 
 if __name__ == "__main__":

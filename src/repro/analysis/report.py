@@ -12,7 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.experiments import EXPERIMENTS, ExperimentRow, run_all
 from repro.analysis.sensitivity import sensitivity_sweep
-from repro.core.dse import design_space
+from repro.core.dse import SweepGrid, sweep_grid
 
 
 def rows_to_markdown(rows: List[ExperimentRow]) -> List[str]:
@@ -56,18 +56,54 @@ def sensitivity_section() -> List[str]:
 
 
 def design_space_section() -> List[str]:
-    """Cost/benefit of each scaling factor (Figs. 12 + 15 combined)."""
+    """Cost/benefit of each scaling factor (Figs. 12 + 15 combined).
+
+    Served by the batched DSE engine: one vectorized evaluation feeds
+    the table, the Pareto column and the FPS constraint queries.
+    """
+    scheme = "multi_res_hashgrid"
+    result = sweep_grid(SweepGrid(schemes=(scheme,)))
+    grid = result.grid
+    n_pixels = grid.pixel_counts[0]
+    front = {p.scale_factor for p in result.pareto_front(scheme)}
     lines = [
         "\n## Design space (hashgrid)\n",
-        "| config | area overhead | power overhead | avg speedup | speedup/area% |",
-        "|---|---|---|---|---|",
+        "| config | area overhead | power overhead | avg speedup | speedup/area% | Pareto |",
+        "|---|---|---|---|---|---|",
     ]
-    for point in design_space("multi_res_hashgrid"):
+    for k, scale in enumerate(grid.scale_factors):
+        speedups = [
+            result.point(app, scheme, scale, n_pixels).speedup
+            for app in grid.apps
+        ]
+        avg = sum(speedups) / len(speedups)
+        area = float(result.area_overhead_pct[k])
         lines.append(
-            f"| NGPC-{point.scale_factor} | {point.area_overhead_pct:.2f}% | "
-            f"{point.power_overhead_pct:.2f}% | {point.average_speedup:.2f}x | "
-            f"{point.speedup_per_area_pct:.2f} |"
+            f"| NGPC-{scale} | {area:.2f}% | "
+            f"{result.power_overhead_pct[k]:.2f}% | {avg:.2f}x | "
+            f"{avg / area:.2f} | "
+            f"{'yes' if scale in front else 'no'} |"
         )
+    lines.extend(
+        [
+            "\n### Cheapest configuration meeting 60 FPS at FHD\n",
+            "| app | config | area overhead | speedup |",
+            "|---|---|---|---|",
+        ]
+    )
+    # answered from the same evaluation — no re-sweep
+    for app in grid.apps:
+        scale = result.cheapest_meeting_fps(app, 60.0)
+        if scale is None:
+            lines.append(f"| {app} | not achievable | — | — |")
+        else:
+            k = grid.scale_factors.index(scale)
+            point = result.point(app, scheme, scale, n_pixels)
+            lines.append(
+                f"| {app} | NGPC-{scale} | "
+                f"{result.area_overhead_pct[k]:.2f}% | "
+                f"{point.speedup:.2f}x |"
+            )
     return lines
 
 

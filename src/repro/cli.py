@@ -4,6 +4,8 @@ Commands:
 
 - ``emulate``      run the NGPC emulator for one (app, scheme, scale)
 - ``sweep``        the full Fig. 12 sweep for one encoding scheme
+- ``dse``          batched design-space exploration: grid, Pareto front
+                   and FPS constraint queries in one vectorized call
 - ``experiments``  regenerate any registered table/figure experiment
 - ``train``        train an application on its synthetic scene
 - ``area``         print the NGPC area/power bill (Fig. 15)
@@ -30,6 +32,13 @@ from repro.gpu.baseline import FHD_PIXELS
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--app", choices=APP_NAMES, default="nerf")
     parser.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive (got {text})")
+    return value
 
 
 def cmd_emulate(args: argparse.Namespace) -> int:
@@ -64,6 +73,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"End-to-end speedup, {args.scheme}",
         )
     )
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from repro.core.dse import SweepGrid, sweep_grid
+
+    grid = SweepGrid(
+        apps=APP_NAMES,
+        schemes=(args.scheme,),
+        scale_factors=SCALE_FACTORS,
+        pixel_counts=(args.pixels,),
+    )
+    result = sweep_grid(grid, engine=args.engine)
+    front = {p.scale_factor for p in result.pareto_front(args.scheme, args.pixels)}
+    rows = []
+    for k, scale in enumerate(grid.scale_factors):
+        row = [f"NGPC-{scale}", f"{result.area_overhead_pct[k]:.2f}%",
+               f"{result.power_overhead_pct[k]:.2f}%"]
+        row += [
+            f"{result.point(app, args.scheme, scale, args.pixels).speedup:.2f}x"
+            for app in APP_NAMES
+        ]
+        row.append("*" if scale in front else "")
+        rows.append(row)
+    print(
+        format_table(
+            ["config", "area", "power"] + list(APP_NAMES) + ["pareto"],
+            rows,
+            title=f"Design space, {args.scheme} @ {args.pixels:,} px "
+                  f"({result.grid.size} points, engine={args.engine})",
+        )
+    )
+    if args.fps is not None:
+        # answer from the grid already evaluated above — no re-sweep
+        print(f"\ncheapest configuration meeting {args.fps:g} FPS:")
+        for app in APP_NAMES:
+            scale = result.cheapest_meeting_fps(app, args.fps, args.pixels)
+            if scale is None:
+                print(f"  {app:5s}: not achievable at any evaluated scale")
+            else:
+                k = grid.scale_factors.index(scale)
+                point = result.point(app, args.scheme, scale, args.pixels)
+                print(f"  {app:5s}: NGPC-{scale} "
+                      f"(+{result.area_overhead_pct[k]:.2f}% area, "
+                      f"{point.speedup:.2f}x speedup)")
     return 0
 
 
@@ -180,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
     p.add_argument("--pixels", type=int, default=FHD_PIXELS)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("dse", help="batched design-space exploration")
+    p.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
+    p.add_argument("--pixels", type=int, default=FHD_PIXELS)
+    p.add_argument("--fps", type=_positive_float, default=None,
+                   help="also answer: cheapest config meeting this FPS target")
+    p.add_argument("--engine", choices=("vectorized", "scalar", "process"),
+                   default="vectorized")
+    p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("experiments", help="regenerate registered experiments")
     p.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -26,21 +26,31 @@ from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
 from repro.core.encoding_engine import (
     EncodingEngineFunctional,
     encoding_engine_time_ms,
+    encoding_engine_time_ms_batch,
     encoding_kernel_speedup,
     shift_modulo,
 )
 from repro.core.mlp_engine import (
     mlp_engine_cycles,
     mlp_engine_time_ms,
+    mlp_engine_time_ms_batch,
     mlp_kernel_speedup,
 )
 from repro.core.fusion import fused_rest_time_ms, FusionModel
-from repro.core.ngpc import NGPC, BandwidthReport, PipelineSchedule
+from repro.core.ngpc import (
+    NGPC,
+    BandwidthReport,
+    PipelineSchedule,
+    bandwidth_model_batch,
+    dma_overhead_ms_batch,
+    pipeline_total_ms_batch,
+)
 from repro.core.area_power import (
     AreaPowerReport,
     nfp_area_mm2_45nm,
     nfp_power_w_45nm,
     ngpc_area_power,
+    ngpc_area_power_batch,
     scale_45_to_7nm,
 )
 from repro.core.timeloop import TimeloopMLPModel
@@ -51,14 +61,31 @@ from repro.core.pipeline_sim import (
     validate_throughput_assumption,
 )
 from repro.core.amdahl import amdahl_bound, amdahl_bound_unfused
-from repro.core.emulator import EmulationResult, Emulator, emulate
-from repro.core.energy import EnergyReport, arvr_gap_oom, energy_per_frame
+from repro.core.cache import ModelCache, cache_stats, clear_model_caches
+from repro.core.emulator import (
+    EmulationResult,
+    Emulator,
+    emulate,
+    emulate_batch,
+    emulate_uncached,
+)
+from repro.core.energy import (
+    EnergyReport,
+    arvr_gap_oom,
+    energy_per_frame,
+    energy_per_frame_batch,
+)
 from repro.core.dse import (
     DesignPoint,
+    SweepGrid,
+    SweepResult,
+    cheapest_meeting_fps,
     design_space,
     efficiency_sweet_spot,
+    pareto_front,
     pareto_frontier,
     smallest_scale_for_fps,
+    sweep_grid,
 )
 
 __all__ = [
@@ -67,20 +94,26 @@ __all__ = [
     "SCALE_FACTORS",
     "EncodingEngineFunctional",
     "encoding_engine_time_ms",
+    "encoding_engine_time_ms_batch",
     "encoding_kernel_speedup",
     "shift_modulo",
     "mlp_engine_cycles",
     "mlp_engine_time_ms",
+    "mlp_engine_time_ms_batch",
     "mlp_kernel_speedup",
     "fused_rest_time_ms",
     "FusionModel",
     "NGPC",
     "BandwidthReport",
     "PipelineSchedule",
+    "bandwidth_model_batch",
+    "dma_overhead_ms_batch",
+    "pipeline_total_ms_batch",
     "AreaPowerReport",
     "nfp_area_mm2_45nm",
     "nfp_power_w_45nm",
     "ngpc_area_power",
+    "ngpc_area_power_batch",
     "scale_45_to_7nm",
     "TimeloopMLPModel",
     "EncodingPipelineSimulator",
@@ -96,8 +129,19 @@ __all__ = [
     "arvr_gap_oom",
     "energy_per_frame",
     "DesignPoint",
+    "ModelCache",
+    "SweepGrid",
+    "SweepResult",
+    "cache_stats",
+    "cheapest_meeting_fps",
+    "clear_model_caches",
     "design_space",
     "efficiency_sweet_spot",
+    "emulate_batch",
+    "emulate_uncached",
+    "energy_per_frame_batch",
+    "pareto_front",
     "pareto_frontier",
     "smallest_scale_for_fps",
+    "sweep_grid",
 ]

@@ -13,10 +13,13 @@ scaling linearly to NGPC-64 = +36.18 % / +22.06 %).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
+
+import numpy as np
 
 from repro.core.config import NFPConfig, NGPCConfig
 from repro.gpu.device import RTX3090
+from repro.utils.math import is_power_of_two
 
 # ---------------------------------------------------------------------------
 # Stillmaker-Baas scaling factors, 45 nm -> 7 nm.
@@ -104,3 +107,33 @@ def ngpc_area_power(config: NGPCConfig) -> AreaPowerReport:
     return AreaPowerReport(
         scale_factor=config.scale_factor, area_mm2_7nm=area7, power_w_7nm=power7
     )
+
+
+def ngpc_area_power_batch(
+    scale_factors, nfp: Optional[NFPConfig] = None
+) -> Dict[str, np.ndarray]:
+    """Vectorized :func:`ngpc_area_power` over an array of scale factors.
+
+    Returns arrays ``area_mm2_7nm``, ``power_w_7nm`` and the overhead
+    percentages relative to the RTX 3090, all shaped like
+    ``scale_factors``; same arithmetic as the scalar path.
+    """
+    nfp = nfp or NFPConfig()
+    scales = np.asarray(scale_factors)
+    if np.any(scales < 1):
+        raise ValueError("scale factors must be >= 1")
+    for scale in scales.reshape(-1):
+        if not is_power_of_two(int(scale)):
+            raise ValueError(
+                f"scale_factor must be a power of two (got {int(scale)})"
+            )
+    area45 = nfp_area_mm2_45nm(nfp)["total"] * scales
+    power45 = nfp_power_w_45nm(nfp)["total"] * scales
+    area7 = area45 * AREA_SCALE_45_TO_7
+    power7 = power45 * POWER_SCALE_45_TO_7
+    return {
+        "area_mm2_7nm": area7,
+        "power_w_7nm": power7,
+        "area_overhead_pct": 100.0 * area7 / RTX3090.die_area_mm2,
+        "power_overhead_pct": 100.0 * power7 / RTX3090.tdp_w,
+    }

@@ -1,0 +1,113 @@
+"""Memoization layer for the analytic models.
+
+The analytic models are pure functions of (application, encoding scheme,
+:class:`~repro.core.config.NGPCConfig`, pixel count) — *and* of the
+reconstructed calibration constants in :mod:`repro.calibration.fitted`,
+which :mod:`repro.analysis.sensitivity` mutates in place to probe
+robustness.  Every cache key therefore carries a
+:func:`calibration_fingerprint` so a perturbation context never reads a
+stale nominal result, and a perturbed run never poisons the nominal
+cache.
+
+All caches register themselves in a module-level registry;
+:func:`clear_model_caches` wipes them in one call (the test suite does
+this between tests so cached results cannot mask bugs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.calibration import fitted
+
+
+class ModelCache:
+    """A named, clearable, thread-safe dict cache with hit/miss counters."""
+
+    def __init__(self, name: str, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be positive or None")
+        self.name = name
+        self.maxsize = maxsize
+        self._data: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        _register(self)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if self.maxsize is not None and len(self._data) >= self.maxsize:
+                # FIFO eviction: dicts preserve insertion order
+                self._data.pop(next(iter(self._data)))
+            self._data[key] = value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> Dict[str, int]:
+        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+_CACHES: List[ModelCache] = []
+_LRU_CACHES: List[Any] = []
+
+
+def _register(cache: ModelCache) -> None:
+    _CACHES.append(cache)
+
+
+def register_lru_cache(fn):
+    """Enroll an ``functools.lru_cache``-wrapped function in the registry.
+
+    The calibration constants (`_calibrated_lanes`,
+    `_calibrated_parallelism`) are lru-cached on scheme only, so a value
+    computed inside a perturbation context would otherwise survive
+    :func:`clear_model_caches` and poison later nominal runs.
+    """
+    _LRU_CACHES.append(fn)
+    return fn
+
+
+def clear_model_caches() -> None:
+    """Empty every registered model cache (and reset its counters)."""
+    for cache in _CACHES:
+        cache.clear()
+    for fn in _LRU_CACHES:
+        fn.cache_clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Size and hit/miss counters of every registered cache, by name."""
+    return {cache.name: cache.info() for cache in _CACHES}
+
+
+def calibration_fingerprint() -> Hashable:
+    """Hashable snapshot of the mutable calibration constants.
+
+    Cheap to compute (a few dozen tuple entries) relative to one model
+    evaluation, and changes whenever :mod:`repro.calibration.fitted` is
+    perturbed — the invalidation signal for every model cache.
+    """
+    return (
+        tuple(sorted(fitted.BATCH_OVERHEAD_MS_FHD_AT64.items())),
+        tuple(sorted(fitted.KERNEL_FRACTIONS.items())),
+        tuple(sorted(fitted.SAMPLES_PER_PIXEL.items())),
+        fitted.BATCH_OVERHEAD_SCALE_EXPONENT,
+    )

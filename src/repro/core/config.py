@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from repro.utils.math import is_power_of_two
+
 SCALE_FACTORS: Tuple[int, ...] = (8, 16, 32, 64)
 
 
@@ -33,6 +35,19 @@ class NFPConfig:
             raise ValueError("need at least one encoding engine")
         if self.grid_sram_kb_per_engine < 1 or self.activation_sram_kb < 1:
             raise ValueError("SRAM sizes must be positive")
+        # the encoding datapath indexes its SRAMs with shift/mask arithmetic
+        # (Section V), so sizes must be powers of two — fail here with a
+        # clear message instead of deep inside encoding_engine
+        if not is_power_of_two(self.grid_sram_kb_per_engine):
+            raise ValueError(
+                f"grid_sram_kb_per_engine must be a power of two "
+                f"(got {self.grid_sram_kb_per_engine} KB)"
+            )
+        if not is_power_of_two(self.activation_sram_kb):
+            raise ValueError(
+                f"activation_sram_kb must be a power of two "
+                f"(got {self.activation_sram_kb} KB)"
+            )
         if self.mac_rows < 1 or self.mac_cols < 1:
             raise ValueError("MAC array dims must be positive")
         if self.input_fifo_depth < 1 or self.pipeline_fill_cycles < 0:
@@ -69,6 +84,13 @@ class NGPCConfig:
     def __post_init__(self):
         if self.scale_factor < 1:
             raise ValueError("scale_factor must be >= 1")
+        # NFPs are paired into power-of-two trees on the L2 interconnect;
+        # every paper configuration (NGPC-8 ... NGPC-64) is a power of two
+        if not is_power_of_two(self.scale_factor):
+            raise ValueError(
+                f"scale_factor must be a power of two (got {self.scale_factor}); "
+                f"the paper evaluates {SCALE_FACTORS}"
+            )
         if self.n_pipeline_batches < 1:
             raise ValueError("need at least one pipeline batch")
         if self.l2_spill_penalty < 1.0:

@@ -1,20 +1,47 @@
-"""Design-space exploration of the NGPC scaling factor.
+"""Batched design-space exploration of the NGPC evaluation space.
 
-The paper sweeps four scaling factors; this module turns the sweep into
-the architect's view: speedup per unit of area/power, Pareto frontiers,
-and the smallest configuration meeting a frame-rate target per
-application — the analysis a Fig. 12 + Fig. 15 reader does by hand.
+The paper hand-sweeps four scaling factors (Figs. 12/15); this module
+turns the sweep into a production DSE engine that answers any architect's
+query over the full (app x scheme x scale x pixels) cartesian space:
+
+- :class:`SweepGrid` names a cartesian design space and
+  :func:`sweep_grid` evaluates *all* of it in one call, returning a
+  :class:`SweepResult` of dense NumPy arrays shaped
+  ``(apps, schemes, scales, pixel_counts)``.
+- Three interchangeable engines: ``"vectorized"`` (NumPy broadcasting
+  through the ``*_batch`` fast paths of the core models — the default),
+  ``"scalar"`` (the original one-:func:`~repro.core.emulator.emulate`-
+  per-point loop, memoized), and ``"process"`` (a
+  :mod:`concurrent.futures` process pool for paths that cannot be
+  vectorized).  All three produce numerically identical results; the
+  equivalence harness in ``tests/test_sweep_engine.py`` enforces
+  agreement to 1e-9 relative, and ``tests/test_golden_values.py`` pins
+  the absolute values.
+- Whole-grid memoization keyed on (grid, engine, NGPCConfig, calibration
+  fingerprint), so repeated queries — Pareto fronts, FPS constraints,
+  report generation — reuse one evaluation.
+- Constraint-query APIs: :func:`pareto_front` (non-dominated
+  cost/benefit points) and :func:`cheapest_meeting_fps` (the smallest
+  configuration hitting a frame-rate target), both exposed through the
+  CLI (``python -m repro dse``) and :mod:`repro.analysis.report`.
+
+The legacy Fig. 12 + Fig. 15 helpers (:func:`design_space`,
+:func:`pareto_frontier`, :func:`smallest_scale_for_fps`) remain and now
+run on top of the batched engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.apps.params import APP_NAMES
-from repro.core.area_power import ngpc_area_power
+import numpy as np
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.area_power import ngpc_area_power_batch
+from repro.core.cache import ModelCache, calibration_fingerprint
 from repro.core.config import NGPCConfig, SCALE_FACTORS
-from repro.core.emulator import emulate
+from repro.core.emulator import EmulationResult, emulate, emulate_batch
 from repro.gpu.baseline import FHD_PIXELS
 
 
@@ -41,23 +68,490 @@ class DesignPoint:
         return self.average_speedup / self.power_overhead_pct
 
 
+# ---------------------------------------------------------------------------
+# the batched sweep engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A cartesian (app x scheme x scale x pixels) design space."""
+
+    apps: Tuple[str, ...] = APP_NAMES
+    schemes: Tuple[str, ...] = ("multi_res_hashgrid",)
+    scale_factors: Tuple[int, ...] = SCALE_FACTORS
+    pixel_counts: Tuple[int, ...] = (FHD_PIXELS,)
+
+    def __post_init__(self):
+        object.__setattr__(self, "apps", tuple(self.apps))
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(
+            self, "scale_factors", tuple(int(s) for s in self.scale_factors)
+        )
+        object.__setattr__(
+            self, "pixel_counts", tuple(int(p) for p in self.pixel_counts)
+        )
+        if not (self.apps and self.schemes and self.scale_factors and self.pixel_counts):
+            raise ValueError("every grid axis needs at least one value")
+        for app in self.apps:
+            if app not in APP_NAMES:
+                raise ValueError(f"unknown app {app!r}")
+        for scheme in self.schemes:
+            if scheme not in ENCODING_SCHEMES:
+                raise ValueError(f"unknown scheme {scheme!r}")
+        for scale in self.scale_factors:
+            NGPCConfig(scale_factor=scale)  # power-of-two validation
+        for n_pixels in self.pixel_counts:
+            if n_pixels <= 0:
+                raise ValueError("pixel counts must be positive")
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return (
+            len(self.apps),
+            len(self.schemes),
+            len(self.scale_factors),
+            len(self.pixel_counts),
+        )
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    def points(self) -> Iterator[Tuple[str, str, int, int]]:
+        """All (app, scheme, scale, n_pixels) points in array order."""
+        for app in self.apps:
+            for scheme in self.schemes:
+                for scale in self.scale_factors:
+                    for n_pixels in self.pixel_counts:
+                        yield app, scheme, scale, n_pixels
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: ndarray fields break ==/hash
+class SweepResult:
+    """Dense evaluation of a :class:`SweepGrid`.
+
+    Timing arrays are shaped ``grid.shape`` = (apps, schemes, scales,
+    pixel_counts); ``amdahl_bound`` is (apps, schemes); the area/power
+    arrays are (scales,) — cost depends only on the configuration.
+    """
+
+    grid: SweepGrid
+    engine: str
+    baseline_ms: np.ndarray
+    accelerated_ms: np.ndarray
+    encoding_engine_ms: np.ndarray
+    mlp_engine_ms: np.ndarray
+    dma_ms: np.ndarray
+    fused_rest_ms: np.ndarray
+    amdahl_bound: np.ndarray
+    area_mm2_7nm: np.ndarray
+    power_w_7nm: np.ndarray
+    area_overhead_pct: np.ndarray
+    power_overhead_pct: np.ndarray
+
+    @property
+    def speedup(self) -> np.ndarray:
+        return self.baseline_ms / self.accelerated_ms
+
+    @property
+    def fps(self) -> np.ndarray:
+        return 1000.0 / self.accelerated_ms
+
+    # -- indexing -----------------------------------------------------------
+    def index(
+        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+    ) -> Tuple[int, int, int, int]:
+        try:
+            return (
+                self.grid.apps.index(app),
+                self.grid.schemes.index(scheme),
+                self.grid.scale_factors.index(scale_factor),
+                self.grid.pixel_counts.index(n_pixels),
+            )
+        except ValueError as exc:
+            raise KeyError(
+                f"({app}, {scheme}, {scale_factor}, {n_pixels}) not on the grid"
+            ) from exc
+
+    def point(
+        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+    ) -> EmulationResult:
+        """The :class:`EmulationResult` of one grid point."""
+        i, j, k, l = self.index(app, scheme, scale_factor, n_pixels)
+        return EmulationResult(
+            app=app,
+            scheme=scheme,
+            scale_factor=scale_factor,
+            n_pixels=n_pixels,
+            baseline_ms=float(self.baseline_ms[i, j, k, l]),
+            accelerated_ms=float(self.accelerated_ms[i, j, k, l]),
+            encoding_engine_ms=float(self.encoding_engine_ms[i, j, k, l]),
+            mlp_engine_ms=float(self.mlp_engine_ms[i, j, k, l]),
+            dma_ms=float(self.dma_ms[i, j, k, l]),
+            fused_rest_ms=float(self.fused_rest_ms[i, j, k, l]),
+            amdahl_bound=float(self.amdahl_bound[i, j]),
+        )
+
+    def to_records(self) -> List[Dict[str, float]]:
+        """One flat dict per grid point (JSON/table friendly)."""
+        records = []
+        speedup = self.speedup
+        fps = self.fps
+        for i, app in enumerate(self.grid.apps):
+            for j, scheme in enumerate(self.grid.schemes):
+                for k, scale in enumerate(self.grid.scale_factors):
+                    for l, n_pixels in enumerate(self.grid.pixel_counts):
+                        records.append(
+                            {
+                                "app": app,
+                                "scheme": scheme,
+                                "scale_factor": scale,
+                                "n_pixels": n_pixels,
+                                "baseline_ms": float(self.baseline_ms[i, j, k, l]),
+                                "accelerated_ms": float(
+                                    self.accelerated_ms[i, j, k, l]
+                                ),
+                                "speedup": float(speedup[i, j, k, l]),
+                                "fps": float(fps[i, j, k, l]),
+                                "area_overhead_pct": float(self.area_overhead_pct[k]),
+                                "power_overhead_pct": float(
+                                    self.power_overhead_pct[k]
+                                ),
+                            }
+                        )
+        return records
+
+    # -- queries ------------------------------------------------------------
+    def pareto_front(
+        self,
+        scheme: str,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ) -> List[DesignPoint]:
+        """Non-dominated (area cost, speedup benefit) scales, sorted by area.
+
+        Benefit is the speedup of ``app``, or the all-apps average when
+        ``app`` is None (the Fig. 12 "average" bars).
+        """
+        j = self.grid.schemes.index(scheme)
+        l = self.grid.pixel_counts.index(n_pixels or self.grid.pixel_counts[0])
+        speedup = self.speedup
+        if app is None:
+            benefit = speedup[:, j, :, l].mean(axis=0)
+        else:
+            benefit = speedup[self.grid.apps.index(app), j, :, l]
+        keep = pareto_front(self.area_overhead_pct, benefit)
+        points = []
+        for k in keep:
+            speedups = {
+                a: float(speedup[i, j, k, l])
+                for i, a in enumerate(self.grid.apps)
+            }
+            points.append(
+                DesignPoint(
+                    scale_factor=self.grid.scale_factors[k],
+                    area_overhead_pct=float(self.area_overhead_pct[k]),
+                    power_overhead_pct=float(self.power_overhead_pct[k]),
+                    speedups=speedups,
+                )
+            )
+        return points
+
+    def cheapest_meeting_fps(
+        self,
+        app: str,
+        fps: float,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+    ) -> Optional[int]:
+        """Smallest-area scale on the grid hitting ``fps``, or None.
+
+        Parameter order matches the module-level
+        :func:`cheapest_meeting_fps` (app, fps, n_pixels, scheme); this
+        method returns the bare scale factor, the module function a full
+        :class:`DesignPoint`.
+        """
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        i = self.grid.apps.index(app)
+        j = self.grid.schemes.index(scheme or self.grid.schemes[0])
+        l = self.grid.pixel_counts.index(n_pixels or self.grid.pixel_counts[0])
+        budget_ms = 1000.0 / fps
+        feasible = np.flatnonzero(self.accelerated_ms[i, j, :, l] <= budget_ms)
+        if feasible.size == 0:
+            return None
+        k = feasible[np.argmin(self.area_overhead_pct[feasible])]
+        return self.grid.scale_factors[int(k)]
+
+
+# ---------------------------------------------------------------------------
+# engines
+# ---------------------------------------------------------------------------
+
+# bounded: each entry holds dense float64 arrays for a whole grid
+_SWEEP_CACHE = ModelCache("sweep_grid", maxsize=128)
+
+_ENGINES = ("vectorized", "scalar", "process")
+
+
+def _scalar_result(
+    app: str, scheme: str, scale: int, n_pixels: int, ngpc: Optional[NGPCConfig]
+) -> EmulationResult:
+    """One scalar emulation honouring a non-default ``ngpc`` override."""
+    if ngpc is None:
+        return emulate(app, scheme, scale, n_pixels)
+    from repro.core.emulator import Emulator
+
+    config = NGPCConfig(
+        scale_factor=scale,
+        nfp=ngpc.nfp,
+        n_pipeline_batches=ngpc.n_pipeline_batches,
+        l2_spill_penalty=ngpc.l2_spill_penalty,
+    )
+    return Emulator(config).run(app, scheme, n_pixels)
+
+
+def _evaluate_point(
+    args: Tuple[str, str, int, int, Optional[NGPCConfig]]
+) -> Tuple[float, ...]:
+    """Process-pool worker: one scalar emulation, returned as plain floats."""
+    app, scheme, scale, n_pixels, ngpc = args
+    r = _scalar_result(app, scheme, scale, n_pixels, ngpc)
+    return (
+        r.baseline_ms,
+        r.accelerated_ms,
+        r.encoding_engine_ms,
+        r.mlp_engine_ms,
+        r.dma_ms,
+        r.fused_rest_ms,
+        r.amdahl_bound,
+    )
+
+
+def _arrays_vectorized(grid: SweepGrid, ngpc: Optional[NGPCConfig]) -> Dict[str, np.ndarray]:
+    shape = grid.shape
+    out = {
+        name: np.empty(shape)
+        for name in (
+            "baseline_ms",
+            "accelerated_ms",
+            "encoding_engine_ms",
+            "mlp_engine_ms",
+            "dma_ms",
+            "fused_rest_ms",
+        )
+    }
+    out["amdahl_bound"] = np.empty(shape[:2])
+    for i, app in enumerate(grid.apps):
+        for j, scheme in enumerate(grid.schemes):
+            block = emulate_batch(
+                app, scheme, grid.scale_factors, grid.pixel_counts, ngpc
+            )
+            for name in out:
+                out[name][i, j] = block[name]
+    return out
+
+
+def _arrays_scalar(grid: SweepGrid, ngpc: Optional[NGPCConfig]) -> Dict[str, np.ndarray]:
+    shape = grid.shape
+    out = {
+        name: np.empty(shape)
+        for name in (
+            "baseline_ms",
+            "accelerated_ms",
+            "encoding_engine_ms",
+            "mlp_engine_ms",
+            "dma_ms",
+            "fused_rest_ms",
+        )
+    }
+    out["amdahl_bound"] = np.empty(shape[:2])
+    for i, app in enumerate(grid.apps):
+        for j, scheme in enumerate(grid.schemes):
+            for k, scale in enumerate(grid.scale_factors):
+                for l, n_pixels in enumerate(grid.pixel_counts):
+                    r = _scalar_result(app, scheme, scale, n_pixels, ngpc)
+                    out["baseline_ms"][i, j, k, l] = r.baseline_ms
+                    out["accelerated_ms"][i, j, k, l] = r.accelerated_ms
+                    out["encoding_engine_ms"][i, j, k, l] = r.encoding_engine_ms
+                    out["mlp_engine_ms"][i, j, k, l] = r.mlp_engine_ms
+                    out["dma_ms"][i, j, k, l] = r.dma_ms
+                    out["fused_rest_ms"][i, j, k, l] = r.fused_rest_ms
+                    out["amdahl_bound"][i, j] = r.amdahl_bound
+    return out
+
+
+def _arrays_process(
+    grid: SweepGrid, ngpc: Optional[NGPCConfig], max_workers: Optional[int]
+) -> Dict[str, np.ndarray]:
+    """Process-pool fallback for non-vectorizable model paths."""
+    import concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool
+
+    points = [p + (ngpc,) for p in grid.points()]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            chunk = max(1, len(points) // ((max_workers or 4) * 4))
+            rows = list(pool.map(_evaluate_point, points, chunksize=chunk))
+    except (OSError, BrokenProcessPool):  # no usable fork/spawn: degrade
+        rows = [_evaluate_point(p) for p in points]
+    flat = np.asarray(rows, dtype=np.float64).reshape(grid.shape + (7,))
+    out = {
+        "baseline_ms": flat[..., 0],
+        "accelerated_ms": flat[..., 1],
+        "encoding_engine_ms": flat[..., 2],
+        "mlp_engine_ms": flat[..., 3],
+        "dma_ms": flat[..., 4],
+        "fused_rest_ms": flat[..., 5],
+        "amdahl_bound": flat[..., 6][:, :, 0, 0],
+    }
+    return out
+
+
+def sweep_grid(
+    grid: Optional[SweepGrid] = None,
+    engine: str = "vectorized",
+    ngpc: Optional[NGPCConfig] = None,
+    max_workers: Optional[int] = None,
+    use_cache: bool = True,
+) -> SweepResult:
+    """Evaluate the full cartesian ``grid`` in one call.
+
+    ``engine`` selects "vectorized" (NumPy broadcasting, default),
+    "scalar" (memoized per-point loop) or "process" (process-pool
+    fallback).  Whole results are memoized on (grid, engine, ngpc,
+    calibration fingerprint); pass ``use_cache=False`` to force a fresh
+    evaluation.
+    """
+    grid = grid or SweepGrid()
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+    key = (grid, engine, ngpc, calibration_fingerprint())
+    if use_cache:
+        cached = _SWEEP_CACHE.get(key)
+        if cached is not None:
+            return cached
+    if engine == "vectorized":
+        arrays = _arrays_vectorized(grid, ngpc)
+    elif engine == "scalar":
+        arrays = _arrays_scalar(grid, ngpc)
+    else:
+        arrays = _arrays_process(grid, ngpc, max_workers)
+    cost = ngpc_area_power_batch(np.asarray(grid.scale_factors), ngpc.nfp if ngpc else None)
+    arrays.update(
+        area_mm2_7nm=cost["area_mm2_7nm"],
+        power_w_7nm=cost["power_w_7nm"],
+        area_overhead_pct=cost["area_overhead_pct"],
+        power_overhead_pct=cost["power_overhead_pct"],
+    )
+    for array in arrays.values():
+        # the result object is shared on cache hits: freeze the arrays so
+        # one consumer's mutation cannot poison every later cached query
+        array.setflags(write=False)
+    result = SweepResult(grid=grid, engine=engine, **arrays)
+    if use_cache:
+        _SWEEP_CACHE.put(key, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# constraint-query APIs
+# ---------------------------------------------------------------------------
+
+
+def pareto_front(costs, values) -> List[int]:
+    """Indices of the non-dominated (min cost, max value) points.
+
+    A point is dominated when another has cost <= and value >= with at
+    least one strict inequality; duplicates of a frontier point are
+    kept.  Returned indices are sorted by ascending cost (ties: by
+    descending value).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if costs.shape != values.shape or costs.ndim != 1:
+        raise ValueError("costs and values must be 1-D arrays of equal length")
+    order = np.lexsort((-values, costs))  # cost ascending, value descending
+    front: List[int] = []
+    best_value = -np.inf
+    best_cost = np.nan
+    for idx in order:
+        i = int(idx)
+        if values[i] > best_value:
+            front.append(i)
+            best_value = values[i]
+            best_cost = costs[i]
+        elif values[i] == best_value and costs[i] == best_cost:
+            front.append(i)  # exact duplicate of the frontier point
+    return front
+
+
+def cheapest_meeting_fps(
+    app: str,
+    fps: float,
+    n_pixels: int = FHD_PIXELS,
+    scheme: str = "multi_res_hashgrid",
+    scales: Sequence[int] = SCALE_FACTORS,
+    engine: str = "vectorized",
+) -> Optional[DesignPoint]:
+    """The smallest-area configuration hitting ``fps``, or None.
+
+    Answers questions like "what does 4K NeRF at 30 FPS cost?" — the
+    Fig. 14 headline read backwards — with one batched evaluation.
+    """
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    grid = SweepGrid(
+        apps=(app,),
+        schemes=(scheme,),
+        scale_factors=tuple(scales),
+        pixel_counts=(n_pixels,),
+    )
+    result = sweep_grid(grid, engine=engine)
+    scale = result.cheapest_meeting_fps(app, fps, n_pixels, scheme)
+    if scale is None:
+        return None
+    k = result.grid.scale_factors.index(scale)
+    return DesignPoint(
+        scale_factor=scale,
+        area_overhead_pct=float(result.area_overhead_pct[k]),
+        power_overhead_pct=float(result.power_overhead_pct[k]),
+        speedups={app: float(result.speedup[0, 0, k, 0])},
+    )
+
+
+# ---------------------------------------------------------------------------
+# legacy Fig. 12 + Fig. 15 view, now served by the batched engine
+# ---------------------------------------------------------------------------
+
+
 def design_space(
     scheme: str = "multi_res_hashgrid",
     n_pixels: int = FHD_PIXELS,
     scales=SCALE_FACTORS,
+    engine: str = "vectorized",
 ) -> List[DesignPoint]:
     """Evaluate every scaling factor: cost (Fig. 15) x benefit (Fig. 12)."""
+    grid = SweepGrid(
+        apps=APP_NAMES,
+        schemes=(scheme,),
+        scale_factors=tuple(scales),
+        pixel_counts=(n_pixels,),
+    )
+    result = sweep_grid(grid, engine=engine)
     points = []
-    for scale in scales:
-        report = ngpc_area_power(NGPCConfig(scale_factor=scale))
+    speedup = result.speedup
+    for k, scale in enumerate(grid.scale_factors):
         speedups = {
-            app: emulate(app, scheme, scale, n_pixels).speedup for app in APP_NAMES
+            app: float(speedup[i, 0, k, 0])
+            for i, app in enumerate(grid.apps)
         }
         points.append(
             DesignPoint(
                 scale_factor=scale,
-                area_overhead_pct=report.area_overhead_pct,
-                power_overhead_pct=report.power_overhead_pct,
+                area_overhead_pct=float(result.area_overhead_pct[k]),
+                power_overhead_pct=float(result.power_overhead_pct[k]),
                 speedups=speedups,
             )
         )
@@ -66,20 +560,13 @@ def design_space(
 
 def pareto_frontier(points: List[DesignPoint]) -> List[DesignPoint]:
     """Points not dominated in (smaller area, larger average speedup)."""
-    frontier = []
-    for p in points:
-        dominated = any(
-            q.area_overhead_pct <= p.area_overhead_pct
-            and q.average_speedup >= p.average_speedup
-            and (
-                q.area_overhead_pct < p.area_overhead_pct
-                or q.average_speedup > p.average_speedup
-            )
-            for q in points
-        )
-        if not dominated:
-            frontier.append(p)
-    return sorted(frontier, key=lambda p: p.area_overhead_pct)
+    if not points:
+        return []
+    keep = pareto_front(
+        [p.area_overhead_pct for p in points],
+        [p.average_speedup for p in points],
+    )
+    return [points[i] for i in sorted(keep, key=lambda i: points[i].area_overhead_pct)]
 
 
 def smallest_scale_for_fps(
@@ -89,18 +576,9 @@ def smallest_scale_for_fps(
     scheme: str = "multi_res_hashgrid",
     scales=SCALE_FACTORS,
 ) -> Optional[int]:
-    """Smallest scaling factor hitting ``fps`` at ``n_pixels``, or None.
-
-    Answers questions like "what does 4K NeRF at 30 FPS cost?" —
-    the Fig. 14 headline read backwards.
-    """
-    if fps <= 0:
-        raise ValueError("fps must be positive")
-    budget_ms = 1000.0 / fps
-    for scale in sorted(scales):
-        if emulate(app, scheme, scale, n_pixels).accelerated_ms <= budget_ms:
-            return scale
-    return None
+    """Smallest scaling factor hitting ``fps`` at ``n_pixels``, or None."""
+    hit = cheapest_meeting_fps(app, fps, n_pixels, scheme, tuple(sorted(scales)))
+    return hit.scale_factor if hit else None
 
 
 def efficiency_sweet_spot(points: List[DesignPoint]) -> DesignPoint:

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.apps.params import APP_NAMES, AppConfig, get_config
 from repro.calibration import paper
+from repro.core.cache import register_lru_cache
 from repro.core.config import NGPCConfig
 from repro.encodings.grids import GridEncoding, HASH_PRIMES
 from repro.gpu.baseline import FHD_PIXELS, baseline_kernel_times_ms
@@ -174,6 +175,7 @@ def _tiled_entries(config: AppConfig, level: int) -> int:
     return _resolution(config, level) ** config.spatial_dim
 
 
+@register_lru_cache
 @lru_cache(maxsize=None)
 def _calibrated_lanes(scheme: str) -> float:
     """Lanes per engine such that the four-app mean kernel speedup at
@@ -214,6 +216,38 @@ def encoding_engine_time_ms(
     lanes = _calibrated_lanes(config.grid.scheme)
     fill = ngpc.nfp.pipeline_fill_cycles / ngpc.nfp.cycles_per_ms
     return _engine_time_ms(config, n_pixels, ngpc, lanes) + fill
+
+
+def encoding_engine_time_ms_batch(
+    config: AppConfig,
+    n_pixels,
+    scale_factors,
+    ngpc: Optional[NGPCConfig] = None,
+) -> np.ndarray:
+    """Vectorized :func:`encoding_engine_time_ms` over scales x pixels.
+
+    ``scale_factors`` (length S) and ``n_pixels`` (length P) broadcast to
+    an (S, P) float64 array of engine times.  ``ngpc`` supplies the
+    non-scale parameters (NFP geometry, spill penalty); its own
+    ``scale_factor`` is ignored.  The arithmetic mirrors the scalar path
+    operation for operation, so the two agree bit for bit.
+    """
+    ngpc = ngpc or NGPCConfig()
+    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1)
+    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1)
+    if np.any(scales < 1):
+        raise ValueError("scale factors must be >= 1")
+    if np.any(pixels <= 0):
+        raise ValueError("n_pixels must be positive")
+    lanes = _calibrated_lanes(config.grid.scheme)
+    par = parallel_inputs(config.grid.n_levels, ngpc.nfp.n_encoding_engines)
+    spill = level_spill_fraction(config, ngpc)
+    samples = samples_per_frame(config, pixels)
+    throughput = (par * lanes) * scales
+    cycles = samples / throughput
+    cycles = cycles * ((1.0 - spill) + spill * ngpc.l2_spill_penalty)
+    fill = ngpc.nfp.pipeline_fill_cycles / ngpc.nfp.cycles_per_ms
+    return cycles / ngpc.nfp.cycles_per_ms + fill
 
 
 def encoding_kernel_speedup(

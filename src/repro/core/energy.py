@@ -9,11 +9,13 @@ one frame cost, and what does NGPC do to performance-per-watt?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.core.area_power import ngpc_area_power
+import numpy as np
+
+from repro.core.area_power import ngpc_area_power, ngpc_area_power_batch
 from repro.core.config import NGPCConfig
-from repro.core.emulator import Emulator
+from repro.core.emulator import Emulator, emulate_batch
 from repro.gpu.baseline import FHD_PIXELS, baseline_frame_time_ms
 from repro.gpu.device import RTX3090
 
@@ -79,6 +81,55 @@ def energy_per_frame(
         baseline_fps_per_watt=(1000.0 / baseline_ms) / baseline_w,
         accelerated_fps_per_watt=(1000.0 / result.accelerated_ms) / accelerated_w,
     )
+
+
+def energy_per_frame_batch(
+    app: str,
+    scheme: str,
+    scale_factors=(8, 16, 32, 64),
+    n_pixels=FHD_PIXELS,
+    ngpc: Optional[NGPCConfig] = None,
+) -> Dict[str, np.ndarray]:
+    """Vectorized :func:`energy_per_frame` over scales x pixels.
+
+    Returns (S, P) arrays for ``baseline_mj``, ``accelerated_mj``,
+    ``baseline_fps_per_watt``, ``accelerated_fps_per_watt``,
+    ``energy_reduction`` and ``efficiency_gain``, with the same
+    arithmetic as the scalar path.
+    """
+    base_cfg = ngpc or NGPCConfig()
+    block = emulate_batch(app, scheme, scale_factors, n_pixels, base_cfg)
+    pixels = np.asarray(n_pixels).reshape(1, -1)
+    cost = ngpc_area_power_batch(
+        np.asarray(scale_factors, dtype=np.int64).reshape(-1, 1), base_cfg.nfp
+    )
+
+    gpu_power = RTX3090.tdp_w * GPU_ACTIVE_POWER_FRACTION
+    baseline_ms = baseline_frame_time_ms(app, scheme, pixels)
+    baseline_mj = gpu_power * baseline_ms
+
+    ngpc_power = cost["power_w_7nm"]
+    accelerated_ms = block["accelerated_ms"]
+    ngpc_busy_ms = (
+        block["encoding_engine_ms"] + block["mlp_engine_ms"] + block["dma_ms"]
+    )
+    gpu_rest_power = RTX3090.tdp_w * GPU_REST_POWER_FRACTION
+    accelerated_mj = ngpc_power * ngpc_busy_ms + gpu_rest_power * accelerated_ms
+
+    accelerated_w = gpu_rest_power + ngpc_power * (
+        ngpc_busy_ms / np.maximum(accelerated_ms, 1e-12)
+    )
+    baseline_fpw = (1000.0 / baseline_ms) / gpu_power
+    accelerated_fpw = (1000.0 / accelerated_ms) / accelerated_w
+    shape = np.broadcast_shapes(accelerated_ms.shape, baseline_mj.shape)
+    return {
+        "baseline_mj": np.broadcast_to(baseline_mj, shape).copy(),
+        "accelerated_mj": accelerated_mj,
+        "baseline_fps_per_watt": np.broadcast_to(baseline_fpw, shape).copy(),
+        "accelerated_fps_per_watt": accelerated_fpw,
+        "energy_reduction": baseline_mj / accelerated_mj,
+        "efficiency_gain": accelerated_fpw / baseline_fpw,
+    }
 
 
 def arvr_gap_oom(

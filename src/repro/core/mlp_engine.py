@@ -16,8 +16,11 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Optional
 
+import numpy as np
+
 from repro.apps.params import APP_NAMES, AppConfig, get_config
 from repro.calibration import paper
+from repro.core.cache import register_lru_cache
 from repro.core.config import NGPCConfig
 from repro.gpu.baseline import FHD_PIXELS, baseline_kernel_times_ms
 from repro.gpu.kernels import samples_per_frame
@@ -50,6 +53,7 @@ def mlp_engine_cycles(
     return cycles + ngpc.nfp.pipeline_fill_cycles
 
 
+@register_lru_cache
 @lru_cache(maxsize=None)
 def _calibrated_parallelism(scheme: str) -> float:
     """Samples/cycle/NFP so the four-app mean speedup at 64 matches Fig. 13."""
@@ -77,6 +81,34 @@ def mlp_engine_time_ms(
         raise ValueError("n_pixels must be positive")
     samples = samples_per_frame(config, n_pixels)
     cycles = mlp_engine_cycles(config, samples, ngpc)
+    return cycles / ngpc.nfp.cycles_per_ms
+
+
+def mlp_engine_time_ms_batch(
+    config: AppConfig,
+    n_pixels,
+    scale_factors,
+    ngpc: Optional[NGPCConfig] = None,
+):
+    """Vectorized :func:`mlp_engine_time_ms` over scales x pixels.
+
+    ``scale_factors`` (length S) and ``n_pixels`` (length P) broadcast to
+    an (S, P) float64 array.  ``ngpc`` supplies the non-scale parameters;
+    its own ``scale_factor`` is ignored.  Mirrors the scalar path
+    operation for operation so the two agree bit for bit.
+    """
+    ngpc = ngpc or NGPCConfig()
+    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1)
+    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1)
+    if np.any(scales < 1):
+        raise ValueError("scale factors must be >= 1")
+    if np.any(pixels <= 0):
+        raise ValueError("n_pixels must be positive")
+    batch_parallelism = _calibrated_parallelism(config.grid.scheme)
+    samples = samples_per_frame(config, pixels)
+    passes = weight_matrices(config)
+    cycles = (samples * passes) / (batch_parallelism * scales)
+    cycles = cycles + ngpc.nfp.pipeline_fill_cycles
     return cycles / ngpc.nfp.cycles_per_ms
 
 

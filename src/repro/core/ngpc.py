@@ -11,7 +11,9 @@ pays to read inputs from and write outputs to GPU memory (Table III).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
+
+import numpy as np
 
 from repro.apps.params import APP_NAMES, AppConfig, get_config
 from repro.calibration import fitted, paper
@@ -85,6 +87,36 @@ def bandwidth_model(
     )
 
 
+def bandwidth_model_batch(app: str, n_pixels, fps) -> Dict[str, np.ndarray]:
+    """Vectorized :func:`bandwidth_model` over pixel counts and FPS targets.
+
+    ``n_pixels`` and ``fps`` broadcast elementwise (reshape them yourself
+    for an outer product).  Returns arrays for ``input_gbps``,
+    ``output_gbps``, ``total_gbps`` and ``access_time_ms`` with the same
+    arithmetic as the scalar path.
+    """
+    if app not in APP_NAMES:
+        raise ValueError(f"unknown app {app!r}")
+    pixels = np.asarray(n_pixels, dtype=np.float64)
+    fps_arr = np.asarray(fps, dtype=np.float64)
+    if np.any(pixels <= 0) or np.any(fps_arr <= 0):
+        raise ValueError("n_pixels and fps must be positive")
+    n_stages = 2 if app == "nerf" else 1
+    in_bytes_per_sample = 12.0 * n_stages
+    out_bytes_per_sample = 16.0 if app == "nerf" else 12.0
+    samples_per_s = pixels * IO_SAMPLES_PER_PIXEL * fps_arr
+    input_gbps = samples_per_s * in_bytes_per_sample / 1e9
+    output_gbps = samples_per_s * out_bytes_per_sample / 1e9
+    total_bytes_per_frame = n_stages * (input_gbps + output_gbps) * 1e9 / fps_arr
+    access_time_ms = total_bytes_per_frame / RTX3090.bytes_per_second * 1e3
+    return {
+        "input_gbps": input_gbps,
+        "output_gbps": output_gbps,
+        "total_gbps": n_stages * (input_gbps + output_gbps),
+        "access_time_ms": access_time_ms,
+    }
+
+
 # ---------------------------------------------------------------------------
 # pipeline schedule
 # ---------------------------------------------------------------------------
@@ -125,6 +157,39 @@ class PipelineSchedule:
     @property
     def bottleneck(self) -> str:
         return "ngpc" if self.ngpc_batch_ms >= self.rest_batch_ms else "rest"
+
+
+def dma_overhead_ms_batch(app: str, n_pixels, scale_factors) -> np.ndarray:
+    """Vectorized :meth:`NGPC.dma_overhead_ms` over scales x pixels.
+
+    Returns an (S, P) array.  The per-scale growth factor is computed
+    with scalar Python ``**`` (one call per scale) so the result matches
+    the scalar path bit for bit.
+    """
+    if app not in APP_NAMES:
+        raise ValueError(f"unknown app {app!r}")
+    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1)
+    if np.any(pixels <= 0):
+        raise ValueError("n_pixels must be positive")
+    base = fitted.BATCH_OVERHEAD_MS_FHD_AT64[app]
+    growth = np.array(
+        [
+            (64.0 / float(scale)) ** fitted.BATCH_OVERHEAD_SCALE_EXPONENT
+            for scale in np.asarray(scale_factors).reshape(-1)
+        ],
+        dtype=np.float64,
+    ).reshape(-1, 1)
+    return (base * growth) * (pixels / FHD_PIXELS)
+
+
+def pipeline_total_ms_batch(ngpc_time_ms, rest_time_ms, n_batches: int):
+    """Vectorized :attr:`PipelineSchedule.total_ms` (elementwise makespan)."""
+    if n_batches < 1:
+        raise ValueError("need at least one batch")
+    ngpc_batch = ngpc_time_ms / n_batches
+    rest_batch = rest_time_ms / n_batches
+    bottleneck = np.maximum(ngpc_batch, rest_batch)
+    return ngpc_batch + (n_batches - 1) * bottleneck + rest_batch
 
 
 class NGPC:

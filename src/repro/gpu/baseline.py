@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.calibration import fitted, paper
 
@@ -28,10 +30,14 @@ def _check(app: str, scheme: str) -> None:
         raise ValueError(f"unknown scheme {scheme!r}")
 
 
-def baseline_frame_time_ms(app: str, scheme: str, n_pixels: int = FHD_PIXELS) -> float:
-    """End-to-end GPU frame time in milliseconds."""
+def baseline_frame_time_ms(app: str, scheme: str, n_pixels=FHD_PIXELS) -> float:
+    """End-to-end GPU frame time in milliseconds.
+
+    ``n_pixels`` may be a scalar or a NumPy array of pixel counts; times
+    are linear in pixels, so the result broadcasts elementwise.
+    """
     _check(app, scheme)
-    if n_pixels <= 0:
+    if np.any(np.asarray(n_pixels) <= 0):
         raise ValueError("n_pixels must be positive")
     hash_total = paper.BASELINE_FHD_MS[app]
     if scheme == _HASH:
@@ -43,9 +49,12 @@ def baseline_frame_time_ms(app: str, scheme: str, n_pixels: int = FHD_PIXELS) ->
 
 
 def baseline_kernel_times_ms(
-    app: str, scheme: str, n_pixels: int = FHD_PIXELS
+    app: str, scheme: str, n_pixels=FHD_PIXELS
 ) -> Dict[str, float]:
-    """Per-kernel-class times: encoding, mlp, rest and total (ms)."""
+    """Per-kernel-class times: encoding, mlp, rest and total (ms).
+
+    Accepts scalar or array ``n_pixels`` (values broadcast elementwise).
+    """
     total = baseline_frame_time_ms(app, scheme, n_pixels)
     enc_f, mlp_f, rest_f = fitted.KERNEL_FRACTIONS[(app, scheme)]
     return {

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 from repro.apps.params import AppConfig
 from repro.calibration import fitted, paper
 
@@ -70,9 +72,14 @@ class KernelTrace:
         return sum(l.calls for l in self.launches if l.kind == kind)
 
 
-def samples_per_frame(config: AppConfig, n_pixels: int) -> float:
-    """Network evaluations per frame: pixels x samples-per-pixel."""
-    if n_pixels <= 0:
+def samples_per_frame(config: AppConfig, n_pixels) -> float:
+    """Network evaluations per frame: pixels x samples-per-pixel.
+
+    ``n_pixels`` may be a scalar or a NumPy array (the batched sweep
+    engine broadcasts over pixel counts); the return value has the same
+    shape.
+    """
+    if np.any(np.asarray(n_pixels) <= 0):
         raise ValueError("n_pixels must be positive")
     return n_pixels * fitted.SAMPLES_PER_PIXEL[config.app]
 

@@ -6,7 +6,13 @@ from repro.workloads.framegen import (
     frame_budget_ms,
     standard_workloads,
 )
-from repro.workloads.sweep import SweepPoint, full_sweep, scale_sweep
+from repro.workloads.sweep import (
+    SweepPoint,
+    full_sweep,
+    full_sweep_batched,
+    grid_sweep,
+    scale_sweep,
+)
 
 __all__ = [
     "FrameWorkload",
@@ -15,5 +21,7 @@ __all__ = [
     "standard_workloads",
     "SweepPoint",
     "full_sweep",
+    "full_sweep_batched",
+    "grid_sweep",
     "scale_sweep",
 ]

@@ -1,4 +1,21 @@
-"""Parameter sweeps over the (app, scheme, scale) evaluation space."""
+"""Parameter sweeps over the (app, scheme, scale, pixels) evaluation space.
+
+Two ways to sweep:
+
+- the legacy generators :func:`scale_sweep` / :func:`full_sweep`, which
+  yield one :class:`SweepPoint` per memoized scalar
+  :func:`~repro.core.emulator.emulate` call — convenient for streaming
+  consumption;
+- the batched engine: :func:`grid_sweep` evaluates a whole
+  :class:`~repro.core.dse.SweepGrid` in one vectorized call and returns
+  a :class:`~repro.core.dse.SweepResult` of dense arrays, and
+  :func:`full_sweep_batched` is a drop-in replacement for
+  :func:`full_sweep` backed by that engine (same points, one NumPy
+  evaluation instead of a Python loop per point).
+
+Both paths are numerically identical; ``tests/test_sweep_engine.py``
+enforces the equivalence.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +24,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.config import SCALE_FACTORS
+from repro.core.dse import SweepGrid, SweepResult, sweep_grid
 from repro.core.emulator import EmulationResult, emulate
 from repro.gpu.baseline import FHD_PIXELS
 
@@ -46,3 +64,35 @@ def full_sweep(
     for scheme in schemes or ENCODING_SCHEMES:
         for app in APP_NAMES:
             yield from scale_sweep(app, scheme, scales, n_pixels)
+
+
+def grid_sweep(
+    grid: Optional[SweepGrid] = None,
+    engine: str = "vectorized",
+) -> SweepResult:
+    """Evaluate a whole :class:`SweepGrid` in one batched call."""
+    return sweep_grid(grid, engine=engine)
+
+
+def full_sweep_batched(
+    schemes: Optional[Sequence[str]] = None,
+    scales: Sequence[int] = SCALE_FACTORS,
+    n_pixels: int = FHD_PIXELS,
+) -> Iterator[SweepPoint]:
+    """Drop-in :func:`full_sweep` served by one vectorized evaluation."""
+    grid = SweepGrid(
+        apps=APP_NAMES,
+        schemes=tuple(schemes or ENCODING_SCHEMES),
+        scale_factors=tuple(scales),
+        pixel_counts=(n_pixels,),
+    )
+    result = sweep_grid(grid)
+    for scheme in grid.schemes:
+        for app in grid.apps:
+            for scale in grid.scale_factors:
+                yield SweepPoint(
+                    app=app,
+                    scheme=scheme,
+                    scale_factor=scale,
+                    result=result.point(app, scheme, scale, n_pixels),
+                )

@@ -3,6 +3,22 @@
 import numpy as np
 import pytest
 
+from repro.core.cache import clear_model_caches
+
+
+@pytest.fixture(autouse=True)
+def fresh_model_caches():
+    """Clear the model memoization layer between tests.
+
+    Every test starts from a cold cache so a stale cached result can
+    never mask a bug in the underlying model; the teardown clear keeps
+    the last test's entries from leaking into interactive sessions that
+    import the suite.
+    """
+    clear_model_caches()
+    yield
+    clear_model_caches()
+
 
 @pytest.fixture
 def rng():

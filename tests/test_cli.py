@@ -29,6 +29,34 @@ class TestSweepCommand:
             assert app in out
 
 
+class TestDseCommand:
+    def test_grid_with_pareto_column(self, capsys):
+        assert main(["dse"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+        for scale in (8, 16, 32, 64):
+            assert f"NGPC-{scale}" in out
+
+    def test_fps_constraint_query(self, capsys):
+        assert main(["dse", "--fps", "60", "--pixels", "8294400"]) == 0
+        out = capsys.readouterr().out
+        assert "cheapest configuration meeting 60 FPS" in out
+        assert "NGPC-64" in out  # NeRF needs the largest cluster at 4K
+
+    def test_scalar_engine(self, capsys):
+        assert main(["dse", "--engine", "scalar"]) == 0
+        assert "engine=scalar" in capsys.readouterr().out
+
+    def test_rejects_bad_engine(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--engine", "gpu"])
+
+    @pytest.mark.parametrize("fps", ("0", "-5"))
+    def test_rejects_non_positive_fps(self, fps):
+        with pytest.raises(SystemExit):
+            main(["dse", "--fps", fps])
+
+
 class TestExperimentsCommand:
     def test_single_experiment(self, capsys):
         assert main(["experiments", "fusion"]) == 0

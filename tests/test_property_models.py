@@ -93,9 +93,10 @@ class TestBaselineInvariants:
 
 
 class TestEngineInvariants:
-    @given(apps, schemes, st.integers(1, 16))
+    @given(apps, schemes, st.sampled_from([1, 2, 4, 8, 16]))
     @settings(max_examples=20, deadline=None)
     def test_encoding_time_inverse_in_scale(self, app, scheme, factor):
+        # scale factors must be powers of two (NGPCConfig validation)
         config = get_config(app, scheme)
         t1 = encoding_engine_time_ms(config, ngpc=NGPCConfig(scale_factor=8))
         t2 = encoding_engine_time_ms(

@@ -1,0 +1,371 @@
+"""Equivalence + property harness for the batched DSE engine.
+
+The batched NumPy paths must be numerically identical to the scalar
+emulator over the whole (app, scheme, scale, pixels) space; hypothesis
+draws the sample.  Also covered here: the hardware ``shift_modulo``
+against true ``%``, Pareto-front invariants, the memoization layer, the
+process-pool engine, and the new power-of-two configuration validation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sensitivity import perturbed_overheads
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.cache import cache_stats, clear_model_caches
+from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
+from repro.core.dse import (
+    SweepGrid,
+    cheapest_meeting_fps,
+    pareto_front,
+    smallest_scale_for_fps,
+    sweep_grid,
+)
+from repro.core.emulator import emulate, emulate_batch, emulate_uncached
+from repro.core.encoding_engine import shift_modulo
+from repro.core.energy import energy_per_frame, energy_per_frame_batch
+from repro.workloads.sweep import full_sweep, full_sweep_batched
+
+RTOL = 1e-9
+
+apps = st.sampled_from(APP_NAMES)
+schemes = st.sampled_from(ENCODING_SCHEMES)
+scales = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128])
+pixels = st.integers(min_value=1, max_value=3840 * 2160 * 4)
+
+_FIELDS = (
+    "baseline_ms",
+    "accelerated_ms",
+    "encoding_engine_ms",
+    "mlp_engine_ms",
+    "dma_ms",
+    "fused_rest_ms",
+)
+
+
+class TestBatchedEqualsScalar:
+    @given(apps, schemes, scales, pixels)
+    @settings(max_examples=60, deadline=None)
+    def test_single_point(self, app, scheme, scale, n_pixels):
+        scalar = emulate_uncached(app, scheme, scale, n_pixels)
+        block = emulate_batch(app, scheme, (scale,), (n_pixels,))
+        for name in _FIELDS:
+            assert float(block[name][0, 0]) == pytest.approx(
+                getattr(scalar, name), rel=RTOL
+            ), name
+        assert float(block["speedup"][0, 0]) == pytest.approx(
+            scalar.speedup, rel=RTOL
+        )
+        assert float(block["amdahl_bound"]) == pytest.approx(
+            scalar.amdahl_bound, rel=RTOL
+        )
+
+    @given(
+        st.lists(scales, min_size=1, max_size=4, unique=True),
+        st.lists(pixels, min_size=1, max_size=4, unique=True),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_plane(self, scale_list, pixel_list):
+        """A whole (S, P) plane agrees with the per-point scalar loop."""
+        block = emulate_batch(
+            "nerf", "multi_res_hashgrid", scale_list, pixel_list
+        )
+        for k, scale in enumerate(scale_list):
+            for l, n_pixels in enumerate(pixel_list):
+                scalar = emulate_uncached(
+                    "nerf", "multi_res_hashgrid", scale, n_pixels
+                )
+                assert float(block["accelerated_ms"][k, l]) == pytest.approx(
+                    scalar.accelerated_ms, rel=RTOL
+                )
+
+    def test_engines_agree_bit_for_bit(self):
+        grid = SweepGrid(
+            apps=APP_NAMES,
+            schemes=ENCODING_SCHEMES,
+            scale_factors=SCALE_FACTORS,
+            pixel_counts=(518_400, 2_073_600),
+        )
+        vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+        scal = sweep_grid(grid, engine="scalar", use_cache=False)
+        for name in _FIELDS + ("amdahl_bound",):
+            np.testing.assert_allclose(
+                getattr(vec, name), getattr(scal, name), rtol=RTOL, atol=0.0
+            )
+
+    def test_engines_honor_ngpc_override(self):
+        """A non-default NGPCConfig reaches every engine, not just vectorized."""
+        grid = SweepGrid(
+            apps=("nerf",),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8,),
+            pixel_counts=(2_073_600,),
+        )
+        override = NGPCConfig(n_pipeline_batches=4)
+        vec = sweep_grid(grid, engine="vectorized", ngpc=override, use_cache=False)
+        scal = sweep_grid(grid, engine="scalar", ngpc=override, use_cache=False)
+        default = sweep_grid(grid, engine="scalar", use_cache=False)
+        np.testing.assert_allclose(
+            vec.accelerated_ms, scal.accelerated_ms, rtol=RTOL, atol=0.0
+        )
+        assert float(scal.accelerated_ms[0, 0, 0, 0]) != pytest.approx(
+            float(default.accelerated_ms[0, 0, 0, 0]), rel=1e-3
+        )
+
+    def test_cached_result_arrays_are_frozen(self):
+        result = sweep_grid()
+        with pytest.raises(ValueError):
+            result.accelerated_ms[0, 0, 0, 0] = 0.0
+
+    def test_process_engine_agrees(self):
+        grid = SweepGrid(
+            apps=("gia", "nvr"),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8, 64),
+            pixel_counts=(2_073_600,),
+        )
+        vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+        proc = sweep_grid(grid, engine="process", max_workers=2, use_cache=False)
+        for name in _FIELDS:
+            np.testing.assert_allclose(
+                getattr(vec, name), getattr(proc, name), rtol=RTOL, atol=0.0
+            )
+
+    def test_full_sweep_batched_matches_generator(self):
+        batched = list(full_sweep_batched(schemes=["multi_res_hashgrid"]))
+        scalar = list(full_sweep(schemes=["multi_res_hashgrid"]))
+        assert len(batched) == len(scalar)
+        for b, s in zip(batched, scalar):
+            assert (b.app, b.scheme, b.scale_factor) == (
+                s.app,
+                s.scheme,
+                s.scale_factor,
+            )
+            assert b.result.accelerated_ms == pytest.approx(
+                s.result.accelerated_ms, rel=RTOL
+            )
+
+    @given(apps, scales, pixels)
+    @settings(max_examples=20, deadline=None)
+    def test_energy_batch_equals_scalar(self, app, scale, n_pixels):
+        scalar = energy_per_frame(app, "multi_res_hashgrid", scale, n_pixels)
+        block = energy_per_frame_batch(
+            app, "multi_res_hashgrid", (scale,), (n_pixels,)
+        )
+        for name in (
+            "baseline_mj",
+            "accelerated_mj",
+            "baseline_fps_per_watt",
+            "accelerated_fps_per_watt",
+        ):
+            assert float(block[name][0, 0]) == pytest.approx(
+                getattr(scalar, name), rel=RTOL
+            ), name
+
+
+class TestShiftModulo:
+    @given(
+        st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=64),
+        st.integers(0, 32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_true_modulo_for_all_power_of_two_sizes(self, values, log2_t):
+        table_size = 1 << log2_t
+        arr = np.asarray(values, dtype=np.uint64)
+        expected = arr % np.uint64(table_size) if table_size > 1 else arr * 0
+        np.testing.assert_array_equal(shift_modulo(arr, table_size), expected)
+
+    @given(st.integers(2, 2**24).filter(lambda v: v & (v - 1) != 0))
+    @settings(max_examples=30, deadline=None)
+    def test_rejects_non_power_of_two(self, table_size):
+        with pytest.raises(ValueError):
+            shift_modulo(np.asarray([1, 2, 3]), table_size)
+
+
+class TestParetoFront:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 100.0, allow_nan=False),
+                st.floats(0.1, 100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_front_is_nondominated_and_sorted(self, points):
+        costs = [c for c, _ in points]
+        values = [v for _, v in points]
+        front = pareto_front(costs, values)
+        assert front, "the front is never empty"
+        # sorted by ascending cost
+        front_costs = [costs[i] for i in front]
+        assert front_costs == sorted(front_costs)
+        # no member dominated by any other point
+        for i in front:
+            for j in range(len(points)):
+                if j == i:
+                    continue
+                dominates = (
+                    costs[j] <= costs[i]
+                    and values[j] >= values[i]
+                    and (costs[j] < costs[i] or values[j] > values[i])
+                )
+                assert not dominates
+        # every excluded point is strictly dominated by a front member
+        excluded = set(range(len(points))) - set(front)
+        for i in excluded:
+            assert any(
+                costs[j] <= costs[i]
+                and values[j] >= values[i]
+                and (costs[j] < costs[i] or values[j] > values[i])
+                for j in front
+            )
+
+    def test_duplicates_kept(self):
+        front = pareto_front([1.0, 1.0, 2.0], [5.0, 5.0, 4.0])
+        assert sorted(front) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pareto_front([[1.0]], [[2.0]])
+
+    def test_sweep_result_front(self):
+        result = sweep_grid()
+        front = result.pareto_front("multi_res_hashgrid")
+        areas = [p.area_overhead_pct for p in front]
+        assert areas == sorted(areas)
+        speeds = [p.average_speedup for p in front]
+        assert speeds == sorted(speeds)  # on this grid: bigger buys more
+
+
+class TestConstraintQueries:
+    def test_cheapest_matches_legacy_smallest_scale(self):
+        for app in APP_NAMES:
+            for fps in (30.0, 60.0, 240.0):
+                legacy = smallest_scale_for_fps(app, fps, 3840 * 2160)
+                hit = cheapest_meeting_fps(app, fps, 3840 * 2160)
+                assert (hit.scale_factor if hit else None) == legacy
+
+    def test_unreachable_returns_none(self):
+        assert cheapest_meeting_fps("nerf", 10_000.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cheapest_meeting_fps("nerf", 0.0)
+
+    def test_grid_query_api(self):
+        result = sweep_grid()
+        scale = result.cheapest_meeting_fps(
+            "gia", 60.0, scheme="multi_res_hashgrid"
+        )
+        assert scale == 8
+        with pytest.raises(KeyError):
+            result.point("gia", "multi_res_hashgrid", 8, 12345)
+
+
+class TestMemoization:
+    def test_cache_hit_returns_identical_object(self):
+        cold = emulate("nerf", "multi_res_hashgrid", 8)
+        warm = emulate("nerf", "multi_res_hashgrid", 8)
+        assert warm is cold
+        stats = cache_stats()["emulate"]
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_clear_breaks_identity_but_not_equality(self):
+        cold = emulate("nerf", "multi_res_hashgrid", 8)
+        clear_model_caches()
+        fresh = emulate("nerf", "multi_res_hashgrid", 8)
+        assert fresh is not cold
+        assert fresh == cold  # frozen dataclass: same values
+
+    def test_sweep_cache_returns_identical_result(self):
+        first = sweep_grid()
+        second = sweep_grid()
+        assert second is first
+        assert sweep_grid(use_cache=False) is not first
+
+    def test_perturbed_calibration_bypasses_cache(self):
+        """The fingerprint keeps sensitivity contexts cache-safe."""
+        nominal = emulate("nerf", "multi_res_hashgrid", 8)
+        with perturbed_overheads(2.0):
+            perturbed = emulate("nerf", "multi_res_hashgrid", 8)
+            assert perturbed.dma_ms == pytest.approx(2 * nominal.dma_ms, rel=RTOL)
+        restored = emulate("nerf", "multi_res_hashgrid", 8)
+        assert restored.accelerated_ms == pytest.approx(
+            nominal.accelerated_ms, rel=RTOL
+        )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("scale", (3, 6, 12, 24, 48, 96))
+    def test_non_power_of_two_scale_rejected(self, scale):
+        with pytest.raises(ValueError, match="power of two"):
+            NGPCConfig(scale_factor=scale)
+
+    @pytest.mark.parametrize("scale", (1, 2, 4, 8, 16, 32, 64, 128))
+    def test_power_of_two_scale_accepted(self, scale):
+        assert NGPCConfig(scale_factor=scale).n_nfps == scale
+
+    def test_non_positive_scale_still_rejected(self):
+        with pytest.raises(ValueError):
+            NGPCConfig(scale_factor=0)
+
+    @pytest.mark.parametrize("kb", (3, 100, 1000, 1536))
+    def test_non_power_of_two_grid_sram_rejected(self, kb):
+        with pytest.raises(ValueError, match="power of two"):
+            NFPConfig(grid_sram_kb_per_engine=kb)
+
+    def test_non_power_of_two_activation_sram_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            NFPConfig(activation_sram_kb=96)
+
+    def test_batch_path_applies_same_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            emulate_batch("nerf", "multi_res_hashgrid", (8, 12))
+        with pytest.raises(ValueError, match="power of two"):
+            SweepGrid(scale_factors=(24,))
+
+
+class TestSweepGrid:
+    def test_shape_size_points(self):
+        grid = SweepGrid(
+            apps=("nerf",),
+            schemes=("multi_res_hashgrid", "low_res_densegrid"),
+            scale_factors=(8, 64),
+            pixel_counts=(1000, 2000, 3000),
+        )
+        assert grid.shape == (1, 2, 2, 3)
+        assert grid.size == 12
+        assert len(list(grid.points())) == 12
+
+    def test_rejects_unknown_axes(self):
+        with pytest.raises(ValueError):
+            SweepGrid(apps=("dlss",))
+        with pytest.raises(ValueError):
+            SweepGrid(schemes=("octree",))
+        with pytest.raises(ValueError):
+            SweepGrid(pixel_counts=(0,))
+        with pytest.raises(ValueError):
+            SweepGrid(apps=())
+
+    def test_point_reconstruction_matches_scalar(self):
+        result = sweep_grid()
+        for app in APP_NAMES:
+            rebuilt = result.point(app, "multi_res_hashgrid", 32, 1920 * 1080)
+            scalar = emulate_uncached(app, "multi_res_hashgrid", 32)
+            assert rebuilt.speedup == pytest.approx(scalar.speedup, rel=RTOL)
+            assert rebuilt.amdahl_bound == pytest.approx(
+                scalar.amdahl_bound, rel=RTOL
+            )
+
+    def test_to_records_flat_view(self):
+        result = sweep_grid(
+            SweepGrid(apps=("gia",), pixel_counts=(100, 200))
+        )
+        records = result.to_records()
+        assert len(records) == result.grid.size
+        assert {r["n_pixels"] for r in records} == {100, 200}

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate the golden constants of ``tests/test_golden_values.py``.
+
+Prints the ``GOLDEN_*`` dictionaries with full float precision
+(``repr`` round-trips exactly).  Run after an *intentional* model
+change, paste the output into the test module, and record the reason in
+the commit message — the golden net exists precisely so that this step
+is loud and deliberate.
+
+Usage:  PYTHONPATH=src python tools/freeze_golden_values.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.area_power import ngpc_area_power
+from repro.core.config import NGPCConfig, SCALE_FACTORS
+from repro.core.emulator import emulate
+from repro.core.encoding_engine import encoding_kernel_speedup
+from repro.core.mlp_engine import mlp_kernel_speedup
+from repro.core.ngpc import bandwidth_model
+
+
+def main() -> None:
+    print("# (app, scale) -> per-frame emulator decomposition, hashgrid @ FHD")
+    print("GOLDEN_EMULATE = {")
+    for app in APP_NAMES:
+        for scale in SCALE_FACTORS:
+            r = emulate(app, "multi_res_hashgrid", scale)
+            print(f"    ({app!r}, {scale}): {{")
+            for name in ("baseline_ms", "accelerated_ms", "encoding_engine_ms",
+                         "mlp_engine_ms", "dma_ms", "fused_rest_ms"):
+                print(f"        {name!r}: {getattr(r, name)!r},")
+            print("    },")
+    print("}\n")
+
+    print("# scheme -> scale -> four-app average end-to-end speedup (Fig. 12)")
+    print("GOLDEN_FIG12_AVERAGE = {")
+    for scheme in ENCODING_SCHEMES:
+        print(f"    {scheme!r}: {{")
+        for scale in SCALE_FACTORS:
+            speedups = [emulate(a, scheme, scale).speedup for a in APP_NAMES]
+            print(f"        {scale}: {sum(speedups) / len(speedups)!r},")
+        print("    },")
+    print("}\n")
+
+    print("# scheme -> four-app mean kernel speedups at scale 64 (Fig. 13)")
+    print("GOLDEN_FIG13_AT_64 = {")
+    for scheme in ENCODING_SCHEMES:
+        enc = sum(encoding_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        mlp = sum(mlp_kernel_speedup(a, scheme, 64) for a in APP_NAMES) / 4
+        print(f"    {scheme!r}: {{'encoding': {enc!r}, 'mlp': {mlp!r}}},")
+    print("}\n")
+
+    print("# app -> NGPC IO bandwidth at 4K 60 FPS (Table III)")
+    print("GOLDEN_BANDWIDTH = {")
+    for app in APP_NAMES:
+        r = bandwidth_model(app)
+        print(f"    {app!r}: {{")
+        print(f"        'input_gbps': {r.input_gbps!r},")
+        print(f"        'output_gbps': {r.output_gbps!r},")
+        print(f"        'total_gbps': {r.total_gbps!r},")
+        print(f"        'access_time_ms': {r.access_time_ms!r},")
+        print("    },")
+    print("}\n")
+
+    print("# scale -> NGPC area/power at 7 nm (Fig. 15)")
+    print("GOLDEN_AREA_POWER = {")
+    for scale in SCALE_FACTORS:
+        r = ngpc_area_power(NGPCConfig(scale_factor=scale))
+        print(f"    {scale}: {{'area_mm2_7nm': {r.area_mm2_7nm!r}, "
+              f"'power_w_7nm': {r.power_w_7nm!r}}},")
+    print("}")
+
+
+if __name__ == "__main__":
+    main()

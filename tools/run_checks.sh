@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full pytest suite plus a smoke run of the
+# sweep-scaling benchmark (the >= 10x batched-DSE acceptance check runs
+# in --quick mode here; run the benchmark without --quick for the full
+# 1000-point gate).
+#
+# Usage:  bash tools/run_checks.sh
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== sweep-scaling benchmark (smoke) =="
+python benchmarks/bench_sweep_scaling.py --quick
