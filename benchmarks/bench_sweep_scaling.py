@@ -1,24 +1,37 @@
 #!/usr/bin/env python
 """Wall-clock scaling of the batched DSE engine vs the naive loop.
 
-The acceptance gate of the batched sweep engine: on a >= 1000-point
-(app x scheme x scale x pixels) grid the vectorized engine must beat the
-per-point scalar loop by >= 10x wall-clock, while agreeing to 1e-9
-relative (the correctness side is pinned by ``tests/test_golden_values``
-and ``tests/test_sweep_engine``; this file re-checks a sample so a
-regression cannot hide behind a fast-but-wrong path).
+Two acceptance gates guard the sweep engine:
+
+1. On a >= 1000-point (app x scheme x scale x pixels) workload grid the
+   vectorized engine must beat the per-point scalar loop by >= 10x
+   wall-clock.
+2. On a >= 50k-point grid that also sweeps the architecture axes
+   (clock, grid SRAM, engine count, pipeline batches), the block-sharded
+   ``"process"`` engine must beat the scalar engine by >= 10x, and
+   :func:`repro.core.dse.pareto_front` over 100k points must finish in
+   under a second.
+
+Both sides agree to 1e-9 relative (the correctness net is
+``tests/test_golden_values`` + ``tests/test_sweep_engine``; this file
+re-checks a sample so a regression cannot hide behind a fast-but-wrong
+path).  Results are also written to ``BENCH_sweep.json`` (points/sec per
+engine, grid sizes, speedups) so the perf trajectory stays
+machine-readable across PRs.
 
 Run as a script:
 
     PYTHONPATH=src python benchmarks/bench_sweep_scaling.py          # full gate
     PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --quick  # CI smoke
 
-Exits non-zero when the speedup floor is missed.
+Exits non-zero when a floor is missed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -26,13 +39,18 @@ import numpy as np
 
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.config import SCALE_FACTORS
-from repro.core.dse import SweepGrid, sweep_grid
+from repro.core.dse import SweepGrid, pareto_front, sweep_grid
 from repro.core.emulator import emulate_uncached
 
-#: wall-clock floor for the full >= 1000-point gate
+#: wall-clock floor for the full >= 1000-point vectorized gate
 SPEEDUP_FLOOR = 10.0
 #: smoke floor for --quick (smaller grid: fixed per-block overhead weighs more)
 QUICK_SPEEDUP_FLOOR = 5.0
+#: floor for the block-parallel engine over the scalar engine on the
+#: >= 50k-point architecture grid (full mode only)
+PROCESS_SPEEDUP_FLOOR = 10.0
+#: ceiling for a 100k-point Pareto front
+PARETO_100K_CEILING_S = 1.0
 
 
 def build_grid(n_pixel_steps: int) -> SweepGrid:
@@ -48,19 +66,39 @@ def build_grid(n_pixel_steps: int) -> SweepGrid:
     )
 
 
+def build_architecture_grid(quick: bool) -> SweepGrid:
+    """The architecture-axis hypercube: >= 50k points in full mode."""
+    n_pixel_steps = 2 if quick else 7
+    clocks = (0.9, 1.695) if quick else (0.6, 0.9, 1.2, 1.695, 2.0)
+    srams = (512, 1024) if quick else (256, 512, 1024, 2048)
+    batches = (8, 16) if quick else (4, 8, 16, 32)
+    return SweepGrid(
+        apps=APP_NAMES,
+        schemes=ENCODING_SCHEMES,
+        scale_factors=SCALE_FACTORS,
+        pixel_counts=tuple(
+            int(p) for p in np.linspace(518_400, 3840 * 2160, n_pixel_steps)
+        ),
+        clocks_ghz=clocks,
+        grid_sram_kb=srams,
+        n_engines=(8, 16),
+        n_batches=batches,
+    )
+
+
 def time_naive_loop(grid: SweepGrid) -> float:
     """The seed-era sweep: one uncached scalar emulation per grid point."""
     start = time.perf_counter()
-    for app, scheme, scale, n_pixels in grid.points():
+    for app, scheme, scale, n_pixels, _, _, _, _ in grid.points():
         emulate_uncached(app, scheme, scale, n_pixels)
     return time.perf_counter() - start
 
 
-def time_batched(grid: SweepGrid, repeats: int = 3) -> float:
+def time_engine(grid: SweepGrid, engine: str, repeats: int = 1, **kwargs) -> float:
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        sweep_grid(grid, use_cache=False)
+        sweep_grid(grid, engine=engine, use_cache=False, **kwargs)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -72,28 +110,61 @@ def time_cached(grid: SweepGrid) -> float:
     return time.perf_counter() - start
 
 
-def check_sample_agreement(grid: SweepGrid) -> None:
-    result = sweep_grid(grid)
+def time_pareto_100k() -> float:
+    rng = np.random.default_rng(0)
+    costs = rng.uniform(0.1, 100.0, 100_000)
+    values = rng.uniform(0.1, 100.0, 100_000)
+    start = time.perf_counter()
+    front = pareto_front(costs, values)
+    elapsed = time.perf_counter() - start
+    assert front, "front of a random cloud is never empty"
+    return elapsed
+
+
+def check_sample_agreement(result) -> None:
+    from repro.core.config import NFPConfig, NGPCConfig
+    from repro.core.emulator import Emulator
+
+    grid = result.grid
     rng = np.random.default_rng(0)
     for _ in range(10):
-        app = grid.apps[rng.integers(len(grid.apps))]
-        scheme = grid.schemes[rng.integers(len(grid.schemes))]
-        scale = grid.scale_factors[rng.integers(len(grid.scale_factors))]
-        n_pixels = grid.pixel_counts[rng.integers(len(grid.pixel_counts))]
-        batched = result.point(app, scheme, scale, n_pixels)
-        scalar = emulate_uncached(app, scheme, scale, n_pixels)
-        rel = abs(batched.accelerated_ms - scalar.accelerated_ms) / scalar.accelerated_ms
-        assert rel <= 1e-9, (app, scheme, scale, n_pixels, rel)
+        idx = tuple(rng.integers(n) for n in grid.shape)
+        i, j, k, l, c, g, e, b = idx
+        nfp = NFPConfig(
+            clock_ghz=grid.clocks_ghz[c],
+            grid_sram_kb_per_engine=grid.grid_sram_kb[g],
+            n_encoding_engines=grid.n_engines[e],
+        )
+        config = NGPCConfig(
+            scale_factor=grid.scale_factors[k],
+            nfp=nfp,
+            n_pipeline_batches=grid.n_batches[b],
+        )
+        scalar = Emulator(config).run(
+            grid.apps[i], grid.schemes[j], grid.pixel_counts[l]
+        )
+        batched = float(result.accelerated_ms[idx])
+        rel = abs(batched - scalar.accelerated_ms) / scalar.accelerated_ms
+        assert rel <= 1e-9, (idx, rel)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI smoke: smaller grid, relaxed floor",
+        help="CI smoke: smaller grids, relaxed floors, no scalar arch gate",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_sweep.json",
+        help="machine-readable results file (default: %(default)s)",
     )
     args = parser.parse_args(argv)
 
+    n_workers = os.cpu_count() or 1
+    results = {"quick": args.quick, "process_workers": n_workers}
+    failures = []
+
+    # -- gate 1: vectorized vs naive on the workload grid ------------------
     n_pixel_steps = 6 if args.quick else 21
     floor = QUICK_SPEEDUP_FLOOR if args.quick else SPEEDUP_FLOOR
     grid = build_grid(n_pixel_steps)
@@ -102,12 +173,22 @@ def main(argv=None) -> int:
 
     emulate_uncached("nerf", "multi_res_hashgrid", 8)  # warm calibration caches
     naive_s = time_naive_loop(grid)
-    batched_s = time_batched(grid)
+    batched_s = time_engine(grid, "vectorized", repeats=3)
     cached_s = time_cached(grid)
-    check_sample_agreement(grid)
+    check_sample_agreement(sweep_grid(grid))  # memoized: the timed result
     speedup = naive_s / batched_s
+    results["workload_grid"] = {
+        "points": grid.size,
+        "naive_s": naive_s,
+        "vectorized_s": batched_s,
+        "cached_requery_s": cached_s,
+        "naive_points_per_sec": grid.size / naive_s,
+        "vectorized_points_per_sec": grid.size / batched_s,
+        "speedup_vectorized_vs_naive": speedup,
+        "floor": floor,
+    }
 
-    print(f"grid: {grid.size} points "
+    print(f"workload grid: {grid.size} points "
           f"({len(grid.apps)} apps x {len(grid.schemes)} schemes x "
           f"{len(grid.scale_factors)} scales x {len(grid.pixel_counts)} resolutions)")
     print(f"  naive per-point loop : {naive_s * 1e3:9.2f} ms "
@@ -116,10 +197,87 @@ def main(argv=None) -> int:
           f"({batched_s / grid.size * 1e6:7.1f} us/point)")
     print(f"  memoized re-query    : {cached_s * 1e3:9.2f} ms")
     print(f"  speedup              : {speedup:9.1f}x (floor {floor:.0f}x)")
-    print("  agreement            : batched == scalar to 1e-9 rel (10-point sample)")
-
     if speedup < floor:
-        print(f"FAIL: batched sweep only {speedup:.1f}x faster (< {floor:.0f}x)")
+        failures.append(
+            f"vectorized sweep only {speedup:.1f}x faster than naive (< {floor:.0f}x)"
+        )
+
+    # -- gate 2: block-parallel vs scalar on the architecture grid ---------
+    arch = build_architecture_grid(args.quick)
+    if not args.quick and arch.size < 50_000:
+        raise AssertionError(
+            f"architecture gate requires >= 50k points, built {arch.size}"
+        )
+    arch_shape = "x".join(str(n) for n in arch.shape)
+    print(f"\narchitecture grid: {arch.size} points ({arch_shape})")
+    start = time.perf_counter()
+    arch_result = sweep_grid(arch, engine="vectorized", use_cache=False)
+    vectorized_s = time.perf_counter() - start
+    start = time.perf_counter()
+    proc_result = sweep_grid(arch, engine="process", use_cache=False)
+    process_s = time.perf_counter() - start
+    check_sample_agreement(arch_result)
+    # the timed process run must also be numerically right — a fast but
+    # wrong block reassembly may not clear the gate
+    np.testing.assert_allclose(
+        proc_result.accelerated_ms, arch_result.accelerated_ms,
+        rtol=1e-9, atol=0.0,
+    )
+    results["architecture_grid"] = {
+        "points": arch.size,
+        "shape": list(arch.shape),
+        "vectorized_s": vectorized_s,
+        "process_s": process_s,
+        "vectorized_points_per_sec": arch.size / vectorized_s,
+        "process_points_per_sec": arch.size / process_s,
+    }
+    print(f"  vectorized           : {vectorized_s * 1e3:9.2f} ms "
+          f"({arch.size / vectorized_s / 1e6:7.2f} Mpoints/s)")
+    print(f"  block-parallel       : {process_s * 1e3:9.2f} ms "
+          f"({arch.size / process_s / 1e6:7.2f} Mpoints/s, "
+          f"{n_workers} worker(s))")
+    if args.quick:
+        print("  scalar engine        : skipped (--quick)")
+    else:
+        scalar_s = time_engine(arch, "scalar")
+        process_speedup = scalar_s / process_s
+        results["architecture_grid"].update(
+            scalar_s=scalar_s,
+            scalar_points_per_sec=arch.size / scalar_s,
+            speedup_process_vs_scalar=process_speedup,
+            floor=PROCESS_SPEEDUP_FLOOR,
+        )
+        print(f"  scalar engine        : {scalar_s * 1e3:9.2f} ms "
+              f"({scalar_s / arch.size * 1e6:7.1f} us/point)")
+        print(f"  process vs scalar    : {process_speedup:9.1f}x "
+              f"(floor {PROCESS_SPEEDUP_FLOOR:.0f}x)")
+        if process_speedup < PROCESS_SPEEDUP_FLOOR:
+            failures.append(
+                f"block-parallel engine only {process_speedup:.1f}x faster than "
+                f"scalar (< {PROCESS_SPEEDUP_FLOOR:.0f}x)"
+            )
+
+    # -- gate 3: vectorized pareto front on 100k points --------------------
+    pareto_s = time_pareto_100k()
+    results["pareto_100k_s"] = pareto_s
+    results["pareto_100k_ceiling_s"] = PARETO_100K_CEILING_S
+    print(f"\npareto front, 100k points: {pareto_s * 1e3:.1f} ms "
+          f"(ceiling {PARETO_100K_CEILING_S * 1e3:.0f} ms)")
+    if pareto_s >= PARETO_100K_CEILING_S:
+        failures.append(
+            f"pareto_front on 100k points took {pareto_s:.2f}s (>= 1s)"
+        )
+
+    print("\nagreement: batched == scalar to 1e-9 rel (10-point sample)")
+    results["failures"] = failures
+    with open(args.output, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
         return 1
     print("PASS")
     return 0
@@ -131,7 +289,19 @@ def bench_sweep_scaling(benchmark):
     result = benchmark(sweep_grid, grid, use_cache=False)
     assert result.grid.size >= 1000
     naive_s = time_naive_loop(grid)
-    assert naive_s / time_batched(grid, repeats=1) >= SPEEDUP_FLOOR
+    assert naive_s / time_engine(grid, "vectorized") >= SPEEDUP_FLOOR
+
+
+def bench_block_parallel_architecture_grid(benchmark):
+    """pytest-benchmark hook: the block-parallel engine on the arch grid."""
+    grid = build_architecture_grid(quick=True)
+    result = benchmark(
+        sweep_grid, grid, engine="process", use_cache=False, max_workers=2
+    )
+    vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+    np.testing.assert_allclose(
+        result.accelerated_ms, vec.accelerated_ms, rtol=1e-9, atol=0.0
+    )
 
 
 if __name__ == "__main__":

@@ -77,10 +77,10 @@ def design_space_section() -> List[str]:
             for app in grid.apps
         ]
         avg = sum(speedups) / len(speedups)
-        area = float(result.area_overhead_pct[k])
+        area = float(result.area_overhead_pct[k, 0, 0, 0])
         lines.append(
             f"| NGPC-{scale} | {area:.2f}% | "
-            f"{result.power_overhead_pct[k]:.2f}% | {avg:.2f}x | "
+            f"{result.power_overhead_pct[k, 0, 0, 0]:.2f}% | {avg:.2f}x | "
             f"{avg / area:.2f} | "
             f"{'yes' if scale in front else 'no'} |"
         )
@@ -101,8 +101,48 @@ def design_space_section() -> List[str]:
             point = result.point(app, scheme, scale, n_pixels)
             lines.append(
                 f"| {app} | NGPC-{scale} | "
-                f"{result.area_overhead_pct[k]:.2f}% | "
+                f"{result.area_overhead_pct[k, 0, 0, 0]:.2f}% | "
                 f"{point.speedup:.2f}x |"
+            )
+    return lines
+
+
+def architecture_sweep_section() -> List[str]:
+    """Architecture-axis sweep: clock x grid-SRAM trade-off at NGPC-8.
+
+    One vectorized N-dimensional evaluation feeds the whole table; the
+    Pareto column marks the non-dominated (area, average speedup)
+    configurations across every (clock, SRAM) combination.
+    """
+    scheme = "multi_res_hashgrid"
+    grid = SweepGrid(
+        schemes=(scheme,),
+        scale_factors=(8,),
+        clocks_ghz=(0.8, 1.2, 1.695),
+        grid_sram_kb=(256, 512, 1024),
+    )
+    result = sweep_grid(grid)
+    front = {p.config_axes for p in result.pareto_front(scheme)}
+    lines = [
+        "\n## Architecture-axis sweep (NGPC-8, hashgrid)\n",
+        "The batched engine sweeps the NFP architecture parameters — clock,",
+        "per-engine grid SRAM, engine count, pipeline batches — through the",
+        "same vectorized fast paths as the scale/resolution axes.  One",
+        f"evaluation covers the full {grid.size}-point (app x clock x SRAM)",
+        "grid behind the rows below; speedups are four-app averages.\n",
+        "| clock (GHz) | grid SRAM (KB) | area overhead | power overhead | avg speedup | Pareto |",
+        "|---|---|---|---|---|---|",
+    ]
+    speedup = result.speedup
+    for c, clock in enumerate(grid.clocks_ghz):
+        for g, sram in enumerate(grid.grid_sram_kb):
+            avg = float(speedup[:, 0, 0, 0, c, g, 0, 0].mean())
+            axes = (("clock_ghz", clock), ("grid_sram_kb", sram))
+            lines.append(
+                f"| {clock:g} | {sram} | "
+                f"{result.area_overhead_pct[0, c, g, 0]:.2f}% | "
+                f"{result.power_overhead_pct[0, c, g, 0]:.2f}% | "
+                f"{avg:.2f}x | {'yes' if axes in front else 'no'} |"
             )
     return lines
 
@@ -119,4 +159,5 @@ def build_markdown(
         lines.extend(sensitivity_section())
     if include_design_space:
         lines.extend(design_space_section())
+        lines.extend(architecture_sweep_section())
     return "\n".join(lines) + "\n"

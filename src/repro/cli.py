@@ -76,48 +76,120 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--sweep`` axis names -> (SweepGrid field, value parser)
+_SWEEP_AXES = {
+    "scale": ("scale_factors", int),
+    "pixels": ("pixel_counts", int),
+    "clock": ("clocks_ghz", float),
+    "sram": ("grid_sram_kb", int),
+    "engines": ("n_engines", int),
+    "batches": ("n_batches", int),
+}
+
+
+def _sweep_spec(text: str) -> dict:
+    """Parse one ``--sweep`` argument: ``axis=v1:v2[,axis=...]``."""
+    parsed = {}
+    for part in text.split(","):
+        name, sep, values = part.partition("=")
+        name = name.strip()
+        if not sep or name not in _SWEEP_AXES or not values:
+            raise argparse.ArgumentTypeError(
+                f"bad sweep axis {part!r}; expected axis=v1:v2 with axis "
+                f"in {sorted(_SWEEP_AXES)}"
+            )
+        field, convert = _SWEEP_AXES[name]
+        if field in parsed:
+            raise argparse.ArgumentTypeError(f"sweep axis {name!r} given twice")
+        try:
+            parsed[field] = tuple(convert(v) for v in values.split(":"))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad value in sweep axis {part!r}"
+            )
+    return parsed
+
+
 def cmd_dse(args: argparse.Namespace) -> int:
     from repro.core.dse import SweepGrid, sweep_grid
 
-    grid = SweepGrid(
-        apps=APP_NAMES,
-        schemes=(args.scheme,),
-        scale_factors=SCALE_FACTORS,
-        pixel_counts=(args.pixels,),
-    )
-    result = sweep_grid(grid, engine=args.engine)
-    front = {p.scale_factor for p in result.pareto_front(args.scheme, args.pixels)}
-    rows = []
-    for k, scale in enumerate(grid.scale_factors):
-        row = [f"NGPC-{scale}", f"{result.area_overhead_pct[k]:.2f}%",
-               f"{result.power_overhead_pct[k]:.2f}%"]
-        row += [
-            f"{result.point(app, args.scheme, scale, args.pixels).speedup:.2f}x"
-            for app in APP_NAMES
-        ]
-        row.append("*" if scale in front else "")
-        rows.append(row)
-    print(
-        format_table(
-            ["config", "area", "power"] + list(APP_NAMES) + ["pareto"],
-            rows,
-            title=f"Design space, {args.scheme} @ {args.pixels:,} px "
-                  f"({result.grid.size} points, engine={args.engine})",
+    axes = {}
+    for spec in args.sweep or []:
+        duplicates = axes.keys() & spec.keys()
+        if duplicates:
+            raise SystemExit(
+                "repro dse: error: sweep axis given twice across --sweep "
+                f"arguments: {sorted(duplicates)}"
+            )
+        axes.update(spec)
+    if "pixel_counts" in axes and args.pixels != FHD_PIXELS:
+        raise SystemExit(
+            "repro dse: error: --pixels conflicts with --sweep pixels=...; "
+            "pass the resolutions on one of them"
         )
+    axes.setdefault("scale_factors", SCALE_FACTORS)
+    axes.setdefault("pixel_counts", (args.pixels,))
+    grid = SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes)
+    result = sweep_grid(grid, engine=args.engine)
+    grid = result.grid  # resolved architecture axes
+    n_pixels = grid.pixel_counts[0]
+    front_points = result.pareto_front(args.scheme, n_pixels)
+    architectural = any(
+        len(axis) > 1
+        for axis in (grid.clocks_ghz, grid.grid_sram_kb, grid.n_engines,
+                     grid.n_batches, grid.pixel_counts)
     )
+    title = (f"Design space, {args.scheme} @ {n_pixels:,} px "
+             f"({result.grid.size} points, engine={result.engine})")
+    if not architectural:
+        front = {p.scale_factor for p in front_points}
+        rows = []
+        for k, scale in enumerate(grid.scale_factors):
+            row = [f"NGPC-{scale}",
+                   f"{result.area_overhead_pct[k, 0, 0, 0]:.2f}%",
+                   f"{result.power_overhead_pct[k, 0, 0, 0]:.2f}%"]
+            row += [
+                f"{result.point(app, args.scheme, scale, n_pixels).speedup:.2f}x"
+                for app in APP_NAMES
+            ]
+            row.append("*" if scale in front else "")
+            rows.append(row)
+        print(
+            format_table(
+                ["config", "area", "power"] + list(APP_NAMES) + ["pareto"],
+                rows,
+                title=title,
+            )
+        )
+    else:
+        # N-dimensional sweep: show the Pareto front over all config axes
+        # (candidates = the config combinations of one resolution slice)
+        n_configs = grid.size // (len(grid.apps) * len(grid.schemes)
+                                  * len(grid.pixel_counts))
+        rows = [
+            [p.describe(), f"{p.area_overhead_pct:.2f}%",
+             f"{p.power_overhead_pct:.2f}%", f"{p.average_speedup:.2f}x"]
+            for p in front_points
+        ]
+        print(
+            format_table(
+                ["config", "area", "power", "avg speedup"],
+                rows,
+                title=title + f" — Pareto front ({len(rows)} of "
+                              f"{n_configs} configs @ {n_pixels:,} px)",
+            )
+        )
     if args.fps is not None:
         # answer from the grid already evaluated above — no re-sweep
         print(f"\ncheapest configuration meeting {args.fps:g} FPS:")
         for app in APP_NAMES:
-            scale = result.cheapest_meeting_fps(app, args.fps, args.pixels)
-            if scale is None:
-                print(f"  {app:5s}: not achievable at any evaluated scale")
+            hit = result.cheapest_point_meeting_fps(app, args.fps, n_pixels)
+            if hit is None:
+                print(f"  {app:5s}: not achievable on the evaluated grid")
             else:
-                k = grid.scale_factors.index(scale)
-                point = result.point(app, args.scheme, scale, args.pixels)
-                print(f"  {app:5s}: NGPC-{scale} "
-                      f"(+{result.area_overhead_pct[k]:.2f}% area, "
-                      f"{point.speedup:.2f}x speedup)")
+                print(f"  {app:5s}: {hit.describe()} "
+                      f"(+{hit.area_overhead_pct:.2f}% area, "
+                      f"{hit.speedups[app]:.2f}x speedup)")
     return 0
 
 
@@ -235,13 +307,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pixels", type=int, default=FHD_PIXELS)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("dse", help="batched design-space exploration")
+    p = sub.add_parser(
+        "dse",
+        help="batched design-space exploration",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "sweep axes: scale, pixels, clock (GHz), sram (KB/engine),\n"
+            "engines (per NFP), batches (pipeline); values are ':'-separated.\n"
+            "\n"
+            "examples:\n"
+            "  repro dse --sweep clock=0.8:1.2:1.695,sram=512:1024\n"
+            "  repro dse --sweep engines=8:16:32 --sweep batches=4:8:16:32\n"
+            "  repro dse --sweep scale=8:16:32:64,clock=1.2:1.695 --fps 60\n"
+            "  repro dse --sweep sram=256:512:1024:2048 --engine auto\n"
+        ),
+    )
     p.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
     p.add_argument("--pixels", type=int, default=FHD_PIXELS)
     p.add_argument("--fps", type=_positive_float, default=None,
                    help="also answer: cheapest config meeting this FPS target")
-    p.add_argument("--engine", choices=("vectorized", "scalar", "process"),
+    p.add_argument("--engine", choices=("vectorized", "scalar", "process", "auto"),
                    default="vectorized")
+    p.add_argument("--sweep", action="append", type=_sweep_spec, default=None,
+                   metavar="AXIS=V1:V2[,AXIS=...]",
+                   help="sweep architecture axes (repeatable); see examples below")
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("experiments", help="regenerate registered experiments")

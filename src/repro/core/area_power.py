@@ -47,11 +47,9 @@ def scale_45_to_7nm(area_mm2: float, power_w: float) -> tuple:
     return area_mm2 * AREA_SCALE_45_TO_7, power_w * POWER_SCALE_45_TO_7
 
 
-def nfp_area_mm2_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
-    """Per-component area of one NFP at 45 nm (mm2)."""
-    mac_area = nfp.macs * MAC_AREA_UM2_45NM * 1e-6
-    grid_sram_mb = nfp.n_encoding_engines * nfp.grid_sram_kb_per_engine / 1024.0
-    act_sram_mb = nfp.activation_sram_kb / 1024.0
+def _nfp_area_components_45nm(macs, grid_sram_mb, act_sram_mb) -> Dict:
+    """Per-component NFP area at 45 nm; inputs may be broadcast arrays."""
+    mac_area = macs * MAC_AREA_UM2_45NM * 1e-6
     sram_area = (grid_sram_mb + act_sram_mb) * SRAM_AREA_MM2_PER_MB_45NM
     logic = mac_area + sram_area
     control = logic * CONTROL_AREA_FRACTION
@@ -64,13 +62,9 @@ def nfp_area_mm2_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
     }
 
 
-def nfp_power_w_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
-    """Per-component power of one NFP at 45 nm (W), at full streaming load."""
-    mac_dynamic = (
-        nfp.macs * MAC_ACTIVITY * nfp.clock_ghz * 1e9 * MAC_ENERGY_PJ_45NM * 1e-12
-    )
-    grid_sram_mb = nfp.n_encoding_engines * nfp.grid_sram_kb_per_engine / 1024.0
-    act_sram_mb = nfp.activation_sram_kb / 1024.0
+def _nfp_power_components_45nm(macs, grid_sram_mb, act_sram_mb, clock_ghz) -> Dict:
+    """Per-component NFP power at 45 nm; inputs may be broadcast arrays."""
+    mac_dynamic = macs * MAC_ACTIVITY * clock_ghz * 1e9 * MAC_ENERGY_PJ_45NM * 1e-12
     sram_dynamic = (grid_sram_mb + act_sram_mb) * SRAM_DYNAMIC_W_PER_MB_45NM
     dynamic = mac_dynamic + sram_dynamic
     leakage = dynamic * LEAKAGE_FRACTION
@@ -80,6 +74,25 @@ def nfp_power_w_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
         "leakage": leakage,
         "total": dynamic + leakage,
     }
+
+
+def nfp_area_mm2_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
+    """Per-component area of one NFP at 45 nm (mm2)."""
+    return _nfp_area_components_45nm(
+        nfp.macs,
+        nfp.n_encoding_engines * nfp.grid_sram_kb_per_engine / 1024.0,
+        nfp.activation_sram_kb / 1024.0,
+    )
+
+
+def nfp_power_w_45nm(nfp: NFPConfig = NFPConfig()) -> Dict[str, float]:
+    """Per-component power of one NFP at 45 nm (W), at full streaming load."""
+    return _nfp_power_components_45nm(
+        nfp.macs,
+        nfp.n_encoding_engines * nfp.grid_sram_kb_per_engine / 1024.0,
+        nfp.activation_sram_kb / 1024.0,
+        nfp.clock_ghz,
+    )
 
 
 @dataclass(frozen=True)
@@ -110,13 +123,23 @@ def ngpc_area_power(config: NGPCConfig) -> AreaPowerReport:
 
 
 def ngpc_area_power_batch(
-    scale_factors, nfp: Optional[NFPConfig] = None
+    scale_factors,
+    nfp: Optional[NFPConfig] = None,
+    clocks_ghz=None,
+    grid_sram_kb=None,
+    n_engines=None,
 ) -> Dict[str, np.ndarray]:
-    """Vectorized :func:`ngpc_area_power` over an array of scale factors.
+    """Vectorized :func:`ngpc_area_power` over the configuration axes.
 
-    Returns arrays ``area_mm2_7nm``, ``power_w_7nm`` and the overhead
-    percentages relative to the RTX 3090, all shaped like
-    ``scale_factors``; same arithmetic as the scalar path.
+    With only ``scale_factors`` given, returns arrays ``area_mm2_7nm``,
+    ``power_w_7nm`` and the overhead percentages relative to the
+    RTX 3090, all shaped like ``scale_factors``.  Passing any of the
+    architecture axes ``clocks_ghz`` (length C), ``grid_sram_kb``
+    (length G) or ``n_engines`` (length E) switches to the N-dimensional
+    fast path: ``scale_factors`` is flattened to its K values and the
+    result is the full (K, C, G, E) cost hypercube, with axes not
+    supplied taken (length 1) from ``nfp``.  Same arithmetic as the
+    scalar path in either mode.
     """
     nfp = nfp or NFPConfig()
     scales = np.asarray(scale_factors)
@@ -127,13 +150,56 @@ def ngpc_area_power_batch(
             raise ValueError(
                 f"scale_factor must be a power of two (got {int(scale)})"
             )
-    area45 = nfp_area_mm2_45nm(nfp)["total"] * scales
-    power45 = nfp_power_w_45nm(nfp)["total"] * scales
+    legacy = clocks_ghz is None and grid_sram_kb is None and n_engines is None
+    legacy_shape = scales.shape
+    scales = scales.reshape(-1, 1, 1, 1)
+    if clocks_ghz is None:
+        clocks_ghz = (nfp.clock_ghz,)
+    if grid_sram_kb is None:
+        grid_sram_kb = (nfp.grid_sram_kb_per_engine,)
+    if n_engines is None:
+        n_engines = (nfp.n_encoding_engines,)
+    clocks = np.asarray(clocks_ghz, dtype=np.float64).reshape(1, -1, 1, 1)
+    srams = np.asarray(grid_sram_kb, dtype=np.int64).reshape(1, 1, -1, 1)
+    engines = np.asarray(n_engines, dtype=np.int64).reshape(1, 1, 1, -1)
+    if np.any(clocks <= 0):
+        raise ValueError("clock must be positive")
+    if np.any(engines < 1):
+        raise ValueError("need at least one encoding engine")
+    for kb in srams.reshape(-1):
+        if not is_power_of_two(int(kb)):
+            raise ValueError(
+                f"grid_sram_kb_per_engine must be a power of two (got {int(kb)} KB)"
+            )
+
+    # per-NFP area/power at 45 nm: the scalar component model applied
+    # elementwise over the (clock, SRAM, engine-count) hypercube
+    grid_sram_mb = engines * srams / 1024.0
+    act_sram_mb = nfp.activation_sram_kb / 1024.0
+    area_total = _nfp_area_components_45nm(
+        nfp.macs, grid_sram_mb, act_sram_mb
+    )["total"]
+    power_total = _nfp_power_components_45nm(
+        nfp.macs, grid_sram_mb, act_sram_mb, clocks
+    )["total"]
+
+    area45 = area_total * scales
+    power45 = power_total * scales
     area7 = area45 * AREA_SCALE_45_TO_7
     power7 = power45 * POWER_SCALE_45_TO_7
-    return {
-        "area_mm2_7nm": area7,
-        "power_w_7nm": power7,
-        "area_overhead_pct": 100.0 * area7 / RTX3090.die_area_mm2,
-        "power_overhead_pct": 100.0 * power7 / RTX3090.tdp_w,
+    # area does not depend on the clock axis; broadcast both quantities to
+    # the same full (K, C, G, E) hypercube so consumers can index uniformly
+    full = np.broadcast_shapes(area7.shape, power7.shape)
+    out = {
+        "area_mm2_7nm": np.ascontiguousarray(np.broadcast_to(area7, full)),
+        "power_w_7nm": np.ascontiguousarray(np.broadcast_to(power7, full)),
+        "area_overhead_pct": np.ascontiguousarray(
+            np.broadcast_to(100.0 * area7 / RTX3090.die_area_mm2, full)
+        ),
+        "power_overhead_pct": np.ascontiguousarray(
+            np.broadcast_to(100.0 * power7 / RTX3090.tdp_w, full)
+        ),
     }
+    if legacy:  # classic call: arrays shaped like the ``scale_factors`` input
+        out = {name: arr.reshape(legacy_shape) for name, arr in out.items()}
+    return out

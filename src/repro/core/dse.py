@@ -2,26 +2,33 @@
 
 The paper hand-sweeps four scaling factors (Figs. 12/15); this module
 turns the sweep into a production DSE engine that answers any architect's
-query over the full (app x scheme x scale x pixels) cartesian space:
+query over the full N-dimensional cartesian space of
 
-- :class:`SweepGrid` names a cartesian design space and
-  :func:`sweep_grid` evaluates *all* of it in one call, returning a
-  :class:`SweepResult` of dense NumPy arrays shaped
-  ``(apps, schemes, scales, pixel_counts)``.
-- Three interchangeable engines: ``"vectorized"`` (NumPy broadcasting
+    (app x scheme x scale x pixels x clock x grid-SRAM x engines x batches)
+
+- :class:`SweepGrid` names a cartesian design space over the four
+  workload axes *and* four architecture axes — NFP clock (GHz),
+  per-engine grid-SRAM size (KB), encoding engines per NFP, and pipeline
+  batch count — and :func:`sweep_grid` evaluates *all* of it in one
+  call, returning a :class:`SweepResult` of dense NumPy arrays shaped
+  ``grid.shape``.
+- Four interchangeable engines: ``"vectorized"`` (NumPy broadcasting
   through the ``*_batch`` fast paths of the core models — the default),
   ``"scalar"`` (the original one-:func:`~repro.core.emulator.emulate`-
-  per-point loop, memoized), and ``"process"`` (a
-  :mod:`concurrent.futures` process pool for paths that cannot be
-  vectorized).  All three produce numerically identical results; the
-  equivalence harness in ``tests/test_sweep_engine.py`` enforces
-  agreement to 1e-9 relative, and ``tests/test_golden_values.py`` pins
-  the absolute values.
+  per-point loop, memoized), ``"process"`` (the grid is sharded into
+  contiguous vectorized blocks of ~size/(4·workers) points, dispatched
+  to a :mod:`concurrent.futures` process pool whose initializer installs
+  the calibration constants once per worker), and ``"auto"`` (picks
+  vectorized vs block-parallel from the grid size and core count).  All
+  engines produce numerically identical results; the equivalence harness
+  in ``tests/test_sweep_engine.py`` enforces agreement to 1e-9 relative,
+  and ``tests/test_golden_values.py`` pins the absolute values.
 - Whole-grid memoization keyed on (grid, engine, NGPCConfig, calibration
   fingerprint), so repeated queries — Pareto fronts, FPS constraints,
   report generation — reuse one evaluation.
 - Constraint-query APIs: :func:`pareto_front` (non-dominated
-  cost/benefit points) and :func:`cheapest_meeting_fps` (the smallest
+  cost/benefit points, fully vectorized so 100k+-point fronts resolve in
+  milliseconds) and :func:`cheapest_meeting_fps` (the smallest
   configuration hitting a frame-rate target), both exposed through the
   CLI (``python -m repro dse``) and :mod:`repro.analysis.report`.
 
@@ -32,7 +39,8 @@ run on top of the batched engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,19 +48,30 @@ import numpy as np
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.area_power import ngpc_area_power_batch
 from repro.core.cache import ModelCache, calibration_fingerprint
-from repro.core.config import NGPCConfig, SCALE_FACTORS
-from repro.core.emulator import EmulationResult, emulate, emulate_batch
+from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
+from repro.core.emulator import (
+    EmulationResult,
+    emulate_batch,
+    emulate_with_config,
+)
 from repro.gpu.baseline import FHD_PIXELS
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One NGPC configuration with its cost and per-app benefit."""
+    """One NGPC configuration with its cost and per-app benefit.
+
+    ``config_axes`` records the architecture-axis values of the point
+    beyond its scale factor — (name, value) pairs for every swept
+    non-scale axis (clock, grid SRAM, engine count, pipeline batches).
+    It is empty for the classic scale-only sweeps.
+    """
 
     scale_factor: int
     area_overhead_pct: float
     power_overhead_pct: float
     speedups: Dict[str, float]
+    config_axes: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def average_speedup(self) -> float:
@@ -67,6 +86,15 @@ class DesignPoint:
     def speedup_per_power_pct(self) -> float:
         return self.average_speedup / self.power_overhead_pct
 
+    def describe(self) -> str:
+        """Short human-readable configuration label."""
+        label = f"NGPC-{self.scale_factor}"
+        if self.config_axes:
+            label += " (" + ", ".join(
+                f"{name}={value:g}" for name, value in self.config_axes
+            ) + ")"
+        return label
+
 
 # ---------------------------------------------------------------------------
 # the batched sweep engine
@@ -75,12 +103,33 @@ class DesignPoint:
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """A cartesian (app x scheme x scale x pixels) design space."""
+    """A cartesian design space over workload and architecture axes.
+
+    Axis order (= array axis order of :class:`SweepResult`):
+
+    0. ``apps``           application names
+    1. ``schemes``        encoding schemes
+    2. ``scale_factors``  NFPs per NGPC (power of two)
+    3. ``pixel_counts``   frame resolutions
+    4. ``clocks_ghz``     NFP clock frequencies (GHz)
+    5. ``grid_sram_kb``   per-engine grid-SRAM sizes (KB, power of two)
+    6. ``n_engines``      encoding engines per NFP
+    7. ``n_batches``      pipeline batch counts
+
+    The four architecture axes default to ``None`` — "inherit the single
+    value of the base :class:`NGPCConfig` at sweep time".  Call
+    :meth:`resolve` (done automatically by :func:`sweep_grid`) to pin
+    them to concrete one-value tuples.
+    """
 
     apps: Tuple[str, ...] = APP_NAMES
     schemes: Tuple[str, ...] = ("multi_res_hashgrid",)
     scale_factors: Tuple[int, ...] = SCALE_FACTORS
     pixel_counts: Tuple[int, ...] = (FHD_PIXELS,)
+    clocks_ghz: Optional[Tuple[float, ...]] = None
+    grid_sram_kb: Optional[Tuple[int, ...]] = None
+    n_engines: Optional[Tuple[int, ...]] = None
+    n_batches: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         object.__setattr__(self, "apps", tuple(self.apps))
@@ -91,8 +140,27 @@ class SweepGrid:
         object.__setattr__(
             self, "pixel_counts", tuple(int(p) for p in self.pixel_counts)
         )
+        if self.clocks_ghz is not None:
+            object.__setattr__(
+                self, "clocks_ghz", tuple(float(c) for c in self.clocks_ghz)
+            )
+        if self.grid_sram_kb is not None:
+            object.__setattr__(
+                self, "grid_sram_kb", tuple(int(g) for g in self.grid_sram_kb)
+            )
+        if self.n_engines is not None:
+            object.__setattr__(
+                self, "n_engines", tuple(int(e) for e in self.n_engines)
+            )
+        if self.n_batches is not None:
+            object.__setattr__(
+                self, "n_batches", tuple(int(b) for b in self.n_batches)
+            )
         if not (self.apps and self.schemes and self.scale_factors and self.pixel_counts):
             raise ValueError("every grid axis needs at least one value")
+        for axis in (self.clocks_ghz, self.grid_sram_kb, self.n_engines, self.n_batches):
+            if axis is not None and not axis:
+                raise ValueError("every grid axis needs at least one value")
         for app in self.apps:
             if app not in APP_NAMES:
                 raise ValueError(f"unknown app {app!r}")
@@ -104,36 +172,92 @@ class SweepGrid:
         for n_pixels in self.pixel_counts:
             if n_pixels <= 0:
                 raise ValueError("pixel counts must be positive")
+        # reuse the config dataclasses' validation for the architecture axes
+        if self.clocks_ghz is not None:
+            for clock in self.clocks_ghz:
+                NFPConfig(clock_ghz=clock)
+        if self.grid_sram_kb is not None:
+            for kb in self.grid_sram_kb:
+                NFPConfig(grid_sram_kb_per_engine=kb)
+        if self.n_engines is not None:
+            for n_eng in self.n_engines:
+                NFPConfig(n_encoding_engines=n_eng)
+        if self.n_batches is not None:
+            for n_b in self.n_batches:
+                NGPCConfig(n_pipeline_batches=n_b)
 
     @property
-    def shape(self) -> Tuple[int, int, int, int]:
+    def is_resolved(self) -> bool:
+        """True once every architecture axis holds concrete values."""
+        return None not in (
+            self.clocks_ghz, self.grid_sram_kb, self.n_engines, self.n_batches
+        )
+
+    def resolve(self, ngpc: Optional[NGPCConfig] = None) -> "SweepGrid":
+        """Pin unset architecture axes to the base config's values."""
+        if self.is_resolved:
+            return self
+        base = ngpc or NGPCConfig()
+        return SweepGrid(
+            apps=self.apps,
+            schemes=self.schemes,
+            scale_factors=self.scale_factors,
+            pixel_counts=self.pixel_counts,
+            clocks_ghz=self.clocks_ghz or (base.nfp.clock_ghz,),
+            grid_sram_kb=self.grid_sram_kb or (base.nfp.grid_sram_kb_per_engine,),
+            n_engines=self.n_engines or (base.nfp.n_encoding_engines,),
+            n_batches=self.n_batches or (base.n_pipeline_batches,),
+        )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """(apps, schemes, scales, pixels, clocks, srams, engines, batches)."""
         return (
             len(self.apps),
             len(self.schemes),
             len(self.scale_factors),
             len(self.pixel_counts),
+            len(self.clocks_ghz) if self.clocks_ghz is not None else 1,
+            len(self.grid_sram_kb) if self.grid_sram_kb is not None else 1,
+            len(self.n_engines) if self.n_engines is not None else 1,
+            len(self.n_batches) if self.n_batches is not None else 1,
         )
 
     @property
     def size(self) -> int:
         return int(np.prod(self.shape))
 
-    def points(self) -> Iterator[Tuple[str, str, int, int]]:
-        """All (app, scheme, scale, n_pixels) points in array order."""
-        for app in self.apps:
-            for scheme in self.schemes:
-                for scale in self.scale_factors:
-                    for n_pixels in self.pixel_counts:
-                        yield app, scheme, scale, n_pixels
+    def points(self) -> Iterator[Tuple]:
+        """All grid points in array order, as 8-tuples
+        (app, scheme, scale, n_pixels, clock_ghz, sram_kb, engines, batches).
+
+        Unset architecture axes resolve against the default
+        :class:`NGPCConfig`.
+        """
+        grid = self.resolve()
+        for app in grid.apps:
+            for scheme in grid.schemes:
+                for scale in grid.scale_factors:
+                    for n_pixels in grid.pixel_counts:
+                        for clock in grid.clocks_ghz:
+                            for sram in grid.grid_sram_kb:
+                                for n_eng in grid.n_engines:
+                                    for n_b in grid.n_batches:
+                                        yield (
+                                            app, scheme, scale, n_pixels,
+                                            clock, sram, n_eng, n_b,
+                                        )
 
 
 @dataclass(frozen=True, eq=False)  # eq=False: ndarray fields break ==/hash
 class SweepResult:
-    """Dense evaluation of a :class:`SweepGrid`.
+    """Dense evaluation of a (resolved) :class:`SweepGrid`.
 
     Timing arrays are shaped ``grid.shape`` = (apps, schemes, scales,
-    pixel_counts); ``amdahl_bound`` is (apps, schemes); the area/power
-    arrays are (scales,) — cost depends only on the configuration.
+    pixel_counts, clocks, srams, engines, batches); ``amdahl_bound`` is
+    (apps, schemes); the area/power arrays are (scales, clocks, srams,
+    engines) — cost depends only on the hardware configuration, not on
+    the workload or the pipeline batching.
     """
 
     grid: SweepGrid
@@ -159,11 +283,31 @@ class SweepResult:
         return 1000.0 / self.accelerated_ms
 
     # -- indexing -----------------------------------------------------------
-    def index(
-        self, app: str, scheme: str, scale_factor: int, n_pixels: int
-    ) -> Tuple[int, int, int, int]:
+    def _axis_index(self, axis_name: str, value, values: Tuple) -> int:
+        if value is None:
+            if len(values) == 1:
+                return 0
+            raise KeyError(
+                f"grid sweeps {axis_name} over {values}; pass an explicit value"
+            )
         try:
-            return (
+            return values.index(value)
+        except ValueError as exc:
+            raise KeyError(f"{axis_name}={value!r} not on the grid") from exc
+
+    def index(
+        self,
+        app: str,
+        scheme: str,
+        scale_factor: int,
+        n_pixels: int,
+        clock_ghz: Optional[float] = None,
+        grid_sram_kb: Optional[int] = None,
+        n_engines: Optional[int] = None,
+        n_batches: Optional[int] = None,
+    ) -> Tuple[int, ...]:
+        try:
+            base = (
                 self.grid.apps.index(app),
                 self.grid.schemes.index(scheme),
                 self.grid.scale_factors.index(scale_factor),
@@ -173,24 +317,41 @@ class SweepResult:
             raise KeyError(
                 f"({app}, {scheme}, {scale_factor}, {n_pixels}) not on the grid"
             ) from exc
+        return base + (
+            self._axis_index("clock_ghz", clock_ghz, self.grid.clocks_ghz),
+            self._axis_index("grid_sram_kb", grid_sram_kb, self.grid.grid_sram_kb),
+            self._axis_index("n_engines", n_engines, self.grid.n_engines),
+            self._axis_index("n_batches", n_batches, self.grid.n_batches),
+        )
 
     def point(
-        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+        self,
+        app: str,
+        scheme: str,
+        scale_factor: int,
+        n_pixels: int,
+        clock_ghz: Optional[float] = None,
+        grid_sram_kb: Optional[int] = None,
+        n_engines: Optional[int] = None,
+        n_batches: Optional[int] = None,
     ) -> EmulationResult:
         """The :class:`EmulationResult` of one grid point."""
-        i, j, k, l = self.index(app, scheme, scale_factor, n_pixels)
+        idx = self.index(
+            app, scheme, scale_factor, n_pixels,
+            clock_ghz, grid_sram_kb, n_engines, n_batches,
+        )
         return EmulationResult(
             app=app,
             scheme=scheme,
             scale_factor=scale_factor,
             n_pixels=n_pixels,
-            baseline_ms=float(self.baseline_ms[i, j, k, l]),
-            accelerated_ms=float(self.accelerated_ms[i, j, k, l]),
-            encoding_engine_ms=float(self.encoding_engine_ms[i, j, k, l]),
-            mlp_engine_ms=float(self.mlp_engine_ms[i, j, k, l]),
-            dma_ms=float(self.dma_ms[i, j, k, l]),
-            fused_rest_ms=float(self.fused_rest_ms[i, j, k, l]),
-            amdahl_bound=float(self.amdahl_bound[i, j]),
+            baseline_ms=float(self.baseline_ms[idx]),
+            accelerated_ms=float(self.accelerated_ms[idx]),
+            encoding_engine_ms=float(self.encoding_engine_ms[idx]),
+            mlp_engine_ms=float(self.mlp_engine_ms[idx]),
+            dma_ms=float(self.dma_ms[idx]),
+            fused_rest_ms=float(self.fused_rest_ms[idx]),
+            amdahl_bound=float(self.amdahl_bound[idx[0], idx[1]]),
         )
 
     def to_records(self) -> List[Dict[str, float]]:
@@ -198,65 +359,128 @@ class SweepResult:
         records = []
         speedup = self.speedup
         fps = self.fps
-        for i, app in enumerate(self.grid.apps):
-            for j, scheme in enumerate(self.grid.schemes):
-                for k, scale in enumerate(self.grid.scale_factors):
-                    for l, n_pixels in enumerate(self.grid.pixel_counts):
-                        records.append(
-                            {
-                                "app": app,
-                                "scheme": scheme,
-                                "scale_factor": scale,
-                                "n_pixels": n_pixels,
-                                "baseline_ms": float(self.baseline_ms[i, j, k, l]),
-                                "accelerated_ms": float(
-                                    self.accelerated_ms[i, j, k, l]
-                                ),
-                                "speedup": float(speedup[i, j, k, l]),
-                                "fps": float(fps[i, j, k, l]),
-                                "area_overhead_pct": float(self.area_overhead_pct[k]),
-                                "power_overhead_pct": float(
-                                    self.power_overhead_pct[k]
-                                ),
-                            }
-                        )
+        grid = self.grid
+        for idx in np.ndindex(*grid.shape):
+            i, j, k, l, c, g, e, b = idx
+            records.append(
+                {
+                    "app": grid.apps[i],
+                    "scheme": grid.schemes[j],
+                    "scale_factor": grid.scale_factors[k],
+                    "n_pixels": grid.pixel_counts[l],
+                    "clock_ghz": grid.clocks_ghz[c],
+                    "grid_sram_kb": grid.grid_sram_kb[g],
+                    "n_engines": grid.n_engines[e],
+                    "n_batches": grid.n_batches[b],
+                    "baseline_ms": float(self.baseline_ms[idx]),
+                    "accelerated_ms": float(self.accelerated_ms[idx]),
+                    "speedup": float(speedup[idx]),
+                    "fps": float(fps[idx]),
+                    "area_overhead_pct": float(self.area_overhead_pct[k, c, g, e]),
+                    "power_overhead_pct": float(
+                        self.power_overhead_pct[k, c, g, e]
+                    ),
+                }
+            )
         return records
 
     # -- queries ------------------------------------------------------------
+    def _config_axes(self, c: int, g: int, e: int, b: int) -> Tuple:
+        """(name, value) pairs for the swept (non-singleton) arch axes."""
+        out = []
+        if len(self.grid.clocks_ghz) > 1:
+            out.append(("clock_ghz", self.grid.clocks_ghz[c]))
+        if len(self.grid.grid_sram_kb) > 1:
+            out.append(("grid_sram_kb", self.grid.grid_sram_kb[g]))
+        if len(self.grid.n_engines) > 1:
+            out.append(("n_engines", self.grid.n_engines[e]))
+        if len(self.grid.n_batches) > 1:
+            out.append(("n_batches", self.grid.n_batches[b]))
+        return tuple(out)
+
     def pareto_front(
         self,
         scheme: str,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
     ) -> List[DesignPoint]:
-        """Non-dominated (area cost, speedup benefit) scales, sorted by area.
+        """Non-dominated (area cost, speedup benefit) configurations.
 
+        Every (scale, clock, SRAM, engines, batches) combination on the
+        grid is a candidate; the front is sorted by ascending area.
         Benefit is the speedup of ``app``, or the all-apps average when
-        ``app`` is None (the Fig. 12 "average" bars).
+        ``app`` is None (the Fig. 12 "average" bars).  When the grid
+        sweeps several pixel counts, ``n_pixels`` must name the slice to
+        query (mirroring :meth:`index`'s ambiguity rule).
         """
         j = self.grid.schemes.index(scheme)
-        l = self.grid.pixel_counts.index(n_pixels or self.grid.pixel_counts[0])
+        l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
         speedup = self.speedup
         if app is None:
-            benefit = speedup[:, j, :, l].mean(axis=0)
+            benefit = speedup[:, j, :, l].mean(axis=0)  # (K, C, G, E, B)
         else:
             benefit = speedup[self.grid.apps.index(app), j, :, l]
-        keep = pareto_front(self.area_overhead_pct, benefit)
+        cost = np.broadcast_to(self.area_overhead_pct[..., None], benefit.shape)
+        keep = pareto_front(cost.reshape(-1), benefit.reshape(-1))
         points = []
-        for k in keep:
+        for flat in keep:
+            k, c, g, e, b = np.unravel_index(flat, benefit.shape)
             speedups = {
-                a: float(speedup[i, j, k, l])
+                a: float(speedup[i, j, k, l, c, g, e, b])
                 for i, a in enumerate(self.grid.apps)
             }
             points.append(
                 DesignPoint(
                     scale_factor=self.grid.scale_factors[k],
-                    area_overhead_pct=float(self.area_overhead_pct[k]),
-                    power_overhead_pct=float(self.power_overhead_pct[k]),
+                    area_overhead_pct=float(self.area_overhead_pct[k, c, g, e]),
+                    power_overhead_pct=float(self.power_overhead_pct[k, c, g, e]),
                     speedups=speedups,
+                    config_axes=self._config_axes(c, g, e, b),
                 )
             )
         return points
+
+    def cheapest_point_meeting_fps(
+        self,
+        app: str,
+        fps: float,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+    ) -> Optional[DesignPoint]:
+        """Cheapest-area configuration on the grid hitting ``fps``, or None.
+
+        Candidates span every (scale, clock, SRAM, engines, batches)
+        combination; the returned :class:`DesignPoint` carries the
+        winning architecture-axis values in ``config_axes``.  When the
+        grid sweeps several schemes or pixel counts, the ambiguous axis
+        must be named explicitly (mirroring :meth:`index`'s rule).
+        """
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        i = self.grid.apps.index(app)
+        j = self._axis_index("scheme", scheme, self.grid.schemes)
+        l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
+        budget_ms = 1000.0 / fps
+        accelerated = self.accelerated_ms[i, j, :, l]  # (K, C, G, E, B)
+        feasible = accelerated <= budget_ms
+        if not feasible.any():
+            return None
+        cost = np.broadcast_to(
+            self.area_overhead_pct[..., None], accelerated.shape
+        )
+        flat = int(np.argmin(np.where(feasible, cost, np.inf)))
+        k, c, g, e, b = np.unravel_index(flat, accelerated.shape)
+        speedup = self.speedup
+        return DesignPoint(
+            scale_factor=self.grid.scale_factors[k],
+            area_overhead_pct=float(self.area_overhead_pct[k, c, g, e]),
+            power_overhead_pct=float(self.power_overhead_pct[k, c, g, e]),
+            speedups={
+                a: float(speedup[ia, j, k, l, c, g, e, b])
+                for ia, a in enumerate(self.grid.apps)
+            },
+            config_axes=self._config_axes(c, g, e, b),
+        )
 
     def cheapest_meeting_fps(
         self,
@@ -267,22 +491,14 @@ class SweepResult:
     ) -> Optional[int]:
         """Smallest-area scale on the grid hitting ``fps``, or None.
 
+        The scale factor of :meth:`cheapest_point_meeting_fps`'s answer.
         Parameter order matches the module-level
         :func:`cheapest_meeting_fps` (app, fps, n_pixels, scheme); this
         method returns the bare scale factor, the module function a full
         :class:`DesignPoint`.
         """
-        if fps <= 0:
-            raise ValueError("fps must be positive")
-        i = self.grid.apps.index(app)
-        j = self.grid.schemes.index(scheme or self.grid.schemes[0])
-        l = self.grid.pixel_counts.index(n_pixels or self.grid.pixel_counts[0])
-        budget_ms = 1000.0 / fps
-        feasible = np.flatnonzero(self.accelerated_ms[i, j, :, l] <= budget_ms)
-        if feasible.size == 0:
-            return None
-        k = feasible[np.argmin(self.area_overhead_pct[feasible])]
-        return self.grid.scale_factors[int(k)]
+        hit = self.cheapest_point_meeting_fps(app, fps, n_pixels, scheme)
+        return hit.scale_factor if hit else None
 
 
 # ---------------------------------------------------------------------------
@@ -291,121 +507,247 @@ class SweepResult:
 
 # bounded: each entry holds dense float64 arrays for a whole grid
 _SWEEP_CACHE = ModelCache("sweep_grid", maxsize=128)
+#: grids larger than this are never memoized (a 65k-point result is ~4 MB
+#: of float64; the cache is for the report/CLI-sized grids, not for the
+#: 100k+-point exploration sweeps)
+_SWEEP_CACHE_MAX_POINTS = 1 << 16
 
-_ENGINES = ("vectorized", "scalar", "process")
+_ENGINES = ("vectorized", "scalar", "process", "auto")
+
+#: the "auto" engine dispatches vectorized blocks to the process pool
+#: once the grid is big enough to amortize worker startup — and only
+#: when there is more than one core to win from
+AUTO_PROCESS_MIN_POINTS = 200_000
+
+_TIMING_FIELDS = (
+    "baseline_ms",
+    "accelerated_ms",
+    "encoding_engine_ms",
+    "mlp_engine_ms",
+    "dma_ms",
+    "fused_rest_ms",
+)
+
+
+def _resolve_engine(engine: str, grid: SweepGrid) -> str:
+    """Map "auto" onto a concrete engine by grid size and core count."""
+    if engine != "auto":
+        return engine
+    n_cores = os.cpu_count() or 1
+    if grid.size >= AUTO_PROCESS_MIN_POINTS and n_cores > 1:
+        return "process"
+    return "vectorized"
 
 
 def _scalar_result(
-    app: str, scheme: str, scale: int, n_pixels: int, ngpc: Optional[NGPCConfig]
+    app: str,
+    scheme: str,
+    scale: int,
+    n_pixels: int,
+    ngpc: Optional[NGPCConfig],
+    clock_ghz: float,
+    grid_sram_kb: int,
+    n_engines: int,
+    n_batches: int,
 ) -> EmulationResult:
-    """One scalar emulation honouring a non-default ``ngpc`` override."""
-    if ngpc is None:
-        return emulate(app, scheme, scale, n_pixels)
-    from repro.core.emulator import Emulator
-
+    """One scalar emulation of a fully specified grid point, memoized."""
+    base = ngpc or NGPCConfig()
+    nfp = replace(
+        base.nfp,
+        clock_ghz=clock_ghz,
+        grid_sram_kb_per_engine=grid_sram_kb,
+        n_encoding_engines=n_engines,
+    )
     config = NGPCConfig(
         scale_factor=scale,
-        nfp=ngpc.nfp,
-        n_pipeline_batches=ngpc.n_pipeline_batches,
-        l2_spill_penalty=ngpc.l2_spill_penalty,
+        nfp=nfp,
+        n_pipeline_batches=n_batches,
+        l2_spill_penalty=base.l2_spill_penalty,
     )
-    return Emulator(config).run(app, scheme, n_pixels)
-
-
-def _evaluate_point(
-    args: Tuple[str, str, int, int, Optional[NGPCConfig]]
-) -> Tuple[float, ...]:
-    """Process-pool worker: one scalar emulation, returned as plain floats."""
-    app, scheme, scale, n_pixels, ngpc = args
-    r = _scalar_result(app, scheme, scale, n_pixels, ngpc)
-    return (
-        r.baseline_ms,
-        r.accelerated_ms,
-        r.encoding_engine_ms,
-        r.mlp_engine_ms,
-        r.dma_ms,
-        r.fused_rest_ms,
-        r.amdahl_bound,
-    )
+    return emulate_with_config(app, scheme, config, n_pixels)
 
 
 def _arrays_vectorized(grid: SweepGrid, ngpc: Optional[NGPCConfig]) -> Dict[str, np.ndarray]:
     shape = grid.shape
-    out = {
-        name: np.empty(shape)
-        for name in (
-            "baseline_ms",
-            "accelerated_ms",
-            "encoding_engine_ms",
-            "mlp_engine_ms",
-            "dma_ms",
-            "fused_rest_ms",
-        )
-    }
+    out = {name: np.empty(shape) for name in _TIMING_FIELDS}
     out["amdahl_bound"] = np.empty(shape[:2])
     for i, app in enumerate(grid.apps):
         for j, scheme in enumerate(grid.schemes):
             block = emulate_batch(
-                app, scheme, grid.scale_factors, grid.pixel_counts, ngpc
+                app, scheme, grid.scale_factors, grid.pixel_counts, ngpc,
+                clocks_ghz=grid.clocks_ghz,
+                grid_sram_kb=grid.grid_sram_kb,
+                n_engines=grid.n_engines,
+                n_batches=grid.n_batches,
             )
-            for name in out:
+            for name in _TIMING_FIELDS:
                 out[name][i, j] = block[name]
+            out["amdahl_bound"][i, j] = block["amdahl_bound"]
     return out
 
 
 def _arrays_scalar(grid: SweepGrid, ngpc: Optional[NGPCConfig]) -> Dict[str, np.ndarray]:
     shape = grid.shape
-    out = {
-        name: np.empty(shape)
-        for name in (
-            "baseline_ms",
-            "accelerated_ms",
-            "encoding_engine_ms",
-            "mlp_engine_ms",
-            "dma_ms",
-            "fused_rest_ms",
-        )
-    }
+    out = {name: np.empty(shape) for name in _TIMING_FIELDS}
     out["amdahl_bound"] = np.empty(shape[:2])
     for i, app in enumerate(grid.apps):
         for j, scheme in enumerate(grid.schemes):
             for k, scale in enumerate(grid.scale_factors):
                 for l, n_pixels in enumerate(grid.pixel_counts):
-                    r = _scalar_result(app, scheme, scale, n_pixels, ngpc)
-                    out["baseline_ms"][i, j, k, l] = r.baseline_ms
-                    out["accelerated_ms"][i, j, k, l] = r.accelerated_ms
-                    out["encoding_engine_ms"][i, j, k, l] = r.encoding_engine_ms
-                    out["mlp_engine_ms"][i, j, k, l] = r.mlp_engine_ms
-                    out["dma_ms"][i, j, k, l] = r.dma_ms
-                    out["fused_rest_ms"][i, j, k, l] = r.fused_rest_ms
-                    out["amdahl_bound"][i, j] = r.amdahl_bound
+                    for c, clock in enumerate(grid.clocks_ghz):
+                        for g, sram in enumerate(grid.grid_sram_kb):
+                            for e, n_eng in enumerate(grid.n_engines):
+                                for b, n_b in enumerate(grid.n_batches):
+                                    r = _scalar_result(
+                                        app, scheme, scale, n_pixels, ngpc,
+                                        clock, sram, n_eng, n_b,
+                                    )
+                                    idx = (i, j, k, l, c, g, e, b)
+                                    for name in _TIMING_FIELDS:
+                                        out[name][idx] = getattr(r, name)
+                                    out["amdahl_bound"][i, j] = r.amdahl_bound
     return out
+
+
+# -- block-sharded process engine -------------------------------------------
+
+#: per-worker state installed by the pool initializer (base NGPC config);
+#: the calibration constants are installed directly into
+#: :mod:`repro.calibration.fitted`
+_WORKER_STATE: Dict[str, Optional[NGPCConfig]] = {"ngpc": None}
+
+
+def _init_sweep_worker(
+    calibration: Tuple, ngpc: Optional[NGPCConfig], schemes: Tuple[str, ...]
+) -> None:
+    """Pool initializer: one-time per-worker setup instead of per task.
+
+    Installs the parent's calibration constants (a
+    :func:`calibration_fingerprint` tuple, so workers agree with a
+    perturbed parent even under the spawn start method), stores the
+    shared base config, and pre-warms the calibration caches so the
+    first block does not pay the lane/parallelism solve.
+    """
+    from repro.calibration import fitted
+
+    overheads, fractions, samples, exponent = calibration
+    fitted.BATCH_OVERHEAD_MS_FHD_AT64.clear()
+    fitted.BATCH_OVERHEAD_MS_FHD_AT64.update(dict(overheads))
+    fitted.KERNEL_FRACTIONS.clear()
+    fitted.KERNEL_FRACTIONS.update(dict(fractions))
+    fitted.SAMPLES_PER_PIXEL.clear()
+    fitted.SAMPLES_PER_PIXEL.update(dict(samples))
+    fitted.BATCH_OVERHEAD_SCALE_EXPONENT = exponent
+    _WORKER_STATE["ngpc"] = ngpc
+    from repro.core.encoding_engine import _calibrated_lanes
+    from repro.core.mlp_engine import _calibrated_parallelism
+
+    for scheme in schemes:
+        _calibrated_lanes(scheme)
+        _calibrated_parallelism(scheme)
+
+
+def _evaluate_block(task: Tuple) -> Dict[str, np.ndarray]:
+    """Process-pool worker: one contiguous vectorized block of the grid."""
+    app, scheme, scales, pixels, clocks, srams, engines, batches = task
+    block = emulate_batch(
+        app, scheme, scales, pixels, _WORKER_STATE["ngpc"],
+        clocks_ghz=clocks, grid_sram_kb=srams,
+        n_engines=engines, n_batches=batches,
+    )
+    out = {name: block[name] for name in _TIMING_FIELDS}
+    out["amdahl_bound"] = block["amdahl_bound"]
+    return out
+
+
+def _block_tasks(grid: SweepGrid, n_workers: int) -> List[Tuple[Tuple, Tuple]]:
+    """Shard the grid into contiguous vectorized blocks.
+
+    Every (app, scheme) pair's configuration hypercube is cut into
+    contiguous windows — the longest axis first, further axes only when
+    one axis cannot yield enough chunks — auto-tuned so blocks hold
+    ~``grid.size / (4 * n_workers)`` points: small enough to load-
+    balance the pool, large enough to amortize NumPy dispatch and IPC.
+    Each entry is ``(placement, task)``: the placement is
+    (app index, scheme index, windows) with one (lo, hi) window per
+    configuration axis, the task the arguments shipped to
+    :func:`_evaluate_block`.
+    """
+    import itertools
+
+    axes = (
+        grid.scale_factors, grid.pixel_counts, grid.clocks_ghz,
+        grid.grid_sram_kb, grid.n_engines, grid.n_batches,
+    )
+    lengths = [len(axis) for axis in axes]
+    per_pair = int(np.prod(lengths))
+    block_points = max(1, grid.size // (4 * n_workers))
+    n_chunks = max(1, -(-per_pair // block_points))  # ceil division
+    # greedy split, longest axes first, until the windows multiply out
+    # to >= n_chunks (or every axis is fully split)
+    parts = [1] * len(axes)
+    for axis in sorted(range(len(axes)), key=lambda a: -lengths[a]):
+        if n_chunks <= 1:
+            break
+        parts[axis] = min(n_chunks, lengths[axis])
+        n_chunks = -(-n_chunks // parts[axis])
+    windows_per_axis = [
+        [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if lo != hi
+        ]
+        for bounds in (
+            np.linspace(0, length, n + 1).astype(int)
+            for length, n in zip(lengths, parts)
+        )
+    ]
+    tasks = []
+    for i, app in enumerate(grid.apps):
+        for j, scheme in enumerate(grid.schemes):
+            for windows in itertools.product(*windows_per_axis):
+                sub = tuple(
+                    axis[lo:hi] for axis, (lo, hi) in zip(axes, windows)
+                )
+                tasks.append(((i, j, windows), (app, scheme) + sub))
+    return tasks
 
 
 def _arrays_process(
     grid: SweepGrid, ngpc: Optional[NGPCConfig], max_workers: Optional[int]
 ) -> Dict[str, np.ndarray]:
-    """Process-pool fallback for non-vectorizable model paths."""
+    """Block-parallel engine: vectorized shards on a process pool.
+
+    Workers evaluate whole NumPy blocks (not scalar points), so even a
+    single-core pool runs at vectorized speed; extra cores scale the
+    block throughput.  Worker initialization (calibration constants,
+    base config) happens once per worker in the pool initializer rather
+    than being pickled into every task.
+    """
     import concurrent.futures
     from concurrent.futures.process import BrokenProcessPool
 
-    points = [p + (ngpc,) for p in grid.points()]
+    n_workers = max_workers or os.cpu_count() or 1
+    tasks = _block_tasks(grid, n_workers)
+    calibration = calibration_fingerprint()
     try:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            chunk = max(1, len(points) // ((max_workers or 4) * 4))
-            rows = list(pool.map(_evaluate_point, points, chunksize=chunk))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_sweep_worker,
+            initargs=(calibration, ngpc, grid.schemes),
+        ) as pool:
+            blocks = list(pool.map(_evaluate_block, [t[1] for t in tasks]))
     except (OSError, BrokenProcessPool):  # no usable fork/spawn: degrade
-        rows = [_evaluate_point(p) for p in points]
-    flat = np.asarray(rows, dtype=np.float64).reshape(grid.shape + (7,))
-    out = {
-        "baseline_ms": flat[..., 0],
-        "accelerated_ms": flat[..., 1],
-        "encoding_engine_ms": flat[..., 2],
-        "mlp_engine_ms": flat[..., 3],
-        "dma_ms": flat[..., 4],
-        "fused_rest_ms": flat[..., 5],
-        "amdahl_bound": flat[..., 6][:, :, 0, 0],
-    }
+        _init_sweep_worker(calibration, ngpc, ())
+        blocks = [_evaluate_block(t[1]) for t in tasks]
+    shape = grid.shape
+    out = {name: np.empty(shape) for name in _TIMING_FIELDS}
+    out["amdahl_bound"] = np.empty(shape[:2])
+    for (i, j, windows), block in zip((t[0] for t in tasks), blocks):
+        dest = (i, j) + tuple(slice(lo, hi) for lo, hi in windows)
+        for name in _TIMING_FIELDS:
+            out[name][dest] = block[name]
+        out["amdahl_bound"][i, j] = block["amdahl_bound"]
     return out
 
 
@@ -419,16 +761,21 @@ def sweep_grid(
     """Evaluate the full cartesian ``grid`` in one call.
 
     ``engine`` selects "vectorized" (NumPy broadcasting, default),
-    "scalar" (memoized per-point loop) or "process" (process-pool
-    fallback).  Whole results are memoized on (grid, engine, ngpc,
-    calibration fingerprint); pass ``use_cache=False`` to force a fresh
-    evaluation.
+    "scalar" (memoized per-point loop), "process" (block-sharded process
+    pool: contiguous vectorized shards of ~size/(4·workers) points per
+    task) or "auto" (vectorized below :data:`AUTO_PROCESS_MIN_POINTS` or
+    on a single core, block-parallel above).  Results are memoized on
+    (grid, engine, ngpc, calibration fingerprint) for grids up to
+    :data:`_SWEEP_CACHE_MAX_POINTS` points; pass ``use_cache=False`` to
+    force a fresh evaluation.
     """
-    grid = grid or SweepGrid()
+    grid = (grid or SweepGrid()).resolve(ngpc)
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+    engine = _resolve_engine(engine, grid)
+    cacheable = use_cache and grid.size <= _SWEEP_CACHE_MAX_POINTS
     key = (grid, engine, ngpc, calibration_fingerprint())
-    if use_cache:
+    if cacheable:
         cached = _SWEEP_CACHE.get(key)
         if cached is not None:
             return cached
@@ -438,7 +785,13 @@ def sweep_grid(
         arrays = _arrays_scalar(grid, ngpc)
     else:
         arrays = _arrays_process(grid, ngpc, max_workers)
-    cost = ngpc_area_power_batch(np.asarray(grid.scale_factors), ngpc.nfp if ngpc else None)
+    cost = ngpc_area_power_batch(
+        np.asarray(grid.scale_factors),
+        ngpc.nfp if ngpc else None,
+        clocks_ghz=grid.clocks_ghz,
+        grid_sram_kb=grid.grid_sram_kb,
+        n_engines=grid.n_engines,
+    )
     arrays.update(
         area_mm2_7nm=cost["area_mm2_7nm"],
         power_w_7nm=cost["power_w_7nm"],
@@ -450,7 +803,7 @@ def sweep_grid(
         # one consumer's mutation cannot poison every later cached query
         array.setflags(write=False)
     result = SweepResult(grid=grid, engine=engine, **arrays)
-    if use_cache:
+    if cacheable:
         _SWEEP_CACHE.put(key, result)
     return result
 
@@ -466,25 +819,34 @@ def pareto_front(costs, values) -> List[int]:
     A point is dominated when another has cost <= and value >= with at
     least one strict inequality; duplicates of a frontier point are
     kept.  Returned indices are sorted by ascending cost (ties: by
-    descending value).
+    descending value).  Fully vectorized — a 100k-point front resolves
+    in milliseconds (``benchmarks/bench_sweep_scaling.py`` gates the
+    sub-second floor).
     """
     costs = np.asarray(costs, dtype=np.float64)
     values = np.asarray(values, dtype=np.float64)
     if costs.shape != values.shape or costs.ndim != 1:
         raise ValueError("costs and values must be 1-D arrays of equal length")
+    if costs.size == 0:
+        return []
     order = np.lexsort((-values, costs))  # cost ascending, value descending
-    front: List[int] = []
-    best_value = -np.inf
-    best_cost = np.nan
-    for idx in order:
-        i = int(idx)
-        if values[i] > best_value:
-            front.append(i)
-            best_value = values[i]
-            best_cost = costs[i]
-        elif values[i] == best_value and costs[i] == best_cost:
-            front.append(i)  # exact duplicate of the frontier point
-    return front
+    sorted_costs = costs[order]
+    sorted_values = values[order]
+    # a point opens the frontier when its value beats every earlier value
+    prev_max = np.empty_like(sorted_values)
+    prev_max[0] = -np.inf
+    np.maximum.accumulate(sorted_values[:-1], out=prev_max[1:])
+    opens = sorted_values > prev_max
+    # exact duplicates of a frontier point are kept: group runs of equal
+    # (cost, value) — lexsort is stable, so duplicates are contiguous —
+    # and let every member inherit the run leader's verdict
+    starts = np.ones(len(order), dtype=bool)
+    starts[1:] = (sorted_costs[1:] != sorted_costs[:-1]) | (
+        sorted_values[1:] != sorted_values[:-1]
+    )
+    run_id = np.cumsum(starts) - 1
+    keep = opens[starts][run_id]
+    return [int(i) for i in order[keep]]
 
 
 def cheapest_meeting_fps(
@@ -515,9 +877,9 @@ def cheapest_meeting_fps(
     k = result.grid.scale_factors.index(scale)
     return DesignPoint(
         scale_factor=scale,
-        area_overhead_pct=float(result.area_overhead_pct[k]),
-        power_overhead_pct=float(result.power_overhead_pct[k]),
-        speedups={app: float(result.speedup[0, 0, k, 0])},
+        area_overhead_pct=float(result.area_overhead_pct[k, 0, 0, 0]),
+        power_overhead_pct=float(result.power_overhead_pct[k, 0, 0, 0]),
+        speedups={app: float(result.speedup[0, 0, k, 0, 0, 0, 0, 0])},
     )
 
 
@@ -544,14 +906,14 @@ def design_space(
     speedup = result.speedup
     for k, scale in enumerate(grid.scale_factors):
         speedups = {
-            app: float(speedup[i, 0, k, 0])
+            app: float(speedup[i, 0, k, 0, 0, 0, 0, 0])
             for i, app in enumerate(grid.apps)
         }
         points.append(
             DesignPoint(
                 scale_factor=scale,
-                area_overhead_pct=float(result.area_overhead_pct[k]),
-                power_overhead_pct=float(result.power_overhead_pct[k]),
+                area_overhead_pct=float(result.area_overhead_pct[k, 0, 0, 0]),
+                power_overhead_pct=float(result.power_overhead_pct[k, 0, 0, 0]),
                 speedups=speedups,
             )
         )

@@ -8,7 +8,7 @@ over the GPU baseline, and the per-stage decomposition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 import numpy as np
@@ -114,6 +114,30 @@ class Emulator:
 _EMULATE_CACHE = ModelCache("emulate", maxsize=65536)
 
 
+def emulate_with_config(
+    app: str,
+    scheme: str,
+    config: NGPCConfig,
+    n_pixels: int = FHD_PIXELS,
+) -> EmulationResult:
+    """One emulator run for an arbitrary :class:`NGPCConfig`, memoized.
+
+    The cache key is the full architecture configuration — scale factor,
+    NFP geometry (clock, SRAM sizes, engine count) and pipeline batch
+    count — plus a fingerprint of the mutable calibration constants, so
+    architecture-axis sweeps and the perturbation contexts of
+    :mod:`repro.analysis.sensitivity` each see exactly their own
+    results.  Cache hits return the identical (frozen) result object.
+    """
+    key = (app, scheme, config, n_pixels, calibration_fingerprint())
+    cached = _EMULATE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = Emulator(config).run(app, scheme, n_pixels)
+    _EMULATE_CACHE.put(key, result)
+    return result
+
+
 def emulate(
     app: str,
     scheme: str,
@@ -127,14 +151,9 @@ def emulate(
     contexts of :mod:`repro.analysis.sensitivity` always see fresh
     values.  Cache hits return the identical (frozen) result object.
     """
-    config = NGPCConfig(scale_factor=scale_factor)
-    key = (app, scheme, config, n_pixels, calibration_fingerprint())
-    cached = _EMULATE_CACHE.get(key)
-    if cached is not None:
-        return cached
-    result = Emulator(config).run(app, scheme, n_pixels)
-    _EMULATE_CACHE.put(key, result)
-    return result
+    return emulate_with_config(
+        app, scheme, NGPCConfig(scale_factor=scale_factor), n_pixels
+    )
 
 
 def emulate_uncached(
@@ -155,20 +174,31 @@ def emulate_batch(
     ngpc: Optional[NGPCConfig] = None,
     fuse_rest: bool = True,
     overlap: bool = True,
+    clocks_ghz=None,
+    grid_sram_kb=None,
+    n_engines=None,
+    n_batches=None,
 ) -> Dict[str, np.ndarray]:
     """Vectorized emulator: every :class:`EmulationResult` field as an array.
 
-    Evaluates the full ``scale_factors`` x ``n_pixels`` plane of one
-    (app, scheme) pair in one shot via the NumPy fast paths of the engine
-    models, instead of one scalar :func:`emulate` call per point.  Each
-    returned array has shape (S, P); ``amdahl_bound`` is a scalar.  The
-    batched arithmetic mirrors the scalar path operation for operation,
-    so the two agree bit for bit (the equivalence harness in
+    Evaluates one (app, scheme) pair over the full cartesian product of
+    the design axes in one shot via the NumPy fast paths of the engine
+    models, instead of one scalar :func:`emulate` call per point.  With
+    only ``scale_factors`` (length S) and ``n_pixels`` (length P) given,
+    each returned array has shape (S, P).  Passing any of the
+    architecture axes — ``clocks_ghz`` (C, NFP clock), ``grid_sram_kb``
+    (G, per-engine grid SRAM in KB), ``n_engines`` (E, encoding engines
+    per NFP) or ``n_batches`` (B, pipeline batches) — switches to the
+    N-dimensional fast path and every array has the full hypercube shape
+    (S, P, C, G, E, B), with axes not supplied taken (length 1) from
+    ``ngpc``.  ``amdahl_bound`` is a scalar in both modes.  The batched
+    arithmetic mirrors the scalar path operation for operation, so the
+    two agree bit for bit (the equivalence harness in
     ``tests/test_sweep_engine.py`` enforces this).
 
-    ``ngpc`` supplies the non-scale architecture parameters (NFP
-    geometry, pipeline batches, spill penalty); its own ``scale_factor``
-    is ignored in favour of the ``scale_factors`` axis.
+    ``ngpc`` supplies the remaining architecture parameters (MAC
+    geometry, spill penalty, defaults for unswept axes); its own
+    ``scale_factor`` is ignored in favour of the ``scale_factors`` axis.
     """
     if app not in APP_NAMES:
         raise ValueError(f"unknown app {app!r}")
@@ -186,32 +216,106 @@ def emulate_batch(
         )
     pixels = np.asarray(n_pixels).reshape(-1)
     config = get_config(app, scheme)
+    architectural = not (
+        clocks_ghz is None
+        and grid_sram_kb is None
+        and n_engines is None
+        and n_batches is None
+    )
 
     baseline = baseline_kernel_times_ms(app, scheme, pixels)  # (P,) arrays
-    enc = encoding_engine_time_ms_batch(config, pixels, scales, base)  # (S, P)
-    mlp = mlp_engine_time_ms_batch(config, pixels, scales, base)
-    dma = dma_overhead_ms_batch(app, pixels, scales)
-    ngpc_time = enc + mlp + dma
-    if fuse_rest:
-        rest = fused_rest_time_ms(app, scheme, pixels)  # (P,)
+    # -- N-dimensional architecture hypercube ------------------------------
+    # (the classic (S, P) call is the same computation with singleton
+    # architecture axes, squeezed at the end)
+    clocks = tuple(
+        float(c)
+        for c in np.asarray(
+            clocks_ghz if clocks_ghz is not None else (base.nfp.clock_ghz,)
+        ).reshape(-1)
+    )
+    srams = tuple(
+        int(g)
+        for g in np.asarray(
+            grid_sram_kb
+            if grid_sram_kb is not None
+            else (base.nfp.grid_sram_kb_per_engine,)
+        ).reshape(-1)
+    )
+    engines = tuple(
+        int(e)
+        for e in np.asarray(
+            n_engines if n_engines is not None else (base.nfp.n_encoding_engines,)
+        ).reshape(-1)
+    )
+    if not overlap:
+        if n_batches is not None:
+            raise ValueError(
+                "overlap=False (one batch, no pipelining) conflicts with "
+                "an explicit n_batches axis"
+            )
+        batches = (1,)
     else:
-        rest = baseline["rest"]
-    n_batches = base.n_pipeline_batches if overlap else 1
-    total = pipeline_total_ms_batch(ngpc_time, rest, n_batches)
+        batches = tuple(
+            int(b)
+            for b in np.asarray(
+                n_batches if n_batches is not None else (base.n_pipeline_batches,)
+            ).reshape(-1)
+        )
+    # reuse the scalar path's validation, one axis value at a time
+    for clock in clocks:
+        replace(base.nfp, clock_ghz=clock)
+    for kb in srams:
+        replace(base.nfp, grid_sram_kb_per_engine=kb)
+    for n_eng in engines:
+        replace(base.nfp, n_encoding_engines=n_eng)
+    for n_b in batches:
+        replace(base, n_pipeline_batches=n_b)
 
-    shape = (len(scales), len(pixels))
-    baseline_total = np.broadcast_to(baseline["total"], shape)
-    rest_full = np.broadcast_to(rest, shape)
-    return {
+    enc = encoding_engine_time_ms_batch(
+        config, pixels, scales, base,
+        clocks_ghz=clocks, grid_sram_kb=srams, n_engines=engines,
+    )  # (S, P, C, G, E)
+    mlp = mlp_engine_time_ms_batch(
+        config, pixels, scales, base, clocks_ghz=clocks
+    )  # (S, P, C, 1, 1)
+    dma = dma_overhead_ms_batch(app, pixels, scales)  # (S, P)
+    dma = dma.reshape(dma.shape + (1, 1, 1))
+    ngpc_time = enc + mlp + dma  # (S, P, C, G, E)
+    if fuse_rest:
+        rest = np.asarray(fused_rest_time_ms(app, scheme, pixels))
+    else:
+        rest = np.asarray(baseline["rest"])
+    rest_nd = rest.reshape(1, -1, 1, 1, 1, 1)
+    batches_nd = np.asarray(batches, dtype=np.int64).reshape(1, 1, 1, 1, 1, -1)
+    total = pipeline_total_ms_batch(
+        ngpc_time[..., None], rest_nd, batches_nd
+    )  # (S, P, C, G, E, B)
+
+    shape = (
+        len(scales), len(pixels), len(clocks), len(srams), len(engines),
+        len(batches),
+    )
+    baseline_total = np.broadcast_to(
+        np.asarray(baseline["total"]).reshape(1, -1, 1, 1, 1, 1), shape
+    )
+    total = np.ascontiguousarray(np.broadcast_to(total, shape))
+    out = {
         "baseline_ms": np.ascontiguousarray(baseline_total),
         "accelerated_ms": total,
-        "encoding_engine_ms": enc,
-        "mlp_engine_ms": mlp,
-        "dma_ms": dma,
-        "fused_rest_ms": np.ascontiguousarray(rest_full),
+        "encoding_engine_ms": np.ascontiguousarray(
+            np.broadcast_to(enc[..., None], shape)
+        ),
+        "mlp_engine_ms": np.ascontiguousarray(
+            np.broadcast_to(mlp[..., None], shape)
+        ),
+        "dma_ms": np.ascontiguousarray(np.broadcast_to(dma[..., None], shape)),
+        "fused_rest_ms": np.ascontiguousarray(np.broadcast_to(rest_nd, shape)),
         "speedup": baseline_total / total,
-        "amdahl_bound": amdahl_bound(app, scheme),
     }
+    if not architectural:  # classic call: squeeze back to the (S, P) plane
+        out = {name: arr.reshape(shape[:2]) for name, arr in out.items()}
+    out["amdahl_bound"] = amdahl_bound(app, scheme)
+    return out
 
 
 def speedup_table(scheme: str, n_pixels: int = FHD_PIXELS) -> Dict[int, Dict[str, float]]:

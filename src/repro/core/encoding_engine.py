@@ -139,11 +139,28 @@ class EncodingEngineFunctional:
 # ---------------------------------------------------------------------------
 
 
-def parallel_inputs(n_levels: int, n_engines: int = 16) -> int:
-    """Inputs processed simultaneously: 16 engines // L levels, min 1."""
-    if n_levels < 1 or n_engines < 1:
+def parallel_inputs(n_levels: int, n_engines=16):
+    """Inputs processed simultaneously: 16 engines // L levels, min 1.
+
+    ``n_engines`` may be an integer or an integer array (the batched
+    sweep engine's engine-count axis); the scalar form returns a plain
+    ``int``, the array form an elementwise ``int64`` array.
+    """
+    engines = np.asarray(n_engines)
+    if n_levels < 1 or np.any(engines < 1):
         raise ValueError("levels and engines must be positive")
-    return max(1, n_engines // n_levels)
+    par = np.maximum(1, engines // n_levels)
+    return int(par) if np.isscalar(n_engines) else par
+
+
+def _level_entries(config: AppConfig, level: int) -> int:
+    """Feature-table entries the hardware must hold for one level."""
+    grid = config.grid
+    if grid.scheme == "multi_res_hashgrid":
+        return min(_dense_entries(config, level), grid.table_size)
+    if grid.scheme == "multi_res_densegrid":
+        return _dense_entries(config, level)
+    return _tiled_entries(config, level)
 
 
 def level_spill_fraction(config: AppConfig, ngpc: NGPCConfig) -> float:
@@ -152,14 +169,32 @@ def level_spill_fraction(config: AppConfig, ngpc: NGPCConfig) -> float:
     sram = ngpc.nfp.grid_sram_bytes_per_engine
     spilled = 0
     for level in range(grid.n_levels):
-        if grid.scheme == "multi_res_hashgrid":
-            entries = min((_dense_entries(config, level)), grid.table_size)
-        elif grid.scheme == "multi_res_densegrid":
-            entries = _dense_entries(config, level)
-        else:
-            entries = _tiled_entries(config, level)
+        entries = _level_entries(config, level)
         if entries * grid.n_features * HW_BYTES_PER_FEATURE > sram:
             spilled += 1
+    return spilled / grid.n_levels
+
+
+def level_spill_fraction_batch(config: AppConfig, grid_sram_kb) -> np.ndarray:
+    """Vectorized :func:`level_spill_fraction` over per-engine SRAM sizes.
+
+    ``grid_sram_kb`` is an array of SRAM sizes in KB; the result has the
+    same shape.  The per-level byte counts are integers, so the
+    comparison (and the spilled/levels division) matches the scalar path
+    bit for bit.
+    """
+    grid = config.grid
+    sram_bytes = np.asarray(grid_sram_kb, dtype=np.int64) * 1024
+    if np.any(sram_bytes < 1024):
+        raise ValueError("SRAM sizes must be positive")
+    level_bytes = np.asarray(
+        [
+            _level_entries(config, level) * grid.n_features * HW_BYTES_PER_FEATURE
+            for level in range(grid.n_levels)
+        ],
+        dtype=np.int64,
+    ).reshape((-1,) + (1,) * sram_bytes.ndim)
+    spilled = np.sum(level_bytes > sram_bytes, axis=0)
     return spilled / grid.n_levels
 
 
@@ -223,31 +258,62 @@ def encoding_engine_time_ms_batch(
     n_pixels,
     scale_factors,
     ngpc: Optional[NGPCConfig] = None,
+    clocks_ghz=None,
+    grid_sram_kb=None,
+    n_engines=None,
 ) -> np.ndarray:
-    """Vectorized :func:`encoding_engine_time_ms` over scales x pixels.
+    """Vectorized :func:`encoding_engine_time_ms` over the design axes.
 
-    ``scale_factors`` (length S) and ``n_pixels`` (length P) broadcast to
-    an (S, P) float64 array of engine times.  ``ngpc`` supplies the
-    non-scale parameters (NFP geometry, spill penalty); its own
-    ``scale_factor`` is ignored.  The arithmetic mirrors the scalar path
-    operation for operation, so the two agree bit for bit.
+    With only ``scale_factors`` (length S) and ``n_pixels`` (length P)
+    given, broadcasts to an (S, P) float64 array of engine times —
+    ``ngpc`` supplies the non-scale parameters (NFP geometry, spill
+    penalty) and its own ``scale_factor`` is ignored.  Passing any of
+    the architecture axes ``clocks_ghz`` (length C), ``grid_sram_kb``
+    (length G, per-engine KB) or ``n_engines`` (length E, encoding
+    engines per NFP) switches to the N-dimensional fast path: the result
+    is the full (S, P, C, G, E) hypercube, with axes not supplied taken
+    (length 1) from ``ngpc``.  Both paths mirror the scalar arithmetic
+    operation for operation, so batched == scalar bit for bit.
     """
     ngpc = ngpc or NGPCConfig()
-    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1)
-    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1)
+    legacy = clocks_ghz is None and grid_sram_kb is None and n_engines is None
+    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1, 1, 1, 1)
+    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1, 1, 1, 1)
+    if clocks_ghz is None:
+        clocks_ghz = (ngpc.nfp.clock_ghz,)
+    if grid_sram_kb is None:
+        grid_sram_kb = (ngpc.nfp.grid_sram_kb_per_engine,)
+    if n_engines is None:
+        n_engines = (ngpc.nfp.n_encoding_engines,)
+    clocks = np.asarray(clocks_ghz, dtype=np.float64).reshape(1, 1, -1, 1, 1)
+    srams = np.asarray(grid_sram_kb, dtype=np.int64).reshape(1, 1, 1, -1, 1)
+    engines = np.asarray(n_engines, dtype=np.int64).reshape(1, 1, 1, 1, -1)
     if np.any(scales < 1):
         raise ValueError("scale factors must be >= 1")
     if np.any(pixels <= 0):
         raise ValueError("n_pixels must be positive")
+    if np.any(clocks <= 0):
+        raise ValueError("clock must be positive")
+    if np.any(engines < 1):
+        raise ValueError("need at least one encoding engine")
+    for kb in srams.reshape(-1):
+        if not is_power_of_two(int(kb)):
+            raise ValueError(
+                f"grid_sram_kb_per_engine must be a power of two (got {int(kb)} KB)"
+            )
     lanes = _calibrated_lanes(config.grid.scheme)
-    par = parallel_inputs(config.grid.n_levels, ngpc.nfp.n_encoding_engines)
-    spill = level_spill_fraction(config, ngpc)
+    par = parallel_inputs(config.grid.n_levels, engines)
+    spill = level_spill_fraction_batch(config, srams)
     samples = samples_per_frame(config, pixels)
     throughput = (par * lanes) * scales
     cycles = samples / throughput
     cycles = cycles * ((1.0 - spill) + spill * ngpc.l2_spill_penalty)
-    fill = ngpc.nfp.pipeline_fill_cycles / ngpc.nfp.cycles_per_ms
-    return cycles / ngpc.nfp.cycles_per_ms + fill
+    cycles_per_ms = clocks * 1e6
+    fill = ngpc.nfp.pipeline_fill_cycles / cycles_per_ms
+    time_ms = cycles / cycles_per_ms + fill
+    if legacy:  # classic (S, P) plane: drop the singleton arch axes
+        return time_ms.reshape(time_ms.shape[:2])
+    return time_ms
 
 
 def encoding_kernel_speedup(

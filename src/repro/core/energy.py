@@ -89,20 +89,59 @@ def energy_per_frame_batch(
     scale_factors=(8, 16, 32, 64),
     n_pixels=FHD_PIXELS,
     ngpc: Optional[NGPCConfig] = None,
+    clocks_ghz=None,
+    grid_sram_kb=None,
+    n_engines=None,
+    n_batches=None,
 ) -> Dict[str, np.ndarray]:
-    """Vectorized :func:`energy_per_frame` over scales x pixels.
+    """Vectorized :func:`energy_per_frame` over the design axes.
 
-    Returns (S, P) arrays for ``baseline_mj``, ``accelerated_mj``,
+    Returns arrays for ``baseline_mj``, ``accelerated_mj``,
     ``baseline_fps_per_watt``, ``accelerated_fps_per_watt``,
     ``energy_reduction`` and ``efficiency_gain``, with the same
-    arithmetic as the scalar path.
+    arithmetic as the scalar path.  With only scales and pixels given
+    the arrays are (S, P); passing any architecture axis (``clocks_ghz``,
+    ``grid_sram_kb``, ``n_engines``, ``n_batches`` — see
+    :func:`~repro.core.emulator.emulate_batch`) yields the full
+    (S, P, C, G, E, B) hypercube, the NGPC power drawing from the
+    matching (scale, clock, SRAM, engine-count) cost model.
     """
     base_cfg = ngpc or NGPCConfig()
-    block = emulate_batch(app, scheme, scale_factors, n_pixels, base_cfg)
-    pixels = np.asarray(n_pixels).reshape(1, -1)
-    cost = ngpc_area_power_batch(
-        np.asarray(scale_factors, dtype=np.int64).reshape(-1, 1), base_cfg.nfp
+    architectural = not (
+        clocks_ghz is None
+        and grid_sram_kb is None
+        and n_engines is None
+        and n_batches is None
     )
+    block = emulate_batch(
+        app, scheme, scale_factors, n_pixels, base_cfg,
+        clocks_ghz=clocks_ghz, grid_sram_kb=grid_sram_kb,
+        n_engines=n_engines, n_batches=n_batches,
+    )
+    if architectural:
+        pixels = np.asarray(n_pixels).reshape(1, -1, 1, 1, 1, 1)
+        cost_nd = ngpc_area_power_batch(
+            np.asarray(scale_factors, dtype=np.int64),
+            base_cfg.nfp,
+            clocks_ghz=clocks_ghz
+            if clocks_ghz is not None
+            else (base_cfg.nfp.clock_ghz,),
+            grid_sram_kb=grid_sram_kb
+            if grid_sram_kb is not None
+            else (base_cfg.nfp.grid_sram_kb_per_engine,),
+            n_engines=n_engines
+            if n_engines is not None
+            else (base_cfg.nfp.n_encoding_engines,),
+        )
+        # (K, C, G, E) -> (K, 1, C, G, E, 1) against the timing hypercube
+        cost = {
+            name: arr[:, None, :, :, :, None] for name, arr in cost_nd.items()
+        }
+    else:
+        pixels = np.asarray(n_pixels).reshape(1, -1)
+        cost = ngpc_area_power_batch(
+            np.asarray(scale_factors, dtype=np.int64).reshape(-1, 1), base_cfg.nfp
+        )
 
     gpu_power = RTX3090.tdp_w * GPU_ACTIVE_POWER_FRACTION
     baseline_ms = baseline_frame_time_ms(app, scheme, pixels)

@@ -89,27 +89,43 @@ def mlp_engine_time_ms_batch(
     n_pixels,
     scale_factors,
     ngpc: Optional[NGPCConfig] = None,
+    clocks_ghz=None,
 ):
-    """Vectorized :func:`mlp_engine_time_ms` over scales x pixels.
+    """Vectorized :func:`mlp_engine_time_ms` over the design axes.
 
-    ``scale_factors`` (length S) and ``n_pixels`` (length P) broadcast to
-    an (S, P) float64 array.  ``ngpc`` supplies the non-scale parameters;
-    its own ``scale_factor`` is ignored.  Mirrors the scalar path
-    operation for operation so the two agree bit for bit.
+    With only ``scale_factors`` (length S) and ``n_pixels`` (length P)
+    given, broadcasts to an (S, P) float64 array — ``ngpc`` supplies the
+    non-scale parameters and its own ``scale_factor`` is ignored.
+    Passing ``clocks_ghz`` (length C) switches to the N-dimensional fast
+    path and yields an (S, P, C, 1, 1) array, broadcastable against the
+    encoding engine's (S, P, C, G, E) hypercube (the MLP engine does not
+    see the grid-SRAM or encoding-engine-count axes).  Both paths mirror
+    the scalar arithmetic operation for operation so batched == scalar
+    bit for bit.
     """
     ngpc = ngpc or NGPCConfig()
-    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1)
-    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1)
+    legacy = clocks_ghz is None
+    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1, 1, 1, 1)
+    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1, 1, 1, 1)
+    clocks = np.asarray(
+        clocks_ghz if clocks_ghz is not None else (ngpc.nfp.clock_ghz,),
+        dtype=np.float64,
+    ).reshape(1, 1, -1, 1, 1)
     if np.any(scales < 1):
         raise ValueError("scale factors must be >= 1")
     if np.any(pixels <= 0):
         raise ValueError("n_pixels must be positive")
+    if np.any(clocks <= 0):
+        raise ValueError("clock must be positive")
     batch_parallelism = _calibrated_parallelism(config.grid.scheme)
     samples = samples_per_frame(config, pixels)
     passes = weight_matrices(config)
     cycles = (samples * passes) / (batch_parallelism * scales)
     cycles = cycles + ngpc.nfp.pipeline_fill_cycles
-    return cycles / ngpc.nfp.cycles_per_ms
+    time_ms = cycles / (clocks * 1e6)
+    if legacy:  # classic (S, P) plane: drop the singleton arch axes
+        return time_ms.reshape(time_ms.shape[:2])
+    return time_ms
 
 
 def mlp_kernel_speedup(

@@ -182,9 +182,15 @@ def dma_overhead_ms_batch(app: str, n_pixels, scale_factors) -> np.ndarray:
     return (base * growth) * (pixels / FHD_PIXELS)
 
 
-def pipeline_total_ms_batch(ngpc_time_ms, rest_time_ms, n_batches: int):
-    """Vectorized :attr:`PipelineSchedule.total_ms` (elementwise makespan)."""
-    if n_batches < 1:
+def pipeline_total_ms_batch(ngpc_time_ms, rest_time_ms, n_batches):
+    """Vectorized :attr:`PipelineSchedule.total_ms` (elementwise makespan).
+
+    ``n_batches`` may be a scalar or an integer array (a swept pipeline
+    axis); it broadcasts elementwise against the stage times with the
+    same arithmetic as the scalar makespan.
+    """
+    n_batches = np.asarray(n_batches)
+    if np.any(n_batches < 1):
         raise ValueError("need at least one batch")
     ngpc_batch = ngpc_time_ms / n_batches
     rest_batch = rest_time_ms / n_batches

@@ -226,6 +226,27 @@ GOLDEN_AREA_POWER = {
     64: {'area_mm2_7nm': 228.31411814399996, 'power_w_7nm': 78.39851120926721},
 }
 
+# (clock GHz, grid SRAM KB, engines, batches) -> accelerated ms;
+# NeRF hashgrid @ FHD, NGPC-8 (architecture-axis golden net)
+GOLDEN_ARCH_GRID = {
+    (1.2, 512, 16, 8): 14.211342318743213,
+    (1.2, 512, 16, 16): 13.964418336369324,
+    (1.2, 512, 32, 8): 11.981925125653783,
+    (1.2, 512, 32, 16): 11.735001143279893,
+    (1.2, 1024, 16, 8): 11.536041687035896,
+    (1.2, 1024, 16, 16): 11.289117704662006,
+    (1.2, 1024, 32, 8): 10.644274809800125,
+    (1.2, 1024, 32, 16): 10.397350827426235,
+    (1.695, 512, 16, 8): 12.7971519881461,
+    (1.695, 512, 16, 16): 12.55022800577221,
+    (1.695, 512, 32, 8): 11.218803532861546,
+    (1.695, 512, 32, 16): 10.971879550487657,
+    (1.695, 1024, 16, 8): 10.903133841804637,
+    (1.695, 1024, 16, 16): 10.656209859430747,
+    (1.695, 1024, 32, 8): 10.271794459690815,
+    (1.695, 1024, 32, 16): 10.024870477316925,
+}
+
 
 # ---------------------------------------------------------------------------
 # scalar path vs goldens
@@ -313,3 +334,74 @@ class TestBatchedGoldens:
             assert float(block["power_w_7nm"][k]) == pytest.approx(
                 golden["power_w_7nm"], rel=RTOL
             )
+
+
+# ---------------------------------------------------------------------------
+# architecture-axis grid vs the same goldens (scalar, batched and sweep)
+# ---------------------------------------------------------------------------
+
+_ARCH_CLOCKS = (1.2, 1.695)
+_ARCH_SRAMS = (512, 1024)
+_ARCH_ENGINES = (16, 32)
+_ARCH_BATCHES = (8, 16)
+
+
+class TestArchitectureGridGoldens:
+    @pytest.mark.parametrize("point", sorted(GOLDEN_ARCH_GRID))
+    def test_scalar_pinned(self, point):
+        from repro.core.config import NFPConfig
+        from repro.core.emulator import Emulator
+
+        clock, sram, engines, batches = point
+        config = NGPCConfig(
+            scale_factor=8,
+            nfp=NFPConfig(
+                clock_ghz=clock,
+                grid_sram_kb_per_engine=sram,
+                n_encoding_engines=engines,
+            ),
+            n_pipeline_batches=batches,
+        )
+        result = Emulator(config).run("nerf", "multi_res_hashgrid")
+        assert result.accelerated_ms == pytest.approx(
+            GOLDEN_ARCH_GRID[point], rel=RTOL
+        )
+
+    def test_batched_pinned(self):
+        block = emulate_batch(
+            "nerf", "multi_res_hashgrid", (8,),
+            clocks_ghz=_ARCH_CLOCKS, grid_sram_kb=_ARCH_SRAMS,
+            n_engines=_ARCH_ENGINES, n_batches=_ARCH_BATCHES,
+        )
+        for c, clock in enumerate(_ARCH_CLOCKS):
+            for g, sram in enumerate(_ARCH_SRAMS):
+                for e, engines in enumerate(_ARCH_ENGINES):
+                    for b, batches in enumerate(_ARCH_BATCHES):
+                        golden = GOLDEN_ARCH_GRID[(clock, sram, engines, batches)]
+                        assert float(
+                            block["accelerated_ms"][0, 0, c, g, e, b]
+                        ) == pytest.approx(golden, rel=RTOL), (clock, sram, engines, batches)
+
+    @pytest.mark.parametrize("engine", ("vectorized", "scalar", "process"))
+    def test_sweep_grid_pinned(self, engine):
+        from repro.core.dse import SweepGrid, sweep_grid
+
+        grid = SweepGrid(
+            apps=("nerf",),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8,),
+            clocks_ghz=_ARCH_CLOCKS,
+            grid_sram_kb=_ARCH_SRAMS,
+            n_engines=_ARCH_ENGINES,
+            n_batches=_ARCH_BATCHES,
+        )
+        result = sweep_grid(
+            grid, engine=engine, max_workers=2, use_cache=False
+        )
+        for (clock, sram, engines, batches), golden in GOLDEN_ARCH_GRID.items():
+            point = result.point(
+                "nerf", "multi_res_hashgrid", 8, 1920 * 1080,
+                clock_ghz=clock, grid_sram_kb=sram,
+                n_engines=engines, n_batches=batches,
+            )
+            assert point.accelerated_ms == pytest.approx(golden, rel=RTOL)

@@ -110,8 +110,8 @@ class TestBatchedEqualsScalar:
         np.testing.assert_allclose(
             vec.accelerated_ms, scal.accelerated_ms, rtol=RTOL, atol=0.0
         )
-        assert float(scal.accelerated_ms[0, 0, 0, 0]) != pytest.approx(
-            float(default.accelerated_ms[0, 0, 0, 0]), rel=1e-3
+        assert float(scal.accelerated_ms.flat[0]) != pytest.approx(
+            float(default.accelerated_ms.flat[0]), rel=1e-3
         )
 
     def test_cached_result_arrays_are_frozen(self):
@@ -161,6 +161,256 @@ class TestBatchedEqualsScalar:
             "accelerated_fps_per_watt",
         ):
             assert float(block[name][0, 0]) == pytest.approx(
+                getattr(scalar, name), rel=RTOL
+            ), name
+
+
+clocks = st.floats(min_value=0.2, max_value=4.0, allow_nan=False)
+srams = st.sampled_from([128, 256, 512, 1024, 2048, 4096])
+engine_counts = st.sampled_from([1, 2, 4, 8, 16, 32])
+batch_counts = st.integers(min_value=1, max_value=64)
+
+
+class TestArchitectureAxes:
+    """N-D batched == scalar over the architecture axes."""
+
+    @given(apps, schemes, scales, pixels, clocks, srams, engine_counts, batch_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_single_point(
+        self, app, scheme, scale, n_pixels, clock, sram, n_eng, n_b
+    ):
+        from repro.core.emulator import Emulator
+
+        nfp = NFPConfig(
+            clock_ghz=clock,
+            grid_sram_kb_per_engine=sram,
+            n_encoding_engines=n_eng,
+        )
+        config = NGPCConfig(
+            scale_factor=scale, nfp=nfp, n_pipeline_batches=n_b
+        )
+        scalar = Emulator(config).run(app, scheme, n_pixels)
+        block = emulate_batch(
+            app, scheme, (scale,), (n_pixels,),
+            clocks_ghz=(clock,), grid_sram_kb=(sram,),
+            n_engines=(n_eng,), n_batches=(n_b,),
+        )
+        assert block["accelerated_ms"].shape == (1, 1, 1, 1, 1, 1)
+        for name in _FIELDS:
+            assert float(block[name].flat[0]) == pytest.approx(
+                getattr(scalar, name), rel=RTOL
+            ), name
+        assert float(block["speedup"].flat[0]) == pytest.approx(
+            scalar.speedup, rel=RTOL
+        )
+
+    def test_hypercube_engines_agree_bit_for_bit(self):
+        grid = SweepGrid(
+            apps=("nerf", "gia"),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8, 64),
+            pixel_counts=(518_400, 2_073_600),
+            clocks_ghz=(0.9, 1.695),
+            grid_sram_kb=(256, 1024),
+            n_engines=(8, 16),
+            n_batches=(4, 16),
+        )
+        vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+        scal = sweep_grid(grid, engine="scalar", use_cache=False)
+        proc = sweep_grid(grid, engine="process", max_workers=2, use_cache=False)
+        assert vec.accelerated_ms.shape == grid.shape
+        for name in _FIELDS + ("amdahl_bound",):
+            np.testing.assert_array_equal(
+                getattr(vec, name), getattr(scal, name), err_msg=name
+            )
+            np.testing.assert_array_equal(
+                getattr(vec, name), getattr(proc, name), err_msg=name
+            )
+
+    def test_cost_arrays_span_architecture_axes(self):
+        grid = SweepGrid(
+            apps=("nvr",),
+            scale_factors=(8, 32),
+            clocks_ghz=(0.9, 1.695),
+            grid_sram_kb=(512, 1024),
+            n_engines=(8, 16),
+        )
+        result = sweep_grid(grid, use_cache=False)
+        assert result.area_overhead_pct.shape == (2, 2, 2, 2)
+        # SRAM halving shrinks area; clock does not change area but
+        # does change power
+        assert float(result.area_mm2_7nm[0, 0, 0, 0]) < float(
+            result.area_mm2_7nm[0, 0, 1, 0]
+        )
+        assert float(result.area_mm2_7nm[0, 0, 0, 0]) == float(
+            result.area_mm2_7nm[0, 1, 0, 0]
+        )
+        assert float(result.power_w_7nm[0, 0, 0, 0]) < float(
+            result.power_w_7nm[0, 1, 0, 0]
+        )
+
+    def test_point_lookup_with_architecture_axes(self):
+        grid = SweepGrid(
+            apps=("nerf",),
+            scale_factors=(8,),
+            clocks_ghz=(0.9, 1.695),
+            n_batches=(4, 16),
+        )
+        result = sweep_grid(grid, use_cache=False)
+        from repro.core.emulator import Emulator
+
+        config = NGPCConfig(
+            scale_factor=8,
+            nfp=NFPConfig(clock_ghz=0.9),
+            n_pipeline_batches=4,
+        )
+        ref = Emulator(config).run("nerf", "multi_res_hashgrid", 2_073_600)
+        got = result.point(
+            "nerf", "multi_res_hashgrid", 8, 2_073_600,
+            clock_ghz=0.9, n_batches=4,
+        )
+        assert got.accelerated_ms == pytest.approx(ref.accelerated_ms, rel=RTOL)
+        # ambiguous axis without an explicit value
+        with pytest.raises(KeyError):
+            result.point("nerf", "multi_res_hashgrid", 8, 2_073_600)
+        # off-grid axis value
+        with pytest.raises(KeyError):
+            result.point(
+                "nerf", "multi_res_hashgrid", 8, 2_073_600,
+                clock_ghz=1.0, n_batches=4,
+            )
+
+    def test_auto_engine_matches_vectorized(self):
+        from repro.core.dse import _resolve_engine
+
+        grid = SweepGrid(apps=("gia",), scale_factors=(8, 64))
+        auto = sweep_grid(grid, engine="auto", use_cache=False)
+        vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+        assert auto.engine in ("vectorized", "process")
+        np.testing.assert_array_equal(auto.accelerated_ms, vec.accelerated_ms)
+        # small grids always stay in-process
+        assert _resolve_engine("auto", grid.resolve()) == "vectorized"
+
+    def test_block_tasks_tile_the_grid_exactly(self):
+        from repro.core.dse import _block_tasks
+
+        grid = SweepGrid(
+            apps=("nerf", "gia"),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8, 16, 32, 64),
+            pixel_counts=(1000, 2000),
+            clocks_ghz=(0.9, 1.2, 1.695),
+            n_batches=(4, 16),
+        ).resolve()
+        for n_workers in (1, 2, 7):
+            tasks = _block_tasks(grid, n_workers)
+            covered = np.zeros(grid.shape, dtype=int)
+            for (i, j, windows), task in tasks:
+                covered[(i, j) + tuple(slice(lo, hi) for lo, hi in windows)] += 1
+                # the task's axis subsets match the placement windows
+                for axis_values, (lo, hi) in zip(task[2:], windows):
+                    assert len(axis_values) == hi - lo
+            assert covered.min() == covered.max() == 1, n_workers
+
+    def test_block_tasks_split_multiple_axes_for_many_workers(self):
+        from repro.core.dse import _block_tasks
+
+        # one (app, scheme) pair: chunks must come from the config axes
+        # alone, spilling past the longest axis when workers demand it
+        grid = SweepGrid(
+            apps=("nerf",),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8, 16, 32, 64),
+            pixel_counts=tuple(range(1000, 6000, 1000)),
+            clocks_ghz=(0.9, 1.2, 1.695),
+            n_batches=(4, 16),
+        ).resolve()
+        tasks = _block_tasks(grid, n_workers=16)
+        # 4*16 target blocks on a 120-point grid: more chunks than the
+        # longest single axis (5) can provide
+        assert len(tasks) > 5
+        covered = np.zeros(grid.shape, dtype=int)
+        for (i, j, windows), _ in tasks:
+            covered[(i, j) + tuple(slice(lo, hi) for lo, hi in windows)] += 1
+        assert covered.min() == covered.max() == 1
+
+    def test_ambiguous_query_axes_raise(self):
+        grid = SweepGrid(
+            apps=("gia",),
+            schemes=("multi_res_hashgrid", "low_res_densegrid"),
+            scale_factors=(8,),
+            pixel_counts=(518_400, 2_073_600),
+        )
+        result = sweep_grid(grid, use_cache=False)
+        with pytest.raises(KeyError):
+            result.pareto_front("multi_res_hashgrid")  # which resolution?
+        with pytest.raises(KeyError):
+            result.cheapest_meeting_fps("gia", 60.0, n_pixels=518_400)
+        assert result.pareto_front("multi_res_hashgrid", 518_400)
+        assert result.cheapest_meeting_fps(
+            "gia", 60.0, n_pixels=518_400, scheme="multi_res_hashgrid"
+        ) == 8
+
+    def test_cheapest_point_carries_architecture_config(self):
+        grid = SweepGrid(
+            apps=("nerf",),
+            scale_factors=(8, 16, 32, 64),
+            pixel_counts=(3840 * 2160,),
+            clocks_ghz=(0.9, 1.695),
+            grid_sram_kb=(512, 1024),
+        )
+        result = sweep_grid(grid, use_cache=False)
+        hit = result.cheapest_point_meeting_fps("nerf", 30.0)
+        assert hit is not None
+        axes = dict(hit.config_axes)
+        assert set(axes) == {"clock_ghz", "grid_sram_kb"}
+        # the named configuration really is feasible on the grid
+        point = result.point(
+            "nerf", "multi_res_hashgrid", hit.scale_factor, 3840 * 2160,
+            clock_ghz=axes["clock_ghz"], grid_sram_kb=axes["grid_sram_kb"],
+        )
+        assert point.fps >= 30.0
+        # and the scale-only view agrees with the full answer
+        assert result.cheapest_meeting_fps("nerf", 30.0) == hit.scale_factor
+
+    def test_no_overlap_conflicts_with_batches_axis(self):
+        with pytest.raises(ValueError, match="overlap"):
+            emulate_batch(
+                "nerf", "multi_res_hashgrid", (8,),
+                n_batches=(4, 16), overlap=False,
+            )
+        # without an explicit batches axis the N-D path honours overlap=False
+        block = emulate_batch(
+            "nerf", "multi_res_hashgrid", (8,),
+            clocks_ghz=(1.695,), overlap=False,
+        )
+        assert block["accelerated_ms"].shape == (1, 1, 1, 1, 1, 1)
+
+    def test_energy_batch_architecture_axes(self):
+        from repro.core.energy import energy_per_frame, energy_per_frame_batch
+
+        block = energy_per_frame_batch(
+            "nvr", "multi_res_hashgrid", (8,), (2_073_600,),
+            clocks_ghz=(0.9,), grid_sram_kb=(512,),
+            n_engines=(8,), n_batches=(4,),
+        )
+        config = NGPCConfig(
+            scale_factor=8,
+            nfp=NFPConfig(
+                clock_ghz=0.9, grid_sram_kb_per_engine=512, n_encoding_engines=8
+            ),
+            n_pipeline_batches=4,
+        )
+        scalar = energy_per_frame(
+            "nvr", "multi_res_hashgrid", 8, 2_073_600, ngpc_config=config
+        )
+        for name in (
+            "baseline_mj",
+            "accelerated_mj",
+            "baseline_fps_per_watt",
+            "accelerated_fps_per_watt",
+        ):
+            assert float(block[name].flat[0]) == pytest.approx(
                 getattr(scalar, name), rel=RTOL
             ), name
 
@@ -338,9 +588,56 @@ class TestSweepGrid:
             scale_factors=(8, 64),
             pixel_counts=(1000, 2000, 3000),
         )
-        assert grid.shape == (1, 2, 2, 3)
+        assert grid.shape == (1, 2, 2, 3, 1, 1, 1, 1)
         assert grid.size == 12
         assert len(list(grid.points())) == 12
+
+    def test_architecture_axes_shape_and_points(self):
+        grid = SweepGrid(
+            apps=("nerf",),
+            schemes=("multi_res_hashgrid",),
+            scale_factors=(8,),
+            pixel_counts=(1000,),
+            clocks_ghz=(0.9, 1.695),
+            grid_sram_kb=(512, 1024),
+            n_engines=(8, 16),
+            n_batches=(4, 8, 16),
+        )
+        assert grid.shape == (1, 1, 1, 1, 2, 2, 2, 3)
+        assert grid.size == 24
+        points = list(grid.points())
+        assert len(points) == 24
+        # 8-tuple points in array order; last axis varies fastest
+        assert points[0] == ("nerf", "multi_res_hashgrid", 8, 1000, 0.9, 512, 8, 4)
+        assert points[1][-1] == 8
+
+    def test_resolve_pins_architecture_axes(self):
+        grid = SweepGrid()
+        assert not grid.is_resolved
+        resolved = grid.resolve()
+        assert resolved.is_resolved
+        assert resolved.clocks_ghz == (NFPConfig().clock_ghz,)
+        assert resolved.grid_sram_kb == (NFPConfig().grid_sram_kb_per_engine,)
+        assert resolved.n_engines == (NFPConfig().n_encoding_engines,)
+        assert resolved.n_batches == (NGPCConfig().n_pipeline_batches,)
+        # a non-default base config flows into the resolved axes
+        custom = NGPCConfig(
+            nfp=NFPConfig(clock_ghz=1.2), n_pipeline_batches=4
+        )
+        assert grid.resolve(custom).clocks_ghz == (1.2,)
+        assert grid.resolve(custom).n_batches == (4,)
+
+    def test_architecture_axis_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            SweepGrid(grid_sram_kb=(768,))
+        with pytest.raises(ValueError):
+            SweepGrid(clocks_ghz=(0.0,))
+        with pytest.raises(ValueError):
+            SweepGrid(n_engines=(0,))
+        with pytest.raises(ValueError):
+            SweepGrid(n_batches=(0,))
+        with pytest.raises(ValueError):
+            SweepGrid(clocks_ghz=())
 
     def test_rejects_unknown_axes(self):
         with pytest.raises(ValueError):

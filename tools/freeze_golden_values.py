@@ -14,11 +14,18 @@ from __future__ import annotations
 
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.area_power import ngpc_area_power
-from repro.core.config import NGPCConfig, SCALE_FACTORS
-from repro.core.emulator import emulate
+from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
+from repro.core.emulator import Emulator, emulate
 from repro.core.encoding_engine import encoding_kernel_speedup
 from repro.core.mlp_engine import mlp_kernel_speedup
 from repro.core.ngpc import bandwidth_model
+
+#: the frozen architecture grid: NeRF hashgrid @ FHD, NGPC-8, swept over
+#: (clock GHz, grid SRAM KB/engine, encoding engines, pipeline batches)
+ARCH_GRID_CLOCKS = (1.2, 1.695)
+ARCH_GRID_SRAMS = (512, 1024)
+ARCH_GRID_ENGINES = (16, 32)  # 32 doubles the per-level lane groups
+ARCH_GRID_BATCHES = (8, 16)
 
 
 def main() -> None:
@@ -70,6 +77,26 @@ def main() -> None:
         r = ngpc_area_power(NGPCConfig(scale_factor=scale))
         print(f"    {scale}: {{'area_mm2_7nm': {r.area_mm2_7nm!r}, "
               f"'power_w_7nm': {r.power_w_7nm!r}}},")
+    print("}\n")
+
+    print("# (clock GHz, grid SRAM KB, engines, batches) -> accelerated ms;")
+    print("# NeRF hashgrid @ FHD, NGPC-8 (architecture-axis golden net)")
+    print("GOLDEN_ARCH_GRID = {")
+    for clock in ARCH_GRID_CLOCKS:
+        for sram in ARCH_GRID_SRAMS:
+            for engines in ARCH_GRID_ENGINES:
+                for batches in ARCH_GRID_BATCHES:
+                    nfp = NFPConfig(
+                        clock_ghz=clock,
+                        grid_sram_kb_per_engine=sram,
+                        n_encoding_engines=engines,
+                    )
+                    config = NGPCConfig(
+                        scale_factor=8, nfp=nfp, n_pipeline_batches=batches
+                    )
+                    r = Emulator(config).run("nerf", "multi_res_hashgrid")
+                    print(f"    ({clock}, {sram}, {engines}, {batches}): "
+                          f"{r.accelerated_ms!r},")
     print("}")
 
 

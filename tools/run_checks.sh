@@ -2,7 +2,9 @@
 # Tier-1 gate: the full pytest suite plus a smoke run of the
 # sweep-scaling benchmark (the >= 10x batched-DSE acceptance check runs
 # in --quick mode here; run the benchmark without --quick for the full
-# 1000-point gate).
+# 1000-point vectorized gate and the >= 50k-point block-parallel gate)
+# and a 2-worker block-parallel engine smoke so the process-pool path is
+# exercised on every push.
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -16,3 +18,25 @@ python -m pytest -x -q
 echo
 echo "== sweep-scaling benchmark (smoke) =="
 python benchmarks/bench_sweep_scaling.py --quick
+
+echo
+echo "== block-parallel engine (2 workers, tiny grid) =="
+python - <<'PY'
+import numpy as np
+
+from repro.core.dse import SweepGrid, sweep_grid
+
+grid = SweepGrid(
+    apps=("nerf", "gia"),
+    scale_factors=(8, 64),
+    clocks_ghz=(1.2, 1.695),
+    n_batches=(8, 16),
+)
+proc = sweep_grid(grid, engine="process", max_workers=2, use_cache=False)
+vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+np.testing.assert_allclose(
+    proc.accelerated_ms, vec.accelerated_ms, rtol=1e-9, atol=0.0
+)
+print(f"process engine ok on a {proc.grid.size}-point grid "
+      f"(block-sharded, 2 workers)")
+PY
