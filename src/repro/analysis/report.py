@@ -12,7 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.experiments import EXPERIMENTS, ExperimentRow, run_all
 from repro.analysis.sensitivity import sensitivity_sweep
-from repro.core.dse import SweepGrid, sweep_grid
+from repro.core.dse import SweepGrid, SweepResult, sweep_grid
 
 
 def rows_to_markdown(rows: List[ExperimentRow]) -> List[str]:
@@ -55,17 +55,33 @@ def sensitivity_section() -> List[str]:
     return lines
 
 
-def design_space_section() -> List[str]:
+def design_space_section(result: Optional[SweepResult] = None) -> List[str]:
     """Cost/benefit of each scaling factor (Figs. 12 + 15 combined).
 
     Served by the batched DSE engine: one vectorized evaluation feeds
-    the table, the Pareto column and the FPS constraint queries.
+    the table, the Pareto column and the FPS constraint queries.  Pass
+    ``result`` to render from an already-evaluated sweep instead — e.g.
+    one fetched from a running query service and rebuilt with
+    :meth:`~repro.core.dse.SweepResult.from_payload` — as long as it
+    covers one scheme with singleton architecture axes (the default
+    report grid's shape).
     """
-    scheme = "multi_res_hashgrid"
-    result = sweep_grid(SweepGrid(schemes=(scheme,)))
+    if result is None:
+        result = sweep_grid(SweepGrid(schemes=("multi_res_hashgrid",)))
     grid = result.grid
+    if len(grid.schemes) != 1:
+        raise ValueError("the design-space section renders one scheme")
+    if any(
+        len(axis) != 1
+        for axis in (grid.clocks_ghz, grid.grid_sram_kb,
+                     grid.n_engines, grid.n_batches)
+    ):
+        raise ValueError(
+            "the design-space section needs singleton architecture axes"
+        )
+    scheme = grid.schemes[0]
     n_pixels = grid.pixel_counts[0]
-    front = {p.scale_factor for p in result.pareto_front(scheme)}
+    front = {p.scale_factor for p in result.pareto_front(scheme, n_pixels)}
     lines = [
         "\n## Design space (hashgrid)\n",
         "| config | area overhead | power overhead | avg speedup | speedup/area% | Pareto |",
@@ -93,7 +109,7 @@ def design_space_section() -> List[str]:
     )
     # answered from the same evaluation — no re-sweep
     for app in grid.apps:
-        scale = result.cheapest_meeting_fps(app, 60.0)
+        scale = result.cheapest_meeting_fps(app, 60.0, n_pixels)
         if scale is None:
             lines.append(f"| {app} | not achievable | — | — |")
         else:
@@ -147,17 +163,72 @@ def architecture_sweep_section() -> List[str]:
     return lines
 
 
+def serving_section() -> List[str]:
+    """How to serve sweeps: endpoints, clients, cache semantics.
+
+    Static documentation (no evaluation behind it) so the generated
+    EXPERIMENTS.md carries the service's contract next to the numbers
+    it serves.
+    """
+    return [
+        "\n## Serving sweeps\n",
+        "`python -m repro serve --port 8787` runs the asyncio DSE query",
+        "service: an HTTP JSON API over the batched sweep engine.  Results",
+        "are cached in an LRU keyed on the canonical grid + config +",
+        "calibration fingerprint (`repro.core.dse.sweep_fingerprint`), so",
+        "any spelling of the same design space — reordered or repeated",
+        "axis values included — maps to one cache entry.  Concurrent",
+        "identical requests coalesce into a single in-flight evaluation",
+        "(single-flight futures), and evaluation runs off the event loop",
+        "in the block-sharded process pool, so cached queries answer in",
+        "milliseconds while a cold 50k-point sweep is in progress",
+        "(`benchmarks/bench_service.py` gates < 50 ms).\n",
+        "| endpoint | body | answer |",
+        "|---|---|---|",
+        "| `GET /healthz` | — | liveness |",
+        "| `GET /stats` | — | cache hits/misses, coalesced, evaluations |",
+        "| `POST /sweep` | `{\"grid\": {...}}` | evaluation summary |",
+        "| `POST /result` | `{\"grid\": {...}}` | full SweepResult payload |",
+        "| `POST /records` | `{\"grid\", \"limit\"?}` | flat per-point records |",
+        "| `POST /pareto` | `{\"grid\", \"scheme\"?, \"n_pixels\"?, \"app\"?}` | Pareto front |",
+        "| `POST /cheapest` | `{\"grid\", \"app\", \"fps\", ...}` | cheapest config meeting FPS |",
+        "| `POST /point` | `{\"grid\", \"app\"?, \"scale_factor\"?, ...}` | one emulation record |\n",
+        "Example invocations:\n",
+        "```",
+        "python -m repro serve --port 8787 --engine auto",
+        "python -m repro query pareto --sweep clock=0.8:1.2:1.695,sram=256:512:1024",
+        "python -m repro query cheapest --app nerf --fps 60",
+        "python -m repro query point --app nerf --scale 8",
+        'curl -s localhost:8787/pareto -d \'{"grid": {"scale_factors": [8, 16, 32, 64]}}\'',
+        "curl -s localhost:8787/stats",
+        "```\n",
+        "A scalar query against a swept axis without an explicit selector",
+        "returns a structured 400 whose payload names the ambiguous axis",
+        "(`error.code == \"ambiguous-axis\"`, `error.axis`,",
+        "`error.values`).  The report itself can render from a served",
+        "result: fetch `POST /result`, rebuild it with",
+        "`SweepResult.from_payload`, and pass it to",
+        "`design_space_section(result=...)`.",
+    ]
+
+
 def build_markdown(
     header: str = "# Evaluation report\n",
     include_sensitivity: bool = True,
     include_design_space: bool = True,
+    design_space_result: Optional[SweepResult] = None,
 ) -> str:
-    """The complete report as a markdown string."""
+    """The complete report as a markdown string.
+
+    ``design_space_result`` lets a caller render the design-space
+    section from an already-evaluated (possibly served) sweep.
+    """
     lines = [header]
     lines.extend(experiments_section())
     if include_sensitivity:
         lines.extend(sensitivity_section())
     if include_design_space:
-        lines.extend(design_space_section())
+        lines.extend(design_space_section(design_space_result))
         lines.extend(architecture_sweep_section())
+        lines.extend(serving_section())
     return "\n".join(lines) + "\n"

@@ -6,6 +6,9 @@ Commands:
 - ``sweep``        the full Fig. 12 sweep for one encoding scheme
 - ``dse``          batched design-space exploration: grid, Pareto front
                    and FPS constraint queries in one vectorized call
+- ``serve``        run the asyncio DSE query service (HTTP JSON API
+                   with request coalescing and an LRU sweep cache)
+- ``query``        client for a running ``serve`` instance
 - ``experiments``  regenerate any registered table/figure experiment
 - ``train``        train an application on its synthetic scene
 - ``area``         print the NGPC area/power bill (Fig. 15)
@@ -110,25 +113,36 @@ def _sweep_spec(text: str) -> dict:
     return parsed
 
 
-def cmd_dse(args: argparse.Namespace) -> int:
-    from repro.core.dse import SweepGrid, sweep_grid
+def _merge_sweep_axes(args: argparse.Namespace, prog: str) -> dict:
+    """Merge repeated ``--sweep`` specs with the scale/pixels defaults.
 
+    Shared by ``dse`` and ``query``: duplicate axes across ``--sweep``
+    arguments and a ``--pixels`` that conflicts with ``--sweep
+    pixels=...`` both fail loudly.
+    """
     axes = {}
     for spec in args.sweep or []:
         duplicates = axes.keys() & spec.keys()
         if duplicates:
             raise SystemExit(
-                "repro dse: error: sweep axis given twice across --sweep "
+                f"{prog}: error: sweep axis given twice across --sweep "
                 f"arguments: {sorted(duplicates)}"
             )
         axes.update(spec)
     if "pixel_counts" in axes and args.pixels != FHD_PIXELS:
         raise SystemExit(
-            "repro dse: error: --pixels conflicts with --sweep pixels=...; "
+            f"{prog}: error: --pixels conflicts with --sweep pixels=...; "
             "pass the resolutions on one of them"
         )
     axes.setdefault("scale_factors", SCALE_FACTORS)
     axes.setdefault("pixel_counts", (args.pixels,))
+    return axes
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from repro.core.dse import SweepGrid, sweep_grid
+
+    axes = _merge_sweep_axes(args, "repro dse")
     grid = SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes)
     result = sweep_grid(grid, engine=args.engine)
     grid = result.grid  # resolved architecture axes
@@ -190,6 +204,80 @@ def cmd_dse(args: argparse.Namespace) -> int:
                 print(f"  {app:5s}: {hit.describe()} "
                       f"(+{hit.area_overhead_pct:.2f}% area, "
                       f"{hit.speedups[app]:.2f}x speedup)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SweepService, run_server
+
+    service = SweepService(
+        engine=args.engine,
+        max_cached_sweeps=args.cache_size,
+        max_workers=args.workers,
+    )
+    return run_server(service, args.host, args.port)
+
+
+def _query_grid(args: argparse.Namespace) -> dict:
+    """The grid JSON for a ``query`` op (same --sweep syntax as dse)."""
+    axes = _merge_sweep_axes(args, "repro query")
+    grid = {"apps": list(APP_NAMES), "schemes": [args.scheme]}
+    grid.update({name: list(values) for name, values in axes.items()})
+    return grid
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import request_json
+
+    if args.op == "stats":
+        request = ("GET", "/stats", None)
+    elif args.op == "health":
+        request = ("GET", "/healthz", None)
+    else:
+        grid = _query_grid(args)
+        if args.op == "sweep":
+            request = ("POST", "/sweep", {"grid": grid})
+        elif args.op == "pareto":
+            request = ("POST", "/pareto", {"grid": grid, "app": args.app})
+        elif args.op == "cheapest":
+            if args.fps is None:
+                raise SystemExit("repro query: error: cheapest requires --fps")
+            request = (
+                "POST",
+                "/cheapest",
+                {"grid": grid, "app": args.app, "fps": args.fps},
+            )
+        else:  # point
+            request = (
+                "POST",
+                "/point",
+                {
+                    "grid": grid,
+                    "app": args.app,
+                    "scale_factor": args.scale,
+                    "clock_ghz": args.clock,
+                    "grid_sram_kb": args.sram,
+                    "n_engines": args.engines,
+                    "n_batches": args.batches,
+                },
+            )
+    method, path, payload = request
+    try:
+        status, body = request_json(args.host, args.port, method, path, payload)
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"repro query: cannot reach the service at "
+            f"{args.host}:{args.port} ({exc}); start one with "
+            f"'python -m repro serve'",
+            file=sys.stderr,
+        )
+        return 1
+    if status != 200 or not body.get("ok", False):
+        print(json.dumps(body.get("error", body), indent=2), file=sys.stderr)
+        return 1
+    print(json.dumps(body["result"], indent=2))
     return 0
 
 
@@ -332,6 +420,66 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="AXIS=V1:V2[,AXIS=...]",
                    help="sweep architecture axes (repeatable); see examples below")
     p.set_defaults(func=cmd_dse)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve sweeps over an async HTTP JSON API",
+        description=(
+            "Run the asyncio DSE query service: coalesces concurrent "
+            "identical sweep requests into one evaluation, caches "
+            "SweepResults in an LRU keyed on the canonical "
+            "grid+calibration fingerprint, and answers pareto/cheapest/"
+            "point queries while cold sweeps run off the event loop."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--engine", choices=("vectorized", "scalar", "process", "auto"),
+                   default="auto")
+    p.add_argument("--cache-size", type=int, default=32,
+                   help="max cached SweepResults (LRU)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool workers for the block-sharded engine")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="query a running 'repro serve' instance",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro query sweep --sweep clock=0.8:1.2:1.695\n"
+            "  repro query pareto --sweep sram=256:512:1024\n"
+            "  repro query cheapest --app nerf --fps 60\n"
+            "  repro query point --app nerf --scale 8\n"
+            "  repro query stats\n"
+        ),
+    )
+    p.add_argument("op", choices=("sweep", "pareto", "cheapest", "point",
+                                  "stats", "health"))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")
+    p.add_argument("--pixels", type=int, default=FHD_PIXELS)
+    p.add_argument("--sweep", action="append", type=_sweep_spec, default=None,
+                   metavar="AXIS=V1:V2[,AXIS=...]",
+                   help="sweep axes (same syntax as 'repro dse --sweep')")
+    p.add_argument("--app", choices=APP_NAMES, default=None,
+                   help="app selector (pareto benefit / cheapest / point)")
+    p.add_argument("--fps", type=_positive_float, default=None,
+                   help="FPS target for the cheapest op")
+    p.add_argument("--scale", type=int, default=None,
+                   help="scale-factor selector for the point op")
+    p.add_argument("--clock", type=float, default=None,
+                   help="clock (GHz) selector for the point op")
+    p.add_argument("--sram", type=int, default=None,
+                   help="grid-SRAM (KB) selector for the point op")
+    p.add_argument("--engines", type=int, default=None,
+                   help="engine-count selector for the point op")
+    p.add_argument("--batches", type=int, default=None,
+                   help="batch-count selector for the point op")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("experiments", help="regenerate registered experiments")
     p.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -16,6 +16,7 @@ this between tests so cached results cannot mask bugs).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Any, Dict, Hashable, List, Optional
 
@@ -23,18 +24,37 @@ from repro.calibration import fitted
 
 
 class ModelCache:
-    """A named, clearable, thread-safe dict cache with hit/miss counters."""
+    """A named, clearable, thread-safe dict cache with hit/miss counters.
 
-    def __init__(self, name: str, maxsize: Optional[int] = None):
+    Eviction is FIFO by default; pass ``lru=True`` to refresh a key's
+    recency on every hit so hot entries survive (the sweep service keeps
+    its :class:`~repro.core.dse.SweepResult`s in an LRU instance).
+
+    Module-level caches register in the global registry so
+    :func:`clear_model_caches` reaches them; instance-owned caches (one
+    per service object, arbitrary lifetime) pass ``register=False`` —
+    the registry holds strong references, so registering a per-instance
+    cache would pin its entries for the process lifetime.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        maxsize: Optional[int] = None,
+        lru: bool = False,
+        register: bool = True,
+    ):
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be positive or None")
         self.name = name
         self.maxsize = maxsize
+        self.lru = lru
         self._data: Dict[Hashable, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
-        _register(self)
+        if register:
+            _register(self)
 
     def get(self, key: Hashable) -> Optional[Any]:
         with self._lock:
@@ -43,12 +63,17 @@ class ModelCache:
                 self.misses += 1
             else:
                 self.hits += 1
+                if self.lru:
+                    # move to the end: dicts preserve insertion order, so
+                    # eviction always takes the least recently used key
+                    del self._data[key]
+                    self._data[key] = value
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
             if self.maxsize is not None and len(self._data) >= self.maxsize:
-                # FIFO eviction: dicts preserve insertion order
+                # evict the oldest entry (FIFO) / least recently used (LRU)
                 self._data.pop(next(iter(self._data)))
             self._data[key] = value
 
@@ -96,6 +121,26 @@ def clear_model_caches() -> None:
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Size and hit/miss counters of every registered cache, by name."""
     return {cache.name: cache.info() for cache in _CACHES}
+
+
+def config_fingerprint(config: Any) -> Hashable:
+    """Canonical hashable snapshot of a (frozen) config dataclass.
+
+    Recursively flattens dataclasses into ``(type name, (field, value),
+    ...)`` tuples so two structurally equal configs — including nested
+    ones like :class:`~repro.core.config.NGPCConfig` and its NFP — yield
+    the same key regardless of object identity.  Non-dataclass values
+    pass through unchanged; ``None`` stays ``None`` ("the default
+    config").  Together with :func:`calibration_fingerprint` this is the
+    stable half of every sweep cache key (see
+    :func:`repro.core.dse.sweep_fingerprint`).
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return (type(config).__name__,) + tuple(
+            (f.name, config_fingerprint(getattr(config, f.name)))
+            for f in dataclasses.fields(config)
+        )
+    return config
 
 
 def calibration_fingerprint() -> Hashable:

@@ -47,7 +47,11 @@ import numpy as np
 
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.area_power import ngpc_area_power_batch
-from repro.core.cache import ModelCache, calibration_fingerprint
+from repro.core.cache import (
+    ModelCache,
+    calibration_fingerprint,
+    config_fingerprint,
+)
 from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
 from repro.core.emulator import (
     EmulationResult,
@@ -55,6 +59,27 @@ from repro.core.emulator import (
     emulate_with_config,
 )
 from repro.gpu.baseline import FHD_PIXELS
+
+
+class AmbiguousAxisError(KeyError):
+    """A scalar query named no value for an axis the grid sweeps.
+
+    Carries the ambiguous ``axis`` name and its swept ``values`` so
+    structured consumers — the query service's 400 responses — can
+    report exactly which selector is missing instead of parsing the
+    message.  Subclasses :class:`KeyError`, so existing callers that
+    catch the old bare error keep working.
+    """
+
+    def __init__(self, axis: str, values: Tuple):
+        self.axis = axis
+        self.values = tuple(values)
+        super().__init__(
+            f"grid sweeps {axis} over {self.values}; pass an explicit value"
+        )
+
+    def __str__(self) -> str:  # KeyError repr-quotes its payload; don't
+        return self.args[0]
 
 
 @dataclass(frozen=True)
@@ -95,10 +120,34 @@ class DesignPoint:
             ) + ")"
         return label
 
+    def to_dict(self) -> Dict:
+        """JSON-safe view (the query service's response record)."""
+        return {
+            "config": self.describe(),
+            "scale_factor": self.scale_factor,
+            "area_overhead_pct": self.area_overhead_pct,
+            "power_overhead_pct": self.power_overhead_pct,
+            "speedups": dict(self.speedups),
+            "average_speedup": self.average_speedup,
+            "config_axes": [[name, value] for name, value in self.config_axes],
+        }
+
 
 # ---------------------------------------------------------------------------
 # the batched sweep engine
 # ---------------------------------------------------------------------------
+
+#: the eight grid axes, in array-axis order
+AXIS_FIELDS = (
+    "apps",
+    "schemes",
+    "scale_factors",
+    "pixel_counts",
+    "clocks_ghz",
+    "grid_sram_kb",
+    "n_engines",
+    "n_batches",
+)
 
 
 @dataclass(frozen=True)
@@ -209,6 +258,63 @@ class SweepGrid:
             n_batches=self.n_batches or (base.n_pipeline_batches,),
         )
 
+    def normalized(self) -> "SweepGrid":
+        """Canonical axis ordering: sorted, de-duplicated values per axis.
+
+        Two grids naming the same design space with reordered (or
+        repeated) axis values normalize to the same grid — the basis of
+        :func:`sweep_fingerprint` and therefore of every service-level
+        cache key.  Unset architecture axes stay unset.
+        """
+
+        def canon(values):
+            return None if values is None else tuple(sorted(set(values)))
+
+        return SweepGrid(
+            apps=canon(self.apps),
+            schemes=canon(self.schemes),
+            scale_factors=canon(self.scale_factors),
+            pixel_counts=canon(self.pixel_counts),
+            clocks_ghz=canon(self.clocks_ghz),
+            grid_sram_kb=canon(self.grid_sram_kb),
+            n_engines=canon(self.n_engines),
+            n_batches=canon(self.n_batches),
+        )
+
+    def to_dict(self) -> Dict[str, list]:
+        """JSON-safe axis mapping (unset architecture axes are omitted)."""
+        out = {}
+        for name in AXIS_FIELDS:
+            values = getattr(self, name)
+            if values is not None:
+                out[name] = list(values)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepGrid":
+        """Build a grid from a JSON axis mapping (:meth:`to_dict` inverse).
+
+        Unknown keys fail loudly (a misspelled axis must not silently
+        sweep the default space); scalar values are promoted to
+        one-value axes for ergonomic hand-written payloads.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"grid must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - set(AXIS_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown grid axes {sorted(unknown)}; valid axes are "
+                f"{list(AXIS_FIELDS)}"
+            )
+        kwargs = {}
+        for name in AXIS_FIELDS:
+            if name in data and data[name] is not None:
+                values = data[name]
+                if isinstance(values, (str, int, float)):
+                    values = (values,)
+                kwargs[name] = tuple(values)
+        return cls(**kwargs)
+
     @property
     def shape(self) -> Tuple[int, ...]:
         """(apps, schemes, scales, pixels, clocks, srams, engines, batches)."""
@@ -287,9 +393,7 @@ class SweepResult:
         if value is None:
             if len(values) == 1:
                 return 0
-            raise KeyError(
-                f"grid sweeps {axis_name} over {values}; pass an explicit value"
-            )
+            raise AmbiguousAxisError(axis_name, values)
         try:
             return values.index(value)
         except ValueError as exc:
@@ -354,13 +458,23 @@ class SweepResult:
             amdahl_bound=float(self.amdahl_bound[idx[0], idx[1]]),
         )
 
-    def to_records(self) -> List[Dict[str, float]]:
-        """One flat dict per grid point (JSON/table friendly)."""
+    def to_records(self, limit: Optional[int] = None) -> List[Dict[str, float]]:
+        """One flat dict per grid point (JSON/table friendly).
+
+        ``limit`` stops after that many records — on a 100k-point grid
+        materializing everything to serve a preview is seconds of work.
+        """
+        if limit is not None:
+            limit = int(limit)
+            if limit < 0:
+                raise ValueError("limit must be non-negative")
         records = []
         speedup = self.speedup
         fps = self.fps
         grid = self.grid
         for idx in np.ndindex(*grid.shape):
+            if limit is not None and len(records) >= limit:
+                break
             i, j, k, l, c, g, e, b = idx
             records.append(
                 {
@@ -383,6 +497,52 @@ class SweepResult:
                 }
             )
         return records
+
+    # -- serialization ------------------------------------------------------
+    def to_payload(self) -> Dict:
+        """Full JSON-safe serialization: grid axes + every result array.
+
+        The inverse of :meth:`from_payload`; the pair lets the query
+        service ship whole :class:`SweepResult`s over its HTTP JSON API
+        and lets :mod:`repro.analysis.report` render from a served
+        result without re-evaluating the grid.
+        """
+        payload = {"grid": self.grid.to_dict(), "engine": self.engine}
+        for name in RESULT_ARRAY_FIELDS:
+            payload[name] = getattr(self, name).tolist()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SweepResult":
+        """Rebuild a result from :meth:`to_payload` output.
+
+        Array shapes are validated against the payload's grid so a
+        truncated or hand-edited payload fails here rather than with an
+        off-by-one deep inside a query.
+        """
+        grid = SweepGrid.from_dict(payload["grid"]).resolve()
+        expected = {name: grid.shape for name in _TIMING_FIELDS}
+        expected["amdahl_bound"] = grid.shape[:2]
+        cost_shape = (
+            len(grid.scale_factors), len(grid.clocks_ghz),
+            len(grid.grid_sram_kb), len(grid.n_engines),
+        )
+        for name in ("area_mm2_7nm", "power_w_7nm",
+                     "area_overhead_pct", "power_overhead_pct"):
+            expected[name] = cost_shape
+        arrays = {}
+        for name in RESULT_ARRAY_FIELDS:
+            if name not in payload:
+                raise ValueError(f"payload is missing array {name!r}")
+            array = np.asarray(payload[name], dtype=np.float64)
+            if array.shape != expected[name]:
+                raise ValueError(
+                    f"payload array {name!r} has shape {array.shape}, "
+                    f"expected {expected[name]}"
+                )
+            array.setflags(write=False)
+            arrays[name] = array
+        return cls(grid=grid, engine=str(payload.get("engine", "served")), **arrays)
 
     # -- queries ------------------------------------------------------------
     def _config_axes(self, c: int, g: int, e: int, b: int) -> Tuple:
@@ -527,6 +687,52 @@ _TIMING_FIELDS = (
     "dma_ms",
     "fused_rest_ms",
 )
+
+#: every array field of :class:`SweepResult`, in dataclass order — the
+#: payload schema of :meth:`SweepResult.to_payload`
+RESULT_ARRAY_FIELDS = _TIMING_FIELDS + (
+    "amdahl_bound",
+    "area_mm2_7nm",
+    "power_w_7nm",
+    "area_overhead_pct",
+    "power_overhead_pct",
+)
+
+
+def sweep_fingerprint(
+    grid: Optional[SweepGrid] = None, ngpc: Optional[NGPCConfig] = None
+):
+    """Canonical, stable cache key of a sweep evaluation.
+
+    The one key both cache layers agree on — extracted from the ad-hoc
+    tuple :func:`sweep_grid` used to build inline so the asyncio
+    :class:`repro.service.SweepService` can share it.  It hashes
+    together everything a :class:`SweepResult`'s numbers depend on:
+
+    - the **normalized resolved grid** — axes are resolved against
+      ``ngpc`` (unset architecture axes inherit the base config) and
+      then sorted/de-duplicated, so two grids naming the same design
+      space with reordered axis values produce the *same* key, while
+      any single-axis perturbation produces a distinct one;
+    - the **base config** via
+      :func:`repro.core.cache.config_fingerprint`;
+    - the **calibration constants** via
+      :func:`repro.core.cache.calibration_fingerprint`, so a perturbed
+      calibration context never reads a stale nominal sweep.
+
+    The engine is deliberately *not* part of the key: every engine is
+    numerically identical (tests/test_sweep_engine.py enforces 1e-9
+    agreement), so a result computed by one engine can serve queries
+    issued under another.
+    """
+    resolved = (grid or SweepGrid()).resolve(ngpc).normalized()
+    axes = tuple((name, getattr(resolved, name)) for name in AXIS_FIELDS)
+    return (
+        "sweep/v1",
+        axes,
+        config_fingerprint(ngpc),
+        calibration_fingerprint(),
+    )
 
 
 def _resolve_engine(engine: str, grid: SweepGrid) -> str:
@@ -774,7 +980,10 @@ def sweep_grid(
         raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
     engine = _resolve_engine(engine, grid)
     cacheable = use_cache and grid.size <= _SWEEP_CACHE_MAX_POINTS
-    key = (grid, engine, ngpc, calibration_fingerprint())
+    # the literal grid keeps the memo axis-order-sensitive (callers index
+    # the returned arrays in *their* axis order); the shared fingerprint
+    # carries the config + calibration invalidation
+    key = (grid, engine, sweep_fingerprint(grid, ngpc))
     if cacheable:
         cached = _SWEEP_CACHE.get(key)
         if cached is not None:

@@ -1,0 +1,24 @@
+"""Async query service over the batched DSE engine.
+
+The step from batch tool toward a serving system: a coalescing,
+LRU-cached asyncio front end (:class:`SweepService`) exposed in-process
+and over a stdlib HTTP JSON API (:mod:`repro.service.http`), with a
+matching client (:mod:`repro.service.client`).  CLI entry points:
+``python -m repro serve`` and ``python -m repro query``.
+"""
+
+from repro.service.client import ServiceClient, request_json
+from repro.service.errors import ServiceError, as_service_error
+from repro.service.http import SweepHTTPServer, run_server, start_http_server
+from repro.service.sweep_service import SweepService
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "SweepHTTPServer",
+    "SweepService",
+    "as_service_error",
+    "request_json",
+    "run_server",
+    "start_http_server",
+]

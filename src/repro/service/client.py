@@ -1,0 +1,132 @@
+"""Clients for the sweep service's HTTP JSON API.
+
+Two flavours, both stdlib-only:
+
+- :class:`ServiceClient` — asyncio client (one short-lived connection
+  per request over :func:`asyncio.open_connection`); used by the test
+  harness and any async embedder.
+- :func:`request_json` — synchronous one-shot helper over
+  :mod:`http.client`; powers the ``python -m repro query`` subcommand
+  and the CI smoke.
+
+Non-2xx responses raise :class:`~repro.service.errors.ServiceError`
+rebuilt from the structured body, so an ambiguous-axis 400 surfaces
+client-side with its ``.details["axis"]`` intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.dse import SweepResult
+from repro.service.errors import ServiceError
+
+
+def _raise_for_error(status: int, payload: Dict[str, Any]) -> None:
+    if 200 <= status < 300 and payload.get("ok", True):
+        return
+    raise ServiceError.from_payload(payload)
+
+
+def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Dict] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """One synchronous JSON round trip; returns (status, decoded body)."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json", "Connection": "close"}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, json.loads(data or b"{}")
+    finally:
+        connection.close()
+
+
+class ServiceClient:
+    """Asyncio client mirroring the service's endpoint surface."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787):
+        self.host = host
+        self.port = port
+
+    async def request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict[str, Any]:
+        """One JSON round trip; raises :class:`ServiceError` on failure."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split()
+            if len(parts) < 2:
+                raise ServiceError(502, "bad-response", "malformed status line")
+            status = int(parts[1])
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            data = await reader.readexactly(length) if length else b""
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        decoded = json.loads(data or b"{}")
+        _raise_for_error(status, decoded)
+        return decoded
+
+    # -- endpoint wrappers ---------------------------------------------------
+    async def healthz(self) -> Dict:
+        return await self.request("GET", "/healthz")
+
+    async def stats(self) -> Dict:
+        return (await self.request("GET", "/stats"))["result"]
+
+    async def sweep(self, grid: Optional[Dict] = None) -> Dict:
+        return (await self.request("POST", "/sweep", {"grid": grid or {}}))["result"]
+
+    async def pareto_front(self, grid: Optional[Dict] = None, **query) -> list:
+        body = {"grid": grid or {}, **query}
+        return (await self.request("POST", "/pareto", body))["result"]
+
+    async def cheapest_point_meeting_fps(
+        self, grid: Optional[Dict], app: Optional[str], fps: float, **query
+    ) -> Optional[Dict]:
+        body = {"grid": grid or {}, "app": app, "fps": fps, **query}
+        return (await self.request("POST", "/cheapest", body))["result"]
+
+    async def point(self, grid: Optional[Dict] = None, **selectors) -> Dict:
+        body = {"grid": grid or {}, **selectors}
+        return (await self.request("POST", "/point", body))["result"]
+
+    async def fetch_result(self, grid: Optional[Dict] = None) -> SweepResult:
+        """Fetch and rebuild a full :class:`SweepResult` (served arrays)."""
+        payload = (await self.request("POST", "/result", {"grid": grid or {}}))[
+            "result"
+        ]
+        return SweepResult.from_payload(payload)

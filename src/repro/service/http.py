@@ -1,0 +1,318 @@
+"""Stdlib-asyncio HTTP JSON front end of :class:`SweepService`.
+
+No third-party server framework: requests are parsed straight off
+:func:`asyncio.start_server` streams, which keeps the service runnable
+anywhere the repo's baked-in toolchain runs.  The protocol surface is a
+small JSON-over-POST API (every body is a JSON object, every response a
+JSON object with ``"ok"``):
+
+====================  =====================================================
+endpoint              body / result
+====================  =====================================================
+``GET  /healthz``     liveness: ``{"ok": true, "status": "healthy"}``
+``GET  /stats``       cache + coalescing counters
+``POST /sweep``       ``{"grid": {...}}`` -> evaluation summary (shape,
+                      size, engine, resolved grid)
+``POST /result``      ``{"grid": {...}}`` -> full ``SweepResult`` payload
+                      (:meth:`~repro.core.dse.SweepResult.to_payload`)
+``POST /records``     ``{"grid": {...}, "limit": n?}`` -> flat per-point
+                      records
+``POST /pareto``      ``{"grid", "scheme"?, "n_pixels"?, "app"?}`` ->
+                      list of design points
+``POST /cheapest``    ``{"grid", "app", "fps", "n_pixels"?, "scheme"?}``
+                      -> design point or null
+``POST /point``       ``{"grid", "app"?, "scheme"?, "scale_factor"?,
+                      "n_pixels"?, "clock_ghz"?, ...}`` -> one
+                      emulation record
+====================  =====================================================
+
+Failures are structured: a scalar query against a swept axis without a
+selector returns HTTP 400 with ``error.code == "ambiguous-axis"`` and
+``error.axis`` naming the offending axis (see
+:mod:`repro.service.errors`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import signal
+from typing import Dict, Optional, Tuple
+
+from repro.service.errors import ServiceError, as_service_error
+from repro.service.sweep_service import SweepService
+
+#: request bodies larger than this are rejected (a grid spec is tiny)
+MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_HEADERS = 100
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _emulation_record(result) -> Dict:
+    record = dataclasses.asdict(result)
+    record["speedup"] = result.speedup
+    record["fps"] = result.fps
+    return record
+
+
+async def _handle_sweep(service: SweepService, payload: Dict) -> Dict:
+    result = await service.sweep(payload.get("grid"))
+    return {
+        "grid": result.grid.to_dict(),
+        "shape": list(result.grid.shape),
+        "size": result.grid.size,
+        "engine": result.engine,
+    }
+
+
+async def _handle_result(service: SweepService, payload: Dict) -> Dict:
+    result = await service.sweep(payload.get("grid"))
+    return result.to_payload()
+
+
+async def _handle_records(service: SweepService, payload: Dict) -> list:
+    limit = payload.get("limit")
+    if limit is not None:
+        try:
+            limit = int(limit)
+        except (TypeError, ValueError):
+            raise ServiceError(400, "bad-request", "limit must be an integer")
+        if limit < 0:
+            raise ServiceError(400, "bad-request", "limit must be non-negative")
+    result = await service.sweep(payload.get("grid"))
+    return result.to_records(limit=limit)
+
+
+async def _handle_pareto(service: SweepService, payload: Dict) -> list:
+    points = await service.pareto_front(
+        payload.get("grid"),
+        scheme=payload.get("scheme"),
+        n_pixels=payload.get("n_pixels"),
+        app=payload.get("app"),
+    )
+    return [point.to_dict() for point in points]
+
+
+async def _handle_cheapest(service: SweepService, payload: Dict):
+    if "fps" not in payload:
+        raise ServiceError(400, "bad-request", "body must name a target 'fps'")
+    point = await service.cheapest_point_meeting_fps(
+        payload.get("grid"),
+        app=payload.get("app"),
+        fps=float(payload["fps"]),
+        n_pixels=payload.get("n_pixels"),
+        scheme=payload.get("scheme"),
+    )
+    return None if point is None else point.to_dict()
+
+
+async def _handle_point(service: SweepService, payload: Dict) -> Dict:
+    result = await service.point(
+        payload.get("grid"),
+        app=payload.get("app"),
+        scheme=payload.get("scheme"),
+        scale_factor=payload.get("scale_factor"),
+        n_pixels=payload.get("n_pixels"),
+        clock_ghz=payload.get("clock_ghz"),
+        grid_sram_kb=payload.get("grid_sram_kb"),
+        n_engines=payload.get("n_engines"),
+        n_batches=payload.get("n_batches"),
+    )
+    return _emulation_record(result)
+
+
+_POST_ROUTES = {
+    "/sweep": _handle_sweep,
+    "/result": _handle_result,
+    "/records": _handle_records,
+    "/pareto": _handle_pareto,
+    "/cheapest": _handle_cheapest,
+    "/point": _handle_point,
+}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request; None on a closed connection."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 3:
+        raise ServiceError(400, "bad-request", "malformed HTTP request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ServiceError(400, "bad-request", "too many headers")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ServiceError(400, "bad-request", "bad Content-Length")
+    if length < 0:
+        raise ServiceError(400, "bad-request", "bad Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(413, "payload-too-large", "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method, path, headers, body
+
+
+def _encode_response(status: int, body: Dict, keep_alive: bool) -> bytes:
+    data = json.dumps(body).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + data
+
+
+async def _dispatch(service: SweepService, method: str, path: str, body: bytes):
+    """Route one request; returns (status, json body)."""
+    if method == "GET" and path == "/healthz":
+        return 200, {"ok": True, "status": "healthy"}
+    if method == "GET" and path == "/stats":
+        return 200, {"ok": True, "result": service.stats()}
+    handler = _POST_ROUTES.get(path)
+    if handler is None and path not in ("/healthz", "/stats"):
+        raise ServiceError(404, "unknown-endpoint", f"no endpoint {path!r}")
+    if handler is None or method != "POST":
+        raise ServiceError(405, "method-not-allowed", f"{method} {path} not allowed")
+    if body:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, "bad-request", f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "bad-request", "body must be a JSON object")
+    else:
+        payload = {}
+    result = await handler(service, payload)
+    return 200, {"ok": True, "result": result}
+
+
+async def _handle_connection(
+    service: SweepService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                break
+            except ValueError:  # e.g. a request line over the stream limit
+                writer.write(_encode_response(
+                    400,
+                    ServiceError(400, "bad-request", "malformed request").to_payload(),
+                    False,
+                ))
+                await writer.drain()
+                break
+            except ServiceError as exc:
+                writer.write(_encode_response(exc.status, exc.to_payload(), False))
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, path, headers, body = request
+            keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            try:
+                status, response = await _dispatch(service, method, path, body)
+            except Exception as exc:  # every failure ships as structured JSON
+                error = as_service_error(exc)
+                status, response = error.status, error.to_payload()
+            writer.write(_encode_response(status, response, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class SweepHTTPServer:
+    """Handle for a running server: its port and a clean ``close()``."""
+
+    def __init__(self, service: SweepService, server: asyncio.AbstractServer):
+        self.service = service
+        self._server = server
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+
+async def start_http_server(
+    service: SweepService, host: str = "127.0.0.1", port: int = 8787
+) -> SweepHTTPServer:
+    """Bind and start serving; ``port=0`` picks an ephemeral port."""
+    server = await asyncio.start_server(
+        lambda reader, writer: _handle_connection(service, reader, writer),
+        host,
+        port,
+    )
+    return SweepHTTPServer(service, server)
+
+
+def run_server(
+    service: SweepService, host: str = "127.0.0.1", port: int = 8787
+) -> int:
+    """Blocking entry point for ``python -m repro serve``.
+
+    Prints one machine-parseable ``listening on http://host:port`` line
+    (the CI smoke reads it to discover an ephemeral port) and serves
+    until SIGINT/SIGTERM, then closes the listener cleanly.
+    """
+
+    async def _serve() -> None:
+        server = await start_http_server(service, host, port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # non-main thread
+                pass
+        print(
+            f"repro serve: listening on http://{host}:{server.port} "
+            f"(engine={service.engine})",
+            flush=True,
+        )
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: shut down cleanly", flush=True)
+    return 0

@@ -1,0 +1,245 @@
+"""Asyncio query service over the batched DSE engine.
+
+:class:`SweepService` is the in-process async API the HTTP layer
+(:mod:`repro.service.http`) and any embedding application share.  Three
+properties make it safe to put in front of many concurrent users:
+
+- **LRU result cache.**  Completed :class:`~repro.core.dse.SweepResult`s
+  live in a :class:`~repro.core.cache.ModelCache` (``lru=True``) keyed
+  on :func:`~repro.core.dse.sweep_fingerprint` — the canonical
+  grid + config + calibration key — so any request naming the same
+  design space (in any axis order) is a cache hit.  The cache is
+  instance-owned (``register=False``): it lives and dies with its
+  service rather than being pinned by the global cache registry.
+- **Single-flight coalescing.**  Concurrent requests for the same
+  fingerprint attach to one in-flight :class:`asyncio.Future`; exactly
+  one underlying :func:`~repro.core.dse.sweep_grid` evaluation runs no
+  matter how many clients ask (``tests/test_service.py`` asserts 32
+  concurrent requests -> 1 evaluation on a 10k-point grid).
+- **Off-loop evaluation.**  The evaluation runs in an executor thread,
+  and with the default ``"auto"``/``"process"`` engines the heavy grid
+  math runs in the existing block-sharded process pool — the event loop
+  keeps serving cached queries (< 50 ms, gated by
+  ``benchmarks/bench_service.py``) while a 50k-point sweep is cold.
+
+Scalar queries against a swept axis without an explicit selector raise
+:class:`~repro.core.dse.AmbiguousAxisError`, which the error layer maps
+to a structured 400 naming the axis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Dict, Hashable, List, Optional, Set, Union
+
+from repro.core.cache import ModelCache
+from repro.core.dse import (
+    _ENGINES,
+    AmbiguousAxisError,
+    DesignPoint,
+    EmulationResult,
+    SweepGrid,
+    SweepResult,
+    sweep_fingerprint,
+    sweep_grid,
+)
+from repro.core.config import NGPCConfig
+from repro.service.errors import ServiceError
+
+GridLike = Union[SweepGrid, Dict, None]
+
+
+def _as_grid(grid: GridLike) -> SweepGrid:
+    if grid is None:
+        return SweepGrid()
+    if isinstance(grid, SweepGrid):
+        return grid
+    return SweepGrid.from_dict(grid)
+
+
+def _pick(axis: str, values, value):
+    """Resolve an optional selector against a grid axis.
+
+    Mirrors :meth:`SweepResult._axis_index`'s ambiguity rule at the
+    service boundary: an unset selector is fine only when the axis is a
+    singleton.
+    """
+    if value is not None:
+        if value not in values:
+            raise ServiceError(
+                404, "not-on-grid", f"{axis}={value!r} not on the grid",
+                axis=axis, values=list(values),
+            )
+        return value
+    if len(values) == 1:
+        return values[0]
+    raise AmbiguousAxisError(axis, values)
+
+
+class SweepService:
+    """Async, coalescing, LRU-cached front end of the DSE engine.
+
+    All public query methods are coroutines; each first ensures the
+    named grid is evaluated (``await self.sweep(grid)``) and then
+    answers from the dense result.  Counters:
+
+    - ``evaluations``: underlying ``sweep_fn`` executions (the number
+      that must stay 1 under request coalescing),
+    - ``coalesced``: requests that attached to an in-flight evaluation,
+    - cache ``hits``/``misses``: requests served from / admitted to the
+      completed-result LRU (coalesced requests count as neither).
+
+    ``sweep_fn`` is injectable for tests (a counting or artificially
+    slow wrapper around :func:`~repro.core.dse.sweep_grid`).
+    """
+
+    def __init__(
+        self,
+        engine: str = "auto",
+        ngpc: Optional[NGPCConfig] = None,
+        max_cached_sweeps: int = 32,
+        max_workers: Optional[int] = None,
+        sweep_fn=None,
+    ):
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+        self.engine = engine
+        self.ngpc = ngpc
+        self.max_workers = max_workers
+        self._sweep_fn = sweep_fn or sweep_grid
+        # register=False: the cache's lifetime is this service's, not the
+        # process's (the global registry would pin every instance forever)
+        self._cache = ModelCache(
+            "sweep_service", maxsize=max_cached_sweeps, lru=True, register=False
+        )
+        self._inflight: Dict[Hashable, asyncio.Future] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self.evaluations = 0
+        self.coalesced = 0
+
+    # -- sweeps --------------------------------------------------------------
+    async def sweep(self, grid: GridLike = None) -> SweepResult:
+        """Evaluate ``grid`` (cached, coalesced); return the dense result.
+
+        The grid is resolved against the service's base config and
+        normalized (axis values sorted and de-duplicated) before
+        fingerprinting, so every spelling of the same design space maps
+        to one cache entry and one in-flight evaluation.
+        """
+        resolved = _as_grid(grid).resolve(self.ngpc).normalized()
+        key = sweep_fingerprint(resolved, self.ngpc)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.coalesced += 1
+            return await asyncio.shield(inflight)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        task = loop.create_task(self._evaluate(key, resolved, future))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return await asyncio.shield(future)
+
+    async def _evaluate(
+        self, key: Hashable, grid: SweepGrid, future: asyncio.Future
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            self.evaluations += 1
+            result = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    self._sweep_fn,
+                    grid,
+                    engine=self.engine,
+                    ngpc=self.ngpc,
+                    max_workers=self.max_workers,
+                ),
+            )
+        except Exception as exc:  # served to every coalesced awaiter
+            if not future.cancelled():
+                future.set_exception(exc)
+        else:
+            self._cache.put(key, result)
+            if not future.cancelled():
+                future.set_result(result)
+        finally:
+            self._inflight.pop(key, None)
+
+    # -- queries -------------------------------------------------------------
+    async def pareto_front(
+        self,
+        grid: GridLike = None,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ) -> List[DesignPoint]:
+        """Non-dominated (area, speedup) configurations of the grid."""
+        result = await self.sweep(grid)
+        scheme = _pick("scheme", result.grid.schemes, scheme)
+        if app is not None and app not in result.grid.apps:
+            raise ServiceError(
+                404, "not-on-grid", f"app={app!r} not on the grid",
+                axis="app", values=list(result.grid.apps),
+            )
+        return result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+
+    async def cheapest_point_meeting_fps(
+        self,
+        grid: GridLike,
+        app: str,
+        fps: float,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+    ) -> Optional[DesignPoint]:
+        """Cheapest-area configuration hitting ``fps``, or None."""
+        result = await self.sweep(grid)
+        app = _pick("app", result.grid.apps, app)
+        return result.cheapest_point_meeting_fps(
+            app, fps, n_pixels=n_pixels, scheme=scheme
+        )
+
+    async def point(
+        self,
+        grid: GridLike,
+        app: Optional[str] = None,
+        scheme: Optional[str] = None,
+        scale_factor: Optional[int] = None,
+        n_pixels: Optional[int] = None,
+        clock_ghz: Optional[float] = None,
+        grid_sram_kb: Optional[int] = None,
+        n_engines: Optional[int] = None,
+        n_batches: Optional[int] = None,
+    ) -> EmulationResult:
+        """One grid point's :class:`EmulationResult`.
+
+        Every selector follows the ambiguity rule: optional when its
+        axis is a singleton, a structured 400 naming the axis otherwise.
+        """
+        result = await self.sweep(grid)
+        g = result.grid
+        return result.point(
+            _pick("app", g.apps, app),
+            _pick("scheme", g.schemes, scheme),
+            _pick("scale_factor", g.scale_factors, scale_factor),
+            _pick("n_pixels", g.pixel_counts, n_pixels),
+            clock_ghz=clock_ghz,
+            grid_sram_kb=grid_sram_kb,
+            n_engines=n_engines,
+            n_batches=n_batches,
+        )
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict:
+        """Cache/coalescing counters (the ``/stats`` endpoint body)."""
+        return {
+            "engine": self.engine,
+            "evaluations": self.evaluations,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+            "cache": self._cache.info(),
+        }

@@ -2,9 +2,12 @@
 # Tier-1 gate: the full pytest suite plus a smoke run of the
 # sweep-scaling benchmark (the >= 10x batched-DSE acceptance check runs
 # in --quick mode here; run the benchmark without --quick for the full
-# 1000-point vectorized gate and the >= 50k-point block-parallel gate)
-# and a 2-worker block-parallel engine smoke so the process-pool path is
-# exercised on every push.
+# 1000-point vectorized gate and the >= 50k-point block-parallel gate),
+# a 2-worker block-parallel engine smoke so the process-pool path is
+# exercised on every push, the service latency/coalescing gates
+# (bench_service --quick), and a black-box sweep-service smoke: start
+# `repro serve` as a subprocess, run one sweep and one pareto query over
+# HTTP, and require a clean SIGINT shutdown.
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -39,4 +42,55 @@ np.testing.assert_allclose(
 )
 print(f"process engine ok on a {proc.grid.size}-point grid "
       f"(block-sharded, 2 workers)")
+PY
+
+echo
+echo "== service latency + coalescing gates (smoke) =="
+python benchmarks/bench_service.py --quick
+
+echo
+echo "== sweep service smoke (serve + query + clean shutdown) =="
+python - <<'PY'
+import json, re, signal, subprocess, sys, http.client
+
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--port", "0",
+     "--engine", "vectorized"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+)
+try:
+    # skip any interpreter/library warnings until the banner shows up
+    match = None
+    for line in proc.stdout:
+        match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+        if match:
+            break
+    assert match, "server exited without printing a listening line"
+    host, port = match.group(1), int(match.group(2))
+
+    def post(path, payload):
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            conn.request("POST", path, json.dumps(payload),
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    grid = {"apps": ["nerf"], "scale_factors": [8, 16, 32, 64],
+            "clocks_ghz": [0.8, 1.2, 1.695]}
+    status, sweep = post("/sweep", {"grid": grid})
+    assert status == 200 and sweep["ok"], sweep
+    status, front = post("/pareto", {"grid": grid})
+    assert status == 200 and front["result"], front
+
+    proc.send_signal(signal.SIGINT)
+    code = proc.wait(timeout=30)
+    assert code == 0, f"server exited with {code}"
+    print(f"service smoke ok: swept {sweep['result']['size']} points, "
+          f"pareto front of {len(front['result'])} configs, clean shutdown")
+finally:
+    if proc.poll() is None:
+        proc.kill()
 PY
