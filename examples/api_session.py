@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""The ``repro.api`` Session facade end to end: local, then remote.
+
+One typed entry point answers every design-space question the
+reproduction can pose, whatever executes it:
+
+1. Build a design space fluently (``Grid().app(...).clock(0.8, 1.2, n=5)``).
+2. Sweep it on a local session (the batched engines pick themselves).
+3. Query the handle: Pareto front, cheapest-config-meeting-FPS, one point.
+4. Start the sweep service in-process and repeat the *same* queries on a
+   remote session over one keep-alive HTTP connection — then prove the
+   answers are bit-identical and show the server's reuse counters.
+
+Run:  python examples/api_session.py
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.api import Grid, Session
+
+
+def build_grid() -> Grid:
+    return (
+        Grid()
+        .app("nerf", "gia")
+        .scheme("multi_res_hashgrid")
+        .scale(8, 16, 32, 64)
+        .clock(0.8, 1.695, n=4)
+        .sram(512, 1024)
+    )
+
+
+def show_queries(session: Session, label: str):
+    sweep = session.sweep(build_grid())
+    print(f"\n=== {label}: {sweep.size} design points "
+          f"(backend={sweep.backend}) ===")
+
+    front = sweep.pareto()
+    rows = [
+        [p.describe(), f"{p.area_overhead_pct:.2f}%",
+         f"{p.average_speedup:.2f}x"]
+        for p in front[:6]
+    ]
+    print(format_table(
+        ["config", "area", "avg speedup"],
+        rows,
+        title=f"Pareto front (first {len(rows)} of {len(front)} configs)",
+    ))
+
+    hit = sweep.cheapest(app="nerf", fps=60.0)
+    print("cheapest NeRF @ 60 FPS:",
+          hit.describe() if hit else "not achievable")
+
+    point = sweep.point(app="nerf", scale_factor=8, clock_ghz=0.8,
+                        grid_sram_kb=512)
+    print(f"one point: NGPC-8 @ 0.8 GHz / 512 KB -> "
+          f"{point.speedup:.2f}x ({point.fps:,.0f} FPS)")
+    return sweep
+
+
+def main() -> None:
+    # -- 1+2+3: the local session ------------------------------------------
+    local = Session()
+    local_sweep = show_queries(local, "Local session")
+
+    # -- 4: the same queries against a live service ------------------------
+    from repro.service import SweepService, start_http_server
+
+    started = threading.Event()
+    holder = {}
+
+    def serve():
+        async def run():
+            server = await start_http_server(
+                SweepService(engine="vectorized"), "127.0.0.1", 0
+            )
+            holder["port"] = server.port
+            holder["stop"] = asyncio.Event()
+            holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            await holder["stop"].wait()
+            await server.close()
+
+        asyncio.run(run())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    started.wait(timeout=10)
+
+    with Session.remote(port=holder["port"]) as remote:
+        remote_sweep = show_queries(remote, "Remote session")
+        remote.sweep(build_grid())  # a second request: served from cache
+        stats = remote.stats()
+
+    np.testing.assert_array_equal(
+        remote_sweep.result.accelerated_ms, local_sweep.result.accelerated_ms
+    )
+    print("\nlocal and remote arrays are bit-identical")
+    print(f"service: {stats['evaluations']} evaluation(s), "
+          f"http={stats['http']} (keep-alive reuses counted server-side)")
+
+    holder["loop"].call_soon_threadsafe(holder["stop"].set)
+    thread.join(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

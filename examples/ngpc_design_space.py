@@ -5,26 +5,27 @@ Sweeps all four applications, all three encodings and all four scaling
 factors through the emulator (Fig. 12), prints the kernel-level engine
 speedups (Fig. 13), the renderable resolutions (Fig. 14), and the
 area/power bill (Fig. 15) with the Amdahl sanity check of Section VI.
-The final section exercises the batched DSE engine: one vectorized
-``sweep_grid`` call answers the Pareto-front and "cheapest config
-meeting X FPS" queries an architect actually asks.
+The final section exercises the batched DSE engine through the
+``repro.api`` Session facade: one ``session.sweep(...)`` call answers
+the Pareto-front and "cheapest config meeting X FPS" queries an
+architect actually asks — and the same two lines against
+``Session.remote(...)`` would answer them from a running
+``python -m repro serve``.
 
 Run:  python examples/ngpc_design_space.py
 """
 
 from repro.analysis import format_table
+from repro.api import Grid, Session
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.calibration import paper
 from repro.core import (
     NGPCConfig,
-    SweepGrid,
     amdahl_bound,
-    cheapest_meeting_fps,
     emulate,
     encoding_kernel_speedup,
     mlp_kernel_speedup,
     ngpc_area_power,
-    sweep_grid,
 )
 from repro.core.emulator import max_pixels_within_budget, speedup_table
 
@@ -130,17 +131,18 @@ def amdahl_check() -> None:
 
 
 def dse_queries() -> None:
-    """The batched engine: whole design space in one call, then queries."""
-    grid = SweepGrid(
-        apps=APP_NAMES,
-        schemes=("multi_res_hashgrid",),
-        scale_factors=SCALES,
-        pixel_counts=(paper.RESOLUTIONS["fhd"], paper.RESOLUTIONS["4k"]),
+    """The Session facade: whole design space in one call, then queries."""
+    session = Session()  # local backend; Session.remote(...) is a drop-in
+    sweep = session.sweep(
+        Grid()
+        .app(*APP_NAMES)
+        .scheme("multi_res_hashgrid")
+        .scale(*SCALES)
+        .pixels(paper.RESOLUTIONS["fhd"], paper.RESOLUTIONS["4k"])
     )
-    result = sweep_grid(grid)
-    print(f"\nBatched DSE — {result.grid.size} design points in one call")
+    print(f"\nBatched DSE — {sweep.size} design points in one call")
 
-    front = result.pareto_front("multi_res_hashgrid", paper.RESOLUTIONS["fhd"])
+    front = sweep.pareto(n_pixels=paper.RESOLUTIONS["fhd"])
     rows = [
         [f"NGPC-{p.scale_factor}", f"{p.area_overhead_pct:.2f}%",
          f"{p.average_speedup:.2f}x", f"{p.speedup_per_area_pct:.2f}"]
@@ -156,7 +158,8 @@ def dse_queries() -> None:
     for app in APP_NAMES:
         cells = [app]
         for res in ("fhd", "4k"):
-            hit = cheapest_meeting_fps(app, 60.0, paper.RESOLUTIONS[res])
+            hit = sweep.cheapest(app=app, fps=60.0,
+                                 n_pixels=paper.RESOLUTIONS[res])
             cells.append(
                 f"NGPC-{hit.scale_factor} (+{hit.area_overhead_pct:.1f}%)"
                 if hit else "not achievable"

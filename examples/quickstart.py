@@ -14,8 +14,8 @@ Run:  python examples/quickstart.py
 """
 
 from repro.analysis import format_table
+from repro.api import Session
 from repro.apps import GIAApp
-from repro.core import emulate
 
 
 def main() -> None:
@@ -32,9 +32,11 @@ def main() -> None:
     print(f"reconstruction PSNR: {psnr:.2f} dB")
 
     print("\n=== 3. Emulate on the NGPC accelerator ===")
+    session = Session()  # the one typed entry point to the DSE space
     rows = []
     for scale in (8, 16, 32, 64):
-        r = emulate("gia", "multi_res_hashgrid", scale)
+        r = session.point(app="gia", scheme="multi_res_hashgrid",
+                          scale_factor=scale)
         rows.append(
             [f"NGPC-{scale}", f"{r.baseline_ms:.2f}", f"{r.accelerated_ms:.3f}",
              f"{r.speedup:.1f}x", f"{r.fps:,.0f}"]

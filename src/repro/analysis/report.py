@@ -12,7 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.experiments import EXPERIMENTS, ExperimentRow, run_all
 from repro.analysis.sensitivity import sensitivity_sweep
-from repro.core.dse import SweepGrid, SweepResult, sweep_grid
+from repro.api import Session, SweepGrid, SweepResult
 
 
 def rows_to_markdown(rows: List[ExperimentRow]) -> List[str]:
@@ -67,7 +67,7 @@ def design_space_section(result: Optional[SweepResult] = None) -> List[str]:
     report grid's shape).
     """
     if result is None:
-        result = sweep_grid(SweepGrid(schemes=("multi_res_hashgrid",)))
+        result = Session().sweep(SweepGrid(schemes=("multi_res_hashgrid",))).result
     grid = result.grid
     if len(grid.schemes) != 1:
         raise ValueError("the design-space section renders one scheme")
@@ -131,14 +131,15 @@ def architecture_sweep_section() -> List[str]:
     configurations across every (clock, SRAM) combination.
     """
     scheme = "multi_res_hashgrid"
-    grid = SweepGrid(
+    sweep = Session().sweep(SweepGrid(
         schemes=(scheme,),
         scale_factors=(8,),
         clocks_ghz=(0.8, 1.2, 1.695),
         grid_sram_kb=(256, 512, 1024),
-    )
-    result = sweep_grid(grid)
-    front = {p.config_axes for p in result.pareto_front(scheme)}
+    ))
+    result = sweep.result
+    grid = result.grid
+    front = {p.config_axes for p in sweep.pareto(scheme=scheme)}
     lines = [
         "\n## Architecture-axis sweep (NGPC-8, hashgrid)\n",
         "The batched engine sweeps the NFP architecture parameters — clock,",
@@ -208,7 +209,64 @@ def serving_section() -> List[str]:
         "`error.values`).  The report itself can render from a served",
         "result: fetch `POST /result`, rebuild it with",
         "`SweepResult.from_payload`, and pass it to",
-        "`design_space_section(result=...)`.",
+        "`design_space_section(result=...)`.\n",
+        "Connections are keep-alive: clients (the `repro.api` remote",
+        "backend, `repro query`) reuse one socket across requests, and",
+        "`/stats` counts `http.connections` / `http.requests` /",
+        "`http.reused`.  Payloads are versioned: every response envelope",
+        "carries `schema_version`, clients advertise the version they",
+        "speak in each request body, and an unsupported version is a",
+        "structured 400 (`error.code == \"unsupported-schema\"`).",
+    ]
+
+
+def api_section() -> List[str]:
+    """The ``repro.api`` Session quickstart and the backend matrix.
+
+    Static documentation (no evaluation behind it) so the generated
+    EXPERIMENTS.md carries the facade's contract — the one entry point
+    every consumer (CLI, report, workloads, examples) goes through.
+    """
+    return [
+        "\n## API — the `repro.api` Session facade\n",
+        "One typed entry point answers every design-space question over",
+        "any execution path.  A `Session` binds a backend; the returned",
+        "`Sweep` handle is backed by the same dense `SweepResult` either",
+        "way, so queries are bit-identical in-process and over HTTP",
+        "(`tests/test_api_session.py` holds the parity to 1e-9, and",
+        "`benchmarks/bench_api.py` gates the facade overhead < 5 %).\n",
+        "```python",
+        "from repro.api import Grid, Session",
+        "",
+        "session = Session()                        # local, engine='auto'",
+        "sweep = session.sweep(",
+        "    Grid().app('nerf').scale(8, 16, 32, 64).clock(0.8, 1.2, n=5)",
+        ")",
+        "front = sweep.pareto()                     # non-dominated configs",
+        "hit = sweep.cheapest(app='nerf', fps=60)   # cheapest config @ 60 FPS",
+        "r = sweep.point(app='nerf', scale_factor=8, clock_ghz=0.8)",
+        "",
+        "remote = Session.remote(port=8787)         # same calls, over HTTP",
+        "```\n",
+        "| backend | constructor | evaluation | transport |",
+        "|---|---|---|---|",
+        "| local | `Session()` / `Session.local(engine=...)` | "
+        "`sweep_grid` (auto vectorized / block-parallel) + memoized scalar "
+        "emulate | in-process |",
+        "| remote | `Session.remote(host, port)` | a running "
+        "`python -m repro serve` (coalescing + LRU) | one keep-alive HTTP "
+        "connection, `schema_version`-negotiated |\n",
+        "Grids normalize (axis values sorted, de-duplicated) before",
+        "evaluation, so every spelling of a design space shares one cache",
+        "entry on every backend.  Failures raise one hierarchy rooted at",
+        "`repro.errors.ReproError`: `AmbiguousAxisError` (underspecified",
+        "scalar query), `NotOnGridError` (selector value absent from the",
+        "grid), `ServiceError` (structured service failure),",
+        "`BackendUnavailableError` (nothing listening).\n",
+        "Deprecated entry points, kept as thin shims: `design_space()`,",
+        "`pareto_frontier()` (now delegating to the index-based",
+        "`pareto_front`) and `smallest_scale_for_fps()` — all emit",
+        "`DeprecationWarning` and forward to the Session path.",
     ]
 
 
@@ -230,5 +288,6 @@ def build_markdown(
     if include_design_space:
         lines.extend(design_space_section(design_space_result))
         lines.extend(architecture_sweep_section())
+        lines.extend(api_section())
         lines.extend(serving_section())
     return "\n".join(lines) + "\n"

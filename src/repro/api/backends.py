@@ -1,0 +1,172 @@
+"""Pluggable execution backends behind :class:`repro.api.Session`.
+
+A backend answers exactly two evaluation primitives — a dense grid
+sweep returning a :class:`~repro.core.dse.SweepResult`, and a memoized
+scalar point returning an :class:`~repro.core.dse.EmulationResult` —
+plus introspection (``stats``/``health``) and lifecycle (``close``).
+Everything richer (Pareto fronts, FPS constraints, records) is computed
+on the returned :class:`SweepResult` by the
+:class:`~repro.api.session.Sweep` handle, which is what makes the
+backends bit-identical by construction: the remote backend ships the
+*same dense arrays* over HTTP (``POST /result``, exact float
+round-trip via JSON shortest-repr) that the local backend computes
+in-process.
+
+- :class:`LocalBackend` — wraps :func:`~repro.core.dse.sweep_grid`
+  (with the ``"auto"`` engine picking vectorized vs block-parallel by
+  grid size) and the memoized scalar
+  :func:`~repro.core.emulator.emulate` path.
+- :class:`RemoteBackend` — wraps
+  :class:`~repro.service.client.SyncServiceClient`, one keep-alive
+  connection reused across every call; an unreachable service raises
+  :class:`~repro.errors.BackendUnavailableError`.
+
+The roadmap's "distribute block shards across machines" item plugs in
+here as a third backend with the same four methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.core.config import NGPCConfig
+from repro.core.dse import (
+    _ENGINES,
+    _SWEEP_CACHE,
+    EmulationResult,
+    SweepGrid,
+    SweepResult,
+    sweep_grid,
+)
+from repro.core.emulator import emulate, emulate_with_config
+from repro.service.client import SyncServiceClient
+
+
+class Backend:
+    """The backend contract (duck-typed; subclassing is optional)."""
+
+    name: str = "abstract"
+
+    def sweep(self, grid: SweepGrid) -> SweepResult:
+        raise NotImplementedError
+
+    def point(
+        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+    ) -> EmulationResult:
+        raise NotImplementedError
+
+    def stats(self) -> Dict:
+        raise NotImplementedError
+
+    def health(self) -> Dict:
+        return {"ok": True, "backend": self.name}
+
+    def close(self) -> None:
+        pass
+
+
+class LocalBackend(Backend):
+    """In-process evaluation: the batched engines + the scalar memo."""
+
+    name = "local"
+
+    def __init__(
+        self,
+        engine: str = "auto",
+        ngpc: Optional[NGPCConfig] = None,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ):
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+        self.engine = engine
+        self.ngpc = ngpc
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+
+    def sweep(self, grid: SweepGrid) -> SweepResult:
+        return sweep_grid(
+            grid,
+            engine=self.engine,
+            ngpc=self.ngpc,
+            max_workers=self.max_workers,
+            use_cache=self.use_cache,
+        )
+
+    def point(
+        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+    ) -> EmulationResult:
+        """One fully specified point via the memoized scalar path."""
+        if self.ngpc is None:
+            return emulate(app, scheme, scale_factor, n_pixels)
+        config = replace(self.ngpc, scale_factor=scale_factor)
+        return emulate_with_config(app, scheme, config, n_pixels)
+
+    def stats(self) -> Dict:
+        return {
+            "backend": self.name,
+            "engine": self.engine,
+            "cache": _SWEEP_CACHE.info(),
+        }
+
+
+class RemoteBackend(Backend):
+    """Evaluation delegated to a running ``python -m repro serve``.
+
+    The service evaluates (and caches, and coalesces) the sweep; the
+    full dense result ships back over one keep-alive connection and is
+    rebuilt with :meth:`SweepResult.from_payload`, so every downstream
+    query runs on numbers identical to the local backend's.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 120.0,
+        client: Optional[SyncServiceClient] = None,
+    ):
+        self.host = host
+        self.port = port
+        self._client = client or SyncServiceClient(host, port, timeout=timeout)
+
+    def sweep(self, grid: SweepGrid) -> SweepResult:
+        payload = self._client.result_payload(grid.to_dict())
+        return SweepResult.from_payload(payload)
+
+    def point(
+        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+    ) -> EmulationResult:
+        grid = SweepGrid(
+            apps=(app,),
+            schemes=(scheme,),
+            scale_factors=(scale_factor,),
+            pixel_counts=(n_pixels,),
+        )
+        record = self._client.point(grid.to_dict())
+        fields = {
+            field.name: record[field.name]
+            for field in dataclasses.fields(EmulationResult)
+        }
+        return EmulationResult(**fields)
+
+    def stats(self) -> Dict:
+        stats = self._client.stats()
+        stats["backend"] = self.name
+        stats["client"] = {
+            "connections_opened": self._client.connections_opened,
+            "reuses": self._client.reuses,
+        }
+        return stats
+
+    def health(self) -> Dict:
+        health = self._client.healthz()
+        health["backend"] = self.name
+        return health
+
+    def close(self) -> None:
+        self._client.close()

@@ -1,0 +1,142 @@
+"""Fluent, validating builder for :class:`~repro.core.dse.SweepGrid`.
+
+:class:`Grid` spells a design space as a chain of axis calls::
+
+    Grid().app("nerf", "gia").scheme("multi_res_hashgrid") \\
+          .scale(8, 16, 32, 64).clock(0.8, 1.2, n=5).sram(512, 1024)
+
+Each call validates its values immediately (an unknown app or a
+non-power-of-two scale fails at the call site, not at sweep time) and
+returns the builder, so a grid reads as one expression.  ``build()``
+canonicalizes to the :class:`~repro.core.dse.SweepGrid` every execution
+path shares, and ``fingerprint()`` is the exact
+:func:`~repro.core.dse.sweep_fingerprint` cache key the local memo and
+the remote service both use.
+
+The numeric range axes (``clock``, ``pixels``) accept ``n=`` to expand
+``(lo, hi, n=k)`` into *k* evenly spaced values — the spelling of "five
+clocks between 0.8 and 1.2 GHz" without hand-writing the list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import NGPCConfig
+from repro.core.dse import AXIS_FIELDS, SweepGrid, sweep_fingerprint
+
+
+def as_sweep_grid(grid) -> SweepGrid:
+    """Canonicalize any grid spelling the facade accepts.
+
+    ``None`` (the default paper grid), a :class:`SweepGrid`, a
+    :class:`Grid` builder, or a JSON axis mapping all map to one
+    :class:`SweepGrid`; anything else fails with a :class:`TypeError`
+    naming the accepted spellings.
+    """
+    if grid is None:
+        return SweepGrid()
+    if isinstance(grid, SweepGrid):
+        return grid
+    if isinstance(grid, Grid):
+        return grid.build()
+    if isinstance(grid, dict):
+        return SweepGrid.from_dict(grid)
+    raise TypeError(
+        f"grid must be a SweepGrid, Grid builder, axis dict or None, "
+        f"got {type(grid).__name__}"
+    )
+
+
+class Grid:
+    """Fluent grid builder; every axis call validates and returns self."""
+
+    def __init__(self):
+        self._axes: Dict[str, Tuple] = {}
+
+    # -- plumbing ------------------------------------------------------------
+    def _set(self, field: str, values: Tuple) -> "Grid":
+        if not values:
+            raise ValueError(f"{field} needs at least one value")
+        if field in self._axes:
+            raise ValueError(
+                f"{field} already set to {self._axes[field]}; build one "
+                f"grid per design space instead of re-setting an axis"
+            )
+        # eager validation: SweepGrid's own __post_init__ vets this axis
+        # against the registry/config rules, so mistakes fail right here
+        SweepGrid(**{field: values})
+        self._axes[field] = tuple(values)
+        return self
+
+    @staticmethod
+    def _expand(name: str, values: Tuple, n: Optional[int], cast) -> Tuple:
+        """Explicit values, or an (lo, hi, n=k) evenly spaced range."""
+        if n is None:
+            return tuple(cast(v) for v in values)
+        if len(values) != 2:
+            raise ValueError(
+                f"{name}(lo, hi, n=k) expands a range; got {len(values)} "
+                f"bounds instead of 2"
+            )
+        if n < 2:
+            raise ValueError(f"{name}(..., n={n}): n must be at least 2")
+        lo, hi = float(values[0]), float(values[1])
+        return tuple(cast(v) for v in np.linspace(lo, hi, int(n)))
+
+    # -- axes ----------------------------------------------------------------
+    def app(self, *apps: str) -> "Grid":
+        """Applications to sweep (``"nerf"``, ``"nsdf"``, ``"gia"``, ``"nvr"``)."""
+        return self._set("apps", apps)
+
+    def scheme(self, *schemes: str) -> "Grid":
+        """Encoding schemes to sweep."""
+        return self._set("schemes", schemes)
+
+    def scale(self, *scales: int) -> "Grid":
+        """NGPC scale factors (NFPs per cluster, powers of two)."""
+        return self._set("scale_factors", tuple(int(s) for s in scales))
+
+    def pixels(self, *counts: int, n: Optional[int] = None) -> "Grid":
+        """Frame resolutions in pixels; ``pixels(lo, hi, n=k)`` spaces k."""
+        return self._set(
+            "pixel_counts", self._expand("pixels", counts, n, lambda v: int(round(v)))
+        )
+
+    def clock(self, *ghz: float, n: Optional[int] = None) -> "Grid":
+        """NFP clocks in GHz; ``clock(0.8, 1.2, n=5)`` spaces five."""
+        return self._set("clocks_ghz", self._expand("clock", ghz, n, float))
+
+    def sram(self, *kb: int) -> "Grid":
+        """Per-engine grid-SRAM sizes in KB (powers of two)."""
+        return self._set("grid_sram_kb", tuple(int(v) for v in kb))
+
+    def engines(self, *counts: int) -> "Grid":
+        """Encoding engines per NFP."""
+        return self._set("n_engines", tuple(int(v) for v in counts))
+
+    def batches(self, *counts: int) -> "Grid":
+        """Pipeline batch counts."""
+        return self._set("n_batches", tuple(int(v) for v in counts))
+
+    # -- outputs -------------------------------------------------------------
+    def build(self) -> SweepGrid:
+        """The canonical :class:`SweepGrid` (unset axes keep defaults)."""
+        return SweepGrid(**self._axes)
+
+    def to_dict(self) -> Dict[str, list]:
+        """JSON axis mapping (what the HTTP service accepts)."""
+        return self.build().to_dict()
+
+    def fingerprint(self, ngpc: Optional[NGPCConfig] = None):
+        """The canonical cache key of this design space's evaluation."""
+        return sweep_fingerprint(self.build(), ngpc)
+
+    def __repr__(self) -> str:
+        axes = ", ".join(
+            f"{name}={self._axes[name]}"
+            for name in AXIS_FIELDS if name in self._axes
+        )
+        return f"Grid({axes})"

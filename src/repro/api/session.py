@@ -1,0 +1,238 @@
+"""The :class:`Session` facade — one typed entry point to the DSE space.
+
+A session binds a backend (in-process engines or a remote sweep
+service) and exposes the same query surface either way::
+
+    from repro.api import Grid, Session
+
+    session = Session()                       # local, engine="auto"
+    sweep = session.sweep(
+        Grid().app("nerf").scale(8, 16, 32, 64).clock(0.8, 1.2, n=5)
+    )
+    front = sweep.pareto()                    # non-dominated configs
+    hit = sweep.cheapest(app="nerf", fps=60)  # cheapest config @ 60 FPS
+    r = sweep.point(app="nerf", scale_factor=8, clock_ghz=0.8)
+
+    remote = Session.remote(port=8787)        # same calls, over HTTP
+
+Both backends return the same :class:`Sweep` handle backed by a genuine
+dense :class:`~repro.core.dse.SweepResult`, so query results are
+bit-identical across backends (``tests/test_api_session.py`` holds the
+parity to 1e-9) and failures raise one exception hierarchy rooted at
+:class:`~repro.errors.ReproError` — including
+:class:`~repro.core.dse.AmbiguousAxisError` for a scalar query against
+a swept axis without a selector, on either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.api.backends import Backend, LocalBackend, RemoteBackend
+from repro.api.grid import Grid, as_sweep_grid
+from repro.core.config import NGPCConfig
+from repro.core.dse import (
+    AmbiguousAxisError,
+    DesignPoint,
+    EmulationResult,
+    SweepResult,
+)
+from repro.errors import NotOnGridError
+from repro.gpu.baseline import FHD_PIXELS
+
+
+def _pick(axis: str, values, value):
+    """The facade-wide singleton rule for optional selectors.
+
+    An unset selector resolves only when its axis holds exactly one
+    value; otherwise the query is ambiguous and the error names the
+    axis (the same rule the service's 400s encode).  A value absent
+    from the grid is a :class:`NotOnGridError` — structured, inside the
+    :class:`~repro.errors.ReproError` hierarchy, mapped to a 404 by the
+    service layer.
+    """
+    if value is not None:
+        if value not in values:
+            raise NotOnGridError(f"{axis}={value!r} not on the grid")
+        return value
+    if len(values) == 1:
+        return values[0]
+    raise AmbiguousAxisError(axis, values)
+
+
+class Sweep:
+    """Handle over one evaluated design space (a dense ``SweepResult``).
+
+    Queries are answered from the dense arrays, so they cost
+    milliseconds regardless of which backend evaluated the grid.  The
+    underlying :class:`~repro.core.dse.SweepResult` is exposed as
+    ``.result`` for array-level consumers (the report renderer, NumPy
+    analysis).
+    """
+
+    def __init__(self, result: SweepResult, backend: str):
+        self.result = result
+        #: name of the backend that evaluated this sweep
+        self.backend = backend
+
+    # -- shape ---------------------------------------------------------------
+    @property
+    def grid(self):
+        """The resolved :class:`~repro.core.dse.SweepGrid`."""
+        return self.result.grid
+
+    @property
+    def size(self) -> int:
+        return self.result.grid.size
+
+    def __repr__(self) -> str:
+        return (
+            f"Sweep({self.size} points, backend={self.backend!r}, "
+            f"engine={self.result.engine!r})"
+        )
+
+    # -- queries -------------------------------------------------------------
+    def pareto(
+        self,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ) -> List[DesignPoint]:
+        """Non-dominated (area cost, speedup benefit) configurations.
+
+        ``scheme``/``n_pixels`` follow the singleton rule; ``app=None``
+        ranks by the all-apps average speedup.
+        """
+        scheme = _pick("scheme", self.grid.schemes, scheme)
+        if app is not None and app not in self.grid.apps:
+            raise NotOnGridError(f"app={app!r} not on the grid")
+        return self.result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+
+    def cheapest(
+        self,
+        app: Optional[str] = None,
+        fps: float = 60.0,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+    ) -> Optional[DesignPoint]:
+        """Cheapest-area configuration hitting ``fps``, or None."""
+        app = _pick("app", self.grid.apps, app)
+        return self.result.cheapest_point_meeting_fps(
+            app, fps, n_pixels=n_pixels, scheme=scheme
+        )
+
+    def point(
+        self,
+        app: Optional[str] = None,
+        scheme: Optional[str] = None,
+        scale_factor: Optional[int] = None,
+        n_pixels: Optional[int] = None,
+        clock_ghz: Optional[float] = None,
+        grid_sram_kb: Optional[int] = None,
+        n_engines: Optional[int] = None,
+        n_batches: Optional[int] = None,
+    ) -> EmulationResult:
+        """One grid point; every selector follows the singleton rule."""
+        return self.result.point(
+            _pick("app", self.grid.apps, app),
+            _pick("scheme", self.grid.schemes, scheme),
+            _pick("scale_factor", self.grid.scale_factors, scale_factor),
+            _pick("n_pixels", self.grid.pixel_counts, n_pixels),
+            clock_ghz=clock_ghz,
+            grid_sram_kb=grid_sram_kb,
+            n_engines=n_engines,
+            n_batches=n_batches,
+        )
+
+    def records(self, limit: Optional[int] = None) -> List[Dict]:
+        """Flat per-point dicts (JSON/table friendly)."""
+        return self.result.to_records(limit=limit)
+
+
+class Session:
+    """One typed entry point over every execution path of the repro.
+
+    ``Session()`` evaluates in-process; :meth:`Session.remote` talks to
+    a running ``python -m repro serve`` over one keep-alive connection.
+    The query surface and result types are identical either way.
+    """
+
+    def __init__(self, backend: Optional[Backend] = None):
+        self.backend = backend or LocalBackend()
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def local(
+        cls,
+        engine: str = "auto",
+        ngpc: Optional[NGPCConfig] = None,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> "Session":
+        """An in-process session (engine ``"auto"`` sizes itself)."""
+        return cls(LocalBackend(
+            engine=engine, ngpc=ngpc, max_workers=max_workers,
+            use_cache=use_cache,
+        ))
+
+    @classmethod
+    def remote(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 120.0,
+    ) -> "Session":
+        """A session over a running sweep service (keep-alive HTTP)."""
+        return cls(RemoteBackend(host=host, port=port, timeout=timeout))
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation ----------------------------------------------------------
+    def sweep(self, grid=None) -> Sweep:
+        """Evaluate a design space; returns the query handle.
+
+        ``grid`` may be a :class:`~repro.api.grid.Grid` builder, a
+        :class:`~repro.core.dse.SweepGrid`, a JSON axis dict, or None
+        for the paper's default (app x scheme-default x scale) space.
+
+        The grid is **normalized** first (axis values sorted and
+        de-duplicated — the same canonicalization the sweep service
+        applies), so every spelling of one design space shares one
+        evaluation, one cache entry, and one array layout on every
+        backend.  Read axis orderings off ``sweep.grid``, not off the
+        spelling you passed in.
+        """
+        result = self.backend.sweep(as_sweep_grid(grid).normalized())
+        return Sweep(result, backend=self.backend.name)
+
+    def point(
+        self,
+        app: str = "nerf",
+        scheme: str = "multi_res_hashgrid",
+        scale_factor: int = 8,
+        n_pixels: int = FHD_PIXELS,
+    ) -> EmulationResult:
+        """One fully specified configuration via the scalar fast path.
+
+        Local sessions answer from the memoized scalar emulator (no
+        grid evaluation); remote sessions ask the service for the same
+        singleton point.
+        """
+        return self.backend.point(app, scheme, scale_factor, n_pixels)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict:
+        """Backend counters (cache, coalescing, keep-alive reuse)."""
+        return self.backend.stats()
+
+    def health(self) -> Dict:
+        """Backend liveness (always ok locally; probes the service remotely)."""
+        return self.backend.health()

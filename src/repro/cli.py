@@ -13,6 +13,10 @@ Commands:
 - ``train``        train an application on its synthetic scene
 - ``area``         print the NGPC area/power bill (Fig. 15)
 - ``bandwidth``    print the Table III IO bandwidth report
+
+Every design-space command goes through the :mod:`repro.api` Session
+facade — ``emulate`` and ``dse`` on a local session, ``query`` on a
+remote one — so the CLI never chooses an execution path by hand.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.analysis import format_comparison, format_table, get_experiment
 from repro.analysis.experiments import EXPERIMENTS
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.calibration import paper
-from repro.core import NGPCConfig, emulate, ngpc_area_power
+from repro.core import NGPCConfig, ngpc_area_power
 from repro.core.config import SCALE_FACTORS
 from repro.core.emulator import speedup_table
 from repro.core.ngpc import bandwidth_model
@@ -45,7 +49,12 @@ def _positive_float(text: str) -> float:
 
 
 def cmd_emulate(args: argparse.Namespace) -> int:
-    result = emulate(args.app, args.scheme, args.scale, args.pixels)
+    from repro.api import Session
+
+    result = Session().point(
+        app=args.app, scheme=args.scheme,
+        scale_factor=args.scale, n_pixels=args.pixels,
+    )
     print(f"app={result.app} scheme={result.scheme} scale={result.scale_factor} "
           f"pixels={result.n_pixels:,}")
     print(f"  baseline:    {result.baseline_ms:10.3f} ms")
@@ -140,14 +149,15 @@ def _merge_sweep_axes(args: argparse.Namespace, prog: str) -> dict:
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
-    from repro.core.dse import SweepGrid, sweep_grid
+    from repro.api import Session, SweepGrid
 
     axes = _merge_sweep_axes(args, "repro dse")
-    grid = SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes)
-    result = sweep_grid(grid, engine=args.engine)
-    grid = result.grid  # resolved architecture axes
+    session = Session.local(engine=args.engine)
+    sweep = session.sweep(SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes))
+    result = sweep.result
+    grid = sweep.grid  # resolved + normalized axes
     n_pixels = grid.pixel_counts[0]
-    front_points = result.pareto_front(args.scheme, n_pixels)
+    front_points = sweep.pareto(scheme=args.scheme, n_pixels=n_pixels)
     architectural = any(
         len(axis) > 1
         for axis in (grid.clocks_ghz, grid.grid_sram_kb, grid.n_engines,
@@ -163,7 +173,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
                    f"{result.area_overhead_pct[k, 0, 0, 0]:.2f}%",
                    f"{result.power_overhead_pct[k, 0, 0, 0]:.2f}%"]
             row += [
-                f"{result.point(app, args.scheme, scale, n_pixels).speedup:.2f}x"
+                f"{sweep.point(app=app, scale_factor=scale, n_pixels=n_pixels).speedup:.2f}x"
                 for app in APP_NAMES
             ]
             row.append("*" if scale in front else "")
@@ -197,7 +207,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         # answer from the grid already evaluated above — no re-sweep
         print(f"\ncheapest configuration meeting {args.fps:g} FPS:")
         for app in APP_NAMES:
-            hit = result.cheapest_point_meeting_fps(app, args.fps, n_pixels)
+            hit = sweep.cheapest(app=app, fps=args.fps, n_pixels=n_pixels)
             if hit is None:
                 print(f"  {app:5s}: not achievable on the evaluated grid")
             else:
@@ -227,57 +237,69 @@ def _query_grid(args: argparse.Namespace) -> dict:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    import dataclasses
     import json
 
-    from repro.service.client import request_json
+    from repro.api import (
+        BackendUnavailableError,
+        ReproError,
+        Session,
+        SweepGrid,
+        as_structured_error,
+    )
 
-    if args.op == "stats":
-        request = ("GET", "/stats", None)
-    elif args.op == "health":
-        request = ("GET", "/healthz", None)
-    else:
-        grid = _query_grid(args)
-        if args.op == "sweep":
-            request = ("POST", "/sweep", {"grid": grid})
-        elif args.op == "pareto":
-            request = ("POST", "/pareto", {"grid": grid, "app": args.app})
-        elif args.op == "cheapest":
-            if args.fps is None:
-                raise SystemExit("repro query: error: cheapest requires --fps")
-            request = (
-                "POST",
-                "/cheapest",
-                {"grid": grid, "app": args.app, "fps": args.fps},
-            )
-        else:  # point
-            request = (
-                "POST",
-                "/point",
-                {
-                    "grid": grid,
-                    "app": args.app,
-                    "scale_factor": args.scale,
-                    "clock_ghz": args.clock,
-                    "grid_sram_kb": args.sram,
-                    "n_engines": args.engines,
-                    "n_batches": args.batches,
-                },
-            )
-    method, path, payload = request
+    if args.op == "cheapest" and args.fps is None:
+        raise SystemExit("repro query: error: cheapest requires --fps")
+    session = Session.remote(host=args.host, port=args.port)
     try:
-        status, body = request_json(args.host, args.port, method, path, payload)
-    except (ConnectionError, OSError) as exc:
+        if args.op == "stats":
+            output = session.stats()
+        elif args.op == "health":
+            output = session.health()
+        else:
+            sweep = session.sweep(SweepGrid.from_dict(_query_grid(args)))
+            if args.op == "sweep":
+                output = {
+                    "grid": sweep.grid.to_dict(),
+                    "shape": list(sweep.grid.shape),
+                    "size": sweep.size,
+                    "engine": sweep.result.engine,
+                    "backend": sweep.backend,
+                }
+            elif args.op == "pareto":
+                output = [
+                    p.to_dict()
+                    for p in sweep.pareto(scheme=args.scheme, app=args.app)
+                ]
+            elif args.op == "cheapest":
+                hit = sweep.cheapest(app=args.app, fps=args.fps)
+                output = None if hit is None else hit.to_dict()
+            else:  # point
+                result = sweep.point(
+                    app=args.app,
+                    scale_factor=args.scale,
+                    clock_ghz=args.clock,
+                    grid_sram_kb=args.sram,
+                    n_engines=args.engines,
+                    n_batches=args.batches,
+                )
+                output = dataclasses.asdict(result)
+                output["speedup"] = result.speedup
+                output["fps"] = result.fps
+    except BackendUnavailableError as exc:
         print(
-            f"repro query: cannot reach the service at "
-            f"{args.host}:{args.port} ({exc}); start one with "
-            f"'python -m repro serve'",
+            f"repro query: {exc}; start one with 'python -m repro serve'",
             file=sys.stderr,
         )
         return 1
-    if status != 200 or not body.get("ok", False):
-        print(json.dumps(body.get("error", body), indent=2), file=sys.stderr)
+    except ReproError as exc:
+        # the same structured shape the HTTP 400s carry
+        error = as_structured_error(exc)
+        print(json.dumps(error.to_payload()["error"], indent=2), file=sys.stderr)
         return 1
-    print(json.dumps(body["result"], indent=2))
+    finally:
+        session.close()
+    print(json.dumps(output, indent=2))
     return 0
 
 

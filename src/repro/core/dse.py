@@ -40,12 +40,14 @@ run on top of the batched engine.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.errors import NotOnGridError, ReproError
 from repro.core.area_power import ngpc_area_power_batch
 from repro.core.cache import (
     ModelCache,
@@ -61,14 +63,16 @@ from repro.core.emulator import (
 from repro.gpu.baseline import FHD_PIXELS
 
 
-class AmbiguousAxisError(KeyError):
+class AmbiguousAxisError(ReproError, KeyError):
     """A scalar query named no value for an axis the grid sweeps.
 
     Carries the ambiguous ``axis`` name and its swept ``values`` so
     structured consumers — the query service's 400 responses — can
     report exactly which selector is missing instead of parsing the
     message.  Subclasses :class:`KeyError`, so existing callers that
-    catch the old bare error keep working.
+    catch the old bare error keep working, and
+    :class:`~repro.errors.ReproError`, so facade callers can catch one
+    base class for every failure mode.
     """
 
     def __init__(self, axis: str, values: Tuple):
@@ -131,6 +135,19 @@ class DesignPoint:
             "average_speedup": self.average_speedup,
             "config_axes": [[name, value] for name, value in self.config_axes],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DesignPoint":
+        """Rebuild a point from :meth:`to_dict` output (served JSON)."""
+        return cls(
+            scale_factor=int(data["scale_factor"]),
+            area_overhead_pct=float(data["area_overhead_pct"]),
+            power_overhead_pct=float(data["power_overhead_pct"]),
+            speedups={app: float(s) for app, s in data["speedups"].items()},
+            config_axes=tuple(
+                (str(name), value) for name, value in data.get("config_axes", ())
+            ),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -270,16 +287,10 @@ class SweepGrid:
         def canon(values):
             return None if values is None else tuple(sorted(set(values)))
 
-        return SweepGrid(
-            apps=canon(self.apps),
-            schemes=canon(self.schemes),
-            scale_factors=canon(self.scale_factors),
-            pixel_counts=canon(self.pixel_counts),
-            clocks_ghz=canon(self.clocks_ghz),
-            grid_sram_kb=canon(self.grid_sram_kb),
-            n_engines=canon(self.n_engines),
-            n_batches=canon(self.n_batches),
-        )
+        axes = {name: canon(getattr(self, name)) for name in AXIS_FIELDS}
+        if all(axes[name] == getattr(self, name) for name in AXIS_FIELDS):
+            return self  # already canonical: skip the re-validation
+        return SweepGrid(**axes)
 
     def to_dict(self) -> Dict[str, list]:
         """JSON-safe axis mapping (unset architecture axes are omitted)."""
@@ -397,7 +408,7 @@ class SweepResult:
         try:
             return values.index(value)
         except ValueError as exc:
-            raise KeyError(f"{axis_name}={value!r} not on the grid") from exc
+            raise NotOnGridError(f"{axis_name}={value!r} not on the grid") from exc
 
     def index(
         self,
@@ -418,7 +429,7 @@ class SweepResult:
                 self.grid.pixel_counts.index(n_pixels),
             )
         except ValueError as exc:
-            raise KeyError(
+            raise NotOnGridError(
                 f"({app}, {scheme}, {scale_factor}, {n_pixels}) not on the grid"
             ) from exc
         return base + (
@@ -505,9 +516,15 @@ class SweepResult:
         The inverse of :meth:`from_payload`; the pair lets the query
         service ship whole :class:`SweepResult`s over its HTTP JSON API
         and lets :mod:`repro.analysis.report` render from a served
-        result without re-evaluating the grid.
+        result without re-evaluating the grid.  The payload is stamped
+        with :data:`PAYLOAD_SCHEMA_VERSION` so service and library can
+        evolve the array schema independently.
         """
-        payload = {"grid": self.grid.to_dict(), "engine": self.engine}
+        payload = {
+            "schema_version": PAYLOAD_SCHEMA_VERSION,
+            "grid": self.grid.to_dict(),
+            "engine": self.engine,
+        }
         for name in RESULT_ARRAY_FIELDS:
             payload[name] = getattr(self, name).tolist()
         return payload
@@ -518,8 +535,12 @@ class SweepResult:
 
         Array shapes are validated against the payload's grid so a
         truncated or hand-edited payload fails here rather than with an
-        off-by-one deep inside a query.
+        off-by-one deep inside a query.  A payload without a
+        ``schema_version`` is read as version 1 (the pre-versioning
+        wire format, which is identical); an unsupported version fails
+        loudly instead of misinterpreting arrays.
         """
+        check_schema_version(payload.get("schema_version"))
         grid = SweepGrid.from_dict(payload["grid"]).resolve()
         expected = {name: grid.shape for name in _TIMING_FIELDS}
         expected["amdahl_bound"] = grid.shape[:2]
@@ -697,6 +718,35 @@ RESULT_ARRAY_FIELDS = _TIMING_FIELDS + (
     "area_overhead_pct",
     "power_overhead_pct",
 )
+
+#: version stamped into every :meth:`SweepResult.to_payload` payload and
+#: every HTTP response envelope; bump when the array schema changes
+PAYLOAD_SCHEMA_VERSION = 1
+
+#: payload versions this build can read/serve (version 1 is also the
+#: implicit version of pre-versioning payloads with no stamp)
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+
+
+def check_schema_version(version) -> int:
+    """Validate a negotiated/stamped payload schema version.
+
+    ``None`` (no stamp) reads as version 1; anything not in
+    :data:`SUPPORTED_SCHEMA_VERSIONS` raises :class:`ValueError` — the
+    service maps it to a structured 400 naming the supported versions.
+    """
+    if version is None:
+        return PAYLOAD_SCHEMA_VERSION
+    try:
+        version = int(version)
+    except (TypeError, ValueError):
+        raise ValueError(f"schema_version must be an integer, got {version!r}")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported payload schema_version {version}; this build "
+            f"supports {list(SUPPORTED_SCHEMA_VERSIONS)}"
+        )
+    return version
 
 
 def sweep_fingerprint(
@@ -1093,8 +1143,16 @@ def cheapest_meeting_fps(
 
 
 # ---------------------------------------------------------------------------
-# legacy Fig. 12 + Fig. 15 view, now served by the batched engine
+# legacy Fig. 12 + Fig. 15 view — deprecated shims over the Session facade
 # ---------------------------------------------------------------------------
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} from the repro.api Session facade",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def design_space(
@@ -1103,20 +1161,31 @@ def design_space(
     scales=SCALE_FACTORS,
     engine: str = "vectorized",
 ) -> List[DesignPoint]:
-    """Evaluate every scaling factor: cost (Fig. 15) x benefit (Fig. 12)."""
+    """Evaluate every scaling factor: cost (Fig. 15) x benefit (Fig. 12).
+
+    .. deprecated:: the :class:`repro.api.Session` facade supersedes
+       this; ``Session().sweep(grid)`` returns a handle answering the
+       same queries over any backend.
+    """
+    _warn_deprecated("design_space()", "Session().sweep(...)")
+    from repro.api import Session
+
     grid = SweepGrid(
         apps=APP_NAMES,
         schemes=(scheme,),
         scale_factors=tuple(scales),
         pixel_counts=(n_pixels,),
     )
-    result = sweep_grid(grid, engine=engine)
+    result = Session.local(engine=engine).sweep(grid).result
     points = []
-    speedup = result.speedup
-    for k, scale in enumerate(grid.scale_factors):
+    # look up by name against the *result's* (normalized) grid, but
+    # emit points in the caller's scale order — the session
+    # canonicalizes axis order, the legacy contract does not
+    for scale in (int(s) for s in scales):
+        k = result.grid.scale_factors.index(scale)
         speedups = {
-            app: float(speedup[i, 0, k, 0, 0, 0, 0, 0])
-            for i, app in enumerate(grid.apps)
+            app: result.point(app, scheme, scale, n_pixels).speedup
+            for app in grid.apps
         }
         points.append(
             DesignPoint(
@@ -1130,7 +1199,13 @@ def design_space(
 
 
 def pareto_frontier(points: List[DesignPoint]) -> List[DesignPoint]:
-    """Points not dominated in (smaller area, larger average speedup)."""
+    """Points not dominated in (smaller area, larger average speedup).
+
+    .. deprecated:: a thin wrapper over the index-based
+       :func:`pareto_front` (the one Pareto implementation); call that,
+       or query a front straight off ``Session().sweep(...).pareto()``.
+    """
+    _warn_deprecated("pareto_frontier()", "pareto_front() / Sweep.pareto()")
     if not points:
         return []
     keep = pareto_front(
@@ -1147,7 +1222,11 @@ def smallest_scale_for_fps(
     scheme: str = "multi_res_hashgrid",
     scales=SCALE_FACTORS,
 ) -> Optional[int]:
-    """Smallest scaling factor hitting ``fps`` at ``n_pixels``, or None."""
+    """Smallest scaling factor hitting ``fps`` at ``n_pixels``, or None.
+
+    .. deprecated:: use ``Session().sweep(grid).cheapest(app=..., fps=...)``.
+    """
+    _warn_deprecated("smallest_scale_for_fps()", "Sweep.cheapest()")
     hit = cheapest_meeting_fps(app, fps, n_pixels, scheme, tuple(sorted(scales)))
     return hit.scale_factor if hit else None
 

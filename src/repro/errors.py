@@ -1,0 +1,58 @@
+"""The unified exception hierarchy of the public ``repro.api`` surface.
+
+Every failure a :class:`repro.api.Session` can raise derives from
+:class:`ReproError`, whichever execution path produced it:
+
+- :class:`repro.core.dse.AmbiguousAxisError` — a scalar query named no
+  value for an axis the grid sweeps (also a :class:`KeyError` for
+  backward compatibility);
+- :class:`NotOnGridError` — a query named a value absent from the
+  evaluated grid (also a :class:`KeyError`);
+- :class:`repro.service.errors.ServiceError` — a structured failure
+  reported by the sweep service (HTTP status + stable code + details);
+- :class:`BackendUnavailableError` — the backend cannot be reached at
+  all (also a :class:`ConnectionError`, so pre-facade callers that
+  caught socket errors keep working).
+
+The base classes live here, dependency-free, so :mod:`repro.core` and
+:mod:`repro.service` can both subclass them without importing the
+facade (which imports them).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error the ``repro.api`` facade raises.
+
+    Catching this one class handles any failure mode uniformly across
+    the local and remote backends; catch the specific subclasses to
+    repair requests programmatically.
+    """
+
+
+class NotOnGridError(ReproError, KeyError):
+    """A query named a value absent from the evaluated grid.
+
+    Also a :class:`KeyError`, so pre-facade callers that caught the old
+    bare error keep working; the service layer maps it to a structured
+    404 (``error.code == "not-on-grid"``).
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its payload; don't
+        return str(self.args[0]) if self.args else ""
+
+
+class BackendUnavailableError(ReproError, ConnectionError):
+    """A Session backend cannot be reached (connect/transport failure).
+
+    Raised by the remote backend when the sweep service at the
+    configured host/port refuses connections or drops them before a
+    complete response arrives.  Carries the probed endpoint so the
+    message can say what to start where.
+    """
+
+    def __init__(self, message: str, host: str = "", port: int = 0):
+        super().__init__(message)
+        self.host = host
+        self.port = port

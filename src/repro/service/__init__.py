@@ -7,7 +7,7 @@ matching client (:mod:`repro.service.client`).  CLI entry points:
 ``python -m repro serve`` and ``python -m repro query``.
 """
 
-from repro.service.client import ServiceClient, request_json
+from repro.service.client import ServiceClient, SyncServiceClient, request_json
 from repro.service.errors import ServiceError, as_service_error
 from repro.service.http import SweepHTTPServer, run_server, start_http_server
 from repro.service.sweep_service import SweepService
@@ -17,6 +17,7 @@ __all__ = [
     "ServiceError",
     "SweepHTTPServer",
     "SweepService",
+    "SyncServiceClient",
     "as_service_error",
     "request_json",
     "run_server",

@@ -1,17 +1,28 @@
 """Clients for the sweep service's HTTP JSON API.
 
-Two flavours, both stdlib-only:
+Three flavours, all stdlib-only, all keep-alive:
 
-- :class:`ServiceClient` — asyncio client (one short-lived connection
-  per request over :func:`asyncio.open_connection`); used by the test
-  harness and any async embedder.
-- :func:`request_json` — synchronous one-shot helper over
-  :mod:`http.client`; powers the ``python -m repro query`` subcommand
-  and the CI smoke.
+- :class:`ServiceClient` — asyncio client; holds one connection open
+  across requests (reconnecting transparently when the server or an
+  idle timeout dropped it) so a query session pays the TCP handshake
+  once, not per call.  Used by the test harness and any async embedder.
+- :class:`SyncServiceClient` — synchronous twin over
+  :mod:`http.client`, with the same persistent-connection semantics;
+  powers :class:`repro.api.RemoteBackend` and therefore the
+  ``python -m repro query`` subcommand and the CI smoke.
+- :func:`request_json` — one-shot synchronous helper (opens and closes
+  a connection per call) for fire-and-forget scripts.
 
 Non-2xx responses raise :class:`~repro.service.errors.ServiceError`
 rebuilt from the structured body, so an ambiguous-axis 400 surfaces
-client-side with its ``.details["axis"]`` intact.
+client-side with its ``.details["axis"]`` intact.  Transport failures
+(nothing listening, connection dropped mid-response) raise
+:class:`~repro.errors.BackendUnavailableError`.  Both derive from
+:class:`~repro.errors.ReproError`, the facade's one exception base.
+
+Clients negotiate the payload schema: every POST body carries the
+``schema_version`` this build speaks, and every response's stamped
+version is validated before the payload is interpreted.
 """
 
 from __future__ import annotations
@@ -21,7 +32,12 @@ import http.client
 import json
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.dse import SweepResult
+from repro.core.dse import (
+    PAYLOAD_SCHEMA_VERSION,
+    SweepResult,
+    check_schema_version,
+)
+from repro.errors import BackendUnavailableError
 from repro.service.errors import ServiceError
 
 
@@ -29,6 +45,21 @@ def _raise_for_error(status: int, payload: Dict[str, Any]) -> None:
     if 200 <= status < 300 and payload.get("ok", True):
         return
     raise ServiceError.from_payload(payload)
+
+
+def _check_response_schema(payload: Dict[str, Any]) -> None:
+    """Reject a response stamped with a version this build cannot read."""
+    try:
+        check_schema_version(payload.get("schema_version"))
+    except ValueError as exc:
+        raise ServiceError(502, "unsupported-schema", str(exc))
+
+
+def _negotiated(payload: Optional[Dict]) -> Dict:
+    """A request body advertising the schema version this client speaks."""
+    body = dict(payload or {})
+    body.setdefault("schema_version", PAYLOAD_SCHEMA_VERSION)
+    return body
 
 
 def request_json(
@@ -52,53 +83,278 @@ def request_json(
         connection.close()
 
 
+class _StaleConnection(Exception):
+    """A reused connection died before one response byte arrived.
+
+    The signature of a keep-alive connection the server (or an idle
+    timeout) closed between requests — the only failure the clients
+    retry, by reconnecting once.  Timeouts and mid-response drops are
+    never retried, so a slow in-flight evaluation is not re-dispatched.
+    """
+
+
+class SyncServiceClient:
+    """Blocking client with one persistent keep-alive connection.
+
+    The first request opens the connection; subsequent requests reuse
+    it (the server's ``/stats`` counts the reuses under ``http``).  A
+    reused connection that turns out stale — it drops before a single
+    response byte — is re-opened and the request re-sent once; a
+    timeout or a mid-response failure raises immediately instead, so a
+    merely-slow query is never dispatched twice.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+        #: connections this client opened (1 == everything was reused)
+        self.connections_opened = 0
+        #: requests completed over an already-open connection
+        self.reuses = 0
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "SyncServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict[str, Any]:
+        """One JSON round trip; raises :class:`ServiceError` on failure."""
+        body = None if payload is None else json.dumps(_negotiated(payload))
+        headers = {"Content-Type": "application/json",
+                   "Connection": "keep-alive"}
+        for attempt in (0, 1):
+            fresh = self._connection is None
+            if fresh:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                response = self._connection.getresponse()
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                # no response byte arrived: the stale keep-alive signature
+                self.close()
+                if fresh or attempt:
+                    raise BackendUnavailableError(
+                        f"sweep service at {self.host}:{self.port} "
+                        f"unavailable ({exc})",
+                        host=self.host, port=self.port,
+                    ) from exc
+                continue  # reconnect and re-send once
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # timeouts and transport failures: never re-dispatch
+                self.close()
+                raise BackendUnavailableError(
+                    f"sweep service at {self.host}:{self.port} "
+                    f"unavailable ({exc})",
+                    host=self.host, port=self.port,
+                ) from exc
+            try:
+                data = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self.close()
+                raise BackendUnavailableError(
+                    f"sweep service at {self.host}:{self.port} dropped "
+                    f"the connection mid-response ({exc})",
+                    host=self.host, port=self.port,
+                ) from exc
+            if not fresh:
+                self.reuses += 1
+            else:
+                self.connections_opened += 1
+            if response.will_close:
+                self.close()
+            decoded = json.loads(data or b"{}")
+            _check_response_schema(decoded)
+            _raise_for_error(response.status, decoded)
+            return decoded
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- endpoint wrappers ---------------------------------------------------
+    def healthz(self) -> Dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self.request("GET", "/stats")["result"]
+
+    def sweep_summary(self, grid: Optional[Dict] = None) -> Dict:
+        return self.request("POST", "/sweep", {"grid": grid or {}})["result"]
+
+    def result_payload(self, grid: Optional[Dict] = None) -> Dict:
+        return self.request("POST", "/result", {"grid": grid or {}})["result"]
+
+    def records(self, grid: Optional[Dict] = None,
+                limit: Optional[int] = None) -> list:
+        body: Dict[str, Any] = {"grid": grid or {}}
+        if limit is not None:
+            body["limit"] = limit
+        return self.request("POST", "/records", body)["result"]
+
+    def pareto_front(self, grid: Optional[Dict] = None, **query) -> list:
+        return self.request("POST", "/pareto", {"grid": grid or {}, **query})[
+            "result"
+        ]
+
+    def cheapest_point_meeting_fps(
+        self, grid: Optional[Dict], app: Optional[str], fps: float, **query
+    ) -> Optional[Dict]:
+        body = {"grid": grid or {}, "app": app, "fps": fps, **query}
+        return self.request("POST", "/cheapest", body)["result"]
+
+    def point(self, grid: Optional[Dict] = None, **selectors) -> Dict:
+        return self.request("POST", "/point", {"grid": grid or {}, **selectors})[
+            "result"
+        ]
+
+
 class ServiceClient:
-    """Asyncio client mirroring the service's endpoint surface."""
+    """Asyncio client mirroring the service's endpoint surface.
+
+    Keep-alive: one ``asyncio.open_connection`` stream is reused across
+    requests until the server closes it (then the next request
+    reconnects).  Concurrent ``request()`` calls on one instance are
+    safe — they serialize on an internal lock, since a single stream
+    can carry one in-flight request at a time.  Call :meth:`close` — or
+    use ``async with`` — when done so the server's handler can finish
+    promptly.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787):
         self.host = host
         self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self.connections_opened = 0
+        self.reuses = 0
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        writer, self._reader, self._writer = self._writer, None, None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _round_trip(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes, bool]:
+        """Write one request and read one response on the open stream."""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            "\r\n"
+        )
+        try:
+            self._writer.write(head.encode("latin-1") + body)
+            await self._writer.drain()
+            status_line = await self._reader.readline()
+        except (ConnectionError, OSError) as exc:
+            raise _StaleConnection() from exc
+        if not status_line:
+            raise _StaleConnection()
+        # a response has started: any failure past here is fatal (the
+        # request was dispatched — it must not be re-sent)
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ServiceError(502, "bad-response", "malformed status line")
+        status = int(parts[1])
+        length = 0
+        server_keeps = True
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection":
+                server_keeps = value.strip().lower() != "close"
+        data = await self._reader.readexactly(length) if length else b""
+        return status, data, server_keeps
 
     async def request(
         self, method: str, path: str, payload: Optional[Dict] = None
     ) -> Dict[str, Any]:
         """One JSON round trip; raises :class:`ServiceError` on failure."""
-        reader, writer = await asyncio.open_connection(self.host, self.port)
-        try:
-            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
-            head = (
-                f"{method} {path} HTTP/1.1\r\n"
-                f"Host: {self.host}:{self.port}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n"
-                "\r\n"
-            )
-            writer.write(head.encode("latin-1") + body)
-            await writer.drain()
-            status_line = await reader.readline()
-            parts = status_line.decode("latin-1").split()
-            if len(parts) < 2:
-                raise ServiceError(502, "bad-response", "malformed status line")
-            status = int(parts[1])
-            length = 0
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    length = int(value.strip())
-            data = await reader.readexactly(length) if length else b""
-        finally:
-            writer.close()
+        body = (
+            b"" if payload is None
+            else json.dumps(_negotiated(payload)).encode("utf-8")
+        )
+        async with self._lock:  # one in-flight request per stream
+            return await self._request_locked(method, path, body)
+
+    async def _request_locked(
+        self, method: str, path: str, body: bytes
+    ) -> Dict[str, Any]:
+        for attempt in (0, 1):
+            fresh = self._writer is None
+            if fresh:
+                try:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        self.host, self.port
+                    )
+                except (ConnectionError, OSError) as exc:
+                    raise BackendUnavailableError(
+                        f"sweep service at {self.host}:{self.port} "
+                        f"unavailable ({exc})",
+                        host=self.host, port=self.port,
+                    ) from exc
+                self.connections_opened += 1
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-        decoded = json.loads(data or b"{}")
-        _raise_for_error(status, decoded)
-        return decoded
+                status, data, server_keeps = await self._round_trip(
+                    method, path, body
+                )
+            except _StaleConnection as exc:
+                # no response byte arrived: reconnect and re-send once
+                await self.close()
+                if fresh or attempt:
+                    raise BackendUnavailableError(
+                        f"sweep service at {self.host}:{self.port} "
+                        f"unavailable ({exc.__cause__ or 'connection closed'})",
+                        host=self.host, port=self.port,
+                    ) from exc
+                continue
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                # the response started and died: never re-dispatch
+                await self.close()
+                raise BackendUnavailableError(
+                    f"sweep service at {self.host}:{self.port} dropped "
+                    f"the connection mid-response ({exc})",
+                    host=self.host, port=self.port,
+                ) from exc
+            if not fresh:
+                self.reuses += 1
+            if not server_keeps:
+                await self.close()
+            decoded = json.loads(data or b"{}")
+            _check_response_schema(decoded)
+            _raise_for_error(status, decoded)
+            return decoded
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- endpoint wrappers ---------------------------------------------------
     async def healthz(self) -> Dict:

@@ -16,9 +16,10 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.core.dse import AmbiguousAxisError
+from repro.errors import ReproError
 
 
-class ServiceError(Exception):
+class ServiceError(ReproError):
     """A client-reportable failure with an HTTP status and a stable code."""
 
     def __init__(self, status: int, code: str, message: str, **details: Any):

@@ -30,6 +30,14 @@ Failures are structured: a scalar query against a swept axis without a
 selector returns HTTP 400 with ``error.code == "ambiguous-axis"`` and
 ``error.axis`` naming the offending axis (see
 :mod:`repro.service.errors`).
+
+Connections are keep-alive by default, so a pooling client reuses one
+socket across requests; ``/stats`` counts ``http.connections`` /
+``http.requests`` / ``http.reused`` so the reuse is observable.  Every
+response envelope carries the served ``schema_version``; a request body
+naming an unsupported ``schema_version`` gets a structured 400
+(``error.code == "unsupported-schema"``) listing the versions this
+build serves.
 """
 
 from __future__ import annotations
@@ -38,8 +46,13 @@ import asyncio
 import dataclasses
 import json
 import signal
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from repro.core.dse import (
+    PAYLOAD_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    check_schema_version,
+)
 from repro.service.errors import ServiceError, as_service_error
 from repro.service.sweep_service import SweepService
 
@@ -174,6 +187,9 @@ async def _read_request(
 
 
 def _encode_response(status: int, body: Dict, keep_alive: bool) -> bytes:
+    # every envelope — success or error — carries the served schema
+    # version so clients can detect an incompatible server generation
+    body.setdefault("schema_version", PAYLOAD_SCHEMA_VERSION)
     data = json.dumps(body).encode("utf-8")
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
@@ -205,6 +221,15 @@ async def _dispatch(service: SweepService, method: str, path: str, body: bytes):
             raise ServiceError(400, "bad-request", "body must be a JSON object")
     else:
         payload = {}
+    # schema negotiation: a client naming a payload version this build
+    # cannot serve gets a structured 400 instead of misread arrays
+    try:
+        check_schema_version(payload.pop("schema_version", None))
+    except ValueError as exc:
+        raise ServiceError(
+            400, "unsupported-schema", str(exc),
+            supported=list(SUPPORTED_SCHEMA_VERSIONS),
+        )
     result = await handler(service, payload)
     return 200, {"ok": True, "result": result}
 
@@ -213,7 +238,18 @@ async def _handle_connection(
     service: SweepService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    connections: Optional[Set[asyncio.StreamWriter]] = None,
 ) -> None:
+    """Serve one client connection; loops over keep-alive requests.
+
+    Requests after the first on a connection count as keep-alive reuses
+    in the service's ``/stats`` (``http.reused``), so the saving from a
+    connection-pooling client is observable server-side.
+    """
+    service.http["connections"] += 1
+    if connections is not None:
+        connections.add(writer)
+    n_requests = 0
     try:
         while True:
             try:
@@ -235,6 +271,10 @@ async def _handle_connection(
             if request is None:
                 break
             method, path, headers, body = request
+            service.http["requests"] += 1
+            if n_requests:
+                service.http["reused"] += 1
+            n_requests += 1
             keep_alive = headers.get("connection", "keep-alive").lower() != "close"
             try:
                 status, response = await _dispatch(service, method, path, body)
@@ -246,6 +286,8 @@ async def _handle_connection(
             if not keep_alive:
                 break
     finally:
+        if connections is not None:
+            connections.discard(writer)
         writer.close()
         try:
             await writer.wait_closed()
@@ -256,9 +298,12 @@ async def _handle_connection(
 class SweepHTTPServer:
     """Handle for a running server: its port and a clean ``close()``."""
 
-    def __init__(self, service: SweepService, server: asyncio.AbstractServer):
+    def __init__(self, service: SweepService):
         self.service = service
-        self._server = server
+        self._server: Optional[asyncio.AbstractServer] = None
+        # open keep-alive connections; force-closed on shutdown so a
+        # pooling client cannot hold the server's close() hostage
+        self._connections: Set[asyncio.StreamWriter] = set()
 
     @property
     def port(self) -> int:
@@ -266,6 +311,8 @@ class SweepHTTPServer:
 
     async def close(self) -> None:
         self._server.close()
+        for writer in list(self._connections):
+            writer.close()
         await self._server.wait_closed()
 
 
@@ -273,12 +320,15 @@ async def start_http_server(
     service: SweepService, host: str = "127.0.0.1", port: int = 8787
 ) -> SweepHTTPServer:
     """Bind and start serving; ``port=0`` picks an ephemeral port."""
-    server = await asyncio.start_server(
-        lambda reader, writer: _handle_connection(service, reader, writer),
+    handle = SweepHTTPServer(service)
+    handle._server = await asyncio.start_server(
+        lambda reader, writer: _handle_connection(
+            service, reader, writer, handle._connections
+        ),
         host,
         port,
     )
-    return SweepHTTPServer(service, server)
+    return handle
 
 
 def run_server(

@@ -36,6 +36,7 @@ from typing import Dict, Hashable, List, Optional, Set, Union
 from repro.core.cache import ModelCache
 from repro.core.dse import (
     _ENGINES,
+    PAYLOAD_SCHEMA_VERSION,
     AmbiguousAxisError,
     DesignPoint,
     EmulationResult,
@@ -117,6 +118,9 @@ class SweepService:
         self._tasks: Set[asyncio.Task] = set()
         self.evaluations = 0
         self.coalesced = 0
+        # filled in by the HTTP layer: keep-alive connection accounting
+        # ("reused" counts requests served on an already-open connection)
+        self.http = {"connections": 0, "requests": 0, "reused": 0}
 
     # -- sweeps --------------------------------------------------------------
     async def sweep(self, grid: GridLike = None) -> SweepResult:
@@ -238,8 +242,10 @@ class SweepService:
         """Cache/coalescing counters (the ``/stats`` endpoint body)."""
         return {
             "engine": self.engine,
+            "schema_version": PAYLOAD_SCHEMA_VERSION,
             "evaluations": self.evaluations,
             "coalesced": self.coalesced,
             "inflight": len(self._inflight),
             "cache": self._cache.info(),
+            "http": dict(self.http),
         }

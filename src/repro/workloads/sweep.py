@@ -6,7 +6,8 @@ Two ways to sweep:
   yield one :class:`SweepPoint` per memoized scalar
   :func:`~repro.core.emulator.emulate` call — convenient for streaming
   consumption;
-- the batched engine: :func:`grid_sweep` evaluates a whole
+- the batched engine via the :mod:`repro.api` Session facade:
+  :func:`grid_sweep` evaluates a whole
   :class:`~repro.core.dse.SweepGrid` in one vectorized call and returns
   a :class:`~repro.core.dse.SweepResult` of dense arrays, and
   :func:`full_sweep_batched` is a drop-in replacement for
@@ -22,9 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
+from repro.api import LocalBackend, Session, SweepGrid, SweepResult, as_sweep_grid
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.config import SCALE_FACTORS
-from repro.core.dse import SweepGrid, SweepResult, sweep_grid
 from repro.core.emulator import EmulationResult, emulate
 from repro.gpu.baseline import FHD_PIXELS
 
@@ -70,8 +71,14 @@ def grid_sweep(
     grid: Optional[SweepGrid] = None,
     engine: str = "vectorized",
 ) -> SweepResult:
-    """Evaluate a whole :class:`SweepGrid` in one batched call."""
-    return sweep_grid(grid, engine=engine)
+    """Evaluate a whole :class:`SweepGrid` in one batched call.
+
+    Unlike :meth:`Session.sweep`, the caller's axis order is preserved
+    (no normalization): the returned arrays index in the order the grid
+    spelled its values, the :func:`~repro.core.dse.sweep_grid`
+    contract pre-facade callers rely on.
+    """
+    return LocalBackend(engine=engine).sweep(as_sweep_grid(grid))
 
 
 def full_sweep_batched(
@@ -79,14 +86,19 @@ def full_sweep_batched(
     scales: Sequence[int] = SCALE_FACTORS,
     n_pixels: int = FHD_PIXELS,
 ) -> Iterator[SweepPoint]:
-    """Drop-in :func:`full_sweep` served by one vectorized evaluation."""
+    """Drop-in :func:`full_sweep` served by one vectorized evaluation.
+
+    Points stream in the *caller's* scheme/app/scale order (the
+    :func:`full_sweep` contract) even though the facade evaluates the
+    normalized grid; lookups are by name, so ordering cannot drift.
+    """
     grid = SweepGrid(
         apps=APP_NAMES,
         schemes=tuple(schemes or ENCODING_SCHEMES),
         scale_factors=tuple(scales),
         pixel_counts=(n_pixels,),
     )
-    result = sweep_grid(grid)
+    result = Session().sweep(grid).result
     for scheme in grid.schemes:
         for app in grid.apps:
             for scale in grid.scale_factors:

@@ -5,9 +5,12 @@
 # 1000-point vectorized gate and the >= 50k-point block-parallel gate),
 # a 2-worker block-parallel engine smoke so the process-pool path is
 # exercised on every push, the service latency/coalescing gates
-# (bench_service --quick), and a black-box sweep-service smoke: start
+# (bench_service --quick), the Session facade overhead gate
+# (bench_api --quick), and a black-box sweep-service smoke: start
 # `repro serve` as a subprocess, run one sweep and one pareto query over
-# HTTP, and require a clean SIGINT shutdown.
+# raw HTTP plus a remote-backend repro.api Session round trip (keep-alive
+# reuse counted, local/remote parity asserted), and require a clean
+# SIGINT shutdown.
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -49,6 +52,10 @@ echo "== service latency + coalescing gates (smoke) =="
 python benchmarks/bench_service.py --quick
 
 echo
+echo "== Session facade overhead gate (smoke) =="
+python benchmarks/bench_api.py --quick
+
+echo
 echo "== sweep service smoke (serve + query + clean shutdown) =="
 python - <<'PY'
 import json, re, signal, subprocess, sys, http.client
@@ -85,11 +92,35 @@ try:
     status, front = post("/pareto", {"grid": grid})
     assert status == 200 and front["result"], front
 
+    # remote-backend Session round trip: same queries through the typed
+    # facade, one keep-alive connection, parity vs the local backend
+    import numpy as np
+    from repro.api import Session, SweepGrid
+
+    remote = Session.remote(host=host, port=port)
+    local = Session.local(engine="vectorized")
+    api_grid = SweepGrid.from_dict(grid)
+    remote_sweep = remote.sweep(api_grid)
+    local_sweep = local.sweep(api_grid)
+    np.testing.assert_allclose(
+        remote_sweep.result.accelerated_ms,
+        local_sweep.result.accelerated_ms, rtol=1e-9, atol=0.0,
+    )
+    assert [p.to_dict() for p in remote_sweep.pareto()] == \
+           [p.to_dict() for p in local_sweep.pareto()]
+    hit = remote_sweep.cheapest(app="nerf", fps=30.0)
+    stats = remote.stats()
+    assert stats["http"]["reused"] >= 1, stats["http"]
+    remote.close()
+
     proc.send_signal(signal.SIGINT)
     code = proc.wait(timeout=30)
     assert code == 0, f"server exited with {code}"
     print(f"service smoke ok: swept {sweep['result']['size']} points, "
-          f"pareto front of {len(front['result'])} configs, clean shutdown")
+          f"pareto front of {len(front['result'])} configs, "
+          f"Session parity on {remote_sweep.size} points "
+          f"(cheapest@30fps={'none' if hit is None else hit.describe()}, "
+          f"{stats['http']['reused']} keep-alive reuses), clean shutdown")
 finally:
     if proc.poll() is None:
         proc.kill()
