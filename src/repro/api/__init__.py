@@ -8,8 +8,9 @@ This package is the stable facade over all of them:
 
 - :class:`Session` — binds a backend and exposes ``sweep`` / ``point``
   / ``stats`` / ``health``; :meth:`Session.remote` swaps in-process
-  evaluation for a running ``python -m repro serve`` with no other code
-  change.
+  evaluation for a running ``python -m repro serve``, and
+  :meth:`Session.distributed` for a multi-host shard cluster
+  (:class:`DistributedBackend`), with no other code change.
 - :class:`Grid` — fluent, eagerly validating grid builder
   (``Grid().app("nerf").clock(0.8, 1.2, n=5)``) canonicalizing to the
   shared :class:`~repro.core.dse.SweepGrid`.
@@ -26,7 +27,12 @@ Consumers — the CLI, the report generator, the workload sweeps, the
 examples — import from here and never choose an execution path by hand.
 """
 
-from repro.api.backends import Backend, LocalBackend, RemoteBackend
+from repro.api.backends import (
+    Backend,
+    DistributedBackend,
+    LocalBackend,
+    RemoteBackend,
+)
 from repro.api.grid import Grid, as_sweep_grid
 from repro.api.session import Session, Sweep
 from repro.core.dse import (
@@ -47,6 +53,7 @@ __all__ = [
     "Backend",
     "BackendUnavailableError",
     "DesignPoint",
+    "DistributedBackend",
     "EmulationResult",
     "Grid",
     "LocalBackend",

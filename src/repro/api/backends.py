@@ -20,14 +20,20 @@ in-process.
   :class:`~repro.service.client.SyncServiceClient`, one keep-alive
   connection reused across every call; an unreachable service raises
   :class:`~repro.errors.BackendUnavailableError`.
-
-The roadmap's "distribute block shards across machines" item plugs in
-here as a third backend with the same four methods.
+- :class:`DistributedBackend` — the roadmap's "distribute block shards
+  across machines" item: embeds a
+  :class:`~repro.service.cluster.ShardCoordinator` (plus optionally
+  spawned local worker processes) and evaluates sweeps by leasing the
+  grid's contiguous vectorized blocks to every worker that joins —
+  local subprocesses and remote ``repro worker`` hosts alike — behind
+  the same four methods.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
+import time
 from dataclasses import replace
 from typing import Dict, Optional
 
@@ -41,7 +47,9 @@ from repro.core.dse import (
     sweep_grid,
 )
 from repro.core.emulator import emulate, emulate_with_config
+from repro.errors import BackendUnavailableError
 from repro.service.client import SyncServiceClient
+from repro.service.errors import ServiceError
 
 
 class Backend:
@@ -148,11 +156,19 @@ class RemoteBackend(Backend):
             pixel_counts=(n_pixels,),
         )
         record = self._client.point(grid.to_dict())
-        fields = {
-            field.name: record[field.name]
-            for field in dataclasses.fields(EmulationResult)
-        }
-        return EmulationResult(**fields)
+        # a schema-drifted server may serve a record missing fields this
+        # build expects; fail structured (naming them) instead of with a
+        # raw KeyError from deep inside the dict comprehension
+        field_names = [f.name for f in dataclasses.fields(EmulationResult)]
+        missing = [name for name in field_names if name not in record]
+        if missing:
+            raise ServiceError(
+                502, "bad-response",
+                f"served point record is missing field(s) "
+                f"{', '.join(missing)} (schema-drifted server?)",
+                missing=missing,
+            )
+        return EmulationResult(**{name: record[name] for name in field_names})
 
     def stats(self) -> Dict:
         stats = self._client.stats()
@@ -170,3 +186,212 @@ class RemoteBackend(Backend):
 
     def close(self) -> None:
         self._client.close()
+
+
+class DistributedBackend(Backend):
+    """Multi-host evaluation: block shards leased to a worker cluster.
+
+    Embeds a :class:`~repro.service.cluster.ShardCoordinator` behind a
+    :class:`~repro.service.SweepService` (so identical concurrent
+    sweeps single-flight-coalesce and completed results LRU-cache,
+    exactly as on the remote backend) on a private event-loop thread,
+    and serves the worker protocol on ``http://host:port`` — spawning
+    ``workers`` local ``repro worker`` subprocesses and accepting any
+    remote host that runs ``repro worker --host <host> --port <port>``.
+
+    Evaluation is the ``"process"`` engine's block sharding lifted over
+    HTTP: the grid's contiguous vectorized block tasks are leased to
+    workers (re-leased on worker death or lease timeout), evaluated
+    with calibration installed once per worker generation, and the
+    dense float64 arrays stream back for assembly into one
+    :class:`SweepResult` — so results are bit-identical to a local
+    evaluation.  Persistent workers amortize interpreter/NumPy startup
+    and calibration pre-warm across sweeps, where every
+    ``sweep_grid(engine="process")`` call pays them anew.
+
+    ``lease_timeout_s`` bounds how long a dead worker can strand a
+    block; ``block_delay_s`` is the fault-injection knob forwarded to
+    spawned workers (tests/chaos only).
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ngpc: Optional[NGPCConfig] = None,
+        lease_timeout_s: float = 10.0,
+        sweep_timeout_s: Optional[float] = 600.0,
+        max_cached_sweeps: int = 32,
+        ready_timeout_s: float = 60.0,
+        block_delay_s: float = 0.0,
+    ):
+        import asyncio
+
+        from repro.service import SweepService, start_http_server
+        from repro.service.cluster import (
+            ShardCoordinator,
+            spawn_local_workers,
+            terminate_workers,
+        )
+
+        self._terminate_workers = terminate_workers
+        self.coordinator = ShardCoordinator(
+            ngpc=ngpc, lease_timeout_s=lease_timeout_s
+        )
+        self._sweep_timeout_s = sweep_timeout_s
+
+        def cluster_sweep_fn(grid, engine="cluster", ngpc=None, max_workers=None):
+            return self.coordinator.sweep_blocking(
+                grid, ngpc=ngpc, timeout_s=self._sweep_timeout_s
+            )
+
+        self.service = SweepService(
+            engine="cluster", ngpc=ngpc, sweep_fn=cluster_sweep_fn,
+            max_cached_sweeps=max_cached_sweeps,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server = None
+        self._workers = []
+        self._closed = False
+        started = threading.Event()
+        startup_error = []
+
+        def serve():
+            async def main():
+                try:
+                    self._server = await start_http_server(
+                        self.service, host, port, cluster=self.coordinator
+                    )
+                except Exception as exc:
+                    startup_error.append(exc)
+                    started.set()
+                    return
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+                started.set()
+                await self._stop.wait()
+                await self._server.close()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(
+            target=serve, name="repro-distributed", daemon=True
+        )
+        self._thread.start()
+        ready = started.wait(timeout=ready_timeout_s)
+        if startup_error:
+            raise BackendUnavailableError(
+                f"could not start the shard coordinator on {host}:{port} "
+                f"({startup_error[0]})", host=host, port=port,
+            ) from startup_error[0]
+        if not ready or self._server is None:
+            self._closed = True
+            raise BackendUnavailableError(
+                f"shard coordinator on {host}:{port} did not come up "
+                f"within {ready_timeout_s:g}s", host=host, port=port,
+            )
+        self.host = host
+        #: the coordinator's bound port — remote workers join here
+        self.port = self._server.port
+        if workers:
+            self._workers = spawn_local_workers(
+                self.host, self.port, workers, block_delay_s=block_delay_s
+            )
+            self._wait_for_workers(workers, ready_timeout_s)
+
+    def _alive_workers(self) -> int:
+        # counted on the event loop: registrations mutate the worker
+        # dict there, racing a direct off-thread iteration
+        async def collect():
+            return self.coordinator.n_alive_workers
+
+        return self._run(collect)
+
+    def _wait_for_workers(self, n_workers: int, timeout_s: float) -> None:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self._alive_workers() >= n_workers:
+                return
+            if any(p.poll() is not None for p in self._workers):
+                break  # a spawned worker already died: fail fast
+            time.sleep(0.05)
+        alive = self._alive_workers()
+        self.close()
+        raise BackendUnavailableError(
+            f"only {alive} of {n_workers} local "
+            f"workers registered within {timeout_s:g}s",
+            host=self.host, port=self.port,
+        )
+
+    def _run(self, coro_factory):
+        import asyncio
+
+        # checked before the coroutine is created, so a closed backend
+        # raises without leaving a never-awaited coroutine behind
+        if self._closed or self._loop is None:
+            raise BackendUnavailableError(
+                "distributed backend is closed", host=self.host, port=self.port
+            )
+        return asyncio.run_coroutine_threadsafe(
+            coro_factory(), self._loop
+        ).result()
+
+    def sweep(self, grid: SweepGrid) -> SweepResult:
+        return self._run(lambda: self.service.sweep(grid))
+
+    def point(
+        self, app: str, scheme: str, scale_factor: int, n_pixels: int
+    ) -> EmulationResult:
+        """One fully specified point, evaluated as a singleton sweep.
+
+        Distributed sessions keep *all* evaluation on the workers (the
+        client process never needs the calibration warm), so the scalar
+        path is a one-point grid through the same lease machinery; the
+        service's LRU makes repeats cheap.
+        """
+        grid = SweepGrid(
+            apps=(app,),
+            schemes=(scheme,),
+            scale_factors=(scale_factor,),
+            pixel_counts=(n_pixels,),
+        )
+        return self.sweep(grid).point(app, scheme, scale_factor, n_pixels)
+
+    def stats(self) -> Dict:
+        # collected on the event loop: the coordinator's worker/lease
+        # dicts mutate there, and iterating them from this thread could
+        # race a registration or reaper eviction mid-snapshot
+        async def collect():
+            return self.service.stats()
+
+        stats = self._run(collect)
+        stats["backend"] = self.name
+        stats["endpoint"] = {"host": self.host, "port": self.port}
+        return stats
+
+    def health(self) -> Dict:
+        if self._closed or self._loop is None:
+            return {"ok": False, "backend": self.name, "workers_alive": 0}
+
+        async def collect():
+            return self.coordinator.n_alive_workers
+
+        alive = self._run(collect)
+        return {
+            "ok": alive > 0,
+            "backend": self.name,
+            "workers_alive": alive,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers:
+            self._terminate_workers(self._workers)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)

@@ -73,7 +73,15 @@ class Grid:
 
     @staticmethod
     def _expand(name: str, values: Tuple, n: Optional[int], cast) -> Tuple:
-        """Explicit values, or an (lo, hi, n=k) evenly spaced range."""
+        """Explicit values, or an (lo, hi, n=k) evenly spaced range.
+
+        Range expansion de-duplicates (order-preserving): an integer
+        axis like ``pixels(lo, hi, n=k)`` can round neighbouring
+        ``linspace`` samples onto the same value, and a duplicated axis
+        value would sweep (and double-count) the same design points
+        twice.  A range whose rounding collapses below two distinct
+        values is a spelling error and fails here, at the call site.
+        """
         if n is None:
             return tuple(cast(v) for v in values)
         if len(values) != 2:
@@ -84,7 +92,16 @@ class Grid:
         if n < 2:
             raise ValueError(f"{name}(..., n={n}): n must be at least 2")
         lo, hi = float(values[0]), float(values[1])
-        return tuple(cast(v) for v in np.linspace(lo, hi, int(n)))
+        expanded = tuple(dict.fromkeys(
+            cast(v) for v in np.linspace(lo, hi, int(n))
+        ))
+        if len(expanded) < 2:
+            raise ValueError(
+                f"{name}({values[0]!r}, {values[1]!r}, n={n}) collapses to "
+                f"{len(expanded)} distinct value(s) after rounding; widen "
+                f"the range or drop n="
+            )
+        return expanded
 
     # -- axes ----------------------------------------------------------------
     def app(self, *apps: str) -> "Grid":

@@ -28,7 +28,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.api.backends import Backend, LocalBackend, RemoteBackend
+from repro.api.backends import (
+    Backend,
+    DistributedBackend,
+    LocalBackend,
+    RemoteBackend,
+)
 from repro.api.grid import Grid, as_sweep_grid
 from repro.core.config import NGPCConfig
 from repro.core.dse import (
@@ -184,6 +189,27 @@ class Session:
     ) -> "Session":
         """A session over a running sweep service (keep-alive HTTP)."""
         return cls(RemoteBackend(host=host, port=port, timeout=timeout))
+
+    @classmethod
+    def distributed(
+        cls,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ngpc: Optional[NGPCConfig] = None,
+        **options,
+    ) -> "Session":
+        """A session over an embedded shard cluster.
+
+        Starts a coordinator on ``host:port`` (0 picks an ephemeral
+        port), spawns ``workers`` local worker processes, and accepts
+        any remote host that runs ``repro worker`` against the bound
+        endpoint (``session.backend.port``).  Close the session to tear
+        the cluster down.
+        """
+        return cls(DistributedBackend(
+            workers=workers, host=host, port=port, ngpc=ngpc, **options
+        ))
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

@@ -7,7 +7,11 @@ Commands:
 - ``dse``          batched design-space exploration: grid, Pareto front
                    and FPS constraint queries in one vectorized call
 - ``serve``        run the asyncio DSE query service (HTTP JSON API
-                   with request coalescing and an LRU sweep cache)
+                   with request coalescing and an LRU sweep cache);
+                   ``--engine cluster`` distributes sweeps over shard
+                   workers (``--workers`` spawns local ones)
+- ``worker``       join a shard cluster: lease sweep blocks from a
+                   coordinator and stream evaluated arrays back
 - ``query``        client for a running ``serve`` instance
 - ``experiments``  regenerate any registered table/figure experiment
 - ``train``        train an application on its synthetic scene
@@ -218,14 +222,39 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import SweepService, run_server
+    from repro.service import ShardCoordinator, SweepService, run_server
 
+    if args.engine == "cluster":
+        # distributed evaluation: the same port serves the JSON API to
+        # clients and the /cluster/* lease protocol to workers (local
+        # spawned ones and any remote `repro worker` that joins)
+        coordinator = ShardCoordinator(lease_timeout_s=args.lease_timeout)
+        service = SweepService(
+            engine="cluster",
+            sweep_fn=coordinator.sweep_fn,
+            max_cached_sweeps=args.cache_size,
+        )
+        return run_server(
+            service, args.host, args.port,
+            cluster=coordinator, spawn_workers=args.workers or 0,
+        )
     service = SweepService(
         engine=args.engine,
         max_cached_sweeps=args.cache_size,
         max_workers=args.workers,
     )
     return run_server(service, args.host, args.port)
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service import run_worker
+
+    return run_worker(
+        host=args.host,
+        port=args.port,
+        block_delay_s=args.block_delay,
+        max_idle_s=args.max_idle,
+    )
 
 
 def _query_grid(args: argparse.Namespace) -> dict:
@@ -457,13 +486,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8787,
                    help="TCP port (0 picks an ephemeral port)")
-    p.add_argument("--engine", choices=("vectorized", "scalar", "process", "auto"),
-                   default="auto")
+    p.add_argument("--engine",
+                   choices=("vectorized", "scalar", "process", "auto",
+                            "cluster"),
+                   default="auto",
+                   help="local engines, or 'cluster' to distribute block "
+                        "shards over workers (serves /cluster/* on the "
+                        "same port for `repro worker` to join)")
     p.add_argument("--cache-size", type=int, default=32,
                    help="max cached SweepResults (LRU)")
     p.add_argument("--workers", type=int, default=None,
-                   help="process-pool workers for the block-sharded engine")
+                   help="process-pool workers for the block-sharded engine; "
+                        "with --engine cluster: local shard workers to spawn")
+    p.add_argument("--lease-timeout", type=_positive_float, default=10.0,
+                   help="cluster block-lease timeout in seconds (a dead "
+                        "worker's blocks are re-leased after this long)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a shard cluster as a sweep-block worker",
+        description=(
+            "Connect to a coordinator-serving instance (`repro serve "
+            "--engine cluster`, possibly on another machine), lease "
+            "contiguous vectorized sweep blocks, evaluate them with the "
+            "coordinator's calibration installed once per generation, and "
+            "stream the dense arrays back until stopped."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="coordinator host")
+    p.add_argument("--port", type=int, default=8787,
+                   help="coordinator port")
+    p.add_argument("--block-delay", type=float, default=0.0,
+                   help="fault-injection: sleep this long before each "
+                        "block (testing/chaos drills only)")
+    p.add_argument("--max-idle", type=float, default=None,
+                   help="exit after this many seconds without work")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "query",

@@ -916,18 +916,23 @@ def _evaluate_block(task: Tuple) -> Dict[str, np.ndarray]:
     return out
 
 
-def _block_tasks(grid: SweepGrid, n_workers: int) -> List[Tuple[Tuple, Tuple]]:
-    """Shard the grid into contiguous vectorized blocks.
+def shard_plan(grid: SweepGrid, n_blocks: int) -> List[Tuple[Tuple, Tuple]]:
+    """Shard the grid into ~``n_blocks`` contiguous vectorized blocks.
 
     Every (app, scheme) pair's configuration hypercube is cut into
     contiguous windows — the longest axis first, further axes only when
     one axis cannot yield enough chunks — auto-tuned so blocks hold
-    ~``grid.size / (4 * n_workers)`` points: small enough to load-
-    balance the pool, large enough to amortize NumPy dispatch and IPC.
+    ~``grid.size / n_blocks`` points: small enough to load-balance a
+    worker pool, large enough to amortize NumPy dispatch and transport.
     Each entry is ``(placement, task)``: the placement is
     (app index, scheme index, windows) with one (lo, hi) window per
-    configuration axis, the task the arguments shipped to
-    :func:`_evaluate_block`.
+    configuration axis, the task the arguments consumed by
+    :func:`evaluate_shard_task` — plain tuples of strings and numbers,
+    picklable and JSON-safe, so a task can cross process *and* host
+    boundaries unchanged.  This is the shared work-unit contract of the
+    in-process ``"process"`` engine and the multi-host shard cluster
+    (:mod:`repro.service.cluster`); :func:`assemble_shard_blocks` is its
+    inverse, scattering evaluated blocks back into dense grid arrays.
     """
     import itertools
 
@@ -937,7 +942,7 @@ def _block_tasks(grid: SweepGrid, n_workers: int) -> List[Tuple[Tuple, Tuple]]:
     )
     lengths = [len(axis) for axis in axes]
     per_pair = int(np.prod(lengths))
-    block_points = max(1, grid.size // (4 * n_workers))
+    block_points = max(1, grid.size // max(1, n_blocks))
     n_chunks = max(1, -(-per_pair // block_points))  # ceil division
     # greedy split, longest axes first, until the windows multiply out
     # to >= n_chunks (or every axis is fully split)
@@ -969,6 +974,93 @@ def _block_tasks(grid: SweepGrid, n_workers: int) -> List[Tuple[Tuple, Tuple]]:
     return tasks
 
 
+def shard_task_shape(placement: Tuple) -> Tuple[int, ...]:
+    """The timing-array shape a shard task's evaluated block must have."""
+    _, _, windows = placement
+    return tuple(int(hi) - int(lo) for lo, hi in windows)
+
+
+def evaluate_shard_task(task: Tuple) -> Dict[str, np.ndarray]:
+    """Evaluate one :func:`shard_plan` task with the installed worker state.
+
+    The public name of :func:`_evaluate_block`: callers outside the
+    process pool (the shard-cluster workers) evaluate leased blocks
+    through this after installing calibration via
+    :func:`install_worker_state`.
+    """
+    return _evaluate_block(task)
+
+
+def install_worker_state(
+    calibration: Tuple, ngpc: Optional[NGPCConfig],
+    schemes: Tuple[str, ...] = (),
+) -> None:
+    """Install calibration constants + base config into this process.
+
+    The public name of the pool initializer
+    (:func:`_init_sweep_worker`): shard-cluster workers call it once per
+    calibration generation so their blocks agree bit-for-bit with the
+    coordinator's, exactly as pool workers do.
+    """
+    _init_sweep_worker(calibration, ngpc, tuple(schemes))
+
+
+def assemble_shard_blocks(
+    grid: SweepGrid, placed_blocks
+) -> Dict[str, np.ndarray]:
+    """Scatter evaluated shard blocks back into dense grid arrays.
+
+    ``placed_blocks`` yields ``(placement, block)`` pairs — the
+    placement from :func:`shard_plan`, the block from
+    :func:`evaluate_shard_task`.  Every grid point must be covered by
+    exactly one block (guaranteed when the placements come from one
+    plan over the same grid).
+    """
+    shape = grid.shape
+    out = {name: np.empty(shape) for name in _TIMING_FIELDS}
+    out["amdahl_bound"] = np.empty(shape[:2])
+    for (i, j, windows), block in placed_blocks:
+        dest = (i, j) + tuple(slice(lo, hi) for lo, hi in windows)
+        for name in _TIMING_FIELDS:
+            out[name][dest] = block[name]
+        out["amdahl_bound"][i, j] = block["amdahl_bound"]
+    return out
+
+
+def finalize_sweep_result(
+    grid: SweepGrid,
+    engine: str,
+    ngpc: Optional[NGPCConfig],
+    arrays: Dict[str, np.ndarray],
+) -> SweepResult:
+    """Attach the cost arrays and freeze a complete :class:`SweepResult`.
+
+    The one place the area/power arrays are computed and the result
+    arrays are made read-only — shared by :func:`sweep_grid` and the
+    shard-cluster coordinator so a distributed evaluation finishes
+    through the identical code path as a local one.
+    """
+    cost = ngpc_area_power_batch(
+        np.asarray(grid.scale_factors),
+        ngpc.nfp if ngpc else None,
+        clocks_ghz=grid.clocks_ghz,
+        grid_sram_kb=grid.grid_sram_kb,
+        n_engines=grid.n_engines,
+    )
+    arrays = dict(arrays)
+    arrays.update(
+        area_mm2_7nm=cost["area_mm2_7nm"],
+        power_w_7nm=cost["power_w_7nm"],
+        area_overhead_pct=cost["area_overhead_pct"],
+        power_overhead_pct=cost["power_overhead_pct"],
+    )
+    for array in arrays.values():
+        # the result object is shared on cache hits: freeze the arrays so
+        # one consumer's mutation cannot poison every later cached query
+        array.setflags(write=False)
+    return SweepResult(grid=grid, engine=engine, **arrays)
+
+
 def _arrays_process(
     grid: SweepGrid, ngpc: Optional[NGPCConfig], max_workers: Optional[int]
 ) -> Dict[str, np.ndarray]:
@@ -984,7 +1076,7 @@ def _arrays_process(
     from concurrent.futures.process import BrokenProcessPool
 
     n_workers = max_workers or os.cpu_count() or 1
-    tasks = _block_tasks(grid, n_workers)
+    tasks = shard_plan(grid, 4 * n_workers)
     calibration = calibration_fingerprint()
     try:
         with concurrent.futures.ProcessPoolExecutor(
@@ -996,15 +1088,9 @@ def _arrays_process(
     except (OSError, BrokenProcessPool):  # no usable fork/spawn: degrade
         _init_sweep_worker(calibration, ngpc, ())
         blocks = [_evaluate_block(t[1]) for t in tasks]
-    shape = grid.shape
-    out = {name: np.empty(shape) for name in _TIMING_FIELDS}
-    out["amdahl_bound"] = np.empty(shape[:2])
-    for (i, j, windows), block in zip((t[0] for t in tasks), blocks):
-        dest = (i, j) + tuple(slice(lo, hi) for lo, hi in windows)
-        for name in _TIMING_FIELDS:
-            out[name][dest] = block[name]
-        out["amdahl_bound"][i, j] = block["amdahl_bound"]
-    return out
+    return assemble_shard_blocks(
+        grid, zip((t[0] for t in tasks), blocks)
+    )
 
 
 def sweep_grid(
@@ -1044,24 +1130,7 @@ def sweep_grid(
         arrays = _arrays_scalar(grid, ngpc)
     else:
         arrays = _arrays_process(grid, ngpc, max_workers)
-    cost = ngpc_area_power_batch(
-        np.asarray(grid.scale_factors),
-        ngpc.nfp if ngpc else None,
-        clocks_ghz=grid.clocks_ghz,
-        grid_sram_kb=grid.grid_sram_kb,
-        n_engines=grid.n_engines,
-    )
-    arrays.update(
-        area_mm2_7nm=cost["area_mm2_7nm"],
-        power_w_7nm=cost["power_w_7nm"],
-        area_overhead_pct=cost["area_overhead_pct"],
-        power_overhead_pct=cost["power_overhead_pct"],
-    )
-    for array in arrays.values():
-        # the result object is shared on cache hits: freeze the arrays so
-        # one consumer's mutation cannot poison every later cached query
-        array.setflags(write=False)
-    result = SweepResult(grid=grid, engine=engine, **arrays)
+    result = finalize_sweep_result(grid, engine, ngpc, arrays)
     if cacheable:
         _SWEEP_CACHE.put(key, result)
     return result

@@ -281,7 +281,7 @@ class ServiceClient:
         if len(parts) < 2:
             raise ServiceError(502, "bad-response", "malformed status line")
         status = int(parts[1])
-        length = 0
+        length = None
         server_keeps = True
         while True:
             line = await self._reader.readline()
@@ -293,6 +293,19 @@ class ServiceClient:
                 length = int(value.strip())
             elif name == "connection":
                 server_keeps = value.strip().lower() != "close"
+        if length is None:
+            if 200 <= status < 300:
+                # a success response this client cannot frame: reading
+                # zero bytes would silently decode to {} and corrupt the
+                # stream for the next request — fail structured instead
+                await self.close()
+                raise ServiceError(
+                    502, "bad-response",
+                    f"{status} response carries no Content-Length; "
+                    "the body cannot be framed",
+                    status_line=status_line.decode("latin-1").strip(),
+                )
+            length = 0
         data = await self._reader.readexactly(length) if length else b""
         return status, data, server_keeps
 

@@ -1,0 +1,46 @@
+"""Distributed multi-host sweep backend: shard coordinator + workers.
+
+The block task tuples of the in-process ``"process"`` engine
+(:func:`repro.core.dse.shard_plan`) are already self-contained,
+picklable work units; this package ships them across hosts.  A
+:class:`ShardCoordinator` queues a submitted sweep's blocks and leases
+them over HTTP (``/cluster/*`` endpoints, mounted next to the JSON
+service by :mod:`repro.service.http`) to any number of
+``python -m repro worker`` processes — local or remote — which install
+calibration once per generation, evaluate blocks vectorized, and
+stream the dense arrays back for assembly into one
+:class:`~repro.core.dse.SweepResult`.  Leases expire and re-queue on
+worker death, so a sweep survives losing workers mid-flight.
+
+:class:`repro.api.DistributedBackend` embeds a coordinator (plus
+optionally spawned local workers) behind the standard four-method
+backend contract; ``repro serve --engine cluster`` mounts one behind
+the coalescing HTTP sweep service, so identical sweeps from many
+client hosts share one distributed evaluation.
+"""
+
+from repro.service.cluster.coordinator import (
+    BLOCKS_PER_WORKER,
+    PICKLE_CONTENT_TYPE,
+    ShardCoordinator,
+    decode_message,
+    encode_message,
+)
+from repro.service.cluster.worker import (
+    ClusterClient,
+    run_worker,
+    spawn_local_workers,
+    terminate_workers,
+)
+
+__all__ = [
+    "BLOCKS_PER_WORKER",
+    "PICKLE_CONTENT_TYPE",
+    "ClusterClient",
+    "ShardCoordinator",
+    "decode_message",
+    "encode_message",
+    "run_worker",
+    "spawn_local_workers",
+    "terminate_workers",
+]

@@ -186,19 +186,25 @@ async def _read_request(
     return method, path, headers, body
 
 
-def _encode_response(status: int, body: Dict, keep_alive: bool) -> bytes:
-    # every envelope — success or error — carries the served schema
-    # version so clients can detect an incompatible server generation
-    body.setdefault("schema_version", PAYLOAD_SCHEMA_VERSION)
-    data = json.dumps(body).encode("utf-8")
+def _encode_raw_response(
+    status: int, content_type: str, data: bytes, keep_alive: bool
+) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(data)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
     )
     return head.encode("latin-1") + data
+
+
+def _encode_response(status: int, body: Dict, keep_alive: bool) -> bytes:
+    # every envelope — success or error — carries the served schema
+    # version so clients can detect an incompatible server generation
+    body.setdefault("schema_version", PAYLOAD_SCHEMA_VERSION)
+    data = json.dumps(body).encode("utf-8")
+    return _encode_raw_response(status, "application/json", data, keep_alive)
 
 
 async def _dispatch(service: SweepService, method: str, path: str, body: bytes):
@@ -239,6 +245,8 @@ async def _handle_connection(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
     connections: Optional[Set[asyncio.StreamWriter]] = None,
+    cluster=None,
+    tasks: Optional[Set] = None,
 ) -> None:
     """Serve one client connection; loops over keep-alive requests.
 
@@ -249,7 +257,22 @@ async def _handle_connection(
     service.http["connections"] += 1
     if connections is not None:
         connections.add(writer)
+    if tasks is not None:
+        # registered so a closing server can await in-flight handlers
+        # (long-polling workers) instead of leaving them to be cancelled
+        # noisily at loop shutdown
+        tasks.add(asyncio.current_task())
     n_requests = 0
+
+    async def send(encoded: bytes) -> bool:
+        """Write one response; False when the peer is gone (stop serving)."""
+        try:
+            writer.write(encoded)
+            await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            return False
+        return True
+
     try:
         while True:
             try:
@@ -257,16 +280,14 @@ async def _handle_connection(
             except (asyncio.IncompleteReadError, ConnectionError):
                 break
             except ValueError:  # e.g. a request line over the stream limit
-                writer.write(_encode_response(
+                await send(_encode_response(
                     400,
                     ServiceError(400, "bad-request", "malformed request").to_payload(),
                     False,
                 ))
-                await writer.drain()
                 break
             except ServiceError as exc:
-                writer.write(_encode_response(exc.status, exc.to_payload(), False))
-                await writer.drain()
+                await send(_encode_response(exc.status, exc.to_payload(), False))
                 break
             if request is None:
                 break
@@ -276,18 +297,39 @@ async def _handle_connection(
                 service.http["reused"] += 1
             n_requests += 1
             keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            if path.startswith("/cluster/"):
+                # the shard-cluster worker protocol: pickled bodies,
+                # routed to the mounted coordinator (404 when none)
+                if cluster is None:
+                    error = ServiceError(
+                        404, "no-cluster",
+                        "this server has no shard coordinator mounted",
+                    )
+                    encoded = _encode_response(
+                        error.status, error.to_payload(), keep_alive
+                    )
+                else:
+                    status, data = await cluster.handle_http(method, path, body)
+                    encoded = _encode_raw_response(
+                        status, cluster.content_type, data, keep_alive
+                    )
+                if not await send(encoded) or not keep_alive:
+                    break
+                continue
             try:
                 status, response = await _dispatch(service, method, path, body)
             except Exception as exc:  # every failure ships as structured JSON
                 error = as_service_error(exc)
                 status, response = error.status, error.to_payload()
-            writer.write(_encode_response(status, response, keep_alive))
-            await writer.drain()
+            if not await send(_encode_response(status, response, keep_alive)):
+                break
             if not keep_alive:
                 break
     finally:
         if connections is not None:
             connections.discard(writer)
+        if tasks is not None:
+            tasks.discard(asyncio.current_task())
         writer.close()
         try:
             await writer.wait_closed()
@@ -298,32 +340,56 @@ async def _handle_connection(
 class SweepHTTPServer:
     """Handle for a running server: its port and a clean ``close()``."""
 
-    def __init__(self, service: SweepService):
+    def __init__(self, service: SweepService, cluster=None):
         self.service = service
+        #: optional mounted shard coordinator serving ``/cluster/*``
+        self.cluster = cluster
         self._server: Optional[asyncio.AbstractServer] = None
         # open keep-alive connections; force-closed on shutdown so a
         # pooling client cannot hold the server's close() hostage
         self._connections: Set[asyncio.StreamWriter] = set()
+        self._tasks: Set[asyncio.Task] = set()
 
     @property
     def port(self) -> int:
         return self._server.sockets[0].getsockname()[1]
 
     async def close(self) -> None:
+        # stop accepting, wake long-polling workers with a clean stop,
+        # drop open connections, then wait for in-flight handlers so
+        # none is left to be cancelled noisily at loop shutdown
         self._server.close()
+        if self.cluster is not None:
+            await self.cluster.close()
         for writer in list(self._connections):
             writer.close()
+        pending = [t for t in self._tasks if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
         await self._server.wait_closed()
 
 
 async def start_http_server(
-    service: SweepService, host: str = "127.0.0.1", port: int = 8787
+    service: SweepService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    cluster=None,
 ) -> SweepHTTPServer:
-    """Bind and start serving; ``port=0`` picks an ephemeral port."""
-    handle = SweepHTTPServer(service)
+    """Bind and start serving; ``port=0`` picks an ephemeral port.
+
+    Pass a :class:`~repro.service.cluster.ShardCoordinator` as
+    ``cluster`` to mount the worker protocol on the same port: workers
+    talk to ``/cluster/*`` while clients use the JSON endpoints, so one
+    address serves both halves of a distributed deployment.
+    """
+    handle = SweepHTTPServer(service, cluster=cluster)
+    if cluster is not None:
+        await cluster.start()
+        service.stats_extra["cluster"] = cluster.stats
     handle._server = await asyncio.start_server(
         lambda reader, writer: _handle_connection(
-            service, reader, writer, handle._connections
+            service, reader, writer, handle._connections, cluster,
+            handle._tasks,
         ),
         host,
         port,
@@ -332,17 +398,27 @@ async def start_http_server(
 
 
 def run_server(
-    service: SweepService, host: str = "127.0.0.1", port: int = 8787
+    service: SweepService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    cluster=None,
+    spawn_workers: int = 0,
 ) -> int:
     """Blocking entry point for ``python -m repro serve``.
 
     Prints one machine-parseable ``listening on http://host:port`` line
     (the CI smoke reads it to discover an ephemeral port) and serves
     until SIGINT/SIGTERM, then closes the listener cleanly.
+
+    With a ``cluster`` coordinator the same port serves the worker
+    protocol; ``spawn_workers`` local ``repro worker`` subprocesses are
+    started after the bind (remote hosts join by running ``repro
+    worker --host <this> --port <this>`` themselves) and terminated on
+    shutdown.
     """
 
     async def _serve() -> None:
-        server = await start_http_server(service, host, port)
+        server = await start_http_server(service, host, port, cluster=cluster)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -350,14 +426,26 @@ def run_server(
                 loop.add_signal_handler(sig, stop.set)
             except (NotImplementedError, RuntimeError):  # non-main thread
                 pass
+        workers = []
+        if cluster is not None and spawn_workers:
+            from repro.service.cluster import spawn_local_workers
+
+            workers = spawn_local_workers(host, server.port, spawn_workers)
         print(
             f"repro serve: listening on http://{host}:{server.port} "
-            f"(engine={service.engine})",
+            f"(engine={service.engine}"
+            + (f", cluster workers={spawn_workers} local + external joinable"
+               if cluster is not None else "")
+            + ")",
             flush=True,
         )
         try:
             await stop.wait()
         finally:
+            if workers:
+                from repro.service.cluster import terminate_workers
+
+                terminate_workers(workers)
             await server.close()
 
     try:

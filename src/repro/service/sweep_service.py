@@ -51,6 +51,34 @@ from repro.service.errors import ServiceError
 GridLike = Union[SweepGrid, Dict, None]
 
 
+class _Inflight:
+    """One in-flight evaluation: its future plus live-awaiter accounting.
+
+    ``waiters`` counts coroutines currently awaiting the (shielded)
+    future.  When an evaluation fails after every awaiter has been
+    cancelled, nobody ever retrieves the exception — asyncio would log
+    an "exception was never retrieved" warning at GC time for a failure
+    that was handled by design.  Whichever side observes the
+    no-awaiters-and-failed state last (the evaluator setting the
+    exception, or the final awaiter leaving) marks the exception
+    retrieved.
+    """
+
+    __slots__ = ("future", "waiters")
+
+    def __init__(self, future: asyncio.Future):
+        self.future = future
+        self.waiters = 0
+
+    def mark_retrieved_if_abandoned(self) -> None:
+        if (
+            self.waiters == 0
+            and self.future.done()
+            and not self.future.cancelled()
+        ):
+            self.future.exception()  # mark retrieved; returns None on success
+
+
 def _as_grid(grid: GridLike) -> SweepGrid:
     if grid is None:
         return SweepGrid()
@@ -103,7 +131,10 @@ class SweepService:
         max_workers: Optional[int] = None,
         sweep_fn=None,
     ):
-        if engine not in _ENGINES:
+        # an injected sweep_fn may carry its own engine label (the shard
+        # cluster registers as "cluster"); the built-in path must name a
+        # real local engine
+        if sweep_fn is None and engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
         self.engine = engine
         self.ngpc = ngpc
@@ -114,13 +145,16 @@ class SweepService:
         self._cache = ModelCache(
             "sweep_service", maxsize=max_cached_sweeps, lru=True, register=False
         )
-        self._inflight: Dict[Hashable, asyncio.Future] = {}
+        self._inflight: Dict[Hashable, _Inflight] = {}
         self._tasks: Set[asyncio.Task] = set()
         self.evaluations = 0
         self.coalesced = 0
         # filled in by the HTTP layer: keep-alive connection accounting
         # ("reused" counts requests served on an already-open connection)
         self.http = {"connections": 0, "requests": 0, "reused": 0}
+        #: extra stats sections merged into :meth:`stats` by name — the
+        #: HTTP layer mounts the shard coordinator's counters here
+        self.stats_extra: Dict[str, object] = {}
 
     # -- sweeps --------------------------------------------------------------
     async def sweep(self, grid: GridLike = None) -> SweepResult:
@@ -136,22 +170,33 @@ class SweepService:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.coalesced += 1
-            return await asyncio.shield(inflight)
+            return await self._await_inflight(inflight)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
-        self._inflight[key] = future
-        task = loop.create_task(self._evaluate(key, resolved, future))
+        inflight = _Inflight(loop.create_future())
+        self._inflight[key] = inflight
+        task = loop.create_task(self._evaluate(key, resolved, inflight))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
-        return await asyncio.shield(future)
+        return await self._await_inflight(inflight)
+
+    async def _await_inflight(self, inflight: _Inflight) -> SweepResult:
+        inflight.waiters += 1
+        try:
+            # shield: one awaiter's cancellation must not kill the shared
+            # evaluation the other awaiters are attached to
+            return await asyncio.shield(inflight.future)
+        finally:
+            inflight.waiters -= 1
+            inflight.mark_retrieved_if_abandoned()
 
     async def _evaluate(
-        self, key: Hashable, grid: SweepGrid, future: asyncio.Future
+        self, key: Hashable, grid: SweepGrid, inflight: _Inflight
     ) -> None:
         loop = asyncio.get_running_loop()
+        future = inflight.future
         try:
             self.evaluations += 1
             result = await loop.run_in_executor(
@@ -167,6 +212,10 @@ class SweepService:
         except Exception as exc:  # served to every coalesced awaiter
             if not future.cancelled():
                 future.set_exception(exc)
+                # every awaiter may already have been cancelled — then the
+                # exception is handled by design, not lost; keep asyncio
+                # from warning "exception was never retrieved" at GC time
+                inflight.mark_retrieved_if_abandoned()
         else:
             self._cache.put(key, result)
             if not future.cancelled():
@@ -240,7 +289,7 @@ class SweepService:
     # -- introspection -------------------------------------------------------
     def stats(self) -> Dict:
         """Cache/coalescing counters (the ``/stats`` endpoint body)."""
-        return {
+        stats = {
             "engine": self.engine,
             "schema_version": PAYLOAD_SCHEMA_VERSION,
             "evaluations": self.evaluations,
@@ -249,3 +298,6 @@ class SweepService:
             "cache": self._cache.info(),
             "http": dict(self.http),
         }
+        for name, provider in self.stats_extra.items():
+            stats[name] = provider() if callable(provider) else provider
+        return stats

@@ -120,6 +120,14 @@ def local_session():
     return Session.local(engine="vectorized")
 
 
+@pytest.fixture(scope="module")
+def distributed_session():
+    """A live 2-worker shard cluster behind the Session facade."""
+    session = Session.distributed(workers=2)
+    yield session
+    session.close()
+
+
 # ---------------------------------------------------------------------------
 # the scenario suite (each returns a JSON-comparable payload)
 # ---------------------------------------------------------------------------
@@ -269,6 +277,67 @@ class TestBackendParity:
         assert scalar.accelerated_ms == pytest.approx(
             grid.accelerated_ms, rel=RTOL
         )
+
+
+class TestDistributedBackendParity:
+    """The same scenario suite, local vs a live 2-worker shard cluster."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_payloads_identical(
+        self, name, local_session, distributed_session
+    ):
+        scenario = SCENARIOS[name]
+        assert_payloads_equal(
+            scenario(local_session), scenario(distributed_session)
+        )
+
+    def test_dense_arrays_bit_identical(
+        self, local_session, distributed_session
+    ):
+        local = local_session.sweep(PARITY_GRID).result
+        distributed = distributed_session.sweep(PARITY_GRID).result
+        assert distributed.grid == local.grid
+        assert distributed.engine == "cluster"
+        for name in ("baseline_ms", "accelerated_ms", "amdahl_bound",
+                     "area_overhead_pct", "power_overhead_pct"):
+            np.testing.assert_allclose(
+                getattr(distributed, name), getattr(local, name),
+                rtol=RTOL, atol=0.0,
+            )
+            # pickled float64 blocks round-trip exactly
+            np.testing.assert_array_equal(
+                getattr(distributed, name), getattr(local, name)
+            )
+
+    def test_ambiguous_axis_identical_on_both_backends(
+        self, local_session, distributed_session
+    ):
+        errors = []
+        for session in (local_session, distributed_session):
+            with pytest.raises(AmbiguousAxisError) as excinfo:
+                session.sweep(PARITY_GRID).point(app="nerf", scale_factor=8)
+            errors.append(excinfo.value)
+        local_err, distributed_err = errors
+        assert local_err.axis == distributed_err.axis == "clock_ghz"
+        assert local_err.values == distributed_err.values
+        assert str(local_err) == str(distributed_err)
+        for err in errors:
+            assert isinstance(err, ReproError)
+            assert isinstance(err, KeyError)  # legacy contract
+
+    def test_respelled_grid_is_one_evaluation(self, distributed_session):
+        respelled = SweepGrid(
+            apps=tuple(reversed(PARITY_GRID.apps)),
+            scale_factors=(64, 8, 32, 16, 8),
+            clocks_ghz=tuple(reversed(PARITY_GRID.clocks_ghz)),
+            grid_sram_kb=PARITY_GRID.grid_sram_kb,
+            n_batches=PARITY_GRID.n_batches,
+        )
+        backend = distributed_session.backend
+        distributed_session.sweep(PARITY_GRID)
+        evaluations = backend.service.evaluations
+        distributed_session.sweep(respelled)
+        assert backend.service.evaluations == evaluations
 
 
 # ---------------------------------------------------------------------------
@@ -457,6 +526,27 @@ class TestGridBuilder:
     def test_repr_names_the_set_axes(self):
         assert "scale_factors=(8,)" in repr(Grid().scale(8))
 
+    def test_range_expansion_deduplicates_rounded_values(self):
+        # 5 samples over [1000, 1002] round onto 3 distinct pixel counts;
+        # a duplicated axis value would sweep (and double-count) the same
+        # design points twice
+        pixels = Grid().pixels(1000, 1002, n=5).build().pixel_counts
+        assert pixels == (1000, 1001, 1002)
+        assert len(set(pixels)) == len(pixels)
+        # de-duplicated grids build (the duplicate would also have upset
+        # record counts downstream)
+        grid = Grid().app("nerf").pixels(2000, 2002, n=4).build()
+        assert grid.pixel_counts == (2000, 2001, 2002)
+
+    def test_range_collapsing_below_two_values_fails_at_call_site(self):
+        with pytest.raises(ValueError, match="collapses"):
+            Grid().pixels(1000, 1000, n=3)
+        with pytest.raises(ValueError, match="collapses"):
+            # every sample rounds to the same integer
+            Grid().pixels(1000, 1000.4, n=5)
+        # floats do not round, so a tight clock range is fine
+        assert len(Grid().clock(1.0, 1.0001, n=3).build().clocks_ghz) == 3
+
 
 # ---------------------------------------------------------------------------
 # unified exception hierarchy + deprecated shims
@@ -612,3 +702,50 @@ class TestFacadeConsumers:
             assert client.connections_opened == 1
         finally:
             session.close()
+
+
+class TestSchemaDriftedPointRecord:
+    """RemoteBackend.point against a server missing result fields."""
+
+    class _DriftedClient:
+        """A stub SyncServiceClient whose /point record lost fields."""
+
+        def __init__(self, drop):
+            self.drop = drop
+
+        def point(self, grid, **selectors):
+            import dataclasses
+
+            from repro.core.dse import EmulationResult
+
+            record = {
+                field.name: 1.0
+                for field in dataclasses.fields(EmulationResult)
+            }
+            record.update(app="nerf", scheme="multi_res_hashgrid",
+                          scale_factor=8, n_pixels=FHD_PIXELS)
+            for name in self.drop:
+                record.pop(name)
+            return record
+
+        def close(self):
+            pass
+
+    def test_missing_fields_raise_structured_service_error(self):
+        backend = RemoteBackend(
+            client=self._DriftedClient(drop=("amdahl_bound", "dma_ms"))
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            backend.point("nerf", "multi_res_hashgrid", 8, FHD_PIXELS)
+        error = excinfo.value
+        assert error.status == 502
+        assert error.code == "bad-response"
+        assert error.details["missing"] == ["dma_ms", "amdahl_bound"]
+        assert "amdahl_bound" in str(error) and "dma_ms" in str(error)
+        assert isinstance(error, ReproError)
+
+    def test_complete_record_still_builds_the_result(self):
+        backend = RemoteBackend(client=self._DriftedClient(drop=()))
+        result = backend.point("nerf", "multi_res_hashgrid", 8, FHD_PIXELS)
+        assert result.app == "nerf"
+        assert result.scale_factor == 8

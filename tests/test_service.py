@@ -190,6 +190,56 @@ class TestCoalescing:
         assert isinstance(recovered, SweepResult)
         assert len(calls) == 2
 
+    def test_failure_after_all_awaiters_cancelled_leaves_no_asyncio_warning(
+        self,
+    ):
+        """A failing sweep whose coalesced awaiters were all cancelled
+        must not leak an asyncio 'exception was never retrieved' warning
+        — the exception is handled by design (nobody is left to care)."""
+        import gc
+
+        class Boom(RuntimeError):
+            pass
+
+        def failing(grid, engine="vectorized", ngpc=None, max_workers=None):
+            time.sleep(0.15)
+            raise Boom("sweep failed with nobody watching")
+
+        service = SweepService(engine="vectorized", sweep_fn=failing)
+        problems = []
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda _loop, context: problems.append(context)
+            )
+            awaiters = [
+                asyncio.ensure_future(service.sweep(SMALL_GRID))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.03)  # the evaluation is in the executor
+            for awaiter in awaiters:
+                awaiter.cancel()
+            cancelled = await asyncio.gather(
+                *awaiters, return_exceptions=True
+            )
+            assert all(
+                isinstance(c, asyncio.CancelledError) for c in cancelled
+            )
+            while service._inflight:  # the evaluation fails unobserved
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.05)
+            del awaiters, cancelled
+            # the never-retrieved warning fires from Future.__del__, so
+            # collect while the loop is still alive to capture it
+            gc.collect()
+            await asyncio.sleep(0.01)
+
+        asyncio.run(run())
+        gc.collect()
+        messages = [str(context.get("message", "")) for context in problems]
+        assert not any("never retrieved" in m for m in messages), messages
+
 
 # ---------------------------------------------------------------------------
 # responsiveness: cached queries during a cold sweep

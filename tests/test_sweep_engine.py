@@ -292,7 +292,7 @@ class TestArchitectureAxes:
         assert _resolve_engine("auto", grid.resolve()) == "vectorized"
 
     def test_block_tasks_tile_the_grid_exactly(self):
-        from repro.core.dse import _block_tasks
+        from repro.core.dse import shard_plan
 
         grid = SweepGrid(
             apps=("nerf", "gia"),
@@ -303,7 +303,7 @@ class TestArchitectureAxes:
             n_batches=(4, 16),
         ).resolve()
         for n_workers in (1, 2, 7):
-            tasks = _block_tasks(grid, n_workers)
+            tasks = shard_plan(grid, 4 * n_workers)
             covered = np.zeros(grid.shape, dtype=int)
             for (i, j, windows), task in tasks:
                 covered[(i, j) + tuple(slice(lo, hi) for lo, hi in windows)] += 1
@@ -313,7 +313,7 @@ class TestArchitectureAxes:
             assert covered.min() == covered.max() == 1, n_workers
 
     def test_block_tasks_split_multiple_axes_for_many_workers(self):
-        from repro.core.dse import _block_tasks
+        from repro.core.dse import shard_plan
 
         # one (app, scheme) pair: chunks must come from the config axes
         # alone, spilling past the longest axis when workers demand it
@@ -325,7 +325,7 @@ class TestArchitectureAxes:
             clocks_ghz=(0.9, 1.2, 1.695),
             n_batches=(4, 16),
         ).resolve()
-        tasks = _block_tasks(grid, n_workers=16)
+        tasks = shard_plan(grid, 4 * 16)
         # 4*16 target blocks on a 120-point grid: more chunks than the
         # longest single axis (5) can provide
         assert len(tasks) > 5

@@ -10,7 +10,12 @@
 # `repro serve` as a subprocess, run one sweep and one pareto query over
 # raw HTTP plus a remote-backend repro.api Session round trip (keep-alive
 # reuse counted, local/remote parity asserted), and require a clean
-# SIGINT shutdown.
+# SIGINT shutdown.  The distributed layer gets two gates of its own: a
+# 2-worker shard-cluster smoke (coordinator + real `repro worker`
+# subprocesses, one sweep via DistributedBackend, parity vs vectorized,
+# clean shutdown) and the cluster speedup benchmark
+# (bench_cluster --quick, >= 2x over the single-host process engine,
+# emitting BENCH_cluster.json).
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -46,6 +51,44 @@ np.testing.assert_allclose(
 print(f"process engine ok on a {proc.grid.size}-point grid "
       f"(block-sharded, 2 workers)")
 PY
+
+echo
+echo "== shard cluster smoke (2 workers, sweep via DistributedBackend) =="
+python - <<'PY'
+import numpy as np
+
+from repro.api import DistributedBackend, SweepGrid
+from repro.core.dse import sweep_grid
+
+grid = SweepGrid(
+    apps=("nerf", "gia"),
+    scale_factors=(8, 64),
+    clocks_ghz=(1.2, 1.695),
+    n_batches=(8, 16),
+)
+backend = DistributedBackend(workers=2)
+try:
+    result = backend.sweep(grid.resolve().normalized())
+    vec = sweep_grid(grid.resolve().normalized(), engine="vectorized",
+                     use_cache=False)
+    np.testing.assert_allclose(
+        result.accelerated_ms, vec.accelerated_ms, rtol=1e-9, atol=0.0
+    )
+    stats = backend.coordinator.stats()
+    assert stats["workers"]["registered"] == 2, stats
+    assert stats["blocks"]["completed"] >= 1, stats
+finally:
+    backend.close()
+workers = backend._workers
+assert all(p.poll() is not None for p in workers), "workers not reaped"
+print(f"cluster smoke ok: {result.grid.size}-point sweep over 2 workers "
+      f"({stats['blocks']['completed']} blocks, engine={result.engine}), "
+      f"clean shutdown")
+PY
+
+echo
+echo "== cluster speedup gate (smoke) =="
+python benchmarks/bench_cluster.py --quick
 
 echo
 echo "== service latency + coalescing gates (smoke) =="
