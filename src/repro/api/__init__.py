@@ -47,6 +47,7 @@ from repro.core.dse import (
 from repro.errors import BackendUnavailableError, NotOnGridError, ReproError
 from repro.service.errors import ServiceError
 from repro.service.errors import as_service_error as as_structured_error
+from repro.store import ResultStore, StoreCorruptionWarning
 
 __all__ = [
     "AmbiguousAxisError",
@@ -61,8 +62,10 @@ __all__ = [
     "PAYLOAD_SCHEMA_VERSION",
     "RemoteBackend",
     "ReproError",
+    "ResultStore",
     "ServiceError",
     "Session",
+    "StoreCorruptionWarning",
     "Sweep",
     "SweepGrid",
     "SweepResult",

@@ -15,7 +15,12 @@ in-process.
 - :class:`LocalBackend` — wraps :func:`~repro.core.dse.sweep_grid`
   (with the ``"auto"`` engine picking vectorized vs block-parallel by
   grid size) and the memoized scalar
-  :func:`~repro.core.emulator.emulate` path.
+  :func:`~repro.core.emulator.emulate` path.  Pass ``store=`` (a
+  :class:`~repro.store.ResultStore` or directory path) to evaluate
+  through the persistent tier instead: sweeps load memory-mapped from
+  disk when previously persisted — by this process, an earlier run, or
+  a service replica sharing the directory — and cold grids reuse every
+  persisted block, evaluating only the missing slices.
 - :class:`RemoteBackend` — wraps
   :class:`~repro.service.client.SyncServiceClient`, one keep-alive
   connection reused across every call; an unreachable service raises
@@ -35,7 +40,7 @@ import dataclasses
 import threading
 import time
 from dataclasses import replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.core.config import NGPCConfig
 from repro.core.dse import (
@@ -50,6 +55,7 @@ from repro.core.emulator import emulate, emulate_with_config
 from repro.errors import BackendUnavailableError
 from repro.service.client import SyncServiceClient
 from repro.service.errors import ServiceError
+from repro.store import ResultStore, new_tier_counters, sweep_with_store
 
 
 class Backend:
@@ -86,6 +92,7 @@ class LocalBackend(Backend):
         ngpc: Optional[NGPCConfig] = None,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
+        store: Union[ResultStore, str, None] = None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
@@ -93,8 +100,22 @@ class LocalBackend(Backend):
         self.ngpc = ngpc
         self.max_workers = max_workers
         self.use_cache = use_cache
+        if isinstance(store, str):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
+        self.tier = new_tier_counters()
 
     def sweep(self, grid: SweepGrid) -> SweepResult:
+        if self.store is not None:
+            # the tiered ladder: RAM memo -> persisted sweep -> persisted
+            # blocks -> evaluate the delta (vectorized, block by block)
+            return sweep_with_store(
+                self.store,
+                grid.resolve(self.ngpc),
+                ngpc=self.ngpc,
+                counters=self.tier,
+                use_cache=self.use_cache,
+            )
         return sweep_grid(
             grid,
             engine=self.engine,
@@ -113,11 +134,15 @@ class LocalBackend(Backend):
         return emulate_with_config(app, scheme, config, n_pixels)
 
     def stats(self) -> Dict:
-        return {
+        stats = {
             "backend": self.name,
             "engine": self.engine,
             "cache": _SWEEP_CACHE.info(),
         }
+        if self.store is not None:
+            stats["cache"] = {**stats["cache"], **dict(self.tier)}
+            stats["store"] = self.store.stats()
+        return stats
 
 
 class RemoteBackend(Backend):

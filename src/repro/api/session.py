@@ -162,7 +162,21 @@ class Session:
     The query surface and result types are identical either way.
     """
 
-    def __init__(self, backend: Optional[Backend] = None):
+    def __init__(self, backend: Optional[Backend] = None, store=None):
+        """Bind a backend; ``store`` is sugar for a store-backed local one.
+
+        ``Session(store="results/")`` evaluates in-process through the
+        persistent result store (see :class:`~repro.store.ResultStore`).
+        A custom ``backend`` already encodes its own evaluation path, so
+        combining the two is ambiguous and raises.
+        """
+        if backend is not None and store is not None:
+            raise ValueError(
+                "pass either backend= or store=, not both "
+                "(give the store to the backend instead)"
+            )
+        if store is not None:
+            backend = LocalBackend(store=store)
         self.backend = backend or LocalBackend()
 
     # -- constructors --------------------------------------------------------
@@ -173,11 +187,18 @@ class Session:
         ngpc: Optional[NGPCConfig] = None,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
+        store=None,
     ) -> "Session":
-        """An in-process session (engine ``"auto"`` sizes itself)."""
+        """An in-process session (engine ``"auto"`` sizes itself).
+
+        ``store`` (a :class:`~repro.store.ResultStore` or a directory
+        path) routes evaluation through the persistent tier: persisted
+        sweeps load memory-mapped, and cold grids evaluate only the
+        blocks no previous sweep covered.
+        """
         return cls(LocalBackend(
             engine=engine, ngpc=ngpc, max_workers=max_workers,
-            use_cache=use_cache,
+            use_cache=use_cache, store=store,
         ))
 
     @classmethod

@@ -9,7 +9,9 @@ Commands:
 - ``serve``        run the asyncio DSE query service (HTTP JSON API
                    with request coalescing and an LRU sweep cache);
                    ``--engine cluster`` distributes sweeps over shard
-                   workers (``--workers`` spawns local ones)
+                   workers (``--workers`` spawns local ones);
+                   ``--store DIR`` adds the persistent disk tier so
+                   restarts and replicas share evaluated sweeps
 - ``worker``       join a shard cluster: lease sweep blocks from a
                    coordinator and stream evaluated arrays back
 - ``query``        client for a running ``serve`` instance
@@ -156,7 +158,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
     from repro.api import Session, SweepGrid
 
     axes = _merge_sweep_axes(args, "repro dse")
-    session = Session.local(engine=args.engine)
+    session = Session.local(engine=args.engine, store=args.store)
     sweep = session.sweep(SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes))
     result = sweep.result
     grid = sweep.grid  # resolved + normalized axes
@@ -233,6 +235,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             engine="cluster",
             sweep_fn=coordinator.sweep_fn,
             max_cached_sweeps=args.cache_size,
+            store=args.store,
         )
         return run_server(
             service, args.host, args.port,
@@ -242,6 +245,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         max_cached_sweeps=args.cache_size,
         max_workers=args.workers,
+        store=args.store,
     )
     return run_server(service, args.host, args.port)
 
@@ -470,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep", action="append", type=_sweep_spec, default=None,
                    metavar="AXIS=V1:V2[,AXIS=...]",
                    help="sweep architecture axes (repeatable); see examples below")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persistent result store directory: sweeps load "
+                        "memory-mapped when previously evaluated (by any "
+                        "process sharing DIR) and cold grids reuse every "
+                        "persisted block")
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser(
@@ -501,6 +510,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lease-timeout", type=_positive_float, default=10.0,
                    help="cluster block-lease timeout in seconds (a dead "
                         "worker's blocks are re-leased after this long)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persistent result store directory under the RAM "
+                        "LRU: a restarted service serves persisted sweeps "
+                        "warm, and replicas sharing DIR evaluate each "
+                        "sweep once")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

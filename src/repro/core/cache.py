@@ -23,12 +23,22 @@ from typing import Any, Dict, Hashable, List, Optional
 from repro.calibration import fitted
 
 
+#: sentinel distinguishing "key absent" from "key holds None" — ``None``
+#: is a legitimate cacheable value (e.g. "no configuration meets this
+#: constraint"), so membership must never be inferred from the value
+_MISSING = object()
+
+
 class ModelCache:
     """A named, clearable, thread-safe dict cache with hit/miss counters.
 
     Eviction is FIFO by default; pass ``lru=True`` to refresh a key's
     recency on every hit so hot entries survive (the sweep service keeps
     its :class:`~repro.core.dse.SweepResult`s in an LRU instance).
+
+    ``None`` is a cacheable value: presence is tracked with an internal
+    sentinel, so a stored ``None`` counts as a hit, refreshes LRU
+    recency, and keeps the hit/miss counters truthful.
 
     Module-level caches register in the global registry so
     :func:`clear_model_caches` reaches them; instance-owned caches (one
@@ -56,25 +66,41 @@ class ModelCache:
         if register:
             _register(self)
 
-    def get(self, key: Hashable) -> Optional[Any]:
+    def get(self, key: Hashable, default: Any = None) -> Optional[Any]:
         with self._lock:
-            value = self._data.get(key)
-            if value is None:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
                 self.misses += 1
-            else:
-                self.hits += 1
-                if self.lru:
-                    # move to the end: dicts preserve insertion order, so
-                    # eviction always takes the least recently used key
-                    del self._data[key]
-                    self._data[key] = value
+                return default
+            self.hits += 1
+            if self.lru:
+                # move to the end: dicts preserve insertion order, so
+                # eviction always takes the least recently used key
+                del self._data[key]
+                self._data[key] = value
             return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership without touching the hit/miss counters or recency."""
+        with self._lock:
+            return key in self._data
 
     def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
-            if self.maxsize is not None and len(self._data) >= self.maxsize:
-                # evict the oldest entry (FIFO) / least recently used (LRU)
+            if (
+                self.maxsize is not None
+                and key not in self._data
+                and len(self._data) >= self.maxsize
+            ):
+                # evict the oldest entry (FIFO) / least recently used
+                # (LRU) — but only for a genuinely new key: overwriting
+                # an existing entry does not change the cache's size, so
+                # evicting alongside it would shrink the cache and drop
+                # a hot entry on every overwrite at capacity
                 self._data.pop(next(iter(self._data)))
+            if self.lru:
+                # an overwrite is a touch: move the key to the MRU end
+                self._data.pop(key, None)
             self._data[key] = value
 
     def clear(self) -> None:

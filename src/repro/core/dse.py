@@ -542,15 +542,7 @@ class SweepResult:
         """
         check_schema_version(payload.get("schema_version"))
         grid = SweepGrid.from_dict(payload["grid"]).resolve()
-        expected = {name: grid.shape for name in _TIMING_FIELDS}
-        expected["amdahl_bound"] = grid.shape[:2]
-        cost_shape = (
-            len(grid.scale_factors), len(grid.clocks_ghz),
-            len(grid.grid_sram_kb), len(grid.n_engines),
-        )
-        for name in ("area_mm2_7nm", "power_w_7nm",
-                     "area_overhead_pct", "power_overhead_pct"):
-            expected[name] = cost_shape
+        expected = result_array_shapes(grid)
         arrays = {}
         for name in RESULT_ARRAY_FIELDS:
             if name not in payload:
@@ -783,6 +775,95 @@ def sweep_fingerprint(
         config_fingerprint(ngpc),
         calibration_fingerprint(),
     )
+
+
+def result_array_shapes(grid: SweepGrid) -> Dict[str, Tuple[int, ...]]:
+    """Expected shape of every :class:`SweepResult` array for ``grid``.
+
+    The one schema both deserializers validate against —
+    :meth:`SweepResult.from_payload` (served JSON) and the persistent
+    result store (npz columns) — so a truncated or hand-edited artifact
+    fails at the boundary instead of with an off-by-one deep inside a
+    query.  ``grid`` must be resolved.
+    """
+    expected = {name: grid.shape for name in _TIMING_FIELDS}
+    expected["amdahl_bound"] = grid.shape[:2]
+    cost_shape = (
+        len(grid.scale_factors), len(grid.clocks_ghz),
+        len(grid.grid_sram_kb), len(grid.n_engines),
+    )
+    for name in ("area_mm2_7nm", "power_w_7nm",
+                 "area_overhead_pct", "power_overhead_pct"):
+        expected[name] = cost_shape
+    return expected
+
+
+def block_fingerprint(task: Tuple, ngpc: Optional[NGPCConfig] = None):
+    """Canonical cache key of one vectorized block evaluation.
+
+    ``task`` is a :func:`shard_plan`/:func:`store_block_plan` work unit:
+    ``(app, scheme, scales, pixels, clocks, srams, engines, batches)``.
+    The key hashes the block's exact axes slice (the literal values the
+    block spans, not grid indices — two grids sharing a hypercube slice
+    share the key), the base config via :func:`config_fingerprint`, and
+    the calibration constants via :func:`calibration_fingerprint`, so a
+    perturbed calibration context can never read a stale persisted
+    block.  This is the key the persistent result store files blocks
+    under (:mod:`repro.store`).
+    """
+    app, scheme, scales, pixels, clocks, srams, engines, batches = task
+    return (
+        "block/v1",
+        app,
+        scheme,
+        tuple(scales),
+        tuple(pixels),
+        tuple(clocks),
+        tuple(srams),
+        tuple(engines),
+        tuple(batches),
+        config_fingerprint(ngpc),
+        calibration_fingerprint(),
+    )
+
+
+def store_block_plan(grid: SweepGrid) -> List[Tuple[Tuple, Tuple]]:
+    """Deterministic, value-keyed block partition for the result store.
+
+    Same ``(placement, task)`` contract as :func:`shard_plan` — blocks
+    evaluate through :func:`evaluate_shard_task`/
+    :func:`~repro.core.emulator.emulate_batch` and reassemble through
+    :func:`assemble_shard_blocks` — but the cut is chosen for *reuse*
+    rather than load balancing: one block per (app, scheme, scale,
+    pixel count) carrying the full architecture sub-grid
+    (clock x SRAM x engines x batches).  Because the cut depends only
+    on axis *values* (never on the grid's extent), any later grid that
+    extends the workload axes or adds scale/pixel values re-derives the
+    identical blocks for the overlap and hits their persisted entries;
+    only the genuinely new hypercube slices evaluate.  ``grid`` must be
+    resolved.
+    """
+    n_c = len(grid.clocks_ghz)
+    n_g = len(grid.grid_sram_kb)
+    n_e = len(grid.n_engines)
+    n_b = len(grid.n_batches)
+    tasks = []
+    for i, app in enumerate(grid.apps):
+        for j, scheme in enumerate(grid.schemes):
+            for k, scale in enumerate(grid.scale_factors):
+                for l, n_pixels in enumerate(grid.pixel_counts):
+                    placement = (
+                        i, j,
+                        ((k, k + 1), (l, l + 1), (0, n_c), (0, n_g),
+                         (0, n_e), (0, n_b)),
+                    )
+                    task = (
+                        app, scheme, (scale,), (n_pixels,),
+                        grid.clocks_ghz, grid.grid_sram_kb,
+                        grid.n_engines, grid.n_batches,
+                    )
+                    tasks.append((placement, task))
+    return tasks
 
 
 def _resolve_engine(engine: str, grid: SweepGrid) -> str:

@@ -21,6 +21,17 @@ properties make it safe to put in front of many concurrent users:
   math runs in the existing block-sharded process pool — the event loop
   keeps serving cached queries (< 50 ms, gated by
   ``benchmarks/bench_service.py``) while a 50k-point sweep is cold.
+- **Persistent disk tier (optional).**  Pass ``store=`` (a
+  :class:`~repro.store.ResultStore` or a directory path) to slot the
+  content-addressed persistent store *under* the RAM LRU: a RAM miss
+  first probes the store (memory-mapped load, milliseconds) before
+  evaluating, evaluations reuse persisted blocks and only compute the
+  missing hypercube slices, and completed sweeps are persisted — so a
+  restarted replica serves its predecessor's sweeps warm, and N
+  replicas sharing one directory evaluate each sweep once.
+  ``stats()["cache"]`` reports the tiers truthfully (``ram_hits`` /
+  ``disk_hits`` / ``evaluations``), so ``/stats`` can never report a
+  "miss" that was actually served from disk.
 
 Scalar queries against a swept axis without an explicit selector raise
 :class:`~repro.core.dse.AmbiguousAxisError`, which the error layer maps
@@ -47,6 +58,11 @@ from repro.core.dse import (
 )
 from repro.core.config import NGPCConfig
 from repro.service.errors import ServiceError
+from repro.store import (
+    ResultStore,
+    evaluate_with_block_cache,
+    new_tier_counters,
+)
 
 GridLike = Union[SweepGrid, Dict, None]
 
@@ -114,13 +130,21 @@ class SweepService:
     answers from the dense result.  Counters:
 
     - ``evaluations``: underlying ``sweep_fn`` executions (the number
-      that must stay 1 under request coalescing),
+      that must stay 1 under request coalescing; a disk-tier hit is
+      *not* an evaluation),
     - ``coalesced``: requests that attached to an in-flight evaluation,
     - cache ``hits``/``misses``: requests served from / admitted to the
-      completed-result LRU (coalesced requests count as neither).
+      completed-result LRU (coalesced requests count as neither),
+    - tier counters (``ram_hits``/``disk_hits``/``evaluations`` plus the
+      ``blocks_*`` triple) in ``stats()["cache"]`` and
+      ``stats()["store"]`` whenever a ``store`` is attached.
 
     ``sweep_fn`` is injectable for tests (a counting or artificially
-    slow wrapper around :func:`~repro.core.dse.sweep_grid`).
+    slow wrapper around :func:`~repro.core.dse.sweep_grid`).  With a
+    ``store``, a sweep that misses both cache tiers still evaluates
+    through ``sweep_fn`` when one is injected (so counting wrappers and
+    the shard cluster keep their contract); only the built-in path uses
+    block-level reuse.
     """
 
     def __init__(
@@ -130,6 +154,7 @@ class SweepService:
         max_cached_sweeps: int = 32,
         max_workers: Optional[int] = None,
         sweep_fn=None,
+        store: Union[ResultStore, str, None] = None,
     ):
         # an injected sweep_fn may carry its own engine label (the shard
         # cluster registers as "cluster"); the built-in path must name a
@@ -140,6 +165,10 @@ class SweepService:
         self.ngpc = ngpc
         self.max_workers = max_workers
         self._sweep_fn = sweep_fn or sweep_grid
+        if isinstance(store, str):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
+        self.tier = new_tier_counters()
         # register=False: the cache's lifetime is this service's, not the
         # process's (the global registry would pin every instance forever)
         self._cache = ModelCache(
@@ -173,6 +202,7 @@ class SweepService:
             return await self._await_inflight(inflight)
         cached = self._cache.get(key)
         if cached is not None:
+            self.tier["ram_hits"] += 1
             return cached
         loop = asyncio.get_running_loop()
         inflight = _Inflight(loop.create_future())
@@ -198,16 +228,8 @@ class SweepService:
         loop = asyncio.get_running_loop()
         future = inflight.future
         try:
-            self.evaluations += 1
             result = await loop.run_in_executor(
-                None,
-                functools.partial(
-                    self._sweep_fn,
-                    grid,
-                    engine=self.engine,
-                    ngpc=self.ngpc,
-                    max_workers=self.max_workers,
-                ),
+                None, functools.partial(self._evaluate_sync, key, grid)
             )
         except Exception as exc:  # served to every coalesced awaiter
             if not future.cancelled():
@@ -222,6 +244,37 @@ class SweepService:
                 future.set_result(result)
         finally:
             self._inflight.pop(key, None)
+
+    def _evaluate_sync(self, key: Hashable, grid: SweepGrid) -> SweepResult:
+        """The executor-side tiered evaluation: disk, then compute.
+
+        Runs in a worker thread.  With a store attached, a persisted
+        sweep is served memory-mapped without touching ``sweep_fn``; a
+        true miss evaluates — block-by-block against the store when the
+        service runs the built-in :func:`~repro.core.dse.sweep_grid`,
+        through the injected ``sweep_fn`` otherwise (its result is then
+        persisted whole, so even cluster-evaluated sweeps restart warm).
+        """
+        if self.store is not None:
+            persisted = self.store.load_sweep(key)
+            if persisted is not None:
+                self.tier["disk_hits"] += 1
+                return persisted
+        self.evaluations += 1
+        self.tier["evaluations"] += 1
+        if self.store is not None and self._sweep_fn is sweep_grid:
+            return evaluate_with_block_cache(
+                self.store, grid, ngpc=self.ngpc, counters=self.tier
+            )
+        result = self._sweep_fn(
+            grid,
+            engine=self.engine,
+            ngpc=self.ngpc,
+            max_workers=self.max_workers,
+        )
+        if self.store is not None:
+            self.store.save_sweep(key, result)
+        return result
 
     # -- queries -------------------------------------------------------------
     async def pareto_front(
@@ -288,16 +341,36 @@ class SweepService:
 
     # -- introspection -------------------------------------------------------
     def stats(self) -> Dict:
-        """Cache/coalescing counters (the ``/stats`` endpoint body)."""
+        """Cache/coalescing counters (the ``/stats`` endpoint body).
+
+        ``cache`` describes the *tiered* cache, not just the in-RAM
+        LRU: ``size``/``hits``/``misses`` are the LRU's own view, and
+        ``ram_hits``/``disk_hits``/``evaluations`` split every resolved
+        sweep by the tier that actually served it (without a store,
+        ``disk_hits`` is simply always 0).  With a store attached,
+        ``store`` carries its catalogue and block-reuse counters.
+        """
         stats = {
             "engine": self.engine,
             "schema_version": PAYLOAD_SCHEMA_VERSION,
             "evaluations": self.evaluations,
             "coalesced": self.coalesced,
             "inflight": len(self._inflight),
-            "cache": self._cache.info(),
+            "cache": {
+                **self._cache.info(),
+                "ram_hits": self.tier["ram_hits"],
+                "disk_hits": self.tier["disk_hits"],
+                "evaluations": self.tier["evaluations"],
+            },
             "http": dict(self.http),
         }
+        if self.store is not None:
+            stats["store"] = {
+                **self.store.stats(),
+                "blocks_total": self.tier["blocks_total"],
+                "blocks_cached": self.tier["blocks_cached"],
+                "blocks_evaluated": self.tier["blocks_evaluated"],
+            }
         for name, provider in self.stats_extra.items():
             stats[name] = provider() if callable(provider) else provider
         return stats

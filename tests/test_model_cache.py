@@ -1,0 +1,105 @@
+"""Regression tests for :class:`repro.core.cache.ModelCache`.
+
+Two bugs are pinned here, both found while putting the cache under the
+persistent store tier:
+
+- ``put`` used to evict an entry whenever the cache was at capacity,
+  even when the key being written was *already present* — so every
+  overwrite at capacity silently shrank the cache by dropping an
+  unrelated (and possibly hot) entry.
+- ``get`` used to treat a stored ``None`` as a miss: ``None`` results
+  (e.g. "no configuration meets this FPS target") were re-computed on
+  every lookup, the hit/miss counters lied, and an LRU cache never
+  refreshed the entry's recency, so legitimate ``None`` entries were
+  always first in line for eviction.
+"""
+
+import pytest
+
+from repro.core.cache import ModelCache
+
+
+class TestPutOverwriteAtCapacity:
+    def test_overwrite_at_capacity_evicts_nothing(self):
+        cache = ModelCache("t", maxsize=2, register=False)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite while full: size cannot change
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.get("b") == 2
+
+    def test_overwrite_at_capacity_evicts_nothing_lru(self):
+        cache = ModelCache("t", maxsize=2, lru=True, register=False)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("b", 20)
+        assert len(cache) == 2
+        assert cache.get("a") == 1
+        assert cache.get("b") == 20
+
+    def test_new_key_at_capacity_still_evicts_fifo(self):
+        cache = ModelCache("t", maxsize=2, register=False)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # genuinely new key: "a" (oldest) goes
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_lru_overwrite_is_a_recency_touch(self):
+        cache = ModelCache("t", maxsize=2, lru=True, register=False)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite moves "a" to the MRU end...
+        cache.put("c", 3)   # ...so the eviction victim is "b"
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+
+class TestNoneIsCacheable:
+    def test_stored_none_is_a_hit(self):
+        cache = ModelCache("t", register=False)
+        cache.put("k", None)
+        assert cache.get("k", default="sentinel") is None
+        assert cache.info() == {"size": 1, "hits": 1, "misses": 0}
+
+    def test_absent_key_is_a_miss_with_default(self):
+        cache = ModelCache("t", register=False)
+        assert cache.get("absent") is None
+        assert cache.get("absent", default=42) == 42
+        assert cache.info() == {"size": 0, "hits": 0, "misses": 2}
+
+    def test_stored_none_refreshes_lru_recency(self):
+        cache = ModelCache("t", maxsize=2, lru=True, register=False)
+        cache.put("none-key", None)
+        cache.put("b", 2)
+        assert cache.get("none-key") is None  # a hit: now the MRU entry
+        cache.put("c", 3)  # evicts "b", not the refreshed "none-key"
+        assert "none-key" in cache
+        assert "b" not in cache
+
+    def test_contains_does_not_touch_counters_or_recency(self):
+        cache = ModelCache("t", maxsize=2, lru=True, register=False)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # membership only: "a" stays LRU
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.info() == {"size": 2, "hits": 0, "misses": 0}
+
+
+class TestBasics:
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ModelCache("t", maxsize=0, register=False)
+
+    def test_clear_resets_counters(self):
+        cache = ModelCache("t", register=False)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.clear()
+        assert cache.info() == {"size": 0, "hits": 0, "misses": 0}

@@ -101,7 +101,13 @@ class TestCoalescing:
         assert service.evaluations == 1
         assert service.coalesced == 31
         stats = service.stats()
-        assert stats["cache"] == {"size": 1, "hits": 0, "misses": 1}
+        # the tiered cache shape: the LRU's own view plus the per-tier
+        # split (no store attached, so the disk tier never serves)
+        assert stats["cache"] == {
+            "size": 1, "hits": 0, "misses": 1,
+            "ram_hits": 0, "disk_hits": 0, "evaluations": 1,
+        }
+        assert "store" not in stats
         assert stats["inflight"] == 0
         # every request got the very same result object
         assert all(r is results[0] for r in results)

@@ -15,7 +15,12 @@
 # subprocesses, one sweep via DistributedBackend, parity vs vectorized,
 # clean shutdown) and the cluster speedup benchmark
 # (bench_cluster --quick, >= 2x over the single-host process engine,
-# emitting BENCH_cluster.json).
+# emitting BENCH_cluster.json).  The persistent result store gets its
+# own section: the store test suite runs standalone (warm restart,
+# block-delta evaluation, corruption quarantine) and the store
+# benchmark gates (warm load >= 50x re-evaluation, overlap evaluates
+# only the missing blocks, bit-identity) run in --quick mode, emitting
+# BENCH_store.json.
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -25,6 +30,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo
+echo "== result store suite (warm restart, delta, corruption) =="
+python -m pytest tests/test_store.py tests/test_model_cache.py -q
+
+echo
+echo "== result store gates (smoke) =="
+python benchmarks/bench_store.py --quick
 
 echo
 echo "== sweep-scaling benchmark (smoke) =="
