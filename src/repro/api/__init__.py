@@ -20,7 +20,8 @@ This package is the stable facade over all of them:
 - One exception hierarchy rooted at :class:`~repro.errors.ReproError`:
   :class:`AmbiguousAxisError` (underspecified scalar query),
   :class:`NotOnGridError` (selector value absent from the grid),
-  :class:`ServiceError` (structured service failure),
+  :class:`InfeasibleQueryError` (no grid point satisfies a constraint
+  query), :class:`ServiceError` (structured service failure),
   :class:`BackendUnavailableError` (nothing listening).
 
 Consumers — the CLI, the report generator, the workload sweeps, the
@@ -44,7 +45,12 @@ from repro.core.dse import (
     SweepResult,
     sweep_fingerprint,
 )
-from repro.errors import BackendUnavailableError, NotOnGridError, ReproError
+from repro.errors import (
+    BackendUnavailableError,
+    InfeasibleQueryError,
+    NotOnGridError,
+    ReproError,
+)
 from repro.service.errors import ServiceError
 from repro.service.errors import as_service_error as as_structured_error
 from repro.store import ResultStore, StoreCorruptionWarning
@@ -57,6 +63,7 @@ __all__ = [
     "DistributedBackend",
     "EmulationResult",
     "Grid",
+    "InfeasibleQueryError",
     "LocalBackend",
     "NotOnGridError",
     "PAYLOAD_SCHEMA_VERSION",

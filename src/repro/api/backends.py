@@ -53,6 +53,11 @@ from repro.core.dse import (
 )
 from repro.core.emulator import emulate, emulate_with_config
 from repro.errors import BackendUnavailableError
+from repro.explore import (
+    ClusterBlockRunner,
+    LocalBlockRunner,
+    StoreBlockRunner,
+)
 from repro.service.client import SyncServiceClient
 from repro.service.errors import ServiceError
 from repro.store import ResultStore, new_tier_counters, sweep_with_store
@@ -73,6 +78,17 @@ class Backend:
 
     def stats(self) -> Dict:
         raise NotImplementedError
+
+    def block_runner(self):
+        """A block runner for adaptive exploration, or None.
+
+        Backends that can evaluate value-keyed block tasks on demand
+        (local engines, the shard cluster) return a runner with an
+        ``evaluate(tasks)`` method; backends that only ship whole dense
+        results (the remote HTTP backend) return None, and
+        :meth:`Session.sweep` falls back to exhaustive evaluation.
+        """
+        return None
 
     def health(self) -> Dict:
         return {"ok": True, "backend": self.name}
@@ -132,6 +148,13 @@ class LocalBackend(Backend):
             return emulate(app, scheme, scale_factor, n_pixels)
         config = replace(self.ngpc, scale_factor=scale_factor)
         return emulate_with_config(app, scheme, config, n_pixels)
+
+    def block_runner(self):
+        """In-process block evaluation; store-tiered when one is attached."""
+        runner = LocalBlockRunner(self.ngpc)
+        if self.store is not None:
+            runner = StoreBlockRunner(runner, self.store, self.ngpc)
+        return runner
 
     def stats(self) -> Dict:
         stats = {
@@ -263,6 +286,7 @@ class DistributedBackend(Backend):
         )
 
         self._terminate_workers = terminate_workers
+        self.ngpc = ngpc
         self.coordinator = ShardCoordinator(
             ngpc=ngpc, lease_timeout_s=lease_timeout_s
         )
@@ -366,6 +390,20 @@ class DistributedBackend(Backend):
 
     def sweep(self, grid: SweepGrid) -> SweepResult:
         return self._run(lambda: self.service.sweep(grid))
+
+    def block_runner(self):
+        """Adaptive refinement rounds leased to the worker cluster.
+
+        Each round's block tasks go through the coordinator's raw-block
+        path (:meth:`~repro.service.cluster.ShardCoordinator.
+        blocks_blocking`), riding the same lease/expiry machinery as
+        full sweeps — worker deaths re-queue blocks, throughput EWMAs
+        size them.
+        """
+        def submit(tasks):
+            return self.coordinator.blocks_blocking(tasks, ngpc=self.ngpc)
+
+        return ClusterBlockRunner(submit)
 
     def point(
         self, app: str, scheme: str, scale_factor: int, n_pixels: int

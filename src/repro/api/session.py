@@ -26,6 +26,7 @@ a swept axis without a selector, on either backend.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.api.backends import (
@@ -41,9 +42,18 @@ from repro.core.dse import (
     DesignPoint,
     EmulationResult,
     SweepResult,
+    sweep_fingerprint,
 )
-from repro.errors import NotOnGridError
+from repro.errors import NotOnGridError, infeasible_query
+from repro.explore import AdaptiveExplorer
 from repro.gpu.baseline import FHD_PIXELS
+
+#: ``explore="auto"`` switches to adaptive exploration at this grid
+#: size: below it the exhaustive vectorized sweep is effectively free,
+#: above it most queries touch a few percent of the hypercube
+ADAPTIVE_MIN_POINTS = 1 << 17
+
+_EXPLORE_MODES = ("auto", "adaptive", "exhaustive")
 
 
 def _pick(axis: str, values, value):
@@ -66,34 +76,84 @@ def _pick(axis: str, values, value):
 
 
 class Sweep:
-    """Handle over one evaluated design space (a dense ``SweepResult``).
+    """Handle over one design space — dense arrays or adaptive explorer.
 
-    Queries are answered from the dense arrays, so they cost
-    milliseconds regardless of which backend evaluated the grid.  The
-    underlying :class:`~repro.core.dse.SweepResult` is exposed as
-    ``.result`` for array-level consumers (the report renderer, NumPy
-    analysis).
+    Exhaustive sweeps hold a dense :class:`~repro.core.dse.SweepResult`
+    up front; adaptive sweeps hold an
+    :class:`~repro.explore.AdaptiveExplorer` and evaluate only the
+    blocks each query needs.  The query surface and the answers are
+    identical either way (held to bit-equality by the test suite) —
+    only the amount of emulation differs.  Accessing ``.result`` on an
+    adaptive sweep forces the exhaustive evaluation for array-level
+    consumers (the report renderer, NumPy analysis).
     """
 
-    def __init__(self, result: SweepResult, backend: str):
-        self.result = result
-        #: name of the backend that evaluated this sweep
+    def __init__(
+        self,
+        result: Optional[SweepResult],
+        backend: str,
+        *,
+        grid=None,
+        explorer: Optional[AdaptiveExplorer] = None,
+        backend_obj: Optional[Backend] = None,
+    ):
+        self._result = result
+        #: name of the backend that evaluates this sweep
         self.backend = backend
+        self._explorer = explorer
+        self._grid = grid if grid is not None else result.grid
+        self._backend_obj = backend_obj
 
     # -- shape ---------------------------------------------------------------
     @property
     def grid(self):
         """The resolved :class:`~repro.core.dse.SweepGrid`."""
-        return self.result.grid
+        return self._grid
 
     @property
     def size(self) -> int:
-        return self.result.grid.size
+        return self._grid.size
+
+    @property
+    def explore(self) -> str:
+        """``"adaptive"`` or ``"exhaustive"`` — how queries evaluate."""
+        return "adaptive" if self._explorer is not None else "exhaustive"
+
+    @property
+    def explore_stats(self) -> Optional[Dict]:
+        """Adaptive exploration counters, or None on exhaustive sweeps.
+
+        ``points_evaluated / points_total`` is the evaluated fraction of
+        the hypercube across every query answered so far (explorers are
+        shared per grid fingerprint within a session, so the counters
+        accumulate across ``session.sweep()`` calls too).
+        """
+        if self._explorer is None:
+            return None
+        return self._explorer.stats.to_dict()
+
+    @property
+    def result(self) -> SweepResult:
+        """The dense :class:`~repro.core.dse.SweepResult`.
+
+        On an adaptive sweep this **forces exhaustive evaluation** of
+        the whole grid (once; the result is kept) — queries keep
+        answering adaptively, but array-level consumers get the full
+        dense arrays they expect.
+        """
+        if self._result is None:
+            self._result = self._backend_obj.sweep(self._grid)
+        return self._result
 
     def __repr__(self) -> str:
+        if self._result is None:
+            return (
+                f"Sweep({self.size} points, backend={self.backend!r}, "
+                f"explore='adaptive')"
+            )
         return (
             f"Sweep({self.size} points, backend={self.backend!r}, "
-            f"engine={self.result.engine!r})"
+            f"engine={self._result.engine!r})"
         )
 
     # -- queries -------------------------------------------------------------
@@ -111,6 +171,8 @@ class Sweep:
         scheme = _pick("scheme", self.grid.schemes, scheme)
         if app is not None and app not in self.grid.apps:
             raise NotOnGridError(f"app={app!r} not on the grid")
+        if self._explorer is not None:
+            return self._explorer.pareto(scheme, n_pixels=n_pixels, app=app)
         return self.result.pareto_front(scheme, n_pixels=n_pixels, app=app)
 
     def cheapest(
@@ -119,11 +181,33 @@ class Sweep:
         fps: float = 60.0,
         n_pixels: Optional[int] = None,
         scheme: Optional[str] = None,
-    ) -> Optional[DesignPoint]:
-        """Cheapest-area configuration hitting ``fps``, or None."""
+    ) -> DesignPoint:
+        """Cheapest-area configuration hitting ``fps``.
+
+        Raises :class:`~repro.errors.InfeasibleQueryError` when no
+        point on the grid reaches ``fps`` — the identical structured
+        error (message, ``app``/``fps``/``n_pixels``/``scheme`` query
+        echo, achievable ``best_fps``) on every backend and explore
+        mode, so callers can relax the constraint programmatically.
+        """
         app = _pick("app", self.grid.apps, app)
-        return self.result.cheapest_point_meeting_fps(
+        if self._explorer is not None:
+            return self._explorer.cheapest(
+                app, fps, n_pixels=n_pixels, scheme=scheme
+            )
+        result = self.result
+        hit = result.cheapest_point_meeting_fps(
             app, fps, n_pixels=n_pixels, scheme=scheme
+        )
+        if hit is not None:
+            return hit
+        grid = self.grid
+        i = grid.apps.index(app)
+        j = result._axis_index("scheme", scheme, grid.schemes)
+        l = result._axis_index("n_pixels", n_pixels, grid.pixel_counts)
+        best_fps = float(1000.0 / result.accelerated_ms[i, j, :, l].min())
+        raise infeasible_query(
+            app, fps, grid.pixel_counts[l], grid.schemes[j], best_fps
         )
 
     def point(
@@ -138,7 +222,8 @@ class Sweep:
         n_batches: Optional[int] = None,
     ) -> EmulationResult:
         """One grid point; every selector follows the singleton rule."""
-        return self.result.point(
+        target = self._explorer if self._explorer is not None else self.result
+        return target.point(
             _pick("app", self.grid.apps, app),
             _pick("scheme", self.grid.schemes, scheme),
             _pick("scale_factor", self.grid.scale_factors, scale_factor),
@@ -150,7 +235,7 @@ class Sweep:
         )
 
     def records(self, limit: Optional[int] = None) -> List[Dict]:
-        """Flat per-point dicts (JSON/table friendly)."""
+        """Flat per-point dicts (JSON/table friendly; forces evaluation)."""
         return self.result.to_records(limit=limit)
 
 
@@ -178,6 +263,10 @@ class Session:
         if store is not None:
             backend = LocalBackend(store=store)
         self.backend = backend or LocalBackend()
+        # adaptive explorers, keyed by grid fingerprint: repeated
+        # sweep() calls over one design space share partial evaluations
+        self._explorers: Dict[str, AdaptiveExplorer] = {}
+        self._explorers_lock = threading.Lock()
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -243,8 +332,8 @@ class Session:
         self.close()
 
     # -- evaluation ----------------------------------------------------------
-    def sweep(self, grid=None) -> Sweep:
-        """Evaluate a design space; returns the query handle.
+    def sweep(self, grid=None, explore: str = "auto") -> Sweep:
+        """Evaluate (or lazily explore) a design space; returns the handle.
 
         ``grid`` may be a :class:`~repro.api.grid.Grid` builder, a
         :class:`~repro.core.dse.SweepGrid`, a JSON axis dict, or None
@@ -256,9 +345,70 @@ class Session:
         evaluation, one cache entry, and one array layout on every
         backend.  Read axis orderings off ``sweep.grid``, not off the
         spelling you passed in.
+
+        ``explore`` picks the evaluation strategy:
+
+        - ``"exhaustive"`` — evaluate the whole grid now (dense arrays);
+        - ``"adaptive"`` — evaluate nothing now; each Pareto/cheapest
+          query adaptively evaluates only the blocks it needs (typically
+          a few percent of the hypercube) with answers identical to the
+          exhaustive sweep's;
+        - ``"auto"`` (default) — adaptive for grids of at least
+          ``ADAPTIVE_MIN_POINTS`` points, exhaustive below (small grids
+          are effectively free to evaluate densely).
+
+        Adaptive exploration runs wherever the backend can evaluate
+        blocks: in-process (through the persistent store when the
+        session has one) or on the distributed shard cluster.  The
+        remote backend keeps ``"auto"`` exhaustive client-side — the
+        service explores server-side when started with
+        ``repro serve --explore adaptive`` — and rejects an explicit
+        ``explore="adaptive"`` with :class:`ValueError`.
         """
-        result = self.backend.sweep(as_sweep_grid(grid).normalized())
+        if explore not in _EXPLORE_MODES:
+            raise ValueError(
+                f"explore must be one of {_EXPLORE_MODES}, got {explore!r}"
+            )
+        normalized = as_sweep_grid(grid).normalized()
+        if explore != "exhaustive":
+            runner = self.backend.block_runner()
+            if runner is None:
+                if explore == "adaptive":
+                    raise ValueError(
+                        f"explore='adaptive' is not available on the "
+                        f"{self.backend.name!r} backend; start the service "
+                        "with 'repro serve --explore adaptive' to explore "
+                        "server-side"
+                    )
+            else:
+                ngpc = getattr(self.backend, "ngpc", None)
+                resolved = normalized.resolve(ngpc).normalized()
+                if explore == "adaptive" or resolved.size >= ADAPTIVE_MIN_POINTS:
+                    explorer = self._explorer_for(resolved, runner, ngpc)
+                    return Sweep(
+                        None,
+                        self.backend.name,
+                        grid=explorer.grid,
+                        explorer=explorer,
+                        backend_obj=self.backend,
+                    )
+        result = self.backend.sweep(normalized)
         return Sweep(result, backend=self.backend.name)
+
+    def _explorer_for(self, resolved, runner, ngpc) -> AdaptiveExplorer:
+        """One shared explorer per resolved grid (fingerprint-keyed).
+
+        Sharing means a re-sweep of the same design space — any spelling
+        of it — reuses every block already evaluated by earlier queries;
+        the explorer's own dedup guarantees no block evaluates twice.
+        """
+        key = sweep_fingerprint(resolved, ngpc)
+        with self._explorers_lock:
+            explorer = self._explorers.get(key)
+            if explorer is None:
+                explorer = AdaptiveExplorer(resolved, runner=runner, ngpc=ngpc)
+                self._explorers[key] = explorer
+            return explorer
 
     def point(
         self,

@@ -155,23 +155,33 @@ def _merge_sweep_axes(args: argparse.Namespace, prog: str) -> dict:
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
-    from repro.api import Session, SweepGrid
+    from repro.api import InfeasibleQueryError, Session, SweepGrid
 
     axes = _merge_sweep_axes(args, "repro dse")
     session = Session.local(engine=args.engine, store=args.store)
-    sweep = session.sweep(SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes))
-    result = sweep.result
+    sweep = session.sweep(
+        SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes),
+        explore=args.explore,
+    )
     grid = sweep.grid  # resolved + normalized axes
     n_pixels = grid.pixel_counts[0]
     front_points = sweep.pareto(scheme=args.scheme, n_pixels=n_pixels)
+    adaptive = sweep.explore == "adaptive"
     architectural = any(
         len(axis) > 1
         for axis in (grid.clocks_ghz, grid.grid_sram_kb, grid.n_engines,
                      grid.n_batches, grid.pixel_counts)
     )
-    title = (f"Design space, {args.scheme} @ {n_pixels:,} px "
-             f"({result.grid.size} points, engine={result.engine})")
-    if not architectural:
+    if adaptive:
+        # adaptive sweeps have no dense result to tabulate; the Pareto
+        # front (exact, partially evaluated) is the headline either way
+        title = (f"Design space, {args.scheme} @ {n_pixels:,} px "
+                 f"({grid.size} points, explore=adaptive)")
+    else:
+        result = sweep.result
+        title = (f"Design space, {args.scheme} @ {n_pixels:,} px "
+                 f"({result.grid.size} points, engine={result.engine})")
+    if not architectural and not adaptive:
         front = {p.scale_factor for p in front_points}
         rows = []
         for k, scale in enumerate(grid.scale_factors):
@@ -213,13 +223,21 @@ def cmd_dse(args: argparse.Namespace) -> int:
         # answer from the grid already evaluated above — no re-sweep
         print(f"\ncheapest configuration meeting {args.fps:g} FPS:")
         for app in APP_NAMES:
-            hit = sweep.cheapest(app=app, fps=args.fps, n_pixels=n_pixels)
-            if hit is None:
+            try:
+                hit = sweep.cheapest(app=app, fps=args.fps, n_pixels=n_pixels)
+            except InfeasibleQueryError:
                 print(f"  {app:5s}: not achievable on the evaluated grid")
             else:
                 print(f"  {app:5s}: {hit.describe()} "
                       f"(+{hit.area_overhead_pct:.2f}% area, "
                       f"{hit.speedups[app]:.2f}x speedup)")
+    if adaptive:
+        s = sweep.explore_stats
+        frac = s["points_evaluated"] / max(1, s["points_total"])
+        print(f"\nexplored {s['points_evaluated']:,} of "
+              f"{s['points_total']:,} points ({100 * frac:.1f}%) in "
+              f"{s['rounds']} rounds; {s['blocks_cached']} cached blocks, "
+              f"{s['bound_violations']} bound violations")
     return 0
 
 
@@ -227,6 +245,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ShardCoordinator, SweepService, run_server
 
     if args.engine == "cluster":
+        if args.explore == "adaptive":
+            raise SystemExit(
+                "repro serve: error: --explore adaptive is not available "
+                "with --engine cluster (the cluster evaluates whole sweeps; "
+                "use Session.distributed() for adaptive cluster queries)"
+            )
         # distributed evaluation: the same port serves the JSON API to
         # clients and the /cluster/* lease protocol to workers (local
         # spawned ones and any remote `repro worker` that joins)
@@ -246,6 +270,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_cached_sweeps=args.cache_size,
         max_workers=args.workers,
         store=args.store,
+        explore=args.explore,
     )
     return run_server(service, args.host, args.port)
 
@@ -305,8 +330,9 @@ def cmd_query(args: argparse.Namespace) -> int:
                     for p in sweep.pareto(scheme=args.scheme, app=args.app)
                 ]
             elif args.op == "cheapest":
-                hit = sweep.cheapest(app=args.app, fps=args.fps)
-                output = None if hit is None else hit.to_dict()
+                # infeasible raises InfeasibleQueryError -> the ReproError
+                # handler below prints the structured payload and exits 1
+                output = sweep.cheapest(app=args.app, fps=args.fps).to_dict()
             else:  # point
                 result = sweep.point(
                     app=args.app,
@@ -479,6 +505,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "memory-mapped when previously evaluated (by any "
                         "process sharing DIR) and cold grids reuse every "
                         "persisted block")
+    p.add_argument("--explore", choices=("auto", "adaptive", "exhaustive"),
+                   default="exhaustive",
+                   help="'adaptive' answers the Pareto/cheapest queries by "
+                        "evaluating only the blocks they need (typically a "
+                        "few percent of large grids, identical answers); "
+                        "'auto' switches to adaptive on large grids")
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser(
@@ -515,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "LRU: a restarted service serves persisted sweeps "
                         "warm, and replicas sharing DIR evaluate each "
                         "sweep once")
+    p.add_argument("--explore", choices=("exhaustive", "adaptive"),
+                   default="exhaustive",
+                   help="'adaptive' answers pareto/cheapest/point requests "
+                        "by partial exploration instead of dense sweeps "
+                        "(identical answers; /stats reports the evaluated "
+                        "fraction); not available with --engine cluster")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

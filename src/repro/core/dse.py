@@ -39,6 +39,7 @@ run on top of the batched engine.
 
 from __future__ import annotations
 
+import itertools
 import os
 import warnings
 from dataclasses import dataclass, replace
@@ -1226,11 +1227,14 @@ def pareto_front(costs, values) -> List[int]:
     """Indices of the non-dominated (min cost, max value) points.
 
     A point is dominated when another has cost <= and value >= with at
-    least one strict inequality; duplicates of a frontier point are
-    kept.  Returned indices are sorted by ascending cost (ties: by
-    descending value).  Fully vectorized — a 100k-point front resolves
-    in milliseconds (``benchmarks/bench_sweep_scaling.py`` gates the
-    sub-second floor).
+    least one strict inequality.  Exactly-duplicated (cost, value)
+    pairs resolve deterministically to the **lowest input index** — one
+    representative per frontier point, so fronts computed over
+    different supersets of the same points never flap on ties
+    (adaptive refinement compares fronts across rounds).  Returned
+    indices are sorted by ascending cost (ties: by descending value).
+    Fully vectorized — a 100k-point front resolves in milliseconds
+    (``benchmarks/bench_sweep_scaling.py`` gates the sub-second floor).
     """
     costs = np.asarray(costs, dtype=np.float64)
     values = np.asarray(values, dtype=np.float64)
@@ -1239,23 +1243,138 @@ def pareto_front(costs, values) -> List[int]:
     if costs.size == 0:
         return []
     order = np.lexsort((-values, costs))  # cost ascending, value descending
-    sorted_costs = costs[order]
     sorted_values = values[order]
-    # a point opens the frontier when its value beats every earlier value
+    # a point opens the frontier when its value beats every earlier
+    # value; within a run of exact (cost, value) duplicates only the run
+    # leader opens, and lexsort stability makes that leader the
+    # lowest-index duplicate — the deterministic tie-break
     prev_max = np.empty_like(sorted_values)
     prev_max[0] = -np.inf
     np.maximum.accumulate(sorted_values[:-1], out=prev_max[1:])
     opens = sorted_values > prev_max
-    # exact duplicates of a frontier point are kept: group runs of equal
-    # (cost, value) — lexsort is stable, so duplicates are contiguous —
-    # and let every member inherit the run leader's verdict
-    starts = np.ones(len(order), dtype=bool)
-    starts[1:] = (sorted_costs[1:] != sorted_costs[:-1]) | (
-        sorted_values[1:] != sorted_values[:-1]
+    return [int(i) for i in order[opens]]
+
+
+# ---------------------------------------------------------------------------
+# adaptive refinement planner (consumed by repro.explore)
+# ---------------------------------------------------------------------------
+
+#: the candidate axes of a Pareto/cheapest query, in array order — the
+#: axes adaptive refinement windows and splits (the batch axis is always
+#: carried whole: cost is batch-independent, so a batch column is one
+#: value-keyed unit of work)
+REFINE_AXIS_FIELDS = ("scale_factors", "clocks_ghz", "grid_sram_kb", "n_engines")
+
+
+def refinement_lattice(length: int, segments: int) -> Tuple[int, ...]:
+    """~``segments + 1`` evenly spaced boundary indices over one axis.
+
+    Always includes both endpoints (0 and ``length - 1``), so every
+    :func:`refinement_plan` block has all its corners on the lattice.
+    """
+    if length <= 0:
+        raise ValueError("axis length must be positive")
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    bounds = np.linspace(0, length - 1, min(segments, length - 1) + 1)
+    return tuple(sorted({int(round(b)) for b in bounds}))
+
+
+def refinement_plan(
+    grid: SweepGrid, segments: int = 3
+) -> Tuple[Tuple[Tuple[int, ...], ...], List[Tuple[Tuple[int, int], ...]]]:
+    """The coarse subsample + initial block partition of adaptive search.
+
+    Returns ``(lattice, blocks)`` over the four refinement axes
+    (:data:`REFINE_AXIS_FIELDS`, in array order):
+
+    - ``lattice`` — per-axis boundary index tuples; their cross product
+      is the coarse subsample a first round evaluates (one
+      :func:`selection_task` per app).
+    - ``blocks`` — per-axis ``(lo, hi)`` half-open index windows between
+      consecutive boundaries, *inclusive of both* (adjacent blocks share
+      their boundary cells), so every block's corner cells — the cells
+      its dominance bounds read — are already evaluated by the lattice.
+
+    ``grid`` must be resolved.  Singleton axes yield the trivial lattice
+    ``(0,)`` and window ``(0, 1)``.
+    """
+    lattice = []
+    per_axis_windows = []
+    for name in REFINE_AXIS_FIELDS:
+        length = len(getattr(grid, name))
+        bounds = refinement_lattice(length, segments)
+        lattice.append(bounds)
+        if length == 1:
+            per_axis_windows.append([(0, 1)])
+        else:
+            per_axis_windows.append(
+                [(lo, hi + 1) for lo, hi in zip(bounds[:-1], bounds[1:])]
+            )
+    blocks = [tuple(w) for w in itertools.product(*per_axis_windows)]
+    return tuple(lattice), blocks
+
+
+def selection_task(
+    grid: SweepGrid,
+    app: str,
+    scheme: str,
+    n_pixels: int,
+    selection: Tuple[Tuple[int, ...], ...],
+) -> Tuple:
+    """Build an :func:`evaluate_shard_task` work unit from axis indices.
+
+    ``selection`` holds one sorted index tuple per refinement axis
+    (scale, clock, SRAM, engines), plus an optional fifth tuple of batch
+    indices (the full batch axis when omitted); the task spans their
+    cross product — value-keyed exactly like :func:`shard_plan` tasks,
+    so :func:`block_fingerprint` / the persistent store dedup it across
+    rounds, sessions and processes.  ``grid`` must be resolved.
+    """
+    ks, cs, gs, es = selection[:4]
+    if len(selection) > 4:
+        batches = tuple(grid.n_batches[b] for b in selection[4])
+    else:
+        batches = grid.n_batches
+    return (
+        app,
+        scheme,
+        tuple(grid.scale_factors[k] for k in ks),
+        (n_pixels,),
+        tuple(grid.clocks_ghz[c] for c in cs),
+        tuple(grid.grid_sram_kb[g] for g in gs),
+        tuple(grid.n_engines[e] for e in es),
+        batches,
     )
-    run_id = np.cumsum(starts) - 1
-    keep = opens[starts][run_id]
-    return [int(i) for i in order[keep]]
+
+
+def dominance_prune(
+    point_costs, point_values, block_min_costs, block_value_ubs
+) -> np.ndarray:
+    """Which blocks may still hold a frontier point (True = keep).
+
+    ``point_costs``/``point_values`` are the evaluated points so far;
+    each block contributes its exact minimum cost and an upper bound on
+    the value of any cell inside it.  A block is pruned only when some
+    already-evaluated point has cost <= the block's minimum cost and
+    value **strictly** above the block's bound: every cell of such a
+    block is strictly dominated, so it can appear on no exhaustive
+    front — and, because the inequality is strict, it can also not be an
+    exact (cost, value) duplicate of a frontier point, keeping the
+    lowest-flat-index tie-break of :func:`pareto_front` intact.
+    """
+    point_costs = np.asarray(point_costs, dtype=np.float64)
+    point_values = np.asarray(point_values, dtype=np.float64)
+    block_min_costs = np.asarray(block_min_costs, dtype=np.float64)
+    block_value_ubs = np.asarray(block_value_ubs, dtype=np.float64)
+    if point_costs.size == 0:
+        return np.ones(block_min_costs.shape, dtype=bool)
+    order = np.argsort(point_costs, kind="stable")
+    sorted_costs = point_costs[order]
+    best_below = np.maximum.accumulate(point_values[order])
+    pos = np.searchsorted(sorted_costs, block_min_costs, side="right")
+    best_at = np.where(pos > 0, best_below[np.maximum(pos - 1, 0)], -np.inf)
+    return best_at <= block_value_ubs
 
 
 def cheapest_meeting_fps(

@@ -8,6 +8,9 @@ Every failure a :class:`repro.api.Session` can raise derives from
   backward compatibility);
 - :class:`NotOnGridError` — a query named a value absent from the
   evaluated grid (also a :class:`KeyError`);
+- :class:`InfeasibleQueryError` — a constraint query (``cheapest``)
+  that no point on the evaluated grid satisfies (also a
+  :class:`LookupError`);
 - :class:`repro.service.errors.ServiceError` — a structured failure
   reported by the sweep service (HTTP status + stable code + details);
 - :class:`BackendUnavailableError` — the backend cannot be reached at
@@ -41,6 +44,56 @@ class NotOnGridError(ReproError, KeyError):
 
     def __str__(self) -> str:  # KeyError repr-quotes its payload; don't
         return str(self.args[0]) if self.args else ""
+
+
+class InfeasibleQueryError(ReproError, LookupError):
+    """No point on the evaluated grid satisfies the constraint query.
+
+    Raised by ``Sweep.cheapest(...)`` (every backend — local, remote and
+    distributed raise this identical class, pinned by the parity suite)
+    when no configuration reaches the requested frame rate.  Carries the
+    query and the best achievable frame rate on the grid so callers can
+    relax the constraint programmatically; the service layer maps it to
+    a structured 404 (``error.code == "infeasible"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        app: str = "",
+        fps: float = 0.0,
+        n_pixels: int = 0,
+        scheme: str = "",
+        best_fps: float = 0.0,
+    ):
+        super().__init__(message)
+        self.app = app
+        self.fps = fps
+        self.n_pixels = n_pixels
+        self.scheme = scheme
+        self.best_fps = best_fps
+
+    def __str__(self) -> str:  # LookupError would repr-quote the payload
+        return str(self.args[0]) if self.args else ""
+
+
+def infeasible_query(
+    app: str, fps: float, n_pixels: int, scheme: str, best_fps: float
+) -> InfeasibleQueryError:
+    """The one spelling of "no config reaches that fps".
+
+    Both the adaptive explorer and the dense-result path (local, remote
+    and distributed backends alike) build the error here, so the class,
+    message and structured attributes are identical across execution
+    paths — the parity suite pins them equal.
+    """
+    return InfeasibleQueryError(
+        f"no configuration on the grid reaches {fps:g} fps for "
+        f"app={app!r} at {n_pixels} pixels (scheme {scheme!r}); "
+        f"best achievable is {best_fps:.2f} fps",
+        app=app, fps=float(fps), n_pixels=int(n_pixels),
+        scheme=scheme, best_fps=float(best_fps),
+    )
 
 
 class BackendUnavailableError(ReproError, ConnectionError):

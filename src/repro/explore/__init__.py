@@ -1,0 +1,23 @@
+"""Adaptive exploration of the DSE hypercube (see :mod:`.engine`)."""
+
+from repro.explore.engine import (
+    DEFAULT_COALESCE_CELLS,
+    DEFAULT_LEAF_CELLS,
+    DEFAULT_SEGMENTS,
+    AdaptiveExplorer,
+    ClusterBlockRunner,
+    ExplorationStats,
+    LocalBlockRunner,
+    StoreBlockRunner,
+)
+
+__all__ = [
+    "AdaptiveExplorer",
+    "ClusterBlockRunner",
+    "ExplorationStats",
+    "LocalBlockRunner",
+    "StoreBlockRunner",
+    "DEFAULT_COALESCE_CELLS",
+    "DEFAULT_LEAF_CELLS",
+    "DEFAULT_SEGMENTS",
+]

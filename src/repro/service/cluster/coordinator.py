@@ -82,6 +82,13 @@ BLOCKS_PER_WORKER = 2
 #: the HTTP layer's request-size limit
 MAX_BLOCK_BYTES = 4 * 1024 * 1024
 
+#: adaptive block-sizing target: once per-worker throughput has been
+#: observed from completed leases, sweeps are cut so one block costs a
+#: worker about this long — long enough to amortize an HTTP round trip,
+#: short enough that an uneven tail (or an adaptive-refinement round
+#: arriving mid-sweep) never idles the other workers for long
+TARGET_BLOCK_SECONDS = 0.25
+
 _PENDING, _LEASED, _DONE = 0, 1, 2
 
 #: sentinel distinguishing "no timeout named" from an explicit None
@@ -104,9 +111,16 @@ def decode_message(body: bytes):
 
 
 class _Job:
-    """One submitted sweep: its shard plan and completion state."""
+    """One submitted work unit: its shard plan and completion state.
 
-    def __init__(self, job_id: int, grid: SweepGrid,
+    Two kinds share the lease/complete machinery unchanged: a full sweep
+    (``grid`` set — blocks scatter into a dense :class:`SweepResult`)
+    and a raw block list (``grid`` None — the adaptive-refinement path,
+    which resolves to the evaluated blocks in task order and does its
+    own scattering).
+    """
+
+    def __init__(self, job_id: int, grid: Optional[SweepGrid],
                  ngpc: Optional[NGPCConfig], calibration: Tuple,
                  plan: List[Tuple[Tuple, Tuple]],
                  future: asyncio.Future):
@@ -120,13 +134,26 @@ class _Job:
         self.blocks: Dict[int, Dict[str, np.ndarray]] = {}
         self.remaining = len(plan)
 
-    def assemble(self) -> SweepResult:
+    def assemble(self):
+        if self.grid is None:  # raw block job: blocks in task order
+            return [self.blocks[task_id] for task_id in range(len(self.plan))]
         placed = (
             (self.plan[task_id][0], block)
             for task_id, block in self.blocks.items()
         )
         arrays = assemble_shard_blocks(self.grid, placed)
         return finalize_sweep_result(self.grid, "cluster", self.ngpc, arrays)
+
+
+def _block_placement(task: Tuple) -> Tuple:
+    """Synthesized whole-task placement for a raw block job.
+
+    The windows span each task axis fully, so
+    :func:`~repro.core.dse.shard_task_shape` — and with it
+    :meth:`ShardCoordinator._validate_block` — works on raw blocks
+    exactly as on :func:`~repro.core.dse.shard_plan` entries.
+    """
+    return (0, 0, tuple((0, len(axis)) for axis in task[2:]))
 
 
 class _Worker:
@@ -140,6 +167,18 @@ class _Worker:
         self.alive = True
         self.last_seen = last_seen
         self.blocks_completed = 0
+        #: EWMA of observed evaluation throughput (grid points per
+        #: second, lease-to-completion) — drives adaptive block sizing
+        self.points_per_s: Optional[float] = None
+
+    def observe(self, n_points: int, elapsed_s: float) -> None:
+        if elapsed_s <= 0.0 or n_points <= 0:
+            return
+        rate = n_points / elapsed_s
+        if self.points_per_s is None:
+            self.points_per_s = rate
+        else:  # EWMA: responsive to host load changes, stable per block
+            self.points_per_s = 0.5 * self.points_per_s + 0.5 * rate
 
 
 class ShardCoordinator:
@@ -175,7 +214,8 @@ class ShardCoordinator:
         self._jobs: Dict[int, _Job] = {}
         self._job_ids = itertools.count(1)
         self._queue: List[Tuple[int, int]] = []  # FIFO of (job_id, task_id)
-        self._leases: Dict[Tuple[int, int], Tuple[str, float]] = {}
+        # (job_id, task_id) -> (worker_id, deadline, lease_start)
+        self._leases: Dict[Tuple[int, int], Tuple[str, float, float]] = {}
         self._workers: Dict[str, _Worker] = {}
         self._work_cond: Optional[asyncio.Condition] = None
         self._reaper: Optional[asyncio.Task] = None
@@ -230,9 +270,35 @@ class ShardCoordinator:
             self._assembly_executor = None
 
     # -- submission ----------------------------------------------------------
+    @property
+    def observed_points_per_s(self) -> Optional[float]:
+        """Mean per-worker throughput over live workers, or None (cold)."""
+        rates = [
+            w.points_per_s for w in self._workers.values()
+            if w.alive and w.points_per_s
+        ]
+        if not rates:
+            return None
+        return sum(rates) / len(rates)
+
     def _plan(self, grid: SweepGrid) -> List[Tuple[Tuple, Tuple]]:
+        """Cut a sweep into blocks, sized from observed throughput.
+
+        Cold (no completed leases yet) the cut is the static
+        ``blocks_per_worker × alive workers``.  Once workers have
+        reported blocks, the plan targets
+        :data:`TARGET_BLOCK_SECONDS`-sized blocks instead — fast workers
+        get more, smaller blocks keep every worker busy through uneven
+        tails and interleaved adaptive-refinement rounds — while never
+        dropping below the static floor or above the
+        :data:`MAX_BLOCK_BYTES` transport ceiling.
+        """
         n_workers = max(1, sum(w.alive for w in self._workers.values()))
         n_blocks = self.blocks_per_worker * n_workers
+        rate = self.observed_points_per_s
+        if rate is not None:
+            block_points = max(1, int(rate * TARGET_BLOCK_SECONDS))
+            n_blocks = max(n_blocks, -(-grid.size // block_points))
         point_bytes = 8 * len(_TIMING_FIELDS)
         min_blocks = -(-grid.size * point_bytes // MAX_BLOCK_BYTES)
         return shard_plan(grid, max(n_blocks, int(min_blocks)))
@@ -281,6 +347,74 @@ class ShardCoordinator:
             )
         finally:
             self._evict(job)
+
+    async def submit_blocks(
+        self,
+        tasks: List[Tuple],
+        ngpc: Optional[NGPCConfig] = None,
+        timeout_s: Optional[float] = None,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Lease a raw list of block tasks; blocks return in task order.
+
+        ``tasks`` are :func:`~repro.core.dse.evaluate_shard_task` work
+        units (e.g. from :func:`~repro.core.dse.selection_task`) — the
+        adaptive-exploration entry: refinement rounds ride the same
+        lease/expiry/validation machinery as full sweeps, so every
+        registered worker pulls refinement blocks too, and a worker
+        death mid-round re-queues its blocks instead of stalling the
+        round.  Lease timings feed the same throughput EWMAs that size
+        full-sweep blocks.
+        """
+        if self._closing:
+            raise BackendUnavailableError("shard coordinator is shut down")
+        if self._loop is None:
+            await self.start()
+        if not tasks:
+            return []
+        ngpc = ngpc if ngpc is not None else self.ngpc
+        job = _Job(
+            job_id=next(self._job_ids),
+            grid=None,
+            ngpc=ngpc,
+            calibration=calibration_fingerprint(),
+            plan=[(_block_placement(task), task) for task in tasks],
+            future=self._loop.create_future(),
+        )
+        self._jobs[job.job_id] = job
+        self.jobs_submitted += 1
+        self._queue.extend((job.job_id, t) for t in range(len(job.plan)))
+        async with self._work_cond:
+            self._work_cond.notify_all()
+        try:
+            if timeout_s is None:
+                return await job.future
+            return await asyncio.wait_for(job.future, timeout_s)
+        except asyncio.TimeoutError:
+            raise BackendUnavailableError(
+                f"distributed block round did not complete within "
+                f"{timeout_s:g}s ({job.remaining} of {len(job.plan)} blocks "
+                f"outstanding; are any workers alive?)"
+            )
+        finally:
+            self._evict(job)
+
+    def blocks_blocking(
+        self,
+        tasks: List[Tuple],
+        ngpc: Optional[NGPCConfig] = None,
+        timeout_s=_UNSET_TIMEOUT,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Thread-safe blocking :meth:`submit_blocks` (executor-path entry)."""
+        if self._loop is None:
+            raise BackendUnavailableError(
+                "shard coordinator is not started (no event loop)"
+            )
+        if timeout_s is _UNSET_TIMEOUT:
+            timeout_s = self.sweep_timeout_s
+        return asyncio.run_coroutine_threadsafe(
+            self.submit_blocks(tasks, ngpc=ngpc, timeout_s=timeout_s),
+            self._loop,
+        ).result()
 
     def _evict(self, job: _Job) -> None:
         if self._jobs.pop(job.job_id, None) is None:
@@ -368,9 +502,9 @@ class ShardCoordinator:
                     job_id, task_id = ref
                     job = self._jobs[job_id]
                     job.states[task_id] = _LEASED
+                    now = self._loop.time()
                     self._leases[ref] = (
-                        worker.worker_id,
-                        self._loop.time() + self.lease_timeout_s,
+                        worker.worker_id, now + self.lease_timeout_s, now,
                     )
                     self.blocks_dispatched += 1
                     return {
@@ -423,7 +557,10 @@ class ShardCoordinator:
             async with self._work_cond:
                 self._work_cond.notify_all()
             raise
-        self._leases.pop((job_id, task_id), None)
+        lease = self._leases.pop((job_id, task_id), None)
+        if lease is not None and lease[0] == worker.worker_id:
+            n_points = int(np.prod(shard_task_shape(job.plan[task_id][0])))
+            worker.observe(n_points, self._loop.time() - lease[2])
         job.states[task_id] = _DONE
         job.blocks[task_id] = block
         job.remaining -= 1
@@ -503,7 +640,7 @@ class ShardCoordinator:
                 del self._workers[worker_id]
             expired = [
                 (ref, worker_id)
-                for ref, (worker_id, deadline) in self._leases.items()
+                for ref, (worker_id, deadline, _start) in self._leases.items()
                 if deadline <= now
             ]
             if not expired:
@@ -564,6 +701,12 @@ class ShardCoordinator:
                     w.worker_id[:8]: w.blocks_completed
                     for w in self._workers.values()
                 },
+                "points_per_s": {
+                    w.worker_id[:8]: w.points_per_s
+                    for w in self._workers.values()
+                    if w.points_per_s is not None
+                },
+                "mean_points_per_s": self.observed_points_per_s,
             },
             "jobs": {
                 "submitted": self.jobs_submitted,

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.core.dse import AmbiguousAxisError
-from repro.errors import ReproError
+from repro.errors import InfeasibleQueryError, ReproError
 
 
 class ServiceError(ReproError):
@@ -56,6 +56,17 @@ def as_service_error(exc: BaseException) -> ServiceError:
             str(exc),
             axis=exc.axis,
             values=list(exc.values),
+        )
+    if isinstance(exc, InfeasibleQueryError):
+        return ServiceError(
+            404,
+            "infeasible",
+            str(exc),
+            app=exc.app,
+            fps=exc.fps,
+            n_pixels=exc.n_pixels,
+            scheme=exc.scheme,
+            best_fps=exc.best_fps,
         )
     if isinstance(exc, KeyError):
         # KeyError str() repr-quotes its single argument; unwrap it

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import threading
 from typing import Dict, Hashable, List, Optional, Set, Union
 
 from repro.core.cache import ModelCache
@@ -57,6 +58,13 @@ from repro.core.dse import (
     sweep_grid,
 )
 from repro.core.config import NGPCConfig
+from repro.errors import InfeasibleQueryError
+from repro.explore import (
+    AdaptiveExplorer,
+    ExplorationStats,
+    LocalBlockRunner,
+    StoreBlockRunner,
+)
 from repro.service.errors import ServiceError
 from repro.store import (
     ResultStore,
@@ -155,12 +163,27 @@ class SweepService:
         max_workers: Optional[int] = None,
         sweep_fn=None,
         store: Union[ResultStore, str, None] = None,
+        explore: str = "exhaustive",
     ):
         # an injected sweep_fn may carry its own engine label (the shard
         # cluster registers as "cluster"); the built-in path must name a
         # real local engine
         if sweep_fn is None and engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+        if explore not in ("exhaustive", "adaptive"):
+            raise ValueError(
+                f"explore must be 'exhaustive' or 'adaptive', got {explore!r}"
+            )
+        if explore == "adaptive" and sweep_fn is not None:
+            raise ValueError(
+                "explore='adaptive' evaluates blocks in-process and cannot "
+                "route through an injected sweep_fn (e.g. a shard cluster); "
+                "run the cluster exhaustive or drop sweep_fn"
+            )
+        #: ``"adaptive"`` answers /pareto, /cheapest and /point by partial
+        #: exploration (``/sweep`` itself stays dense — its payload is the
+        #: whole hypercube by definition)
+        self.explore = explore
         self.engine = engine
         self.ngpc = ngpc
         self.max_workers = max_workers
@@ -175,6 +198,10 @@ class SweepService:
             "sweep_service", maxsize=max_cached_sweeps, lru=True, register=False
         )
         self._inflight: Dict[Hashable, _Inflight] = {}
+        # adaptive explorers per grid fingerprint (same key space as the
+        # result LRU); the lock guards creation from executor threads
+        self._explorers: Dict[Hashable, AdaptiveExplorer] = {}
+        self._explorers_lock = threading.Lock()
         self._tasks: Set[asyncio.Task] = set()
         self.evaluations = 0
         self.coalesced = 0
@@ -276,6 +303,36 @@ class SweepService:
             self.store.save_sweep(key, result)
         return result
 
+    # -- adaptive exploration ------------------------------------------------
+    def _explorer_for(self, grid: GridLike) -> AdaptiveExplorer:
+        """One shared explorer per grid fingerprint.
+
+        Blocks evaluate through the persistent store when one is
+        attached (hits are free and flagged cached), and the explorer's
+        own dedup guarantees no block ever evaluates twice across the
+        queries and requests that share it.
+        """
+        resolved = _as_grid(grid).resolve(self.ngpc).normalized()
+        key = sweep_fingerprint(resolved, self.ngpc)
+        with self._explorers_lock:
+            explorer = self._explorers.get(key)
+            if explorer is None:
+                runner = LocalBlockRunner(self.ngpc)
+                if self.store is not None:
+                    runner = StoreBlockRunner(runner, self.store, self.ngpc)
+                explorer = AdaptiveExplorer(
+                    resolved, runner=runner, ngpc=self.ngpc
+                )
+                self._explorers[key] = explorer
+            return explorer
+
+    async def _explore(self, fn, *args, **kwargs):
+        """Run an explorer query off-loop (it may emulate blocks)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(fn, *args, **kwargs)
+        )
+
     # -- queries -------------------------------------------------------------
     async def pareto_front(
         self,
@@ -285,6 +342,18 @@ class SweepService:
         app: Optional[str] = None,
     ) -> List[DesignPoint]:
         """Non-dominated (area, speedup) configurations of the grid."""
+        if self.explore == "adaptive":
+            explorer = self._explorer_for(grid)
+            g = explorer.grid
+            scheme = _pick("scheme", g.schemes, scheme)
+            if app is not None and app not in g.apps:
+                raise ServiceError(
+                    404, "not-on-grid", f"app={app!r} not on the grid",
+                    axis="app", values=list(g.apps),
+                )
+            return await self._explore(
+                explorer.pareto, scheme, n_pixels=n_pixels, app=app
+            )
         result = await self.sweep(grid)
         scheme = _pick("scheme", result.grid.schemes, scheme)
         if app is not None and app not in result.grid.apps:
@@ -302,7 +371,24 @@ class SweepService:
         n_pixels: Optional[int] = None,
         scheme: Optional[str] = None,
     ) -> Optional[DesignPoint]:
-        """Cheapest-area configuration hitting ``fps``, or None."""
+        """Cheapest-area configuration hitting ``fps``, or None.
+
+        Both explore modes keep this endpoint's None-on-infeasible
+        contract (the wire payload is ``result: null``); the
+        :class:`~repro.errors.InfeasibleQueryError` contract lives in
+        the client-side facade, which reconstructs the structured error
+        from the dense result it fetched.
+        """
+        if self.explore == "adaptive":
+            explorer = self._explorer_for(grid)
+            app = _pick("app", explorer.grid.apps, app)
+            try:
+                return await self._explore(
+                    explorer.cheapest, app, fps,
+                    n_pixels=n_pixels, scheme=scheme,
+                )
+            except InfeasibleQueryError:
+                return None
         result = await self.sweep(grid)
         app = _pick("app", result.grid.apps, app)
         return result.cheapest_point_meeting_fps(
@@ -326,6 +412,20 @@ class SweepService:
         Every selector follows the ambiguity rule: optional when its
         axis is a singleton, a structured 400 naming the axis otherwise.
         """
+        if self.explore == "adaptive":
+            explorer = self._explorer_for(grid)
+            g = explorer.grid
+            return await self._explore(
+                explorer.point,
+                _pick("app", g.apps, app),
+                _pick("scheme", g.schemes, scheme),
+                _pick("scale_factor", g.scale_factors, scale_factor),
+                _pick("n_pixels", g.pixel_counts, n_pixels),
+                clock_ghz=clock_ghz,
+                grid_sram_kb=grid_sram_kb,
+                n_engines=n_engines,
+                n_batches=n_batches,
+            )
         result = await self.sweep(grid)
         g = result.grid
         return result.point(
@@ -363,6 +463,7 @@ class SweepService:
                 "evaluations": self.tier["evaluations"],
             },
             "http": dict(self.http),
+            "explore": self._explore_stats(),
         }
         if self.store is not None:
             stats["store"] = {
@@ -374,3 +475,27 @@ class SweepService:
         for name, provider in self.stats_extra.items():
             stats[name] = provider() if callable(provider) else provider
         return stats
+
+    def _explore_stats(self) -> Dict:
+        """The ``explore`` section of :meth:`stats`.
+
+        In adaptive mode, the exploration counters summed over every
+        grid explored so far — ``points_evaluated / points_total`` is
+        the service-wide evaluated fraction of all queried hypercubes.
+        """
+        out: Dict = {"mode": self.explore}
+        if self.explore != "adaptive":
+            return out
+        totals = ExplorationStats()
+        with self._explorers_lock:
+            out["grids"] = len(self._explorers)
+            for explorer in self._explorers.values():
+                s = explorer.stats
+                for name in (
+                    "rounds", "blocks_total", "blocks_evaluated",
+                    "blocks_cached", "blocks_pruned", "points_total",
+                    "points_evaluated", "bound_violations",
+                ):
+                    setattr(totals, name, getattr(totals, name) + getattr(s, name))
+        out.update(totals.to_dict())
+        return out

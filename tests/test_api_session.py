@@ -39,6 +39,7 @@ from repro.api import (
     AmbiguousAxisError,
     BackendUnavailableError,
     Grid,
+    InfeasibleQueryError,
     LocalBackend,
     RemoteBackend,
     ReproError,
@@ -152,14 +153,23 @@ def scenario_pareto_per_app(session):
 
 
 def scenario_cheapest(session):
-    hit = session.sweep(PARITY_GRID).cheapest(app="nerf", fps=60.0)
-    return None if hit is None else hit.to_dict()
+    return session.sweep(PARITY_GRID).cheapest(app="nerf", fps=60.0).to_dict()
 
 
 def scenario_cheapest_unreachable(session):
-    hit = session.sweep(PARITY_GRID).cheapest(app="gia", fps=10.0**9)
-    assert hit is None
-    return None
+    """Infeasible cheapest: the identical structured error, every backend."""
+    with pytest.raises(InfeasibleQueryError) as excinfo:
+        session.sweep(PARITY_GRID).cheapest(app="gia", fps=10.0**9)
+    exc = excinfo.value
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "app": exc.app,
+        "fps": exc.fps,
+        "n_pixels": exc.n_pixels,
+        "scheme": exc.scheme,
+        "best_fps": exc.best_fps,
+    }
 
 
 def scenario_grid_point(session):
@@ -559,11 +569,13 @@ class TestExceptionHierarchy:
 
         assert issubclass(AmbiguousAxisError, ReproError)
         assert issubclass(NotOnGridError, ReproError)
+        assert issubclass(InfeasibleQueryError, ReproError)
         assert issubclass(ServiceError, ReproError)
         assert issubclass(BackendUnavailableError, ReproError)
         # and the legacy contracts are preserved
         assert issubclass(AmbiguousAxisError, KeyError)
         assert issubclass(NotOnGridError, KeyError)
+        assert issubclass(InfeasibleQueryError, LookupError)
         assert issubclass(BackendUnavailableError, ConnectionError)
 
     def test_value_off_the_grid_is_structured(self, local_session):

@@ -465,19 +465,55 @@ class TestParetoFront:
                     and (costs[j] < costs[i] or values[j] > values[i])
                 )
                 assert not dominates
-        # every excluded point is strictly dominated by a front member
+        # every excluded point is strictly dominated by a front member,
+        # or is an exact duplicate of one with a lower index (the
+        # deterministic tie-break: one representative per (cost, value))
         excluded = set(range(len(points))) - set(front)
         for i in excluded:
             assert any(
-                costs[j] <= costs[i]
-                and values[j] >= values[i]
-                and (costs[j] < costs[i] or values[j] > values[i])
+                (
+                    costs[j] <= costs[i]
+                    and values[j] >= values[i]
+                    and (costs[j] < costs[i] or values[j] > values[i])
+                )
+                or (costs[j] == costs[i] and values[j] == values[i] and j < i)
                 for j in front
             )
 
-    def test_duplicates_kept(self):
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100.0, allow_nan=False),
+                      st.floats(0.1, 100.0, allow_nan=False)),
+            min_size=1,
+            max_size=20,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_duplicate_ties_resolve_to_lowest_index(self, points, data):
+        # inject exact (cost, value) duplicates at random positions: the
+        # front must keep exactly one representative per distinct pair —
+        # the lowest flat index — no matter where the copies sit
+        n_copies = data.draw(st.integers(1, 8))
+        for _ in range(n_copies):
+            src = data.draw(st.integers(0, len(points) - 1))
+            dst = data.draw(st.integers(0, len(points)))
+            points.insert(dst, points[src])
+        costs = [c for c, _ in points]
+        values = [v for _, v in points]
+        front = pareto_front(costs, values)
+        pairs = [(costs[i], values[i]) for i in front]
+        assert len(pairs) == len(set(pairs)), "one representative per pair"
+        for i in front:
+            first = min(
+                j for j in range(len(points))
+                if costs[j] == costs[i] and values[j] == values[i]
+            )
+            assert i == first, "ties keep the lowest flat index"
+
+    def test_duplicates_keep_lowest_index(self):
         front = pareto_front([1.0, 1.0, 2.0], [5.0, 5.0, 4.0])
-        assert sorted(front) == [0, 1]
+        assert front == [0]
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -20,7 +20,13 @@
 # block-delta evaluation, corruption quarantine) and the store
 # benchmark gates (warm load >= 50x re-evaluation, overlap evaluates
 # only the missing blocks, bit-identity) run in --quick mode, emitting
-# BENCH_store.json.
+# BENCH_store.json.  The adaptive exploration engine gets an
+# exact-answer smoke (Session explore='adaptive' parity vs exhaustive,
+# including the structured infeasible error, plus a CLI
+# `repro dse --explore adaptive` run) and its acceptance gates
+# (bench_adaptive --quick: golden equality, <= 10% of a multi-million
+# point hypercube evaluated, >= 5x cold wall clock, emitting
+# BENCH_adaptive.json).
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -112,6 +118,55 @@ echo "== Session facade overhead gate (smoke) =="
 python benchmarks/bench_api.py --quick
 
 echo
+echo "== adaptive exploration smoke (parity + structured infeasible) =="
+python - <<'PY'
+from repro.api import InfeasibleQueryError, Session, SweepGrid
+
+grid = SweepGrid(
+    apps=("nerf", "gia"),
+    scale_factors=(8, 16, 32, 64),
+    clocks_ghz=(0.8, 1.2, 1.695),
+    n_batches=(8, 16),
+)
+session = Session.local(engine="vectorized")
+adaptive = session.sweep(grid, explore="adaptive")
+dense = session.sweep(grid, explore="exhaustive")
+assert adaptive.explore == "adaptive", adaptive.explore
+assert [p.to_dict() for p in adaptive.pareto()] == \
+       [p.to_dict() for p in dense.pareto()]
+assert adaptive.cheapest(app="nerf", fps=60.0).to_dict() == \
+       dense.cheapest(app="nerf", fps=60.0).to_dict()
+try:
+    adaptive.cheapest(app="gia", fps=10.0**9)
+except InfeasibleQueryError as exc:
+    try:
+        dense.cheapest(app="gia", fps=10.0**9)
+    except InfeasibleQueryError as exc2:
+        assert str(exc) == str(exc2) and exc.best_fps == exc2.best_fps
+    else:
+        raise AssertionError("dense path did not raise")
+else:
+    raise AssertionError("adaptive path did not raise")
+stats = adaptive.explore_stats
+assert stats["points_evaluated"] <= stats["points_total"], stats
+assert stats["bound_violations"] == 0, stats
+print(f"adaptive smoke ok: parity on {adaptive.size} points "
+      f"({stats['points_evaluated']} evaluated in {stats['rounds']} "
+      f"rounds), structured infeasible error identical across modes")
+PY
+
+echo
+echo "== CLI adaptive exploration smoke (repro dse --explore adaptive) =="
+python -m repro dse --explore adaptive \
+    --sweep scale=8:16:32:64,clock=0.8:1.2:1.695,batches=8:16 \
+    --fps 60 > /dev/null
+echo "repro dse --explore adaptive ok"
+
+echo
+echo "== adaptive exploration gates (smoke) =="
+python benchmarks/bench_adaptive.py --quick
+
+echo
 echo "== sweep service smoke (serve + query + clean shutdown) =="
 python - <<'PY'
 import json, re, signal, subprocess, sys, http.client
@@ -151,7 +206,7 @@ try:
     # remote-backend Session round trip: same queries through the typed
     # facade, one keep-alive connection, parity vs the local backend
     import numpy as np
-    from repro.api import Session, SweepGrid
+    from repro.api import InfeasibleQueryError, Session, SweepGrid
 
     remote = Session.remote(host=host, port=port)
     local = Session.local(engine="vectorized")
@@ -165,6 +220,12 @@ try:
     assert [p.to_dict() for p in remote_sweep.pareto()] == \
            [p.to_dict() for p in local_sweep.pareto()]
     hit = remote_sweep.cheapest(app="nerf", fps=30.0)
+    try:
+        remote_sweep.cheapest(app="nerf", fps=10.0**9)
+    except InfeasibleQueryError:
+        pass
+    else:
+        raise AssertionError("remote cheapest did not raise on infeasible")
     stats = remote.stats()
     assert stats["http"]["reused"] >= 1, stats["http"]
     remote.close()
@@ -175,7 +236,7 @@ try:
     print(f"service smoke ok: swept {sweep['result']['size']} points, "
           f"pareto front of {len(front['result'])} configs, "
           f"Session parity on {remote_sweep.size} points "
-          f"(cheapest@30fps={'none' if hit is None else hit.describe()}, "
+          f"(cheapest@30fps={hit.describe()}, infeasible raises, "
           f"{stats['http']['reused']} keep-alive reuses), clean shutdown")
 finally:
     if proc.poll() is None:
