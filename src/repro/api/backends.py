@@ -46,12 +46,23 @@ from repro.core.config import NGPCConfig
 from repro.core.dse import (
     _ENGINES,
     _SWEEP_CACHE,
+    _SWEEP_CACHE_MAX_POINTS,
+    _TIMING_FIELDS,
+    AmbiguousAxisError,
     EmulationResult,
     SweepGrid,
     SweepResult,
+    _resolve_engine,
+    assemble_shard_blocks,
+    block_fingerprint,
+    finalize_sweep_result,
+    shard_plan,
+    shard_task_shape,
+    store_block_plan,
+    sweep_fingerprint,
     sweep_grid,
 )
-from repro.core.emulator import emulate, emulate_with_config
+from repro.core.emulator import emulate, emulate_batch, emulate_with_config
 from repro.errors import BackendUnavailableError
 from repro.explore import (
     ClusterBlockRunner,
@@ -60,7 +71,13 @@ from repro.explore import (
 )
 from repro.service.client import SyncServiceClient
 from repro.service.errors import ServiceError
-from repro.store import ResultStore, new_tier_counters, sweep_with_store
+from repro.service.progress import PartialSweep
+from repro.store import (
+    STORE_ENGINE,
+    ResultStore,
+    new_tier_counters,
+    sweep_with_store,
+)
 
 
 class Backend:
@@ -87,6 +104,27 @@ class Backend:
         ``evaluate(tasks)`` method; backends that only ship whole dense
         results (the remote HTTP backend) return None, and
         :meth:`Session.sweep` falls back to exhaustive evaluation.
+        """
+        return None
+
+    def stream_events(
+        self,
+        grid: SweepGrid,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ):
+        """Progress + refining-Pareto-front events for one sweep, or None.
+
+        Backends that can stream return a plain (sync) generator of the
+        service's stream event dicts (``progress`` / ``front`` /
+        ``complete`` / ``error`` — see
+        :meth:`repro.service.SweepService.sweep_stream`); in-process
+        backends additionally put the dense :class:`SweepResult` under
+        ``"result_obj"`` in the ``complete`` event so
+        :meth:`~repro.api.session.Sweep.watch` materializes it without a
+        second evaluation.  ``None`` means streaming is unsupported and
+        the caller should fall back to one dense sweep.
         """
         return None
 
@@ -156,6 +194,143 @@ class LocalBackend(Backend):
             runner = StoreBlockRunner(runner, self.store, self.ngpc)
         return runner
 
+    def stream_events(
+        self,
+        grid: SweepGrid,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ):
+        """Blockwise in-process evaluation, yielding events per block.
+
+        Without a store, the grid is cut by
+        :func:`~repro.core.dse.shard_plan`; with one, by
+        :func:`~repro.core.dse.store_block_plan` so every block rides
+        the persistent tier (hits are streamed too — a warm store
+        streams its fronts in milliseconds).  Both cuts are walked
+        window-major, so the earliest blocks complete whole
+        configuration windows across every (app, scheme) pair and the
+        first exact partial front appears after a small fraction of the
+        sweep.  The assembled result is bit-identical to
+        :meth:`sweep`'s and rides the same RAM memo.
+        """
+        resolved = grid.resolve(self.ngpc)
+        if scheme is None:
+            if len(resolved.schemes) != 1:
+                raise AmbiguousAxisError("scheme", resolved.schemes)
+            scheme = resolved.schemes[0]
+        partial = PartialSweep(resolved, self.ngpc)
+        partial.validate_selectors(scheme, n_pixels, app)
+        engine = (
+            STORE_ENGINE if self.store is not None
+            else _resolve_engine(self.engine, resolved)
+        )
+        fingerprint = sweep_fingerprint(resolved, self.ngpc)
+        ram_key = (resolved, engine, fingerprint)
+        cacheable = self.use_cache and resolved.size <= _SWEEP_CACHE_MAX_POINTS
+
+        def terminal_events(result, cached):
+            points = result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+            yield {
+                "event": "progress",
+                "points_done": resolved.size,
+                "points_total": resolved.size,
+                "blocks_done": None, "blocks_total": None,
+                "done": True, "failed": False, "elapsed_s": 0.0,
+            }
+            yield {"event": "front", "final": True,
+                   "points": [p.to_dict() for p in points]}
+            yield {"event": "complete", "engine": result.engine,
+                   "cached": cached, "result_obj": result}
+
+        if cacheable:
+            cached = _SWEEP_CACHE.get(ram_key)
+            if cached is not None:
+                self.tier["ram_hits"] += 1
+                yield from terminal_events(cached, True)
+                return
+        if self.store is not None:
+            persisted = self.store.load_sweep(fingerprint)
+            if persisted is not None:
+                self.tier["disk_hits"] += 1
+                if cacheable:
+                    _SWEEP_CACHE.put(ram_key, persisted)
+                yield from terminal_events(persisted, True)
+                return
+            plan = store_block_plan(resolved)
+        else:
+            n_pairs = max(1, len(resolved.apps) * len(resolved.schemes))
+            windows = max(1, min(32, resolved.size // (256 * n_pairs)))
+            plan = shard_plan(resolved, windows * n_pairs)
+        plan = sorted(
+            plan, key=lambda entry: (entry[0][2], entry[0][0], entry[0][1])
+        )
+        self.tier["evaluations"] += 1
+        if self.store is not None:
+            self.tier["blocks_total"] += len(plan)
+        started = time.monotonic()
+        placed = []
+        points_done = 0
+        last_front = None
+        for placement, task in plan:
+            block = None
+            if self.store is not None:
+                key = block_fingerprint(task, self.ngpc)
+                block = self.store.load_block(key, shard_task_shape(placement))
+                if block is not None:
+                    self.tier["blocks_cached"] += 1
+            if block is None:
+                task_app, task_scheme, scales, pixels, clocks, srams, \
+                    engines, batches = task
+                evaluated = emulate_batch(
+                    task_app, task_scheme, scales, pixels, self.ngpc,
+                    clocks_ghz=clocks, grid_sram_kb=srams,
+                    n_engines=engines, n_batches=batches,
+                )
+                block = {
+                    name: evaluated[name]
+                    for name in _TIMING_FIELDS + ("amdahl_bound",)
+                }
+                if self.store is not None:
+                    self.store.save_block(key, block)
+                    self.tier["blocks_evaluated"] += 1
+            points_done += partial.record(placement, block)
+            placed.append((placement, block))
+            yield {
+                "event": "progress",
+                "points_done": points_done,
+                "points_total": resolved.size,
+                "blocks_done": len(placed), "blocks_total": len(plan),
+                "done": False, "failed": False,
+                "elapsed_s": round(time.monotonic() - started, 6),
+            }
+            front = [
+                p.to_dict()
+                for p in partial.pareto_front(scheme, n_pixels=n_pixels, app=app)
+            ]
+            if front and front != last_front:
+                last_front = front
+                yield {"event": "front", "final": False, "points": front}
+        result = finalize_sweep_result(
+            resolved, engine, self.ngpc, assemble_shard_blocks(resolved, placed)
+        )
+        if self.store is not None:
+            self.store.save_sweep(fingerprint, result)
+        if cacheable:
+            _SWEEP_CACHE.put(ram_key, result)
+        yield {
+            "event": "progress",
+            "points_done": resolved.size, "points_total": resolved.size,
+            "blocks_done": len(plan), "blocks_total": len(plan),
+            "done": True, "failed": False,
+            "elapsed_s": round(time.monotonic() - started, 6),
+        }
+        final = result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+        yield {"event": "front", "final": True,
+               "points": [p.to_dict() for p in final]}
+        yield {"event": "complete", "engine": result.engine,
+               "cached": False, "result_obj": result}
+
     def stats(self) -> Dict:
         stats = {
             "backend": self.name,
@@ -217,6 +392,24 @@ class RemoteBackend(Backend):
                 missing=missing,
             )
         return EmulationResult(**{name: record[name] for name in field_names})
+
+    def stream_events(
+        self,
+        grid: SweepGrid,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ):
+        """The server's ``/sweep/stream`` ndjson events, as received.
+
+        The final front is computed server-side from the same dense
+        arrays ``sweep`` would ship, so it is bit-identical to the
+        local backends' — only ``result_obj`` is absent (the stream
+        carries fronts, not the hypercube).
+        """
+        return self._client.stream_pareto(
+            grid.to_dict(), scheme=scheme, n_pixels=n_pixels, app=app
+        )
 
     def stats(self) -> Dict:
         stats = self._client.stats()
@@ -292,9 +485,12 @@ class DistributedBackend(Backend):
         )
         self._sweep_timeout_s = sweep_timeout_s
 
-        def cluster_sweep_fn(grid, engine="cluster", ngpc=None, max_workers=None):
+        def cluster_sweep_fn(
+            grid, engine="cluster", ngpc=None, max_workers=None, on_block=None
+        ):
             return self.coordinator.sweep_blocking(
-                grid, ngpc=ngpc, timeout_s=self._sweep_timeout_s
+                grid, ngpc=ngpc, timeout_s=self._sweep_timeout_s,
+                on_block=on_block,
             )
 
         self.service = SweepService(
@@ -404,6 +600,56 @@ class DistributedBackend(Backend):
             return self.coordinator.blocks_blocking(tasks, ngpc=self.ngpc)
 
         return ClusterBlockRunner(submit)
+
+    def stream_events(
+        self,
+        grid: SweepGrid,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ):
+        """The embedded service's stream, bridged off its loop thread.
+
+        Workers complete blocks on the coordinator loop; the service's
+        ``sweep_stream`` turns them into events there, and a pump
+        coroutine relays each event into a thread-safe queue this sync
+        generator drains.  Abandoning the generator cancels the pump —
+        which unsubscribes — while the sweep itself keeps running to
+        completion (it lands in the service LRU for the next call).
+        """
+        import asyncio
+        import queue as queue_module
+
+        if self._closed or self._loop is None:
+            raise BackendUnavailableError(
+                "distributed backend is closed", host=self.host, port=self.port
+            )
+        events: queue_module.Queue = queue_module.Queue()
+        sentinel = object()
+
+        async def pump():
+            try:
+                async for event in self.service.sweep_stream(
+                    grid, scheme=scheme, n_pixels=n_pixels, app=app
+                ):
+                    events.put(event)
+            except BaseException as exc:
+                events.put(exc)
+                raise
+            finally:
+                events.put(sentinel)
+
+        future = asyncio.run_coroutine_threadsafe(pump(), self._loop)
+        try:
+            while True:
+                item = events.get()
+                if item is sentinel:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            future.cancel()
 
     def point(
         self, app: str, scheme: str, scale_factor: int, n_pixels: int

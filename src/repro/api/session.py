@@ -45,6 +45,7 @@ from repro.core.dse import (
     sweep_fingerprint,
 )
 from repro.errors import NotOnGridError, infeasible_query
+from repro.service.errors import ServiceError
 from repro.explore import AdaptiveExplorer
 from repro.gpu.baseline import FHD_PIXELS
 
@@ -149,7 +150,7 @@ class Sweep:
         if self._result is None:
             return (
                 f"Sweep({self.size} points, backend={self.backend!r}, "
-                f"explore='adaptive')"
+                f"explore={self.explore!r})"
             )
         return (
             f"Sweep({self.size} points, backend={self.backend!r}, "
@@ -233,6 +234,54 @@ class Sweep:
             n_engines=n_engines,
             n_batches=n_batches,
         )
+
+    def watch(
+        self,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ):
+        """Yield refining Pareto fronts while the sweep evaluates.
+
+        A generator of ``List[DesignPoint]``: each yielded front is
+        *exact* over the grid points evaluated so far (never an
+        estimate — see :class:`repro.service.progress.PartialSweep`),
+        and the last one is the dense result's front, bit-identical to
+        :meth:`pareto` with the same selectors.  On a sweep that is
+        already evaluated (or an adaptive one), the final front is
+        yielded once.  Backends that cannot stream fall back to one
+        dense evaluation and a single yield.  Abandoning the generator
+        early is safe: in-process evaluation stops with it, a service
+        keeps evaluating for its other subscribers.
+
+        On streaming backends the dense result rides along with the
+        last event (local backends) or stays server-side (remote), so
+        fully consuming ``watch()`` never evaluates the grid twice.
+        """
+        selected = _pick("scheme", self.grid.schemes, scheme)
+        if app is not None and app not in self.grid.apps:
+            raise NotOnGridError(f"app={app!r} not on the grid")
+        if self._result is not None or self._explorer is not None:
+            yield self.pareto(scheme=selected, n_pixels=n_pixels, app=app)
+            return
+        stream = None
+        if self._backend_obj is not None:
+            stream = self._backend_obj.stream_events(
+                self._grid, scheme=selected, n_pixels=n_pixels, app=app
+            )
+        if stream is None:
+            yield self.pareto(scheme=selected, n_pixels=n_pixels, app=app)
+            return
+        for event in stream:
+            kind = event.get("event")
+            if kind == "front":
+                yield [DesignPoint.from_dict(p) for p in event["points"]]
+            elif kind == "error":
+                raise ServiceError.from_payload(
+                    {"ok": False, "error": event["error"]}
+                )
+            elif kind == "complete" and event.get("result_obj") is not None:
+                self._result = event["result_obj"]
 
     def records(self, limit: Optional[int] = None) -> List[Dict]:
         """Flat per-point dicts (JSON/table friendly; forces evaluation)."""
@@ -332,8 +381,15 @@ class Session:
         self.close()
 
     # -- evaluation ----------------------------------------------------------
-    def sweep(self, grid=None, explore: str = "auto") -> Sweep:
+    def sweep(self, grid=None, explore: str = "auto", lazy: bool = False) -> Sweep:
         """Evaluate (or lazily explore) a design space; returns the handle.
+
+        ``lazy=True`` returns the handle *without* evaluating anything:
+        iterate :meth:`Sweep.watch` to stream exact partial Pareto
+        fronts while the grid evaluates block by block, or touch any
+        dense query/``.result`` to force the ordinary evaluation.
+        (Adaptive sweeps are already lazy; the flag matters for
+        exhaustive ones.)
 
         ``grid`` may be a :class:`~repro.api.grid.Grid` builder, a
         :class:`~repro.core.dse.SweepGrid`, a JSON axis dict, or None
@@ -392,6 +448,14 @@ class Session:
                         explorer=explorer,
                         backend_obj=self.backend,
                     )
+        if lazy:
+            ngpc = getattr(self.backend, "ngpc", None)
+            return Sweep(
+                None,
+                self.backend.name,
+                grid=normalized.resolve(ngpc).normalized(),
+                backend_obj=self.backend,
+            )
         result = self.backend.sweep(normalized)
         return Sweep(result, backend=self.backend.name)
 

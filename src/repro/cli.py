@@ -159,10 +159,32 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
     axes = _merge_sweep_axes(args, "repro dse")
     session = Session.local(engine=args.engine, store=args.store)
-    sweep = session.sweep(
-        SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes),
-        explore=args.explore,
-    )
+    grid_spec = SweepGrid(apps=APP_NAMES, schemes=(args.scheme,), **axes)
+    if args.follow and args.explore == "adaptive":
+        raise SystemExit(
+            "repro dse: error: --follow streams the dense block-by-block "
+            "evaluation and is not available with --explore adaptive"
+        )
+    if args.follow:
+        import time
+
+        # lazy sweep + watch(): exact partial Pareto fronts stream in as
+        # blocks evaluate; the loop's last front is the final one, and
+        # the handle holds the dense result for the tables below
+        sweep = session.sweep(grid_spec, explore="exhaustive", lazy=True)
+        n_pixels = sweep.grid.pixel_counts[0]
+        started = time.perf_counter()
+        for n, front in enumerate(
+            sweep.watch(scheme=args.scheme, n_pixels=n_pixels), 1
+        ):
+            best = (min(p.area_overhead_pct for p in front)
+                    if front else float("nan"))
+            print(f"  [{time.perf_counter() - started:7.2f}s] "
+                  f"front #{n}: {len(front)} points "
+                  f"(cheapest +{best:.2f}% area)")
+        print()
+    else:
+        sweep = session.sweep(grid_spec, explore=args.explore)
     grid = sweep.grid  # resolved + normalized axes
     n_pixels = grid.pixel_counts[0]
     front_points = sweep.pareto(scheme=args.scheme, n_pixels=n_pixels)
@@ -264,6 +286,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return run_server(
             service, args.host, args.port,
             cluster=coordinator, spawn_workers=args.workers or 0,
+            max_body_bytes=args.max_body_mb * 1024 * 1024,
         )
     service = SweepService(
         engine=args.engine,
@@ -272,7 +295,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         explore=args.explore,
     )
-    return run_server(service, args.host, args.port)
+    return run_server(service, args.host, args.port,
+                      max_body_bytes=args.max_body_mb * 1024 * 1024)
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -511,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "evaluating only the blocks they need (typically a "
                         "few percent of large grids, identical answers); "
                         "'auto' switches to adaptive on large grids")
+    p.add_argument("--follow", action="store_true",
+                   help="stream exact partial Pareto fronts while the grid "
+                        "evaluates block by block (exhaustive sweeps only)")
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser(
@@ -553,6 +580,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "by partial exploration instead of dense sweeps "
                         "(identical answers; /stats reports the evaluated "
                         "fraction); not available with --engine cluster")
+    p.add_argument("--max-body-mb", type=int, default=64,
+                   help="largest accepted request body in MiB (bigger "
+                        "bodies get a structured 413 before they are read)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -70,7 +70,14 @@ def request_json(
     payload: Optional[Dict] = None,
     timeout: float = 60.0,
 ) -> Tuple[int, Dict[str, Any]]:
-    """One synchronous JSON round trip; returns (status, decoded body)."""
+    """One synchronous JSON round trip; returns (status, decoded body).
+
+    The connection is closed on *every* exit path — including
+    ``connect``/``request``/``getresponse`` raising (e.g. a connection
+    refused, a timeout waiting for the response) — so a script
+    hammering this helper in a loop can never leak sockets;
+    ``tests/test_client_reconnect.py`` pins this contract.
+    """
     connection = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         body = None if payload is None else json.dumps(payload)
@@ -216,6 +223,95 @@ class SyncServiceClient:
         return self.request("POST", "/point", {"grid": grid or {}, **selectors})[
             "result"
         ]
+
+    def result_wait(self, grid: Optional[Dict] = None,
+                    wait_s: float = 0.0) -> Dict:
+        """Long-poll ``/result?wait=``; returns the full envelope.
+
+        ``{"ok": true, "result": {...}}`` when the sweep finished inside
+        the wait window, ``{"ok": true, "pending": true, "progress":
+        {...}}`` (HTTP 202) when it is still evaluating.
+        """
+        return self.request(
+            "POST", f"/result?wait={wait_s:g}", {"grid": grid or {}}
+        )
+
+    def stream_pareto(self, grid: Optional[Dict] = None,
+                      scheme: Optional[str] = None,
+                      n_pixels: Optional[int] = None,
+                      app: Optional[str] = None):
+        """Stream ``/sweep/stream`` events; a generator of event dicts.
+
+        Yields the server's ndjson events in order — ``progress``
+        snapshots, refining partial ``front`` lists, and a terminal
+        ``complete`` — as they arrive over a *dedicated* connection
+        (streams are ``Connection: close``, so the persistent keep-alive
+        connection is left untouched for ordinary requests).  ``error``
+        events raise the rebuilt :class:`ServiceError`; abandoning the
+        generator early closes the connection, which cancels the
+        server-side subscription without disturbing the sweep.
+        """
+        body = _stream_request_body(grid, scheme, n_pixels, app)
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            try:
+                connection.request(
+                    "POST", "/sweep/stream", body=body,
+                    headers={"Content-Type": "application/json",
+                             "Connection": "close"},
+                )
+                response = connection.getresponse()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                raise BackendUnavailableError(
+                    f"sweep service at {self.host}:{self.port} "
+                    f"unavailable ({exc})",
+                    host=self.host, port=self.port,
+                ) from exc
+            encoding = (response.getheader("Transfer-Encoding") or "").lower()
+            if encoding != "chunked":
+                # pre-stream failure: an ordinary structured JSON response
+                data = response.read()
+                decoded = json.loads(data or b"{}")
+                _check_response_schema(decoded)
+                _raise_for_error(response.status, decoded)
+                raise ServiceError(
+                    502, "bad-response",
+                    "expected a chunked ndjson stream from /sweep/stream",
+                )
+            try:
+                # http.client undoes the chunking; iteration yields lines
+                for raw in response:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if event.get("event") == "error":
+                        raise ServiceError.from_payload(
+                            {"ok": False, "error": event["error"]}
+                        )
+                    yield event
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                raise BackendUnavailableError(
+                    f"sweep service at {self.host}:{self.port} dropped "
+                    f"the stream ({exc})",
+                    host=self.host, port=self.port,
+                ) from exc
+        finally:
+            connection.close()
+
+
+def _stream_request_body(grid: Optional[Dict], scheme: Optional[str],
+                         n_pixels: Optional[int],
+                         app: Optional[str]) -> bytes:
+    """The negotiated JSON body both ``stream_pareto`` flavours POST."""
+    query: Dict[str, Any] = {"grid": grid or {}}
+    for name, value in (("scheme", scheme), ("n_pixels", n_pixels),
+                        ("app", app)):
+        if value is not None:
+            query[name] = value
+    return json.dumps(_negotiated(query)).encode("utf-8")
 
 
 class ServiceClient:
@@ -399,3 +495,115 @@ class ServiceClient:
             "result"
         ]
         return SweepResult.from_payload(payload)
+
+    async def result_wait(self, grid: Optional[Dict] = None,
+                          wait_s: float = 0.0) -> Dict:
+        """Long-poll ``/result?wait=``; returns the full envelope.
+
+        ``{"ok": true, "result": {...}}`` when the sweep finished inside
+        the wait window, ``{"ok": true, "pending": true, "progress":
+        {...}}`` (HTTP 202) when it is still evaluating.
+        """
+        return await self.request(
+            "POST", f"/result?wait={wait_s:g}", {"grid": grid or {}}
+        )
+
+    async def stream_pareto(self, grid: Optional[Dict] = None,
+                            scheme: Optional[str] = None,
+                            n_pixels: Optional[int] = None,
+                            app: Optional[str] = None):
+        """Stream ``/sweep/stream`` events; an async generator of dicts.
+
+        Same contract as :meth:`SyncServiceClient.stream_pareto`: the
+        server's ndjson events in arrival order over a dedicated
+        ``Connection: close`` stream (the keep-alive request connection
+        stays free), ``error`` events raised as :class:`ServiceError`,
+        and an abandoned generator closing the socket to cancel the
+        server-side subscription.
+        """
+        body = _stream_request_body(grid, scheme, n_pixels, app)
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except (ConnectionError, OSError) as exc:
+            raise BackendUnavailableError(
+                f"sweep service at {self.host}:{self.port} "
+                f"unavailable ({exc})",
+                host=self.host, port=self.port,
+            ) from exc
+        try:
+            head = (
+                f"POST /sweep/stream HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n"
+                "\r\n"
+            )
+            try:
+                writer.write(head.encode("latin-1") + body)
+                await writer.drain()
+                status_line = await reader.readline()
+                if not status_line:
+                    raise ConnectionResetError("connection closed before "
+                                               "a response arrived")
+                parts = status_line.decode("latin-1").split()
+                if len(parts) < 2:
+                    raise ServiceError(502, "bad-response",
+                                       "malformed status line")
+                status = int(parts[1])
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                if headers.get("transfer-encoding", "").lower() != "chunked":
+                    # pre-stream failure: ordinary structured JSON response
+                    length = int(headers.get("content-length") or 0)
+                    data = await reader.readexactly(length) if length else b""
+                    decoded = json.loads(data or b"{}")
+                    _check_response_schema(decoded)
+                    _raise_for_error(status, decoded)
+                    raise ServiceError(
+                        502, "bad-response",
+                        "expected a chunked ndjson stream from /sweep/stream",
+                    )
+                buffer = b""
+                while True:
+                    size_line = await reader.readline()
+                    try:
+                        size = int(size_line.strip() or b"0", 16)
+                    except ValueError:
+                        raise ServiceError(
+                            502, "bad-response",
+                            "malformed chunk size in stream",
+                        ) from None
+                    if size == 0:
+                        await reader.readline()  # trailing CRLF
+                        break
+                    buffer += await reader.readexactly(size)
+                    await reader.readexactly(2)  # CRLF closing the chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if not line.strip():
+                            continue
+                        event = json.loads(line)
+                        if event.get("event") == "error":
+                            raise ServiceError.from_payload(
+                                {"ok": False, "error": event["error"]}
+                            )
+                        yield event
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                raise BackendUnavailableError(
+                    f"sweep service at {self.host}:{self.port} dropped "
+                    f"the stream ({exc})",
+                    host=self.host, port=self.port,
+                ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -2,7 +2,7 @@
 
 The block task tuples of the in-process ``"process"`` engine
 (:func:`repro.core.dse.shard_plan`) are already self-contained,
-picklable work units; this package ships them across hosts.  A
+value-keyed work units; this package ships them across hosts.  A
 :class:`ShardCoordinator` queues a submitted sweep's blocks and leases
 them over HTTP (``/cluster/*`` endpoints, mounted next to the JSON
 service by :mod:`repro.service.http`) to any number of
@@ -10,7 +10,9 @@ service by :mod:`repro.service.http`) to any number of
 calibration once per generation, evaluate blocks vectorized, and
 stream the dense arrays back for assembly into one
 :class:`~repro.core.dse.SweepResult`.  Leases expire and re-queue on
-worker death, so a sweep survives losing workers mid-flight.
+worker death, so a sweep survives losing workers mid-flight.  Every
+body on the wire is a versioned binary frame (:mod:`repro.transport`);
+nothing in the protocol pickles received bytes.
 
 :class:`repro.api.DistributedBackend` embeds a coordinator (plus
 optionally spawned local workers) behind the standard four-method
@@ -21,10 +23,7 @@ client hosts share one distributed evaluation.
 
 from repro.service.cluster.coordinator import (
     BLOCKS_PER_WORKER,
-    PICKLE_CONTENT_TYPE,
     ShardCoordinator,
-    decode_message,
-    encode_message,
 )
 from repro.service.cluster.worker import (
     ClusterClient,
@@ -32,10 +31,11 @@ from repro.service.cluster.worker import (
     spawn_local_workers,
     terminate_workers,
 )
+from repro.transport import FRAME_CONTENT_TYPE, decode_message, encode_message
 
 __all__ = [
     "BLOCKS_PER_WORKER",
-    "PICKLE_CONTENT_TYPE",
+    "FRAME_CONTENT_TYPE",
     "ClusterClient",
     "ShardCoordinator",
     "decode_message",

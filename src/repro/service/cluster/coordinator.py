@@ -8,7 +8,7 @@ plain tuples, so a task crosses host boundaries unchanged), queued, and
 handed out to workers over the coordinator's HTTP endpoints:
 
 ====================== ====================================================
-endpoint               body / result (pickled dicts, trusted cluster)
+endpoint               body / result (binary frames, :mod:`repro.transport`)
 ====================== ====================================================
 ``POST /cluster/register``  ``{host?, pid?}`` -> ``{worker_id,
                             calibration, ngpc, lease_timeout_s}``
@@ -29,9 +29,12 @@ Lease semantics (the failure model):
   re-queues expired leases and marks the worker dead; any live worker's
   next poll picks the block up, so killing a worker mid-sweep delays
   its blocks by at most one lease timeout — the sweep still completes.
-- A late completion from a presumed-dead worker is accepted if the
-  block is still unfinished (first result wins) and ignored otherwise,
-  so re-leasing never double-writes a block.
+- A late completion from a presumed-dead worker is accepted only while
+  no *other* worker holds the block (first result wins).  Once the
+  block was re-leased — or already finished — the late result (or a
+  late error report) is a counted no-op (``late_completions`` /
+  ``stale_completions``), so re-leasing never double-counts a block in
+  the stats or clobbers the new holder's lease.
 
 Workers evaluate with the coordinator's calibration constants: every
 lease carries the calibration fingerprint and base config the job was
@@ -39,20 +42,22 @@ submitted under, and workers reinstall them only when they change — the
 multi-host equivalent of the process-pool initializer, keeping blocks
 bit-identical to a local evaluation.
 
-Bodies and responses are pickled Python objects (dense float64 blocks
-round-trip exactly, unlike JSON-free-form formats, and cost ~nothing to
-encode).  Pickle implies trust: the cluster endpoints assume the same
-trust boundary as :mod:`multiprocessing` — run coordinator and workers
-inside one trust domain, never exposed to untrusted clients.
+Bodies and responses are versioned binary frames
+(:mod:`repro.transport`): dense float64 blocks round-trip exactly and
+decode zero-copy on the receiving side via ``np.frombuffer``, and —
+unlike the pickle wire this replaced — a frame can never execute code
+on decode, so a stray byte reaching the port yields a structured 400
+instead of arbitrary code execution.  Task tuples, configs and
+calibration fingerprints travel as typed tags in the frame's JSON meta
+section and compare equal after a round trip.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-import pickle
 import uuid
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -69,9 +74,7 @@ from repro.core.dse import (
 )
 from repro.errors import BackendUnavailableError
 from repro.service.errors import ServiceError, as_service_error
-
-#: content type of every cluster request/response body
-PICKLE_CONTENT_TYPE = "application/x-repro-pickle"
+from repro.transport import FRAME_CONTENT_TYPE, decode_message, encode_message
 
 #: blocks handed to each worker per sweep (bigger blocks than the
 #: in-process pool's 4: HTTP round trips cost more than queue pops)
@@ -95,21 +98,6 @@ _PENDING, _LEASED, _DONE = 0, 1, 2
 _UNSET_TIMEOUT = object()
 
 
-def encode_message(payload) -> bytes:
-    """Pickle one cluster protocol message."""
-    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-
-
-def decode_message(body: bytes):
-    """Unpickle one cluster protocol message (empty body -> ``{}``)."""
-    if not body:
-        return {}
-    try:
-        return pickle.loads(body)
-    except Exception as exc:
-        raise ServiceError(400, "bad-request", f"undecodable cluster body: {exc}")
-
-
 class _Job:
     """One submitted work unit: its shard plan and completion state.
 
@@ -123,13 +111,15 @@ class _Job:
     def __init__(self, job_id: int, grid: Optional[SweepGrid],
                  ngpc: Optional[NGPCConfig], calibration: Tuple,
                  plan: List[Tuple[Tuple, Tuple]],
-                 future: asyncio.Future):
+                 future: asyncio.Future,
+                 on_block: Optional[Callable] = None):
         self.job_id = job_id
         self.grid = grid
         self.ngpc = ngpc
         self.calibration = calibration
         self.plan = plan
         self.future = future
+        self.on_block = on_block
         self.states = [_PENDING] * len(plan)
         self.blocks: Dict[int, Dict[str, np.ndarray]] = {}
         self.remaining = len(plan)
@@ -193,7 +183,7 @@ class ShardCoordinator:
     """
 
     #: content type of every handled body (read by the HTTP layer)
-    content_type = PICKLE_CONTENT_TYPE
+    content_type = FRAME_CONTENT_TYPE
 
     def __init__(
         self,
@@ -234,6 +224,7 @@ class ShardCoordinator:
         self.blocks_releases = 0  # expired leases re-queued
         self.blocks_failed = 0  # worker-reported evaluation failures
         self.stale_completions = 0  # late duplicates ignored
+        self.late_completions = 0  # completions whose lease moved on
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
@@ -308,13 +299,17 @@ class ShardCoordinator:
         grid: SweepGrid,
         ngpc: Optional[NGPCConfig] = None,
         timeout_s: Optional[float] = None,
+        on_block: Optional[Callable] = None,
     ) -> SweepResult:
         """Distribute one sweep across the registered workers.
 
         The grid is resolved against the job's base config exactly as
         :func:`~repro.core.dse.sweep_grid` resolves it; the returned
         result is assembled from worker blocks and finalized through
-        the same code path as a local evaluation.
+        the same code path as a local evaluation.  ``on_block`` (if
+        given) is called as ``on_block(placement, block)`` on the
+        coordinator loop for every accepted block — the streaming
+        progress hook; listener exceptions never fail the sweep.
         """
         if self._closing:
             raise BackendUnavailableError("shard coordinator is shut down")
@@ -329,6 +324,7 @@ class ShardCoordinator:
             calibration=calibration_fingerprint(),
             plan=self._plan(resolved),
             future=self._loop.create_future(),
+            on_block=on_block,
         )
         self._jobs[job.job_id] = job
         self.jobs_submitted += 1
@@ -428,6 +424,7 @@ class ShardCoordinator:
         grid: SweepGrid,
         ngpc: Optional[NGPCConfig] = None,
         timeout_s=_UNSET_TIMEOUT,
+        on_block: Optional[Callable] = None,
     ) -> SweepResult:
         """Thread-safe blocking :meth:`submit` (the executor-path entry).
 
@@ -448,14 +445,17 @@ class ShardCoordinator:
         if timeout_s is _UNSET_TIMEOUT:
             timeout_s = self.sweep_timeout_s
         return asyncio.run_coroutine_threadsafe(
-            self.submit(grid, ngpc=ngpc, timeout_s=timeout_s), self._loop
+            self.submit(grid, ngpc=ngpc, timeout_s=timeout_s,
+                        on_block=on_block),
+            self._loop,
         ).result()
 
     def sweep_fn(self, grid, engine: str = "cluster",
                  ngpc: Optional[NGPCConfig] = None,
-                 max_workers: Optional[int] = None) -> SweepResult:
+                 max_workers: Optional[int] = None,
+                 on_block: Optional[Callable] = None) -> SweepResult:
         """Drop-in ``sweep_fn`` for :class:`SweepService` (engine ignored)."""
-        return self.sweep_blocking(grid, ngpc=ngpc)
+        return self.sweep_blocking(grid, ngpc=ngpc, on_block=on_block)
 
     # -- worker protocol -----------------------------------------------------
     def _register(self, payload: Dict) -> Dict:
@@ -533,6 +533,14 @@ class ShardCoordinator:
             # evicted job or a re-leased block that finished elsewhere
             self.stale_completions += 1
             return {"ok": True, "accepted": False}
+        lease = self._leases.get((job_id, task_id))
+        if lease is not None and lease[0] != worker.worker_id:
+            # this worker's lease expired and the block was re-leased to
+            # another worker: the late result (or error report) must
+            # neither double-count the block nor clobber the current
+            # holder's lease — counted no-op; the holder's result wins
+            self.late_completions += 1
+            return {"ok": True, "accepted": False}
         error = payload.get("error")
         if error is not None:
             # the worker could not evaluate the block (version skew, bad
@@ -557,8 +565,8 @@ class ShardCoordinator:
             async with self._work_cond:
                 self._work_cond.notify_all()
             raise
-        lease = self._leases.pop((job_id, task_id), None)
-        if lease is not None and lease[0] == worker.worker_id:
+        self._leases.pop((job_id, task_id), None)
+        if lease is not None:  # the gate above ensured it is ours
             n_points = int(np.prod(shard_task_shape(job.plan[task_id][0])))
             worker.observe(n_points, self._loop.time() - lease[2])
         job.states[task_id] = _DONE
@@ -566,6 +574,11 @@ class ShardCoordinator:
         job.remaining -= 1
         worker.blocks_completed += 1
         self.blocks_completed += 1
+        if job.on_block is not None:
+            try:
+                job.on_block(job.plan[task_id][0], block)
+            except Exception:
+                pass  # a progress listener must never fail the sweep
         if job.remaining == 0:
             self.jobs_completed += 1
             # assemble off the loop: scattering + the cost-array batch on
@@ -662,10 +675,10 @@ class ShardCoordinator:
     async def handle_http(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, bytes]:
-        """Serve one ``/cluster/*`` request; returns (status, pickled body).
+        """Serve one ``/cluster/*`` request; returns (status, frame body).
 
         Mounted by :mod:`repro.service.http` next to the JSON endpoints;
-        every response body is a pickled dict (``PICKLE_CONTENT_TYPE``).
+        every response body is a binary frame (``FRAME_CONTENT_TYPE``).
         """
         try:
             if method == "GET" and path == "/cluster/stats":
@@ -682,7 +695,7 @@ class ShardCoordinator:
             if path == "/cluster/complete":
                 return 200, encode_message(await self._complete(payload))
             raise ServiceError(404, "unknown-endpoint", f"no endpoint {path!r}")
-        except Exception as exc:  # every failure ships as a structured pickle
+        except Exception as exc:  # every failure ships as a structured frame
             error = as_service_error(exc)
             return error.status, encode_message(error.to_payload())
 
@@ -719,6 +732,7 @@ class ShardCoordinator:
                 "releases": self.blocks_releases,
                 "failed": self.blocks_failed,
                 "stale_completions": self.stale_completions,
+                "late_completions": self.late_completions,
                 "queued": len(self._queue),
                 "leased": len(self._leases),
             },

@@ -13,7 +13,9 @@ cluster`` or an embedded :class:`~repro.api.DistributedBackend`):
    (:func:`repro.core.dse.evaluate_shard_task`) after reinstalling
    calibration if the job's generation changed;
 3. **complete** — streams the dense float64 block arrays back as one
-   pickled body and immediately polls for the next lease.
+   binary frame body (:mod:`repro.transport` — zero-copy columns, no
+   pickle anywhere on the wire) and immediately polls for the next
+   lease.
 
 The worker holds one keep-alive connection (``TCP_NODELAY``: leases and
 completions are latency-bound small messages).  A dropped connection or
@@ -37,16 +39,12 @@ from typing import Dict, Optional
 
 from repro.core.dse import evaluate_shard_task, install_worker_state
 from repro.errors import BackendUnavailableError
-from repro.service.cluster.coordinator import (
-    PICKLE_CONTENT_TYPE,
-    decode_message,
-    encode_message,
-)
 from repro.service.errors import ServiceError
+from repro.transport import FRAME_CONTENT_TYPE, decode_message, encode_message
 
 
 class ClusterClient:
-    """Blocking keep-alive client for the pickled ``/cluster/*`` protocol.
+    """Blocking keep-alive client for the framed ``/cluster/*`` protocol.
 
     Deliberately *not* the JSON :class:`~repro.service.client.
     SyncServiceClient` transport: that client must never re-dispatch a
@@ -71,9 +69,9 @@ class ClusterClient:
             self._connection = None
 
     def call(self, path: str, payload: Dict, method: str = "POST") -> Dict:
-        """One pickled round trip; retries once on a stale keep-alive."""
+        """One framed round trip; retries once on a stale keep-alive."""
         body = encode_message(payload)
-        headers = {"Content-Type": PICKLE_CONTENT_TYPE,
+        headers = {"Content-Type": FRAME_CONTENT_TYPE,
                    "Connection": "keep-alive"}
         for attempt in (0, 1):
             fresh = self._connection is None

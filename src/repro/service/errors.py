@@ -17,6 +17,7 @@ from typing import Any, Dict
 
 from repro.core.dse import AmbiguousAxisError
 from repro.errors import InfeasibleQueryError, ReproError
+from repro.transport import FrameError
 
 
 class ServiceError(ReproError):
@@ -68,6 +69,10 @@ def as_service_error(exc: BaseException) -> ServiceError:
             scheme=exc.scheme,
             best_fps=exc.best_fps,
         )
+    if isinstance(exc, FrameError):
+        # a malformed/corrupt binary frame body (checked before FrameError's
+        # ValueError base so the code names the transport, not the request)
+        return ServiceError(400, "bad-frame", str(exc))
     if isinstance(exc, KeyError):
         # KeyError str() repr-quotes its single argument; unwrap it
         message = str(exc.args[0]) if exc.args else str(exc)

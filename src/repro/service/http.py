@@ -26,10 +26,25 @@ endpoint              body / result
                       emulation record
 ====================  =====================================================
 
+Two endpoints stream instead of answering once:
+
+- ``POST /result?wait=SECONDS`` long-polls: the full payload when the
+  sweep finishes within the window, else HTTP **202** with
+  ``{"ok": true, "pending": true, "progress": {...}}`` — the sweep
+  keeps evaluating, so polling again eventually returns 200.
+- ``POST /sweep/stream`` (same body as ``/pareto``) answers with a
+  chunked ``application/x-ndjson`` response: one JSON event per line —
+  ``progress`` counters, exact partial ``front`` refinements, and a
+  final ``front`` + ``complete`` (or an in-band ``error`` event).  A
+  client that disconnects mid-stream only unsubscribes; the sweep keeps
+  running for every other subscriber and still lands in the cache.
+
 Failures are structured: a scalar query against a swept axis without a
 selector returns HTTP 400 with ``error.code == "ambiguous-axis"`` and
 ``error.axis`` naming the offending axis (see
-:mod:`repro.service.errors`).
+:mod:`repro.service.errors`).  Request bodies over the server's
+``max_body_bytes`` (default 64 MiB, configurable per server) are
+rejected with a structured 413 *before* the body is read.
 
 Connections are keep-alive by default, so a pooling client reuses one
 socket across requests; ``/stats`` counts ``http.connections`` /
@@ -46,6 +61,7 @@ import asyncio
 import dataclasses
 import json
 import signal
+import urllib.parse
 from typing import Dict, Optional, Set, Tuple
 
 from repro.core.dse import (
@@ -56,12 +72,16 @@ from repro.core.dse import (
 from repro.service.errors import ServiceError, as_service_error
 from repro.service.sweep_service import SweepService
 
-#: request bodies larger than this are rejected (a grid spec is tiny)
-MAX_BODY_BYTES = 16 * 1024 * 1024
+#: default request-body cap; grid specs are tiny, but cluster workers
+#: POST dense block arrays on the same port, so the ceiling is generous.
+#: Configurable per server (``start_http_server(max_body_bytes=...)`` /
+#: ``repro serve --max-body-mb``).
+MAX_BODY_BYTES = 64 * 1024 * 1024
 MAX_HEADERS = 100
 
 _STATUS_TEXT = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -155,8 +175,16 @@ _POST_ROUTES = {
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-    """Parse one HTTP/1.1 request; None on a closed connection."""
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes, Dict[str, str]]]:
+    """Parse one HTTP/1.1 request; None on a closed connection.
+
+    The body cap is enforced on the declared Content-Length *before* a
+    single body byte is read, so an oversized upload costs the server
+    one header parse, not ``max_body_bytes`` of buffering; the 413
+    carries the limit and the declared length so the client can react
+    programmatically.
+    """
     request_line = await reader.readline()
     if not request_line.strip():
         return None
@@ -179,11 +207,24 @@ async def _read_request(
         raise ServiceError(400, "bad-request", "bad Content-Length")
     if length < 0:
         raise ServiceError(400, "bad-request", "bad Content-Length")
-    if length > MAX_BODY_BYTES:
-        raise ServiceError(413, "payload-too-large", "request body too large")
+    if length > max_body_bytes:
+        raise ServiceError(
+            413, "payload-too-large",
+            f"request body of {length} bytes exceeds this server's limit "
+            f"of {max_body_bytes} bytes",
+            limit_bytes=max_body_bytes, content_length=length,
+        )
     body = await reader.readexactly(length) if length else b""
-    path = target.split("?", 1)[0]
-    return method, path, headers, body
+    path, _, query_string = target.partition("?")
+    query: Dict[str, str] = {}
+    if query_string:
+        for pair in query_string.split("&"):
+            name, _, value = pair.partition("=")
+            if name:
+                query[urllib.parse.unquote_plus(name)] = (
+                    urllib.parse.unquote_plus(value)
+                )
+    return method, path, headers, body, query
 
 
 def _encode_raw_response(
@@ -207,17 +248,8 @@ def _encode_response(status: int, body: Dict, keep_alive: bool) -> bytes:
     return _encode_raw_response(status, "application/json", data, keep_alive)
 
 
-async def _dispatch(service: SweepService, method: str, path: str, body: bytes):
-    """Route one request; returns (status, json body)."""
-    if method == "GET" and path == "/healthz":
-        return 200, {"ok": True, "status": "healthy"}
-    if method == "GET" and path == "/stats":
-        return 200, {"ok": True, "result": service.stats()}
-    handler = _POST_ROUTES.get(path)
-    if handler is None and path not in ("/healthz", "/stats"):
-        raise ServiceError(404, "unknown-endpoint", f"no endpoint {path!r}")
-    if handler is None or method != "POST":
-        raise ServiceError(405, "method-not-allowed", f"{method} {path} not allowed")
+def _parse_payload(body: bytes) -> Dict:
+    """Decode + schema-check one JSON request body (shared by routes)."""
     if body:
         try:
             payload = json.loads(body)
@@ -236,8 +268,169 @@ async def _dispatch(service: SweepService, method: str, path: str, body: bytes):
             400, "unsupported-schema", str(exc),
             supported=list(SUPPORTED_SCHEMA_VERSIONS),
         )
+    return payload
+
+
+async def _handle_result_wait(
+    service: SweepService, payload: Dict, wait: str
+):
+    """The ``/result?wait=SECONDS`` long-poll.
+
+    Awaits the (cached, coalesced) sweep up to the window; on timeout
+    the evaluation keeps running — the waiter is shielded off a task —
+    and the reply is a 202 carrying the live progress counters, so a
+    client can poll ``/result?wait=`` in a loop and watch ``points_done``
+    climb until the 200 with the full payload.
+    """
+    try:
+        wait_s = float(wait)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            400, "bad-request", f"wait={wait!r} is not a number of seconds"
+        )
+    if wait_s < 0:
+        raise ServiceError(400, "bad-request", "wait must be non-negative")
+    task = asyncio.ensure_future(service.sweep(payload.get("grid")))
+    # a failure after the window closed was still handled by design
+    # (the next poll re-raises it); silence the never-retrieved warning
+    task.add_done_callback(
+        lambda t: t.exception() if not t.cancelled() else None
+    )
+    try:
+        result = await asyncio.wait_for(asyncio.shield(task), wait_s)
+    except asyncio.TimeoutError:
+        return 202, {
+            "ok": True,
+            "pending": True,
+            "progress": service.progress_snapshot(payload.get("grid")),
+        }
+    return 200, {"ok": True, "result": result.to_payload()}
+
+
+async def _dispatch(
+    service: SweepService,
+    method: str,
+    path: str,
+    body: bytes,
+    query: Optional[Dict[str, str]] = None,
+):
+    """Route one request; returns (status, json body)."""
+    query = query or {}
+    if method == "GET" and path == "/healthz":
+        return 200, {"ok": True, "status": "healthy"}
+    if method == "GET" and path == "/stats":
+        return 200, {"ok": True, "result": service.stats()}
+    handler = _POST_ROUTES.get(path)
+    if handler is None and path not in ("/healthz", "/stats"):
+        raise ServiceError(404, "unknown-endpoint", f"no endpoint {path!r}")
+    if handler is None or method != "POST":
+        raise ServiceError(405, "method-not-allowed", f"{method} {path} not allowed")
+    payload = _parse_payload(body)
+    if path == "/result" and query.get("wait") is not None:
+        return await _handle_result_wait(service, payload, query["wait"])
     result = await handler(service, payload)
     return 200, {"ok": True, "result": result}
+
+
+async def _serve_stream(
+    service: SweepService,
+    method: str,
+    body: bytes,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one ``POST /sweep/stream`` request as chunked ndjson.
+
+    Failures *before* the first event (bad JSON, unknown selector, bad
+    schema) ship as one ordinary structured JSON response — the client
+    sees the same 400/404 it would get from ``/pareto``.  Once the
+    chunked response starts, evaluation failures arrive as an in-band
+    ``{"event": "error"}`` line.  A peer that disconnects mid-stream
+    just ends this generator (``finally`` unsubscribes it from the
+    sweep's progress hub); the evaluation itself is owned by the
+    service's single-flight task and keeps running for every other
+    subscriber.  The response is ``Connection: close``: a stream is the
+    last exchange on its connection.
+    """
+    stream = None
+    try:
+        if method != "POST":
+            raise ServiceError(
+                405, "method-not-allowed", f"{method} /sweep/stream not allowed"
+            )
+        payload = _parse_payload(body)
+        stream = service.sweep_stream(
+            payload.get("grid"),
+            scheme=payload.get("scheme"),
+            n_pixels=payload.get("n_pixels"),
+            app=payload.get("app"),
+        )
+        # the generator body runs on the first pull: selector validation
+        # errors surface here, while a plain pre-stream response is
+        # still possible
+        first = await stream.__anext__()
+    except StopAsyncIteration:  # pragma: no cover - streams always emit
+        first = None
+    except Exception as exc:
+        if stream is not None:
+            await stream.aclose()
+        error = as_service_error(exc)
+        writer.write(_encode_response(error.status, error.to_payload(), False))
+        await writer.drain()
+        return
+    eof_watch = None
+    try:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+
+        async def send_event(event: Dict) -> None:
+            data = json.dumps(event).encode("utf-8") + b"\n"
+            writer.write(b"%x\r\n%s\r\n" % (len(data), data))
+            await writer.drain()
+
+        # disconnect watcher: /sweep/stream is the connection's last
+        # exchange, so the client sends nothing more — any read
+        # completing (EOF or stray bytes) means it is gone.  Racing it
+        # against the event pull releases the subscription immediately
+        # even while the sweep is between blocks, instead of waiting
+        # for the next write to fail.
+        eof_watch = asyncio.ensure_future(reader.read(1))
+        event = first
+        while event is not None:
+            await send_event(event)
+            next_pull = asyncio.ensure_future(stream.__anext__())
+            done, _ = await asyncio.wait(
+                {next_pull, eof_watch},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if next_pull not in done:
+                next_pull.cancel()
+                try:
+                    await next_pull
+                except (asyncio.CancelledError, StopAsyncIteration):
+                    pass
+                return  # client went away; the sweep keeps running
+            try:
+                event = next_pull.result()
+            except StopAsyncIteration:
+                event = None
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+    except (ConnectionError, RuntimeError, OSError):
+        pass  # client went away mid-stream; the sweep keeps running
+    finally:
+        if eof_watch is not None and not eof_watch.done():
+            eof_watch.cancel()
+            try:
+                await eof_watch
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+        if stream is not None:
+            await stream.aclose()
 
 
 async def _handle_connection(
@@ -247,6 +440,7 @@ async def _handle_connection(
     connections: Optional[Set[asyncio.StreamWriter]] = None,
     cluster=None,
     tasks: Optional[Set] = None,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> None:
     """Serve one client connection; loops over keep-alive requests.
 
@@ -276,7 +470,7 @@ async def _handle_connection(
     try:
         while True:
             try:
-                request = await _read_request(reader)
+                request = await _read_request(reader, max_body_bytes)
             except (asyncio.IncompleteReadError, ConnectionError):
                 break
             except ValueError:  # e.g. a request line over the stream limit
@@ -291,15 +485,21 @@ async def _handle_connection(
                 break
             if request is None:
                 break
-            method, path, headers, body = request
+            method, path, headers, body, query = request
             service.http["requests"] += 1
             if n_requests:
                 service.http["reused"] += 1
             n_requests += 1
             keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            if path == "/sweep/stream":
+                # chunked ndjson: its own writer path, and always the
+                # connection's last exchange (Connection: close)
+                await _serve_stream(service, method, body, reader, writer)
+                break
             if path.startswith("/cluster/"):
-                # the shard-cluster worker protocol: pickled bodies,
-                # routed to the mounted coordinator (404 when none)
+                # the shard-cluster worker protocol: binary frame bodies
+                # (:mod:`repro.transport`), routed to the mounted
+                # coordinator (404 when none)
                 if cluster is None:
                     error = ServiceError(
                         404, "no-cluster",
@@ -317,7 +517,9 @@ async def _handle_connection(
                     break
                 continue
             try:
-                status, response = await _dispatch(service, method, path, body)
+                status, response = await _dispatch(
+                    service, method, path, body, query
+                )
             except Exception as exc:  # every failure ships as structured JSON
                 error = as_service_error(exc)
                 status, response = error.status, error.to_payload()
@@ -340,10 +542,17 @@ async def _handle_connection(
 class SweepHTTPServer:
     """Handle for a running server: its port and a clean ``close()``."""
 
-    def __init__(self, service: SweepService, cluster=None):
+    def __init__(
+        self,
+        service: SweepService,
+        cluster=None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
         self.service = service
         #: optional mounted shard coordinator serving ``/cluster/*``
         self.cluster = cluster
+        #: request bodies above this are rejected with a structured 413
+        self.max_body_bytes = int(max_body_bytes)
         self._server: Optional[asyncio.AbstractServer] = None
         # open keep-alive connections; force-closed on shutdown so a
         # pooling client cannot hold the server's close() hostage
@@ -374,6 +583,7 @@ async def start_http_server(
     host: str = "127.0.0.1",
     port: int = 8787,
     cluster=None,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> SweepHTTPServer:
     """Bind and start serving; ``port=0`` picks an ephemeral port.
 
@@ -381,15 +591,20 @@ async def start_http_server(
     ``cluster`` to mount the worker protocol on the same port: workers
     talk to ``/cluster/*`` while clients use the JSON endpoints, so one
     address serves both halves of a distributed deployment.
+    ``max_body_bytes`` caps every request body (structured 413 above
+    it); the default fits the largest block completion a cluster worker
+    legitimately posts.
     """
-    handle = SweepHTTPServer(service, cluster=cluster)
+    handle = SweepHTTPServer(
+        service, cluster=cluster, max_body_bytes=max_body_bytes
+    )
     if cluster is not None:
         await cluster.start()
         service.stats_extra["cluster"] = cluster.stats
     handle._server = await asyncio.start_server(
         lambda reader, writer: _handle_connection(
             service, reader, writer, handle._connections, cluster,
-            handle._tasks,
+            handle._tasks, handle.max_body_bytes,
         ),
         host,
         port,
@@ -403,6 +618,7 @@ def run_server(
     port: int = 8787,
     cluster=None,
     spawn_workers: int = 0,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> int:
     """Blocking entry point for ``python -m repro serve``.
 
@@ -418,7 +634,10 @@ def run_server(
     """
 
     async def _serve() -> None:
-        server = await start_http_server(service, host, port, cluster=cluster)
+        server = await start_http_server(
+            service, host, port, cluster=cluster,
+            max_body_bytes=max_body_bytes,
+        )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):

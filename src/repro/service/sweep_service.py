@@ -42,10 +42,12 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import hashlib
+import inspect
 import threading
-from typing import Dict, Hashable, List, Optional, Set, Union
+from typing import AsyncIterator, Dict, Hashable, List, Optional, Set, Union
 
-from repro.core.cache import ModelCache
+from repro.core.cache import ModelCache, calibration_fingerprint
 from repro.core.dse import (
     _ENGINES,
     PAYLOAD_SCHEMA_VERSION,
@@ -54,10 +56,16 @@ from repro.core.dse import (
     EmulationResult,
     SweepGrid,
     SweepResult,
+    _resolve_engine,
+    _TIMING_FIELDS,
+    assemble_shard_blocks,
+    finalize_sweep_result,
+    shard_plan,
     sweep_fingerprint,
     sweep_grid,
 )
 from repro.core.config import NGPCConfig
+from repro.core.emulator import emulate_batch
 from repro.errors import InfeasibleQueryError
 from repro.explore import (
     AdaptiveExplorer,
@@ -65,7 +73,8 @@ from repro.explore import (
     LocalBlockRunner,
     StoreBlockRunner,
 )
-from repro.service.errors import ServiceError
+from repro.service.errors import ServiceError, as_service_error
+from repro.service.progress import SweepProgress
 from repro.store import (
     ResultStore,
     evaluate_with_block_cache,
@@ -73,6 +82,15 @@ from repro.store import (
 )
 
 GridLike = Union[SweepGrid, Dict, None]
+
+#: finished SweepProgress entries retained for late /stats // long-poll reads
+_PROGRESS_RETAIN = 8
+
+#: blockwise streaming targets: up to this many windows per (app, scheme)
+#: pair, but never blocks smaller than this many points (tiny grids would
+#: otherwise drown in per-block dispatch overhead)
+_STREAM_WINDOWS = 32
+_STREAM_MIN_BLOCK = 256
 
 
 class _Inflight:
@@ -198,6 +216,12 @@ class SweepService:
             "sweep_service", maxsize=max_cached_sweeps, lru=True, register=False
         )
         self._inflight: Dict[Hashable, _Inflight] = {}
+        # streaming progress per grid fingerprint: one live entry per
+        # in-flight sweep plus a short tail of finished ones (late
+        # long-poll 202 bodies and /stats still see them); the lock
+        # guards the dict, each entry synchronizes itself
+        self._progress: Dict[Hashable, SweepProgress] = {}
+        self._progress_lock = threading.Lock()
         # adaptive explorers per grid fingerprint (same key space as the
         # result LRU); the lock guards creation from executor threads
         self._explorers: Dict[Hashable, AdaptiveExplorer] = {}
@@ -231,13 +255,32 @@ class SweepService:
         if cached is not None:
             self.tier["ram_hits"] += 1
             return cached
+        return await self._await_inflight(self._start_evaluation(key, resolved))
+
+    def _start_evaluation(self, key: Hashable, grid: SweepGrid) -> _Inflight:
+        """Launch one evaluation task with its streaming progress entry.
+
+        Must run on the service loop with no in-flight entry under
+        ``key``.  The :class:`SweepProgress` is registered *before* the
+        task starts, so a streamer subscribing right after coalescing
+        onto the returned in-flight future can never miss the entry.
+        """
         loop = asyncio.get_running_loop()
         inflight = _Inflight(loop.create_future())
         self._inflight[key] = inflight
-        task = loop.create_task(self._evaluate(key, resolved, inflight))
+        progress = SweepProgress(grid, self.ngpc, loop=loop)
+        with self._progress_lock:
+            self._progress[key] = progress
+            finished = [
+                k for k, p in self._progress.items()
+                if p.state() != (None, None)
+            ]
+            for stale in finished[: max(0, len(finished) - _PROGRESS_RETAIN)]:
+                del self._progress[stale]
+        task = loop.create_task(self._evaluate(key, grid, inflight, progress))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
-        return await self._await_inflight(inflight)
+        return inflight
 
     async def _await_inflight(self, inflight: _Inflight) -> SweepResult:
         inflight.waiters += 1
@@ -250,15 +293,21 @@ class SweepService:
             inflight.mark_retrieved_if_abandoned()
 
     async def _evaluate(
-        self, key: Hashable, grid: SweepGrid, inflight: _Inflight
+        self,
+        key: Hashable,
+        grid: SweepGrid,
+        inflight: _Inflight,
+        progress: SweepProgress,
     ) -> None:
         loop = asyncio.get_running_loop()
         future = inflight.future
         try:
             result = await loop.run_in_executor(
-                None, functools.partial(self._evaluate_sync, key, grid)
+                None,
+                functools.partial(self._evaluate_sync, key, grid, progress),
             )
         except Exception as exc:  # served to every coalesced awaiter
+            progress.fail(exc)
             if not future.cancelled():
                 future.set_exception(exc)
                 # every awaiter may already have been cancelled — then the
@@ -266,13 +315,16 @@ class SweepService:
                 # from warning "exception was never retrieved" at GC time
                 inflight.mark_retrieved_if_abandoned()
         else:
+            progress.finish(result)
             self._cache.put(key, result)
             if not future.cancelled():
                 future.set_result(result)
         finally:
             self._inflight.pop(key, None)
 
-    def _evaluate_sync(self, key: Hashable, grid: SweepGrid) -> SweepResult:
+    def _evaluate_sync(
+        self, key: Hashable, grid: SweepGrid, progress: SweepProgress
+    ) -> SweepResult:
         """The executor-side tiered evaluation: disk, then compute.
 
         Runs in a worker thread.  With a store attached, a persisted
@@ -281,6 +333,14 @@ class SweepService:
         service runs the built-in :func:`~repro.core.dse.sweep_grid`,
         through the injected ``sweep_fn`` otherwise (its result is then
         persisted whole, so even cluster-evaluated sweeps restart warm).
+
+        Every compute path feeds ``progress`` per completed block
+        (``progress.record`` is thread-safe): the store tier through
+        :func:`evaluate_with_block_cache`'s hooks, the built-in local
+        path through :meth:`_sweep_blockwise`, and an injected
+        ``sweep_fn`` whenever it accepts an ``on_block`` keyword (the
+        shard coordinator's does); a sweep_fn without the keyword still
+        works — its sweep just reports no partial progress.
         """
         if self.store is not None:
             persisted = self.store.load_sweep(key)
@@ -289,19 +349,261 @@ class SweepService:
                 return persisted
         self.evaluations += 1
         self.tier["evaluations"] += 1
-        if self.store is not None and self._sweep_fn is sweep_grid:
-            return evaluate_with_block_cache(
-                self.store, grid, ngpc=self.ngpc, counters=self.tier
-            )
+        if self._sweep_fn is sweep_grid:
+            if self.store is not None:
+                return evaluate_with_block_cache(
+                    self.store, grid, ngpc=self.ngpc, counters=self.tier,
+                    on_block=progress.record, on_plan=progress.set_plan,
+                )
+            return self._sweep_blockwise(grid, progress)
+        kwargs = {}
+        if "on_block" in inspect.signature(self._sweep_fn).parameters:
+            kwargs["on_block"] = progress.record
         result = self._sweep_fn(
             grid,
             engine=self.engine,
             ngpc=self.ngpc,
             max_workers=self.max_workers,
+            **kwargs,
         )
         if self.store is not None:
             self.store.save_sweep(key, result)
         return result
+
+    def _sweep_blockwise(
+        self, grid: SweepGrid, progress: SweepProgress
+    ) -> SweepResult:
+        """Built-in local evaluation with per-block streaming progress.
+
+        Evaluates the same value-keyed blocks the ``"process"`` engine
+        shards (:func:`~repro.core.dse.shard_plan`), ordered
+        window-major — each configuration window across every
+        (app, scheme) pair before the next window — so the first fully
+        covered windows, and hence the first exact partial Pareto
+        points, land after ``apps x schemes`` blocks rather than at the
+        very end.  Assembly and finalization are exactly
+        ``sweep_grid``'s, so the dense result is bit-identical to the
+        unstreamed path; the ``"scalar"`` reference engine (a debugging
+        tool, not a serving engine) falls through to plain
+        ``sweep_grid`` and simply reports no partial progress.
+        """
+        engine = _resolve_engine(self.engine, grid)
+        if engine == "scalar" or grid.size == 0:
+            return sweep_grid(
+                grid, engine=self.engine, ngpc=self.ngpc,
+                max_workers=self.max_workers,
+            )
+        n_pairs = max(1, len(grid.apps) * len(grid.schemes))
+        windows = max(
+            1,
+            min(_STREAM_WINDOWS, grid.size // (_STREAM_MIN_BLOCK * n_pairs)),
+        )
+        plan = sorted(
+            shard_plan(grid, windows * n_pairs),
+            key=lambda entry: (entry[0][2], entry[0][0], entry[0][1]),
+        )
+        progress.set_plan(len(plan))
+        if engine == "process":
+            placed = self._blocks_process(grid, plan, progress)
+        else:
+            placed = []
+            for placement, task in plan:
+                app, scheme, scales, pixels, clocks, srams, engines, batches \
+                    = task
+                block = emulate_batch(
+                    app, scheme, scales, pixels, self.ngpc,
+                    clocks_ghz=clocks, grid_sram_kb=srams,
+                    n_engines=engines, n_batches=batches,
+                )
+                block = {
+                    name: block[name]
+                    for name in _TIMING_FIELDS + ("amdahl_bound",)
+                }
+                progress.record(placement, block)
+                placed.append((placement, block))
+        return finalize_sweep_result(
+            grid, engine, self.ngpc, assemble_shard_blocks(grid, placed)
+        )
+
+    def _blocks_process(
+        self, grid: SweepGrid, plan, progress: SweepProgress
+    ):
+        """The pool variant of the blockwise path (``"process"`` engine).
+
+        Mirrors :func:`~repro.core.dse._arrays_process` — same
+        initializer, same degradation to in-process evaluation when the
+        platform has no usable fork/spawn — but collects blocks
+        ``as_completed`` so progress streams while the pool runs.
+        """
+        import concurrent.futures
+        import os
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core.dse import _evaluate_block, _init_sweep_worker
+
+        calibration = calibration_fingerprint()
+        placed = []
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers or os.cpu_count() or 1,
+                initializer=_init_sweep_worker,
+                initargs=(calibration, self.ngpc, grid.schemes),
+            ) as pool:
+                futures = {
+                    pool.submit(_evaluate_block, task): placement
+                    for placement, task in plan
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    block = future.result()
+                    placement = futures[future]
+                    progress.record(placement, block)
+                    placed.append((placement, block))
+        except (OSError, BrokenProcessPool):  # no usable fork/spawn: degrade
+            _init_sweep_worker(calibration, self.ngpc, ())
+            placed = []
+            for placement, task in plan:
+                block = _evaluate_block(task)
+                progress.record(placement, block)
+                placed.append((placement, block))
+        return placed
+
+    # -- streaming -----------------------------------------------------------
+    async def sweep_stream(
+        self,
+        grid: GridLike = None,
+        scheme: Optional[str] = None,
+        n_pixels: Optional[int] = None,
+        app: Optional[str] = None,
+    ) -> AsyncIterator[Dict]:
+        """Evaluate ``grid`` and stream progress + refining Pareto fronts.
+
+        An async generator of JSON-safe event dicts (the bodies of the
+        ``/sweep/stream`` ndjson chunks):
+
+        - ``{"event": "progress", ...}`` — counter snapshot (points /
+          blocks done and total, elapsed seconds),
+        - ``{"event": "front", "final": false, "points": [...]}`` — an
+          *exact* partial Pareto front over the evaluated subset,
+          emitted whenever it changed since the last one,
+        - ``{"event": "front", "final": true, ...}`` then
+          ``{"event": "complete", ...}`` — the dense result's front
+          (bit-identical to ``/pareto`` on the same selectors),
+        - ``{"event": "error", "error": {...}}`` — the structured error
+          a plain request would have gotten as its JSON body.
+
+        Selectors follow the usual ambiguity rule and are validated
+        *before* any evaluation starts.  Streams attach to the same
+        single-flight machinery as :meth:`sweep`: a stream over an
+        already in-flight sweep coalesces onto it, and abandoning the
+        generator (client disconnect) only unsubscribes — the
+        evaluation keeps running for every other subscriber and still
+        lands in the cache.
+        """
+        resolved = _as_grid(grid).resolve(self.ngpc).normalized()
+        scheme = _pick("scheme", resolved.schemes, scheme)
+        n_pixels = _pick("n_pixels", resolved.pixel_counts, n_pixels)
+        if app is not None and app not in resolved.apps:
+            raise ServiceError(
+                404, "not-on-grid", f"app={app!r} not on the grid",
+                axis="app", values=list(resolved.apps),
+            )
+        key = sweep_fingerprint(resolved, self.ngpc)
+        loop = asyncio.get_running_loop()
+        if key not in self._inflight:
+            cached = self._cache.get(key)
+            if cached is not None:  # finished sweep: emit the terminal events
+                self.tier["ram_hits"] += 1
+                points = await loop.run_in_executor(
+                    None,
+                    functools.partial(
+                        cached.pareto_front, scheme,
+                        n_pixels=n_pixels, app=app,
+                    ),
+                )
+                yield {
+                    "event": "progress",
+                    "points_done": resolved.size,
+                    "points_total": resolved.size,
+                    "blocks_done": None, "blocks_total": None,
+                    "done": True, "failed": False,
+                    "subscribers": 0, "elapsed_s": 0.0,
+                }
+                yield {
+                    "event": "front", "final": True,
+                    "points": [p.to_dict() for p in points],
+                }
+                yield {"event": "complete", "engine": cached.engine,
+                       "cached": True}
+                return
+            self._start_evaluation(key, resolved)
+        else:
+            self.coalesced += 1
+        with self._progress_lock:
+            progress = self._progress.get(key)
+        if progress is None:  # pragma: no cover - start registers first
+            result = await self.sweep(resolved)
+            progress = SweepProgress(resolved, self.ngpc, loop=loop)
+            progress.finish(result)
+        queue = progress.subscribe()
+        try:
+            last_front = None
+            while True:
+                result, error = progress.state()
+                if error is not None:
+                    payload = as_service_error(error).to_payload()
+                    yield {"event": "error", "error": payload["error"]}
+                    return
+                snapshot = progress.snapshot()
+                yield {"event": "progress", **snapshot}
+                if result is not None:
+                    points = await loop.run_in_executor(
+                        None,
+                        functools.partial(
+                            result.pareto_front, scheme,
+                            n_pixels=n_pixels, app=app,
+                        ),
+                    )
+                    yield {
+                        "event": "front", "final": True,
+                        "points": [p.to_dict() for p in points],
+                    }
+                    yield {
+                        "event": "complete", "engine": result.engine,
+                        "cached": False, "elapsed_s": snapshot["elapsed_s"],
+                    }
+                    return
+                if snapshot["points_done"]:
+                    points = await loop.run_in_executor(
+                        None,
+                        functools.partial(
+                            progress.partial.pareto_front, scheme,
+                            n_pixels=n_pixels, app=app,
+                        ),
+                    )
+                    front = [p.to_dict() for p in points]
+                    if front and front != last_front:
+                        last_front = front
+                        yield {"event": "front", "final": False,
+                               "points": front}
+                # block for the next tick, then drain the burst — a slow
+                # consumer coalesces ticks instead of falling behind
+                await queue.get()
+                while not queue.empty():
+                    queue.get_nowait()
+        finally:
+            progress.unsubscribe(queue)
+
+    def progress_snapshot(self, grid: GridLike = None) -> Optional[Dict]:
+        """Counters for ``grid``'s sweep, or None if never started.
+
+        The body of a ``/result?wait=`` 202 and the per-sweep section
+        of ``/stats``; purely observational (never starts a sweep).
+        """
+        resolved = _as_grid(grid).resolve(self.ngpc).normalized()
+        key = sweep_fingerprint(resolved, self.ngpc)
+        with self._progress_lock:
+            progress = self._progress.get(key)
+        return None if progress is None else progress.snapshot()
 
     # -- adaptive exploration ------------------------------------------------
     def _explorer_for(self, grid: GridLike) -> AdaptiveExplorer:
@@ -464,6 +766,7 @@ class SweepService:
             },
             "http": dict(self.http),
             "explore": self._explore_stats(),
+            "progress": self._progress_stats(),
         }
         if self.store is not None:
             stats["store"] = {
@@ -475,6 +778,20 @@ class SweepService:
         for name, provider in self.stats_extra.items():
             stats[name] = provider() if callable(provider) else provider
         return stats
+
+    def _progress_stats(self) -> Dict[str, Dict]:
+        """Per-sweep progress counters, keyed by a short fingerprint digest.
+
+        The digest is stable for the lifetime of the process (it hashes
+        the sweep fingerprint), so a dashboard polling ``/stats`` can
+        follow one sweep's ``points_done`` across requests.
+        """
+        with self._progress_lock:
+            entries = list(self._progress.items())
+        return {
+            hashlib.sha256(repr(key).encode()).hexdigest()[:12]: p.snapshot()
+            for key, p in entries
+        }
 
     def _explore_stats(self) -> Dict:
         """The ``explore`` section of :meth:`stats`.

@@ -75,6 +75,8 @@ def evaluate_with_block_cache(
     grid: SweepGrid,
     ngpc: Optional[NGPCConfig] = None,
     counters: Optional[Dict[str, int]] = None,
+    on_block=None,
+    on_plan=None,
 ) -> SweepResult:
     """Evaluate ``grid`` reusing persisted blocks; persist the delta.
 
@@ -84,8 +86,24 @@ def evaluate_with_block_cache(
     persisted before assembly, so a crash mid-sweep still banks the
     blocks already evaluated.  The assembled sweep is persisted whole
     under its sweep fingerprint.
+
+    ``on_plan(n_blocks)`` / ``on_block(placement, block)`` are optional
+    streaming hooks: the plan size is announced up front, then every
+    block — cached or freshly evaluated — is reported as it lands, which
+    is what feeds a service's partial-front stream.  With ``on_block``
+    set, blocks are processed window-major (each configuration window
+    across all (app, scheme) pairs before the next window), so the first
+    fully covered windows — and hence the first exact partial Pareto
+    points — arrive as early as possible; the value-keyed store makes
+    the order otherwise irrelevant.
     """
     plan = store_block_plan(grid)
+    if on_block is not None:
+        plan = sorted(
+            plan, key=lambda entry: (entry[0][2], entry[0][0], entry[0][1])
+        )
+    if on_plan is not None:
+        on_plan(len(plan))
     _bump(counters, "blocks_total", len(plan))
     placed = []
     for placement, task in plan:
@@ -93,19 +111,20 @@ def evaluate_with_block_cache(
         block = store.load_block(key, shard_task_shape(placement))
         if block is not None:
             _bump(counters, "blocks_cached")
-            placed.append((placement, block))
-            continue
-        app, scheme, scales, pixels, clocks, srams, engines, batches = task
-        evaluated = emulate_batch(
-            app, scheme, scales, pixels, ngpc,
-            clocks_ghz=clocks, grid_sram_kb=srams,
-            n_engines=engines, n_batches=batches,
-        )
-        block = {name: evaluated[name] for name in _TIMING_FIELDS}
-        block["amdahl_bound"] = evaluated["amdahl_bound"]
-        store.save_block(key, block)
-        _bump(counters, "blocks_evaluated")
+        else:
+            app, scheme, scales, pixels, clocks, srams, engines, batches = task
+            evaluated = emulate_batch(
+                app, scheme, scales, pixels, ngpc,
+                clocks_ghz=clocks, grid_sram_kb=srams,
+                n_engines=engines, n_batches=batches,
+            )
+            block = {name: evaluated[name] for name in _TIMING_FIELDS}
+            block["amdahl_bound"] = evaluated["amdahl_bound"]
+            store.save_block(key, block)
+            _bump(counters, "blocks_evaluated")
         placed.append((placement, block))
+        if on_block is not None:
+            on_block(placement, block)
     result = finalize_sweep_result(
         grid, STORE_ENGINE, ngpc, assemble_shard_blocks(grid, placed)
     )

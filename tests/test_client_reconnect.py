@@ -24,6 +24,7 @@ client instead of silently decoding an empty body as ``{}``.
 """
 
 import asyncio
+import http.client
 import json
 import socket
 import threading
@@ -31,7 +32,11 @@ import threading
 import pytest
 
 from repro.errors import BackendUnavailableError
-from repro.service.client import ServiceClient, SyncServiceClient
+from repro.service.client import (
+    ServiceClient,
+    SyncServiceClient,
+    request_json,
+)
 from repro.service.errors import ServiceError
 
 OK_BODY = json.dumps({"ok": True, "schema_version": 1,
@@ -315,3 +320,69 @@ class TestMalformedResponses:
 
         error = asyncio.run(run())
         assert error.code == "internal"  # empty error payload, not framing
+
+
+# ---------------------------------------------------------------------------
+# the one-shot request_json helper (the socket-leak regression)
+# ---------------------------------------------------------------------------
+
+
+class _RecordingConnection(http.client.HTTPConnection):
+    """HTTPConnection that counts ``close()`` calls per instance."""
+
+    instances = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.close_calls = 0
+        _RecordingConnection.instances.append(self)
+
+    def close(self):
+        self.close_calls += 1
+        super().close()
+
+
+@pytest.fixture
+def recorded_connections(monkeypatch):
+    _RecordingConnection.instances = []
+    monkeypatch.setattr(http.client, "HTTPConnection", _RecordingConnection)
+    return _RecordingConnection.instances
+
+
+class TestRequestJsonClosesOnEveryExit:
+    """``request_json`` promises the connection is closed on *every*
+    exit path — success, connect refusal, and a server that drops the
+    socket before one response byte — so scripts hammering the helper
+    in a loop can never leak sockets (the contract its docstring pins).
+    """
+
+    def test_success_path_closes(self, scripted, recorded_connections):
+        server = scripted("ok")
+        status, body = request_json(
+            "127.0.0.1", server.port, "GET", "/stats"
+        )
+        assert status == 200
+        assert body["result"]["pong"]
+        (connection,) = recorded_connections
+        assert connection.close_calls >= 1
+
+    def test_connection_refused_closes(self, recorded_connections):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        vacant_port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(OSError):
+            request_json("127.0.0.1", vacant_port, "GET", "/stats",
+                         timeout=2.0)
+        (connection,) = recorded_connections
+        assert connection.close_calls >= 1
+
+    def test_drop_before_response_closes(self, scripted,
+                                         recorded_connections):
+        server = scripted("drop")  # reads the request, then hangs up
+        with pytest.raises((http.client.HTTPException, OSError)):
+            request_json("127.0.0.1", server.port, "GET", "/stats",
+                         timeout=2.0)
+        assert server.requests_seen == 1  # dispatched, then dropped
+        (connection,) = recorded_connections
+        assert connection.close_calls >= 1

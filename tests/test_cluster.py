@@ -334,6 +334,88 @@ class TestRejectedBlocks:
         )
 
 
+class TestLateCompletions:
+    def test_late_completion_after_release_is_a_counted_noop(self):
+        """A worker whose lease expired and was re-leased elsewhere must
+        not double-count the block, clobber the new holder's lease, or —
+        for a late *error* report — poison the job.  Both late shapes are
+        counted no-ops (``late_completions``); the current holder wins."""
+        from repro.core.dse import evaluate_shard_task, install_worker_state
+        from repro.core.cache import calibration_fingerprint
+        from repro.service.cluster import ShardCoordinator
+
+        grid = SweepGrid(apps=("nerf",), scale_factors=(8,))
+
+        async def run():
+            coordinator = ShardCoordinator(
+                lease_timeout_s=0.2, poll_timeout_s=5.0
+            )
+            await coordinator.start()
+            slow = coordinator._register({})["worker_id"]
+            fast = coordinator._register({})["worker_id"]
+            install_worker_state(calibration_fingerprint(), None)
+            job = asyncio.ensure_future(coordinator.submit(grid))
+            await asyncio.sleep(0)
+
+            # the slow worker takes the (single) block, then stalls past
+            # the lease timeout; the reaper re-queues the block
+            stalled = await coordinator._lease({"worker_id": slow})
+            assert "task" in stalled
+            arrays = evaluate_shard_task(stalled["task"])
+            deadline = asyncio.get_running_loop().time() + 5.0
+            release = None
+            while release is None or "task" not in release:
+                assert asyncio.get_running_loop().time() < deadline, \
+                    "reaper never re-queued the expired lease"
+                release = await coordinator._lease({"worker_id": fast})
+            assert release["task_id"] == stalled["task_id"]
+
+            # the slow worker's result arrives late: counted no-op, the
+            # fast worker's fresh lease stays intact
+            reply = await coordinator._complete({
+                "worker_id": slow, "job_id": stalled["job_id"],
+                "task_id": stalled["task_id"], "arrays": arrays,
+            })
+            assert reply == {"ok": True, "accepted": False}
+            assert coordinator.late_completions == 1
+            assert not job.done()
+
+            # a late *error* report is gated identically — it must not
+            # fail the job the new lease holder is still evaluating
+            reply = await coordinator._complete({
+                "worker_id": slow, "job_id": stalled["job_id"],
+                "task_id": stalled["task_id"],
+                "error": "worker preempted mid-block",
+            })
+            assert reply == {"ok": True, "accepted": False}
+            assert coordinator.late_completions == 2
+            assert not job.done()
+
+            # the holder's completion wins and finishes the job
+            reply = await coordinator._complete({
+                "worker_id": fast, "job_id": release["job_id"],
+                "task_id": release["task_id"],
+                "arrays": evaluate_shard_task(release["task"]),
+            })
+            assert reply["accepted"] is True
+            result = await asyncio.wait_for(job, timeout=10.0)
+            stats = coordinator.stats()
+            await coordinator.close()
+            return result, stats
+
+        result, stats = asyncio.run(run())
+        assert result.engine == "cluster"
+        blocks = stats["blocks"]
+        assert blocks["late_completions"] == 2
+        assert blocks["completed"] == 1
+        assert blocks["failed"] == 0
+        assert stats["jobs"]["completed"] == 1
+        local = Session.local(engine="vectorized").sweep(grid).result
+        np.testing.assert_array_equal(
+            result.accelerated_ms, local.accelerated_ms
+        )
+
+
 class TestWorkerReportedFailures:
     def test_worker_reported_failure_fails_the_job_structured(self):
         """A worker that cannot evaluate a block (version skew) reports

@@ -26,7 +26,13 @@
 # `repro dse --explore adaptive` run) and its acceptance gates
 # (bench_adaptive --quick: golden equality, <= 10% of a multi-million
 # point hypercube evaluated, >= 5x cold wall clock, emitting
-# BENCH_adaptive.json).
+# BENCH_adaptive.json).  The streaming result path gets a pickle ban
+# (no `import pickle` / `pickle.` call anywhere under
+# src/repro/service — the versioned binary frame transport replaced
+# it on the wire) and its acceptance gates (bench_stream --quick:
+# first exact partial front in < 10% of the dense wall on a >= 500k
+# point grid, frame/pickle round-trip bit-identity, emitting
+# BENCH_stream.json).
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -165,6 +171,18 @@ echo "repro dse --explore adaptive ok"
 echo
 echo "== adaptive exploration gates (smoke) =="
 python benchmarks/bench_adaptive.py --quick
+
+echo
+echo "== pickle ban (the frame transport owns the wire) =="
+if grep -rnE '^\s*(import pickle|from pickle)|pickle\.' src/repro/service/ --include='*.py'; then
+    echo "FAIL: pickle import/call found under src/repro/service" >&2
+    exit 1
+fi
+echo "no pickle imports or calls under src/repro/service"
+
+echo
+echo "== streaming gates (smoke) =="
+python benchmarks/bench_stream.py --quick
 
 echo
 echo "== sweep service smoke (serve + query + clean shutdown) =="
