@@ -360,10 +360,13 @@ class RemoteBackend(Backend):
         port: int = 8787,
         timeout: float = 120.0,
         client: Optional[SyncServiceClient] = None,
+        api_key: Optional[str] = None,
     ):
         self.host = host
         self.port = port
-        self._client = client or SyncServiceClient(host, port, timeout=timeout)
+        self._client = client or SyncServiceClient(
+            host, port, timeout=timeout, api_key=api_key
+        )
 
     def sweep(self, grid: SweepGrid) -> SweepResult:
         payload = self._client.result_payload(grid.to_dict())
@@ -424,6 +427,23 @@ class RemoteBackend(Backend):
         health = self._client.healthz()
         health["backend"] = self.name
         return health
+
+    def admin(self, op: str) -> Dict:
+        """Operator actions against the live server (``repro admin``).
+
+        ``"drain"`` retires the cluster's current worker generation
+        (admin tenants only); ``"ops"`` fetches the ops section of
+        ``/stats`` — tenants, admission counters, readiness — without
+        needing a metrics stack.  Raises the server's structured
+        :class:`~repro.service.errors.ServiceError` on refusal (401/
+        403/404) and :class:`~repro.errors.BackendUnavailableError`
+        when nothing is listening.
+        """
+        if op == "drain":
+            return self._client.request("POST", "/cluster/drain")["result"]
+        if op == "ops":
+            return self._client.stats().get("ops", {})
+        raise ValueError(f"unknown admin op {op!r} (want 'drain' or 'ops')")
 
     def close(self) -> None:
         self._client.close()

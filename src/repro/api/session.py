@@ -345,9 +345,17 @@ class Session:
         host: str = "127.0.0.1",
         port: int = 8787,
         timeout: float = 120.0,
+        api_key: Optional[str] = None,
     ) -> "Session":
-        """A session over a running sweep service (keep-alive HTTP)."""
-        return cls(RemoteBackend(host=host, port=port, timeout=timeout))
+        """A session over a running sweep service (keep-alive HTTP).
+
+        ``api_key`` authenticates against a multi-tenant server
+        (``repro serve --tenants``): every request carries
+        ``Authorization: Bearer <key>``.
+        """
+        return cls(RemoteBackend(
+            host=host, port=port, timeout=timeout, api_key=api_key,
+        ))
 
     @classmethod
     def distributed(

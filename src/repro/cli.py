@@ -264,8 +264,14 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ShardCoordinator, SweepService, run_server
+    from repro.service import OpsLayer, ShardCoordinator, SweepService, run_server
 
+    ops = OpsLayer(
+        tenants_path=args.tenants,
+        metrics_enabled=args.metrics,
+        max_cold_sweeps=args.max_cold_sweeps,
+        cold_queue_depth=args.cold_queue_depth,
+    )
     if args.engine == "cluster":
         if args.explore == "adaptive":
             raise SystemExit(
@@ -287,6 +293,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             service, args.host, args.port,
             cluster=coordinator, spawn_workers=args.workers or 0,
             max_body_bytes=args.max_body_mb * 1024 * 1024,
+            ops=ops,
         )
     service = SweepService(
         engine=args.engine,
@@ -296,7 +303,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         explore=args.explore,
     )
     return run_server(service, args.host, args.port,
-                      max_body_bytes=args.max_body_mb * 1024 * 1024)
+                      max_body_bytes=args.max_body_mb * 1024 * 1024,
+                      ops=ops)
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -332,7 +340,8 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     if args.op == "cheapest" and args.fps is None:
         raise SystemExit("repro query: error: cheapest requires --fps")
-    session = Session.remote(host=args.host, port=args.port)
+    session = Session.remote(host=args.host, port=args.port,
+                             api_key=args.api_key)
     try:
         if args.op == "stats":
             output = session.stats()
@@ -383,6 +392,28 @@ def cmd_query(args: argparse.Namespace) -> int:
     finally:
         session.close()
     print(json.dumps(output, indent=2))
+    return 0
+
+
+def cmd_admin(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import BackendUnavailableError, RemoteBackend, ServiceError
+
+    backend = RemoteBackend(host=args.host, port=args.port,
+                            api_key=args.api_key)
+    try:
+        body = backend.admin(args.op)
+    except ServiceError as exc:
+        print(json.dumps(exc.to_payload()["error"], indent=2),
+              file=sys.stderr)
+        return 1
+    except BackendUnavailableError as exc:
+        print(f"repro admin: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        backend.close()
+    print(json.dumps(body, indent=2))
     return 0
 
 
@@ -583,6 +614,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-body-mb", type=int, default=64,
                    help="largest accepted request body in MiB (bigger "
                         "bodies get a structured 413 before they are read)")
+    p.add_argument("--tenants", metavar="FILE", default=None,
+                   help="tenant config JSON (API keys + quota policy); "
+                        "hot-reloaded on mtime change or SIGHUP. Without "
+                        "it every request runs as the anonymous admin "
+                        "tenant (open dev mode)")
+    p.add_argument("--metrics", action="store_true", default=True,
+                   help="expose Prometheus text metrics at GET /metrics "
+                        "(default: on)")
+    p.add_argument("--no-metrics", dest="metrics", action="store_false",
+                   help="disable the /metrics endpoint")
+    p.add_argument("--max-cold-sweeps", type=int, default=None,
+                   help="global cap on concurrently evaluating cold "
+                        "sweeps; excess requests queue up to "
+                        "--cold-queue-depth, then get 429 + Retry-After "
+                        "(default: unlimited)")
+    p.add_argument("--cold-queue-depth", type=int, default=16,
+                   help="bounded queue for cold sweeps waiting on "
+                        "--max-cold-sweeps slots")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -643,7 +692,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine-count selector for the point op")
     p.add_argument("--batches", type=int, default=None,
                    help="batch-count selector for the point op")
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key (sent as a bearer token) for "
+                        "servers running with --tenants")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "admin",
+        help="operate a running 'repro serve' instance",
+        description=(
+            "Operator actions against a live service: 'drain' starts a "
+            "rolling cluster restart (old-generation workers stop at "
+            "their next lease poll; in-flight blocks finish or re-queue "
+            "via lease expiry), 'ops' prints the ops section of /stats "
+            "(admission, tenants, request metrics summary)."
+        ),
+    )
+    p.add_argument("op", choices=("drain", "ops"))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--api-key", default=None,
+                   help="admin tenant API key (drain requires an admin "
+                        "tenant when --tenants is active)")
+    p.set_defaults(func=cmd_admin)
 
     p = sub.add_parser("experiments", help="regenerate registered experiments")
     p.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -14,15 +14,27 @@ from repro.service.client import ServiceClient, SyncServiceClient, request_json
 from repro.service.cluster import ShardCoordinator, run_worker
 from repro.service.errors import ServiceError, as_service_error
 from repro.service.http import SweepHTTPServer, run_server, start_http_server
+from repro.service.ops import (
+    AdmissionController,
+    JsonLogger,
+    OpsLayer,
+    Tenant,
+    TenantRegistry,
+)
 from repro.service.sweep_service import SweepService
 
 __all__ = [
+    "AdmissionController",
+    "JsonLogger",
+    "OpsLayer",
     "ServiceClient",
     "ServiceError",
     "ShardCoordinator",
     "SweepHTTPServer",
     "SweepService",
     "SyncServiceClient",
+    "Tenant",
+    "TenantRegistry",
     "as_service_error",
     "request_json",
     "run_server",

@@ -23,6 +23,13 @@ client-side with its ``.details["axis"]`` intact.  Transport failures
 Clients negotiate the payload schema: every POST body carries the
 ``schema_version`` this build speaks, and every response's stamped
 version is validated before the payload is interpreted.
+
+Against a server running with a tenants file (``repro serve --tenants``)
+every flavour authenticates by bearer key: pass ``api_key`` and each
+request carries ``Authorization: Bearer <key>``.  Rejections surface as
+the server's structured errors — 401 ``unauthenticated``, 403
+``forbidden``, 429 ``rate-limited``/``overloaded`` with a
+``retry_after_s`` detail.
 """
 
 from __future__ import annotations
@@ -69,6 +76,7 @@ def request_json(
     path: str,
     payload: Optional[Dict] = None,
     timeout: float = 60.0,
+    api_key: Optional[str] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """One synchronous JSON round trip; returns (status, decoded body).
 
@@ -82,6 +90,8 @@ def request_json(
     try:
         body = None if payload is None else json.dumps(payload)
         headers = {"Content-Type": "application/json", "Connection": "close"}
+        if api_key is not None:
+            headers["Authorization"] = f"Bearer {api_key}"
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()
         data = response.read()
@@ -112,10 +122,13 @@ class SyncServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, api_key: Optional[str] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: bearer key sent as ``Authorization: Bearer <key>`` (multi-
+        #: tenant servers; None against an open server)
+        self.api_key = api_key
         self._connection: Optional[http.client.HTTPConnection] = None
         #: connections this client opened (1 == everything was reused)
         self.connections_opened = 0
@@ -140,6 +153,8 @@ class SyncServiceClient:
         body = None if payload is None else json.dumps(_negotiated(payload))
         headers = {"Content-Type": "application/json",
                    "Connection": "keep-alive"}
+        if self.api_key is not None:
+            headers["Authorization"] = f"Bearer {self.api_key}"
         for attempt in (0, 1):
             fresh = self._connection is None
             if fresh:
@@ -255,12 +270,15 @@ class SyncServiceClient:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        stream_headers = {"Content-Type": "application/json",
+                          "Connection": "close"}
+        if self.api_key is not None:
+            stream_headers["Authorization"] = f"Bearer {self.api_key}"
         try:
             try:
                 connection.request(
                     "POST", "/sweep/stream", body=body,
-                    headers={"Content-Type": "application/json",
-                             "Connection": "close"},
+                    headers=stream_headers,
                 )
                 response = connection.getresponse()
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
@@ -326,9 +344,13 @@ class ServiceClient:
     promptly.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8787):
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 api_key: Optional[str] = None):
         self.host = host
         self.port = port
+        #: bearer key sent as ``Authorization: Bearer <key>`` (multi-
+        #: tenant servers; None against an open server)
+        self.api_key = api_key
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -361,8 +383,10 @@ class ServiceClient:
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: keep-alive\r\n"
-            "\r\n"
         )
+        if self.api_key is not None:
+            head += f"Authorization: Bearer {self.api_key}\r\n"
+        head += "\r\n"
         try:
             self._writer.write(head.encode("latin-1") + body)
             await self._writer.drain()
@@ -537,8 +561,10 @@ class ServiceClient:
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n"
-                "\r\n"
             )
+            if self.api_key is not None:
+                head += f"Authorization: Bearer {self.api_key}\r\n"
+            head += "\r\n"
             try:
                 writer.write(head.encode("latin-1") + body)
                 await writer.drain()

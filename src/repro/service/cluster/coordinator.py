@@ -21,6 +21,11 @@ endpoint               body / result (binary frames, :mod:`repro.transport`)
 ``GET  /cluster/stats``     lease/worker/job counters
 ====================== ====================================================
 
+(The one JSON ``/cluster`` endpoint, ``POST /cluster/drain``, is served
+by the HTTP layer, not this adapter: it is an admin-authenticated
+operator verb calling :meth:`ShardCoordinator.drain` for rolling
+worker-generation restarts, not part of the worker wire protocol.)
+
 Lease semantics (the failure model):
 
 - Work is **pull-based**: nothing is ever assigned to a worker that did
@@ -150,10 +155,14 @@ class _Worker:
     """Registration record of one worker process (possibly remote)."""
 
     def __init__(self, worker_id: str, host: str, pid: Optional[int],
-                 last_seen: float):
+                 last_seen: float, generation: int = 1):
         self.worker_id = worker_id
         self.host = host
         self.pid = pid
+        #: the coordinator generation this worker registered under; a
+        #: drain bumps the coordinator's and this worker's next lease
+        #: poll returns ``{stop: true, reason: "drained"}``
+        self.generation = generation
         self.alive = True
         self.last_seen = last_seen
         self.blocks_completed = 0
@@ -216,6 +225,14 @@ class ShardCoordinator:
         # queued behind them would deadlock the very futures they await
         self._assembly_executor = None
         self._closing = False
+        #: the live worker generation.  ``drain()`` bumps it: workers
+        #: registered under an older generation get ``{stop: true}`` on
+        #: their next lease poll (their in-flight blocks finish normally
+        #: or re-queue via lease expiry), while re-registering workers
+        #: join the new generation — a rolling restart with no lost and
+        #: no double-counted blocks.
+        self.generation = 1
+        self.drains = 0
         # counters served at /cluster/stats
         self.jobs_submitted = 0
         self.jobs_completed = 0
@@ -464,6 +481,7 @@ class ShardCoordinator:
             host=str(payload.get("host", "?")),
             pid=payload.get("pid"),
             last_seen=self._loop.time() if self._loop else 0.0,
+            generation=self.generation,
         )
         self._workers[worker.worker_id] = worker
         return {
@@ -471,6 +489,7 @@ class ShardCoordinator:
             "calibration": calibration_fingerprint(),
             "ngpc": self.ngpc,
             "lease_timeout_s": self.lease_timeout_s,
+            "generation": self.generation,
         }
 
     def _next_pending(self) -> Optional[Tuple[int, int]]:
@@ -497,6 +516,12 @@ class ShardCoordinator:
             while True:
                 if self._closing:
                     return {"stop": True}
+                if worker.generation != self.generation:
+                    # drained: this check sits inside the wait loop so a
+                    # long-polling worker stops on the drain's notify,
+                    # not after its (up to 30 s) poll window — and never
+                    # receives another lease from the old generation
+                    return {"stop": True, "reason": "drained"}
                 ref = self._next_pending()
                 if ref is not None:
                     job_id, task_id = ref
@@ -671,6 +696,39 @@ class ShardCoordinator:
             async with self._work_cond:
                 self._work_cond.notify_all()
 
+    # -- rolling restarts ----------------------------------------------------
+    async def drain(self) -> Dict:
+        """Start a rolling worker restart: retire the current generation.
+
+        Bumps the coordinator's generation and wakes every long-polling
+        worker: workers of the old generation get ``{stop: true,
+        reason: "drained"}`` on their next lease poll and exit cleanly.
+        Blocks they already hold are unaffected — a completion is
+        accepted as long as the lease is still theirs, and a worker that
+        dies instead of completing re-queues its blocks through the
+        ordinary lease-expiry path — so an in-flight sweep finishes
+        exactly, with no lost and no double-counted blocks.  Restarted
+        ``repro worker`` processes re-register under the new generation
+        and immediately start pulling the remaining work.
+        """
+        previous = self.generation
+        self.generation += 1
+        self.drains += 1
+        draining = sum(
+            1 for w in self._workers.values()
+            if w.alive and w.generation == previous
+        )
+        if self._work_cond is not None:
+            async with self._work_cond:
+                self._work_cond.notify_all()
+        return {
+            "generation": self.generation,
+            "previous_generation": previous,
+            "draining_workers": draining,
+            "leases_outstanding": len(self._leases),
+            "jobs_inflight": len(self._jobs),
+        }
+
     # -- HTTP adapter --------------------------------------------------------
     async def handle_http(
         self, method: str, path: str, body: bytes
@@ -704,12 +762,23 @@ class ShardCoordinator:
     def n_alive_workers(self) -> int:
         return sum(w.alive for w in self._workers.values())
 
+    @property
+    def is_ready(self) -> bool:
+        """Started and not shutting down (the /healthz readiness input)."""
+        return self._loop is not None and not self._closing
+
     def stats(self) -> Dict:
         """Worker/lease/job counters (merged into ``/stats`` when mounted)."""
         return {
+            "generation": self.generation,
+            "drains": self.drains,
             "workers": {
                 "registered": len(self._workers),
                 "alive": self.n_alive_workers,
+                "current_generation": sum(
+                    w.alive and w.generation == self.generation
+                    for w in self._workers.values()
+                ),
                 "blocks_completed": {
                     w.worker_id[:8]: w.blocks_completed
                     for w in self._workers.values()

@@ -155,7 +155,8 @@ def run_worker(
                     continue
                 raise
             if lease.get("stop"):
-                log("repro worker: coordinator stopped; exiting", flush=True)
+                reason = lease.get("reason", "coordinator stopped")
+                log(f"repro worker: stopping ({reason}); exiting", flush=True)
                 return 0
             if "task" not in lease:  # empty poll
                 if (max_idle_s is not None

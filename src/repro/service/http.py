@@ -9,8 +9,16 @@ JSON object with ``"ok"``):
 ====================  =====================================================
 endpoint              body / result
 ====================  =====================================================
-``GET  /healthz``     liveness: ``{"ok": true, "status": "healthy"}``
+``GET  /healthz``     liveness + readiness: ``{"ok", "status",
+                      "version", "uptime_s", "ready"}``; ``?ready=1``
+                      turns it into a readiness probe (503 until the
+                      engine/coordinator can serve)
 ``GET  /stats``       cache + coalescing counters
+``GET  /metrics``     Prometheus text exposition: per-tenant request
+                      counters + latency histograms, plus every numeric
+                      ``/stats`` leaf
+``POST /cluster/drain``  stop leasing to the current worker generation
+                      (rolling restart); admin tenants only
 ``POST /sweep``       ``{"grid": {...}}`` -> evaluation summary (shape,
                       size, engine, resolved grid)
 ``POST /result``      ``{"grid": {...}}`` -> full ``SweepResult`` payload
@@ -61,15 +69,18 @@ import asyncio
 import dataclasses
 import json
 import signal
+import time
 import urllib.parse
 from typing import Dict, Optional, Set, Tuple
 
+from repro._version import __version__
 from repro.core.dse import (
     PAYLOAD_SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
     check_schema_version,
 )
 from repro.service.errors import ServiceError, as_service_error
+from repro.service.ops import ANONYMOUS, CURRENT_TENANT, METRICS_CONTENT_TYPE, OpsLayer
 from repro.service.sweep_service import SweepService
 
 #: default request-body cap; grid specs are tiny, but cluster workers
@@ -83,10 +94,14 @@ _STATUS_TEXT = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -228,24 +243,57 @@ async def _read_request(
 
 
 def _encode_raw_response(
-    status: int, content_type: str, data: bytes, keep_alive: bool
+    status: int,
+    content_type: str,
+    data: bytes,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(data)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
     )
-    return head.encode("latin-1") + data
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    return (head + "\r\n").encode("latin-1") + data
 
 
-def _encode_response(status: int, body: Dict, keep_alive: bool) -> bytes:
+def _encode_response(
+    status: int,
+    body: Dict,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     # every envelope — success or error — carries the served schema
     # version so clients can detect an incompatible server generation
     body.setdefault("schema_version", PAYLOAD_SCHEMA_VERSION)
     data = json.dumps(body).encode("utf-8")
-    return _encode_raw_response(status, "application/json", data, keep_alive)
+    return _encode_raw_response(
+        status, "application/json", data, keep_alive, extra_headers
+    )
+
+
+def _error_headers(error: ServiceError) -> Optional[Dict[str, str]]:
+    """Protocol-level headers a structured error implies.
+
+    429s carry ``Retry-After`` (whole seconds, rounded up from the
+    structured ``retry_after_s`` detail) and 401s the
+    ``WWW-Authenticate`` challenge, so generic HTTP clients back off /
+    re-authenticate without parsing the JSON envelope.
+    """
+    headers: Dict[str, str] = {}
+    if error.status == 429:
+        retry_s = error.details.get("retry_after_s")
+        try:
+            retry_s = max(1, int(-(-float(retry_s) // 1)))  # ceil
+        except (TypeError, ValueError):
+            retry_s = 1
+        headers["Retry-After"] = str(retry_s)
+    if error.status == 401:
+        headers["WWW-Authenticate"] = "Bearer"
+    return headers or None
 
 
 def _parse_payload(body: bytes) -> Dict:
@@ -313,13 +361,41 @@ async def _dispatch(
     path: str,
     body: bytes,
     query: Optional[Dict[str, str]] = None,
+    ops: Optional[OpsLayer] = None,
+    cluster=None,
 ):
     """Route one request; returns (status, json body)."""
     query = query or {}
     if method == "GET" and path == "/healthz":
-        return 200, {"ok": True, "status": "healthy"}
+        # liveness by default; ``?ready=1`` makes it a readiness probe
+        # (503 until the engine/coordinator can actually serve sweeps)
+        if ops is None:
+            return 200, {
+                "ok": True, "status": "healthy", "version": __version__,
+            }
+        health = ops.healthz(__version__)
+        if query.get("ready") and not health["ready"]:
+            return 503, health
+        return 200, health
     if method == "GET" and path == "/stats":
         return 200, {"ok": True, "result": service.stats()}
+    if path == "/cluster/drain":
+        # the one JSON (non-frame) /cluster/ endpoint: an operator verb,
+        # not part of the worker wire protocol
+        if method != "POST":
+            raise ServiceError(
+                405, "method-not-allowed", f"{method} {path} not allowed"
+            )
+        if ops is not None:
+            ops.require_admin(
+                CURRENT_TENANT.get() or ANONYMOUS, "POST /cluster/drain"
+            )
+        if cluster is None:
+            raise ServiceError(
+                404, "no-cluster",
+                "this server has no shard coordinator mounted",
+            )
+        return 200, {"ok": True, "result": await cluster.drain()}
     handler = _POST_ROUTES.get(path)
     if handler is None and path not in ("/healthz", "/stats"):
         raise ServiceError(404, "unknown-endpoint", f"no endpoint {path!r}")
@@ -441,12 +517,22 @@ async def _handle_connection(
     cluster=None,
     tasks: Optional[Set] = None,
     max_body_bytes: int = MAX_BODY_BYTES,
+    ops: Optional[OpsLayer] = None,
 ) -> None:
     """Serve one client connection; loops over keep-alive requests.
 
     Requests after the first on a connection count as keep-alive reuses
     in the service's ``/stats`` (``http.reused``), so the saving from a
     connection-pooling client is observable server-side.
+
+    With an :class:`~repro.service.ops.OpsLayer` mounted every request
+    runs the full ops path: authenticate (bearer key -> tenant, 401/403)
+    -> admit (token-bucket debit, 429 + ``Retry-After``) -> handler ->
+    observe (per-tenant metrics sample + one structured access-log
+    line).  The resolved tenant rides the request's context
+    (``CURRENT_TENANT``), which is how a cold sweep's admission slot
+    gets attributed without threading tenant objects through the
+    service API.
     """
     service.http["connections"] += 1
     if connections is not None:
@@ -491,42 +577,105 @@ async def _handle_connection(
                 service.http["reused"] += 1
             n_requests += 1
             keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-            if path == "/sweep/stream":
-                # chunked ndjson: its own writer path, and always the
-                # connection's last exchange (Connection: close)
-                await _serve_stream(service, method, body, reader, writer)
-                break
-            if path.startswith("/cluster/"):
-                # the shard-cluster worker protocol: binary frame bodies
-                # (:mod:`repro.transport`), routed to the mounted
-                # coordinator (404 when none)
-                if cluster is None:
-                    error = ServiceError(
-                        404, "no-cluster",
-                        "this server has no shard coordinator mounted",
+            started = time.monotonic()
+            tenant = ANONYMOUS
+            if ops is not None:
+                try:
+                    tenant = ops.authenticate(method, path, headers)
+                    ops.admit(tenant, method, path)
+                except ServiceError as exc:
+                    # auth/quota rejections are ordinary responses: the
+                    # connection stays usable (a 429'd client retries on
+                    # the same socket after Retry-After)
+                    sent = await send(_encode_response(
+                        exc.status, exc.to_payload(), keep_alive,
+                        _error_headers(exc),
+                    ))
+                    ops.observe(
+                        tenant, method, path, exc.status,
+                        time.monotonic() - started, code=exc.code,
                     )
-                    encoded = _encode_response(
-                        error.status, error.to_payload(), keep_alive
-                    )
-                else:
-                    status, data = await cluster.handle_http(method, path, body)
-                    encoded = _encode_raw_response(
-                        status, cluster.content_type, data, keep_alive
-                    )
-                if not await send(encoded) or not keep_alive:
-                    break
-                continue
+                    if not sent or not keep_alive:
+                        break
+                    continue
+            token = CURRENT_TENANT.set(tenant) if ops is not None else None
             try:
-                status, response = await _dispatch(
-                    service, method, path, body, query
-                )
-            except Exception as exc:  # every failure ships as structured JSON
-                error = as_service_error(exc)
-                status, response = error.status, error.to_payload()
-            if not await send(_encode_response(status, response, keep_alive)):
-                break
-            if not keep_alive:
-                break
+                if path == "/sweep/stream":
+                    # chunked ndjson: its own writer path, and always the
+                    # connection's last exchange (Connection: close)
+                    await _serve_stream(service, method, body, reader, writer)
+                    if ops is not None:
+                        ops.observe(
+                            tenant, method, path, 200,
+                            time.monotonic() - started, streamed=True,
+                        )
+                    break
+                if method == "GET" and path == "/metrics" and ops is not None \
+                        and ops.metrics is not None:
+                    data = ops.render_metrics().encode("utf-8")
+                    sent = await send(_encode_raw_response(
+                        200, METRICS_CONTENT_TYPE, data, keep_alive
+                    ))
+                    ops.observe(
+                        tenant, method, path, 200, time.monotonic() - started
+                    )
+                    if not sent or not keep_alive:
+                        break
+                    continue
+                if path.startswith("/cluster/") and path != "/cluster/drain":
+                    # the shard-cluster worker protocol: binary frame bodies
+                    # (:mod:`repro.transport`), routed to the mounted
+                    # coordinator (404 when none)
+                    if cluster is None:
+                        error = ServiceError(
+                            404, "no-cluster",
+                            "this server has no shard coordinator mounted",
+                        )
+                        status = error.status
+                        encoded = _encode_response(
+                            error.status, error.to_payload(), keep_alive
+                        )
+                    else:
+                        status, data = await cluster.handle_http(method, path, body)
+                        encoded = _encode_raw_response(
+                            status, cluster.content_type, data, keep_alive
+                        )
+                    sent = await send(encoded)
+                    if ops is not None:
+                        ops.observe(
+                            tenant, method, path, status,
+                            time.monotonic() - started,
+                        )
+                    if not sent or not keep_alive:
+                        break
+                    continue
+                err_code = None
+                extra_headers = None
+                try:
+                    status, response = await _dispatch(
+                        service, method, path, body, query,
+                        ops=ops, cluster=cluster,
+                    )
+                except Exception as exc:  # every failure ships as structured JSON
+                    error = as_service_error(exc)
+                    status, response = error.status, error.to_payload()
+                    err_code = error.code
+                    extra_headers = _error_headers(error)
+                sent = await send(_encode_response(
+                    status, response, keep_alive, extra_headers
+                ))
+                if ops is not None:
+                    ops.observe(
+                        tenant, method, path, status,
+                        time.monotonic() - started, code=err_code,
+                    )
+                if not sent:
+                    break
+                if not keep_alive:
+                    break
+            finally:
+                if token is not None:
+                    CURRENT_TENANT.reset(token)
     finally:
         if connections is not None:
             connections.discard(writer)
@@ -547,10 +696,13 @@ class SweepHTTPServer:
         service: SweepService,
         cluster=None,
         max_body_bytes: int = MAX_BODY_BYTES,
+        ops: Optional[OpsLayer] = None,
     ):
         self.service = service
         #: optional mounted shard coordinator serving ``/cluster/*``
         self.cluster = cluster
+        #: the ops layer consulted per request (auth/quotas/metrics/logs)
+        self.ops = ops
         #: request bodies above this are rejected with a structured 413
         self.max_body_bytes = int(max_body_bytes)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -584,6 +736,7 @@ async def start_http_server(
     port: int = 8787,
     cluster=None,
     max_body_bytes: int = MAX_BODY_BYTES,
+    ops: Optional[OpsLayer] = None,
 ) -> SweepHTTPServer:
     """Bind and start serving; ``port=0`` picks an ephemeral port.
 
@@ -594,17 +747,25 @@ async def start_http_server(
     ``max_body_bytes`` caps every request body (structured 413 above
     it); the default fits the largest block completion a cluster worker
     legitimately posts.
+
+    Every server gets an :class:`~repro.service.ops.OpsLayer` — the
+    default one is open (no tenants file, no rate limits, anonymous
+    admin) but still serves ``/metrics``, the upgraded ``/healthz`` and
+    the structured access log; pass ``ops`` to configure auth/quotas.
     """
+    if ops is None:
+        ops = OpsLayer()
     handle = SweepHTTPServer(
-        service, cluster=cluster, max_body_bytes=max_body_bytes
+        service, cluster=cluster, max_body_bytes=max_body_bytes, ops=ops
     )
     if cluster is not None:
         await cluster.start()
         service.stats_extra["cluster"] = cluster.stats
+    ops.attach(service, cluster)
     handle._server = await asyncio.start_server(
         lambda reader, writer: _handle_connection(
             service, reader, writer, handle._connections, cluster,
-            handle._tasks, handle.max_body_bytes,
+            handle._tasks, handle.max_body_bytes, ops,
         ),
         host,
         port,
@@ -619,12 +780,16 @@ def run_server(
     cluster=None,
     spawn_workers: int = 0,
     max_body_bytes: int = MAX_BODY_BYTES,
+    ops: Optional[OpsLayer] = None,
 ) -> int:
     """Blocking entry point for ``python -m repro serve``.
 
-    Prints one machine-parseable ``listening on http://host:port`` line
-    (the CI smoke reads it to discover an ephemeral port) and serves
-    until SIGINT/SIGTERM, then closes the listener cleanly.
+    Every operator-facing line is one structured JSON log record; the
+    startup record's ``message`` keeps the machine-parseable
+    ``listening on http://host:port`` text (the CI smoke reads it to
+    discover an ephemeral port).  Serves until SIGINT/SIGTERM, then
+    closes the listener cleanly; SIGHUP re-reads the tenants file
+    in place.
 
     With a ``cluster`` coordinator the same port serves the worker
     protocol; ``spawn_workers`` local ``repro worker`` subprocesses are
@@ -632,11 +797,14 @@ def run_server(
     worker --host <this> --port <this>`` themselves) and terminated on
     shutdown.
     """
+    if ops is None:
+        ops = OpsLayer()
+    log = ops.logger
 
     async def _serve() -> None:
         server = await start_http_server(
             service, host, port, cluster=cluster,
-            max_body_bytes=max_body_bytes,
+            max_body_bytes=max_body_bytes, ops=ops,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -645,18 +813,29 @@ def run_server(
                 loop.add_signal_handler(sig, stop.set)
             except (NotImplementedError, RuntimeError):  # non-main thread
                 pass
+        if hasattr(signal, "SIGHUP"):
+            try:
+                loop.add_signal_handler(signal.SIGHUP, ops.reload)
+            except (NotImplementedError, RuntimeError):
+                pass
         workers = []
         if cluster is not None and spawn_workers:
             from repro.service.cluster import spawn_local_workers
 
             workers = spawn_local_workers(host, server.port, spawn_workers)
-        print(
+        log.info(
+            "server.start",
             f"repro serve: listening on http://{host}:{server.port} "
             f"(engine={service.engine}"
             + (f", cluster workers={spawn_workers} local + external joinable"
                if cluster is not None else "")
             + ")",
-            flush=True,
+            host=host, port=server.port, engine=service.engine,
+            version=__version__,
+            tenants=(
+                len(ops.registry) if ops.registry is not None else None
+            ),
+            metrics=ops.metrics is not None,
         )
         try:
             await stop.wait()
@@ -671,5 +850,5 @@ def run_server(
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
-    print("repro serve: shut down cleanly", flush=True)
+    log.info("server.stop", "repro serve: shut down cleanly")
     return 0

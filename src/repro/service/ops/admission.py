@@ -1,0 +1,235 @@
+"""Admission control: per-tenant token buckets + a global cold-sweep cap.
+
+Two distinct scarce resources get two distinct mechanisms:
+
+- **Request rate** is per tenant: every non-exempt request debits the
+  tenant's token bucket (``rate_per_s`` refill, ``burst`` capacity,
+  from the tenants file).  An empty bucket is a structured 429
+  (``error.code == "rate-limited"``) carrying ``retry_after_s`` — the
+  HTTP layer also surfaces it as a ``Retry-After`` header — computed
+  from the actual refill rate, so a well-behaved client backs off
+  exactly as long as it must.
+- **Cold evaluations** are global: a cold sweep occupies an executor
+  thread and (with the process/cluster engines) the whole block
+  pool for seconds, so :meth:`AdmissionController.acquire_cold` caps
+  how many may run concurrently.  Excess cold sweeps *queue* (FIFO,
+  bounded by ``cold_queue_depth``) rather than failing — a burst is
+  absorbed, not dropped — and only beyond the queue bound do requests
+  get a 429 (``error.code == "overloaded"``).  Cached reads, coalesced
+  joins and streams over in-flight sweeps never touch the cap, which is
+  exactly why one hostile tenant saturating the grid cannot move a
+  well-behaved tenant's cached-query latency
+  (``benchmarks/bench_service_ops.py`` gates this).
+
+The controller is loop-turnover-safe the same way the service is: all
+cold-slot state binds to the currently running loop and resets when a
+new loop appears (evaluations from a dead loop can never release).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.service.errors import ServiceError
+from repro.service.ops.tenants import CURRENT_TENANT, Tenant
+
+#: bucket capacity when a tenant names a rate but no burst
+_DEFAULT_BURST_SECONDS = 2.0
+
+#: Retry-After hint when the cold queue is full (there is no refill
+#: schedule to compute from; one second is the polite poll floor)
+_OVERLOADED_RETRY_S = 1.0
+
+
+class TokenBucket:
+    """Classic token bucket on the monotonic clock."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate_per_s: float, burst: int):
+        self.rate = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = self.burst
+        self.updated = time.monotonic()
+
+    def try_acquire(self) -> float:
+        """Take one token; returns 0.0, or seconds until one accrues."""
+        now = time.monotonic()
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Rate limits per tenant; bounded concurrency for cold sweeps.
+
+    ``max_cold_sweeps=None`` disables the cold cap (the permissive
+    default for library embedders); ``0`` rejects every cold sweep —
+    a maintenance mode where only cached results serve.
+    :meth:`configure` applies hot-reloaded limits from the tenants
+    file without dropping queued waiters.
+    """
+
+    def __init__(
+        self,
+        max_cold_sweeps: Optional[int] = None,
+        cold_queue_depth: int = 16,
+    ):
+        self.max_cold_sweeps = max_cold_sweeps
+        self.cold_queue_depth = int(cold_queue_depth)
+        self._buckets: Dict[str, Tuple[Tuple[float, int], TokenBucket]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._active = 0
+        self._waiters: deque = deque()
+        # counters (rendered by /metrics and /stats)
+        self.rate_limited = 0
+        self.overloaded = 0
+        self.cold_admitted = 0
+        self.cold_queued = 0
+
+    def configure(
+        self,
+        max_cold_sweeps: Optional[int] = None,
+        cold_queue_depth: Optional[int] = None,
+    ) -> None:
+        """Apply (hot-reloaded) limits; a raised cap wakes queued waiters."""
+        if max_cold_sweeps is not None:
+            self.max_cold_sweeps = max_cold_sweeps
+        if cold_queue_depth is not None:
+            self.cold_queue_depth = int(cold_queue_depth)
+        while (
+            self._waiters
+            and self.max_cold_sweeps is not None
+            and self._active < self.max_cold_sweeps
+        ):
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                self._active += 1
+                waiter.set_result(None)
+
+    # -- per-tenant rate -----------------------------------------------------
+    def check_rate(self, tenant: Tenant) -> None:
+        """Debit one request from the tenant's bucket; 429 when empty."""
+        if tenant.rate_per_s is None:
+            return
+        burst = tenant.burst or max(
+            1, int(tenant.rate_per_s * _DEFAULT_BURST_SECONDS)
+        )
+        policy = (tenant.rate_per_s, burst)
+        entry = self._buckets.get(tenant.name)
+        if entry is None or entry[0] != policy:  # new or hot-reloaded policy
+            entry = (policy, TokenBucket(tenant.rate_per_s, burst))
+            self._buckets[tenant.name] = entry
+        retry_after_s = entry[1].try_acquire()
+        if retry_after_s > 0.0:
+            self.rate_limited += 1
+            raise ServiceError(
+                429, "rate-limited",
+                f"tenant {tenant.name!r} is over its rate limit of "
+                f"{tenant.rate_per_s:g} requests/s",
+                tenant=tenant.name,
+                # floored so a sub-millisecond refill never rounds the
+                # hint down to a (meaningless) zero
+                retry_after_s=max(0.001, round(retry_after_s, 3)),
+            )
+
+    # -- global cold-sweep concurrency --------------------------------------
+    def _bind_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            # a new loop: evaluations from the old one are gone and their
+            # releases can never fire — start the accounting clean
+            self._loop = loop
+            self._active = 0
+            self._waiters = deque()
+
+    async def acquire_cold(self) -> Callable[[], None]:
+        """Take one cold-evaluation slot (queueing if saturated).
+
+        Returns the idempotent release callable the evaluation must
+        invoke when it finishes (success *or* failure).  Raises a
+        structured 429 (``overloaded``) when the cap and the queue are
+        both full.
+        """
+        if self.max_cold_sweeps is None:
+            return _noop_release
+        self._bind_loop()
+        if self._active < self.max_cold_sweeps:
+            self._active += 1
+            self.cold_admitted += 1
+            return self._make_release(queued=False)
+        if len(self._waiters) >= self.cold_queue_depth:
+            self.overloaded += 1
+            tenant = CURRENT_TENANT.get()
+            raise ServiceError(
+                429, "overloaded",
+                f"all {self.max_cold_sweeps} cold-sweep slots are busy and "
+                f"the admission queue is full ({self.cold_queue_depth} deep)",
+                tenant=tenant.name if tenant else None,
+                retry_after_s=_OVERLOADED_RETRY_S,
+            )
+        waiter = self._loop.create_future()
+        self._waiters.append(waiter)
+        self.cold_queued += 1
+        try:
+            await waiter  # resolved holding a slot (active already counted)
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                self._release()  # granted in the same tick we were cancelled
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+        self.cold_admitted += 1
+        return self._make_release(queued=True)
+
+    def _make_release(self, queued: bool) -> Callable[[], None]:
+        released = False
+
+        def release() -> None:
+            nonlocal released
+            if released:
+                return
+            released = True
+            self._release()
+
+        # `queued` tells the caller whether the acquire yielded to the
+        # event loop (so its pre-acquire cache/inflight checks went stale)
+        release.queued = queued
+        return release
+
+    def _release(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)  # slot handed over, _active unchanged
+                return
+        self._active = max(0, self._active - 1)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict:
+        return {
+            "max_cold_sweeps": self.max_cold_sweeps,
+            "cold_queue_depth": self.cold_queue_depth,
+            "cold_active": self._active,
+            "cold_waiting": len(self._waiters),
+            "cold_admitted": self.cold_admitted,
+            "cold_queued": self.cold_queued,
+            "rate_limited": self.rate_limited,
+            "overloaded": self.overloaded,
+        }
+
+
+def _noop_release() -> None:
+    return None
+
+
+_noop_release.queued = False

@@ -1,0 +1,237 @@
+"""Per-tenant identity: API keys and quota policy, hot-reloadable.
+
+A tenants file is a JSON object::
+
+    {
+      "tenants": [
+        {"name": "acme", "key": "ak-acme-Fz31...", "rate_per_s": 20,
+         "burst": 40},
+        {"name": "ops",  "key": "ak-ops-9a0c...", "admin": true}
+      ],
+      "limits": {"max_cold_sweeps": 2, "cold_queue_depth": 8}
+    }
+
+- ``key`` is the bearer token clients present as ``Authorization:
+  Bearer <key>``; names and keys must be unique and non-empty.
+- ``rate_per_s``/``burst`` parameterize the tenant's token bucket
+  (omitted or null = unlimited); ``admin`` grants the operator surface
+  (``POST /cluster/drain``).
+- ``limits`` (optional) overrides the service-wide admission caps, so
+  the *global* cold-sweep concurrency policy hot-reloads with the file
+  too.
+
+:class:`TenantRegistry` loads the file once at startup (failing fast on
+a malformed file) and then re-reads it whenever the mtime changes —
+checked at most once per ``poll_interval_s`` on the request path, and
+immediately on :meth:`reload` (wired to SIGHUP by ``repro serve``).  A
+malformed file at *reload* time keeps the previous config live and
+counts a ``load_errors``: a fat-fingered edit must never take auth down
+with it.
+
+``CURRENT_TENANT`` is the request-scoped :class:`contextvars.ContextVar`
+the HTTP layer sets after authentication; the admission controller
+reads it to attribute cold-sweep slots without the service layer having
+to thread tenant objects through every call.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import json
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.service.errors import ServiceError
+
+
+@dataclasses.dataclass(frozen=True)
+class Tenant:
+    """One authenticated principal and its quota policy."""
+
+    name: str
+    key: Optional[str] = None
+    rate_per_s: Optional[float] = None
+    burst: Optional[int] = None
+    admin: bool = False
+
+
+#: the principal served when no tenants file is configured: open access,
+#: no rate limit, operator surface included (single-user dev mode)
+ANONYMOUS = Tenant(name="anonymous", admin=True)
+
+#: request-scoped tenant, set by the HTTP layer after authentication
+CURRENT_TENANT: contextvars.ContextVar[Optional[Tenant]] = (
+    contextvars.ContextVar("repro_current_tenant", default=None)
+)
+
+
+def _parse_tenant(entry: object, index: int) -> Tenant:
+    if not isinstance(entry, dict):
+        raise ValueError(f"tenants[{index}] must be an object, got "
+                         f"{type(entry).__name__}")
+    name = entry.get("name")
+    key = entry.get("key")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"tenants[{index}] needs a non-empty 'name'")
+    if not isinstance(key, str) or not key:
+        raise ValueError(f"tenant {name!r} needs a non-empty 'key'")
+    rate = entry.get("rate_per_s")
+    if rate is not None:
+        rate = float(rate)
+        if rate <= 0:
+            raise ValueError(f"tenant {name!r}: rate_per_s must be positive")
+    burst = entry.get("burst")
+    if burst is not None:
+        burst = int(burst)
+        if burst < 1:
+            raise ValueError(f"tenant {name!r}: burst must be >= 1")
+    return Tenant(name=name, key=key, rate_per_s=rate, burst=burst,
+                  admin=bool(entry.get("admin", False)))
+
+
+def _parse_config(raw: object) -> Tuple[Dict[str, Tenant], Dict[str, int]]:
+    """Validate one decoded tenants file -> (key -> Tenant, limits)."""
+    if not isinstance(raw, dict):
+        raise ValueError("tenants file must be a JSON object")
+    entries = raw.get("tenants")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("tenants file needs a non-empty 'tenants' list")
+    by_key: Dict[str, Tenant] = {}
+    names = set()
+    for index, entry in enumerate(entries):
+        tenant = _parse_tenant(entry, index)
+        if tenant.name in names:
+            raise ValueError(f"duplicate tenant name {tenant.name!r}")
+        if tenant.key in by_key:
+            raise ValueError(f"tenant {tenant.name!r} reuses another "
+                             f"tenant's key")
+        names.add(tenant.name)
+        by_key[tenant.key] = tenant
+    limits_raw = raw.get("limits", {})
+    if not isinstance(limits_raw, dict):
+        raise ValueError("'limits' must be an object")
+    limits: Dict[str, int] = {}
+    for field in ("max_cold_sweeps", "cold_queue_depth"):
+        if limits_raw.get(field) is not None:
+            value = int(limits_raw[field])
+            if value < 0:
+                raise ValueError(f"limits.{field} must be >= 0")
+            limits[field] = value
+    unknown = set(limits_raw) - {"max_cold_sweeps", "cold_queue_depth"}
+    if unknown:
+        raise ValueError(f"unknown limits field(s): {sorted(unknown)}")
+    return by_key, limits
+
+
+class TenantRegistry:
+    """API keys + quota policy from a file, refreshed without restarts."""
+
+    def __init__(self, path: str, poll_interval_s: float = 1.0):
+        self.path = path
+        self.poll_interval_s = float(poll_interval_s)
+        self._by_key: Dict[str, Tenant] = {}
+        #: service-wide admission overrides from the file's ``limits``
+        self.limits: Dict[str, int] = {}
+        self._mtime: Optional[float] = None
+        self._checked_at = 0.0
+        #: bumped on every successful (re)load; consumers re-apply
+        #: limits when they see it change
+        self.generation = 0
+        self.reloads = 0
+        self.load_errors = 0
+        self.auth_failures = 0
+        self._load(initial=True)
+
+    # -- loading -------------------------------------------------------------
+    def _load(self, initial: bool = False) -> None:
+        try:
+            mtime = os.stat(self.path).st_mtime
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+            by_key, limits = _parse_config(raw)
+        except (OSError, ValueError) as exc:
+            if initial:  # a broken file at startup is a config error
+                raise ValueError(
+                    f"could not load tenants file {self.path!r}: {exc}"
+                ) from exc
+            self.load_errors += 1  # keep serving the previous config
+            return
+        self._by_key = by_key
+        self.limits = limits
+        self._mtime = mtime
+        self.generation += 1
+        if not initial:
+            self.reloads += 1
+
+    def reload(self) -> None:
+        """Force a re-read now (the SIGHUP entry point)."""
+        self._checked_at = time.monotonic()
+        self._load()
+
+    def maybe_reload(self) -> None:
+        """Mtime-poll reload, throttled to ``poll_interval_s``."""
+        now = time.monotonic()
+        if now - self._checked_at < self.poll_interval_s:
+            return
+        self._checked_at = now
+        try:
+            mtime = os.stat(self.path).st_mtime
+        except OSError:
+            self.load_errors += 1  # file vanished: keep the loaded config
+            return
+        if mtime != self._mtime:
+            self._load()
+
+    # -- authentication ------------------------------------------------------
+    def authenticate(self, authorization: Optional[str]) -> Tenant:
+        """Resolve one ``Authorization`` header value to a tenant.
+
+        Raises a structured 401 when the header is missing or not a
+        bearer credential, and a 403 when the key matches no tenant —
+        the split a client needs to distinguish "send credentials" from
+        "your credentials are wrong".
+        """
+        self.maybe_reload()
+        if not authorization:
+            self.auth_failures += 1
+            raise ServiceError(
+                401, "unauthenticated",
+                "this server requires an API key: send "
+                "'Authorization: Bearer <key>'",
+            )
+        scheme, _, key = authorization.partition(" ")
+        key = key.strip()
+        if scheme.lower() != "bearer" or not key:
+            self.auth_failures += 1
+            raise ServiceError(
+                401, "unauthenticated",
+                f"unsupported Authorization scheme {scheme!r}; send "
+                "'Authorization: Bearer <key>'",
+            )
+        tenant = self._by_key.get(key)
+        if tenant is None:
+            self.auth_failures += 1
+            raise ServiceError(
+                403, "forbidden", "unknown API key",
+            )
+        return tenant
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def tenant_names(self):
+        return sorted(t.name for t in self._by_key.values())
+
+    def stats(self) -> Dict:
+        return {
+            "path": self.path,
+            "tenants": len(self._by_key),
+            "generation": self.generation,
+            "reloads": self.reloads,
+            "load_errors": self.load_errors,
+            "auth_failures": self.auth_failures,
+            "limits": dict(self.limits),
+        }

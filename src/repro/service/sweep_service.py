@@ -235,6 +235,12 @@ class SweepService:
         #: extra stats sections merged into :meth:`stats` by name — the
         #: HTTP layer mounts the shard coordinator's counters here
         self.stats_extra: Dict[str, object] = {}
+        #: optional admission controller (mounted by the ops layer): caps
+        #: how many *cold* evaluations run concurrently.  Cached reads and
+        #: coalesced joins never consult it — only a sweep about to burn
+        #: an executor slot does, which is what keeps cached-query latency
+        #: flat while one tenant floods the grid.
+        self.admission = None
 
     # -- sweeps --------------------------------------------------------------
     async def sweep(self, grid: GridLike = None) -> SweepResult:
@@ -255,9 +261,42 @@ class SweepService:
         if cached is not None:
             self.tier["ram_hits"] += 1
             return cached
-        return await self._await_inflight(self._start_evaluation(key, resolved))
+        release = await self._admit_cold()
+        if release is not None and getattr(release, "queued", False):
+            # the slot wait yielded to the loop: an identical sweep may
+            # have started (or finished) meanwhile — re-check both tiers
+            # so a queued duplicate never burns a second slot
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                release()
+                self.coalesced += 1
+                return await self._await_inflight(inflight)
+            cached = self._cache.get(key)
+            if cached is not None:
+                release()
+                self.tier["ram_hits"] += 1
+                return cached
+        return await self._await_inflight(
+            self._start_evaluation(key, resolved, release=release)
+        )
 
-    def _start_evaluation(self, key: Hashable, grid: SweepGrid) -> _Inflight:
+    async def _admit_cold(self):
+        """One cold-evaluation slot from the mounted admission controller.
+
+        Returns the controller's release callable (``None`` when no
+        controller is mounted); raises its structured 429 when the
+        global cold cap and its queue are both full.  The fast
+        (uncontended) acquire never yields to the event loop, so the
+        caller's earlier inflight/cache checks are still authoritative
+        unless ``release.queued`` says the acquire waited.
+        """
+        if self.admission is None:
+            return None
+        return await self.admission.acquire_cold()
+
+    def _start_evaluation(
+        self, key: Hashable, grid: SweepGrid, release=None
+    ) -> _Inflight:
         """Launch one evaluation task with its streaming progress entry.
 
         Must run on the service loop with no in-flight entry under
@@ -277,7 +316,9 @@ class SweepService:
             ]
             for stale in finished[: max(0, len(finished) - _PROGRESS_RETAIN)]:
                 del self._progress[stale]
-        task = loop.create_task(self._evaluate(key, grid, inflight, progress))
+        task = loop.create_task(
+            self._evaluate(key, grid, inflight, progress, release)
+        )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
         return inflight
@@ -298,6 +339,7 @@ class SweepService:
         grid: SweepGrid,
         inflight: _Inflight,
         progress: SweepProgress,
+        release=None,
     ) -> None:
         loop = asyncio.get_running_loop()
         future = inflight.future
@@ -321,6 +363,8 @@ class SweepService:
                 future.set_result(result)
         finally:
             self._inflight.pop(key, None)
+            if release is not None:
+                release()  # give the cold slot back (success or failure)
 
     def _evaluate_sync(
         self, key: Hashable, grid: SweepGrid, progress: SweepProgress
@@ -468,6 +512,32 @@ class SweepService:
         return placed
 
     # -- streaming -----------------------------------------------------------
+    async def _cached_stream_events(
+        self, cached, resolved, scheme, n_pixels, app, loop
+    ) -> list:
+        """The terminal event triple a stream over a finished sweep emits."""
+        points = await loop.run_in_executor(
+            None,
+            functools.partial(
+                cached.pareto_front, scheme, n_pixels=n_pixels, app=app,
+            ),
+        )
+        return [
+            {
+                "event": "progress",
+                "points_done": resolved.size,
+                "points_total": resolved.size,
+                "blocks_done": None, "blocks_total": None,
+                "done": True, "failed": False,
+                "subscribers": 0, "elapsed_s": 0.0,
+            },
+            {
+                "event": "front", "final": True,
+                "points": [p.to_dict() for p in points],
+            },
+            {"event": "complete", "engine": cached.engine, "cached": True},
+        ]
+
     async def sweep_stream(
         self,
         grid: GridLike = None,
@@ -513,29 +583,30 @@ class SweepService:
             cached = self._cache.get(key)
             if cached is not None:  # finished sweep: emit the terminal events
                 self.tier["ram_hits"] += 1
-                points = await loop.run_in_executor(
-                    None,
-                    functools.partial(
-                        cached.pareto_front, scheme,
-                        n_pixels=n_pixels, app=app,
-                    ),
-                )
-                yield {
-                    "event": "progress",
-                    "points_done": resolved.size,
-                    "points_total": resolved.size,
-                    "blocks_done": None, "blocks_total": None,
-                    "done": True, "failed": False,
-                    "subscribers": 0, "elapsed_s": 0.0,
-                }
-                yield {
-                    "event": "front", "final": True,
-                    "points": [p.to_dict() for p in points],
-                }
-                yield {"event": "complete", "engine": cached.engine,
-                       "cached": True}
+                for event in await self._cached_stream_events(
+                    cached, resolved, scheme, n_pixels, app, loop
+                ):
+                    yield event
                 return
-            self._start_evaluation(key, resolved)
+            release = await self._admit_cold()
+            if key in self._inflight:
+                # the slot wait let an identical sweep start: coalesce
+                if release is not None:
+                    release()
+                self.coalesced += 1
+            else:
+                recheck = None
+                if release is not None and getattr(release, "queued", False):
+                    recheck = self._cache.get(key)
+                if recheck is not None:  # finished while we queued
+                    release()
+                    self.tier["ram_hits"] += 1
+                    for event in await self._cached_stream_events(
+                        recheck, resolved, scheme, n_pixels, app, loop
+                    ):
+                        yield event
+                    return
+                self._start_evaluation(key, resolved, release=release)
         else:
             self.coalesced += 1
         with self._progress_lock:

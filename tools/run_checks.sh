@@ -32,7 +32,16 @@
 # it on the wire) and its acceptance gates (bench_stream --quick:
 # first exact partial front in < 10% of the dense wall on a >= 500k
 # point grid, frame/pickle round-trip bit-identity, emitting
-# BENCH_stream.json).
+# BENCH_stream.json).  The multi-tenant ops layer gets its own
+# section: the ops test suite runs standalone (auth 401/403 split,
+# hot reload, quota fairness, Prometheus /metrics, rolling drain), the
+# quota-isolation gates (bench_service_ops --quick: cached-query p99
+# held under a misbehaving tenant's flood, both 429 shapes observed,
+# emitting BENCH_service_ops.json) run in --quick mode, and an
+# auth-enabled black-box smoke starts `repro serve --tenants FILE`,
+# requires the 401/200 split over raw HTTP, runs `repro query
+# --api-key` and `repro admin ops --api-key` through the CLI, and
+# requires a clean SIGINT shutdown.
 #
 # Usage:  bash tools/run_checks.sh
 set -euo pipefail
@@ -256,6 +265,94 @@ try:
           f"Session parity on {remote_sweep.size} points "
           f"(cheapest@30fps={hit.describe()}, infeasible raises, "
           f"{stats['http']['reused']} keep-alive reuses), clean shutdown")
+finally:
+    if proc.poll() is None:
+        proc.kill()
+PY
+
+echo
+echo "== service ops suite (auth, quotas, metrics, drain) =="
+python -m pytest tests/test_service_ops.py -q
+
+echo
+echo "== service ops quota-isolation gates (smoke) =="
+python benchmarks/bench_service_ops.py --quick
+
+echo
+echo "== authenticated service smoke (tenants file + CLI key flow) =="
+python - <<'PY'
+import json, os, re, signal, subprocess, sys, tempfile, http.client
+
+tenants = {"tenants": [
+    {"name": "ci", "key": "ak-ci", "admin": True},
+    {"name": "guest", "key": "ak-guest", "rate_per_s": 50},
+]}
+tmp = tempfile.mkdtemp()
+tenants_path = os.path.join(tmp, "tenants.json")
+with open(tenants_path, "w") as handle:
+    json.dump(tenants, handle)
+
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--port", "0",
+     "--engine", "vectorized", "--tenants", tenants_path,
+     "--max-cold-sweeps", "2"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+)
+try:
+    match = None
+    for line in proc.stdout:
+        match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+        if match:
+            break
+    assert match, "server exited without printing a listening line"
+    # the startup banner is a structured JSON log record now
+    record = json.loads(line)
+    assert record["event"] == "server.start" and record["tenants"] == 2
+    host, port = match.group(1), int(match.group(2))
+
+    def post(path, payload, key=None):
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        headers = {"Content-Type": "application/json"}
+        if key:
+            headers["Authorization"] = f"Bearer {key}"
+        try:
+            conn.request("POST", path, json.dumps(payload), headers)
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    grid = {"apps": ["nerf"], "scale_factors": [8, 16, 32, 64]}
+    status, body = post("/pareto", {"grid": grid})
+    assert status == 401 and body["error"]["code"] == "unauthenticated", body
+    status, body = post("/pareto", {"grid": grid}, key="ak-guest")
+    assert status == 200 and body["result"], body
+
+    # the CLI key flow end to end: query + admin through `python -m repro`
+    env = dict(os.environ)
+    query = subprocess.run(
+        [sys.executable, "-m", "repro", "query", "pareto",
+         "--host", host, "--port", str(port), "--api-key", "ak-guest",
+         "--sweep", "scale=8:16:32:64"],
+        capture_output=True, text=True, env=env,
+    )
+    assert query.returncode == 0, query.stderr
+    assert json.loads(query.stdout), "empty pareto front from the CLI"
+    admin = subprocess.run(
+        [sys.executable, "-m", "repro", "admin", "ops",
+         "--host", host, "--port", str(port), "--api-key", "ak-ci"],
+        capture_output=True, text=True, env=env,
+    )
+    assert admin.returncode == 0, admin.stderr
+    ops = json.loads(admin.stdout)
+    assert ops["tenants"]["tenants"] == 2, ops
+    assert ops["admission"]["max_cold_sweeps"] == 2, ops
+
+    proc.send_signal(signal.SIGINT)
+    code = proc.wait(timeout=30)
+    assert code == 0, f"server exited with {code}"
+    print(f"auth smoke ok: 401 without a key, pareto with one, CLI query "
+          f"+ admin round trips, clean shutdown")
 finally:
     if proc.poll() is None:
         proc.kill()
