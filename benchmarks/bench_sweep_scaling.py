@@ -11,6 +11,10 @@ Two acceptance gates guard the sweep engine:
    ``"process"`` engine must beat the scalar engine by >= 10x, and
    :func:`repro.core.dse.pareto_front` over 100k points must finish in
    under a second.
+3. On a 9-axis grid — the seed eight plus the registry's
+   ``log2_hashmap_sizes`` encoding axis — the vectorized fast path must
+   still beat the scalar engine by >= 10x (>= 5x in --quick), proving
+   axes registered through ``repro.core.axes`` ride the batched paths.
 
 Both sides agree to 1e-9 relative (the correctness net is
 ``tests/test_golden_values`` + ``tests/test_sweep_engine``; this file
@@ -86,10 +90,28 @@ def build_architecture_grid(quick: bool) -> SweepGrid:
     )
 
 
+def build_encoding_grid(quick: bool) -> SweepGrid:
+    """A 9-axis hypercube: the seed eight plus ``log2_hashmap_sizes``."""
+    scales = (8, 64) if quick else SCALE_FACTORS
+    pixels = (2_073_600,) if quick else (518_400, 2_073_600)
+    return SweepGrid(
+        apps=APP_NAMES,
+        schemes=("multi_res_hashgrid",),
+        scale_factors=scales,
+        pixel_counts=pixels,
+        clocks_ghz=(0.9, 1.695),
+        grid_sram_kb=(512, 1024),
+        n_engines=(8, 16),
+        n_batches=(8, 16),
+        log2_hashmap_sizes=(14, 19, 22),
+    )
+
+
 def time_naive_loop(grid: SweepGrid) -> float:
     """The seed-era sweep: one uncached scalar emulation per grid point."""
     start = time.perf_counter()
-    for app, scheme, scale, n_pixels, _, _, _, _ in grid.points():
+    for point in grid.points():  # 8- or 11-tuples, workload axes first
+        app, scheme, scale, n_pixels = point[:4]
         emulate_uncached(app, scheme, scale, n_pixels)
     return time.perf_counter() - start
 
@@ -122,14 +144,23 @@ def time_pareto_100k() -> float:
 
 
 def check_sample_agreement(result) -> None:
+    from repro.core.axes import EncodingVariant
     from repro.core.config import NFPConfig, NGPCConfig
-    from repro.core.emulator import Emulator
+    from repro.core.emulator import emulate_with_config
 
     grid = result.grid
     rng = np.random.default_rng(0)
     for _ in range(10):
         idx = tuple(rng.integers(n) for n in grid.shape)
-        i, j, k, l, c, g, e, b = idx
+        i, j, k, l, c, g, e, b = idx[:8]
+        encoding = EncodingVariant()
+        if len(idx) == 11:  # extension axes active: trailing (T, H, R)
+            t, h, r = idx[8:]
+            encoding = EncodingVariant(
+                grid.gridtypes[t],
+                grid.log2_hashmap_sizes[h],
+                grid.per_level_scales[r],
+            )
         nfp = NFPConfig(
             clock_ghz=grid.clocks_ghz[c],
             grid_sram_kb_per_engine=grid.grid_sram_kb[g],
@@ -140,8 +171,9 @@ def check_sample_agreement(result) -> None:
             nfp=nfp,
             n_pipeline_batches=grid.n_batches[b],
         )
-        scalar = Emulator(config).run(
-            grid.apps[i], grid.schemes[j], grid.pixel_counts[l]
+        scalar = emulate_with_config(
+            grid.apps[i], grid.schemes[j], config, grid.pixel_counts[l],
+            encoding,
         )
         batched = float(result.accelerated_ms[idx])
         rel = abs(batched - scalar.accelerated_ms) / scalar.accelerated_ms
@@ -257,7 +289,39 @@ def main(argv=None) -> int:
                 f"scalar (< {PROCESS_SPEEDUP_FLOOR:.0f}x)"
             )
 
-    # -- gate 3: vectorized pareto front on 100k points --------------------
+    # -- gate 3: the 9-axis encoding grid keeps the vectorized fast path ---
+    enc_grid = build_encoding_grid(args.quick)
+    enc_shape = "x".join(str(n) for n in enc_grid.shape)
+    print(f"\nencoding grid: {enc_grid.size} points ({enc_shape})")
+    enc_vec_s = time_engine(enc_grid, "vectorized", repeats=3)
+    enc_scalar_s = time_engine(enc_grid, "scalar")
+    enc_result = sweep_grid(enc_grid, engine="vectorized", use_cache=False)
+    assert enc_result.accelerated_ms.ndim == 11, "extension axes inactive?"
+    check_sample_agreement(enc_result)
+    enc_speedup = enc_scalar_s / enc_vec_s
+    enc_floor = QUICK_SPEEDUP_FLOOR if args.quick else SPEEDUP_FLOOR
+    results["encoding_grid"] = {
+        "points": enc_grid.size,
+        "shape": list(enc_grid.shape),
+        "scalar_s": enc_scalar_s,
+        "vectorized_s": enc_vec_s,
+        "vectorized_points_per_sec": enc_grid.size / enc_vec_s,
+        "speedup_vectorized_vs_scalar": enc_speedup,
+        "floor": enc_floor,
+    }
+    print(f"  scalar engine        : {enc_scalar_s * 1e3:9.2f} ms "
+          f"({enc_scalar_s / enc_grid.size * 1e6:7.1f} us/point)")
+    print(f"  batched (vectorized) : {enc_vec_s * 1e3:9.2f} ms "
+          f"({enc_vec_s / enc_grid.size * 1e6:7.1f} us/point)")
+    print(f"  speedup              : {enc_speedup:9.1f}x "
+          f"(floor {enc_floor:.0f}x)")
+    if enc_speedup < enc_floor:
+        failures.append(
+            f"9-axis vectorized sweep only {enc_speedup:.1f}x faster than "
+            f"scalar (< {enc_floor:.0f}x)"
+        )
+
+    # -- gate 4: vectorized pareto front on 100k points --------------------
     pareto_s = time_pareto_100k()
     results["pareto_100k_s"] = pareto_s
     results["pareto_100k_ceiling_s"] = PARETO_100K_CEILING_S

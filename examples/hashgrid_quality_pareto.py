@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Hash-grid quality-vs-area Pareto sweep over the new encoding axes.
+
+The axis registry's proof-of-life, end to end: sweep Instant-NGP-style
+hash-table sizes (``log2_hashmap_size`` = T) and per-level growth
+factors (b) through the batched engine, price each table size in die
+area (hash entries cost grid SRAM), score it with the analytic
+collision-rate quality proxy, and print the non-dominated
+(area, quality) configurations plus the timing/training answers the
+same sweep already holds.
+
+Run:  python examples/hashgrid_quality_pareto.py
+"""
+
+from repro.analysis import format_table
+from repro.api import Grid, Session
+from repro.apps.evaluation import hash_collision_rate_batch
+from repro.apps.params import get_config
+from repro.core.area_power import hashgrid_area_power_batch, hashmap_sram_kb
+from repro.core.dse import pareto_front
+
+APP = "nerf"
+SCHEME = "multi_res_hashgrid"
+LOG2_TABLE_SIZES = (14, 16, 18, 19, 20, 22)
+LEVEL_SCALES = (1.5, 2.0)
+
+
+def main() -> None:
+    # one batched evaluation covers every (T, b) encoding variant
+    sweep = Session().sweep(
+        Grid()
+        .app(APP)
+        .scheme(SCHEME)
+        .scale(8)
+        .gridtype("hash")
+        .hashmap(*LOG2_TABLE_SIZES)
+        .level_scale(*LEVEL_SCALES)
+    )
+    result = sweep.result
+    grid = result.grid
+
+    # quality side: analytic collision rate per (gridtype, T, b)
+    collisions = hash_collision_rate_batch(
+        get_config(APP, SCHEME),
+        grid.gridtypes, grid.log2_hashmap_sizes, grid.per_level_scales,
+    )
+    # cost side: each table size priced at the SRAM capacity it needs
+    cost = hashgrid_area_power_batch((8,), grid.log2_hashmap_sizes)
+    srams = hashmap_sram_kb(grid.log2_hashmap_sizes)
+
+    for r, level_scale in enumerate(grid.per_level_scales):
+        areas = [float(cost["area_mm2_7nm"][0, 0, h, 0])
+                 for h in range(len(grid.log2_hashmap_sizes))]
+        quality = [1.0 - float(collisions[0, h, r])
+                   for h in range(len(grid.log2_hashmap_sizes))]
+        front = set(pareto_front(areas, quality))
+        rows = []
+        for h, log2_t in enumerate(grid.log2_hashmap_sizes):
+            point = sweep.point(
+                app=APP, scale_factor=8, log2_hashmap_size=log2_t,
+                per_level_scale=level_scale,
+            )
+            rows.append([
+                f"T=2^{log2_t}",
+                f"{int(srams[h])} KB",
+                f"{areas[h]:.2f} mm2",
+                f"{100.0 * (1.0 - quality[h]):.1f}%",
+                f"{point.speedup:.1f}x",
+                "yes" if h in front else "no",
+            ])
+        print(format_table(
+            ["table", "grid SRAM", "NGPC-8 area", "collisions",
+             "speedup", "Pareto"],
+            rows,
+            title=(f"\nHash-grid quality vs area — {APP}, "
+                   f"per-level scale b={level_scale:g}"),
+        ))
+
+    # the same sweep answers training-throughput queries — pin an
+    # encoding variant (selectors work like any other swept axis) and
+    # ask for the cheapest configuration meeting a step-rate floor
+    hit = sweep.cheapest(
+        app=APP, train_steps_per_s=1.0,
+        gridtype="hash", log2_hashmap_size=19, per_level_scale=2.0,
+    )
+    print(
+        f"\ncheapest config training at >= 1 step/s with T=2^19, b=2: "
+        f"NGPC-{hit.scale_factor} "
+        f"({hit.area_overhead_pct:.2f}% area overhead, "
+        f"{hit.average_speedup:.1f}x speedup)"
+    )
+
+
+if __name__ == "__main__":
+    main()

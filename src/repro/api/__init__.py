@@ -38,6 +38,7 @@ from repro.api.grid import Grid, as_sweep_grid
 from repro.api.session import Session, Sweep
 from repro.core.dse import (
     PAYLOAD_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     AmbiguousAxisError,
     DesignPoint,
     EmulationResult,
@@ -70,6 +71,7 @@ __all__ = [
     "RemoteBackend",
     "ReproError",
     "ResultStore",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ServiceError",
     "Session",
     "StoreCorruptionWarning",

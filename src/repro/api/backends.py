@@ -61,6 +61,7 @@ from repro.core.dse import (
     store_block_plan,
     sweep_fingerprint,
     sweep_grid,
+    task_batch_kwargs,
 )
 from repro.core.emulator import emulate, emulate_batch, emulate_with_config
 from repro.errors import BackendUnavailableError
@@ -113,6 +114,9 @@ class Backend:
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ):
         """Progress + refining-Pareto-front events for one sweep, or None.
 
@@ -200,6 +204,9 @@ class LocalBackend(Backend):
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ):
         """Blockwise in-process evaluation, yielding events per block.
 
@@ -219,8 +226,12 @@ class LocalBackend(Backend):
             if len(resolved.schemes) != 1:
                 raise AmbiguousAxisError("scheme", resolved.schemes)
             scheme = resolved.schemes[0]
+        encoding = dict(
+            gridtype=gridtype, log2_hashmap_size=log2_hashmap_size,
+            per_level_scale=per_level_scale,
+        )
         partial = PartialSweep(resolved, self.ngpc)
-        partial.validate_selectors(scheme, n_pixels, app)
+        partial.validate_selectors(scheme, n_pixels, app, **encoding)
         engine = (
             STORE_ENGINE if self.store is not None
             else _resolve_engine(self.engine, resolved)
@@ -230,7 +241,9 @@ class LocalBackend(Backend):
         cacheable = self.use_cache and resolved.size <= _SWEEP_CACHE_MAX_POINTS
 
         def terminal_events(result, cached):
-            points = result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+            points = result.pareto_front(
+                scheme, n_pixels=n_pixels, app=app, **encoding
+            )
             yield {
                 "event": "progress",
                 "points_done": resolved.size,
@@ -280,12 +293,10 @@ class LocalBackend(Backend):
                 if block is not None:
                     self.tier["blocks_cached"] += 1
             if block is None:
-                task_app, task_scheme, scales, pixels, clocks, srams, \
-                    engines, batches = task
+                task_app, task_scheme, scales, pixels = task[:4]
                 evaluated = emulate_batch(
                     task_app, task_scheme, scales, pixels, self.ngpc,
-                    clocks_ghz=clocks, grid_sram_kb=srams,
-                    n_engines=engines, n_batches=batches,
+                    **task_batch_kwargs(task),
                 )
                 block = {
                     name: evaluated[name]
@@ -306,7 +317,9 @@ class LocalBackend(Backend):
             }
             front = [
                 p.to_dict()
-                for p in partial.pareto_front(scheme, n_pixels=n_pixels, app=app)
+                for p in partial.pareto_front(
+                    scheme, n_pixels=n_pixels, app=app, **encoding
+                )
             ]
             if front and front != last_front:
                 last_front = front
@@ -325,7 +338,9 @@ class LocalBackend(Backend):
             "done": True, "failed": False,
             "elapsed_s": round(time.monotonic() - started, 6),
         }
-        final = result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+        final = result.pareto_front(
+            scheme, n_pixels=n_pixels, app=app, **encoding
+        )
         yield {"event": "front", "final": True,
                "points": [p.to_dict() for p in final]}
         yield {"event": "complete", "engine": result.engine,
@@ -402,6 +417,9 @@ class RemoteBackend(Backend):
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ):
         """The server's ``/sweep/stream`` ndjson events, as received.
 
@@ -411,7 +429,9 @@ class RemoteBackend(Backend):
         carries fronts, not the hypercube).
         """
         return self._client.stream_pareto(
-            grid.to_dict(), scheme=scheme, n_pixels=n_pixels, app=app
+            grid.to_dict(), scheme=scheme, n_pixels=n_pixels, app=app,
+            gridtype=gridtype, log2_hashmap_size=log2_hashmap_size,
+            per_level_scale=per_level_scale,
         )
 
     def stats(self) -> Dict:
@@ -627,6 +647,9 @@ class DistributedBackend(Backend):
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ):
         """The embedded service's stream, bridged off its loop thread.
 
@@ -650,7 +673,10 @@ class DistributedBackend(Backend):
         async def pump():
             try:
                 async for event in self.service.sweep_stream(
-                    grid, scheme=scheme, n_pixels=n_pixels, app=app
+                    grid, scheme=scheme, n_pixels=n_pixels, app=app,
+                    gridtype=gridtype,
+                    log2_hashmap_size=log2_hashmap_size,
+                    per_level_scale=per_level_scale,
                 ):
                     events.put(event)
             except BaseException as exc:

@@ -138,6 +138,44 @@ class Grid:
         """Pipeline batch counts."""
         return self._set("n_batches", tuple(int(v) for v in counts))
 
+    def gridtype(self, *kinds: str) -> "Grid":
+        """Encoding grid storage types (``"hash"``, ``"tiled"``)."""
+        return self._set("gridtypes", kinds)
+
+    def hashmap(self, *log2_sizes: int) -> "Grid":
+        """Hash-table capacities as log2 entry counts (e.g. 14..24)."""
+        return self._set(
+            "log2_hashmap_sizes", tuple(int(v) for v in log2_sizes)
+        )
+
+    def level_scale(self, *scales: float) -> "Grid":
+        """Per-level geometric resolution growth factors."""
+        return self._set("per_level_scales", tuple(float(v) for v in scales))
+
+    def __getattr__(self, name: str):
+        # a mistyped axis call would otherwise surface as a bare
+        # AttributeError far from the registry; name the closest
+        # registered builder instead
+        if name.startswith("_"):
+            raise AttributeError(name)
+        from repro.core.axes import AXES, suggest_axis
+        from repro.errors import UnknownAxisError
+
+        suggestion = suggest_axis(name)
+        hint = ""
+        if suggestion:
+            spec = next(
+                (s for s in AXES if suggestion in
+                 (s.name, s.builder, s.query_name, s.cli)), None
+            )
+            builder = spec.builder if spec else suggestion
+            hint = f"; did you mean .{builder}(...)?"
+        raise UnknownAxisError(
+            f"Grid has no axis {name!r}{hint} (registered builders: "
+            + ", ".join(s.builder for s in AXES) + ")",
+            name=name, suggestion=suggestion or "",
+        )
+
     # -- outputs -------------------------------------------------------------
     def build(self) -> SweepGrid:
         """The canonical :class:`SweepGrid` (unset axes keep defaults)."""

@@ -44,7 +44,11 @@ from repro.core.dse import (
     SweepResult,
     sweep_fingerprint,
 )
-from repro.errors import NotOnGridError, infeasible_query
+from repro.errors import (
+    NotOnGridError,
+    infeasible_query,
+    infeasible_train_query,
+)
 from repro.service.errors import ServiceError
 from repro.explore import AdaptiveExplorer
 from repro.gpu.baseline import FHD_PIXELS
@@ -163,42 +167,77 @@ class Sweep:
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> List[DesignPoint]:
         """Non-dominated (area cost, speedup benefit) configurations.
 
         ``scheme``/``n_pixels`` follow the singleton rule; ``app=None``
-        ranks by the all-apps average speedup.
+        ranks by the all-apps average speedup.  On grids that sweep the
+        encoding axes (``gridtype``/``log2_hashmap_size``/
+        ``per_level_scale``), those selectors follow the same singleton
+        rule and pin the front to one encoding variant.
         """
         scheme = _pick("scheme", self.grid.schemes, scheme)
         if app is not None and app not in self.grid.apps:
             raise NotOnGridError(f"app={app!r} not on the grid")
-        if self._explorer is not None:
-            return self._explorer.pareto(scheme, n_pixels=n_pixels, app=app)
-        return self.result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+        target = (
+            self._explorer.pareto if self._explorer is not None
+            else self.result.pareto_front
+        )
+        return target(
+            scheme, n_pixels=n_pixels, app=app, gridtype=gridtype,
+            log2_hashmap_size=log2_hashmap_size,
+            per_level_scale=per_level_scale,
+        )
 
     def cheapest(
         self,
         app: Optional[str] = None,
-        fps: float = 60.0,
+        fps: Optional[float] = None,
         n_pixels: Optional[int] = None,
         scheme: Optional[str] = None,
+        train_steps_per_s: Optional[float] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> DesignPoint:
-        """Cheapest-area configuration hitting ``fps``.
+        """Cheapest-area configuration hitting a throughput target.
+
+        The target is either ``fps`` (rendering, the default — 60 when
+        neither is named) or ``train_steps_per_s`` (training-time
+        queries over the derived
+        :attr:`~repro.core.dse.SweepResult.train_steps_per_s` metric);
+        naming both is ambiguous and raises :class:`ValueError`.
 
         Raises :class:`~repro.errors.InfeasibleQueryError` when no
-        point on the grid reaches ``fps`` — the identical structured
-        error (message, ``app``/``fps``/``n_pixels``/``scheme`` query
-        echo, achievable ``best_fps``) on every backend and explore
-        mode, so callers can relax the constraint programmatically.
+        point on the grid reaches the target — the identical structured
+        error (message, query echo, achievable ``best_fps`` /
+        ``best_rate``) on every backend and explore mode, so callers
+        can relax the constraint programmatically.
         """
+        if fps is not None and train_steps_per_s is not None:
+            raise ValueError(
+                "name one target: fps= or train_steps_per_s=, not both"
+            )
         app = _pick("app", self.grid.apps, app)
+        encoding = dict(
+            gridtype=gridtype, log2_hashmap_size=log2_hashmap_size,
+            per_level_scale=per_level_scale,
+        )
+        if train_steps_per_s is not None:
+            return self._cheapest_train(
+                app, train_steps_per_s, n_pixels, scheme, encoding
+            )
+        fps = 60.0 if fps is None else fps
         if self._explorer is not None:
             return self._explorer.cheapest(
-                app, fps, n_pixels=n_pixels, scheme=scheme
+                app, fps, n_pixels=n_pixels, scheme=scheme, **encoding
             )
         result = self.result
         hit = result.cheapest_point_meeting_fps(
-            app, fps, n_pixels=n_pixels, scheme=scheme
+            app, fps, n_pixels=n_pixels, scheme=scheme, **encoding
         )
         if hit is not None:
             return hit
@@ -206,9 +245,49 @@ class Sweep:
         i = grid.apps.index(app)
         j = result._axis_index("scheme", scheme, grid.schemes)
         l = result._axis_index("n_pixels", n_pixels, grid.pixel_counts)
-        best_fps = float(1000.0 / result.accelerated_ms[i, j, :, l].min())
+        acc = result.accelerated_ms[i, j, :, l]
+        enc = result._encoding_slice(**encoding)
+        if enc:
+            acc = acc[..., enc[0], enc[1], enc[2]]
+        best_fps = float(1000.0 / acc.min())
         raise infeasible_query(
             app, fps, grid.pixel_counts[l], grid.schemes[j], best_fps
+        )
+
+    def _cheapest_train(
+        self, app, steps_per_s, n_pixels, scheme, encoding
+    ) -> DesignPoint:
+        """Cheapest config training at ``steps_per_s``; raises infeasible.
+
+        Both explore modes answer from the same feasibility boundary
+        (the explorer's predicate replicates the dense metric's exact
+        arithmetic); an infeasible adaptive query falls back to the
+        dense result once to report the achievable rate.
+        """
+        if self._explorer is not None:
+            hit = self._explorer.cheapest_train(
+                app, steps_per_s, n_pixels=n_pixels, scheme=scheme,
+                **encoding,
+            )
+        else:
+            hit = self.result.cheapest_point_meeting_train_rate(
+                app, steps_per_s, n_pixels=n_pixels, scheme=scheme,
+                **encoding,
+            )
+        if hit is not None:
+            return hit
+        result = self.result
+        grid = self.grid
+        i = grid.apps.index(app)
+        j = result._axis_index("scheme", scheme, grid.schemes)
+        l = result._axis_index("n_pixels", n_pixels, grid.pixel_counts)
+        rates = result.train_steps_per_s[i, j, :, l]
+        enc = result._encoding_slice(**encoding)
+        if enc:
+            rates = rates[..., enc[0], enc[1], enc[2]]
+        raise infeasible_train_query(
+            app, steps_per_s, grid.pixel_counts[l], grid.schemes[j],
+            float(rates.max()),
         )
 
     def point(
@@ -221,6 +300,9 @@ class Sweep:
         grid_sram_kb: Optional[int] = None,
         n_engines: Optional[int] = None,
         n_batches: Optional[int] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> EmulationResult:
         """One grid point; every selector follows the singleton rule."""
         target = self._explorer if self._explorer is not None else self.result
@@ -233,6 +315,9 @@ class Sweep:
             grid_sram_kb=grid_sram_kb,
             n_engines=n_engines,
             n_batches=n_batches,
+            gridtype=gridtype,
+            log2_hashmap_size=log2_hashmap_size,
+            per_level_scale=per_level_scale,
         )
 
     def watch(
@@ -240,6 +325,9 @@ class Sweep:
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ):
         """Yield refining Pareto fronts while the sweep evaluates.
 
@@ -261,16 +349,25 @@ class Sweep:
         selected = _pick("scheme", self.grid.schemes, scheme)
         if app is not None and app not in self.grid.apps:
             raise NotOnGridError(f"app={app!r} not on the grid")
+        encoding = dict(
+            gridtype=gridtype, log2_hashmap_size=log2_hashmap_size,
+            per_level_scale=per_level_scale,
+        )
         if self._result is not None or self._explorer is not None:
-            yield self.pareto(scheme=selected, n_pixels=n_pixels, app=app)
+            yield self.pareto(
+                scheme=selected, n_pixels=n_pixels, app=app, **encoding
+            )
             return
         stream = None
         if self._backend_obj is not None:
             stream = self._backend_obj.stream_events(
-                self._grid, scheme=selected, n_pixels=n_pixels, app=app
+                self._grid, scheme=selected, n_pixels=n_pixels, app=app,
+                **encoding,
             )
         if stream is None:
-            yield self.pareto(scheme=selected, n_pixels=n_pixels, app=app)
+            yield self.pareto(
+                scheme=selected, n_pixels=n_pixels, app=app, **encoding
+            )
             return
         for event in stream:
             kind = event.get("event")

@@ -108,3 +108,60 @@ def evaluate(app) -> Dict[str, float]:
     if isinstance(app, NVRApp):
         return evaluate_nvr(app)
     raise TypeError(f"no evaluation defined for {type(app).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# hash-grid collision quality proxy (the encoding axes' co-metric)
+# ---------------------------------------------------------------------------
+
+
+def hash_collision_rate(config, variant=None) -> float:
+    """Analytic hash-collision fraction of one encoding variant, in [0, 1).
+
+    When a level's dense voxel demand exceeds its table capacity,
+    colliding cells share entries and the gradient averaging degrades
+    reconstruction quality (Instant-NGP Sec. 3).  The proxy is the
+    per-level shortfall ``max(0, 1 - stored/dense)`` averaged over
+    levels — 0 when every level stores densely (no collisions), rising
+    toward 1 as tables shrink.  ``config`` is an
+    :class:`~repro.apps.params.AppConfig`; ``variant`` an
+    :class:`~repro.core.axes.EncodingVariant` (default: the app's
+    Table I parameters).  Pairs with the cost side
+    (:func:`repro.core.area_power.hashgrid_area_power_batch`) for
+    quality-vs-area Pareto sweeps over the hash-grid axes.
+    """
+    from repro.core.axes import DEFAULT_ENCODING
+    from repro.core.encoding_engine import _dense_entries, _level_entries_variant
+
+    variant = variant if variant is not None else DEFAULT_ENCODING
+    rates = []
+    for level in range(config.grid.n_levels):
+        dense = _dense_entries(config, level, variant)
+        stored = _level_entries_variant(config, level, variant)
+        rates.append(max(0.0, 1.0 - stored / dense))
+    return float(np.mean(rates))
+
+
+def hash_collision_rate_batch(
+    config, gridtypes, log2_hashmap_sizes, per_level_scales
+) -> np.ndarray:
+    """Vectorized :func:`hash_collision_rate` over the encoding axes.
+
+    Returns a (T, H, R) array — one collision rate per
+    (gridtype, log2_hashmap_size, per_level_scale) combination, same
+    arithmetic as the scalar path.  The quality co-metric companion to
+    a sweep's (..., T, H, R) timing arrays.
+    """
+    from repro.core.axes import EncodingVariant
+
+    gridtypes = tuple(gridtypes)
+    log2_ts = tuple(log2_hashmap_sizes)
+    plscales = tuple(per_level_scales)
+    out = np.empty((len(gridtypes), len(log2_ts), len(plscales)))
+    for t, gridtype in enumerate(gridtypes):
+        for h, log2_t in enumerate(log2_ts):
+            for r, pls in enumerate(plscales):
+                out[t, h, r] = hash_collision_rate(
+                    config, EncodingVariant(gridtype, log2_t, pls)
+                )
+    return out

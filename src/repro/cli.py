@@ -34,6 +34,7 @@ from typing import List, Optional
 from repro.analysis import format_comparison, format_table, get_experiment
 from repro.analysis.experiments import EXPERIMENTS
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.axes import AXES, EXTENSION_AXES, suggest_axis
 from repro.calibration import paper
 from repro.core import NGPCConfig, ngpc_area_power
 from repro.core.config import SCALE_FACTORS
@@ -94,15 +95,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-#: ``--sweep`` axis names -> (SweepGrid field, value parser)
+#: ``--sweep`` axis names -> (SweepGrid field, value parser), derived
+#: from the axis registry: every spec that declares a ``cli`` key is
+#: sweepable from the command line, so registering an axis with
+#: ``cli=``/``cli_cast=`` surfaces it here with no CLI edit
 _SWEEP_AXES = {
-    "scale": ("scale_factors", int),
-    "pixels": ("pixel_counts", int),
-    "clock": ("clocks_ghz", float),
-    "sram": ("grid_sram_kb", int),
-    "engines": ("n_engines", int),
-    "batches": ("n_batches", int),
+    spec.cli: (spec.name, spec.cli_cast)
+    for spec in AXES
+    if spec.cli is not None
 }
+
+
+def _unknown_sweep_axis(name: str, part: str) -> argparse.ArgumentTypeError:
+    """The structured unknown-axis message (closest registered spelling)."""
+    suggestion = suggest_axis(name)
+    hint = ""
+    if suggestion:
+        spec = next(
+            (s for s in AXES if suggestion in
+             (s.name, s.builder, s.query_name, s.cli)), None
+        )
+        if spec is not None and spec.cli:
+            hint = f"; did you mean {spec.cli!r}?"
+    return argparse.ArgumentTypeError(
+        f"unknown sweep axis {name!r} in {part!r}{hint} "
+        f"(registered: {', '.join(sorted(_SWEEP_AXES))})"
+    )
 
 
 def _sweep_spec(text: str) -> dict:
@@ -111,11 +129,13 @@ def _sweep_spec(text: str) -> dict:
     for part in text.split(","):
         name, sep, values = part.partition("=")
         name = name.strip()
-        if not sep or name not in _SWEEP_AXES or not values:
+        if not sep or not values:
             raise argparse.ArgumentTypeError(
                 f"bad sweep axis {part!r}; expected axis=v1:v2 with axis "
                 f"in {sorted(_SWEEP_AXES)}"
             )
+        if name not in _SWEEP_AXES:
+            raise _unknown_sweep_axis(name, part)
         field, convert = _SWEEP_AXES[name]
         if field in parsed:
             raise argparse.ArgumentTypeError(f"sweep axis {name!r} given twice")
@@ -187,13 +207,34 @@ def cmd_dse(args: argparse.Namespace) -> int:
         sweep = session.sweep(grid_spec, explore=args.explore)
     grid = sweep.grid  # resolved + normalized axes
     n_pixels = grid.pixel_counts[0]
-    front_points = sweep.pareto(scheme=args.scheme, n_pixels=n_pixels)
     adaptive = sweep.explore == "adaptive"
+    # anything beyond the classic scale ladder is "architectural": the
+    # registry knows every CLI-sweepable axis, so a newly registered
+    # axis lands in the N-dimensional display with no CLI edit
     architectural = any(
-        len(axis) > 1
-        for axis in (grid.clocks_ghz, grid.grid_sram_kb, grid.n_engines,
-                     grid.n_batches, grid.pixel_counts)
+        len(getattr(grid, spec.name) or ()) > 1
+        for spec in AXES
+        if spec.cli is not None and spec.name != "scale_factors"
     )
+    # encoding axes are slice selectors in queries: a grid sweeping
+    # several encoding variants gets one front per variant
+    enc_specs = [
+        spec for spec in EXTENSION_AXES
+        if len(getattr(grid, spec.name) or ()) > 1
+    ]
+    if enc_specs:
+        import itertools
+
+        enc_combos = [
+            dict(zip((s.query_name for s in enc_specs), values))
+            for values in itertools.product(
+                *(getattr(grid, s.name) for s in enc_specs)
+            )
+        ]
+    else:
+        enc_combos = [{}]
+    front_points = sweep.pareto(scheme=args.scheme, n_pixels=n_pixels,
+                                **enc_combos[0])
     if adaptive:
         # adaptive sweeps have no dense result to tabulate; the Pareto
         # front (exact, partially evaluated) is the headline either way
@@ -225,34 +266,51 @@ def cmd_dse(args: argparse.Namespace) -> int:
         )
     else:
         # N-dimensional sweep: show the Pareto front over all config axes
-        # (candidates = the config combinations of one resolution slice)
+        # (candidates = the config combinations of one resolution slice,
+        # one front per encoding variant when encoding axes are swept)
         n_configs = grid.size // (len(grid.apps) * len(grid.schemes)
-                                  * len(grid.pixel_counts))
-        rows = [
-            [p.describe(), f"{p.area_overhead_pct:.2f}%",
-             f"{p.power_overhead_pct:.2f}%", f"{p.average_speedup:.2f}x"]
-            for p in front_points
-        ]
-        print(
-            format_table(
-                ["config", "area", "power", "avg speedup"],
-                rows,
-                title=title + f" — Pareto front ({len(rows)} of "
-                              f"{n_configs} configs @ {n_pixels:,} px)",
+                                  * len(grid.pixel_counts)
+                                  * len(enc_combos))
+        for n, combo in enumerate(enc_combos):
+            points = front_points if n == 0 else sweep.pareto(
+                scheme=args.scheme, n_pixels=n_pixels, **combo
             )
-        )
+            suffix = ""
+            if combo:
+                suffix = (" ["
+                          + ", ".join(f"{k}={v}" for k, v in combo.items())
+                          + "]")
+            rows = [
+                [p.describe(), f"{p.area_overhead_pct:.2f}%",
+                 f"{p.power_overhead_pct:.2f}%", f"{p.average_speedup:.2f}x"]
+                for p in points
+            ]
+            print(
+                format_table(
+                    ["config", "area", "power", "avg speedup"],
+                    rows,
+                    title=title + suffix + f" — Pareto front ({len(rows)} of "
+                                           f"{n_configs} configs @ "
+                                           f"{n_pixels:,} px)",
+                )
+            )
     if args.fps is not None:
         # answer from the grid already evaluated above — no re-sweep
         print(f"\ncheapest configuration meeting {args.fps:g} FPS:")
-        for app in APP_NAMES:
-            try:
-                hit = sweep.cheapest(app=app, fps=args.fps, n_pixels=n_pixels)
-            except InfeasibleQueryError:
-                print(f"  {app:5s}: not achievable on the evaluated grid")
-            else:
-                print(f"  {app:5s}: {hit.describe()} "
-                      f"(+{hit.area_overhead_pct:.2f}% area, "
-                      f"{hit.speedups[app]:.2f}x speedup)")
+        for combo in enc_combos:
+            if combo:
+                print("  [" + ", ".join(f"{k}={v}" for k, v in combo.items())
+                      + "]")
+            for app in APP_NAMES:
+                try:
+                    hit = sweep.cheapest(app=app, fps=args.fps,
+                                         n_pixels=n_pixels, **combo)
+                except InfeasibleQueryError:
+                    print(f"  {app:5s}: not achievable on the evaluated grid")
+                else:
+                    print(f"  {app:5s}: {hit.describe()} "
+                          f"(+{hit.area_overhead_pct:.2f}% area, "
+                          f"{hit.speedups[app]:.2f}x speedup)")
     if adaptive:
         s = sweep.explore_stats
         frac = s["points_evaluated"] / max(1, s["points_total"])
@@ -537,13 +595,16 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "sweep axes: scale, pixels, clock (GHz), sram (KB/engine),\n"
-            "engines (per NFP), batches (pipeline); values are ':'-separated.\n"
+            "engines (per NFP), batches (pipeline), gridtype (hash|tiled),\n"
+            "loghash (log2 hash-table entries), plscale (per-level growth\n"
+            "factor); values are ':'-separated.\n"
             "\n"
             "examples:\n"
             "  repro dse --sweep clock=0.8:1.2:1.695,sram=512:1024\n"
             "  repro dse --sweep engines=8:16:32 --sweep batches=4:8:16:32\n"
             "  repro dse --sweep scale=8:16:32:64,clock=1.2:1.695 --fps 60\n"
             "  repro dse --sweep sram=256:512:1024:2048 --engine auto\n"
+            "  repro dse --sweep gridtype=hash:tiled,loghash=14:19:24\n"
         ),
     )
     p.add_argument("--scheme", choices=ENCODING_SCHEMES, default="multi_res_hashgrid")

@@ -203,3 +203,56 @@ def ngpc_area_power_batch(
     if legacy:  # classic call: arrays shaped like the ``scale_factors`` input
         out = {name: arr.reshape(legacy_shape) for name, arr in out.items()}
     return out
+
+
+def hashmap_sram_kb(log2_hashmap_sizes, n_features: int = 2) -> np.ndarray:
+    """Per-engine grid-SRAM (KB) sized to hold one 2^T-entry hash level.
+
+    The silicon hook of the registry's ``log2_hashmap_sizes`` axis: each
+    hash-table entry stores ``n_features`` quantized features at
+    :data:`~repro.core.encoding_engine.HW_BYTES_PER_FEATURE` bytes, and
+    SRAM macros come in power-of-two KB sizes, so the capacity is the
+    byte demand rounded up to the next power-of-two KB (>= 1 KB).  Feed
+    the result to :func:`ngpc_area_power_batch`'s ``grid_sram_kb`` axis
+    to price a hash-table size in die area/power.
+    """
+    from repro.core.encoding_engine import HW_BYTES_PER_FEATURE
+
+    if n_features < 1:
+        raise ValueError("need at least one feature per entry")
+    log2_ts = np.asarray(log2_hashmap_sizes, dtype=np.int64)
+    if np.any(log2_ts < 1):
+        raise ValueError("log2_hashmap_size must be >= 1")
+    out = np.empty(log2_ts.shape, dtype=np.int64)
+    flat_out = out.reshape(-1)
+    for pos, log2_t in enumerate(log2_ts.reshape(-1)):
+        entry_bytes = (1 << int(log2_t)) * n_features * HW_BYTES_PER_FEATURE
+        kb = max(1, -(-entry_bytes // 1024))  # ceil to whole KB
+        flat_out[pos] = 1 << (int(kb) - 1).bit_length()  # next power of two
+    return out
+
+
+def hashgrid_area_power_batch(
+    scale_factors,
+    log2_hashmap_sizes,
+    nfp: Optional[NFPConfig] = None,
+    clocks_ghz=None,
+    n_engines=None,
+    n_features: int = 2,
+) -> Dict[str, np.ndarray]:
+    """Cost hypercube with the SRAM axis derived from hash-table sizes.
+
+    Convenience over :func:`ngpc_area_power_batch` for hash-grid DSE:
+    the ``grid_sram_kb`` axis is computed by :func:`hashmap_sram_kb`, so
+    the returned (K, C, H, E) arrays price each ``log2_hashmap_sizes``
+    value at the SRAM capacity its table needs — the cost side of a
+    quality-vs-area Pareto sweep over the hash-grid axes.
+    """
+    srams = hashmap_sram_kb(log2_hashmap_sizes, n_features=n_features)
+    return ngpc_area_power_batch(
+        scale_factors,
+        nfp,
+        clocks_ghz=clocks_ghz,
+        grid_sram_kb=tuple(int(kb) for kb in srams.reshape(-1)),
+        n_engines=n_engines,
+    )

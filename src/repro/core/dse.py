@@ -50,6 +50,21 @@ import numpy as np
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.errors import NotOnGridError, ReproError
 from repro.core.area_power import ngpc_area_power_batch
+from repro.core.axes import (
+    AXES,
+    AXIS_FIELDS,
+    CONFIG_AXIS_FIELDS,
+    EXTENSION_AXES,
+    EXTENSION_AXIS_FIELDS,
+    GRIDTYPE_AUTO,
+    LEGACY_AXIS_FIELDS,
+    LOG2_HASHMAP_INHERIT,
+    PER_LEVEL_SCALE_INHERIT,
+    REFINE_AXIS_FIELDS,
+    TASK_BATCH_KWARGS,
+    EncodingVariant,
+    axis as axis_spec,
+)
 from repro.core.cache import (
     ModelCache,
     calibration_fingerprint,
@@ -121,7 +136,9 @@ class DesignPoint:
         label = f"NGPC-{self.scale_factor}"
         if self.config_axes:
             label += " (" + ", ".join(
-                f"{name}={value:g}" for name, value in self.config_axes
+                f"{name}={value:g}" if isinstance(value, (int, float))
+                else f"{name}={value}"
+                for name, value in self.config_axes
             ) + ")"
         return label
 
@@ -154,39 +171,39 @@ class DesignPoint:
 # ---------------------------------------------------------------------------
 # the batched sweep engine
 # ---------------------------------------------------------------------------
-
-#: the eight grid axes, in array-axis order
-AXIS_FIELDS = (
-    "apps",
-    "schemes",
-    "scale_factors",
-    "pixel_counts",
-    "clocks_ghz",
-    "grid_sram_kb",
-    "n_engines",
-    "n_batches",
-)
+# The grid axes are declared once, in :mod:`repro.core.axes`; this module
+# re-exports AXIS_FIELDS (all registered axes, array order) and
+# LEGACY_AXIS_FIELDS (the seed eight) from the registry for its
+# consumers.  A grid that does not actively sweep an extension axis
+# keeps the seed 8-dimensional arrays, task tuples and fingerprints.
 
 
 @dataclass(frozen=True)
 class SweepGrid:
     """A cartesian design space over workload and architecture axes.
 
-    Axis order (= array axis order of :class:`SweepResult`):
+    Axis order (= array axis order of :class:`SweepResult`) follows the
+    registry (:data:`repro.core.axes.AXES`):
 
-    0. ``apps``           application names
-    1. ``schemes``        encoding schemes
-    2. ``scale_factors``  NFPs per NGPC (power of two)
-    3. ``pixel_counts``   frame resolutions
-    4. ``clocks_ghz``     NFP clock frequencies (GHz)
-    5. ``grid_sram_kb``   per-engine grid-SRAM sizes (KB, power of two)
-    6. ``n_engines``      encoding engines per NFP
-    7. ``n_batches``      pipeline batch counts
+    0. ``apps``                application names
+    1. ``schemes``             encoding schemes
+    2. ``scale_factors``       NFPs per NGPC (power of two)
+    3. ``pixel_counts``        frame resolutions
+    4. ``clocks_ghz``          NFP clock frequencies (GHz)
+    5. ``grid_sram_kb``        per-engine grid-SRAM sizes (KB, power of two)
+    6. ``n_engines``           encoding engines per NFP
+    7. ``n_batches``           pipeline batch counts
+    8. ``gridtypes``           grid storage policy (auto | hash | tiled)
+    9. ``log2_hashmap_sizes``  log2 hash-table entries (0 = Table I)
+    10. ``per_level_scales``   per-level growth factor (0 = Table I)
 
-    The four architecture axes default to ``None`` — "inherit the single
-    value of the base :class:`NGPCConfig` at sweep time".  Call
-    :meth:`resolve` (done automatically by :func:`sweep_grid`) to pin
-    them to concrete one-value tuples.
+    The architecture axes default to ``None`` — "inherit the single
+    value of the base :class:`NGPCConfig` at sweep time" — and the
+    encoding (extension) axes default to ``None`` — "inherit the app's
+    Table I parameters".  Call :meth:`resolve` (done automatically by
+    :func:`sweep_grid`) to pin them to concrete one-value tuples.  A
+    grid that does not actively sweep an extension axis
+    (:attr:`is_extended` False) keeps the seed 8-dimensional arrays.
     """
 
     apps: Tuple[str, ...] = APP_NAMES
@@ -197,84 +214,69 @@ class SweepGrid:
     grid_sram_kb: Optional[Tuple[int, ...]] = None
     n_engines: Optional[Tuple[int, ...]] = None
     n_batches: Optional[Tuple[int, ...]] = None
+    gridtypes: Optional[Tuple[str, ...]] = None
+    log2_hashmap_sizes: Optional[Tuple[int, ...]] = None
+    per_level_scales: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self):
-        object.__setattr__(self, "apps", tuple(self.apps))
-        object.__setattr__(self, "schemes", tuple(self.schemes))
-        object.__setattr__(
-            self, "scale_factors", tuple(int(s) for s in self.scale_factors)
-        )
-        object.__setattr__(
-            self, "pixel_counts", tuple(int(p) for p in self.pixel_counts)
-        )
-        if self.clocks_ghz is not None:
+        for spec in AXES:
+            values = getattr(self, spec.name)
+            if values is None:
+                continue
             object.__setattr__(
-                self, "clocks_ghz", tuple(float(c) for c in self.clocks_ghz)
+                self, spec.name, tuple(spec.canon(v) for v in values)
             )
-        if self.grid_sram_kb is not None:
-            object.__setattr__(
-                self, "grid_sram_kb", tuple(int(g) for g in self.grid_sram_kb)
-            )
-        if self.n_engines is not None:
-            object.__setattr__(
-                self, "n_engines", tuple(int(e) for e in self.n_engines)
-            )
-        if self.n_batches is not None:
-            object.__setattr__(
-                self, "n_batches", tuple(int(b) for b in self.n_batches)
-            )
-        if not (self.apps and self.schemes and self.scale_factors and self.pixel_counts):
-            raise ValueError("every grid axis needs at least one value")
-        for axis in (self.clocks_ghz, self.grid_sram_kb, self.n_engines, self.n_batches):
-            if axis is not None and not axis:
+        for spec in AXES:
+            values = getattr(self, spec.name)
+            if values is None:
+                continue
+            if not values:
                 raise ValueError("every grid axis needs at least one value")
-        for app in self.apps:
-            if app not in APP_NAMES:
-                raise ValueError(f"unknown app {app!r}")
-        for scheme in self.schemes:
-            if scheme not in ENCODING_SCHEMES:
-                raise ValueError(f"unknown scheme {scheme!r}")
-        for scale in self.scale_factors:
-            NGPCConfig(scale_factor=scale)  # power-of-two validation
-        for n_pixels in self.pixel_counts:
-            if n_pixels <= 0:
-                raise ValueError("pixel counts must be positive")
-        # reuse the config dataclasses' validation for the architecture axes
-        if self.clocks_ghz is not None:
-            for clock in self.clocks_ghz:
-                NFPConfig(clock_ghz=clock)
-        if self.grid_sram_kb is not None:
-            for kb in self.grid_sram_kb:
-                NFPConfig(grid_sram_kb_per_engine=kb)
-        if self.n_engines is not None:
-            for n_eng in self.n_engines:
-                NFPConfig(n_encoding_engines=n_eng)
-        if self.n_batches is not None:
-            for n_b in self.n_batches:
-                NGPCConfig(n_pipeline_batches=n_b)
+            for value in values:
+                spec.validate(value)
 
     @property
     def is_resolved(self) -> bool:
-        """True once every architecture axis holds concrete values."""
-        return None not in (
-            self.clocks_ghz, self.grid_sram_kb, self.n_engines, self.n_batches
+        """True once every default-None axis holds concrete values."""
+        return not any(
+            getattr(self, spec.name) is None
+            for spec in AXES
+            if spec.default is None
         )
 
+    @property
+    def is_extended(self) -> bool:
+        """True when some extension axis sweeps beyond its sentinel.
+
+        Extended grids carry the extra trailing array dimensions and the
+        versioned (``v2``) fingerprints; everything else keeps the seed
+        8-dimensional layout bit for bit.
+        """
+        return any(
+            spec.is_active(getattr(self, spec.name)) for spec in EXTENSION_AXES
+        )
+
+    @property
+    def axis_fields(self) -> Tuple[str, ...]:
+        """This grid's array-axis field names, in array order.
+
+        The seed eight, or all registered axes when an extension axis is
+        actively swept (:attr:`is_extended`).
+        """
+        return AXIS_FIELDS if self.is_extended else LEGACY_AXIS_FIELDS
+
     def resolve(self, ngpc: Optional[NGPCConfig] = None) -> "SweepGrid":
-        """Pin unset architecture axes to the base config's values."""
+        """Pin unset inheriting axes to the base config's values."""
         if self.is_resolved:
             return self
         base = ngpc or NGPCConfig()
-        return SweepGrid(
-            apps=self.apps,
-            schemes=self.schemes,
-            scale_factors=self.scale_factors,
-            pixel_counts=self.pixel_counts,
-            clocks_ghz=self.clocks_ghz or (base.nfp.clock_ghz,),
-            grid_sram_kb=self.grid_sram_kb or (base.nfp.grid_sram_kb_per_engine,),
-            n_engines=self.n_engines or (base.nfp.n_encoding_engines,),
-            n_batches=self.n_batches or (base.n_pipeline_batches,),
-        )
+        kwargs = {}
+        for spec in AXES:
+            values = getattr(self, spec.name)
+            if values is None and spec.inherit is not None:
+                values = (spec.inherit(base),)
+            kwargs[spec.name] = values
+        return SweepGrid(**kwargs)
 
     def normalized(self) -> "SweepGrid":
         """Canonical axis ordering: sorted, de-duplicated values per axis.
@@ -282,7 +284,7 @@ class SweepGrid:
         Two grids naming the same design space with reordered (or
         repeated) axis values normalize to the same grid — the basis of
         :func:`sweep_fingerprint` and therefore of every service-level
-        cache key.  Unset architecture axes stay unset.
+        cache key.  Unset inheriting axes stay unset.
         """
 
         def canon(values):
@@ -294,12 +296,22 @@ class SweepGrid:
         return SweepGrid(**axes)
 
     def to_dict(self) -> Dict[str, list]:
-        """JSON-safe axis mapping (unset architecture axes are omitted)."""
+        """JSON-safe axis mapping.
+
+        Unset axes are omitted; so are extension axes pinned to their
+        inherit sentinels, keeping the payloads (and the store metadata
+        derived from them) of non-extended grids byte-identical to the
+        pre-registry schema.
+        """
         out = {}
-        for name in AXIS_FIELDS:
-            values = getattr(self, name)
-            if values is not None:
-                out[name] = list(values)
+        extended = self.is_extended
+        for spec in AXES:
+            values = getattr(self, spec.name)
+            if values is None:
+                continue
+            if spec.sentinel is not None and not extended:
+                continue
+            out[spec.name] = list(values)
         return out
 
     @classmethod
@@ -329,16 +341,14 @@ class SweepGrid:
 
     @property
     def shape(self) -> Tuple[int, ...]:
-        """(apps, schemes, scales, pixels, clocks, srams, engines, batches)."""
-        return (
-            len(self.apps),
-            len(self.schemes),
-            len(self.scale_factors),
-            len(self.pixel_counts),
-            len(self.clocks_ghz) if self.clocks_ghz is not None else 1,
-            len(self.grid_sram_kb) if self.grid_sram_kb is not None else 1,
-            len(self.n_engines) if self.n_engines is not None else 1,
-            len(self.n_batches) if self.n_batches is not None else 1,
+        """One extent per active axis field, in array order.
+
+        8-dimensional for seed grids, 11-dimensional when an extension
+        axis is actively swept; unset axes count as extent 1.
+        """
+        return tuple(
+            len(getattr(self, name)) if getattr(self, name) is not None else 1
+            for name in self.axis_fields
         )
 
     @property
@@ -346,25 +356,16 @@ class SweepGrid:
         return int(np.prod(self.shape))
 
     def points(self) -> Iterator[Tuple]:
-        """All grid points in array order, as 8-tuples
-        (app, scheme, scale, n_pixels, clock_ghz, sram_kb, engines, batches).
+        """All grid points in array order, one value tuple per point.
 
-        Unset architecture axes resolve against the default
-        :class:`NGPCConfig`.
+        8-tuples (app, scheme, scale, n_pixels, clock_ghz, sram_kb,
+        engines, batches) for seed grids; extended grids append the
+        (gridtype, log2_hashmap_size, per_level_scale) values.  Unset
+        axes resolve against the default :class:`NGPCConfig`.
         """
         grid = self.resolve()
-        for app in grid.apps:
-            for scheme in grid.schemes:
-                for scale in grid.scale_factors:
-                    for n_pixels in grid.pixel_counts:
-                        for clock in grid.clocks_ghz:
-                            for sram in grid.grid_sram_kb:
-                                for n_eng in grid.n_engines:
-                                    for n_b in grid.n_batches:
-                                        yield (
-                                            app, scheme, scale, n_pixels,
-                                            clock, sram, n_eng, n_b,
-                                        )
+        axes = [getattr(grid, name) for name in grid.axis_fields]
+        yield from itertools.product(*axes)
 
 
 @dataclass(frozen=True, eq=False)  # eq=False: ndarray fields break ==/hash
@@ -400,6 +401,16 @@ class SweepResult:
     def fps(self) -> np.ndarray:
         return 1000.0 / self.accelerated_ms
 
+    @property
+    def train_steps_per_s(self) -> np.ndarray:
+        """Derived training throughput (steps/s), shaped ``grid.shape``.
+
+        Computed on demand from ``accelerated_ms`` — never persisted, so
+        the metric can evolve without invalidating stores.  See
+        :func:`train_steps_per_s_batch` for the model.
+        """
+        return train_steps_per_s_batch(self.grid, self.accelerated_ms)
+
     # -- indexing -----------------------------------------------------------
     def _axis_index(self, axis_name: str, value, values: Tuple) -> int:
         if value is None:
@@ -411,6 +422,34 @@ class SweepResult:
         except ValueError as exc:
             raise NotOnGridError(f"{axis_name}={value!r} not on the grid") from exc
 
+    def _encoding_slice(
+        self,
+        gridtype: Optional[str],
+        log2_hashmap_size: Optional[int],
+        per_level_scale: Optional[float],
+    ) -> Tuple[int, ...]:
+        """Trailing array indices selected by the encoding-axis selectors.
+
+        ``()`` for non-extended grids (after validating that any named
+        selector is actually on the grid — its resolved sentinel axis);
+        a ``(t, h, r)`` triple for extended grids, applying the same
+        ambiguity rule as every other axis.
+        """
+        selectors = (
+            ("gridtype", gridtype, self.grid.gridtypes),
+            ("log2_hashmap_size", log2_hashmap_size, self.grid.log2_hashmap_sizes),
+            ("per_level_scale", per_level_scale, self.grid.per_level_scales),
+        )
+        if not self.grid.is_extended:
+            for name, value, values in selectors:
+                if value is not None:
+                    self._axis_index(name, value, values or ())
+            return ()
+        return tuple(
+            self._axis_index(name, value, values)
+            for name, value, values in selectors
+        )
+
     def index(
         self,
         app: str,
@@ -421,6 +460,9 @@ class SweepResult:
         grid_sram_kb: Optional[int] = None,
         n_engines: Optional[int] = None,
         n_batches: Optional[int] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> Tuple[int, ...]:
         try:
             base = (
@@ -438,7 +480,7 @@ class SweepResult:
             self._axis_index("grid_sram_kb", grid_sram_kb, self.grid.grid_sram_kb),
             self._axis_index("n_engines", n_engines, self.grid.n_engines),
             self._axis_index("n_batches", n_batches, self.grid.n_batches),
-        )
+        ) + self._encoding_slice(gridtype, log2_hashmap_size, per_level_scale)
 
     def point(
         self,
@@ -450,11 +492,15 @@ class SweepResult:
         grid_sram_kb: Optional[int] = None,
         n_engines: Optional[int] = None,
         n_batches: Optional[int] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> EmulationResult:
         """The :class:`EmulationResult` of one grid point."""
         idx = self.index(
             app, scheme, scale_factor, n_pixels,
             clock_ghz, grid_sram_kb, n_engines, n_batches,
+            gridtype, log2_hashmap_size, per_level_scale,
         )
         return EmulationResult(
             app=app,
@@ -484,20 +530,17 @@ class SweepResult:
         speedup = self.speedup
         fps = self.fps
         grid = self.grid
+        fields = grid.axis_fields
         for idx in np.ndindex(*grid.shape):
             if limit is not None and len(records) >= limit:
                 break
-            i, j, k, l, c, g, e, b = idx
-            records.append(
+            record = {
+                axis_spec(name).query_name: getattr(grid, name)[pos]
+                for name, pos in zip(fields, idx)
+            }
+            k, c, g, e = idx[2], idx[4], idx[5], idx[6]
+            record.update(
                 {
-                    "app": grid.apps[i],
-                    "scheme": grid.schemes[j],
-                    "scale_factor": grid.scale_factors[k],
-                    "n_pixels": grid.pixel_counts[l],
-                    "clock_ghz": grid.clocks_ghz[c],
-                    "grid_sram_kb": grid.grid_sram_kb[g],
-                    "n_engines": grid.n_engines[e],
-                    "n_batches": grid.n_batches[b],
                     "baseline_ms": float(self.baseline_ms[idx]),
                     "accelerated_ms": float(self.accelerated_ms[idx]),
                     "speedup": float(speedup[idx]),
@@ -508,6 +551,7 @@ class SweepResult:
                     ),
                 }
             )
+            records.append(record)
         return records
 
     # -- serialization ------------------------------------------------------
@@ -559,8 +603,14 @@ class SweepResult:
         return cls(grid=grid, engine=str(payload.get("engine", "served")), **arrays)
 
     # -- queries ------------------------------------------------------------
-    def _config_axes(self, c: int, g: int, e: int, b: int) -> Tuple:
-        """(name, value) pairs for the swept (non-singleton) arch axes."""
+    def _config_axes(self, c: int, g: int, e: int, b: int, enc: Tuple = ()) -> Tuple:
+        """(name, value) pairs for the swept (non-singleton) config axes.
+
+        ``enc`` is the encoding-axis index triple of the queried slice
+        (empty for non-extended grids); its values are recorded so a
+        point's provenance survives serialization even though the
+        encoding axes were sliced away before the front was computed.
+        """
         out = []
         if len(self.grid.clocks_ghz) > 1:
             out.append(("clock_ghz", self.grid.clocks_ghz[c]))
@@ -570,6 +620,14 @@ class SweepResult:
             out.append(("n_engines", self.grid.n_engines[e]))
         if len(self.grid.n_batches) > 1:
             out.append(("n_batches", self.grid.n_batches[b]))
+        if enc:
+            t, h, r = enc
+            if len(self.grid.gridtypes) > 1:
+                out.append(("gridtype", self.grid.gridtypes[t]))
+            if len(self.grid.log2_hashmap_sizes) > 1:
+                out.append(("log2_hashmap_size", self.grid.log2_hashmap_sizes[h]))
+            if len(self.grid.per_level_scales) > 1:
+                out.append(("per_level_scale", self.grid.per_level_scales[r]))
         return tuple(out)
 
     def pareto_front(
@@ -577,6 +635,9 @@ class SweepResult:
         scheme: str,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> List[DesignPoint]:
         """Non-dominated (area cost, speedup benefit) configurations.
 
@@ -585,22 +646,27 @@ class SweepResult:
         Benefit is the speedup of ``app``, or the all-apps average when
         ``app`` is None (the Fig. 12 "average" bars).  When the grid
         sweeps several pixel counts, ``n_pixels`` must name the slice to
-        query (mirroring :meth:`index`'s ambiguity rule).
+        query (mirroring :meth:`index`'s ambiguity rule) — likewise the
+        encoding selectors on extended grids.
         """
         j = self.grid.schemes.index(scheme)
         l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
+        enc = self._encoding_slice(gridtype, log2_hashmap_size, per_level_scale)
         speedup = self.speedup
+        plane = speedup[:, j, :, l]  # (A, K, C, G, E, B[, T, H, R])
+        if enc:
+            plane = plane[..., enc[0], enc[1], enc[2]]
         if app is None:
-            benefit = speedup[:, j, :, l].mean(axis=0)  # (K, C, G, E, B)
+            benefit = plane.mean(axis=0)  # (K, C, G, E, B)
         else:
-            benefit = speedup[self.grid.apps.index(app), j, :, l]
+            benefit = plane[self.grid.apps.index(app)]
         cost = np.broadcast_to(self.area_overhead_pct[..., None], benefit.shape)
         keep = pareto_front(cost.reshape(-1), benefit.reshape(-1))
         points = []
         for flat in keep:
             k, c, g, e, b = np.unravel_index(flat, benefit.shape)
             speedups = {
-                a: float(speedup[i, j, k, l, c, g, e, b])
+                a: float(speedup[(i, j, k, l, c, g, e, b) + enc])
                 for i, a in enumerate(self.grid.apps)
             }
             points.append(
@@ -609,10 +675,44 @@ class SweepResult:
                     area_overhead_pct=float(self.area_overhead_pct[k, c, g, e]),
                     power_overhead_pct=float(self.power_overhead_pct[k, c, g, e]),
                     speedups=speedups,
-                    config_axes=self._config_axes(c, g, e, b),
+                    config_axes=self._config_axes(c, g, e, b, enc),
                 )
             )
         return points
+
+    def _cheapest_point(
+        self,
+        app: str,
+        feasible_of,  # callable: (K, C, G, E, B)-shaped metric slice -> bool mask
+        metric: np.ndarray,
+        n_pixels: Optional[int],
+        scheme: Optional[str],
+        enc: Tuple[int, ...],
+    ) -> Optional[DesignPoint]:
+        """Shared cheapest-area search under a feasibility predicate."""
+        i = self.grid.apps.index(app)
+        j = self._axis_index("scheme", scheme, self.grid.schemes)
+        l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
+        values = metric[i, j, :, l]  # (K, C, G, E, B[, T, H, R])
+        if enc:
+            values = values[..., enc[0], enc[1], enc[2]]
+        feasible = feasible_of(values)
+        if not feasible.any():
+            return None
+        cost = np.broadcast_to(self.area_overhead_pct[..., None], values.shape)
+        flat = int(np.argmin(np.where(feasible, cost, np.inf)))
+        k, c, g, e, b = np.unravel_index(flat, values.shape)
+        speedup = self.speedup
+        return DesignPoint(
+            scale_factor=self.grid.scale_factors[k],
+            area_overhead_pct=float(self.area_overhead_pct[k, c, g, e]),
+            power_overhead_pct=float(self.power_overhead_pct[k, c, g, e]),
+            speedups={
+                a: float(speedup[(ia, j, k, l, c, g, e, b) + enc])
+                for ia, a in enumerate(self.grid.apps)
+            },
+            config_axes=self._config_axes(c, g, e, b, enc),
+        )
 
     def cheapest_point_meeting_fps(
         self,
@@ -620,40 +720,51 @@ class SweepResult:
         fps: float,
         n_pixels: Optional[int] = None,
         scheme: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> Optional[DesignPoint]:
         """Cheapest-area configuration on the grid hitting ``fps``, or None.
 
         Candidates span every (scale, clock, SRAM, engines, batches)
         combination; the returned :class:`DesignPoint` carries the
         winning architecture-axis values in ``config_axes``.  When the
-        grid sweeps several schemes or pixel counts, the ambiguous axis
-        must be named explicitly (mirroring :meth:`index`'s rule).
+        grid sweeps several schemes, pixel counts or encoding-axis
+        values, the ambiguous axis must be named explicitly (mirroring
+        :meth:`index`'s rule).
         """
         if fps <= 0:
             raise ValueError("fps must be positive")
-        i = self.grid.apps.index(app)
-        j = self._axis_index("scheme", scheme, self.grid.schemes)
-        l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
         budget_ms = 1000.0 / fps
-        accelerated = self.accelerated_ms[i, j, :, l]  # (K, C, G, E, B)
-        feasible = accelerated <= budget_ms
-        if not feasible.any():
-            return None
-        cost = np.broadcast_to(
-            self.area_overhead_pct[..., None], accelerated.shape
+        enc = self._encoding_slice(gridtype, log2_hashmap_size, per_level_scale)
+        return self._cheapest_point(
+            app, lambda ms: ms <= budget_ms, self.accelerated_ms,
+            n_pixels, scheme, enc,
         )
-        flat = int(np.argmin(np.where(feasible, cost, np.inf)))
-        k, c, g, e, b = np.unravel_index(flat, accelerated.shape)
-        speedup = self.speedup
-        return DesignPoint(
-            scale_factor=self.grid.scale_factors[k],
-            area_overhead_pct=float(self.area_overhead_pct[k, c, g, e]),
-            power_overhead_pct=float(self.power_overhead_pct[k, c, g, e]),
-            speedups={
-                a: float(speedup[ia, j, k, l, c, g, e, b])
-                for ia, a in enumerate(self.grid.apps)
-            },
-            config_axes=self._config_axes(c, g, e, b),
+
+    def cheapest_point_meeting_train_rate(
+        self,
+        app: str,
+        steps_per_s: float,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
+    ) -> Optional[DesignPoint]:
+        """Cheapest-area configuration training at >= ``steps_per_s``.
+
+        The training-time analogue of :meth:`cheapest_point_meeting_fps`
+        over the derived :attr:`train_steps_per_s` metric — "what is the
+        smallest NGPC that fine-tunes this scene at N optimizer steps
+        per second?".  Returns None when no grid point is fast enough.
+        """
+        if steps_per_s <= 0:
+            raise ValueError("steps_per_s must be positive")
+        enc = self._encoding_slice(gridtype, log2_hashmap_size, per_level_scale)
+        return self._cheapest_point(
+            app, lambda rate: rate >= steps_per_s, self.train_steps_per_s,
+            n_pixels, scheme, enc,
         )
 
     def cheapest_meeting_fps(
@@ -713,12 +824,15 @@ RESULT_ARRAY_FIELDS = _TIMING_FIELDS + (
 )
 
 #: version stamped into every :meth:`SweepResult.to_payload` payload and
-#: every HTTP response envelope; bump when the array schema changes
-PAYLOAD_SCHEMA_VERSION = 1
+#: every HTTP response envelope; bump when the array schema changes.
+#: Version 2 added the registry's extension axes (``gridtypes``,
+#: ``log2_hashmap_sizes``, ``per_level_scales``) to the grid mapping —
+#: a superset of version 1, which this build still reads and serves.
+PAYLOAD_SCHEMA_VERSION = 2
 
 #: payload versions this build can read/serve (version 1 is also the
 #: implicit version of pre-versioning payloads with no stamp)
-SUPPORTED_SCHEMA_VERSIONS = (1,)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 def check_schema_version(version) -> int:
@@ -729,7 +843,7 @@ def check_schema_version(version) -> int:
     service maps it to a structured 400 naming the supported versions.
     """
     if version is None:
-        return PAYLOAD_SCHEMA_VERSION
+        return 1  # the pre-versioning wire format
     try:
         version = int(version)
     except (TypeError, ValueError):
@@ -767,11 +881,23 @@ def sweep_fingerprint(
     numerically identical (tests/test_sweep_engine.py enforces 1e-9
     agreement), so a result computed by one engine can serve queries
     issued under another.
+
+    The key hashes one ``(salt, values)`` pair per *active* axis
+    (:attr:`SweepGrid.axis_fields`), under the ``sweep/v1`` tag for the
+    seed hypercube and ``sweep/v2`` when an extension axis is actively
+    swept — so grids that predate the registry (or merely register the
+    new axes without sweeping them) keep their exact pre-registry keys
+    and every warm store stays valid.
     """
     resolved = (grid or SweepGrid()).resolve(ngpc).normalized()
-    axes = tuple((name, getattr(resolved, name)) for name in AXIS_FIELDS)
+    fields = resolved.axis_fields
+    axes = tuple(
+        (axis_spec(name).fingerprint_salt, getattr(resolved, name))
+        for name in fields
+    )
+    tag = "sweep/v2" if resolved.is_extended else "sweep/v1"
     return (
-        "sweep/v1",
+        tag,
         axes,
         config_fingerprint(ngpc),
         calibration_fingerprint(),
@@ -803,28 +929,25 @@ def block_fingerprint(task: Tuple, ngpc: Optional[NGPCConfig] = None):
     """Canonical cache key of one vectorized block evaluation.
 
     ``task`` is a :func:`shard_plan`/:func:`store_block_plan` work unit:
-    ``(app, scheme, scales, pixels, clocks, srams, engines, batches)``.
-    The key hashes the block's exact axes slice (the literal values the
-    block spans, not grid indices — two grids sharing a hypercube slice
-    share the key), the base config via :func:`config_fingerprint`, and
-    the calibration constants via :func:`calibration_fingerprint`, so a
-    perturbed calibration context can never read a stale persisted
-    block.  This is the key the persistent result store files blocks
-    under (:mod:`repro.store`).
+    ``(app, scheme, scales, pixels, clocks, srams, engines, batches)``,
+    optionally extended with ``(gridtypes, log2_hashmap_sizes,
+    per_level_scales)`` windows on extended grids.  The key hashes the
+    block's exact axes slice (the literal values the block spans, not
+    grid indices — two grids sharing a hypercube slice share the key),
+    the base config via :func:`config_fingerprint`, and the calibration
+    constants via :func:`calibration_fingerprint`, so a perturbed
+    calibration context can never read a stale persisted block.  This is
+    the key the persistent result store files blocks under
+    (:mod:`repro.store`).  8-field (seed) tasks keep the exact
+    ``block/v1`` keys they had before the registry; 11-field tasks hash
+    under ``block/v2``.
     """
-    app, scheme, scales, pixels, clocks, srams, engines, batches = task
+    app, scheme = task[0], task[1]
+    tag = "block/v1" if len(task) == 8 else "block/v2"
     return (
-        "block/v1",
-        app,
-        scheme,
-        tuple(scales),
-        tuple(pixels),
-        tuple(clocks),
-        tuple(srams),
-        tuple(engines),
-        tuple(batches),
-        config_fingerprint(ngpc),
-        calibration_fingerprint(),
+        (tag, app, scheme)
+        + tuple(tuple(axis) for axis in task[2:])
+        + (config_fingerprint(ngpc), calibration_fingerprint())
     )
 
 
@@ -842,12 +965,13 @@ def store_block_plan(grid: SweepGrid) -> List[Tuple[Tuple, Tuple]]:
     extends the workload axes or adds scale/pixel values re-derives the
     identical blocks for the overlap and hits their persisted entries;
     only the genuinely new hypercube slices evaluate.  ``grid`` must be
-    resolved.
+    resolved.  On extended grids each task also carries the full
+    encoding sub-grid as three extra value windows.
     """
-    n_c = len(grid.clocks_ghz)
-    n_g = len(grid.grid_sram_kb)
-    n_e = len(grid.n_engines)
-    n_b = len(grid.n_batches)
+    arch_axes = tuple(
+        getattr(grid, name) for name in grid.axis_fields[4:]
+    )
+    full_windows = tuple((0, len(axis)) for axis in arch_axes)
     tasks = []
     for i, app in enumerate(grid.apps):
         for j, scheme in enumerate(grid.schemes):
@@ -855,14 +979,9 @@ def store_block_plan(grid: SweepGrid) -> List[Tuple[Tuple, Tuple]]:
                 for l, n_pixels in enumerate(grid.pixel_counts):
                     placement = (
                         i, j,
-                        ((k, k + 1), (l, l + 1), (0, n_c), (0, n_g),
-                         (0, n_e), (0, n_b)),
+                        ((k, k + 1), (l, l + 1)) + full_windows,
                     )
-                    task = (
-                        app, scheme, (scale,), (n_pixels,),
-                        grid.clocks_ghz, grid.grid_sram_kb,
-                        grid.n_engines, grid.n_batches,
-                    )
+                    task = (app, scheme, (scale,), (n_pixels,)) + arch_axes
                     tasks.append((placement, task))
     return tasks
 
@@ -887,6 +1006,7 @@ def _scalar_result(
     grid_sram_kb: int,
     n_engines: int,
     n_batches: int,
+    encoding: EncodingVariant = EncodingVariant(),
 ) -> EmulationResult:
     """One scalar emulation of a fully specified grid point, memoized."""
     base = ngpc or NGPCConfig()
@@ -902,21 +1022,37 @@ def _scalar_result(
         n_pipeline_batches=n_batches,
         l2_spill_penalty=base.l2_spill_penalty,
     )
-    return emulate_with_config(app, scheme, config, n_pixels)
+    return emulate_with_config(app, scheme, config, n_pixels, encoding)
+
+
+def _batch_kwargs(grid: SweepGrid) -> Dict[str, Tuple]:
+    """The :func:`~repro.core.emulator.emulate_batch` keywords of a grid.
+
+    One entry per registered keyword axis; extension axes are passed
+    only when actively swept, so non-extended grids drive the exact
+    pre-registry batch call.
+    """
+    kwargs = {}
+    for spec in AXES:
+        if spec.batch_kwarg is None:
+            continue
+        values = getattr(grid, spec.name)
+        if spec.sentinel is not None and not grid.is_extended:
+            values = None
+        kwargs[spec.batch_kwarg] = values
+    return kwargs
 
 
 def _arrays_vectorized(grid: SweepGrid, ngpc: Optional[NGPCConfig]) -> Dict[str, np.ndarray]:
     shape = grid.shape
     out = {name: np.empty(shape) for name in _TIMING_FIELDS}
     out["amdahl_bound"] = np.empty(shape[:2])
+    kwargs = _batch_kwargs(grid)
     for i, app in enumerate(grid.apps):
         for j, scheme in enumerate(grid.schemes):
             block = emulate_batch(
                 app, scheme, grid.scale_factors, grid.pixel_counts, ngpc,
-                clocks_ghz=grid.clocks_ghz,
-                grid_sram_kb=grid.grid_sram_kb,
-                n_engines=grid.n_engines,
-                n_batches=grid.n_batches,
+                **kwargs,
             )
             for name in _TIMING_FIELDS:
                 out[name][i, j] = block[name]
@@ -928,22 +1064,34 @@ def _arrays_scalar(grid: SweepGrid, ngpc: Optional[NGPCConfig]) -> Dict[str, np.
     shape = grid.shape
     out = {name: np.empty(shape) for name in _TIMING_FIELDS}
     out["amdahl_bound"] = np.empty(shape[:2])
+    config_fields = grid.axis_fields[2:]
+    config_axes = [getattr(grid, name) for name in config_fields]
     for i, app in enumerate(grid.apps):
         for j, scheme in enumerate(grid.schemes):
-            for k, scale in enumerate(grid.scale_factors):
-                for l, n_pixels in enumerate(grid.pixel_counts):
-                    for c, clock in enumerate(grid.clocks_ghz):
-                        for g, sram in enumerate(grid.grid_sram_kb):
-                            for e, n_eng in enumerate(grid.n_engines):
-                                for b, n_b in enumerate(grid.n_batches):
-                                    r = _scalar_result(
-                                        app, scheme, scale, n_pixels, ngpc,
-                                        clock, sram, n_eng, n_b,
-                                    )
-                                    idx = (i, j, k, l, c, g, e, b)
-                                    for name in _TIMING_FIELDS:
-                                        out[name][idx] = getattr(r, name)
-                                    out["amdahl_bound"][i, j] = r.amdahl_bound
+            for idx in np.ndindex(*shape[2:]):
+                named = {
+                    name: axis[pos]
+                    for name, axis, pos in zip(config_fields, config_axes, idx)
+                }
+                encoding = EncodingVariant(
+                    gridtype=named.get("gridtypes", GRIDTYPE_AUTO),
+                    log2_hashmap_size=named.get(
+                        "log2_hashmap_sizes", LOG2_HASHMAP_INHERIT
+                    ),
+                    per_level_scale=named.get(
+                        "per_level_scales", PER_LEVEL_SCALE_INHERIT
+                    ),
+                )
+                r = _scalar_result(
+                    app, scheme, named["scale_factors"],
+                    named["pixel_counts"], ngpc, named["clocks_ghz"],
+                    named["grid_sram_kb"], named["n_engines"],
+                    named["n_batches"], encoding,
+                )
+                full = (i, j) + idx
+                for name in _TIMING_FIELDS:
+                    out[name][full] = getattr(r, name)
+                out["amdahl_bound"][i, j] = r.amdahl_bound
     return out
 
 
@@ -985,13 +1133,23 @@ def _init_sweep_worker(
         _calibrated_parallelism(scheme)
 
 
+def task_batch_kwargs(task: Tuple) -> Dict[str, Tuple]:
+    """Map a task tuple's trailing axes onto ``emulate_batch`` keywords.
+
+    The shared task-unpacking helper of every evaluation site (process
+    pool, store, cluster workers, explorer): ``task[4:]`` pairs up with
+    :data:`repro.core.axes.TASK_BATCH_KWARGS` in order, so 8-field
+    (seed) and 11-field (extended) tasks route through one code path.
+    """
+    return dict(zip(TASK_BATCH_KWARGS, task[4:]))
+
+
 def _evaluate_block(task: Tuple) -> Dict[str, np.ndarray]:
     """Process-pool worker: one contiguous vectorized block of the grid."""
-    app, scheme, scales, pixels, clocks, srams, engines, batches = task
+    app, scheme, scales, pixels = task[:4]
     block = emulate_batch(
         app, scheme, scales, pixels, _WORKER_STATE["ngpc"],
-        clocks_ghz=clocks, grid_sram_kb=srams,
-        n_engines=engines, n_batches=batches,
+        **task_batch_kwargs(task),
     )
     out = {name: block[name] for name in _TIMING_FIELDS}
     out["amdahl_bound"] = block["amdahl_bound"]
@@ -1018,10 +1176,7 @@ def shard_plan(grid: SweepGrid, n_blocks: int) -> List[Tuple[Tuple, Tuple]]:
     """
     import itertools
 
-    axes = (
-        grid.scale_factors, grid.pixel_counts, grid.clocks_ghz,
-        grid.grid_sram_kb, grid.n_engines, grid.n_batches,
-    )
+    axes = tuple(getattr(grid, name) for name in grid.axis_fields[2:])
     lengths = [len(axis) for axis in axes]
     per_pair = int(np.prod(lengths))
     block_points = max(1, grid.size // max(1, n_blocks))
@@ -1259,11 +1414,12 @@ def pareto_front(costs, values) -> List[int]:
 # adaptive refinement planner (consumed by repro.explore)
 # ---------------------------------------------------------------------------
 
-#: the candidate axes of a Pareto/cheapest query, in array order — the
-#: axes adaptive refinement windows and splits (the batch axis is always
-#: carried whole: cost is batch-independent, so a batch column is one
-#: value-keyed unit of work)
-REFINE_AXIS_FIELDS = ("scale_factors", "clocks_ghz", "grid_sram_kb", "n_engines")
+# REFINE_AXIS_FIELDS — the candidate axes of a Pareto/cheapest query, in
+# array order: the axes adaptive refinement windows and splits (the
+# batch axis is always carried whole: cost is batch-independent, so a
+# batch column is one value-keyed unit of work; encoding axes are
+# sliced, never refined) — is declared in the registry and re-exported
+# here for the explorer.
 
 
 def refinement_lattice(length: int, segments: int) -> Tuple[int, ...]:
@@ -1321,6 +1477,7 @@ def selection_task(
     scheme: str,
     n_pixels: int,
     selection: Tuple[Tuple[int, ...], ...],
+    encoding: Optional[Tuple[int, int, int]] = None,
 ) -> Tuple:
     """Build an :func:`evaluate_shard_task` work unit from axis indices.
 
@@ -1329,14 +1486,18 @@ def selection_task(
     indices (the full batch axis when omitted); the task spans their
     cross product — value-keyed exactly like :func:`shard_plan` tasks,
     so :func:`block_fingerprint` / the persistent store dedup it across
-    rounds, sessions and processes.  ``grid`` must be resolved.
+    rounds, sessions and processes.  On extended grids, ``encoding``
+    names the (gridtype, log2_hashmap_size, per_level_scale) index
+    triple the task is pinned to — the explorer treats the encoding
+    axes as slices, one task per encoding point.  ``grid`` must be
+    resolved.
     """
     ks, cs, gs, es = selection[:4]
     if len(selection) > 4:
         batches = tuple(grid.n_batches[b] for b in selection[4])
     else:
         batches = grid.n_batches
-    return (
+    task = (
         app,
         scheme,
         tuple(grid.scale_factors[k] for k in ks),
@@ -1346,6 +1507,14 @@ def selection_task(
         tuple(grid.n_engines[e] for e in es),
         batches,
     )
+    if grid.is_extended:
+        t, h, r = encoding if encoding is not None else (0, 0, 0)
+        task += (
+            (grid.gridtypes[t],),
+            (grid.log2_hashmap_sizes[h],),
+            (grid.per_level_scales[r],),
+        )
+    return task
 
 
 def dominance_prune(
@@ -1375,6 +1544,54 @@ def dominance_prune(
     pos = np.searchsorted(sorted_costs, block_min_costs, side="right")
     best_at = np.where(pos > 0, best_below[np.maximum(pos - 1, 0)], -np.inf)
     return best_at <= block_value_ubs
+
+
+#: arithmetic of one optimizer step relative to pure inference over the
+#: same samples: forward pass + ~2x for the backward pass (the standard
+#: fwd:bwd FLOP ratio the training benchmark assumes)
+TRAIN_STEP_FLOP_FACTOR = 3.0
+
+
+def train_steps_per_s_batch(
+    grid: SweepGrid,
+    accelerated_ms: np.ndarray,
+    batch_size: Optional[int] = None,
+) -> np.ndarray:
+    """Derived training-throughput metric over a sweep's timing array.
+
+    Training a neural-graphics model is dominated by the same
+    encoding + MLP pipeline the NGPC accelerates, so an optimizer step
+    over ``batch_size`` samples costs ~``batch_size / samples_per_frame``
+    of a frame's inference work times :data:`TRAIN_STEP_FLOP_FACTOR`
+    (forward + backward).  The model matches
+    ``benchmarks/bench_training_throughput.py``'s accounting with the
+    accelerated frame time substituted for the baseline's: steps/s =
+    (samples/frame / accelerated_ms) * 1000 / (batch * factor).
+    ``batch_size`` defaults to the trainer's
+    (:class:`repro.apps.trainer.TrainerConfig`).
+
+    Computed on demand (never persisted): the derived metric can evolve
+    without invalidating any store or payload, and costs one broadcast
+    over an array the sweep already holds.
+    """
+    from repro.apps.params import get_config
+    from repro.apps.trainer import TrainerConfig
+    from repro.gpu.kernels import samples_per_frame
+
+    batch = int(batch_size) if batch_size is not None else TrainerConfig().batch_size
+    if batch <= 0:
+        raise ValueError("batch_size must be positive")
+    accelerated_ms = np.asarray(accelerated_ms, dtype=np.float64)
+    out = np.empty(accelerated_ms.shape)
+    for i, app in enumerate(grid.apps):
+        for j, scheme in enumerate(grid.schemes):
+            config = get_config(app, scheme)
+            for l, n_pixels in enumerate(grid.pixel_counts):
+                samples = samples_per_frame(config, n_pixels)
+                out[i, j, :, l] = (
+                    samples / accelerated_ms[i, j, :, l]
+                ) * 1000.0 / (batch * TRAIN_STEP_FLOP_FACTOR)
+    return out
 
 
 def cheapest_meeting_fps(

@@ -15,6 +15,14 @@ import numpy as np
 
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES, get_config
 from repro.core.amdahl import amdahl_bound
+from repro.core.axes import (
+    DEFAULT_ENCODING,
+    GRIDTYPE_AUTO,
+    LOG2_HASHMAP_INHERIT,
+    PER_LEVEL_SCALE_INHERIT,
+    EncodingVariant,
+    axis as axis_spec,
+)
 from repro.core.cache import ModelCache, calibration_fingerprint
 from repro.core.config import NGPCConfig
 from repro.core.encoding_engine import (
@@ -75,6 +83,7 @@ class Emulator:
         fuse_engines: bool = True,
         fuse_rest: bool = True,
         overlap: bool = True,
+        encoding: EncodingVariant = DEFAULT_ENCODING,
     ) -> EmulationResult:
         if app not in APP_NAMES:
             raise ValueError(f"unknown app {app!r}")
@@ -88,8 +97,9 @@ class Emulator:
             fuse_engines=fuse_engines,
             fuse_rest=fuse_rest,
             overlap=overlap,
+            encoding=encoding,
         )
-        enc = encoding_engine_time_ms(config, n_pixels, self.ngpc.config)
+        enc = encoding_engine_time_ms(config, n_pixels, self.ngpc.config, encoding)
         mlp = mlp_engine_time_ms(config, n_pixels, self.ngpc.config)
         dma = self.ngpc.dma_overhead_ms(app, n_pixels)
         return EmulationResult(
@@ -119,21 +129,23 @@ def emulate_with_config(
     scheme: str,
     config: NGPCConfig,
     n_pixels: int = FHD_PIXELS,
+    encoding: EncodingVariant = DEFAULT_ENCODING,
 ) -> EmulationResult:
     """One emulator run for an arbitrary :class:`NGPCConfig`, memoized.
 
     The cache key is the full architecture configuration — scale factor,
-    NFP geometry (clock, SRAM sizes, engine count) and pipeline batch
-    count — plus a fingerprint of the mutable calibration constants, so
-    architecture-axis sweeps and the perturbation contexts of
-    :mod:`repro.analysis.sensitivity` each see exactly their own
-    results.  Cache hits return the identical (frozen) result object.
+    NFP geometry (clock, SRAM sizes, engine count), pipeline batch
+    count and encoding-axis variant — plus a fingerprint of the mutable
+    calibration constants, so architecture-axis sweeps and the
+    perturbation contexts of :mod:`repro.analysis.sensitivity` each see
+    exactly their own results.  Cache hits return the identical (frozen)
+    result object.
     """
-    key = (app, scheme, config, n_pixels, calibration_fingerprint())
+    key = (app, scheme, config, n_pixels, encoding, calibration_fingerprint())
     cached = _EMULATE_CACHE.get(key)
     if cached is not None:
         return cached
-    result = Emulator(config).run(app, scheme, n_pixels)
+    result = Emulator(config).run(app, scheme, n_pixels, encoding=encoding)
     _EMULATE_CACHE.put(key, result)
     return result
 
@@ -178,6 +190,9 @@ def emulate_batch(
     grid_sram_kb=None,
     n_engines=None,
     n_batches=None,
+    gridtypes=None,
+    log2_hashmap_sizes=None,
+    per_level_scales=None,
 ) -> Dict[str, np.ndarray]:
     """Vectorized emulator: every :class:`EmulationResult` field as an array.
 
@@ -191,9 +206,14 @@ def emulate_batch(
     per NFP) or ``n_batches`` (B, pipeline batches) — switches to the
     N-dimensional fast path and every array has the full hypercube shape
     (S, P, C, G, E, B), with axes not supplied taken (length 1) from
-    ``ngpc``.  ``amdahl_bound`` is a scalar in both modes.  The batched
-    arithmetic mirrors the scalar path operation for operation, so the
-    two agree bit for bit (the equivalence harness in
+    ``ngpc``.  Passing any of the registry's encoding axes —
+    ``gridtypes`` (T), ``log2_hashmap_sizes`` (H), ``per_level_scales``
+    (R) — appends their dimensions for the extended hypercube
+    (S, P, C, G, E, B, T, H, R); axes not supplied hold the one-value
+    inherit sentinels ("use the app's Table I parameters").
+    ``amdahl_bound`` is a scalar in every mode.  The batched arithmetic
+    mirrors the scalar path operation for operation, so the two agree
+    bit for bit (the equivalence harness in
     ``tests/test_sweep_engine.py`` enforces this).
 
     ``ngpc`` supplies the remaining architecture parameters (MAC
@@ -216,7 +236,12 @@ def emulate_batch(
         )
     pixels = np.asarray(n_pixels).reshape(-1)
     config = get_config(app, scheme)
-    architectural = not (
+    extension = not (
+        gridtypes is None
+        and log2_hashmap_sizes is None
+        and per_level_scales is None
+    )
+    architectural = extension or not (
         clocks_ghz is None
         and grid_sram_kb is None
         and n_engines is None
@@ -270,45 +295,92 @@ def emulate_batch(
         replace(base.nfp, n_encoding_engines=n_eng)
     for n_b in batches:
         replace(base, n_pipeline_batches=n_b)
+    # the encoding axes, validated through their registry specs
+    gts = tuple(
+        str(t)
+        for t in np.asarray(
+            gridtypes if gridtypes is not None else (GRIDTYPE_AUTO,)
+        ).reshape(-1)
+    )
+    log2_ts = tuple(
+        int(h)
+        for h in np.asarray(
+            log2_hashmap_sizes
+            if log2_hashmap_sizes is not None
+            else (LOG2_HASHMAP_INHERIT,)
+        ).reshape(-1)
+    )
+    plscales = tuple(
+        float(r)
+        for r in np.asarray(
+            per_level_scales
+            if per_level_scales is not None
+            else (PER_LEVEL_SCALE_INHERIT,)
+        ).reshape(-1)
+    )
+    for name, values in (
+        ("gridtypes", gts),
+        ("log2_hashmap_sizes", log2_ts),
+        ("per_level_scales", plscales),
+    ):
+        for value in values:
+            axis_spec(name).validate(value)
 
     enc = encoding_engine_time_ms_batch(
         config, pixels, scales, base,
         clocks_ghz=clocks, grid_sram_kb=srams, n_engines=engines,
-    )  # (S, P, C, G, E)
+        gridtypes=gts if extension else None,
+        log2_hashmap_sizes=log2_ts if extension else None,
+        per_level_scales=plscales if extension else None,
+    )  # (S, P, C, G, E) or (S, P, C, G, E, T, H, R)
     mlp = mlp_engine_time_ms_batch(
         config, pixels, scales, base, clocks_ghz=clocks
     )  # (S, P, C, 1, 1)
     dma = dma_overhead_ms_batch(app, pixels, scales)  # (S, P)
-    dma = dma.reshape(dma.shape + (1, 1, 1))
-    ngpc_time = enc + mlp + dma  # (S, P, C, G, E)
+    nd = 8 if extension else 5  # hypercube rank before the batch axis
+    mlp = mlp.reshape(mlp.shape + (1,) * (nd - mlp.ndim))
+    dma = dma.reshape(dma.shape + (1,) * (nd - dma.ndim))
+    ngpc_time = enc + mlp + dma
     if fuse_rest:
         rest = np.asarray(fused_rest_time_ms(app, scheme, pixels))
     else:
         rest = np.asarray(baseline["rest"])
-    rest_nd = rest.reshape(1, -1, 1, 1, 1, 1)
-    batches_nd = np.asarray(batches, dtype=np.int64).reshape(1, 1, 1, 1, 1, -1)
+    # the batch axis broadcasts in at position 5 (after the arch axes,
+    # before any encoding axes) — elementwise, so its position cannot
+    # perturb the arithmetic
+    rest_nd = np.expand_dims(rest.reshape((1, -1) + (1,) * (nd - 2)), 5)
+    batches_nd = np.asarray(batches, dtype=np.int64).reshape(
+        (1, 1, 1, 1, 1, -1) + (1,) * (nd - 5)
+    )
     total = pipeline_total_ms_batch(
-        ngpc_time[..., None], rest_nd, batches_nd
-    )  # (S, P, C, G, E, B)
+        np.expand_dims(ngpc_time, 5), rest_nd, batches_nd
+    )  # (S, P, C, G, E, B[, T, H, R])
 
     shape = (
         len(scales), len(pixels), len(clocks), len(srams), len(engines),
         len(batches),
     )
+    if extension:
+        shape = shape + (len(gts), len(log2_ts), len(plscales))
     baseline_total = np.broadcast_to(
-        np.asarray(baseline["total"]).reshape(1, -1, 1, 1, 1, 1), shape
+        np.asarray(baseline["total"]).reshape(
+            (1, -1) + (1,) * (len(shape) - 2)
+        ),
+        shape,
     )
     total = np.ascontiguousarray(np.broadcast_to(total, shape))
     out = {
         "baseline_ms": np.ascontiguousarray(baseline_total),
         "accelerated_ms": total,
         "encoding_engine_ms": np.ascontiguousarray(
-            np.broadcast_to(enc[..., None], shape)
+            np.broadcast_to(np.expand_dims(enc, 5), shape)
         ),
         "mlp_engine_ms": np.ascontiguousarray(
-            np.broadcast_to(mlp[..., None], shape)
+            np.broadcast_to(np.expand_dims(mlp, 5), shape)
         ),
-        "dma_ms": np.ascontiguousarray(np.broadcast_to(dma[..., None], shape)),
+        "dma_ms": np.ascontiguousarray(
+            np.broadcast_to(np.expand_dims(dma, 5), shape)
+        ),
         "fused_rest_ms": np.ascontiguousarray(np.broadcast_to(rest_nd, shape)),
         "speedup": baseline_total / total,
     }

@@ -31,6 +31,13 @@ import numpy as np
 
 from repro.apps.params import APP_NAMES, AppConfig, get_config
 from repro.calibration import paper
+from repro.core.axes import (
+    DEFAULT_ENCODING,
+    GRIDTYPE_AUTO,
+    LOG2_HASHMAP_INHERIT,
+    PER_LEVEL_SCALE_INHERIT,
+    EncodingVariant,
+)
 from repro.core.cache import register_lru_cache
 from repro.core.config import NGPCConfig
 from repro.encodings.grids import GridEncoding, HASH_PRIMES
@@ -155,59 +162,136 @@ def parallel_inputs(n_levels: int, n_engines=16):
 
 def _level_entries(config: AppConfig, level: int) -> int:
     """Feature-table entries the hardware must hold for one level."""
+    return _level_entries_variant(config, level, DEFAULT_ENCODING)
+
+
+def _level_entries_variant(
+    config: AppConfig, level: int, variant: EncodingVariant
+) -> int:
+    """Table entries for one level under an encoding-axis variant.
+
+    The all-sentinel :data:`~repro.core.axes.DEFAULT_ENCODING` variant
+    reproduces the scheme's own Table I storage policy exactly;
+    ``gridtype="hash"`` caps the dense level at the (possibly
+    overridden) 2^T-entry hash table, ``gridtype="tiled"`` stores the
+    level's cells densely without hashing.
+    """
     grid = config.grid
-    if grid.scheme == "multi_res_hashgrid":
-        return min(_dense_entries(config, level), grid.table_size)
-    if grid.scheme == "multi_res_densegrid":
-        return _dense_entries(config, level)
-    return _tiled_entries(config, level)
+    if variant.log2_hashmap_size == LOG2_HASHMAP_INHERIT:
+        table_size = grid.table_size
+    else:
+        table_size = 1 << variant.log2_hashmap_size
+    if variant.gridtype == GRIDTYPE_AUTO:
+        if grid.scheme == "multi_res_hashgrid":
+            return min(_dense_entries(config, level, variant), table_size)
+        if grid.scheme == "multi_res_densegrid":
+            return _dense_entries(config, level, variant)
+        return _tiled_entries(config, level, variant)
+    if variant.gridtype == "hash":
+        return min(_dense_entries(config, level, variant), table_size)
+    return _tiled_entries(config, level, variant)
 
 
-def level_spill_fraction(config: AppConfig, ngpc: NGPCConfig) -> float:
+def level_spill_fraction(
+    config: AppConfig,
+    ngpc: NGPCConfig,
+    variant: EncodingVariant = DEFAULT_ENCODING,
+) -> float:
     """Fraction of levels whose table exceeds the per-engine grid SRAM."""
     grid = config.grid
     sram = ngpc.nfp.grid_sram_bytes_per_engine
     spilled = 0
     for level in range(grid.n_levels):
-        entries = _level_entries(config, level)
+        entries = _level_entries_variant(config, level, variant)
         if entries * grid.n_features * HW_BYTES_PER_FEATURE > sram:
             spilled += 1
     return spilled / grid.n_levels
 
 
-def level_spill_fraction_batch(config: AppConfig, grid_sram_kb) -> np.ndarray:
+def level_spill_fraction_batch(
+    config: AppConfig,
+    grid_sram_kb,
+    gridtypes=None,
+    log2_hashmap_sizes=None,
+    per_level_scales=None,
+) -> np.ndarray:
     """Vectorized :func:`level_spill_fraction` over per-engine SRAM sizes.
 
-    ``grid_sram_kb`` is an array of SRAM sizes in KB; the result has the
-    same shape.  The per-level byte counts are integers, so the
-    comparison (and the spilled/levels division) matches the scalar path
-    bit for bit.
+    ``grid_sram_kb`` is an array of SRAM sizes in KB; without encoding
+    axes the result has the same shape.  Passing any of the encoding
+    axes ``gridtypes`` (length T), ``log2_hashmap_sizes`` (length H) or
+    ``per_level_scales`` (length R) switches to the extended path:
+    ``grid_sram_kb`` is flattened to length G and the result is the
+    (G, T, H, R) hypercube, axes not supplied taken (length 1) from the
+    inherit sentinels.  The per-level byte counts are integers in both
+    paths, so the comparison (and the spilled/levels division) matches
+    the scalar path bit for bit.
     """
     grid = config.grid
     sram_bytes = np.asarray(grid_sram_kb, dtype=np.int64) * 1024
     if np.any(sram_bytes < 1024):
         raise ValueError("SRAM sizes must be positive")
-    level_bytes = np.asarray(
-        [
-            _level_entries(config, level) * grid.n_features * HW_BYTES_PER_FEATURE
-            for level in range(grid.n_levels)
-        ],
-        dtype=np.int64,
-    ).reshape((-1,) + (1,) * sram_bytes.ndim)
-    spilled = np.sum(level_bytes > sram_bytes, axis=0)
-    return spilled / grid.n_levels
+    if gridtypes is None and log2_hashmap_sizes is None and per_level_scales is None:
+        level_bytes = np.asarray(
+            [
+                _level_entries(config, level) * grid.n_features * HW_BYTES_PER_FEATURE
+                for level in range(grid.n_levels)
+            ],
+            dtype=np.int64,
+        ).reshape((-1,) + (1,) * sram_bytes.ndim)
+        spilled = np.sum(level_bytes > sram_bytes, axis=0)
+        return spilled / grid.n_levels
+    gts = tuple(gridtypes) if gridtypes is not None else (GRIDTYPE_AUTO,)
+    hs = (
+        tuple(int(h) for h in log2_hashmap_sizes)
+        if log2_hashmap_sizes is not None
+        else (LOG2_HASHMAP_INHERIT,)
+    )
+    rs = (
+        tuple(float(r) for r in per_level_scales)
+        if per_level_scales is not None
+        else (PER_LEVEL_SCALE_INHERIT,)
+    )
+    srams = sram_bytes.reshape(-1)
+    out = np.empty((srams.size, len(gts), len(hs), len(rs)), dtype=np.float64)
+    for t, gridtype in enumerate(gts):
+        for h, log2_t in enumerate(hs):
+            for r, pls in enumerate(rs):
+                variant = EncodingVariant(gridtype, log2_t, pls)
+                level_bytes = np.asarray(
+                    [
+                        _level_entries_variant(config, level, variant)
+                        * grid.n_features
+                        * HW_BYTES_PER_FEATURE
+                        for level in range(grid.n_levels)
+                    ],
+                    dtype=np.int64,
+                )
+                spilled = np.sum(level_bytes[:, None] > srams[None, :], axis=0)
+                out[:, t, h, r] = spilled / grid.n_levels
+    return out
 
 
-def _resolution(config: AppConfig, level: int) -> int:
-    return int(np.floor(config.grid.n_min * config.grid.growth_factor**level))
+def _resolution(
+    config: AppConfig, level: int, variant: EncodingVariant = DEFAULT_ENCODING
+) -> int:
+    if variant.per_level_scale == PER_LEVEL_SCALE_INHERIT:
+        growth = config.grid.growth_factor
+    else:
+        growth = variant.per_level_scale
+    return int(np.floor(config.grid.n_min * growth**level))
 
 
-def _dense_entries(config: AppConfig, level: int) -> int:
-    return (_resolution(config, level) + 1) ** config.spatial_dim
+def _dense_entries(
+    config: AppConfig, level: int, variant: EncodingVariant = DEFAULT_ENCODING
+) -> int:
+    return (_resolution(config, level, variant) + 1) ** config.spatial_dim
 
 
-def _tiled_entries(config: AppConfig, level: int) -> int:
-    return _resolution(config, level) ** config.spatial_dim
+def _tiled_entries(
+    config: AppConfig, level: int, variant: EncodingVariant = DEFAULT_ENCODING
+) -> int:
+    return _resolution(config, level, variant) ** config.spatial_dim
 
 
 @register_lru_cache
@@ -227,12 +311,16 @@ def _calibrated_lanes(scheme: str) -> float:
 
 
 def _engine_time_ms(
-    config: AppConfig, n_pixels: int, ngpc: NGPCConfig, lanes: float
+    config: AppConfig,
+    n_pixels: int,
+    ngpc: NGPCConfig,
+    lanes: float,
+    variant: EncodingVariant = DEFAULT_ENCODING,
 ) -> float:
     """Engine time with an explicit lane count (no pipeline-fill term)."""
     samples = samples_per_frame(config, n_pixels)
     par = parallel_inputs(config.grid.n_levels, ngpc.nfp.n_encoding_engines)
-    spill = level_spill_fraction(config, ngpc)
+    spill = level_spill_fraction(config, ngpc, variant)
     throughput = par * lanes * ngpc.n_nfps  # input sets per cycle
     cycles = samples / throughput
     cycles *= (1.0 - spill) + spill * ngpc.l2_spill_penalty
@@ -243,6 +331,7 @@ def encoding_engine_time_ms(
     config: AppConfig,
     n_pixels: int = FHD_PIXELS,
     ngpc: Optional[NGPCConfig] = None,
+    encoding: EncodingVariant = DEFAULT_ENCODING,
 ) -> float:
     """Time for the NGPC encoding engines to encode one frame (ms)."""
     ngpc = ngpc or NGPCConfig()
@@ -250,7 +339,7 @@ def encoding_engine_time_ms(
         raise ValueError("n_pixels must be positive")
     lanes = _calibrated_lanes(config.grid.scheme)
     fill = ngpc.nfp.pipeline_fill_cycles / ngpc.nfp.cycles_per_ms
-    return _engine_time_ms(config, n_pixels, ngpc, lanes) + fill
+    return _engine_time_ms(config, n_pixels, ngpc, lanes, encoding) + fill
 
 
 def encoding_engine_time_ms_batch(
@@ -261,6 +350,9 @@ def encoding_engine_time_ms_batch(
     clocks_ghz=None,
     grid_sram_kb=None,
     n_engines=None,
+    gridtypes=None,
+    log2_hashmap_sizes=None,
+    per_level_scales=None,
 ) -> np.ndarray:
     """Vectorized :func:`encoding_engine_time_ms` over the design axes.
 
@@ -272,22 +364,46 @@ def encoding_engine_time_ms_batch(
     (length G, per-engine KB) or ``n_engines`` (length E, encoding
     engines per NFP) switches to the N-dimensional fast path: the result
     is the full (S, P, C, G, E) hypercube, with axes not supplied taken
-    (length 1) from ``ngpc``.  Both paths mirror the scalar arithmetic
-    operation for operation, so batched == scalar bit for bit.
+    (length 1) from ``ngpc``.  Passing any of the registry's encoding
+    axes — ``gridtypes`` (T), ``log2_hashmap_sizes`` (H),
+    ``per_level_scales`` (R) — appends their dimensions for the full
+    (S, P, C, G, E, T, H, R) hypercube (the extension enters through
+    the grid-SRAM spill model only).  All paths mirror the scalar
+    arithmetic operation for operation, so batched == scalar bit for
+    bit.
     """
     ngpc = ngpc or NGPCConfig()
-    legacy = clocks_ghz is None and grid_sram_kb is None and n_engines is None
-    scales = np.asarray(scale_factors, dtype=np.float64).reshape(-1, 1, 1, 1, 1)
-    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(1, -1, 1, 1, 1)
+    extension = not (
+        gridtypes is None
+        and log2_hashmap_sizes is None
+        and per_level_scales is None
+    )
+    legacy = (
+        clocks_ghz is None and grid_sram_kb is None and n_engines is None
+        and not extension
+    )
+    trail = (1, 1, 1) if extension else ()
+    scales = np.asarray(scale_factors, dtype=np.float64).reshape(
+        (-1, 1, 1, 1, 1) + trail
+    )
+    pixels = np.asarray(n_pixels, dtype=np.float64).reshape(
+        (1, -1, 1, 1, 1) + trail
+    )
     if clocks_ghz is None:
         clocks_ghz = (ngpc.nfp.clock_ghz,)
     if grid_sram_kb is None:
         grid_sram_kb = (ngpc.nfp.grid_sram_kb_per_engine,)
     if n_engines is None:
         n_engines = (ngpc.nfp.n_encoding_engines,)
-    clocks = np.asarray(clocks_ghz, dtype=np.float64).reshape(1, 1, -1, 1, 1)
-    srams = np.asarray(grid_sram_kb, dtype=np.int64).reshape(1, 1, 1, -1, 1)
-    engines = np.asarray(n_engines, dtype=np.int64).reshape(1, 1, 1, 1, -1)
+    clocks = np.asarray(clocks_ghz, dtype=np.float64).reshape(
+        (1, 1, -1, 1, 1) + trail
+    )
+    srams = np.asarray(grid_sram_kb, dtype=np.int64).reshape(
+        (1, 1, 1, -1, 1) + trail
+    )
+    engines = np.asarray(n_engines, dtype=np.int64).reshape(
+        (1, 1, 1, 1, -1) + trail
+    )
     if np.any(scales < 1):
         raise ValueError("scale factors must be >= 1")
     if np.any(pixels <= 0):
@@ -303,7 +419,17 @@ def encoding_engine_time_ms_batch(
             )
     lanes = _calibrated_lanes(config.grid.scheme)
     par = parallel_inputs(config.grid.n_levels, engines)
-    spill = level_spill_fraction_batch(config, srams)
+    if extension:
+        spill = level_spill_fraction_batch(
+            config,
+            np.asarray(grid_sram_kb, dtype=np.int64).reshape(-1),
+            gridtypes=gridtypes,
+            log2_hashmap_sizes=log2_hashmap_sizes,
+            per_level_scales=per_level_scales,
+        )  # (G, T, H, R)
+        spill = spill.reshape((1, 1, 1, spill.shape[0], 1) + spill.shape[1:])
+    else:
+        spill = level_spill_fraction_batch(config, srams)
     samples = samples_per_frame(config, pixels)
     throughput = (par * lanes) * scales
     cycles = samples / throughput

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.apps.params import APP_NAMES, AppConfig, get_config
 from repro.calibration import fitted, paper
+from repro.core.axes import DEFAULT_ENCODING, EncodingVariant
 from repro.core.config import NGPCConfig
 from repro.core.encoding_engine import encoding_engine_time_ms
 from repro.core.fusion import DEFAULT_FUSION, FusionModel, fused_rest_time_ms
@@ -241,16 +242,20 @@ class NGPC:
         fuse_engines: bool = True,
         fuse_rest: bool = True,
         overlap: bool = True,
+        encoding: EncodingVariant = DEFAULT_ENCODING,
     ) -> PipelineSchedule:
         """Build the Fig. 10-b schedule for one frame of ``app_config``.
 
         The three flags support the ablations of DESIGN.md: ``fuse_engines``
         removes the encoding->MLP DRAM round-trip, ``fuse_rest`` applies the
         9.94x rest-kernel fusion, and ``overlap`` enables the batch pipeline
-        (disabled, the stages run back to back).
+        (disabled, the stages run back to back).  ``encoding`` selects a
+        point of the registry's encoding-axis subspace (grid storage
+        policy, hash-table size, per-level scale); the default inherits
+        the app's Table I parameters.
         """
         app, scheme = app_config.app, app_config.grid.scheme
-        enc = encoding_engine_time_ms(app_config, n_pixels, self.config)
+        enc = encoding_engine_time_ms(app_config, n_pixels, self.config, encoding)
         mlp = mlp_engine_time_ms(app_config, n_pixels, self.config)
         dma = self.dma_overhead_ms(app, n_pixels)
         ngpc_time = enc + mlp + dma

@@ -34,6 +34,22 @@ class ReproError(Exception):
     """
 
 
+class UnknownAxisError(ReproError, AttributeError):
+    """A sweep axis name that is not in the axis registry.
+
+    Raised by the :class:`repro.api.Grid` builder (also an
+    :class:`AttributeError`, so ``hasattr``-style feature probes keep
+    working) and by the CLI ``--sweep`` parser.  Carries the unknown
+    name and the closest registered spelling, when one is close enough,
+    so tooling can repair the request programmatically.
+    """
+
+    def __init__(self, message: str, name: str = "", suggestion: str = ""):
+        super().__init__(message)
+        self.name = name
+        self.suggestion = suggestion
+
+
 class NotOnGridError(ReproError, KeyError):
     """A query named a value absent from the evaluated grid.
 
@@ -65,6 +81,8 @@ class InfeasibleQueryError(ReproError, LookupError):
         n_pixels: int = 0,
         scheme: str = "",
         best_fps: float = 0.0,
+        steps_per_s: float = 0.0,
+        best_rate: float = 0.0,
     ):
         super().__init__(message)
         self.app = app
@@ -72,6 +90,8 @@ class InfeasibleQueryError(ReproError, LookupError):
         self.n_pixels = n_pixels
         self.scheme = scheme
         self.best_fps = best_fps
+        self.steps_per_s = steps_per_s
+        self.best_rate = best_rate
 
     def __str__(self) -> str:  # LookupError would repr-quote the payload
         return str(self.args[0]) if self.args else ""
@@ -93,6 +113,25 @@ def infeasible_query(
         f"best achievable is {best_fps:.2f} fps",
         app=app, fps=float(fps), n_pixels=int(n_pixels),
         scheme=scheme, best_fps=float(best_fps),
+    )
+
+
+def infeasible_train_query(
+    app: str, steps_per_s: float, n_pixels: int, scheme: str,
+    best_rate: float,
+) -> InfeasibleQueryError:
+    """The one spelling of "no config trains that fast".
+
+    The training-throughput twin of :func:`infeasible_query`, built in
+    one place for the same reason: every execution path raises the
+    identical class, message and structured attributes.
+    """
+    return InfeasibleQueryError(
+        f"no configuration on the grid trains at {steps_per_s:g} "
+        f"steps/s for app={app!r} at {n_pixels} pixels "
+        f"(scheme {scheme!r}); best achievable is {best_rate:.2f} steps/s",
+        app=app, n_pixels=int(n_pixels), scheme=scheme,
+        steps_per_s=float(steps_per_s), best_rate=float(best_rate),
     )
 
 

@@ -65,6 +65,7 @@ from repro.core.area_power import ngpc_area_power_batch
 from repro.core.config import NGPCConfig
 from repro.core.dse import (
     _TIMING_FIELDS,
+    TRAIN_STEP_FLOP_FACTOR,
     AmbiguousAxisError,
     DesignPoint,
     SweepGrid,
@@ -73,6 +74,7 @@ from repro.core.dse import (
     pareto_front,
     refinement_plan,
     selection_task,
+    task_batch_kwargs,
 )
 from repro.core.emulator import EmulationResult, emulate_batch
 from repro.errors import NotOnGridError, infeasible_query
@@ -148,11 +150,10 @@ class LocalBlockRunner:
     def evaluate(self, tasks: List[Tuple]) -> List[Tuple[Dict, bool]]:
         out = []
         for task in tasks:
-            app, scheme, scales, pixels, clocks, srams, engines, batches = task
+            app, scheme, scales, pixels = task[:4]
             block = emulate_batch(
                 app, scheme, scales, pixels, self.ngpc,
-                clocks_ghz=clocks, grid_sram_kb=srams,
-                n_engines=engines, n_batches=batches,
+                **task_batch_kwargs(task),
             )
             arrays = {name: block[name] for name in _TIMING_FIELDS}
             arrays["amdahl_bound"] = block["amdahl_bound"]
@@ -284,14 +285,46 @@ class AdaptiveExplorer:
         except ValueError as exc:
             raise NotOnGridError(f"{axis_name}={value!r} not on the grid") from exc
 
-    def _slice_state(self, scheme: str, n_pixels: int) -> Dict[str, np.ndarray]:
-        key = (scheme, n_pixels)
+    def _encoding_index(
+        self,
+        gridtype: Optional[str],
+        log2_hashmap_size: Optional[int],
+        per_level_scale: Optional[float],
+    ) -> Tuple[int, ...]:
+        """Encoding-axis indices of the queried slice.
+
+        Mirrors :meth:`SweepResult._encoding_slice` exactly: ``()`` for
+        non-extended grids (validating any named selector against the
+        resolved sentinel axis), a ``(t, h, r)`` triple otherwise —
+        the explorer keeps one dense partial slice per encoding point.
+        """
+        selectors = (
+            ("gridtype", gridtype, self.grid.gridtypes),
+            ("log2_hashmap_size", log2_hashmap_size,
+             self.grid.log2_hashmap_sizes),
+            ("per_level_scale", per_level_scale, self.grid.per_level_scales),
+        )
+        if not self.grid.is_extended:
+            for name, value, values in selectors:
+                if value is not None:
+                    self._axis_index(name, value, values or ())
+            return ()
+        return tuple(
+            self._axis_index(name, value, values)
+            for name, value, values in selectors
+        )
+
+    def _slice_state(
+        self, scheme: str, n_pixels: int, enc: Tuple[int, ...] = ()
+    ) -> Dict[str, np.ndarray]:
+        key = (scheme, n_pixels) + enc
         state = self._slices.get(key)
         if state is None:
             shape = (len(self.grid.apps),) + self._slice_shape
             state = {
                 "baseline": np.full(shape, np.nan),
                 "accelerated": np.full(shape, np.nan),
+                "enc": enc,
             }
             self._slices[key] = state
         return state
@@ -327,7 +360,7 @@ class AdaptiveExplorer:
             pending_tasks.append(
                 selection_task(
                     self.grid, self.grid.apps[app_idx], scheme, n_pixels,
-                    shrunk,
+                    shrunk, encoding=state["enc"] or None,
                 )
             )
             pending_refs.append((app_idx, shrunk))
@@ -347,9 +380,15 @@ class AdaptiveExplorer:
         n_new = int(newly.sum())
         if n_new:
             self.stats.points_evaluated += n_new
-        # drop the singleton pixel axis of the block arrays
-        target[dest] = block["accelerated_ms"][:, 0]
-        state["baseline"][app_idx][dest] = block["baseline_ms"][:, 0]
+        # drop the singleton pixel axis of the block arrays, plus the
+        # trailing singleton encoding axes of an extended task
+        acc = block["accelerated_ms"][:, 0]
+        base = block["baseline_ms"][:, 0]
+        if acc.ndim > 5:
+            acc = acc[..., 0, 0, 0]
+            base = base[..., 0, 0, 0]
+        target[dest] = acc
+        state["baseline"][app_idx][dest] = base
 
     def _benefit_at(self, state, app_idxs, mean_mode, index):
         """Benefit (speedup / mean speedup) at an index expression.
@@ -510,10 +549,22 @@ class AdaptiveExplorer:
         scheme: str,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> List[DesignPoint]:
-        """Adaptive :meth:`SweepResult.pareto_front` — identical answer."""
+        """Adaptive :meth:`SweepResult.pareto_front` — identical answer.
+
+        On extended grids the encoding selectors name the slice to
+        query, with the same ambiguity rule as the exhaustive path.
+        """
         with self._lock:
-            return self._pareto(scheme, n_pixels, app)
+            return self._pareto(
+                scheme, n_pixels, app,
+                self._encoding_index(
+                    gridtype, log2_hashmap_size, per_level_scale
+                ),
+            )
 
     def _full_selection(self) -> Tuple[Tuple[int, ...], ...]:
         return tuple(tuple(range(n)) for n in self._slice_shape)
@@ -527,7 +578,7 @@ class AdaptiveExplorer:
         )
         return [int(flat[i]) for i in pareto_front(costs, values)]
 
-    def _pareto(self, scheme, n_pixels, app):
+    def _pareto(self, scheme, n_pixels, app, enc=()):
         self.grid.schemes.index(scheme)  # same ValueError as exhaustive
         l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
         pixels = self.grid.pixel_counts[l]
@@ -536,7 +587,7 @@ class AdaptiveExplorer:
             app_idxs = list(range(len(self.grid.apps)))
         else:
             app_idxs = [self.grid.apps.index(app)]
-        state = self._slice_state(scheme, pixels)
+        state = self._slice_state(scheme, pixels, enc)
         front_flat = self._pareto_front_flat(
             state, scheme, pixels, app_idxs, mean_mode
         )
@@ -707,7 +758,7 @@ class AdaptiveExplorer:
         keep = pareto_front(costs[first], values[first])
         return [int(flat[i]) for i in keep]
 
-    def _config_axes(self, c: int, g: int, e: int, b: int) -> Tuple:
+    def _config_axes(self, c: int, g: int, e: int, b: int, enc: Tuple = ()) -> Tuple:
         out = []
         if len(self.grid.clocks_ghz) > 1:
             out.append(("clock_ghz", self.grid.clocks_ghz[c]))
@@ -717,6 +768,16 @@ class AdaptiveExplorer:
             out.append(("n_engines", self.grid.n_engines[e]))
         if len(self.grid.n_batches) > 1:
             out.append(("n_batches", self.grid.n_batches[b]))
+        if enc:
+            t, h, r = enc
+            if len(self.grid.gridtypes) > 1:
+                out.append(("gridtype", self.grid.gridtypes[t]))
+            if len(self.grid.log2_hashmap_sizes) > 1:
+                out.append(
+                    ("log2_hashmap_size", self.grid.log2_hashmap_sizes[h])
+                )
+            if len(self.grid.per_level_scales) > 1:
+                out.append(("per_level_scale", self.grid.per_level_scales[r]))
         return tuple(out)
 
     def _design_point(self, state, flat) -> DesignPoint:
@@ -736,7 +797,7 @@ class AdaptiveExplorer:
             area_overhead_pct=float(self._area4[k, c, g, e]),
             power_overhead_pct=float(self._power4[k, c, g, e]),
             speedups=speedups,
-            config_axes=self._config_axes(c, g, e, b),
+            config_axes=self._config_axes(c, g, e, b, state["enc"]),
         )
 
     # -- cheapest ------------------------------------------------------------
@@ -746,6 +807,9 @@ class AdaptiveExplorer:
         fps: float,
         n_pixels: Optional[int] = None,
         scheme: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> DesignPoint:
         """Adaptive :meth:`SweepResult.cheapest_point_meeting_fps`.
 
@@ -754,19 +818,76 @@ class AdaptiveExplorer:
         whole slice has necessarily been evaluated — nothing can be
         skipped when no feasible cost bounds the search).
         """
-        with self._lock:
-            return self._cheapest(app, fps, n_pixels, scheme)
-
-    def _cheapest(self, app, fps, n_pixels, scheme):
         if fps <= 0:
             raise ValueError("fps must be positive")
+        budget_ms = 1000.0 / fps
+        with self._lock:
+            point = self._cheapest(
+                app, lambda ms: ms <= budget_ms, n_pixels, scheme,
+                self._encoding_index(
+                    gridtype, log2_hashmap_size, per_level_scale
+                ),
+                infeasible_fps=fps,
+            )
+        return point
+
+    def cheapest_train(
+        self,
+        app: str,
+        steps_per_s: float,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
+    ) -> Optional[DesignPoint]:
+        """Adaptive :meth:`SweepResult.cheapest_point_meeting_train_rate`.
+
+        The search machinery is shared with :meth:`cheapest` — the
+        derived training rate is monotone in ``1 / accelerated_ms``, so
+        the batch-column bound and the ascending-cost walk both hold
+        unchanged.  Mirrors the exhaustive method by returning ``None``
+        when no grid point trains fast enough (proven only after the
+        whole slice's feasibility has been probed).
+        """
+        if steps_per_s <= 0:
+            raise ValueError("steps_per_s must be positive")
+        from repro.apps.params import get_config
+        from repro.apps.trainer import TrainerConfig
+        from repro.gpu.kernels import samples_per_frame
+
+        with self._lock:
+            j = self._axis_index("scheme", scheme, self.grid.schemes)
+            l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
+            samples = samples_per_frame(
+                get_config(app, self.grid.schemes[j]),
+                self.grid.pixel_counts[l],
+            )
+            batch = TrainerConfig().batch_size
+
+            def feasible_of(acc_ms):
+                # same expression (and evaluation order) as
+                # train_steps_per_s_batch, for bit-identical boundaries
+                rate = (samples / acc_ms) * 1000.0 / (
+                    batch * TRAIN_STEP_FLOP_FACTOR
+                )
+                return rate >= steps_per_s
+
+            return self._cheapest(
+                app, feasible_of, n_pixels, scheme,
+                self._encoding_index(
+                    gridtype, log2_hashmap_size, per_level_scale
+                ),
+            )
+
+    def _cheapest(self, app, feasible_of, n_pixels, scheme, enc,
+                  infeasible_fps=None):
         i = self.grid.apps.index(app)
         j = self._axis_index("scheme", scheme, self.grid.schemes)
         l = self._axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
         scheme_v = self.grid.schemes[j]
         pixels = self.grid.pixel_counts[l]
-        budget_ms = 1000.0 / fps
-        state = self._slice_state(scheme_v, pixels)
+        state = self._slice_state(scheme_v, pixels, enc)
         acc_app = state["accelerated"][i]
         last_b = self._n_b - 1
 
@@ -806,20 +927,22 @@ class AdaptiveExplorer:
                 state, scheme_v, pixels, [(i, s) for s in selections]
             )
             probed = acc_app[..., last_b].ravel()[sub]
-            feasible = probed <= budget_ms  # NaN never feasible
+            feasible = feasible_of(probed)  # NaN never feasible
             if feasible.any():
                 c_star = min(c_star, float(costs_sorted[pos:hi][feasible].min()))
             pos = hi
 
         if not np.isfinite(c_star):
+            if infeasible_fps is None:
+                return None
             best_fps = float(1000.0 / np.nanmin(acc_app))
-            raise infeasible_query(app, fps, pixels, scheme_v, best_fps)
+            raise infeasible_query(
+                app, infeasible_fps, pixels, scheme_v, best_fps
+            )
         # materialize the full batch columns of the cost-tied feasible
         # columns: the exhaustive argmin resolves ties by first flat
         # index, which may sit at an earlier batch cell
-        tied = (self._area4 == c_star) & (
-            acc_app[..., last_b] <= budget_ms
-        )
+        tied = (self._area4 == c_star) & feasible_of(acc_app[..., last_b])
         tied_cols = sorted(
             tuple(int(v) for v in idx) for idx in zip(*np.nonzero(tied))
         )
@@ -840,7 +963,7 @@ class AdaptiveExplorer:
         # as cheap as c_star is evaluated or provably infeasible,
         # costlier cells cannot win, and np.argmin's first-minimum rule
         # picks the same flat index
-        feasible = acc_app <= budget_ms  # NaN compares False
+        feasible = feasible_of(acc_app)  # NaN compares False
         cost5 = np.broadcast_to(self._area4[..., None], acc_app.shape)
         flat = int(np.argmin(np.where(feasible, cost5, np.inf)))
         others = [x for x in range(len(self.grid.apps)) if x != i]
@@ -864,6 +987,9 @@ class AdaptiveExplorer:
         grid_sram_kb: Optional[int] = None,
         n_engines: Optional[int] = None,
         n_batches: Optional[int] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> EmulationResult:
         """Adaptive :meth:`SweepResult.point`: evaluates one grid cell."""
         with self._lock:
@@ -884,20 +1010,24 @@ class AdaptiveExplorer:
             )
             e = self._axis_index("n_engines", n_engines, grid.n_engines)
             b = self._axis_index("n_batches", n_batches, grid.n_batches)
+            enc = self._encoding_index(
+                gridtype, log2_hashmap_size, per_level_scale
+            )
             pixels = grid.pixel_counts[l]
             sel = ((k,), (c,), (g,), (e,), (b,))
             # evaluate through the runner directly: the dense state only
             # keeps baseline/accelerated, a point needs every engine
-            task = selection_task(grid, app, scheme, pixels, sel)
+            task = selection_task(grid, app, scheme, pixels, sel,
+                                  encoding=enc or None)
             self.stats.blocks_total += 1
             ((block, cached),) = self.runner.evaluate([task])
             if cached:
                 self.stats.blocks_cached += 1
             else:
                 self.stats.blocks_evaluated += 1
-            state = self._slice_state(scheme, pixels)
+            state = self._slice_state(scheme, pixels, enc)
             self._scatter(state, i, sel, block)
-            idx = (0, 0, 0, 0, 0, 0)
+            idx = tuple(0 for _ in block["accelerated_ms"].shape)
             return EmulationResult(
                 app=app,
                 scheme=scheme,

@@ -234,6 +234,14 @@ class SyncServiceClient:
         body = {"grid": grid or {}, "app": app, "fps": fps, **query}
         return self.request("POST", "/cheapest", body)["result"]
 
+    def cheapest_point_meeting_train_rate(
+        self, grid: Optional[Dict], app: Optional[str], steps_per_s: float,
+        **query,
+    ) -> Optional[Dict]:
+        body = {"grid": grid or {}, "app": app,
+                "train_steps_per_s": steps_per_s, **query}
+        return self.request("POST", "/cheapest", body)["result"]
+
     def point(self, grid: Optional[Dict] = None, **selectors) -> Dict:
         return self.request("POST", "/point", {"grid": grid or {}, **selectors})[
             "result"
@@ -254,7 +262,8 @@ class SyncServiceClient:
     def stream_pareto(self, grid: Optional[Dict] = None,
                       scheme: Optional[str] = None,
                       n_pixels: Optional[int] = None,
-                      app: Optional[str] = None):
+                      app: Optional[str] = None,
+                      **encoding):
         """Stream ``/sweep/stream`` events; a generator of event dicts.
 
         Yields the server's ndjson events in order — ``progress``
@@ -266,7 +275,7 @@ class SyncServiceClient:
         generator early closes the connection, which cancels the
         server-side subscription without disturbing the sweep.
         """
-        body = _stream_request_body(grid, scheme, n_pixels, app)
+        body = _stream_request_body(grid, scheme, n_pixels, app, **encoding)
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -322,11 +331,16 @@ class SyncServiceClient:
 
 def _stream_request_body(grid: Optional[Dict], scheme: Optional[str],
                          n_pixels: Optional[int],
-                         app: Optional[str]) -> bytes:
+                         app: Optional[str],
+                         gridtype: Optional[str] = None,
+                         log2_hashmap_size: Optional[int] = None,
+                         per_level_scale: Optional[float] = None) -> bytes:
     """The negotiated JSON body both ``stream_pareto`` flavours POST."""
     query: Dict[str, Any] = {"grid": grid or {}}
     for name, value in (("scheme", scheme), ("n_pixels", n_pixels),
-                        ("app", app)):
+                        ("app", app), ("gridtype", gridtype),
+                        ("log2_hashmap_size", log2_hashmap_size),
+                        ("per_level_scale", per_level_scale)):
         if value is not None:
             query[name] = value
     return json.dumps(_negotiated(query)).encode("utf-8")
@@ -509,6 +523,14 @@ class ServiceClient:
         body = {"grid": grid or {}, "app": app, "fps": fps, **query}
         return (await self.request("POST", "/cheapest", body))["result"]
 
+    async def cheapest_point_meeting_train_rate(
+        self, grid: Optional[Dict], app: Optional[str], steps_per_s: float,
+        **query,
+    ) -> Optional[Dict]:
+        body = {"grid": grid or {}, "app": app,
+                "train_steps_per_s": steps_per_s, **query}
+        return (await self.request("POST", "/cheapest", body))["result"]
+
     async def point(self, grid: Optional[Dict] = None, **selectors) -> Dict:
         body = {"grid": grid or {}, **selectors}
         return (await self.request("POST", "/point", body))["result"]
@@ -535,7 +557,8 @@ class ServiceClient:
     async def stream_pareto(self, grid: Optional[Dict] = None,
                             scheme: Optional[str] = None,
                             n_pixels: Optional[int] = None,
-                            app: Optional[str] = None):
+                            app: Optional[str] = None,
+                            **encoding):
         """Stream ``/sweep/stream`` events; an async generator of dicts.
 
         Same contract as :meth:`SyncServiceClient.stream_pareto`: the
@@ -545,7 +568,7 @@ class ServiceClient:
         and an abandoned generator closing the socket to cancel the
         server-side subscription.
         """
-        body = _stream_request_body(grid, scheme, n_pixels, app)
+        body = _stream_request_body(grid, scheme, n_pixels, app, **encoding)
         try:
             reader, writer = await asyncio.open_connection(self.host, self.port)
         except (ConnectionError, OSError) as exc:

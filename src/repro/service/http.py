@@ -25,9 +25,11 @@ endpoint              body / result
                       (:meth:`~repro.core.dse.SweepResult.to_payload`)
 ``POST /records``     ``{"grid": {...}, "limit": n?}`` -> flat per-point
                       records
-``POST /pareto``      ``{"grid", "scheme"?, "n_pixels"?, "app"?}`` ->
-                      list of design points
-``POST /cheapest``    ``{"grid", "app", "fps", "n_pixels"?, "scheme"?}``
+``POST /pareto``      ``{"grid", "scheme"?, "n_pixels"?, "app"?,
+                      "gridtype"?, "log2_hashmap_size"?,
+                      "per_level_scale"?}`` -> list of design points
+``POST /cheapest``    ``{"grid", "app", "fps" | "train_steps_per_s",
+                      "n_pixels"?, "scheme"?, encoding selectors?}``
                       -> design point or null
 ``POST /point``       ``{"grid", "app"?, "scheme"?, "scale_factor"?,
                       "n_pixels"?, "clock_ghz"?, ...}`` -> one
@@ -140,26 +142,50 @@ async def _handle_records(service: SweepService, payload: Dict) -> list:
     return result.to_records(limit=limit)
 
 
+def _encoding_selectors(payload: Dict) -> Dict:
+    """The optional encoding-axis selectors of a query body."""
+    return {
+        "gridtype": payload.get("gridtype"),
+        "log2_hashmap_size": payload.get("log2_hashmap_size"),
+        "per_level_scale": payload.get("per_level_scale"),
+    }
+
+
 async def _handle_pareto(service: SweepService, payload: Dict) -> list:
     points = await service.pareto_front(
         payload.get("grid"),
         scheme=payload.get("scheme"),
         n_pixels=payload.get("n_pixels"),
         app=payload.get("app"),
+        **_encoding_selectors(payload),
     )
     return [point.to_dict() for point in points]
 
 
 async def _handle_cheapest(service: SweepService, payload: Dict):
-    if "fps" not in payload:
-        raise ServiceError(400, "bad-request", "body must name a target 'fps'")
-    point = await service.cheapest_point_meeting_fps(
-        payload.get("grid"),
-        app=payload.get("app"),
-        fps=float(payload["fps"]),
-        n_pixels=payload.get("n_pixels"),
-        scheme=payload.get("scheme"),
-    )
+    if "fps" not in payload and "train_steps_per_s" not in payload:
+        raise ServiceError(
+            400, "bad-request",
+            "body must name a target 'fps' or 'train_steps_per_s'",
+        )
+    if "train_steps_per_s" in payload:
+        point = await service.cheapest_point_meeting_train_rate(
+            payload.get("grid"),
+            app=payload.get("app"),
+            steps_per_s=float(payload["train_steps_per_s"]),
+            n_pixels=payload.get("n_pixels"),
+            scheme=payload.get("scheme"),
+            **_encoding_selectors(payload),
+        )
+    else:
+        point = await service.cheapest_point_meeting_fps(
+            payload.get("grid"),
+            app=payload.get("app"),
+            fps=float(payload["fps"]),
+            n_pixels=payload.get("n_pixels"),
+            scheme=payload.get("scheme"),
+            **_encoding_selectors(payload),
+        )
     return None if point is None else point.to_dict()
 
 
@@ -174,6 +200,7 @@ async def _handle_point(service: SweepService, payload: Dict) -> Dict:
         grid_sram_kb=payload.get("grid_sram_kb"),
         n_engines=payload.get("n_engines"),
         n_batches=payload.get("n_batches"),
+        **_encoding_selectors(payload),
     )
     return _emulation_record(result)
 
@@ -440,6 +467,7 @@ async def _serve_stream(
             scheme=payload.get("scheme"),
             n_pixels=payload.get("n_pixels"),
             app=payload.get("app"),
+            **_encoding_selectors(payload),
         )
         # the generator body runs on the first pull: selector validation
         # errors surface here, while a plain pre-stream response is

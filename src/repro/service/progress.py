@@ -89,11 +89,37 @@ class PartialSweep:
             self._valid[dest] = True
         return fresh
 
+    def _encoding_slice(
+        self,
+        gridtype=None,
+        log2_hashmap_size=None,
+        per_level_scale=None,
+    ) -> Tuple:
+        """Mirror of ``SweepResult._encoding_slice`` (same rules)."""
+        grid = self.grid
+        selectors = (
+            ("gridtype", gridtype, grid.gridtypes),
+            ("log2_hashmap_size", log2_hashmap_size, grid.log2_hashmap_sizes),
+            ("per_level_scale", per_level_scale, grid.per_level_scales),
+        )
+        if not grid.is_extended:
+            for name, value, values in selectors:
+                if value is not None:
+                    _axis_index(name, value, values or ())
+            return ()
+        return tuple(
+            _axis_index(name, value, values)
+            for name, value, values in selectors
+        )
+
     def validate_selectors(
         self,
         scheme: str,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype=None,
+        log2_hashmap_size=None,
+        per_level_scale=None,
     ) -> None:
         """Raise the same structured errors a dense front query would."""
         if scheme not in self.grid.schemes:
@@ -101,12 +127,16 @@ class PartialSweep:
         _axis_index("n_pixels", n_pixels, self.grid.pixel_counts)
         if app is not None and app not in self.grid.apps:
             raise NotOnGridError(f"app={app!r} not on the grid")
+        self._encoding_slice(gridtype, log2_hashmap_size, per_level_scale)
 
     def pareto_front(
         self,
         scheme: str,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype=None,
+        log2_hashmap_size=None,
+        per_level_scale=None,
     ) -> List[DesignPoint]:
         """Exact Pareto front over the fully evaluated grid points.
 
@@ -120,15 +150,21 @@ class PartialSweep:
         grid = self.grid
         j = grid.schemes.index(scheme)
         l = _axis_index("n_pixels", n_pixels, grid.pixel_counts)
+        enc = self._encoding_slice(gridtype, log2_hashmap_size, per_level_scale)
         with self._lock:
-            valid = self._valid[:, j, :, l].all(axis=0)  # (K, C, G, E, B)
+            valid_plane = self._valid[:, j, :, l]
+            speedup_plane = self._speedup[:, j, :, l]
+            if enc:
+                valid_plane = valid_plane[..., enc[0], enc[1], enc[2]]
+                speedup_plane = speedup_plane[..., enc[0], enc[1], enc[2]]
+            valid = valid_plane.all(axis=0)  # (K, C, G, E, B)
             if not valid.any():
                 return []
             speedup = self._speedup
             if app is None:
-                benefit = speedup[:, j, :, l].mean(axis=0)
+                benefit = speedup_plane.mean(axis=0)
             else:
-                benefit = speedup[grid.apps.index(app), j, :, l]
+                benefit = speedup_plane[grid.apps.index(app)]
             cost = np.broadcast_to(
                 self.area_overhead_pct[..., None], benefit.shape
             )
@@ -147,7 +183,7 @@ class PartialSweep:
                 flat = int(pos) if index_map is None else int(index_map[pos])
                 k, c, g, e, b = np.unravel_index(flat, benefit.shape)
                 speedups = {
-                    a: float(speedup[ia, j, k, l, c, g, e, b])
+                    a: float(speedup[(ia, j, k, l, c, g, e, b) + enc])
                     for ia, a in enumerate(grid.apps)
                 }
                 points.append(
@@ -160,12 +196,14 @@ class PartialSweep:
                             self.power_overhead_pct[k, c, g, e]
                         ),
                         speedups=speedups,
-                        config_axes=self._config_axes(c, g, e, b),
+                        config_axes=self._config_axes(c, g, e, b, enc),
                     )
                 )
         return points
 
-    def _config_axes(self, c: int, g: int, e: int, b: int) -> Tuple:
+    def _config_axes(
+        self, c: int, g: int, e: int, b: int, enc: Tuple = ()
+    ) -> Tuple:
         """Mirror of ``SweepResult._config_axes`` (non-singleton axes)."""
         grid = self.grid
         out = []
@@ -177,6 +215,16 @@ class PartialSweep:
             out.append(("n_engines", grid.n_engines[e]))
         if len(grid.n_batches) > 1:
             out.append(("n_batches", grid.n_batches[b]))
+        if enc:
+            t, h, r = enc
+            if len(grid.gridtypes) > 1:
+                out.append(("gridtype", grid.gridtypes[t]))
+            if len(grid.log2_hashmap_sizes) > 1:
+                out.append(
+                    ("log2_hashmap_size", grid.log2_hashmap_sizes[h])
+                )
+            if len(grid.per_level_scales) > 1:
+                out.append(("per_level_scale", grid.per_level_scales[r]))
         return tuple(out)
 
 

@@ -63,6 +63,7 @@ from repro.core.dse import (
     shard_plan,
     sweep_fingerprint,
     sweep_grid,
+    task_batch_kwargs,
 )
 from repro.core.config import NGPCConfig
 from repro.core.emulator import emulate_batch
@@ -146,6 +147,33 @@ def _pick(axis: str, values, value):
     if len(values) == 1:
         return values[0]
     raise AmbiguousAxisError(axis, values)
+
+
+def _pick_encoding(grid, gridtype, log2_hashmap_size, per_level_scale):
+    """Validate the encoding-axis selectors against ``grid`` up front.
+
+    Returns the selector kwargs to forward to the result/partial query
+    (the queries re-apply the exact ambiguity rule themselves); raises
+    the same structured 400/404 as :func:`_pick` so a stream fails
+    before any evaluation starts.
+    """
+    selectors = (
+        ("gridtype", grid.gridtypes, gridtype),
+        ("log2_hashmap_size", grid.log2_hashmap_sizes, log2_hashmap_size),
+        ("per_level_scale", grid.per_level_scales, per_level_scale),
+    )
+    encoding = {}
+    for axis, values, value in selectors:
+        if grid.is_extended:
+            _pick(axis, values, value)
+        elif value is not None and value not in (values or ()):
+            raise ServiceError(
+                404, "not-on-grid", f"{axis}={value!r} not on the grid",
+                axis=axis, values=list(values or ()),
+            )
+        if value is not None:
+            encoding[axis] = value
+    return encoding
 
 
 class SweepService:
@@ -452,12 +480,10 @@ class SweepService:
         else:
             placed = []
             for placement, task in plan:
-                app, scheme, scales, pixels, clocks, srams, engines, batches \
-                    = task
+                app, scheme, scales, pixels = task[:4]
                 block = emulate_batch(
                     app, scheme, scales, pixels, self.ngpc,
-                    clocks_ghz=clocks, grid_sram_kb=srams,
-                    n_engines=engines, n_batches=batches,
+                    **task_batch_kwargs(task),
                 )
                 block = {
                     name: block[name]
@@ -513,13 +539,14 @@ class SweepService:
 
     # -- streaming -----------------------------------------------------------
     async def _cached_stream_events(
-        self, cached, resolved, scheme, n_pixels, app, loop
+        self, cached, resolved, scheme, n_pixels, app, loop, encoding=None
     ) -> list:
         """The terminal event triple a stream over a finished sweep emits."""
         points = await loop.run_in_executor(
             None,
             functools.partial(
                 cached.pareto_front, scheme, n_pixels=n_pixels, app=app,
+                **(encoding or {}),
             ),
         )
         return [
@@ -544,6 +571,9 @@ class SweepService:
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> AsyncIterator[Dict]:
         """Evaluate ``grid`` and stream progress + refining Pareto fronts.
 
@@ -577,6 +607,9 @@ class SweepService:
                 404, "not-on-grid", f"app={app!r} not on the grid",
                 axis="app", values=list(resolved.apps),
             )
+        encoding = _pick_encoding(
+            resolved, gridtype, log2_hashmap_size, per_level_scale
+        )
         key = sweep_fingerprint(resolved, self.ngpc)
         loop = asyncio.get_running_loop()
         if key not in self._inflight:
@@ -584,7 +617,8 @@ class SweepService:
             if cached is not None:  # finished sweep: emit the terminal events
                 self.tier["ram_hits"] += 1
                 for event in await self._cached_stream_events(
-                    cached, resolved, scheme, n_pixels, app, loop
+                    cached, resolved, scheme, n_pixels, app, loop,
+                    encoding=encoding,
                 ):
                     yield event
                 return
@@ -602,7 +636,8 @@ class SweepService:
                     release()
                     self.tier["ram_hits"] += 1
                     for event in await self._cached_stream_events(
-                        recheck, resolved, scheme, n_pixels, app, loop
+                        recheck, resolved, scheme, n_pixels, app, loop,
+                        encoding=encoding,
                     ):
                         yield event
                     return
@@ -631,7 +666,7 @@ class SweepService:
                         None,
                         functools.partial(
                             result.pareto_front, scheme,
-                            n_pixels=n_pixels, app=app,
+                            n_pixels=n_pixels, app=app, **encoding,
                         ),
                     )
                     yield {
@@ -648,7 +683,7 @@ class SweepService:
                         None,
                         functools.partial(
                             progress.partial.pareto_front, scheme,
-                            n_pixels=n_pixels, app=app,
+                            n_pixels=n_pixels, app=app, **encoding,
                         ),
                     )
                     front = [p.to_dict() for p in points]
@@ -713,6 +748,9 @@ class SweepService:
         scheme: Optional[str] = None,
         n_pixels: Optional[int] = None,
         app: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> List[DesignPoint]:
         """Non-dominated (area, speedup) configurations of the grid."""
         if self.explore == "adaptive":
@@ -724,8 +762,12 @@ class SweepService:
                     404, "not-on-grid", f"app={app!r} not on the grid",
                     axis="app", values=list(g.apps),
                 )
+            encoding = _pick_encoding(
+                g, gridtype, log2_hashmap_size, per_level_scale
+            )
             return await self._explore(
-                explorer.pareto, scheme, n_pixels=n_pixels, app=app
+                explorer.pareto, scheme, n_pixels=n_pixels, app=app,
+                **encoding,
             )
         result = await self.sweep(grid)
         scheme = _pick("scheme", result.grid.schemes, scheme)
@@ -734,7 +776,12 @@ class SweepService:
                 404, "not-on-grid", f"app={app!r} not on the grid",
                 axis="app", values=list(result.grid.apps),
             )
-        return result.pareto_front(scheme, n_pixels=n_pixels, app=app)
+        encoding = _pick_encoding(
+            result.grid, gridtype, log2_hashmap_size, per_level_scale
+        )
+        return result.pareto_front(
+            scheme, n_pixels=n_pixels, app=app, **encoding
+        )
 
     async def cheapest_point_meeting_fps(
         self,
@@ -743,6 +790,9 @@ class SweepService:
         fps: float,
         n_pixels: Optional[int] = None,
         scheme: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> Optional[DesignPoint]:
         """Cheapest-area configuration hitting ``fps``, or None.
 
@@ -755,17 +805,59 @@ class SweepService:
         if self.explore == "adaptive":
             explorer = self._explorer_for(grid)
             app = _pick("app", explorer.grid.apps, app)
+            encoding = _pick_encoding(
+                explorer.grid, gridtype, log2_hashmap_size, per_level_scale
+            )
             try:
                 return await self._explore(
                     explorer.cheapest, app, fps,
-                    n_pixels=n_pixels, scheme=scheme,
+                    n_pixels=n_pixels, scheme=scheme, **encoding,
                 )
             except InfeasibleQueryError:
                 return None
         result = await self.sweep(grid)
         app = _pick("app", result.grid.apps, app)
+        encoding = _pick_encoding(
+            result.grid, gridtype, log2_hashmap_size, per_level_scale
+        )
         return result.cheapest_point_meeting_fps(
-            app, fps, n_pixels=n_pixels, scheme=scheme
+            app, fps, n_pixels=n_pixels, scheme=scheme, **encoding
+        )
+
+    async def cheapest_point_meeting_train_rate(
+        self,
+        grid: GridLike,
+        app: str,
+        steps_per_s: float,
+        n_pixels: Optional[int] = None,
+        scheme: Optional[str] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
+    ) -> Optional[DesignPoint]:
+        """Cheapest-area configuration training at ``steps_per_s``, or None.
+
+        The training-throughput twin of
+        :meth:`cheapest_point_meeting_fps`, with the same
+        None-on-infeasible wire contract.
+        """
+        if self.explore == "adaptive":
+            explorer = self._explorer_for(grid)
+            app = _pick("app", explorer.grid.apps, app)
+            encoding = _pick_encoding(
+                explorer.grid, gridtype, log2_hashmap_size, per_level_scale
+            )
+            return await self._explore(
+                explorer.cheapest_train, app, steps_per_s,
+                n_pixels=n_pixels, scheme=scheme, **encoding,
+            )
+        result = await self.sweep(grid)
+        app = _pick("app", result.grid.apps, app)
+        encoding = _pick_encoding(
+            result.grid, gridtype, log2_hashmap_size, per_level_scale
+        )
+        return result.cheapest_point_meeting_train_rate(
+            app, steps_per_s, n_pixels=n_pixels, scheme=scheme, **encoding
         )
 
     async def point(
@@ -779,6 +871,9 @@ class SweepService:
         grid_sram_kb: Optional[int] = None,
         n_engines: Optional[int] = None,
         n_batches: Optional[int] = None,
+        gridtype: Optional[str] = None,
+        log2_hashmap_size: Optional[int] = None,
+        per_level_scale: Optional[float] = None,
     ) -> EmulationResult:
         """One grid point's :class:`EmulationResult`.
 
@@ -788,6 +883,9 @@ class SweepService:
         if self.explore == "adaptive":
             explorer = self._explorer_for(grid)
             g = explorer.grid
+            encoding = _pick_encoding(
+                g, gridtype, log2_hashmap_size, per_level_scale
+            )
             return await self._explore(
                 explorer.point,
                 _pick("app", g.apps, app),
@@ -798,9 +896,13 @@ class SweepService:
                 grid_sram_kb=grid_sram_kb,
                 n_engines=n_engines,
                 n_batches=n_batches,
+                **encoding,
             )
         result = await self.sweep(grid)
         g = result.grid
+        encoding = _pick_encoding(
+            g, gridtype, log2_hashmap_size, per_level_scale
+        )
         return result.point(
             _pick("app", g.apps, app),
             _pick("scheme", g.schemes, scheme),
@@ -810,6 +912,7 @@ class SweepService:
             grid_sram_kb=grid_sram_kb,
             n_engines=n_engines,
             n_batches=n_batches,
+            **encoding,
         )
 
     # -- introspection -------------------------------------------------------

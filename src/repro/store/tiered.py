@@ -42,6 +42,7 @@ from repro.core.dse import (
     shard_task_shape,
     store_block_plan,
     sweep_fingerprint,
+    task_batch_kwargs,
 )
 from repro.core.emulator import emulate_batch
 from repro.store.result_store import ResultStore
@@ -112,11 +113,10 @@ def evaluate_with_block_cache(
         if block is not None:
             _bump(counters, "blocks_cached")
         else:
-            app, scheme, scales, pixels, clocks, srams, engines, batches = task
+            app, scheme, scales, pixels = task[:4]
             evaluated = emulate_batch(
                 app, scheme, scales, pixels, ngpc,
-                clocks_ghz=clocks, grid_sram_kb=srams,
-                n_engines=engines, n_batches=batches,
+                **task_batch_kwargs(task),
             )
             block = {name: evaluated[name] for name in _TIMING_FIELDS}
             block["amdahl_bound"] = evaluated["amdahl_bound"]

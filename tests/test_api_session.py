@@ -36,6 +36,7 @@ import pytest
 
 from repro.api import (
     PAYLOAD_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     AmbiguousAxisError,
     BackendUnavailableError,
     Grid,
@@ -351,6 +352,91 @@ class TestDistributedBackendParity:
 
 
 # ---------------------------------------------------------------------------
+# the registry extension axes, across every backend
+# ---------------------------------------------------------------------------
+
+#: a hash-grid design space: the new encoding axis swept through the
+#: registry, answered via local, remote and cluster execution alike
+HASHGRID_PARITY_GRID = SweepGrid(
+    apps=("nerf",),
+    scale_factors=(8, 32),
+    gridtypes=("hash",),
+    log2_hashmap_sizes=(14, 19, 22),
+)
+
+
+class TestHashGridAxisParity:
+    """Sweeping ``log2_hashmap_size`` answers identically everywhere."""
+
+    def test_dense_arrays_bit_identical_on_all_backends(
+        self, local_session, remote_session, distributed_session
+    ):
+        local = local_session.sweep(HASHGRID_PARITY_GRID).result
+        assert local.accelerated_ms.ndim == 11  # extended layout
+        for session in (remote_session, distributed_session):
+            other = session.sweep(HASHGRID_PARITY_GRID).result
+            assert other.grid == local.grid
+            for name in ("baseline_ms", "accelerated_ms", "speedup",
+                         "area_overhead_pct", "train_steps_per_s"):
+                np.testing.assert_array_equal(
+                    getattr(other, name), getattr(local, name), err_msg=name
+                )
+
+    def test_swept_hashmap_axis_must_be_selected(
+        self, local_session, remote_session, distributed_session
+    ):
+        errors = []
+        for session in (local_session, remote_session, distributed_session):
+            sweep = session.sweep(HASHGRID_PARITY_GRID)
+            with pytest.raises(AmbiguousAxisError) as excinfo:
+                sweep.point(app="nerf", scale_factor=8)
+            errors.append(excinfo.value)
+        assert {e.axis for e in errors} == {"log2_hashmap_size"}
+        assert len({str(e) for e in errors}) == 1
+
+    def test_point_and_pareto_agree_per_table_size(
+        self, local_session, remote_session, distributed_session
+    ):
+        payloads = []
+        for session in (local_session, remote_session, distributed_session):
+            sweep = session.sweep(HASHGRID_PARITY_GRID)
+            point = sweep.point(
+                app="nerf", scale_factor=8, log2_hashmap_size=14
+            )
+            payloads.append({
+                "point": {"accelerated_ms": point.accelerated_ms,
+                          "baseline_ms": point.baseline_ms,
+                          "speedup": point.speedup},
+                "front": [
+                    p.to_dict() for p in sweep.pareto(log2_hashmap_size=19)
+                ],
+            })
+        assert_payloads_equal(payloads[0], payloads[1])
+        assert_payloads_equal(payloads[0], payloads[2])
+
+    def test_cheapest_train_rate_parity(
+        self, local_session, remote_session, distributed_session
+    ):
+        hits, errors = [], []
+        for session in (local_session, remote_session, distributed_session):
+            sweep = session.sweep(HASHGRID_PARITY_GRID)
+            hits.append(sweep.cheapest(
+                app="nerf", train_steps_per_s=1.0, log2_hashmap_size=19
+            ).to_dict())
+            with pytest.raises(InfeasibleQueryError) as excinfo:
+                sweep.cheapest(
+                    app="nerf", train_steps_per_s=10.0**12,
+                    log2_hashmap_size=19,
+                )
+            errors.append(excinfo.value)
+        assert_payloads_equal(hits[0], hits[1])
+        assert_payloads_equal(hits[0], hits[2])
+        assert len({str(e) for e in errors}) == 1
+        assert {e.steps_per_s for e in errors} == {10.0**12}
+        assert len({e.best_rate for e in errors}) == 1
+
+
+# ---------------------------------------------------------------------------
 # keep-alive connection reuse
 # ---------------------------------------------------------------------------
 
@@ -470,7 +556,9 @@ class TestSchemaVersion:
                 )
         assert excinfo.value.status == 400
         assert excinfo.value.code == "unsupported-schema"
-        assert excinfo.value.details["supported"] == [PAYLOAD_SCHEMA_VERSION]
+        assert excinfo.value.details["supported"] == list(
+            SUPPORTED_SCHEMA_VERSIONS
+        )
 
     def test_every_response_envelope_is_stamped(self, live_service):
         port = live_service["port"]

@@ -20,6 +20,7 @@ The disk tier's contract, end to end:
 import asyncio
 import json
 import os
+import shutil
 import warnings
 
 import numpy as np
@@ -195,6 +196,106 @@ class TestDeltaEvaluation:
             block = store.load_block(key, shard_task_shape(placement))
             assert block is not None
             assert set(block) == set(BLOCK_ARRAY_FIELDS)
+
+
+# ---------------------------------------------------------------------------
+# pre-registry warm-store compatibility
+# ---------------------------------------------------------------------------
+
+#: a store written by the pre-axis-registry code (fixture npz + index.db,
+#: committed verbatim) — registering the encoding axes must not change a
+#: single fingerprint, so it reads back hit for hit
+PRE_REGISTRY_STORE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "warm_store_pre_registry"
+)
+#: the grid the fixture store was evaluated over, spelled with the seed
+#: eight axes only (extension axes stay unset/inherit)
+PRE_REGISTRY_GRID = SweepGrid(
+    apps=("nerf", "gia"),
+    schemes=("multi_res_hashgrid",),
+    scale_factors=(8, 32),
+    pixel_counts=(2_073_600,),
+    clocks_ghz=(1.2, 1.695),
+    grid_sram_kb=(512, 1024),
+    n_engines=(16,),
+    n_batches=(8, 16),
+)
+#: frozen when the fixture was written, before the registry refactor
+PRE_REGISTRY_CHECKSUM = 137.91662944465514
+
+
+class TestPreRegistryStoreCompatibility:
+    def _copy(self, tmp_path):
+        root = str(tmp_path / "store")
+        shutil.copytree(PRE_REGISTRY_STORE, root)
+        return root
+
+    def test_whole_sweep_is_a_disk_hit(self, tmp_path):
+        store = ResultStore(self._copy(tmp_path))
+        counters = new_tier_counters()
+        result = sweep_with_store(
+            store, _resolved(PRE_REGISTRY_GRID), counters=counters,
+            use_cache=False,
+        )
+        assert counters["disk_hits"] == 1
+        assert counters["evaluations"] == 0
+        assert counters["blocks_evaluated"] == 0
+        assert float(np.asarray(result.accelerated_ms).sum()) == (
+            PRE_REGISTRY_CHECKSUM
+        )
+        reference = sweep_grid(
+            _resolved(PRE_REGISTRY_GRID), engine="vectorized", use_cache=False
+        )
+        assert_bit_identical(result, reference)
+
+    def test_every_block_is_a_cache_hit(self, tmp_path):
+        # drop the assembled-sweep entry: the blockwise path must find
+        # every pre-refactor block under today's fingerprints
+        root = self._copy(tmp_path)
+        shutil.rmtree(os.path.join(root, "sweeps"))
+        store = ResultStore(root)
+        counters = new_tier_counters()
+        result = sweep_with_store(
+            store, _resolved(PRE_REGISTRY_GRID), counters=counters,
+            use_cache=False,
+        )
+        assert counters["blocks_total"] > 0
+        assert counters["blocks_cached"] == counters["blocks_total"]
+        assert counters["blocks_evaluated"] == 0
+        assert float(np.asarray(result.accelerated_ms).sum()) == (
+            PRE_REGISTRY_CHECKSUM
+        )
+
+    def test_unswept_extension_axes_share_the_warm_fingerprint(self, tmp_path):
+        # the same grid with the extension axes spelled explicitly at
+        # their inherit sentinels must address the very same store entry
+        from repro.core.axes import (
+            GRIDTYPE_AUTO, LOG2_HASHMAP_INHERIT, PER_LEVEL_SCALE_INHERIT,
+        )
+
+        spelled = SweepGrid(
+            apps=PRE_REGISTRY_GRID.apps,
+            schemes=PRE_REGISTRY_GRID.schemes,
+            scale_factors=PRE_REGISTRY_GRID.scale_factors,
+            pixel_counts=PRE_REGISTRY_GRID.pixel_counts,
+            clocks_ghz=PRE_REGISTRY_GRID.clocks_ghz,
+            grid_sram_kb=PRE_REGISTRY_GRID.grid_sram_kb,
+            n_engines=PRE_REGISTRY_GRID.n_engines,
+            n_batches=PRE_REGISTRY_GRID.n_batches,
+            gridtypes=(GRIDTYPE_AUTO,),
+            log2_hashmap_sizes=(LOG2_HASHMAP_INHERIT,),
+            per_level_scales=(PER_LEVEL_SCALE_INHERIT,),
+        )
+        assert sweep_fingerprint(_resolved(spelled), None) == sweep_fingerprint(
+            _resolved(PRE_REGISTRY_GRID), None
+        )
+        store = ResultStore(self._copy(tmp_path))
+        counters = new_tier_counters()
+        sweep_with_store(
+            store, _resolved(spelled), counters=counters, use_cache=False
+        )
+        assert counters["disk_hits"] == 1
+        assert counters["blocks_evaluated"] == 0
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.sensitivity import perturbed_overheads
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
+from repro.core.axes import AXES
 from repro.core.cache import cache_stats, clear_model_caches
 from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
 from repro.core.dse import (
@@ -702,3 +703,115 @@ class TestSweepGrid:
         records = result.to_records()
         assert len(records) == result.grid.size
         assert {r["n_pixels"] for r in records} == {100, 200}
+
+
+# ---------------------------------------------------------------------------
+# registry-driven axis harness
+# ---------------------------------------------------------------------------
+# Value pools per registered axis.  The harness below iterates the axis
+# REGISTRY, not a private list, so registering a new axis without adding
+# a pool here fails loudly instead of silently skipping coverage.
+_AXIS_VALUE_POOLS = {
+    "apps": APP_NAMES,
+    "schemes": ("multi_res_hashgrid", "low_res_densegrid"),
+    "scale_factors": (8, 32, 64),
+    "pixel_counts": (518_400, 2_073_600),
+    "clocks_ghz": (0.9, 1.2, 1.695),
+    "grid_sram_kb": (256, 512, 1024),
+    "n_engines": (8, 16, 32),
+    "n_batches": (4, 8, 16),
+    "gridtypes": ("hash", "tiled"),
+    "log2_hashmap_sizes": (14, 19, 22),
+    "per_level_scales": (1.26, 1.5, 2.0),
+}
+
+
+@st.composite
+def registry_grids(draw):
+    """A random SweepGrid drawn generically from the axis registry.
+
+    At most three axes sweep two values (8-point ceiling keeps the
+    scalar reference engine cheap); every other axis pins one value.
+    Extension axes may also stay unset, exercising the inherit path.
+    """
+    names = [spec.name for spec in AXES]
+    multi = draw(
+        st.lists(st.sampled_from(names), min_size=0, max_size=3, unique=True)
+    )
+    kwargs = {}
+    for spec in AXES:
+        pool = _AXIS_VALUE_POOLS[spec.name]
+        if spec.name in multi:
+            kwargs[spec.name] = tuple(
+                draw(st.lists(st.sampled_from(pool), min_size=2, max_size=2,
+                              unique=True))
+            )
+        elif spec.legacy or draw(st.booleans()):
+            kwargs[spec.name] = (draw(st.sampled_from(pool)),)
+    return SweepGrid(**kwargs)
+
+
+class TestRegistryAxes:
+    """Generic engine-parity coverage over every registered axis."""
+
+    def test_every_registered_axis_has_a_value_pool(self):
+        assert set(_AXIS_VALUE_POOLS) == {spec.name for spec in AXES}
+
+    def test_registry_extension_axes_present(self):
+        from repro.core.axes import EXTENSION_AXIS_FIELDS
+
+        assert EXTENSION_AXIS_FIELDS == (
+            "gridtypes", "log2_hashmap_sizes", "per_level_scales"
+        )
+
+    @given(registry_grids())
+    @settings(max_examples=25, deadline=None)
+    def test_engines_agree_on_registry_grids(self, grid):
+        """vectorized == scalar bit for bit, whatever axes are swept."""
+        vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+        scal = sweep_grid(grid, engine="scalar", use_cache=False)
+        resolved = grid.resolve()
+        assert vec.accelerated_ms.shape == resolved.shape
+        assert len(resolved.shape) == (11 if resolved.is_extended else 8)
+        for name in _FIELDS:
+            np.testing.assert_array_equal(
+                getattr(vec, name), getattr(scal, name), err_msg=name
+            )
+
+    @given(
+        st.sampled_from(_AXIS_VALUE_POOLS["gridtypes"]),
+        st.sampled_from(_AXIS_VALUE_POOLS["log2_hashmap_sizes"]),
+        st.sampled_from(_AXIS_VALUE_POOLS["per_level_scales"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_encoding_axes_reach_the_batched_fast_path(self, gt, log2_t, b):
+        """The three new axes flow through emulate_batch end to end."""
+        block = emulate_batch(
+            "nerf", "multi_res_hashgrid", (8,), (2_073_600,),
+            gridtypes=(gt,), log2_hashmap_sizes=(log2_t,),
+            per_level_scales=(b,),
+        )
+        assert block["accelerated_ms"].shape == (1,) * 9
+        assert np.all(np.isfinite(block["accelerated_ms"]))
+
+    def test_inactive_extension_axes_keep_seed_shape(self):
+        """Registered-but-unswept axes stay invisible: 8-dim arrays."""
+        from repro.core.axes import (
+            GRIDTYPE_AUTO, LOG2_HASHMAP_INHERIT, PER_LEVEL_SCALE_INHERIT,
+        )
+
+        grid = SweepGrid(
+            apps=("nerf",), scale_factors=(8,),
+            gridtypes=(GRIDTYPE_AUTO,),
+            log2_hashmap_sizes=(LOG2_HASHMAP_INHERIT,),
+            per_level_scales=(PER_LEVEL_SCALE_INHERIT,),
+        )
+        assert not grid.is_extended
+        result = sweep_grid(grid, use_cache=False)
+        assert result.accelerated_ms.ndim == 8
+        plain = sweep_grid(
+            SweepGrid(apps=("nerf",), scale_factors=(8,)), use_cache=False
+        )
+        np.testing.assert_array_equal(
+            result.accelerated_ms, plain.accelerated_ms
+        )

@@ -12,20 +12,31 @@ Usage:  PYTHONPATH=src python tools/freeze_golden_values.py
 
 from __future__ import annotations
 
+import itertools
+
 from repro.apps.params import APP_NAMES, ENCODING_SCHEMES
 from repro.core.area_power import ngpc_area_power
+from repro.core.axes import AXES
 from repro.core.config import NFPConfig, NGPCConfig, SCALE_FACTORS
 from repro.core.emulator import Emulator, emulate
 from repro.core.encoding_engine import encoding_kernel_speedup
 from repro.core.mlp_engine import mlp_kernel_speedup
 from repro.core.ngpc import bandwidth_model
 
-#: the frozen architecture grid: NeRF hashgrid @ FHD, NGPC-8, swept over
-#: (clock GHz, grid SRAM KB/engine, encoding engines, pipeline batches)
-ARCH_GRID_CLOCKS = (1.2, 1.695)
-ARCH_GRID_SRAMS = (512, 1024)
-ARCH_GRID_ENGINES = (16, 32)  # 32 doubles the per-level lane groups
-ARCH_GRID_BATCHES = (8, 16)
+#: the frozen architecture grid: NeRF hashgrid @ FHD, NGPC-8.  The axis
+#: list and its order come from the registry (every ``kind == "arch"``
+#: spec), not a private tuple; only the swept values live here.  The
+#: 32-engine point doubles the per-level lane groups.
+ARCH_GRID_AXES = tuple(spec.name for spec in AXES if spec.kind == "arch")
+ARCH_GRID_VALUES = {
+    "clocks_ghz": (1.2, 1.695),
+    "grid_sram_kb": (512, 1024),
+    "n_engines": (16, 32),
+    "n_batches": (8, 16),
+}
+assert set(ARCH_GRID_AXES) == set(ARCH_GRID_VALUES), (
+    "registry arch axes changed; update ARCH_GRID_VALUES deliberately"
+)
 
 
 def main() -> None:
@@ -82,21 +93,21 @@ def main() -> None:
     print("# (clock GHz, grid SRAM KB, engines, batches) -> accelerated ms;")
     print("# NeRF hashgrid @ FHD, NGPC-8 (architecture-axis golden net)")
     print("GOLDEN_ARCH_GRID = {")
-    for clock in ARCH_GRID_CLOCKS:
-        for sram in ARCH_GRID_SRAMS:
-            for engines in ARCH_GRID_ENGINES:
-                for batches in ARCH_GRID_BATCHES:
-                    nfp = NFPConfig(
-                        clock_ghz=clock,
-                        grid_sram_kb_per_engine=sram,
-                        n_encoding_engines=engines,
-                    )
-                    config = NGPCConfig(
-                        scale_factor=8, nfp=nfp, n_pipeline_batches=batches
-                    )
-                    r = Emulator(config).run("nerf", "multi_res_hashgrid")
-                    print(f"    ({clock}, {sram}, {engines}, {batches}): "
-                          f"{r.accelerated_ms!r},")
+    for point in itertools.product(
+        *(ARCH_GRID_VALUES[name] for name in ARCH_GRID_AXES)
+    ):
+        values = dict(zip(ARCH_GRID_AXES, point))
+        nfp = NFPConfig(
+            clock_ghz=values["clocks_ghz"],
+            grid_sram_kb_per_engine=values["grid_sram_kb"],
+            n_encoding_engines=values["n_engines"],
+        )
+        config = NGPCConfig(
+            scale_factor=8, nfp=nfp, n_pipeline_batches=values["n_batches"]
+        )
+        r = Emulator(config).run("nerf", "multi_res_hashgrid")
+        print(f"    ({', '.join(str(v) for v in point)}): "
+              f"{r.accelerated_ms!r},")
     print("}")
 
 

@@ -182,6 +182,72 @@ echo "== adaptive exploration gates (smoke) =="
 python benchmarks/bench_adaptive.py --quick
 
 echo
+echo "== axis-registry gate (no private axis tuples) =="
+# every axis list must derive from repro.core.axes: two adjacent
+# axis-name string literals on one line is the AXIS_FIELDS-style
+# hard-coded tuple this refactor retired
+AXIS_NAMES='apps|schemes|scale_factors|pixel_counts|clocks_ghz|grid_sram_kb|n_engines|n_batches|gridtypes|log2_hashmap_sizes|per_level_scales'
+if grep -rnE --include='*.py' \
+    "[\"']($AXIS_NAMES)[\"'][[:space:]]*,[[:space:]]*[\"']($AXIS_NAMES)[\"']" \
+    src/repro benchmarks tools \
+    | grep -v '^src/repro/core/axes\.py:'; then
+    echo "FAIL: literal axis-name tuple found outside src/repro/core/axes.py" >&2
+    exit 1
+fi
+echo "axis lists derive from repro.core.axes only"
+
+echo
+echo "== hash-grid axes parity (local / store / cluster / adaptive) =="
+python - <<'PY'
+import tempfile
+
+import numpy as np
+
+from repro.api import DistributedBackend, Session, SweepGrid
+from repro.core.dse import sweep_grid
+from repro.store import ResultStore, sweep_with_store
+
+grid = SweepGrid(
+    apps=("nerf", "gia"),
+    scale_factors=(8, 16, 32, 64),
+    gridtypes=("hash", "tiled"),
+    log2_hashmap_sizes=(14, 19),
+    per_level_scales=(1.5, 2.0),
+).resolve().normalized()
+vec = sweep_grid(grid, engine="vectorized", use_cache=False)
+assert vec.accelerated_ms.ndim == 11, vec.accelerated_ms.shape
+
+stored = sweep_with_store(
+    ResultStore(tempfile.mkdtemp()), grid, use_cache=False
+)
+np.testing.assert_array_equal(stored.accelerated_ms, vec.accelerated_ms)
+
+session = Session.local(engine="vectorized")
+adaptive = session.sweep(grid, explore="adaptive")
+dense = session.sweep(grid, explore="exhaustive")
+for sel in (
+    {"gridtype": "hash", "log2_hashmap_size": 14, "per_level_scale": 2.0},
+    {"gridtype": "tiled", "log2_hashmap_size": 19, "per_level_scale": 1.5},
+):
+    assert [p.to_dict() for p in adaptive.pareto(**sel)] == \
+           [p.to_dict() for p in dense.pareto(**sel)]
+    assert adaptive.cheapest(app="nerf", fps=30.0, **sel).to_dict() == \
+           dense.cheapest(app="nerf", fps=30.0, **sel).to_dict()
+    assert adaptive.cheapest(app="nerf", train_steps_per_s=1.0, **sel) \
+        .to_dict() == \
+        dense.cheapest(app="nerf", train_steps_per_s=1.0, **sel).to_dict()
+
+backend = DistributedBackend(workers=2)
+try:
+    cluster = backend.sweep(grid)
+    np.testing.assert_array_equal(cluster.accelerated_ms, vec.accelerated_ms)
+finally:
+    backend.close()
+print(f"hash-grid parity ok: {grid.size}-point extended sweep bit-identical "
+      f"across local, store-backed, cluster and adaptive paths")
+PY
+
+echo
 echo "== pickle ban (the frame transport owns the wire) =="
 if grep -rnE '^\s*(import pickle|from pickle)|pickle\.' src/repro/service/ --include='*.py'; then
     echo "FAIL: pickle import/call found under src/repro/service" >&2
